@@ -1,0 +1,280 @@
+package cypher
+
+// Benchmark harness for the experiments B1-B9 listed in DESIGN.md and
+// EXPERIMENTS.md. The paper's evaluation is a semantics (not a performance)
+// study, so these benchmarks characterise the operators and design choices
+// the paper describes: the Expand operator over native adjacency,
+// variable-length expansion, aggregation, OPTIONAL MATCH, scan selection,
+// matching morphisms, parser/planner latency, the end-to-end industry
+// queries of Section 3, and the optimised engine versus the literal
+// reference semantics.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/parser"
+	"repro/internal/planner"
+	"repro/internal/refsem"
+	"repro/internal/value"
+)
+
+func benchGraph(people, friends int) *Graph {
+	g := datasets.SocialNetwork(datasets.SocialConfig{People: people, FriendsEach: friends, Seed: 42})
+	return Wrap(g, Options{})
+}
+
+func runBenchQuery(b *testing.B, g *Graph, query string, params map[string]any) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Run(query, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- B1: Expand scaling (the paper's index-free adjacency argument) ---
+
+func BenchmarkExpand(b *testing.B) {
+	for _, size := range []int{1000, 10000} {
+		for _, deg := range []int{4, 16} {
+			b.Run(fmt.Sprintf("nodes=%d/degree=%d", size, deg), func(b *testing.B) {
+				g := benchGraph(size, deg)
+				runBenchQuery(b, g, "MATCH (a:Person {name: 'person-17'})-[:KNOWS]->(b) RETURN count(b) AS c", nil)
+			})
+		}
+	}
+}
+
+func BenchmarkExpandTwoHops(b *testing.B) {
+	g := benchGraph(5000, 8)
+	runBenchQuery(b, g, "MATCH (a:Person {name: 'person-17'})-[:KNOWS]->()-[:KNOWS]->(c) RETURN count(c) AS c", nil)
+}
+
+// --- B2: variable-length expansion depth sweep ---
+
+func BenchmarkVarLengthExpand(b *testing.B) {
+	g := benchGraph(2000, 4)
+	for _, depth := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			q := fmt.Sprintf("MATCH (a:Person {name: 'person-17'})-[:KNOWS*1..%d]->(c) RETURN count(c) AS c", depth)
+			runBenchQuery(b, g, q, nil)
+		})
+	}
+}
+
+func BenchmarkVarLengthUnbounded(b *testing.B) {
+	g := Wrap(datasets.DataCenter(datasets.DataCenterConfig{Services: 300, MaxDeps: 2, Seed: 3}), Options{})
+	runBenchQuery(b, g, "MATCH (s:Service {name: 'svc-0'})<-[:DEPENDS_ON*]-(d:Service) RETURN count(DISTINCT d) AS c", nil)
+}
+
+// --- B3: aggregation / grouping cardinality sweep ---
+
+func BenchmarkAggregate(b *testing.B) {
+	g := benchGraph(20000, 2)
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"global-count", "MATCH (p:Person) RETURN count(*) AS c"},
+		{"group-by-age", "MATCH (p:Person) RETURN p.age AS age, count(*) AS c"},
+		{"collect-names", "MATCH (p:Person) RETURN p.age AS age, collect(p.name) AS names"},
+		{"distinct-count", "MATCH (p:Person)-[:KNOWS]->(q) RETURN p.age AS age, count(DISTINCT q.age) AS c"},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) { runBenchQuery(b, g, c.query, nil) })
+	}
+}
+
+// --- B4: OPTIONAL MATCH with varying match fraction ---
+
+func BenchmarkOptionalMatch(b *testing.B) {
+	for _, friends := range []int{0, 2, 8} {
+		b.Run(fmt.Sprintf("friends=%d", friends), func(b *testing.B) {
+			store := datasets.SocialNetwork(datasets.SocialConfig{People: 5000, FriendsEach: friends, Seed: 1})
+			g := Wrap(store, Options{})
+			runBenchQuery(b, g, "MATCH (p:Person) OPTIONAL MATCH (p)-[:KNOWS]->(q) RETURN count(q) AS c", nil)
+		})
+	}
+}
+
+// --- B5: label scan vs all-nodes scan vs index seek (ablation) ---
+
+func BenchmarkLabelScanVsAllNodes(b *testing.B) {
+	store := graph.New()
+	for i := 0; i < 20000; i++ {
+		label := "Filler"
+		if i%100 == 0 {
+			label = "Rare"
+		}
+		store.CreateNode([]string{label}, map[string]value.Value{"i": value.NewInt(int64(i))})
+	}
+	g := Wrap(store, Options{})
+	b.Run("label-scan", func(b *testing.B) {
+		runBenchQuery(b, g, "MATCH (n:Rare) RETURN count(n) AS c", nil)
+	})
+	b.Run("all-nodes-filter", func(b *testing.B) {
+		// Force an all-nodes scan by filtering on the label in WHERE instead.
+		runBenchQuery(b, g, "MATCH (n) WHERE n:Rare RETURN count(n) AS c", nil)
+	})
+	store.CreateIndex("Rare", "i")
+	b.Run("index-seek", func(b *testing.B) {
+		runBenchQuery(b, g, "MATCH (n:Rare {i: 1300}) RETURN count(n) AS c", nil)
+	})
+	b.Run("label-scan-property-filter", func(b *testing.B) {
+		runBenchQuery(b, g, "MATCH (n:Rare) WHERE n.i = 1300 RETURN count(n) AS c", nil)
+	})
+}
+
+// --- B6: matching morphism ablation (Section 8 "configurable morphisms") ---
+
+func BenchmarkMorphism(b *testing.B) {
+	store := datasets.SocialNetwork(datasets.SocialConfig{People: 300, FriendsEach: 4, Seed: 11})
+	query := "MATCH (a:Person)-[:KNOWS*2..3]->(b) RETURN count(*) AS c"
+	for _, m := range []struct {
+		name string
+		mode Morphism
+	}{
+		{"edge-isomorphism", EdgeIsomorphism},
+		{"homomorphism", Homomorphism},
+		{"node-isomorphism", NodeIsomorphism},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			g := Wrap(store, Options{Morphism: m.mode, MaxVarLengthDepth: 3})
+			runBenchQuery(b, g, query, nil)
+		})
+	}
+}
+
+// --- B7: parser and planner latency over a query corpus ---
+
+var benchCorpus = []string{
+	"MATCH (r:Researcher) RETURN r.name",
+	"MATCH (r:Researcher)-[:AUTHORS]->(p:Publication) WHERE p.acmid > 200 RETURN r.name, count(p) AS pubs ORDER BY pubs DESC LIMIT 10",
+	"MATCH (svc:Service)<-[:DEPENDS_ON*]-(dep:Service) RETURN svc, count(DISTINCT dep) AS dependents ORDER BY dependents DESC LIMIT 1",
+	"MATCH (a)-[:HAS]->(p) WHERE p:SSN OR p:PhoneNumber WITH p, collect(a.uniqueId) AS hs, count(*) AS c WHERE c > 1 RETURN hs, labels(p), c",
+	"UNWIND range(1, 100) AS x WITH x WHERE x % 3 = 0 RETURN x, x * x AS sq ORDER BY sq DESC SKIP 2 LIMIT 5",
+	"MATCH p = (a:Person {name: 'x'})-[:KNOWS*1..3]->(b:Person) RETURN [n IN nodes(p) | n.name] AS names, length(p) AS len",
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, q := range benchCorpus {
+			if _, err := parser.Parse(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+type planInput struct {
+	q      string
+	parsed *ast.Query
+}
+
+func BenchmarkPlan(b *testing.B) {
+	store, _ := datasets.Citations()
+	asts := make([]planInput, 0, len(benchCorpus))
+	for _, q := range benchCorpus {
+		parsed, err := parser.Parse(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		asts = append(asts, planInput{q: q, parsed: parsed})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := planner.New(store)
+		for _, in := range asts {
+			if _, err := p.Plan(in.parsed); err != nil {
+				b.Fatalf("%s: %v", in.q, err)
+			}
+		}
+	}
+}
+
+// --- B8: end-to-end industry queries at three scales ---
+
+func BenchmarkIndustryDataCenter(b *testing.B) {
+	for _, services := range []int{100, 500, 2000} {
+		b.Run(fmt.Sprintf("services=%d", services), func(b *testing.B) {
+			store := datasets.DataCenter(datasets.DataCenterConfig{Services: services, MaxDeps: 3, Seed: 5})
+			g := Wrap(store, Options{})
+			runBenchQuery(b, g, `
+				MATCH (svc:Service)<-[:DEPENDS_ON*]-(dep:Service)
+				RETURN svc, count(DISTINCT dep) AS dependents
+				ORDER BY dependents DESC
+				LIMIT 1`, nil)
+		})
+	}
+}
+
+func BenchmarkIndustryFraudRing(b *testing.B) {
+	for _, holders := range []int{200, 1000, 5000} {
+		b.Run(fmt.Sprintf("holders=%d", holders), func(b *testing.B) {
+			store := datasets.FraudNetwork(datasets.FraudConfig{AccountHolders: holders, SharingFraction: 0.15, Seed: 5})
+			g := Wrap(store, Options{})
+			runBenchQuery(b, g, `
+				MATCH (accHolder:AccountHolder)-[:HAS]->(pInfo)
+				WHERE pInfo:SSN OR pInfo:PhoneNumber OR pInfo:Address
+				WITH pInfo, collect(accHolder.uniqueId) AS accountHolders, count(*) AS fraudRingCount
+				WHERE fraudRingCount > 1
+				RETURN accountHolders, labels(pInfo) AS personalInformation, fraudRingCount`, nil)
+		})
+	}
+}
+
+func BenchmarkSection3Query(b *testing.B) {
+	for _, researchers := range []int{50, 200} {
+		b.Run(fmt.Sprintf("researchers=%d", researchers), func(b *testing.B) {
+			store := datasets.CitationNetwork(datasets.CitationConfig{
+				Researchers: researchers, PublicationsPerAuthor: 3, StudentsPerResearcher: 2, CitationsPerPaper: 2, Seed: 2,
+			})
+			g := Wrap(store, Options{})
+			runBenchQuery(b, g, `
+				MATCH (r:Researcher)
+				OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+				WITH r, count(s) AS studentsSupervised
+				MATCH (r)-[:AUTHORS]->(p1:Publication)
+				OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication)
+				RETURN r.name, studentsSupervised, count(DISTINCT p2) AS citedCount`, nil)
+		})
+	}
+}
+
+// --- B9: optimised engine vs the literal reference semantics ---
+
+func BenchmarkEngineVsRefsem(b *testing.B) {
+	store, _ := datasets.Citations()
+	query := `
+		MATCH (r:Researcher)
+		OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+		WITH r, count(s) AS studentsSupervised
+		MATCH (r)-[:AUTHORS]->(p1:Publication)
+		OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication)
+		RETURN r.name, studentsSupervised, count(DISTINCT p2) AS citedCount`
+	b.Run("engine", func(b *testing.B) {
+		g := Wrap(store, Options{})
+		runBenchQuery(b, g, query, nil)
+	})
+	b.Run("refsem", func(b *testing.B) {
+		parsed, err := parser.Parse(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := refsem.Evaluate(parsed, store, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

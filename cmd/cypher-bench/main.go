@@ -1,0 +1,125 @@
+// Command cypher-bench runs the workload benchmarks outside `go test` and
+// prints CSV (workload, parameter, rows, wall time) so that results can be
+// plotted or diffed across runs. The same workloads back the testing.B
+// benchmarks in bench_test.go (experiments B1-B9 of DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	cypher "repro"
+	"repro/internal/datasets"
+)
+
+type workload struct {
+	name  string
+	param string
+	setup func() *cypher.Graph
+	query string
+}
+
+func main() {
+	var (
+		iterations = flag.Int("iterations", 3, "measured iterations per workload")
+		filter     = flag.String("workload", "", "run only workloads whose name contains this substring")
+	)
+	flag.Parse()
+
+	workloads := buildWorkloads()
+	fmt.Println("workload,parameter,iteration,rows,seconds")
+	for _, w := range workloads {
+		if *filter != "" && !contains(w.name, *filter) {
+			continue
+		}
+		g := w.setup()
+		for i := 0; i < *iterations; i++ {
+			start := time.Now()
+			res, err := g.Run(w.query, nil)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "workload %s failed: %v\n", w.name, err)
+				os.Exit(1)
+			}
+			elapsed := time.Since(start).Seconds()
+			fmt.Printf("%s,%s,%d,%d,%.6f\n", w.name, w.param, i, res.Len(), elapsed)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(sub) == 0 || (len(s) >= len(sub) && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func social(people, friends int) func() *cypher.Graph {
+	return func() *cypher.Graph {
+		return cypher.Wrap(datasets.SocialNetwork(datasets.SocialConfig{People: people, FriendsEach: friends, Seed: 42}), cypher.Options{})
+	}
+}
+
+func buildWorkloads() []workload {
+	var out []workload
+	for _, size := range []int{1000, 10000} {
+		out = append(out, workload{
+			name: "expand", param: fmt.Sprintf("people=%d", size), setup: social(size, 8),
+			query: "MATCH (a:Person {name: 'person-17'})-[:KNOWS]->(b) RETURN count(b) AS c",
+		})
+	}
+	for _, depth := range []int{1, 2, 3} {
+		out = append(out, workload{
+			name: "varlength", param: fmt.Sprintf("depth=%d", depth), setup: social(2000, 4),
+			query: fmt.Sprintf("MATCH (a:Person {name: 'person-17'})-[:KNOWS*1..%d]->(c) RETURN count(c) AS c", depth),
+		})
+	}
+	out = append(out, workload{
+		name: "aggregate", param: "people=20000", setup: social(20000, 2),
+		query: "MATCH (p:Person) RETURN p.age AS age, count(*) AS c",
+	})
+	for _, services := range []int{100, 500, 2000} {
+		svc := services
+		out = append(out, workload{
+			name: "datacenter", param: fmt.Sprintf("services=%d", svc),
+			setup: func() *cypher.Graph {
+				return cypher.Wrap(datasets.DataCenter(datasets.DataCenterConfig{Services: svc, MaxDeps: 3, Seed: 5}), cypher.Options{})
+			},
+			query: "MATCH (svc:Service)<-[:DEPENDS_ON*]-(dep:Service) RETURN svc, count(DISTINCT dep) AS dependents ORDER BY dependents DESC LIMIT 1",
+		})
+	}
+	for _, holders := range []int{200, 1000, 5000} {
+		h := holders
+		out = append(out, workload{
+			name: "fraud", param: fmt.Sprintf("holders=%d", h),
+			setup: func() *cypher.Graph {
+				return cypher.Wrap(datasets.FraudNetwork(datasets.FraudConfig{AccountHolders: h, SharingFraction: 0.15, Seed: 5}), cypher.Options{})
+			},
+			query: `MATCH (a:AccountHolder)-[:HAS]->(p)
+				WHERE p:SSN OR p:PhoneNumber OR p:Address
+				WITH p, collect(a.uniqueId) AS holders, count(*) AS c
+				WHERE c > 1
+				RETURN holders, labels(p), c`,
+		})
+	}
+	out = append(out, workload{
+		name: "section3", param: "researchers=200",
+		setup: func() *cypher.Graph {
+			return cypher.Wrap(datasets.CitationNetwork(datasets.CitationConfig{Researchers: 200, PublicationsPerAuthor: 3, StudentsPerResearcher: 2, CitationsPerPaper: 2, Seed: 2}), cypher.Options{})
+		},
+		query: `MATCH (r:Researcher)
+			OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+			WITH r, count(s) AS studentsSupervised
+			MATCH (r)-[:AUTHORS]->(p1:Publication)
+			OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication)
+			RETURN r.name, studentsSupervised, count(DISTINCT p2) AS citedCount`,
+	})
+	return out
+}

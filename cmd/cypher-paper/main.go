@@ -1,0 +1,173 @@
+// Command cypher-paper regenerates the figures, tables and examples of
+// "Cypher: An Evolving Query Language for Property Graphs" (SIGMOD 2018)
+// from this implementation. Running it without flags prints every artifact;
+// -artifact selects a single one (see -list).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	cypher "repro"
+	"repro/internal/datasets"
+)
+
+type artifact struct {
+	id    string
+	title string
+	run   func()
+}
+
+func main() {
+	var (
+		which = flag.String("artifact", "", "artifact id to print (default: all)")
+		list  = flag.Bool("list", false, "list artifact ids and exit")
+	)
+	flag.Parse()
+
+	artifacts := buildArtifacts()
+	if *list {
+		for _, a := range artifacts {
+			fmt.Printf("%-12s %s\n", a.id, a.title)
+		}
+		return
+	}
+	if *which != "" {
+		for _, a := range artifacts {
+			if a.id == *which {
+				printArtifact(a)
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "unknown artifact %q (use -list)\n", *which)
+		os.Exit(1)
+	}
+	for _, a := range artifacts {
+		printArtifact(a)
+	}
+}
+
+func printArtifact(a artifact) {
+	fmt.Printf("================================================================\n")
+	fmt.Printf("%s — %s\n", a.id, a.title)
+	fmt.Printf("================================================================\n")
+	a.run()
+	fmt.Println()
+}
+
+func citationsGraph() *cypher.Graph {
+	store, _ := datasets.Citations()
+	return cypher.Wrap(store, cypher.Options{})
+}
+
+func teachersGraph() *cypher.Graph {
+	store, _ := datasets.Teachers()
+	return cypher.Wrap(store, cypher.Options{})
+}
+
+func show(g *cypher.Graph, query string) {
+	fmt.Println("cypher>", query)
+	res, err := g.Run(query, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(res)
+}
+
+func buildArtifacts() []artifact {
+	arts := []artifact{
+		{"figure1", "The example data graph of Figure 1", func() {
+			store, nodes := datasets.Citations()
+			fmt.Println(store.String())
+			var ids []string
+			for id := range nodes {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				n := nodes[id]
+				fmt.Printf("  %-4s labels=%v properties=%v\n", id, n.Labels(), n.PropertyKeys())
+			}
+			g := cypher.Wrap(store, cypher.Options{})
+			show(g, "MATCH (a)-[r]->(b) RETURN id(a) AS src, type(r) AS type, id(b) AS tgt ORDER BY src, type, tgt")
+		}},
+		{"figure2a", "Figure 2(a): variable bindings after OPTIONAL MATCH", func() {
+			show(citationsGraph(), `MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) RETURN r.name AS r, s.name AS s`)
+		}},
+		{"figure2b", "Figure 2(b): variable bindings after WITH r, count(s)", func() {
+			show(citationsGraph(), `MATCH (r:Researcher) OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) WITH r, count(s) AS studentsSupervised RETURN r.name AS r, studentsSupervised`)
+		}},
+		{"section3-line4", "Section 3: bindings after MATCH (r)-[:AUTHORS]->(p1)", func() {
+			show(citationsGraph(), `MATCH (r:Researcher)
+				OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+				WITH r, count(s) AS studentsSupervised
+				MATCH (r)-[:AUTHORS]->(p1:Publication)
+				RETURN r.name AS r, studentsSupervised, p1.acmid AS p1`)
+		}},
+		{"section3-line5", "Section 3: bindings after OPTIONAL MATCH (p1)<-[:CITES*]-(p2) — note the duplicate rows", func() {
+			show(citationsGraph(), `MATCH (r:Researcher)
+				OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+				WITH r, count(s) AS studentsSupervised
+				MATCH (r)-[:AUTHORS]->(p1:Publication)
+				OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication)
+				RETURN r.name AS r, studentsSupervised, p1.acmid AS p1, p2.acmid AS p2`)
+		}},
+		{"section3", "Section 3: the full worked example (final result table)", func() {
+			show(citationsGraph(), `MATCH (r:Researcher)
+				OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+				WITH r, count(s) AS studentsSupervised
+				MATCH (r)-[:AUTHORS]->(p1:Publication)
+				OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication)
+				RETURN r.name, studentsSupervised, count(DISTINCT p2) AS citedCount`)
+		}},
+		{"industry1", "Section 3: data-center dependency query", func() {
+			store := datasets.DataCenter(datasets.DataCenterConfig{Services: 100, MaxDeps: 3, Seed: 7})
+			g := cypher.Wrap(store, cypher.Options{})
+			show(g, `MATCH (svc:Service)<-[:DEPENDS_ON*]-(dep:Service)
+				RETURN svc.name AS svc, count(DISTINCT dep) AS dependents
+				ORDER BY dependents DESC LIMIT 1`)
+		}},
+		{"industry2", "Section 3: fraud-ring query", func() {
+			store := datasets.FraudNetwork(datasets.FraudConfig{AccountHolders: 200, SharingFraction: 0.1, Seed: 7})
+			g := cypher.Wrap(store, cypher.Options{})
+			show(g, `MATCH (accHolder:AccountHolder)-[:HAS]->(pInfo)
+				WHERE pInfo:SSN OR pInfo:PhoneNumber OR pInfo:Address
+				WITH pInfo, collect(accHolder.uniqueId) AS accountHolders, count(*) AS fraudRingCount
+				WHERE fraudRingCount > 1
+				RETURN accountHolders, labels(pInfo) AS personalInformation, fraudRingCount
+				ORDER BY fraudRingCount DESC LIMIT 5`)
+		}},
+		{"figure4", "Figure 4: the teachers/students graph", func() {
+			store, _ := datasets.Teachers()
+			g := cypher.Wrap(store, cypher.Options{})
+			fmt.Println(store.String())
+			show(g, "MATCH (a)-[r:KNOWS]->(b) RETURN a.name AS from, b.name AS to, r.since AS since ORDER BY from")
+		}},
+		{"example4.2", "Example 4.2: node pattern satisfaction", func() {
+			g := teachersGraph()
+			show(g, "MATCH (x:Teacher) RETURN x.name AS x ORDER BY x")
+			show(g, "MATCH (y) RETURN y.name AS y ORDER BY y")
+		}},
+		{"example4.3", "Example 4.3: rigid pattern (x:Teacher)-[:KNOWS*2]->(y)", func() {
+			show(teachersGraph(), "MATCH (x:Teacher)-[:KNOWS*2]->(y) RETURN x.name AS x, y.name AS y")
+		}},
+		{"example4.4", "Example 4.4: variable-length pattern with named middle node", func() {
+			show(teachersGraph(), "MATCH (x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher) RETURN x.name AS x, z.name AS z, y.name AS y")
+		}},
+		{"example4.5", "Example 4.5: bag semantics — two copies of the same assignment", func() {
+			show(teachersGraph(), "MATCH (x:Teacher)-[:KNOWS*1..2]->()-[:KNOWS*1..2]->(y:Teacher) RETURN x.name AS x, y.name AS y")
+		}},
+		{"example4.6", "Example 4.6: MATCH (x)-[:KNOWS*]->(y) over a driving table", func() {
+			show(teachersGraph(), "MATCH (x) WHERE x.name IN ['n1', 'n3'] MATCH (x)-[:KNOWS*]->(y) RETURN x.name AS x, y.name AS y")
+		}},
+		{"complexity", "Section 4.2: the self-loop graph — exactly two matches", func() {
+			store := datasets.SelfLoop()
+			g := cypher.Wrap(store, cypher.Options{})
+			show(g, "MATCH (x)-[*0..]->(x) RETURN count(*) AS matches")
+		}},
+	}
+	return arts
+}

@@ -1,0 +1,134 @@
+// Command cypher-shell is an interactive read-evaluate-print loop over an
+// in-memory property graph. Queries are entered directly; lines starting
+// with ':' are shell commands:
+//
+//	:load citations|teachers|social|fraud|datacenter   load a sample dataset
+//	:explain <query>                                    show the plan only
+//	:stats                                              graph statistics
+//	:morphism edge|homo|node                            switch matching semantics
+//	:help                                               this help
+//	:quit                                               exit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	cypher "repro"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+)
+
+type shell struct {
+	store    *graph.Graph
+	graph    *cypher.Graph
+	morphism cypher.Morphism
+}
+
+func main() {
+	sh := &shell{}
+	sh.setStore(graph.New())
+	fmt.Println("cypher-shell — an openCypher-style REPL (:help for commands)")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	fmt.Print("cypher> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, ":"):
+			if !sh.command(line) {
+				return
+			}
+		default:
+			sh.query(line)
+		}
+		fmt.Print("cypher> ")
+	}
+}
+
+func (sh *shell) setStore(store *graph.Graph) {
+	sh.store = store
+	sh.graph = cypher.Wrap(store, cypher.Options{Morphism: sh.morphism})
+}
+
+func (sh *shell) command(line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ":quit", ":exit", ":q":
+		return false
+	case ":help":
+		fmt.Println(":load citations|teachers|social|fraud|datacenter — load a sample dataset")
+		fmt.Println(":explain <query> — show the query plan")
+		fmt.Println(":stats — graph statistics")
+		fmt.Println(":morphism edge|homo|node — pattern matching semantics")
+		fmt.Println(":quit — exit")
+	case ":stats":
+		s := sh.graph.Stats()
+		fmt.Printf("nodes: %d, relationships: %d\nlabels: %v\ntypes: %v\n", s.Nodes, s.Relationships, s.Labels, s.Types)
+	case ":load":
+		if len(fields) < 2 {
+			fmt.Println("usage: :load citations|teachers|social|fraud|datacenter")
+			return true
+		}
+		switch fields[1] {
+		case "citations":
+			store, _ := datasets.Citations()
+			sh.setStore(store)
+		case "teachers":
+			store, _ := datasets.Teachers()
+			sh.setStore(store)
+		case "social":
+			sh.setStore(datasets.SocialNetwork(datasets.SocialConfig{People: 1000, FriendsEach: 5, Seed: 1}))
+		case "fraud":
+			sh.setStore(datasets.FraudNetwork(datasets.FraudConfig{AccountHolders: 500, SharingFraction: 0.1, Seed: 1}))
+		case "datacenter":
+			sh.setStore(datasets.DataCenter(datasets.DataCenterConfig{Services: 300, MaxDeps: 3, Seed: 1}))
+		default:
+			fmt.Println("unknown dataset:", fields[1])
+			return true
+		}
+		fmt.Println("loaded", fields[1], "—", sh.store.String())
+	case ":morphism":
+		if len(fields) < 2 {
+			fmt.Println("usage: :morphism edge|homo|node")
+			return true
+		}
+		switch fields[1] {
+		case "edge":
+			sh.morphism = cypher.EdgeIsomorphism
+		case "homo":
+			sh.morphism = cypher.Homomorphism
+		case "node":
+			sh.morphism = cypher.NodeIsomorphism
+		default:
+			fmt.Println("unknown morphism:", fields[1])
+			return true
+		}
+		sh.setStore(sh.store)
+		fmt.Println("matching semantics set to", fields[1])
+	case ":explain":
+		q := strings.TrimSpace(strings.TrimPrefix(line, ":explain"))
+		plan, err := sh.graph.Explain(q)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Print(plan)
+	default:
+		fmt.Println("unknown command; :help lists commands")
+	}
+	return true
+}
+
+func (sh *shell) query(q string) {
+	res, err := sh.graph.Run(q, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(res)
+	fmt.Printf("%d row(s)\n", res.Len())
+}

@@ -1,0 +1,145 @@
+// Package cypher is an embeddable, from-scratch Go implementation of the
+// Cypher property graph query language as formalised in "Cypher: An Evolving
+// Query Language for Property Graphs" (SIGMOD 2018).
+//
+// The package bundles an in-memory property graph store with native
+// adjacency, a parser for the core Cypher 9 language (patterns, MATCH,
+// OPTIONAL MATCH, WHERE, WITH, RETURN, UNWIND, UNION, ORDER BY / SKIP /
+// LIMIT, and the updating clauses CREATE, MERGE, SET, REMOVE, DELETE), a
+// cost-informed planner and a push-based execution engine implementing the
+// paper's pattern-matching semantics (bag semantics and relationship
+// isomorphism).
+//
+// Quick start:
+//
+//	g := cypher.New()
+//	g.MustRun(`CREATE (:Person {name: 'Ada'})-[:KNOWS]->(:Person {name: 'Grace'})`, nil)
+//	res, err := g.Run(`MATCH (a:Person)-[:KNOWS]->(b) RETURN a.name, b.name`, nil)
+package cypher
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// Morphism selects the pattern-matching semantics used by a Graph.
+type Morphism = core.Morphism
+
+// Pattern-matching modes. EdgeIsomorphism is Cypher's semantics as defined in
+// the paper; the other two implement the "configurable morphisms" extension
+// discussed in its future-work section.
+const (
+	EdgeIsomorphism = core.EdgeIsomorphism
+	Homomorphism    = core.Homomorphism
+	NodeIsomorphism = core.NodeIsomorphism
+)
+
+// Node is a read view of a property graph node returned in query results.
+type Node = value.Node
+
+// Relationship is a read view of a property graph relationship returned in
+// query results.
+type Relationship = value.Relationship
+
+// Path is a read view of a path value returned in query results.
+type Path = value.Path
+
+// Value is a Cypher value as returned in query results.
+type Value = value.Value
+
+// Options configures a Graph.
+type Options struct {
+	// Name is the graph's name (useful with multiple graphs); defaults to
+	// "graph".
+	Name string
+	// Morphism selects the pattern-matching semantics; the default is
+	// EdgeIsomorphism (standard Cypher).
+	Morphism Morphism
+	// MaxVarLengthDepth caps unbounded variable-length patterns when matching
+	// under Homomorphism (which has no uniqueness restriction). Default 15.
+	MaxVarLengthDepth int
+}
+
+// Graph is an in-memory property graph together with a Cypher engine bound to
+// it. It is safe for concurrent use.
+type Graph struct {
+	store  *graph.Graph
+	engine *core.Engine
+}
+
+// New creates an empty graph with default options.
+func New() *Graph { return NewWithOptions(Options{}) }
+
+// NewWithOptions creates an empty graph with the given options.
+func NewWithOptions(opts Options) *Graph {
+	name := opts.Name
+	if name == "" {
+		name = "graph"
+	}
+	store := graph.NewNamed(name)
+	return Wrap(store, opts)
+}
+
+// Wrap builds a Graph façade over an existing internal store. It is used by
+// the example binaries and benchmarks that construct datasets directly.
+func Wrap(store *graph.Graph, opts Options) *Graph {
+	engine := core.NewEngine(store, core.Options{
+		Morphism:          opts.Morphism,
+		MaxVarLengthDepth: opts.MaxVarLengthDepth,
+	})
+	return &Graph{store: store, engine: engine}
+}
+
+// Run executes a Cypher query with optional parameters (native Go values:
+// nil, bool, numbers, strings, []any, map[string]any).
+func (g *Graph) Run(query string, params map[string]any) (*Result, error) {
+	res, err := g.engine.RunWithGoParams(query, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{inner: res}, nil
+}
+
+// MustRun executes a query and panics on error; intended for tests, examples
+// and data loading scripts.
+func (g *Graph) MustRun(query string, params map[string]any) *Result {
+	res, err := g.Run(query, params)
+	if err != nil {
+		panic(fmt.Sprintf("cypher: query failed: %v\nquery: %s", err, query))
+	}
+	return res
+}
+
+// Explain compiles the query and returns a textual description of its
+// execution plan without running it.
+func (g *Graph) Explain(query string) (string, error) {
+	return g.engine.Explain(query)
+}
+
+// CreateIndex declares a property index on (label, property); the planner
+// uses it for NodeIndexSeek scans.
+func (g *Graph) CreateIndex(label, property string) {
+	g.store.CreateIndex(label, property)
+}
+
+// Stats summarises the graph's size.
+type Stats struct {
+	Nodes         int
+	Relationships int
+	Labels        map[string]int
+	Types         map[string]int
+}
+
+// Stats returns the graph's current statistics.
+func (g *Graph) Stats() Stats {
+	s := g.store.Stats()
+	return Stats{
+		Nodes:         s.NodeCount,
+		Relationships: s.RelationshipCount,
+		Labels:        s.NodesByLabel,
+		Types:         s.RelationshipsByType,
+	}
+}

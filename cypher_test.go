@@ -1,0 +1,101 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	g := New()
+	g.MustRun("CREATE (:Person {name: 'Ada'})-[:KNOWS {since: 1842}]->(:Person {name: 'Grace'})", nil)
+	res, err := g.Run("MATCH (a:Person)-[k:KNOWS]->(b:Person) RETURN a.name AS from, b.name AS to, k.since AS since", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Columns(); len(got) != 3 || got[0] != "from" {
+		t.Fatalf("columns = %v", got)
+	}
+	recs := res.Records()
+	if len(recs) != 1 || recs[0]["from"] != "Ada" || recs[0]["to"] != "Grace" || recs[0]["since"] != int64(1842) {
+		t.Fatalf("records = %v", recs)
+	}
+	if !res.ReadOnly() {
+		t.Errorf("MATCH should be read-only")
+	}
+	if res.Plan() == "" {
+		t.Errorf("plan should be recorded")
+	}
+	if !strings.Contains(res.String(), "from") {
+		t.Errorf("String rendering should include the header")
+	}
+	s := g.Stats()
+	if s.Nodes != 2 || s.Relationships != 1 || s.Labels["Person"] != 2 || s.Types["KNOWS"] != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPublicAPIParametersAndEntities(t *testing.T) {
+	g := New()
+	g.MustRun("UNWIND $people AS p CREATE (:Person {name: p.name, age: p.age})", map[string]any{
+		"people": []any{
+			map[string]any{"name": "Ann", "age": 31},
+			map[string]any{"name": "Bo", "age": 25},
+		},
+	})
+	res, err := g.Run("MATCH (p:Person) WHERE p.age > $min RETURN p ORDER BY p.name", map[string]any{"min": 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	node, ok := rows[0][0].(Node)
+	if !ok {
+		t.Fatalf("expected a Node, got %T", rows[0][0])
+	}
+	if node.Property("name").String() != "'Ann'" || !node.HasLabel("Person") {
+		t.Errorf("node view wrong: %v", node)
+	}
+	vals := res.Values()
+	if len(vals) != 1 || vals[0][0].Kind().String() != "NODE" {
+		t.Errorf("Values() wrong: %v", vals)
+	}
+}
+
+func TestPublicAPIErrorsAndExplain(t *testing.T) {
+	g := New()
+	if _, err := g.Run("MATCH (n) RETURN missing", nil); err == nil {
+		t.Errorf("unknown variable should surface as an error")
+	}
+	if _, err := g.Run("THIS IS NOT CYPHER", nil); err == nil {
+		t.Errorf("syntax errors should surface")
+	}
+	g.CreateIndex("Person", "name")
+	g.MustRun("CREATE (:Person {name: 'X'})", nil)
+	plan, err := g.Explain("MATCH (p:Person {name: 'X'}) RETURN p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "NodeIndexSeek") {
+		t.Errorf("plan should use the declared index:\n%s", plan)
+	}
+}
+
+func TestPublicAPIMorphismOption(t *testing.T) {
+	g := NewWithOptions(Options{Name: "social", Morphism: Homomorphism, MaxVarLengthDepth: 4})
+	g.MustRun("CREATE (a:P)-[:R]->(a)", nil)
+	res := g.MustRun("MATCH (x)-[*1..]->(x) RETURN count(*) AS c", nil)
+	if res.Records()[0]["c"] != int64(4) {
+		t.Errorf("homomorphism with depth cap 4 should yield 4 matches, got %v", res.Records()[0]["c"])
+	}
+}
+
+func TestMustRunPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustRun should panic on error")
+		}
+	}()
+	New().MustRun("NOT A QUERY", nil)
+}

@@ -1,0 +1,59 @@
+// Command citations reproduces the worked example of Section 3 of the paper
+// on the Figure 1 data graph: for each researcher, the number of students
+// they supervise and the number of distinct publications that (transitively)
+// cite one of their publications.
+package main
+
+import (
+	"fmt"
+
+	cypher "repro"
+	"repro/internal/datasets"
+)
+
+func main() {
+	store, _ := datasets.Citations()
+	g := cypher.Wrap(store, cypher.Options{})
+
+	fmt.Println("Figure 1 data graph:", store.String())
+
+	queries := []struct {
+		title string
+		query string
+	}{
+		{
+			"Figure 2(a): researchers and the students they supervise (OPTIONAL MATCH)",
+			`MATCH (r:Researcher)
+			 OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+			 RETURN r.name AS researcher, s.name AS student`,
+		},
+		{
+			"Figure 2(b): supervision counts (WITH ... count(s))",
+			`MATCH (r:Researcher)
+			 OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+			 WITH r, count(s) AS studentsSupervised
+			 RETURN r.name AS researcher, studentsSupervised`,
+		},
+		{
+			"Section 3, full query: supervision and citation counts",
+			`MATCH (r:Researcher)
+			 OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+			 WITH r, count(s) AS studentsSupervised
+			 MATCH (r)-[:AUTHORS]->(p1:Publication)
+			 OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication)
+			 RETURN r.name, studentsSupervised, count(DISTINCT p2) AS citedCount`,
+		},
+		{
+			"Most cited publication (variable-length CITES*)",
+			`MATCH (p:Publication)<-[:CITES*]-(citing:Publication)
+			 RETURN p.acmid AS acmid, count(DISTINCT citing) AS citations
+			 ORDER BY citations DESC, acmid
+			 LIMIT 3`,
+		},
+	}
+	for _, q := range queries {
+		fmt.Println()
+		fmt.Println("==", q.title)
+		fmt.Print(g.MustRun(q.query, nil))
+	}
+}

@@ -1,0 +1,47 @@
+// Command frauddetection runs the Section 3 fraud-detection industry query:
+// finding rings of distinct account holders that share personal information
+// (social security numbers, phone numbers, addresses).
+package main
+
+import (
+	"fmt"
+
+	cypher "repro"
+	"repro/internal/datasets"
+)
+
+func main() {
+	store := datasets.FraudNetwork(datasets.FraudConfig{
+		AccountHolders:  500,
+		SharingFraction: 0.08,
+		Seed:            2024,
+	})
+	g := cypher.Wrap(store, cypher.Options{})
+	fmt.Println("Synthetic account graph:", store.String())
+
+	// The query from the paper, extended with an ordering for readability.
+	res := g.MustRun(`
+		MATCH (accHolder:AccountHolder)-[:HAS]->(pInfo)
+		WHERE pInfo:SSN OR pInfo:PhoneNumber OR pInfo:Address
+		WITH pInfo,
+		     collect(accHolder.uniqueId) AS accountHolders,
+		     count(*) AS fraudRingCount
+		WHERE fraudRingCount > 1
+		RETURN accountHolders,
+		       labels(pInfo) AS personalInformation,
+		       fraudRingCount
+		ORDER BY fraudRingCount DESC
+		LIMIT 10`, nil)
+
+	fmt.Println("\nLargest potential fraud rings (shared personal information):")
+	fmt.Print(res)
+
+	// Follow-up analysis: pairs of account holders linked through any shared
+	// identifier, a typical second investigative step.
+	res = g.MustRun(`
+		MATCH (a:AccountHolder)-[:HAS]->(info)<-[:HAS]-(b:AccountHolder)
+		WHERE a.uniqueId < b.uniqueId
+		RETURN count(*) AS linkedPairs`, nil)
+	fmt.Println("\nAccount-holder pairs sharing at least one identifier:")
+	fmt.Print(res)
+}

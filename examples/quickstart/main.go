@@ -1,0 +1,53 @@
+// Command quickstart shows the minimal end-to-end use of the cypher package:
+// create a graph, load a little data with CREATE, and query it with MATCH.
+package main
+
+import (
+	"fmt"
+
+	cypher "repro"
+)
+
+func main() {
+	g := cypher.New()
+
+	// Load data: a tiny collaboration graph.
+	g.MustRun(`
+		CREATE (ada:Person {name: 'Ada', born: 1815}),
+		       (grace:Person {name: 'Grace', born: 1906}),
+		       (barbara:Person {name: 'Barbara', born: 1936}),
+		       (ada)-[:INSPIRED {field: 'computing'}]->(grace),
+		       (grace)-[:INSPIRED {field: 'compilers'}]->(barbara)`, nil)
+
+	// A simple pattern-matching query.
+	res := g.MustRun(`
+		MATCH (a:Person)-[i:INSPIRED]->(b:Person)
+		RETURN a.name AS inspirer, b.name AS inspired, i.field AS field
+		ORDER BY inspirer`, nil)
+	fmt.Println("Who inspired whom:")
+	fmt.Print(res)
+
+	// A variable-length pattern: everyone transitively inspired by Ada.
+	res = g.MustRun(`
+		MATCH (:Person {name: 'Ada'})-[:INSPIRED*]->(p:Person)
+		RETURN p.name AS name, p.born AS born
+		ORDER BY born`, nil)
+	fmt.Println("\nTransitively inspired by Ada:")
+	fmt.Print(res)
+
+	// Parameters and aggregation.
+	res = g.MustRun(`
+		MATCH (p:Person)
+		WHERE p.born >= $minYear
+		RETURN count(*) AS modernPeople`, map[string]any{"minYear": 1900})
+	fmt.Println("\nPeople born in or after 1900:")
+	fmt.Print(res)
+
+	// EXPLAIN shows the compiled plan.
+	plan, err := g.Explain(`MATCH (a:Person {name: 'Ada'})-[:INSPIRED]->(b) RETURN b.name`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nPlan for the lookup query:")
+	fmt.Print(plan)
+}

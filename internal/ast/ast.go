@@ -1,0 +1,294 @@
+// Package ast defines the abstract syntax trees produced by the parser for
+// the core Cypher language of the paper: expressions and patterns (Figures 3
+// and 5), reading and projecting clauses, and the update clauses of Section 2.
+package ast
+
+import (
+	"strings"
+
+	"repro/internal/value"
+)
+
+// --- Expressions ---
+
+// Expr is a Cypher expression node.
+type Expr interface {
+	exprNode()
+	// String renders the expression in (approximately) Cypher syntax; used by
+	// EXPLAIN output, implicit column names and error messages.
+	String() string
+}
+
+// Literal is a constant value: an integer, float, string, boolean or null.
+type Literal struct {
+	Value value.Value
+}
+
+// Variable references a name bound earlier in the query.
+type Variable struct {
+	Name string
+}
+
+// Parameter references a query parameter ($name).
+type Parameter struct {
+	Name string
+}
+
+// PropertyAccess is expr.key.
+type PropertyAccess struct {
+	Subject Expr
+	Key     string
+}
+
+// ListLiteral is [e1, e2, ...].
+type ListLiteral struct {
+	Elems []Expr
+}
+
+// MapLiteral is {k1: e1, k2: e2, ...}. Keys preserves the source order.
+type MapLiteral struct {
+	Keys   []string
+	Values []Expr
+}
+
+// Index is subject[index].
+type Index struct {
+	Subject Expr
+	Idx     Expr
+}
+
+// Slice is subject[from..to]; From and To may each be nil.
+type Slice struct {
+	Subject Expr
+	From    Expr
+	To      Expr
+}
+
+// BinaryOperator enumerates binary operators.
+type BinaryOperator int
+
+// Binary operators.
+const (
+	OpAdd BinaryOperator = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpPow
+	OpEq
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpXor
+	OpIn
+	OpStartsWith
+	OpEndsWith
+	OpContains
+	OpRegexMatch
+)
+
+var binaryOpNames = map[BinaryOperator]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%", OpPow: "^",
+	OpEq: "=", OpNeq: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR", OpXor: "XOR", OpIn: "IN",
+	OpStartsWith: "STARTS WITH", OpEndsWith: "ENDS WITH",
+	OpContains: "CONTAINS", OpRegexMatch: "=~",
+}
+
+// String returns the Cypher spelling of the operator.
+func (op BinaryOperator) String() string { return binaryOpNames[op] }
+
+// BinaryOp applies a binary operator to two operands.
+type BinaryOp struct {
+	Op  BinaryOperator
+	LHS Expr
+	RHS Expr
+}
+
+// UnaryOperator enumerates unary operators.
+type UnaryOperator int
+
+// Unary operators.
+const (
+	OpNot UnaryOperator = iota
+	OpNeg
+	OpPos
+)
+
+// UnaryOp applies a unary operator to an operand.
+type UnaryOp struct {
+	Op      UnaryOperator
+	Operand Expr
+}
+
+// IsNull is `expr IS NULL` or `expr IS NOT NULL`.
+type IsNull struct {
+	Operand Expr
+	Negated bool
+}
+
+// HasLabels is the label predicate `expr:Label1:Label2` usable in WHERE
+// (e.g. `pInfo:SSN` in the paper's fraud-detection query).
+type HasLabels struct {
+	Subject Expr
+	Labels  []string
+}
+
+// FunctionCall invokes a built-in function, possibly an aggregating one
+// (count, collect, sum, ...). Distinct is the DISTINCT modifier inside the
+// call, e.g. count(DISTINCT p2).
+type FunctionCall struct {
+	Name     string
+	Distinct bool
+	Args     []Expr
+}
+
+// CountStar is the expression count(*).
+type CountStar struct{}
+
+// CaseAlternative is one WHEN ... THEN ... arm of a CASE expression.
+type CaseAlternative struct {
+	When Expr
+	Then Expr
+}
+
+// Case is a CASE expression, either simple (Test != nil) or searched.
+type Case struct {
+	Test         Expr
+	Alternatives []CaseAlternative
+	Else         Expr
+}
+
+// ListComprehension is [variable IN list WHERE predicate | projection].
+// Where and Projection may be nil.
+type ListComprehension struct {
+	Variable   string
+	List       Expr
+	Where      Expr
+	Projection Expr
+}
+
+// PatternPredicate is a pattern used as a boolean expression in WHERE, for
+// example `WHERE (a)-[:KNOWS]->(b)`, and the explicit form `EXISTS(pattern)`.
+type PatternPredicate struct {
+	Pattern PatternPart
+}
+
+// exprNode tags.
+func (*Literal) exprNode()           {}
+func (*Variable) exprNode()          {}
+func (*Parameter) exprNode()         {}
+func (*PropertyAccess) exprNode()    {}
+func (*ListLiteral) exprNode()       {}
+func (*MapLiteral) exprNode()        {}
+func (*Index) exprNode()             {}
+func (*Slice) exprNode()             {}
+func (*BinaryOp) exprNode()          {}
+func (*UnaryOp) exprNode()           {}
+func (*IsNull) exprNode()            {}
+func (*HasLabels) exprNode()         {}
+func (*FunctionCall) exprNode()      {}
+func (*CountStar) exprNode()         {}
+func (*Case) exprNode()              {}
+func (*ListComprehension) exprNode() {}
+func (*PatternPredicate) exprNode()  {}
+
+// String renderings (used for implicit column names, EXPLAIN and errors).
+
+func (e *Literal) String() string   { return e.Value.String() }
+func (e *Variable) String() string  { return e.Name }
+func (e *Parameter) String() string { return "$" + e.Name }
+func (e *PropertyAccess) String() string {
+	return e.Subject.String() + "." + e.Key
+}
+func (e *ListLiteral) String() string {
+	parts := make([]string, len(e.Elems))
+	for i, x := range e.Elems {
+		parts[i] = x.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+func (e *MapLiteral) String() string {
+	parts := make([]string, len(e.Keys))
+	for i, k := range e.Keys {
+		parts[i] = k + ": " + e.Values[i].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+func (e *Index) String() string { return e.Subject.String() + "[" + e.Idx.String() + "]" }
+func (e *Slice) String() string {
+	from, to := "", ""
+	if e.From != nil {
+		from = e.From.String()
+	}
+	if e.To != nil {
+		to = e.To.String()
+	}
+	return e.Subject.String() + "[" + from + ".." + to + "]"
+}
+func (e *BinaryOp) String() string {
+	return e.LHS.String() + " " + e.Op.String() + " " + e.RHS.String()
+}
+func (e *UnaryOp) String() string {
+	switch e.Op {
+	case OpNot:
+		return "NOT " + e.Operand.String()
+	case OpNeg:
+		return "-" + e.Operand.String()
+	default:
+		return "+" + e.Operand.String()
+	}
+}
+func (e *IsNull) String() string {
+	if e.Negated {
+		return e.Operand.String() + " IS NOT NULL"
+	}
+	return e.Operand.String() + " IS NULL"
+}
+func (e *HasLabels) String() string {
+	return e.Subject.String() + ":" + strings.Join(e.Labels, ":")
+}
+func (e *FunctionCall) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return e.Name + "(" + d + strings.Join(parts, ", ") + ")"
+}
+func (e *CountStar) String() string { return "count(*)" }
+func (e *Case) String() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	if e.Test != nil {
+		sb.WriteString(" " + e.Test.String())
+	}
+	for _, alt := range e.Alternatives {
+		sb.WriteString(" WHEN " + alt.When.String() + " THEN " + alt.Then.String())
+	}
+	if e.Else != nil {
+		sb.WriteString(" ELSE " + e.Else.String())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+func (e *ListComprehension) String() string {
+	var sb strings.Builder
+	sb.WriteString("[" + e.Variable + " IN " + e.List.String())
+	if e.Where != nil {
+		sb.WriteString(" WHERE " + e.Where.String())
+	}
+	if e.Projection != nil {
+		sb.WriteString(" | " + e.Projection.String())
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+func (e *PatternPredicate) String() string { return e.Pattern.String() }

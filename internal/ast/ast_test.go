@@ -1,0 +1,193 @@
+package ast
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestExpressionStringForms(t *testing.T) {
+	e := &BinaryOp{
+		Op:  OpAdd,
+		LHS: &Literal{Value: value.NewInt(1)},
+		RHS: &BinaryOp{Op: OpMul, LHS: &Variable{Name: "x"}, RHS: &Parameter{Name: "p"}},
+	}
+	if e.String() != "1 + x * $p" {
+		t.Errorf("String = %q", e.String())
+	}
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&PropertyAccess{Subject: &Variable{Name: "n"}, Key: "name"}, "n.name"},
+		{&ListLiteral{Elems: []Expr{&Literal{Value: value.NewInt(1)}, &Literal{Value: value.NewInt(2)}}}, "[1, 2]"},
+		{&MapLiteral{Keys: []string{"a"}, Values: []Expr{&Literal{Value: value.NewInt(1)}}}, "{a: 1}"},
+		{&Index{Subject: &Variable{Name: "l"}, Idx: &Literal{Value: value.NewInt(0)}}, "l[0]"},
+		{&Slice{Subject: &Variable{Name: "l"}, From: &Literal{Value: value.NewInt(1)}}, "l[1..]"},
+		{&Slice{Subject: &Variable{Name: "l"}, To: &Literal{Value: value.NewInt(2)}}, "l[..2]"},
+		{&UnaryOp{Op: OpNot, Operand: &Variable{Name: "b"}}, "NOT b"},
+		{&UnaryOp{Op: OpNeg, Operand: &Variable{Name: "b"}}, "-b"},
+		{&UnaryOp{Op: OpPos, Operand: &Variable{Name: "b"}}, "+b"},
+		{&IsNull{Operand: &Variable{Name: "x"}}, "x IS NULL"},
+		{&IsNull{Operand: &Variable{Name: "x"}, Negated: true}, "x IS NOT NULL"},
+		{&HasLabels{Subject: &Variable{Name: "n"}, Labels: []string{"A", "B"}}, "n:A:B"},
+		{&FunctionCall{Name: "count", Distinct: true, Args: []Expr{&Variable{Name: "x"}}}, "count(DISTINCT x)"},
+		{&CountStar{}, "count(*)"},
+		{&Case{Alternatives: []CaseAlternative{{When: &Variable{Name: "a"}, Then: &Literal{Value: value.NewInt(1)}}}, Else: &Literal{Value: value.NewInt(2)}}, "CASE WHEN a THEN 1 ELSE 2 END"},
+		{&Case{Test: &Variable{Name: "x"}, Alternatives: []CaseAlternative{{When: &Literal{Value: value.NewInt(1)}, Then: &Literal{Value: value.NewInt(2)}}}}, "CASE x WHEN 1 THEN 2 END"},
+		{&ListComprehension{Variable: "x", List: &Variable{Name: "l"}, Where: &Variable{Name: "p"}, Projection: &Variable{Name: "x"}}, "[x IN l WHERE p | x]"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+	for op, want := range map[BinaryOperator]string{OpStartsWith: "STARTS WITH", OpXor: "XOR", OpRegexMatch: "=~", OpNeq: "<>"} {
+		if op.String() != want {
+			t.Errorf("operator %d renders as %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestPatternStringForms(t *testing.T) {
+	node := NodePattern{Variable: "x", Labels: []string{"Person", "Male"}, Properties: &MapLiteral{Keys: []string{"age"}, Values: []Expr{&Literal{Value: value.NewInt(44)}}}}
+	if node.String() != "(x:Person:Male {age: 44})" {
+		t.Errorf("node pattern String = %q", node.String())
+	}
+	anon := NodePattern{}
+	if anon.String() != "()" {
+		t.Errorf("anonymous node String = %q", anon.String())
+	}
+	cases := []struct {
+		rel  RelationshipPattern
+		want string
+	}{
+		{RelationshipPattern{Direction: DirOutgoing, Variable: "r", Types: []string{"KNOWS"}, MinHops: -1, MaxHops: -1}, "-[r:KNOWS]->"},
+		{RelationshipPattern{Direction: DirIncoming, Types: []string{"A", "B"}, MinHops: -1, MaxHops: -1}, "<-[:A|B]-"},
+		{RelationshipPattern{Direction: DirBoth, MinHops: -1, MaxHops: -1}, "--"},
+		{RelationshipPattern{Direction: DirOutgoing, Types: []string{"T"}, VarLength: true, MinHops: -1, MaxHops: -1}, "-[:T*]->"},
+		{RelationshipPattern{Direction: DirOutgoing, Types: []string{"T"}, VarLength: true, MinHops: 2, MaxHops: 2}, "-[:T*2]->"},
+		{RelationshipPattern{Direction: DirOutgoing, Types: []string{"T"}, VarLength: true, MinHops: 1, MaxHops: 3}, "-[:T*1..3]->"},
+		{RelationshipPattern{Direction: DirOutgoing, Types: []string{"T"}, VarLength: true, MinHops: -1, MaxHops: 3}, "-[:T*..3]->"},
+		{RelationshipPattern{Direction: DirOutgoing, Types: []string{"T"}, VarLength: true, MinHops: 2, MaxHops: -1}, "-[:T*2..]->"},
+	}
+	for _, c := range cases {
+		if got := c.rel.String(); got != c.want {
+			t.Errorf("relationship String = %q, want %q", got, c.want)
+		}
+	}
+	part := PatternPart{
+		Variable: "p",
+		Nodes:    []NodePattern{{Variable: "a"}, {Variable: "b"}},
+		Rels:     []RelationshipPattern{{Direction: DirOutgoing, Types: []string{"KNOWS"}, MinHops: -1, MaxHops: -1}},
+	}
+	if part.String() != "p = (a)-[:KNOWS]->(b)" {
+		t.Errorf("pattern part String = %q", part.String())
+	}
+	pat := Pattern{Parts: []PatternPart{part, {Nodes: []NodePattern{{Variable: "c"}}}}}
+	if pat.String() != "p = (a)-[:KNOWS]->(b), (c)" {
+		t.Errorf("pattern String = %q", pat.String())
+	}
+}
+
+func TestPatternVariables(t *testing.T) {
+	part := PatternPart{
+		Variable: "p",
+		Nodes:    []NodePattern{{Variable: "a"}, {}, {Variable: "a"}},
+		Rels: []RelationshipPattern{
+			{Variable: "r1", MinHops: -1, MaxHops: -1},
+			{MinHops: -1, MaxHops: -1},
+		},
+	}
+	vars := part.Variables()
+	want := []string{"p", "a", "r1"}
+	if len(vars) != len(want) {
+		t.Fatalf("Variables = %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Errorf("Variables = %v, want %v", vars, want)
+		}
+	}
+	pat := Pattern{Parts: []PatternPart{part, {Nodes: []NodePattern{{Variable: "b"}, {Variable: "a"}}, Rels: []RelationshipPattern{{Variable: "r2", MinHops: -1, MaxHops: -1}}}}}
+	all := pat.Variables()
+	if len(all) != 5 { // p, a, r1, b, r2
+		t.Errorf("Pattern.Variables = %v", all)
+	}
+}
+
+func TestClauseStringFormsAndReadOnly(t *testing.T) {
+	match := &Match{
+		Optional: true,
+		Pattern:  Pattern{Parts: []PatternPart{{Nodes: []NodePattern{{Variable: "a"}}}}},
+		Where:    &HasLabels{Subject: &Variable{Name: "a"}, Labels: []string{"X"}},
+	}
+	if match.String() != "OPTIONAL MATCH (a) WHERE a:X" {
+		t.Errorf("match String = %q", match.String())
+	}
+	ret := &Return{Projection: Projection{
+		Distinct: true,
+		Items:    []ReturnItem{{Expr: &Variable{Name: "a"}, Alias: "x"}},
+		OrderBy:  []SortItem{{Expr: &Variable{Name: "x"}, Descending: true}},
+		Skip:     &Literal{Value: value.NewInt(1)},
+		Limit:    &Literal{Value: value.NewInt(2)},
+	}}
+	if ret.String() != "RETURN DISTINCT a AS x ORDER BY x DESC SKIP 1 LIMIT 2" {
+		t.Errorf("return String = %q", ret.String())
+	}
+	with := &With{Projection: Projection{Star: true}, Where: &Variable{Name: "ok"}}
+	if with.String() != "WITH * WHERE ok" {
+		t.Errorf("with String = %q", with.String())
+	}
+	unwind := &Unwind{Expr: &Variable{Name: "xs"}, Alias: "x"}
+	if unwind.String() != "UNWIND xs AS x" {
+		t.Errorf("unwind String = %q", unwind.String())
+	}
+	del := &Delete{Detach: true, Exprs: []Expr{&Variable{Name: "n"}}}
+	if del.String() != "DETACH DELETE n" {
+		t.Errorf("delete String = %q", del.String())
+	}
+	set := &Set{Items: []SetItem{
+		{Kind: SetProperty, Property: &PropertyAccess{Subject: &Variable{Name: "n"}, Key: "a"}, Value: &Literal{Value: value.NewInt(1)}},
+		{Kind: SetLabels, Variable: "n", Labels: []string{"L"}},
+		{Kind: SetMergeProperties, Variable: "n", Value: &MapLiteral{}},
+		{Kind: SetAllProperties, Variable: "n", Value: &MapLiteral{}},
+	}}
+	if set.String() != "SET n.a = 1, n:L, n += {}, n = {}" {
+		t.Errorf("set String = %q", set.String())
+	}
+	rem := &Remove{Items: []RemoveItem{
+		{Kind: RemoveProperty, Property: &PropertyAccess{Subject: &Variable{Name: "n"}, Key: "a"}},
+		{Kind: RemoveLabels, Variable: "n", Labels: []string{"L"}},
+	}}
+	if rem.String() != "REMOVE n.a, n:L" {
+		t.Errorf("remove String = %q", rem.String())
+	}
+
+	readQuery := &Query{Parts: []*SingleQuery{{Clauses: []Clause{match, ret}}}}
+	if !readQuery.IsReadOnly() {
+		t.Errorf("read query should be read-only")
+	}
+	writeQuery := &Query{Parts: []*SingleQuery{{Clauses: []Clause{match, set}}}}
+	if writeQuery.IsReadOnly() {
+		t.Errorf("write query should not be read-only")
+	}
+	union := &Query{
+		Parts:  []*SingleQuery{{Clauses: []Clause{ret}}, {Clauses: []Clause{ret}}},
+		Unions: []UnionKind{UnionAll},
+	}
+	if union.String() != "RETURN DISTINCT a AS x ORDER BY x DESC SKIP 1 LIMIT 2 UNION ALL RETURN DISTINCT a AS x ORDER BY x DESC SKIP 1 LIMIT 2" {
+		t.Errorf("union String = %q", union.String())
+	}
+}
+
+func TestReturnItemName(t *testing.T) {
+	aliased := ReturnItem{Expr: &Variable{Name: "x"}, Alias: "y"}
+	if aliased.Name() != "y" {
+		t.Errorf("aliased name = %q", aliased.Name())
+	}
+	implicit := ReturnItem{Expr: &PropertyAccess{Subject: &Variable{Name: "r"}, Key: "name"}}
+	if implicit.Name() != "r.name" {
+		t.Errorf("implicit name = %q", implicit.Name())
+	}
+}

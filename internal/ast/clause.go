@@ -1,0 +1,336 @@
+package ast
+
+import "strings"
+
+// --- Clauses and queries ---
+
+// Clause is a Cypher clause. Per Section 4 of the paper, every clause denotes
+// a function from driving tables to tables.
+type Clause interface {
+	clauseNode()
+	// String renders the clause approximately in Cypher syntax.
+	String() string
+}
+
+// ReturnItem is one projection expression with an optional alias.
+type ReturnItem struct {
+	Expr  Expr
+	Alias string // "" when no AS alias was given
+}
+
+// Name returns the output column name: the alias if present, otherwise the
+// textual form of the expression (the paper's injective function alpha from
+// expressions to names).
+func (ri ReturnItem) Name() string {
+	if ri.Alias != "" {
+		return ri.Alias
+	}
+	return ri.Expr.String()
+}
+
+// SortItem is one ORDER BY key.
+type SortItem struct {
+	Expr       Expr
+	Descending bool
+}
+
+// Match is [OPTIONAL] MATCH pattern_tuple [WHERE expr].
+type Match struct {
+	Optional bool
+	Pattern  Pattern
+	Where    Expr // nil when absent
+}
+
+// Unwind is UNWIND expr AS a.
+type Unwind struct {
+	Expr  Expr
+	Alias string
+}
+
+// Projection captures the shared shape of WITH and RETURN: a possibly
+// DISTINCT projection list (or *), ORDER BY, SKIP and LIMIT.
+type Projection struct {
+	Distinct bool
+	Star     bool
+	Items    []ReturnItem
+	OrderBy  []SortItem
+	Skip     Expr // nil when absent
+	Limit    Expr // nil when absent
+}
+
+// With is WITH ret [WHERE expr].
+type With struct {
+	Projection
+	Where Expr // nil when absent
+}
+
+// Return is the final RETURN clause of a single query.
+type Return struct {
+	Projection
+}
+
+// Create is CREATE pattern.
+type Create struct {
+	Pattern Pattern
+}
+
+// Merge is MERGE pattern_part [ON CREATE SET ...] [ON MATCH SET ...].
+type Merge struct {
+	Part     PatternPart
+	OnCreate []SetItem
+	OnMatch  []SetItem
+}
+
+// Delete is [DETACH] DELETE expr, ....
+type Delete struct {
+	Detach bool
+	Exprs  []Expr
+}
+
+// SetItemKind discriminates SET targets.
+type SetItemKind int
+
+// Kinds of SET items.
+const (
+	// SetProperty is SET expr.key = expr.
+	SetProperty SetItemKind = iota
+	// SetAllProperties is SET variable = expr (replace all properties).
+	SetAllProperties
+	// SetMergeProperties is SET variable += expr (merge properties).
+	SetMergeProperties
+	// SetLabels is SET variable:Label1:Label2.
+	SetLabels
+)
+
+// SetItem is one assignment in a SET clause (or ON CREATE / ON MATCH).
+type SetItem struct {
+	Kind     SetItemKind
+	Property *PropertyAccess // for SetProperty
+	Variable string          // for SetAllProperties, SetMergeProperties, SetLabels
+	Labels   []string        // for SetLabels
+	Value    Expr            // for the three property forms
+}
+
+// Set is SET item, ....
+type Set struct {
+	Items []SetItem
+}
+
+// RemoveItemKind discriminates REMOVE targets.
+type RemoveItemKind int
+
+// Kinds of REMOVE items.
+const (
+	// RemoveProperty is REMOVE expr.key.
+	RemoveProperty RemoveItemKind = iota
+	// RemoveLabels is REMOVE variable:Label1:Label2.
+	RemoveLabels
+)
+
+// RemoveItem is one item in a REMOVE clause.
+type RemoveItem struct {
+	Kind     RemoveItemKind
+	Property *PropertyAccess
+	Variable string
+	Labels   []string
+}
+
+// Remove is REMOVE item, ....
+type Remove struct {
+	Items []RemoveItem
+}
+
+// clauseNode tags.
+func (*Match) clauseNode()  {}
+func (*Unwind) clauseNode() {}
+func (*With) clauseNode()   {}
+func (*Return) clauseNode() {}
+func (*Create) clauseNode() {}
+func (*Merge) clauseNode()  {}
+func (*Delete) clauseNode() {}
+func (*Set) clauseNode()    {}
+func (*Remove) clauseNode() {}
+
+// SingleQuery is a sequence of clauses (query° in Figure 5).
+type SingleQuery struct {
+	Clauses []Clause
+}
+
+// UnionKind discriminates UNION vs UNION ALL.
+type UnionKind int
+
+// Union kinds.
+const (
+	// UnionDistinct is UNION (duplicate-eliminating).
+	UnionDistinct UnionKind = iota
+	// UnionAll is UNION ALL (bag union).
+	UnionAll
+)
+
+// Query is one or more single queries combined with UNION / UNION ALL.
+// len(Unions) == len(Parts)-1; Unions[i] combines Parts[i+1] with the result
+// so far.
+type Query struct {
+	Parts  []*SingleQuery
+	Unions []UnionKind
+}
+
+// --- String renderings ---
+
+func (p Projection) stringWithHead(head string) string {
+	var sb strings.Builder
+	sb.WriteString(head)
+	if p.Distinct {
+		sb.WriteString(" DISTINCT")
+	}
+	if p.Star {
+		sb.WriteString(" *")
+		if len(p.Items) > 0 {
+			sb.WriteString(",")
+		}
+	}
+	for i, it := range p.Items {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(" " + it.Expr.String())
+		if it.Alias != "" {
+			sb.WriteString(" AS " + it.Alias)
+		}
+	}
+	if len(p.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, s := range p.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(s.Expr.String())
+			if s.Descending {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if p.Skip != nil {
+		sb.WriteString(" SKIP " + p.Skip.String())
+	}
+	if p.Limit != nil {
+		sb.WriteString(" LIMIT " + p.Limit.String())
+	}
+	return sb.String()
+}
+
+// String renders the MATCH clause.
+func (c *Match) String() string {
+	s := "MATCH " + c.Pattern.String()
+	if c.Optional {
+		s = "OPTIONAL " + s
+	}
+	if c.Where != nil {
+		s += " WHERE " + c.Where.String()
+	}
+	return s
+}
+
+// String renders the UNWIND clause.
+func (c *Unwind) String() string { return "UNWIND " + c.Expr.String() + " AS " + c.Alias }
+
+// String renders the WITH clause.
+func (c *With) String() string {
+	s := c.stringWithHead("WITH")
+	if c.Where != nil {
+		s += " WHERE " + c.Where.String()
+	}
+	return s
+}
+
+// String renders the RETURN clause.
+func (c *Return) String() string { return c.stringWithHead("RETURN") }
+
+// String renders the CREATE clause.
+func (c *Create) String() string { return "CREATE " + c.Pattern.String() }
+
+// String renders the MERGE clause.
+func (c *Merge) String() string { return "MERGE " + c.Part.String() }
+
+// String renders the DELETE clause.
+func (c *Delete) String() string {
+	parts := make([]string, len(c.Exprs))
+	for i, e := range c.Exprs {
+		parts[i] = e.String()
+	}
+	head := "DELETE "
+	if c.Detach {
+		head = "DETACH DELETE "
+	}
+	return head + strings.Join(parts, ", ")
+}
+
+// String renders the SET clause.
+func (c *Set) String() string {
+	parts := make([]string, len(c.Items))
+	for i, it := range c.Items {
+		switch it.Kind {
+		case SetProperty:
+			parts[i] = it.Property.String() + " = " + it.Value.String()
+		case SetAllProperties:
+			parts[i] = it.Variable + " = " + it.Value.String()
+		case SetMergeProperties:
+			parts[i] = it.Variable + " += " + it.Value.String()
+		case SetLabels:
+			parts[i] = it.Variable + ":" + strings.Join(it.Labels, ":")
+		}
+	}
+	return "SET " + strings.Join(parts, ", ")
+}
+
+// String renders the REMOVE clause.
+func (c *Remove) String() string {
+	parts := make([]string, len(c.Items))
+	for i, it := range c.Items {
+		switch it.Kind {
+		case RemoveProperty:
+			parts[i] = it.Property.String()
+		case RemoveLabels:
+			parts[i] = it.Variable + ":" + strings.Join(it.Labels, ":")
+		}
+	}
+	return "REMOVE " + strings.Join(parts, ", ")
+}
+
+// String renders the single query.
+func (q *SingleQuery) String() string {
+	parts := make([]string, len(q.Clauses))
+	for i, c := range q.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// String renders the full query including unions.
+func (q *Query) String() string {
+	var sb strings.Builder
+	for i, p := range q.Parts {
+		if i > 0 {
+			if q.Unions[i-1] == UnionAll {
+				sb.WriteString(" UNION ALL ")
+			} else {
+				sb.WriteString(" UNION ")
+			}
+		}
+		sb.WriteString(p.String())
+	}
+	return sb.String()
+}
+
+// IsReadOnly reports whether the query contains no updating clauses.
+func (q *Query) IsReadOnly() bool {
+	for _, part := range q.Parts {
+		for _, c := range part.Clauses {
+			switch c.(type) {
+			case *Create, *Merge, *Delete, *Set, *Remove:
+				return false
+			}
+		}
+	}
+	return true
+}

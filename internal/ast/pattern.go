@@ -1,0 +1,178 @@
+package ast
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Direction of a relationship pattern (Figure 3: ->, <-, undirected).
+type Direction int
+
+// Relationship pattern directions.
+const (
+	// DirOutgoing is -[]->.
+	DirOutgoing Direction = iota
+	// DirIncoming is <-[]-.
+	DirIncoming
+	// DirBoth is -[]- (undirected).
+	DirBoth
+)
+
+// NodePattern is the node pattern chi = (a, L, P) of Section 4.2: an optional
+// variable name, a set of labels, and a partial map from property keys to
+// expressions.
+type NodePattern struct {
+	Variable   string // "" when anonymous
+	Labels     []string
+	Properties *MapLiteral // nil when absent
+}
+
+// RelationshipPattern is the relationship pattern rho = (d, a, T, P, I) of
+// Section 4.2. VarLength corresponds to I != nil; MinHops/MaxHops of -1 stand
+// for the respective bound being absent (nil in the paper's notation).
+type RelationshipPattern struct {
+	Direction  Direction
+	Variable   string // "" when anonymous
+	Types      []string
+	Properties *MapLiteral
+	VarLength  bool
+	MinHops    int // -1 when unspecified
+	MaxHops    int // -1 when unspecified
+}
+
+// PatternPart is a path pattern chi1 rho1 chi2 ... rho_{n-1} chi_n,
+// optionally named (pi/a in the paper): len(Nodes) == len(Rels)+1.
+type PatternPart struct {
+	Variable string // "" when the path is not named
+	Nodes    []NodePattern
+	Rels     []RelationshipPattern
+}
+
+// Pattern is a tuple of path patterns as used by MATCH and CREATE.
+type Pattern struct {
+	Parts []PatternPart
+}
+
+// String renders the node pattern in ASCII-art syntax.
+func (n NodePattern) String() string {
+	var sb strings.Builder
+	sb.WriteString("(")
+	sb.WriteString(n.Variable)
+	for _, l := range n.Labels {
+		sb.WriteString(":" + l)
+	}
+	if n.Properties != nil && len(n.Properties.Keys) > 0 {
+		if sb.Len() > 1 {
+			sb.WriteString(" ")
+		}
+		sb.WriteString(n.Properties.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// String renders the relationship pattern in ASCII-art syntax.
+func (r RelationshipPattern) String() string {
+	var inner strings.Builder
+	inner.WriteString(r.Variable)
+	for i, t := range r.Types {
+		if i == 0 {
+			inner.WriteString(":" + t)
+		} else {
+			inner.WriteString("|" + t)
+		}
+	}
+	if r.VarLength {
+		inner.WriteString("*")
+		if r.MinHops >= 0 {
+			inner.WriteString(strconv.Itoa(r.MinHops))
+		}
+		if r.MinHops != r.MaxHops || r.MinHops < 0 {
+			if r.MinHops >= 0 || r.MaxHops >= 0 {
+				inner.WriteString("..")
+			}
+			if r.MaxHops >= 0 {
+				inner.WriteString(strconv.Itoa(r.MaxHops))
+			}
+		}
+	}
+	if r.Properties != nil && len(r.Properties.Keys) > 0 {
+		if inner.Len() > 0 {
+			inner.WriteString(" ")
+		}
+		inner.WriteString(r.Properties.String())
+	}
+	body := ""
+	if inner.Len() > 0 {
+		body = "[" + inner.String() + "]"
+	}
+	switch r.Direction {
+	case DirOutgoing:
+		return "-" + body + "->"
+	case DirIncoming:
+		return "<-" + body + "-"
+	default:
+		return "-" + body + "-"
+	}
+}
+
+// String renders the path pattern in ASCII-art syntax.
+func (p PatternPart) String() string {
+	var sb strings.Builder
+	if p.Variable != "" {
+		sb.WriteString(p.Variable + " = ")
+	}
+	for i, n := range p.Nodes {
+		if i > 0 {
+			sb.WriteString(p.Rels[i-1].String())
+		}
+		sb.WriteString(n.String())
+	}
+	return sb.String()
+}
+
+// String renders the pattern tuple.
+func (p Pattern) String() string {
+	parts := make([]string, len(p.Parts))
+	for i, pp := range p.Parts {
+		parts[i] = pp.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Variables returns every variable named anywhere in the pattern part
+// (path name, node variables, relationship variables), in order of first
+// appearance.
+func (p PatternPart) Variables() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(v string) {
+		if v != "" && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	add(p.Variable)
+	for i, n := range p.Nodes {
+		add(n.Variable)
+		if i < len(p.Rels) {
+			add(p.Rels[i].Variable)
+		}
+	}
+	return out
+}
+
+// Variables returns every variable named anywhere in the pattern.
+func (p Pattern) Variables() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, part := range p.Parts {
+		for _, v := range part.Variables() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+// Package catalog implements the "multiple named graphs" capability
+// previewed for Cypher 10 in Section 6 of the paper: a registry of named
+// property graphs, per-graph query execution, and graph projection (building
+// a new named graph from the result of a query over another graph — the
+// library-level counterpart of the paper's `RETURN GRAPH` example).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// Catalog is a registry of named graphs, each with its own engine.
+type Catalog struct {
+	mu      sync.RWMutex
+	graphs  map[string]*graph.Graph
+	engines map[string]*core.Engine
+	opts    core.Options
+}
+
+// New creates an empty catalog; opts configures the engines created for
+// member graphs.
+func New(opts core.Options) *Catalog {
+	return &Catalog{
+		graphs:  map[string]*graph.Graph{},
+		engines: map[string]*core.Engine{},
+		opts:    opts,
+	}
+}
+
+// Create registers a new empty graph under the name and returns it. It fails
+// if the name is taken.
+func (c *Catalog) Create(name string) (*graph.Graph, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.graphs[name]; exists {
+		return nil, fmt.Errorf("catalog: graph %q already exists", name)
+	}
+	g := graph.NewNamed(name)
+	c.graphs[name] = g
+	c.engines[name] = core.NewEngine(g, c.opts)
+	return g, nil
+}
+
+// Register adds an existing graph under the name.
+func (c *Catalog) Register(name string, g *graph.Graph) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.graphs[name]; exists {
+		return fmt.Errorf("catalog: graph %q already exists", name)
+	}
+	c.graphs[name] = g
+	c.engines[name] = core.NewEngine(g, c.opts)
+	return nil
+}
+
+// Drop removes the named graph.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.graphs[name]; !exists {
+		return fmt.Errorf("catalog: graph %q does not exist", name)
+	}
+	delete(c.graphs, name)
+	delete(c.engines, name)
+	return nil
+}
+
+// Graph returns the named graph.
+func (c *Catalog) Graph(name string) (*graph.Graph, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	g, ok := c.graphs[name]
+	return g, ok
+}
+
+// Names lists the registered graph names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.graphs))
+	for n := range c.graphs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes a query against the named graph (the library-level analogue of
+// the paper's `FROM GRAPH name ...`).
+func (c *Catalog) Run(name, query string, params map[string]value.Value) (*core.Result, error) {
+	c.mu.RLock()
+	engine, ok := c.engines[name]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("catalog: graph %q does not exist", name)
+	}
+	return engine.Run(query, params)
+}
+
+// Project runs a query against the source graph and materialises the nodes,
+// relationships and paths appearing in its result columns as a new named
+// graph, preserving labels, types and properties. Node identity is preserved
+// within the projection (a node appearing in several rows is copied once).
+// This is the library counterpart of the Cypher 10 `RETURN GRAPH` example in
+// Section 6 of the paper.
+func (c *Catalog) Project(sourceName, targetName, query string, params map[string]value.Value) (*graph.Graph, error) {
+	res, err := c.Run(sourceName, query, params)
+	if err != nil {
+		return nil, err
+	}
+	target, err := c.Create(targetName)
+	if err != nil {
+		return nil, err
+	}
+	src, _ := c.Graph(sourceName)
+
+	copied := map[int64]*graph.Node{}
+	copyNode := func(n value.Node) *graph.Node {
+		if existing, ok := copied[n.ID()]; ok {
+			return existing
+		}
+		props := map[string]value.Value{}
+		for _, k := range n.PropertyKeys() {
+			props[k] = n.Property(k)
+		}
+		nn := target.CreateNode(n.Labels(), props)
+		copied[n.ID()] = nn
+		return nn
+	}
+	copyRel := func(r value.Relationship) error {
+		srcNode, ok1 := src.NodeByID(r.StartNodeID())
+		tgtNode, ok2 := src.NodeByID(r.EndNodeID())
+		if !ok1 || !ok2 {
+			return fmt.Errorf("catalog: relationship %d references unknown nodes", r.ID())
+		}
+		props := map[string]value.Value{}
+		for _, k := range r.PropertyKeys() {
+			props[k] = r.Property(k)
+		}
+		_, err := target.CreateRelationship(copyNode(srcNode), copyNode(tgtNode), r.RelType(), props)
+		return err
+	}
+
+	var copyValue func(v value.Value) error
+	copyValue = func(v value.Value) error {
+		switch {
+		case value.IsNull(v):
+			return nil
+		case v.Kind() == value.KindNode:
+			n, _ := value.AsNode(v)
+			copyNode(n)
+			return nil
+		case v.Kind() == value.KindRelationship:
+			r, _ := value.AsRelationship(v)
+			return copyRel(r)
+		case v.Kind() == value.KindPath:
+			p, _ := value.AsPath(v)
+			for _, n := range p.Nodes {
+				copyNode(n)
+			}
+			for _, r := range p.Rels {
+				if err := copyRel(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		case v.Kind() == value.KindList:
+			l, _ := value.AsList(v)
+			for _, el := range l.Elements() {
+				if err := copyValue(el); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+
+	for _, row := range res.Rows() {
+		for _, v := range row {
+			if err := copyValue(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return target, nil
+}

@@ -1,0 +1,121 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/value"
+)
+
+func TestCatalogLifecycle(t *testing.T) {
+	c := New(core.Options{})
+	if _, err := c.Create("social"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("social"); err == nil {
+		t.Fatalf("duplicate graph names should be rejected")
+	}
+	citations, _ := datasets.Citations()
+	if err := c.Register("citations", citations); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("citations", citations); err == nil {
+		t.Fatalf("duplicate registration should be rejected")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "citations" || names[1] != "social" {
+		t.Errorf("Names = %v", names)
+	}
+	if _, ok := c.Graph("citations"); !ok {
+		t.Errorf("Graph(citations) should exist")
+	}
+	if err := c.Drop("social"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("social"); err == nil {
+		t.Errorf("dropping a missing graph should fail")
+	}
+	if _, ok := c.Graph("social"); ok {
+		t.Errorf("dropped graph should not be reachable")
+	}
+}
+
+func TestCatalogRunPerGraph(t *testing.T) {
+	c := New(core.Options{})
+	citations, _ := datasets.Citations()
+	teachers, _ := datasets.Teachers()
+	if err := c.Register("citations", citations); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("teachers", teachers); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run("citations", "MATCH (r:Researcher) RETURN count(*) AS c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if value.Compare(res.Rows()[0][0], value.NewInt(3)) != 0 {
+		t.Errorf("citations researcher count wrong: %v", res.Rows()[0][0])
+	}
+	res, err = c.Run("teachers", "MATCH (n:Teacher) RETURN count(*) AS c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if value.Compare(res.Rows()[0][0], value.NewInt(3)) != 0 {
+		t.Errorf("teachers count wrong: %v", res.Rows()[0][0])
+	}
+	if _, err := c.Run("missing", "RETURN 1", nil); err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Errorf("running on a missing graph should fail, got %v", err)
+	}
+}
+
+// TestCatalogProjection mirrors the Section 6 example: build a new graph from
+// the result of a query over another graph, then query the projection.
+func TestCatalogProjection(t *testing.T) {
+	c := New(core.Options{})
+	social, err := c.Create("soc_net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := core.NewEngine(social, core.Options{})
+	if _, err := engine.Run(`
+		CREATE (a:Person {name: 'a'}), (b:Person {name: 'b'}), (m:Person {name: 'm'}),
+		       (a)-[:FRIEND {since: 2010}]->(m),
+		       (b)-[:FRIEND {since: 2011}]->(m)`, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Project the subgraph of people that share a friend (the paper's
+	// friends-of-friends example, as a node/relationship projection).
+	projected, err := c.Project("soc_net", "friends",
+		"MATCH (a)-[r1:FRIEND]->(m)<-[r2:FRIEND]-(b) WHERE a.name < b.name RETURN a, b, r1, r2, m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if projected.Stats().NodeCount != 3 || projected.Stats().RelationshipCount != 2 {
+		t.Fatalf("projection size wrong: %+v", projected.Stats())
+	}
+	// The projection is a separate named graph that can be queried on its
+	// own.
+	res, err := c.Run("friends", "MATCH (a)-[:FRIEND]->(m) RETURN count(*) AS c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if value.Compare(res.Rows()[0][0], value.NewInt(2)) != 0 {
+		t.Errorf("projected graph query wrong: %v", res.Rows()[0][0])
+	}
+	// Projecting onto an existing name fails.
+	if _, err := c.Project("soc_net", "friends", "MATCH (a) RETURN a", nil); err == nil {
+		t.Errorf("projecting onto an existing name should fail")
+	}
+	// Projecting paths copies their nodes and relationships.
+	if _, err := c.Project("soc_net", "paths", "MATCH p = (a)-[:FRIEND]->(m) RETURN p", nil); err != nil {
+		t.Fatal(err)
+	}
+	pg, _ := c.Graph("paths")
+	if pg.Stats().RelationshipCount != 2 {
+		t.Errorf("path projection should copy relationships: %+v", pg.Stats())
+	}
+}

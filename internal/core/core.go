@@ -1,0 +1,167 @@
+// Package core ties the Cypher pipeline together: parsing, semantic
+// analysis, planning and execution. It is the engine behind the public
+// cypher package; each query is compiled into a plan over the target graph
+// and evaluated starting from the unit table, exactly as the paper's
+// semantics prescribes (output(Q, G) = [[Q]]_G(T())).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/parser"
+	"repro/internal/planner"
+	"repro/internal/result"
+	"repro/internal/semantic"
+	_ "repro/internal/temporal" // registers the Cypher 10 temporal functions
+	"repro/internal/value"
+)
+
+// Morphism re-exports the execution engine's pattern-matching modes.
+type Morphism = exec.Morphism
+
+// Pattern-matching modes (see Section 8 of the paper, "configurable
+// morphisms").
+const (
+	EdgeIsomorphism = exec.EdgeIsomorphism
+	Homomorphism    = exec.Homomorphism
+	NodeIsomorphism = exec.NodeIsomorphism
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Morphism selects the pattern-matching semantics (default:
+	// relationship isomorphism, Cypher's semantics).
+	Morphism Morphism
+	// MaxVarLengthDepth caps unbounded variable-length expansion in
+	// homomorphism mode (default 15).
+	MaxVarLengthDepth int
+}
+
+// Engine executes Cypher queries against a single property graph.
+type Engine struct {
+	mu    sync.Mutex
+	graph *graph.Graph
+	opts  Options
+	cache map[string]*ast.Query
+}
+
+// NewEngine creates an engine over the graph.
+func NewEngine(g *graph.Graph, opts Options) *Engine {
+	return &Engine{graph: g, opts: opts, cache: map[string]*ast.Query{}}
+}
+
+// Graph returns the engine's underlying graph.
+func (e *Engine) Graph() *graph.Graph { return e.graph }
+
+// Result is the outcome of running a query: the result table plus summary
+// counters.
+type Result struct {
+	Table *result.Table
+	// Plan is the textual form of the executed plan (EXPLAIN output).
+	Plan string
+	// ReadOnly reports whether the query contained no updating clauses.
+	ReadOnly bool
+}
+
+// Columns returns the result column names.
+func (r *Result) Columns() []string { return r.Table.Columns }
+
+// Rows returns the result rows in column order.
+func (r *Result) Rows() [][]value.Value { return r.Table.Rows() }
+
+// Len returns the number of result rows.
+func (r *Result) Len() int { return r.Table.Len() }
+
+// parse parses with a small per-engine cache (queries are often re-run with
+// different parameters).
+func (e *Engine) parse(query string) (*ast.Query, error) {
+	e.mu.Lock()
+	if q, ok := e.cache[query]; ok {
+		e.mu.Unlock()
+		return q, nil
+	}
+	e.mu.Unlock()
+	q, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if len(e.cache) > 1024 {
+		e.cache = map[string]*ast.Query{}
+	}
+	e.cache[query] = q
+	e.mu.Unlock()
+	return q, nil
+}
+
+// Run parses, checks, plans and executes the query with the given
+// parameters (which may be nil).
+func (e *Engine) Run(query string, params map[string]value.Value) (*Result, error) {
+	q, err := e.parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if err := semantic.Check(q); err != nil {
+		return nil, err
+	}
+	pl, err := planner.New(e.graph).Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	ex := exec.New(e.graph, params, exec.Options{
+		Morphism:          e.opts.Morphism,
+		MaxVarLengthDepth: e.opts.MaxVarLengthDepth,
+	})
+	tbl, err := ex.Execute(pl)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Table: tbl, Plan: pl.String(), ReadOnly: pl.ReadOnly}, nil
+}
+
+// Explain parses, checks and plans the query without executing it, returning
+// the plan description.
+func (e *Engine) Explain(query string) (string, error) {
+	q, err := e.parse(query)
+	if err != nil {
+		return "", err
+	}
+	if err := semantic.Check(q); err != nil {
+		return "", err
+	}
+	pl, err := planner.New(e.graph).Plan(q)
+	if err != nil {
+		return "", err
+	}
+	return pl.String(), nil
+}
+
+// RunWithGoParams is a convenience wrapper that converts native Go parameter
+// values into Cypher values.
+func (e *Engine) RunWithGoParams(query string, params map[string]any) (*Result, error) {
+	converted, err := ConvertParams(params)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(query, converted)
+}
+
+// ConvertParams converts a map of native Go values into Cypher values.
+func ConvertParams(params map[string]any) (map[string]value.Value, error) {
+	if params == nil {
+		return nil, nil
+	}
+	out := make(map[string]value.Value, len(params))
+	for k, v := range params {
+		cv, err := value.FromGo(v)
+		if err != nil {
+			return nil, fmt.Errorf("parameter $%s: %w", k, err)
+		}
+		out[k] = cv
+	}
+	return out, nil
+}

@@ -1,0 +1,459 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datasets"
+)
+
+func TestCreateAndMatchRoundTrip(t *testing.T) {
+	e := emptyEngine()
+	res := run(t, e, `CREATE (a:Person {name: 'Ada', born: 1815})-[:KNOWS {since: 1840}]->(b:Person {name: 'Charles'}) RETURN a.name, b.name`)
+	expectOrdered(t, res, [][]any{{"Ada", "Charles"}})
+	if res.ReadOnly {
+		t.Errorf("CREATE query should not be read-only")
+	}
+
+	res = run(t, e, "MATCH (a:Person)-[k:KNOWS]->(b:Person) RETURN a.name, k.since, b.name")
+	expectOrdered(t, res, [][]any{{"Ada", 1840, "Charles"}})
+	if !res.ReadOnly {
+		t.Errorf("MATCH query should be read-only")
+	}
+
+	// Creating with a bound variable reuses the node.
+	run(t, e, "MATCH (a:Person {name: 'Ada'}) CREATE (a)-[:WROTE]->(:Note {title: 'Menabrea'})")
+	res = run(t, e, "MATCH (:Person {name: 'Ada'})-[:WROTE]->(n:Note) RETURN n.title")
+	expectOrdered(t, res, [][]any{{"Menabrea"}})
+
+	stats := e.Graph().Stats()
+	if stats.NodeCount != 3 || stats.RelationshipCount != 2 {
+		t.Errorf("graph counts after creates: %+v", stats)
+	}
+}
+
+func TestWhereFiltering(t *testing.T) {
+	g := datasets.SocialNetwork(datasets.SocialConfig{People: 30, FriendsEach: 3, Seed: 1})
+	e := NewEngine(g, Options{})
+	res := run(t, e, "MATCH (p:Person) WHERE p.age >= 40 RETURN count(*) AS n")
+	n := rows(res)[0][0].(int64)
+	res2 := run(t, e, "MATCH (p:Person) WHERE NOT p.age < 40 RETURN count(*) AS n")
+	if rows(res2)[0][0].(int64) != n {
+		t.Errorf("NOT < and >= should agree")
+	}
+	res3 := run(t, e, "MATCH (p:Person) WHERE p.age >= 40 OR p.age < 40 RETURN count(*) AS n")
+	if rows(res3)[0][0].(int64) != 30 {
+		t.Errorf("total should be 30, got %v", rows(res3)[0][0])
+	}
+	// Null-valued property comparisons are unknown and filter the row out.
+	res4 := run(t, e, "MATCH (p:Person) WHERE p.missing > 1 RETURN count(*) AS n")
+	if rows(res4)[0][0].(int64) != 0 {
+		t.Errorf("comparisons with missing properties should not match")
+	}
+}
+
+func TestOptionalMatchNullRow(t *testing.T) {
+	e := emptyEngine()
+	run(t, e, "CREATE (:A {name: 'a1'})-[:REL]->(:B {name: 'b1'}), (:A {name: 'a2'})")
+	res := run(t, e, "MATCH (a:A) OPTIONAL MATCH (a)-[:REL]->(b:B) RETURN a.name, b.name")
+	expectBag(t, res, [][]any{
+		{"a1", "b1"},
+		{"a2", nil},
+	})
+	// The WHERE belongs to the OPTIONAL MATCH: rows that fail it get nulls
+	// rather than disappearing (Figure 7).
+	res = run(t, e, "MATCH (a:A) OPTIONAL MATCH (a)-[:REL]->(b:B) WHERE b.name = 'nope' RETURN a.name, b.name")
+	expectBag(t, res, [][]any{
+		{"a1", nil},
+		{"a2", nil},
+	})
+}
+
+func TestWithScopeCut(t *testing.T) {
+	g, _ := datasets.Citations()
+	e := NewEngine(g, Options{})
+	// After WITH r, the variable s is out of scope (as stressed in Section 3).
+	if _, err := e.Run(`
+		MATCH (r:Researcher)
+		OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+		WITH r
+		RETURN s`, nil); err == nil {
+		t.Fatalf("referencing a variable dropped by WITH should fail")
+	}
+}
+
+func TestAggregationFunctions(t *testing.T) {
+	e := emptyEngine()
+	run(t, e, "CREATE (:P {g: 'a', v: 1}), (:P {g: 'a', v: 3}), (:P {g: 'b', v: 10}), (:P {g: 'b'})")
+	res := run(t, e, `
+		MATCH (p:P)
+		RETURN p.g AS grp, count(*) AS cnt, count(p.v) AS cntv, sum(p.v) AS total,
+		       avg(p.v) AS mean, min(p.v) AS lo, max(p.v) AS hi, collect(p.v) AS vals
+		ORDER BY grp`)
+	expectOrdered(t, res, [][]any{
+		{"a", 2, 2, 4, 2.0, 1, 3, []any{int64(1), int64(3)}},
+		{"b", 2, 1, 10, 10.0, 10, 10, []any{int64(10)}},
+	})
+
+	// Global aggregation over an empty match still returns one row.
+	res = run(t, e, "MATCH (x:Missing) RETURN count(x) AS n, collect(x) AS xs, sum(x.v) AS s, min(x.v) AS lo")
+	expectOrdered(t, res, [][]any{{0, []any{}, 0, nil}})
+
+	// Aggregation combined with arithmetic in one item.
+	res = run(t, e, "MATCH (p:P) RETURN count(*) + 1 AS cntPlus")
+	expectOrdered(t, res, [][]any{{5}})
+
+	// DISTINCT aggregation.
+	res = run(t, e, "MATCH (p:P) RETURN count(DISTINCT p.g) AS groups")
+	expectOrdered(t, res, [][]any{{2}})
+}
+
+func TestUnwindAndParameters(t *testing.T) {
+	e := emptyEngine()
+	res := runParams(t, e, "UNWIND $xs AS x RETURN x * 2 AS doubled", map[string]any{"xs": []any{1, 2, 3}})
+	expectOrdered(t, res, [][]any{{2}, {4}, {6}})
+
+	res = run(t, e, "UNWIND [] AS x RETURN x")
+	if res.Len() != 0 {
+		t.Errorf("unwinding an empty list should produce no rows")
+	}
+	res = run(t, e, "UNWIND null AS x RETURN x")
+	if res.Len() != 0 {
+		t.Errorf("unwinding null should produce no rows")
+	}
+	res = run(t, e, "UNWIND 7 AS x RETURN x")
+	expectOrdered(t, res, [][]any{{7}})
+
+	// Parameters in predicates and limits.
+	run(t, e, "UNWIND range(1, 10) AS i CREATE (:Num {v: i})")
+	res = runParams(t, e, "MATCH (n:Num) WHERE n.v > $min RETURN count(*) AS c", map[string]any{"min": 7})
+	expectOrdered(t, res, [][]any{{3}})
+	res = runParams(t, e, "MATCH (n:Num) RETURN n.v AS v ORDER BY v LIMIT $k", map[string]any{"k": 2})
+	expectOrdered(t, res, [][]any{{1}, {2}})
+
+	if _, err := e.Run("RETURN $missing", nil); err == nil {
+		t.Errorf("missing parameter should be an error")
+	}
+}
+
+func TestOrderSkipLimitDistinct(t *testing.T) {
+	e := emptyEngine()
+	run(t, e, "UNWIND [3, 1, 2, 3, 1] AS v CREATE (:N {v: v})")
+	res := run(t, e, "MATCH (n:N) RETURN DISTINCT n.v AS v ORDER BY v DESC")
+	expectOrdered(t, res, [][]any{{3}, {2}, {1}})
+	res = run(t, e, "MATCH (n:N) RETURN n.v AS v ORDER BY v SKIP 1 LIMIT 2")
+	expectOrdered(t, res, [][]any{{1}, {2}})
+	// ORDER BY on an expression over a variable that is not projected.
+	res = run(t, e, "MATCH (n:N) RETURN n.v AS v ORDER BY n.v * -1 LIMIT 1")
+	expectOrdered(t, res, [][]any{{3}})
+	// ORDER BY with nulls: nulls come last in ascending order.
+	run(t, e, "CREATE (:N2 {v: 1}), (:N2)")
+	res = run(t, e, "MATCH (n:N2) RETURN n.v AS v ORDER BY v")
+	expectOrdered(t, res, [][]any{{1}, {nil}})
+}
+
+func TestUnionQueries(t *testing.T) {
+	e := emptyEngine()
+	run(t, e, "CREATE (:Cat {name: 'Tom'}), (:Dog {name: 'Rex'}), (:Dog {name: 'Tom'})")
+	res := run(t, e, "MATCH (c:Cat) RETURN c.name AS name UNION ALL MATCH (d:Dog) RETURN d.name AS name")
+	expectBag(t, res, [][]any{{"Tom"}, {"Rex"}, {"Tom"}})
+	res = run(t, e, "MATCH (c:Cat) RETURN c.name AS name UNION MATCH (d:Dog) RETURN d.name AS name")
+	expectBag(t, res, [][]any{{"Tom"}, {"Rex"}})
+	if _, err := e.Run("MATCH (c:Cat) RETURN c.name AS a UNION MATCH (d:Dog) RETURN d.name AS b", nil); err == nil {
+		t.Errorf("UNION with different column names should fail")
+	}
+}
+
+func TestSetRemoveDelete(t *testing.T) {
+	e := emptyEngine()
+	run(t, e, "CREATE (:Person {name: 'Ann', age: 30})-[:KNOWS]->(:Person {name: 'Bob'})")
+	run(t, e, "MATCH (p:Person {name: 'Ann'}) SET p.age = 31, p:Adult, p.city = 'Oslo'")
+	res := run(t, e, "MATCH (p:Adult) RETURN p.name, p.age, p.city")
+	expectOrdered(t, res, [][]any{{"Ann", 31, "Oslo"}})
+
+	run(t, e, "MATCH (p:Person {name: 'Ann'}) SET p += {age: 32, hobby: 'chess'}")
+	res = run(t, e, "MATCH (p:Person {name: 'Ann'}) RETURN p.age, p.hobby, p.city")
+	expectOrdered(t, res, [][]any{{32, "chess", "Oslo"}})
+
+	run(t, e, "MATCH (p:Person {name: 'Bob'}) SET p = {name: 'Bob', title: 'Dr'}")
+	res = run(t, e, "MATCH (p:Person {name: 'Bob'}) RETURN p.title, p.age")
+	expectOrdered(t, res, [][]any{{"Dr", nil}})
+
+	run(t, e, "MATCH (p:Person {name: 'Ann'}) REMOVE p.hobby, p:Adult")
+	res = run(t, e, "MATCH (p:Person {name: 'Ann'}) RETURN p.hobby, labels(p)")
+	expectOrdered(t, res, [][]any{{nil, []any{"Person"}}})
+
+	// Setting a relationship property.
+	run(t, e, "MATCH (:Person {name: 'Ann'})-[k:KNOWS]->() SET k.since = 2001")
+	res = run(t, e, "MATCH ()-[k:KNOWS]->() RETURN k.since")
+	expectOrdered(t, res, [][]any{{2001}})
+
+	// DELETE of a connected node requires DETACH.
+	if _, err := e.Run("MATCH (p:Person {name: 'Ann'}) DELETE p", nil); err == nil {
+		t.Fatalf("deleting a connected node without DETACH should fail")
+	}
+	run(t, e, "MATCH (p:Person {name: 'Ann'}) DETACH DELETE p")
+	res = run(t, e, "MATCH (p:Person) RETURN count(*) AS c")
+	expectOrdered(t, res, [][]any{{1}})
+	run(t, e, "MATCH ()-[r]-() DELETE r")
+	run(t, e, "MATCH (n) DELETE n")
+	res = run(t, e, "MATCH (n) RETURN count(*) AS c")
+	expectOrdered(t, res, [][]any{{0}})
+}
+
+func TestMergeSemantics(t *testing.T) {
+	e := emptyEngine()
+	// First MERGE creates, second matches.
+	run(t, e, "MERGE (p:Person {name: 'Zoe'}) ON CREATE SET p.created = true ON MATCH SET p.matched = true")
+	res := run(t, e, "MATCH (p:Person {name: 'Zoe'}) RETURN p.created, p.matched")
+	expectOrdered(t, res, [][]any{{true, nil}})
+	run(t, e, "MERGE (p:Person {name: 'Zoe'}) ON CREATE SET p.created = true ON MATCH SET p.matched = true")
+	res = run(t, e, "MATCH (p:Person) RETURN count(*) AS c")
+	expectOrdered(t, res, [][]any{{1}})
+	res = run(t, e, "MATCH (p:Person {name: 'Zoe'}) RETURN p.matched")
+	expectOrdered(t, res, [][]any{{true}})
+
+	// MERGE of a relationship pattern with bound endpoints.
+	run(t, e, "CREATE (:City {name: 'Oslo'}), (:City {name: 'Bergen'})")
+	run(t, e, "MATCH (a:City {name: 'Oslo'}), (b:City {name: 'Bergen'}) MERGE (a)-[:ROAD]->(b)")
+	run(t, e, "MATCH (a:City {name: 'Oslo'}), (b:City {name: 'Bergen'}) MERGE (a)-[:ROAD]->(b)")
+	res = run(t, e, "MATCH (:City)-[r:ROAD]->(:City) RETURN count(r) AS c")
+	expectOrdered(t, res, [][]any{{1}})
+}
+
+func TestExpressionsInQueries(t *testing.T) {
+	e := emptyEngine()
+	res := run(t, e, `RETURN 1 + 2 * 3 AS a, 'x' + 'y' AS b, [1,2,3][1] AS c,
+		[1,2,3,4][1..3] AS d, {k: 41}.k + 1 AS e,
+		CASE WHEN 1 > 2 THEN 'big' ELSE 'small' END AS f,
+		[x IN range(1, 5) WHERE x % 2 = 1 | x * 10] AS g,
+		size('hello') AS h, toUpper('ok') AS i, coalesce(null, 7) AS j,
+		3 IN [1, 2, 3] AS k, NOT false AS l, 10 % 3 AS m, 2 ^ 3 AS n`)
+	expectOrdered(t, res, [][]any{{
+		7, "xy", 2, []any{int64(2), int64(3)}, 42, "small",
+		[]any{int64(10), int64(30), int64(50)}, 5, "OK", 7, true, true, 1, 8.0,
+	}})
+
+	res = run(t, e, "RETURN 'Cypher' STARTS WITH 'Cy' AS a, 'Cypher' ENDS WITH 'er' AS b, 'Cypher' CONTAINS 'phe' AS c, 'Cypher' =~ 'C.*r' AS d")
+	expectOrdered(t, res, [][]any{{true, true, true, true}})
+
+	res = run(t, e, "RETURN null = null AS a, null IS NULL AS b, 1 <> null IS NULL AS c")
+	expectOrdered(t, res, [][]any{{nil, true, true}})
+}
+
+func TestGraphFunctions(t *testing.T) {
+	g, _ := datasets.Teachers()
+	e := NewEngine(g, Options{})
+	res := run(t, e, "MATCH (a {name: 'n1'})-[r:KNOWS]->(b) RETURN labels(a), type(r), r.since, id(a) = id(b) AS sameNode, keys(r), exists(a.name), exists(a.missing)")
+	expectOrdered(t, res, [][]any{{[]any{"Teacher"}, "KNOWS", 1985, false, []any{"since"}, true, false}})
+
+	res = run(t, e, "MATCH (a {name: 'n1'})-[r:KNOWS]->(b) RETURN startNode(r).name AS s, endNode(r).name AS t")
+	expectOrdered(t, res, [][]any{{"n1", "n2"}})
+
+	res = run(t, e, "MATCH (a {name: 'n1'}) RETURN properties(a)")
+	want := map[string]any{"name": "n1"}
+	got := rows(res)[0][0].(map[string]any)
+	if len(got) != len(want) || got["name"] != "n1" {
+		t.Errorf("properties() = %v", got)
+	}
+}
+
+func TestNamedPathsAndPathFunctions(t *testing.T) {
+	g, _ := datasets.Teachers()
+	e := NewEngine(g, Options{})
+	res := run(t, e, "MATCH p = (a {name: 'n1'})-[:KNOWS*]->(b:Teacher) RETURN length(p) AS len, size(nodes(p)) AS nn, size(relationships(p)) AS nr ORDER BY len")
+	expectOrdered(t, res, [][]any{
+		{2, 3, 2},
+		{3, 4, 3},
+	})
+	res = run(t, e, "MATCH p = (a {name: 'n1'})-[:KNOWS]->(b) RETURN [n IN nodes(p) | n.name] AS names")
+	expectOrdered(t, res, [][]any{{[]any{"n1", "n2"}}})
+}
+
+func TestPatternPredicatesAndExists(t *testing.T) {
+	g, _ := datasets.Citations()
+	e := NewEngine(g, Options{})
+	res := run(t, e, "MATCH (r:Researcher) WHERE (r)-[:SUPERVISES]->(:Student) RETURN r.name ORDER BY r.name")
+	expectOrdered(t, res, [][]any{{"Elin"}, {"Thor"}})
+	res = run(t, e, "MATCH (r:Researcher) WHERE NOT (r)-[:SUPERVISES]->(:Student) RETURN r.name")
+	expectOrdered(t, res, [][]any{{"Nils"}})
+	res = run(t, e, "MATCH (r:Researcher) WHERE EXISTS((r)-[:AUTHORS]->()) RETURN count(*) AS c")
+	expectOrdered(t, res, [][]any{{2}})
+}
+
+func TestMultiPartPatternsAndCartesian(t *testing.T) {
+	g, _ := datasets.Teachers()
+	e := NewEngine(g, Options{})
+	// Disconnected patterns produce a cartesian product.
+	res := run(t, e, "MATCH (a:Teacher), (b:Student) RETURN count(*) AS c")
+	expectOrdered(t, res, [][]any{{3}})
+	// Shared variables across parts join them.
+	res = run(t, e, "MATCH (a)-[:KNOWS]->(b), (b)-[:KNOWS]->(c) RETURN a.name, b.name, c.name ORDER BY a.name")
+	expectOrdered(t, res, [][]any{
+		{"n1", "n2", "n3"},
+		{"n2", "n3", "n4"},
+	})
+	// Relationship uniqueness applies across the parts of one MATCH
+	// (relationship isomorphism over the pattern tuple).
+	res = run(t, e, "MATCH (a)-[r1:KNOWS]->(b), (c)-[r2:KNOWS]->(d) RETURN count(*) AS c")
+	expectOrdered(t, res, [][]any{{6}}) // 3*3 minus the 3 pairs where r1 = r2
+	// The same pattern split over two MATCH clauses is not subject to the
+	// uniqueness restriction (it applies per clause).
+	res = run(t, e, "MATCH (a)-[r1:KNOWS]->(b) MATCH (c)-[r2:KNOWS]->(d) RETURN count(*) AS c")
+	expectOrdered(t, res, [][]any{{9}})
+}
+
+func TestUndirectedAndIncomingPatterns(t *testing.T) {
+	g, _ := datasets.Teachers()
+	e := NewEngine(g, Options{})
+	res := run(t, e, "MATCH (a {name: 'n2'})--(b) RETURN b.name ORDER BY b.name")
+	expectOrdered(t, res, [][]any{{"n1"}, {"n3"}})
+	res = run(t, e, "MATCH (a {name: 'n2'})<--(b) RETURN b.name")
+	expectOrdered(t, res, [][]any{{"n1"}})
+	res = run(t, e, "MATCH (a {name: 'n2'})-->(b) RETURN b.name")
+	expectOrdered(t, res, [][]any{{"n3"}})
+}
+
+func TestReturnStarAndAliases(t *testing.T) {
+	g, _ := datasets.Teachers()
+	e := NewEngine(g, Options{})
+	res := run(t, e, "MATCH (a {name: 'n1'})-[r:KNOWS]->(b) RETURN *")
+	cols := res.Columns()
+	if len(cols) != 3 {
+		t.Fatalf("RETURN * should produce 3 columns, got %v", cols)
+	}
+	res = run(t, e, "MATCH (a {name: 'n1'}) RETURN a.name AS `weird name`")
+	if res.Columns()[0] != "weird name" {
+		t.Errorf("escaped alias wrong: %v", res.Columns())
+	}
+	// Implicit column names are the expression text (the paper's alpha
+	// function).
+	res = run(t, e, "MATCH (a {name: 'n1'}) RETURN a.name")
+	if res.Columns()[0] != "a.name" {
+		t.Errorf("implicit column name wrong: %v", res.Columns())
+	}
+}
+
+func TestExplainAndPlanShape(t *testing.T) {
+	g, _ := datasets.Citations()
+	g.CreateIndex("Researcher", "name")
+	e := NewEngine(g, Options{})
+	plan, err := e.Explain("MATCH (r:Researcher {name: 'Elin'})-[:AUTHORS]->(p:Publication) RETURN p.acmid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "NodeIndexSeek") {
+		t.Errorf("with an index on :Researcher(name) the plan should use NodeIndexSeek:\n%s", plan)
+	}
+	if !strings.Contains(plan, "Expand") {
+		t.Errorf("plan should contain an Expand operator:\n%s", plan)
+	}
+	plan, err = e.Explain("MATCH (r:Researcher) RETURN r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "NodeByLabelScan") {
+		t.Errorf("label scan expected:\n%s", plan)
+	}
+	plan, err = e.Explain("MATCH (n) RETURN n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "AllNodesScan") {
+		t.Errorf("all nodes scan expected:\n%s", plan)
+	}
+}
+
+func TestErrorReporting(t *testing.T) {
+	g, _ := datasets.Teachers()
+	e := NewEngine(g, Options{})
+	bad := []string{
+		"MATCH (n) RETURN m",                             // unknown variable
+		"MATCH (n) WHERE count(n) > 1 RETURN n",          // aggregate in WHERE
+		"MATCH (n)",                                      // no RETURN
+		"MATCH (n) RETURN n LIMIT -1",                    // negative limit
+		"MATCH (a)-[r]->(b)-[r]->(c) RETURN a",           // reused relationship variable
+		"CREATE (a)-[:X]-(b)",                            // undirected CREATE
+		"CREATE (a)-[:X|Y]->(b)",                         // multiple types in CREATE
+		"MATCH (n) RETURN n.name AS x, n.age AS x",       // duplicate column
+		"RETURN unknownFunction(1)",                      // unknown function
+		"MATCH (n) RETURN *, n UNION MATCH (m) RETURN m", // union column mismatch
+		"MATCH (n) WITH n RETURN x",                      // variable dropped by WITH
+		"RETURN $p",                                      // missing parameter
+		"MATCH (n) DELETE n.name",                        // deleting a non-entity
+	}
+	for _, q := range bad {
+		if _, err := e.Run(q, nil); err == nil {
+			t.Errorf("query should fail: %s", q)
+		}
+	}
+}
+
+func TestMorphismModes(t *testing.T) {
+	// Two parallel KNOWS relationships between a and b.
+	build := func() *Engine {
+		e := emptyEngine()
+		run(t, e, "CREATE (a:P {name: 'a'})-[:KNOWS]->(b:P {name: 'b'}), (a)-[:KNOWS]->(b)")
+		return e
+	}
+	// Pattern with two relationships: under edge isomorphism the two
+	// relationship variables must bind distinct relationships.
+	q := "MATCH (x)-[r1:KNOWS]->(y)<-[r2:KNOWS]-(x) RETURN count(*) AS c"
+
+	e := build()
+	res := run(t, e, q)
+	expectOrdered(t, res, [][]any{{2}}) // r1,r2 in both orders
+
+	eh := NewEngine(e.Graph(), Options{Morphism: Homomorphism})
+	res = run(t, eh, q)
+	expectOrdered(t, res, [][]any{{4}}) // r1 and r2 may coincide
+
+	en := NewEngine(e.Graph(), Options{Morphism: NodeIsomorphism})
+	res = run(t, en, "MATCH (x)-[:KNOWS]->(y) RETURN count(*) AS c")
+	expectOrdered(t, res, [][]any{{2}})
+}
+
+func TestValueRoundTripThroughQuery(t *testing.T) {
+	e := emptyEngine()
+	res := runParams(t, e, "RETURN $m.name AS name, $m.tags[0] AS tag, $n AS n",
+		map[string]any{
+			"m": map[string]any{"name": "Cypher", "tags": []any{"graph", "query"}},
+			"n": nil,
+		})
+	expectOrdered(t, res, [][]any{{"Cypher", "graph", nil}})
+}
+
+func TestResultTableRendering(t *testing.T) {
+	g, _ := datasets.Citations()
+	e := NewEngine(g, Options{})
+	res := run(t, e, "MATCH (r:Researcher) RETURN r.name AS name ORDER BY name")
+	s := res.Table.String()
+	if !strings.Contains(s, "| name") || !strings.Contains(s, "'Elin'") {
+		t.Errorf("table rendering unexpected:\n%s", s)
+	}
+}
+
+func TestQueryCacheReuse(t *testing.T) {
+	g, _ := datasets.Teachers()
+	e := NewEngine(g, Options{})
+	for i := 0; i < 3; i++ {
+		res := run(t, e, "MATCH (t:Teacher) RETURN count(*) AS c")
+		expectOrdered(t, res, [][]any{{3}})
+	}
+}
+
+func TestFigure4VarLengthFromTable(t *testing.T) {
+	// The Example 4.6 scenario driven through UNWIND instead of WHERE ... IN.
+	g, nodes := datasets.Teachers()
+	e := NewEngine(g, Options{})
+	res := runParams(t, e, `
+		UNWIND $names AS name
+		MATCH (x {name: name})-[:KNOWS*]->(y)
+		RETURN x, y`, map[string]any{"names": []any{"n1", "n3"}})
+	expectBag(t, res, [][]any{
+		{nodes["n1"].ID(), nodes["n2"].ID()},
+		{nodes["n1"].ID(), nodes["n3"].ID()},
+		{nodes["n1"].ID(), nodes["n4"].ID()},
+		{nodes["n3"].ID(), nodes["n4"].ID()},
+	})
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+)
+
+// Additional language-coverage tests complementing core_test.go: clause
+// chaining, projection modifiers in the middle of queries, and corner cases
+// of the clauses formalised in Figure 7.
+
+func TestWithOrderLimitMidQuery(t *testing.T) {
+	g := datasets.SocialNetwork(datasets.SocialConfig{People: 20, FriendsEach: 3, Seed: 3})
+	e := NewEngine(g, Options{})
+	// Take the three oldest people, then expand from only those.
+	res := run(t, e, `
+		MATCH (p:Person)
+		WITH p ORDER BY p.age DESC LIMIT 3
+		OPTIONAL MATCH (p)-[:KNOWS]->(q)
+		RETURN count(DISTINCT p) AS people, count(q) >= 0 AS ok`)
+	expectOrdered(t, res, [][]any{{3, true}})
+
+	// WITH DISTINCT mid-query collapses duplicates before the next MATCH.
+	res = run(t, e, `
+		MATCH (p:Person)-[:KNOWS]->(:Person)
+		WITH DISTINCT p
+		RETURN count(*) = count(DISTINCT p) AS collapsed`)
+	expectOrdered(t, res, [][]any{{true}})
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	e := emptyEngine()
+	run(t, e, "UNWIND [['b', 2], ['a', 2], ['a', 1]] AS row CREATE (:Row {k: row[0], v: row[1]})")
+	res := run(t, e, "MATCH (r:Row) RETURN r.k AS k, r.v AS v ORDER BY k, v DESC")
+	expectOrdered(t, res, [][]any{
+		{"a", 2},
+		{"a", 1},
+		{"b", 2},
+	})
+}
+
+func TestLimitZeroAndSkipBeyondEnd(t *testing.T) {
+	e := emptyEngine()
+	run(t, e, "UNWIND range(1, 5) AS i CREATE (:N {i: i})")
+	res := run(t, e, "MATCH (n:N) RETURN n.i AS i LIMIT 0")
+	if res.Len() != 0 {
+		t.Errorf("LIMIT 0 should return nothing")
+	}
+	res = run(t, e, "MATCH (n:N) RETURN n.i AS i ORDER BY i SKIP 99")
+	if res.Len() != 0 {
+		t.Errorf("SKIP beyond the end should return nothing")
+	}
+	res = run(t, e, "MATCH (n:N) RETURN n.i AS i ORDER BY i SKIP 3")
+	expectOrdered(t, res, [][]any{{4}, {5}})
+}
+
+func TestRelationshipTypeAlternation(t *testing.T) {
+	e := emptyEngine()
+	run(t, e, `CREATE (a:P {name: 'a'}), (b:P {name: 'b'}), (c:P {name: 'c'}),
+		(a)-[:LIKES]->(b), (a)-[:KNOWS]->(c), (a)-[:HATES]->(b)`)
+	res := run(t, e, "MATCH (a {name: 'a'})-[r:LIKES|KNOWS]->(x) RETURN type(r) AS t, x.name AS name ORDER BY t")
+	expectOrdered(t, res, [][]any{
+		{"KNOWS", "c"},
+		{"LIKES", "b"},
+	})
+	// Alternation also applies inside variable-length patterns.
+	run(t, e, "MATCH (b {name: 'b'}), (c {name: 'c'}) CREATE (b)-[:LIKES]->(c)")
+	res = run(t, e, "MATCH (a {name: 'a'})-[:LIKES|KNOWS*1..2]->(x) RETURN count(*) AS c")
+	expectOrdered(t, res, [][]any{{3}})
+}
+
+func TestMergeRelationshipWithProperties(t *testing.T) {
+	e := emptyEngine()
+	run(t, e, "CREATE (:City {name: 'x'}), (:City {name: 'y'})")
+	run(t, e, "MATCH (a:City {name: 'x'}), (b:City {name: 'y'}) MERGE (a)-[r:ROAD {lanes: 2}]->(b) ON CREATE SET r.created = true")
+	run(t, e, "MATCH (a:City {name: 'x'}), (b:City {name: 'y'}) MERGE (a)-[r:ROAD {lanes: 2}]->(b) ON MATCH SET r.matched = true")
+	// A MERGE with different properties creates a second relationship.
+	run(t, e, "MATCH (a:City {name: 'x'}), (b:City {name: 'y'}) MERGE (a)-[r:ROAD {lanes: 4}]->(b)")
+	res := run(t, e, "MATCH (:City)-[r:ROAD]->(:City) RETURN count(*) AS roads")
+	expectOrdered(t, res, [][]any{{2}})
+	res = run(t, e, "MATCH ()-[r:ROAD {lanes: 2}]->() RETURN r.created, r.matched")
+	expectOrdered(t, res, [][]any{{true, true}})
+}
+
+func TestMergeOnEmptyGraphCreatesOnce(t *testing.T) {
+	e := emptyEngine()
+	res := run(t, e, "MERGE (n:Singleton) RETURN id(n) IS NOT NULL AS created")
+	expectOrdered(t, res, [][]any{{true}})
+	res = run(t, e, "MERGE (n:Singleton) RETURN count(n) AS c")
+	expectOrdered(t, res, [][]any{{1}})
+	if e.Graph().Stats().NodeCount != 1 {
+		t.Errorf("repeated MERGE should not duplicate the node")
+	}
+}
+
+func TestStringAndListFunctionsInQueries(t *testing.T) {
+	g, _ := datasets.Citations()
+	e := NewEngine(g, Options{})
+	res := run(t, e, `
+		MATCH (r:Researcher)
+		RETURN toUpper(r.name) AS up, substring(r.name, 0, 2) AS prefix
+		ORDER BY up`)
+	expectOrdered(t, res, [][]any{
+		{"ELIN", "El"},
+		{"NILS", "Ni"},
+		{"THOR", "Th"},
+	})
+	res = run(t, e, `
+		MATCH (r:Researcher)-[:AUTHORS]->(p)
+		WITH r, collect(p.acmid) AS ids
+		RETURN r.name AS name, size(ids) AS n, head(ids) IS NOT NULL AS ok
+		ORDER BY name`)
+	expectOrdered(t, res, [][]any{
+		{"Elin", 2, true},
+		{"Nils", 1, true},
+	})
+}
+
+func TestChainedWithAggregations(t *testing.T) {
+	g, _ := datasets.Citations()
+	e := NewEngine(g, Options{})
+	// Aggregate twice: publications per researcher, then the maximum.
+	res := run(t, e, `
+		MATCH (r:Researcher)-[:AUTHORS]->(p:Publication)
+		WITH r, count(p) AS pubs
+		RETURN max(pubs) AS most, min(pubs) AS least, count(*) AS researchers`)
+	expectOrdered(t, res, [][]any{{2, 1, 2}})
+}
+
+func TestLabelsFunctionAndHasLabelFiltering(t *testing.T) {
+	e := emptyEngine()
+	run(t, e, "CREATE (:A:B {name: 'ab'}), (:A {name: 'a'}), (:B {name: 'b'})")
+	res := run(t, e, "MATCH (n) WHERE n:A AND n:B RETURN n.name")
+	expectOrdered(t, res, [][]any{{"ab"}})
+	res = run(t, e, "MATCH (n:A) WHERE NOT n:B RETURN n.name")
+	expectOrdered(t, res, [][]any{{"a"}})
+	res = run(t, e, "MATCH (n {name: 'ab'}) RETURN labels(n)")
+	expectOrdered(t, res, [][]any{{[]any{"A", "B"}}})
+}
+
+func TestSelfLoopSingleHopBothDirections(t *testing.T) {
+	g := datasets.SelfLoop()
+	e := NewEngine(g, Options{})
+	// A single-hop undirected pattern over a self-loop matches the
+	// relationship once per clause evaluation.
+	res := run(t, e, "MATCH (x)-[r]-(y) RETURN count(*) AS c")
+	expectOrdered(t, res, [][]any{{1}})
+	res = run(t, e, "MATCH (x)-[r]->(x) RETURN count(*) AS c")
+	expectOrdered(t, res, [][]any{{1}})
+}
+
+func TestParameterDrivenPatternProperties(t *testing.T) {
+	e := emptyEngine()
+	res := runParams(t, e, "CREATE (n:Item $props) RETURN n.name, n.qty", map[string]any{
+		"props": map[string]any{"name": "bolt", "qty": 7},
+	})
+	expectOrdered(t, res, [][]any{{"bolt", 7}})
+	res = runParams(t, e, "MATCH (n:Item {name: $name}) RETURN n.qty", map[string]any{"name": "bolt"})
+	expectOrdered(t, res, [][]any{{7}})
+}
+
+func TestTemporalFunctionsInQueries(t *testing.T) {
+	e := emptyEngine()
+	run(t, e, "CREATE (:Event {name: 'kickoff', on: '2018-06-10'}), (:Event {name: 'deadline', on: '2018-09-01'})")
+	res := run(t, e, `
+		MATCH (e:Event)
+		RETURN e.name AS name, year(date(e.on)) AS y
+		ORDER BY date(e.on)`)
+	expectOrdered(t, res, [][]any{
+		{"kickoff", 2018},
+		{"deadline", 2018},
+	})
+}
+
+func TestUnionAllBagMultiplicity(t *testing.T) {
+	g, _ := datasets.Teachers()
+	e := NewEngine(g, Options{})
+	res := run(t, e, `
+		MATCH (t:Teacher) RETURN 'teacher' AS kind
+		UNION ALL MATCH (s:Student) RETURN 'student' AS kind
+		UNION ALL MATCH (n) RETURN 'node' AS kind`)
+	if res.Len() != 3+1+4 {
+		t.Errorf("UNION ALL should preserve multiplicities, got %d rows", res.Len())
+	}
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/value"
+)
+
+// The tests in this file reproduce, one by one, the figures, tables and
+// worked examples of the paper (experiments E1-E15 in DESIGN.md).
+
+// E1: the Figure 1 data graph.
+func TestFigure1Graph(t *testing.T) {
+	g, nodes := datasets.Citations()
+	s := g.Stats()
+	if s.NodeCount != 10 || s.RelationshipCount != 11 {
+		t.Fatalf("Figure 1 graph has %d nodes and %d relationships, want 10 and 11", s.NodeCount, s.RelationshipCount)
+	}
+	if s.LabelCardinality("Researcher") != 3 || s.LabelCardinality("Publication") != 5 || s.LabelCardinality("Student") != 2 {
+		t.Errorf("label cardinalities wrong: %+v", s.NodesByLabel)
+	}
+	if s.TypeCardinality("CITES") != 5 || s.TypeCardinality("AUTHORS") != 3 || s.TypeCardinality("SUPERVISES") != 3 {
+		t.Errorf("type cardinalities wrong: %+v", s.RelationshipsByType)
+	}
+	if nodes["n1"].Property("name") != value.NewString("Nils") {
+		t.Errorf("n1 should be Nils")
+	}
+}
+
+// sectionThreeQuery is the worked example of Section 3.
+const sectionThreeQuery = `
+	MATCH (r:Researcher)
+	OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+	WITH r, count(s) AS studentsSupervised
+	MATCH (r)-[:AUTHORS]->(p1:Publication)
+	OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication)
+	RETURN r.name, studentsSupervised, count(DISTINCT p2) AS citedCount`
+
+// E6: the final result table of the Section 3 query.
+func TestSection3FinalResult(t *testing.T) {
+	g, _ := datasets.Citations()
+	e := NewEngine(g, Options{})
+	res := run(t, e, sectionThreeQuery)
+	if len(res.Columns()) != 3 || res.Columns()[0] != "r.name" || res.Columns()[1] != "studentsSupervised" || res.Columns()[2] != "citedCount" {
+		t.Fatalf("columns = %v", res.Columns())
+	}
+	expectBag(t, res, [][]any{
+		{"Nils", 0, 3},
+		{"Elin", 2, 1},
+	})
+}
+
+// E2: Figure 2(a) — the bindings after the OPTIONAL MATCH of line 2.
+func TestSection3Figure2a(t *testing.T) {
+	g, nodes := datasets.Citations()
+	e := NewEngine(g, Options{})
+	res := run(t, e, `
+		MATCH (r:Researcher)
+		OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+		RETURN r, s`)
+	expectBag(t, res, [][]any{
+		{nodes["n1"].ID(), nil},
+		{nodes["n6"].ID(), nodes["n7"].ID()},
+		{nodes["n6"].ID(), nodes["n8"].ID()},
+		{nodes["n10"].ID(), nodes["n7"].ID()},
+	})
+}
+
+// E3: Figure 2(b) — the bindings after the WITH of line 3.
+func TestSection3Figure2b(t *testing.T) {
+	g, nodes := datasets.Citations()
+	e := NewEngine(g, Options{})
+	res := run(t, e, `
+		MATCH (r:Researcher)
+		OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+		WITH r, count(s) AS studentsSupervised
+		RETURN r, studentsSupervised`)
+	expectBag(t, res, [][]any{
+		{nodes["n1"].ID(), 0},
+		{nodes["n6"].ID(), 2},
+		{nodes["n10"].ID(), 1},
+	})
+}
+
+// E4: the intermediate table after the MATCH of line 4 (Thor disappears
+// because he has not authored any publication).
+func TestSection3AuthorsTable(t *testing.T) {
+	g, nodes := datasets.Citations()
+	e := NewEngine(g, Options{})
+	res := run(t, e, `
+		MATCH (r:Researcher)
+		OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+		WITH r, count(s) AS studentsSupervised
+		MATCH (r)-[:AUTHORS]->(p1:Publication)
+		RETURN r, studentsSupervised, p1`)
+	expectBag(t, res, [][]any{
+		{nodes["n1"].ID(), 0, nodes["n2"].ID()},
+		{nodes["n6"].ID(), 2, nodes["n5"].ID()},
+		{nodes["n6"].ID(), 2, nodes["n9"].ID()},
+	})
+}
+
+// E5: the intermediate table after the OPTIONAL MATCH of line 5, including
+// the duplicate rows marked with a dagger in the paper (n9 is reachable from
+// n2 through two different citation chains), demonstrating bag semantics of
+// variable-length matching.
+func TestSection3CitesTable(t *testing.T) {
+	g, nodes := datasets.Citations()
+	e := NewEngine(g, Options{})
+	res := run(t, e, `
+		MATCH (r:Researcher)
+		OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+		WITH r, count(s) AS studentsSupervised
+		MATCH (r)-[:AUTHORS]->(p1:Publication)
+		OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication)
+		RETURN r, studentsSupervised, p1, p2`)
+	expectBag(t, res, [][]any{
+		{nodes["n1"].ID(), 0, nodes["n2"].ID(), nodes["n4"].ID()},
+		{nodes["n1"].ID(), 0, nodes["n2"].ID(), nodes["n9"].ID()}, // † via n4
+		{nodes["n1"].ID(), 0, nodes["n2"].ID(), nodes["n5"].ID()},
+		{nodes["n1"].ID(), 0, nodes["n2"].ID(), nodes["n9"].ID()}, // † via n5
+		{nodes["n6"].ID(), 2, nodes["n5"].ID(), nodes["n9"].ID()},
+		{nodes["n6"].ID(), 2, nodes["n9"].ID(), nil},
+	})
+}
+
+// E7: the data-center industry query of Section 3. svc-, the most depended
+// upon service, is returned with its transitive dependent count.
+func TestIndustryDataCenter(t *testing.T) {
+	g := datasets.DataCenter(datasets.DataCenterConfig{Services: 40, MaxDeps: 2, Seed: 7})
+	e := NewEngine(g, Options{})
+	res := run(t, e, `
+		MATCH (svc:Service)<-[:DEPENDS_ON*]-(dep:Service)
+		RETURN svc, count(DISTINCT dep) AS dependents
+		ORDER BY dependents DESC
+		LIMIT 1`)
+	if res.Len() != 1 {
+		t.Fatalf("expected exactly one row, got %d", res.Len())
+	}
+	top := rows(res)[0]
+	topCount := top[1].(int64)
+	// Cross-check: no service can have more transitive dependents than the
+	// winner.
+	all := run(t, e, `
+		MATCH (svc:Service)<-[:DEPENDS_ON*]-(dep:Service)
+		RETURN svc, count(DISTINCT dep) AS dependents`)
+	for _, row := range rows(all) {
+		if row[1].(int64) > topCount {
+			t.Fatalf("service %v has %v dependents, more than the reported maximum %v", row[0], row[1], topCount)
+		}
+	}
+	if topCount < 1 {
+		t.Fatalf("the most depended-upon service should have at least one dependent")
+	}
+}
+
+// E8: the fraud-detection industry query of Section 3 (account holders
+// sharing personal information).
+func TestIndustryFraudRing(t *testing.T) {
+	e := emptyEngine()
+	// Build a small, fully controlled fraud scenario: two account holders
+	// share an SSN, a third is clean.
+	run(t, e, `
+		CREATE (a1:AccountHolder {uniqueId: 'acc-1'}),
+		       (a2:AccountHolder {uniqueId: 'acc-2'}),
+		       (a3:AccountHolder {uniqueId: 'acc-3'}),
+		       (ssn:SSN {value: 111}),
+		       (ph:PhoneNumber {value: 555}),
+		       (addr:Address {value: 'Main St'}),
+		       (a1)-[:HAS]->(ssn),
+		       (a2)-[:HAS]->(ssn),
+		       (a1)-[:HAS]->(ph),
+		       (a3)-[:HAS]->(addr)`)
+	res := run(t, e, `
+		MATCH (accHolder:AccountHolder)-[:HAS]->(pInfo)
+		WHERE pInfo:SSN OR pInfo:PhoneNumber OR pInfo:Address
+		WITH pInfo,
+		     collect(accHolder.uniqueId) AS accountHolders,
+		     count(*) AS fraudRingCount
+		WHERE fraudRingCount > 1
+		RETURN accountHolders, labels(pInfo) AS personalInformation, fraudRingCount`)
+	if res.Len() != 1 {
+		t.Fatalf("expected one fraud ring, got %d rows: %v", res.Len(), rows(res))
+	}
+	row := rows(res)[0]
+	holders := row[0].([]any)
+	if len(holders) != 2 {
+		t.Fatalf("fraud ring should contain two account holders: %v", holders)
+	}
+	labels := row[1].([]any)
+	if len(labels) != 1 || labels[0] != "SSN" {
+		t.Errorf("personalInformation = %v, want [SSN]", labels)
+	}
+	if row[2] != int64(2) {
+		t.Errorf("fraudRingCount = %v, want 2", row[2])
+	}
+}
+
+// E9: Example 4.1 — the formal representation of the Figure 1 graph.
+func TestExample41Representation(t *testing.T) {
+	g, nodes := datasets.Citations()
+	// src(r1) = n1, tgt(r1) = n2, tau(r1) = AUTHORS.
+	rels := g.Relationships()
+	r1 := rels[0]
+	if r1.StartNodeID() != nodes["n1"].ID() || r1.EndNodeID() != nodes["n2"].ID() || r1.RelType() != "AUTHORS" {
+		t.Errorf("r1 wrong: %v -> %v (%s)", r1.StartNodeID(), r1.EndNodeID(), r1.RelType())
+	}
+	// iota(n2, acmid) = 220; lambda(n7) = {Student}.
+	if nodes["n2"].Property("acmid") != value.NewInt(220) {
+		t.Errorf("iota(n2, acmid) wrong")
+	}
+	if labels := nodes["n7"].Labels(); len(labels) != 1 || labels[0] != "Student" {
+		t.Errorf("lambda(n7) wrong: %v", labels)
+	}
+}
+
+// E10: Example 4.2 — node pattern satisfaction over the Figure 4 graph.
+func TestExample42(t *testing.T) {
+	g, nodes := datasets.Teachers()
+	e := NewEngine(g, Options{})
+	// (x:Teacher) is satisfied by n1, n3 and n4 but not by n2.
+	res := run(t, e, "MATCH (x:Teacher) RETURN x")
+	expectBag(t, res, [][]any{
+		{nodes["n1"].ID()}, {nodes["n3"].ID()}, {nodes["n4"].ID()},
+	})
+	// (y) is satisfied by every node.
+	res = run(t, e, "MATCH (y) RETURN count(y) AS n")
+	expectOrdered(t, res, [][]any{{4}})
+}
+
+// E11: Example 4.3 — the rigid pattern (x:Teacher)-[:KNOWS*2]->(y) is
+// satisfied by the path n1 r1 n2 r2 n3 with x=n1, y=n3.
+func TestExample43(t *testing.T) {
+	g, nodes := datasets.Teachers()
+	e := NewEngine(g, Options{})
+	res := run(t, e, "MATCH (x:Teacher)-[:KNOWS*2]->(y) RETURN x, y")
+	expectBag(t, res, [][]any{
+		{nodes["n1"].ID(), nodes["n3"].ID()},
+	})
+}
+
+// E12: Example 4.4 — the variable-length pattern
+// (x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher) matches paths of
+// different lengths and admits several assignments for the same path.
+func TestExample44(t *testing.T) {
+	g, nodes := datasets.Teachers()
+	e := NewEngine(g, Options{})
+	res := run(t, e, "MATCH (x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher) RETURN x, z, y")
+	expectBag(t, res, [][]any{
+		// p1 = n1 r1 n2 r2 n3 with z = n2 (both segments of length 1).
+		{nodes["n1"].ID(), nodes["n2"].ID(), nodes["n3"].ID()},
+		// p2 = n1 r1 n2 r2 n3 r3 n4 with z = n2 (first segment 1, second 2).
+		{nodes["n1"].ID(), nodes["n2"].ID(), nodes["n4"].ID()},
+		// p2 with z = n3 (first segment 2, second 1).
+		{nodes["n1"].ID(), nodes["n3"].ID(), nodes["n4"].ID()},
+	})
+}
+
+// E13: Example 4.5 — with the middle node anonymous, the same path can
+// satisfy the pattern in two ways, so two copies of {x: n1, y: n4} are
+// returned (bag semantics).
+func TestExample45(t *testing.T) {
+	g, nodes := datasets.Teachers()
+	e := NewEngine(g, Options{})
+	res := run(t, e, "MATCH (x:Teacher)-[:KNOWS*1..2]->()-[:KNOWS*1..2]->(y:Teacher) RETURN x, y")
+	expectBag(t, res, [][]any{
+		{nodes["n1"].ID(), nodes["n3"].ID()},
+		{nodes["n1"].ID(), nodes["n4"].ID()},
+		{nodes["n1"].ID(), nodes["n4"].ID()},
+	})
+}
+
+// E14: Example 4.6 — MATCH (x)-[:KNOWS*]->(y) evaluated over the driving
+// table containing x = n1 and x = n3.
+func TestExample46(t *testing.T) {
+	g, nodes := datasets.Teachers()
+	e := NewEngine(g, Options{})
+	res := run(t, e, `
+		MATCH (x) WHERE x.name IN ['n1', 'n3']
+		MATCH (x)-[:KNOWS*]->(y)
+		RETURN x, y`)
+	expectBag(t, res, [][]any{
+		{nodes["n1"].ID(), nodes["n2"].ID()},
+		{nodes["n1"].ID(), nodes["n3"].ID()},
+		{nodes["n1"].ID(), nodes["n4"].ID()},
+		{nodes["n3"].ID(), nodes["n4"].ID()},
+	})
+}
+
+// E15: the complexity discussion of Section 4.2 — on a graph with a single
+// node and a single self-loop, the pattern (x)-[*0..]->(x) returns exactly
+// two matches (traversing the loop zero times and once), not infinitely
+// many, because relationships cannot be repeated within a match.
+func TestSelfLoopTwoMatches(t *testing.T) {
+	g := datasets.SelfLoop()
+	e := NewEngine(g, Options{})
+	res := run(t, e, "MATCH (x)-[*0..]->(x) RETURN count(*) AS matches")
+	expectOrdered(t, res, [][]any{{2}})
+
+	// Under homomorphism semantics the same pattern has unboundedly many
+	// matches; the engine caps the expansion depth to keep the result finite,
+	// yielding depth+1 matches.
+	eh := NewEngine(g, Options{Morphism: Homomorphism, MaxVarLengthDepth: 10})
+	res = run(t, eh, "MATCH (x)-[*0..]->(x) RETURN count(*) AS matches")
+	expectOrdered(t, res, [][]any{{11}})
+}
+
+// Example 4.4's relationship property pattern from Section 4.2:
+// -[:KNOWS*1 {since: 1985}]- and -[:KNOWS {since: 1985}]- match the same
+// single relationship.
+func TestRelationshipPropertyPatterns(t *testing.T) {
+	g, nodes := datasets.Teachers()
+	e := NewEngine(g, Options{})
+	res := run(t, e, "MATCH (a)-[:KNOWS*1 {since: 1985}]-(b) RETURN a, b")
+	expectBag(t, res, [][]any{
+		{nodes["n1"].ID(), nodes["n2"].ID()},
+		{nodes["n2"].ID(), nodes["n1"].ID()},
+	})
+	res2 := run(t, e, "MATCH (a)-[:KNOWS {since: 1985}]-(b) RETURN a, b")
+	expectBag(t, res2, [][]any{
+		{nodes["n1"].ID(), nodes["n2"].ID()},
+		{nodes["n2"].ID(), nodes["n1"].ID()},
+	})
+}

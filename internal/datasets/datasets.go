@@ -1,0 +1,253 @@
+// Package datasets builds the example graphs used in the paper and synthetic
+// workloads for the benchmark harness.
+//
+// Citations builds the data graph of Figure 1 (researchers, students and
+// publications with AUTHORS / SUPERVISES / CITES relationships); Teachers
+// builds the graph of Figure 4 (teachers and students connected by KNOWS).
+// The generator functions produce parameterised synthetic graphs for the
+// three industry scenarios discussed in Section 3: citation networks,
+// fraud-detection graphs where account holders share personal information,
+// and data-center dependency graphs.
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+func props(kv ...any) map[string]value.Value {
+	out := make(map[string]value.Value, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		v, err := value.FromGo(kv[i+1])
+		if err != nil {
+			panic(err)
+		}
+		out[kv[i].(string)] = v
+	}
+	return out
+}
+
+func mustRel(g *graph.Graph, from, to *graph.Node, typ string, p map[string]value.Value) *graph.Relationship {
+	r, err := g.CreateRelationship(from, to, typ, p)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Citations builds the Figure 1 data graph. The returned map gives access to
+// the nodes by their paper identifiers ("n1" ... "n10").
+func Citations() (*graph.Graph, map[string]*graph.Node) {
+	g := graph.NewNamed("citations")
+	n := map[string]*graph.Node{}
+	n["n1"] = g.CreateNode([]string{"Researcher"}, props("name", "Nils"))
+	n["n2"] = g.CreateNode([]string{"Publication"}, props("acmid", 220))
+	n["n3"] = g.CreateNode([]string{"Publication"}, props("acmid", 190))
+	n["n4"] = g.CreateNode([]string{"Publication"}, props("acmid", 235))
+	n["n5"] = g.CreateNode([]string{"Publication"}, props("acmid", 240))
+	n["n6"] = g.CreateNode([]string{"Researcher"}, props("name", "Elin"))
+	n["n7"] = g.CreateNode([]string{"Student"}, props("name", "Sten"))
+	n["n8"] = g.CreateNode([]string{"Student"}, props("name", "Linda"))
+	n["n9"] = g.CreateNode([]string{"Publication"}, props("acmid", 269))
+	n["n10"] = g.CreateNode([]string{"Researcher"}, props("name", "Thor"))
+
+	// Relationships r1...r11, with sources and targets as in Example 4.1.
+	mustRel(g, n["n1"], n["n2"], "AUTHORS", nil)     // r1
+	mustRel(g, n["n2"], n["n3"], "CITES", nil)       // r2
+	mustRel(g, n["n4"], n["n2"], "CITES", nil)       // r3
+	mustRel(g, n["n5"], n["n2"], "CITES", nil)       // r4
+	mustRel(g, n["n6"], n["n5"], "AUTHORS", nil)     // r5
+	mustRel(g, n["n6"], n["n7"], "SUPERVISES", nil)  // r6
+	mustRel(g, n["n6"], n["n8"], "SUPERVISES", nil)  // r7
+	mustRel(g, n["n10"], n["n7"], "SUPERVISES", nil) // r8
+	mustRel(g, n["n9"], n["n4"], "CITES", nil)       // r9
+	mustRel(g, n["n6"], n["n9"], "AUTHORS", nil)     // r10
+	mustRel(g, n["n9"], n["n5"], "CITES", nil)       // r11
+	return g, n
+}
+
+// Teachers builds the Figure 4 property graph: n1:Teacher, n2:Student,
+// n3:Teacher, n4:Teacher with KNOWS relationships n1->n2->n3->n4. Each node
+// carries a name property equal to its paper identifier for easy selection
+// in tests.
+func Teachers() (*graph.Graph, map[string]*graph.Node) {
+	g := graph.NewNamed("teachers")
+	n := map[string]*graph.Node{}
+	n["n1"] = g.CreateNode([]string{"Teacher"}, props("name", "n1"))
+	n["n2"] = g.CreateNode([]string{"Student"}, props("name", "n2"))
+	n["n3"] = g.CreateNode([]string{"Teacher"}, props("name", "n3"))
+	n["n4"] = g.CreateNode([]string{"Teacher"}, props("name", "n4"))
+	mustRel(g, n["n1"], n["n2"], "KNOWS", props("since", 1985)) // r1
+	mustRel(g, n["n2"], n["n3"], "KNOWS", props("since", 1992)) // r2
+	mustRel(g, n["n3"], n["n4"], "KNOWS", props("since", 2001)) // r3
+	return g, n
+}
+
+// SelfLoop builds the one-node, one-relationship graph of the complexity
+// discussion in Section 4.2.
+func SelfLoop() *graph.Graph {
+	g := graph.NewNamed("selfloop")
+	n := g.CreateNode([]string{"Node"}, nil)
+	mustRel(g, n, n, "LOOP", nil)
+	return g
+}
+
+// CitationConfig parameterises the synthetic citation network generator.
+type CitationConfig struct {
+	Researchers           int
+	PublicationsPerAuthor int
+	StudentsPerResearcher int
+	CitationsPerPaper     int
+	Seed                  int64
+}
+
+// CitationNetwork generates a synthetic citation graph shaped like Figure 1:
+// researchers author publications and supervise students, and publications
+// cite older publications.
+func CitationNetwork(cfg CitationConfig) *graph.Graph {
+	if cfg.Researchers <= 0 {
+		cfg.Researchers = 100
+	}
+	if cfg.PublicationsPerAuthor <= 0 {
+		cfg.PublicationsPerAuthor = 3
+	}
+	if cfg.CitationsPerPaper < 0 {
+		cfg.CitationsPerPaper = 2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.NewNamed("citation-network")
+	var pubs []*graph.Node
+	for i := 0; i < cfg.Researchers; i++ {
+		r := g.CreateNode([]string{"Researcher"}, props("name", fmt.Sprintf("researcher-%d", i)))
+		for s := 0; s < cfg.StudentsPerResearcher; s++ {
+			st := g.CreateNode([]string{"Student"}, props("name", fmt.Sprintf("student-%d-%d", i, s)))
+			mustRel(g, r, st, "SUPERVISES", nil)
+		}
+		for p := 0; p < cfg.PublicationsPerAuthor; p++ {
+			pub := g.CreateNode([]string{"Publication"}, props("acmid", int64(len(pubs)+1)))
+			mustRel(g, r, pub, "AUTHORS", nil)
+			// Cite earlier publications (keeps the citation graph acyclic).
+			for c := 0; c < cfg.CitationsPerPaper && len(pubs) > 0; c++ {
+				target := pubs[rng.Intn(len(pubs))]
+				mustRel(g, pub, target, "CITES", nil)
+			}
+			pubs = append(pubs, pub)
+		}
+	}
+	return g
+}
+
+// FraudConfig parameterises the fraud-detection graph generator.
+type FraudConfig struct {
+	AccountHolders int
+	// SharingFraction is the fraction of account holders that share an
+	// identifier with another account holder (the "fraud rings").
+	SharingFraction float64
+	Seed            int64
+}
+
+// FraudNetwork generates the Section 3 fraud-detection scenario: account
+// holders HAS-connected to SSN, PhoneNumber and Address nodes, with a
+// fraction of holders sharing identifiers.
+func FraudNetwork(cfg FraudConfig) *graph.Graph {
+	if cfg.AccountHolders <= 0 {
+		cfg.AccountHolders = 100
+	}
+	if cfg.SharingFraction <= 0 {
+		cfg.SharingFraction = 0.1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.NewNamed("fraud")
+	kinds := []string{"SSN", "PhoneNumber", "Address"}
+	var shared []*graph.Node
+	for i := 0; i < cfg.AccountHolders; i++ {
+		holder := g.CreateNode([]string{"AccountHolder"}, props("uniqueId", fmt.Sprintf("account-%d", i)))
+		for _, kind := range kinds {
+			var info *graph.Node
+			if len(shared) > 0 && rng.Float64() < cfg.SharingFraction {
+				info = shared[rng.Intn(len(shared))]
+			} else {
+				info = g.CreateNode([]string{kind}, props("value", fmt.Sprintf("%s-%d", kind, i)))
+				shared = append(shared, info)
+			}
+			mustRel(g, holder, info, "HAS", nil)
+		}
+	}
+	return g
+}
+
+// DataCenterConfig parameterises the data-center dependency graph generator.
+type DataCenterConfig struct {
+	Services  int
+	MaxDeps   int
+	ExtraTier int // additional infrastructure nodes (servers, switches)
+	Seed      int64
+}
+
+// DataCenter generates the Section 3 network-management scenario: a DAG of
+// Service nodes connected by DEPENDS_ON relationships, plus supporting
+// infrastructure nodes.
+func DataCenter(cfg DataCenterConfig) *graph.Graph {
+	if cfg.Services <= 0 {
+		cfg.Services = 100
+	}
+	if cfg.MaxDeps <= 0 {
+		cfg.MaxDeps = 3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.NewNamed("datacenter")
+	services := make([]*graph.Node, cfg.Services)
+	for i := range services {
+		services[i] = g.CreateNode([]string{"Service"}, props("name", fmt.Sprintf("svc-%d", i)))
+		// Depend on earlier services only, so the dependency graph is acyclic
+		// and lower-numbered services accumulate the most dependents.
+		deps := rng.Intn(cfg.MaxDeps + 1)
+		for d := 0; d < deps && i > 0; d++ {
+			target := services[rng.Intn(i)]
+			mustRel(g, services[i], target, "DEPENDS_ON", nil)
+		}
+	}
+	for i := 0; i < cfg.ExtraTier; i++ {
+		srv := g.CreateNode([]string{"Server"}, props("name", fmt.Sprintf("server-%d", i)))
+		mustRel(g, services[rng.Intn(len(services))], srv, "RUNS_ON", nil)
+	}
+	return g
+}
+
+// SocialConfig parameterises the social network generator used by the
+// morphism and variable-length benchmarks.
+type SocialConfig struct {
+	People      int
+	FriendsEach int
+	Seed        int64
+}
+
+// SocialNetwork generates a Person/KNOWS graph with roughly uniform degree.
+func SocialNetwork(cfg SocialConfig) *graph.Graph {
+	if cfg.People <= 0 {
+		cfg.People = 100
+	}
+	if cfg.FriendsEach <= 0 {
+		cfg.FriendsEach = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.NewNamed("social")
+	people := make([]*graph.Node, cfg.People)
+	for i := range people {
+		people[i] = g.CreateNode([]string{"Person"}, props("name", fmt.Sprintf("person-%d", i), "age", int64(18+rng.Intn(60))))
+	}
+	for i, p := range people {
+		for f := 0; f < cfg.FriendsEach; f++ {
+			other := people[rng.Intn(len(people))]
+			if other == p {
+				continue
+			}
+			mustRel(g, p, other, "KNOWS", props("since", int64(1990+rng.Intn(30))))
+		}
+		_ = i
+	}
+	return g
+}

@@ -1,0 +1,154 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestCitationsShape(t *testing.T) {
+	g, nodes := Citations()
+	s := g.Stats()
+	if s.NodeCount != 10 || s.RelationshipCount != 11 {
+		t.Fatalf("Figure 1 shape wrong: %+v", s)
+	}
+	if len(nodes) != 10 {
+		t.Fatalf("node map should expose all 10 nodes")
+	}
+	// Spot-check the adjacency of Example 4.1: n6 authors n5 and n9 and
+	// supervises n7 and n8.
+	elin := nodes["n6"]
+	if elin.Degree(graph.Outgoing, "AUTHORS") != 2 || elin.Degree(graph.Outgoing, "SUPERVISES") != 2 {
+		t.Errorf("Elin's adjacency wrong")
+	}
+	if nodes["n9"].Degree(graph.Outgoing, "CITES") != 2 {
+		t.Errorf("n9 should cite two publications")
+	}
+	if nodes["n10"].Degree(graph.Outgoing, "AUTHORS") != 0 {
+		t.Errorf("Thor has no publications")
+	}
+}
+
+func TestTeachersShape(t *testing.T) {
+	g, nodes := Teachers()
+	s := g.Stats()
+	if s.NodeCount != 4 || s.RelationshipCount != 3 {
+		t.Fatalf("Figure 4 shape wrong: %+v", s)
+	}
+	if s.LabelCardinality("Teacher") != 3 || s.LabelCardinality("Student") != 1 {
+		t.Errorf("Figure 4 labels wrong: %+v", s.NodesByLabel)
+	}
+	if nodes["n1"].Degree(graph.Outgoing, "KNOWS") != 1 || nodes["n4"].Degree(graph.Outgoing, "KNOWS") != 0 {
+		t.Errorf("KNOWS chain wrong")
+	}
+}
+
+func TestSelfLoopShape(t *testing.T) {
+	g := SelfLoop()
+	s := g.Stats()
+	if s.NodeCount != 1 || s.RelationshipCount != 1 {
+		t.Fatalf("self-loop graph shape wrong: %+v", s)
+	}
+	n := g.Nodes()[0]
+	if n.Degree(graph.Outgoing) != 1 || n.Degree(graph.Incoming) != 1 {
+		t.Errorf("self loop adjacency wrong")
+	}
+}
+
+func TestGeneratorsAreDeterministicAndSized(t *testing.T) {
+	a := CitationNetwork(CitationConfig{Researchers: 20, PublicationsPerAuthor: 2, StudentsPerResearcher: 1, CitationsPerPaper: 2, Seed: 5})
+	b := CitationNetwork(CitationConfig{Researchers: 20, PublicationsPerAuthor: 2, StudentsPerResearcher: 1, CitationsPerPaper: 2, Seed: 5})
+	sa, sb := a.Stats(), b.Stats()
+	if sa.NodeCount != sb.NodeCount || sa.RelationshipCount != sb.RelationshipCount {
+		t.Errorf("same seed should give the same graph: %+v vs %+v", sa, sb)
+	}
+	if sa.LabelCardinality("Researcher") != 20 || sa.LabelCardinality("Publication") != 40 || sa.LabelCardinality("Student") != 20 {
+		t.Errorf("citation network sizes wrong: %+v", sa.NodesByLabel)
+	}
+
+	f := FraudNetwork(FraudConfig{AccountHolders: 50, SharingFraction: 0.2, Seed: 1})
+	sf := f.Stats()
+	if sf.LabelCardinality("AccountHolder") != 50 {
+		t.Errorf("fraud network holders wrong: %+v", sf.NodesByLabel)
+	}
+	if sf.TypeCardinality("HAS") != 150 {
+		t.Errorf("every holder HAS three identifiers: %+v", sf.RelationshipsByType)
+	}
+	// Sharing means strictly fewer identifier nodes than 3 per holder.
+	idNodes := sf.NodeCount - 50
+	if idNodes >= 150 {
+		t.Errorf("some identifiers should be shared, got %d identifier nodes", idNodes)
+	}
+
+	d := DataCenter(DataCenterConfig{Services: 30, MaxDeps: 2, ExtraTier: 5, Seed: 9})
+	sd := d.Stats()
+	if sd.LabelCardinality("Service") != 30 || sd.LabelCardinality("Server") != 5 {
+		t.Errorf("data center sizes wrong: %+v", sd.NodesByLabel)
+	}
+	if sd.TypeCardinality("RUNS_ON") != 5 {
+		t.Errorf("extra tier relationships wrong: %+v", sd.RelationshipsByType)
+	}
+
+	soc := SocialNetwork(SocialConfig{People: 40, FriendsEach: 3, Seed: 2})
+	ss := soc.Stats()
+	if ss.LabelCardinality("Person") != 40 {
+		t.Errorf("social network size wrong: %+v", ss.NodesByLabel)
+	}
+	if ss.TypeCardinality("KNOWS") == 0 || ss.TypeCardinality("KNOWS") > 40*3 {
+		t.Errorf("social network relationship count out of range: %+v", ss.RelationshipsByType)
+	}
+}
+
+func TestGeneratorDefaults(t *testing.T) {
+	// Zero-valued configs fall back to sensible defaults rather than empty
+	// graphs.
+	if CitationNetwork(CitationConfig{}).Stats().NodeCount == 0 {
+		t.Errorf("default citation network should not be empty")
+	}
+	if FraudNetwork(FraudConfig{}).Stats().NodeCount == 0 {
+		t.Errorf("default fraud network should not be empty")
+	}
+	if DataCenter(DataCenterConfig{}).Stats().NodeCount == 0 {
+		t.Errorf("default data center should not be empty")
+	}
+	if SocialNetwork(SocialConfig{}).Stats().NodeCount == 0 {
+		t.Errorf("default social network should not be empty")
+	}
+}
+
+// The DataCenter generator must produce an acyclic dependency graph (services
+// depend only on earlier services); verify by checking for the absence of
+// directed cycles with a simple DFS.
+func TestDataCenterIsAcyclic(t *testing.T) {
+	g := DataCenter(DataCenterConfig{Services: 60, MaxDeps: 3, Seed: 4})
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := map[int64]int{}
+	var visit func(n *graph.Node) bool
+	visit = func(n *graph.Node) bool {
+		state[n.ID()] = inStack
+		for _, r := range n.Relationships(graph.Outgoing, "DEPENDS_ON") {
+			next := r.EndNode()
+			switch state[next.ID()] {
+			case inStack:
+				return false
+			case unvisited:
+				if !visit(next) {
+					return false
+				}
+			}
+		}
+		state[n.ID()] = done
+		return true
+	}
+	for _, n := range g.NodesByLabel("Service") {
+		if state[n.ID()] == unvisited {
+			if !visit(n) {
+				t.Fatalf("dependency graph contains a cycle")
+			}
+		}
+	}
+}

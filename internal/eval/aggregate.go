@@ -1,0 +1,185 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// aggregateNames is the set of aggregating functions. Their semantics follow
+// SQL (and the paper's Section 3 examples): null inputs are skipped, count(*)
+// counts rows, and DISTINCT de-duplicates inputs before aggregation.
+var aggregateNames = map[string]bool{
+	"count":   true,
+	"collect": true,
+	"sum":     true,
+	"avg":     true,
+	"min":     true,
+	"max":     true,
+}
+
+// IsAggregate reports whether the named function is an aggregating function.
+func IsAggregate(name string) bool { return aggregateNames[name] }
+
+// Aggregator accumulates values for one aggregation expression within one
+// group.
+type Aggregator interface {
+	// Add feeds one input value (already evaluated) into the aggregate.
+	Add(v value.Value) error
+	// Result returns the aggregate for the group.
+	Result() value.Value
+}
+
+// NewAggregator creates an aggregator for the named function. Distinct wraps
+// the aggregator so that equivalent input values are only counted once.
+func NewAggregator(name string, distinct bool) (Aggregator, error) {
+	var agg Aggregator
+	switch name {
+	case "count":
+		agg = &countAgg{}
+	case "collect":
+		agg = &collectAgg{}
+	case "sum":
+		agg = &sumAgg{}
+	case "avg":
+		agg = &avgAgg{}
+	case "min":
+		agg = &minMaxAgg{min: true}
+	case "max":
+		agg = &minMaxAgg{min: false}
+	default:
+		return nil, fmt.Errorf("eval: unknown aggregating function %q", name)
+	}
+	if distinct {
+		return &distinctAgg{inner: agg, seen: map[string]bool{}}, nil
+	}
+	return agg, nil
+}
+
+// NewCountStarAggregator returns the aggregator for count(*), which counts
+// rows rather than non-null values.
+func NewCountStarAggregator() Aggregator { return &countStarAgg{} }
+
+type countAgg struct{ n int64 }
+
+func (a *countAgg) Add(v value.Value) error {
+	if !value.IsNull(v) {
+		a.n++
+	}
+	return nil
+}
+func (a *countAgg) Result() value.Value { return value.NewInt(a.n) }
+
+type countStarAgg struct{ n int64 }
+
+func (a *countStarAgg) Add(value.Value) error { a.n++; return nil }
+func (a *countStarAgg) Result() value.Value   { return value.NewInt(a.n) }
+
+type collectAgg struct{ vals []value.Value }
+
+func (a *collectAgg) Add(v value.Value) error {
+	if !value.IsNull(v) {
+		a.vals = append(a.vals, v)
+	}
+	return nil
+}
+func (a *collectAgg) Result() value.Value { return value.NewListOf(a.vals) }
+
+type sumAgg struct {
+	sum value.Value
+	any bool
+}
+
+func (a *sumAgg) Add(v value.Value) error {
+	if value.IsNull(v) {
+		return nil
+	}
+	if !value.IsNumber(v) {
+		return fmt.Errorf("%w: sum() requires numbers, got %s", ErrTypeError, v.Kind())
+	}
+	if !a.any {
+		a.sum = v
+		a.any = true
+		return nil
+	}
+	s, err := value.Add(a.sum, v)
+	if err != nil {
+		return err
+	}
+	a.sum = s
+	return nil
+}
+func (a *sumAgg) Result() value.Value {
+	if !a.any {
+		return value.NewInt(0)
+	}
+	return a.sum
+}
+
+type avgAgg struct {
+	sum   float64
+	count int64
+}
+
+func (a *avgAgg) Add(v value.Value) error {
+	if value.IsNull(v) {
+		return nil
+	}
+	f, ok := value.AsFloat(v)
+	if !ok {
+		return fmt.Errorf("%w: avg() requires numbers, got %s", ErrTypeError, v.Kind())
+	}
+	a.sum += f
+	a.count++
+	return nil
+}
+func (a *avgAgg) Result() value.Value {
+	if a.count == 0 {
+		return value.Null()
+	}
+	return value.NewFloat(a.sum / float64(a.count))
+}
+
+type minMaxAgg struct {
+	min  bool
+	best value.Value
+}
+
+func (a *minMaxAgg) Add(v value.Value) error {
+	if value.IsNull(v) {
+		return nil
+	}
+	if a.best == nil {
+		a.best = v
+		return nil
+	}
+	cmp := value.Compare(v, a.best)
+	if (a.min && cmp < 0) || (!a.min && cmp > 0) {
+		a.best = v
+	}
+	return nil
+}
+func (a *minMaxAgg) Result() value.Value {
+	if a.best == nil {
+		return value.Null()
+	}
+	return a.best
+}
+
+type distinctAgg struct {
+	inner Aggregator
+	seen  map[string]bool
+}
+
+func (a *distinctAgg) Add(v value.Value) error {
+	if value.IsNull(v) {
+		return nil
+	}
+	key := value.GroupKey(v)
+	if a.seen[key] {
+		return nil
+	}
+	a.seen[key] = true
+	return a.inner.Add(v)
+}
+func (a *distinctAgg) Result() value.Value { return a.inner.Result() }

@@ -1,0 +1,291 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/planner"
+	"repro/internal/result"
+	"repro/internal/value"
+)
+
+// runQuery plans and executes a query against the graph with the given
+// options.
+func runQuery(t *testing.T, g *graph.Graph, opts Options, src string) *result.Table {
+	t.Helper()
+	q, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	pl, err := planner.New(g).Plan(q)
+	if err != nil {
+		t.Fatalf("plan %q: %v", src, err)
+	}
+	tbl, err := New(g, nil, opts).Execute(pl)
+	if err != nil {
+		t.Fatalf("execute %q: %v", src, err)
+	}
+	return tbl
+}
+
+func count(t *testing.T, g *graph.Graph, opts Options, src string) int64 {
+	t.Helper()
+	tbl := runQuery(t, g, opts, src)
+	if tbl.Len() != 1 {
+		t.Fatalf("expected a single row from %q, got %d", src, tbl.Len())
+	}
+	n, ok := value.AsInt(tbl.Rows()[0][0])
+	if !ok {
+		t.Fatalf("expected an integer, got %v", tbl.Rows()[0][0])
+	}
+	return n
+}
+
+func TestMorphismString(t *testing.T) {
+	if EdgeIsomorphism.String() != "edge-isomorphism" || Homomorphism.String() != "homomorphism" || NodeIsomorphism.String() != "node-isomorphism" {
+		t.Errorf("Morphism.String wrong")
+	}
+}
+
+func TestVarLengthBoundsAndDirections(t *testing.T) {
+	// Chain a -> b -> c -> d.
+	g := graph.New()
+	var nodes []*graph.Node
+	for i := 0; i < 4; i++ {
+		nodes = append(nodes, g.CreateNode([]string{"N"}, map[string]value.Value{"i": value.NewInt(int64(i))}))
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := g.CreateRelationship(nodes[i], nodes[i+1], "NEXT", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := Options{}
+	cases := map[string]int64{
+		"MATCH (a {i: 0})-[:NEXT*]->(x) RETURN count(*) AS c":       3,
+		"MATCH (a {i: 0})-[:NEXT*0..]->(x) RETURN count(*) AS c":    4, // includes the zero-length match
+		"MATCH (a {i: 0})-[:NEXT*2..]->(x) RETURN count(*) AS c":    2,
+		"MATCH (a {i: 0})-[:NEXT*..2]->(x) RETURN count(*) AS c":    2,
+		"MATCH (a {i: 0})-[:NEXT*3]->(x) RETURN count(*) AS c":      1,
+		"MATCH (a {i: 3})<-[:NEXT*]-(x) RETURN count(*) AS c":       3,
+		"MATCH (a {i: 1})-[:NEXT*1..2]-(x) RETURN count(*) AS c":    4, // undirected: 0,2 at depth 1; 3 and back-to-0? no: 0 and 2, then 3 and... 0 is reached once, 2 once, 3 via 2, and 0 has no further; total 4 (0,2,3 plus 2->3? recount below)
+		"MATCH (a {i: 0})-[:MISSING*]->(x) RETURN count(*) AS c":    0,
+		"MATCH (a {i: 0})-[:NEXT]->()-[:NEXT]->(x) RETURN x.i AS i": 2,
+	}
+	for src, want := range cases {
+		if src == "MATCH (a {i: 1})-[:NEXT*1..2]-(x) RETURN count(*) AS c" {
+			// Verify the undirected case by explicit enumeration instead of
+			// the hand-computed constant: from node 1 the reachable
+			// relationship sequences of length 1..2 without repeating a
+			// relationship are: [r1] (to 0), [r2] (to 2), [r2,r3] (to 3) —
+			// and from 0 there is nothing further, so 3 matches... unless the
+			// traversal can also go [r1] then back over r2? No: [r1, ...]
+			// from node 0 has no other incident relationship than r1 itself.
+			want = 3
+		}
+		got := count(t, g, opts, src)
+		if src == "MATCH (a {i: 0})-[:NEXT]->()-[:NEXT]->(x) RETURN x.i AS i" {
+			// This case returns a value, not a count.
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %d, want %d", src, got, want)
+		}
+	}
+	tbl := runQuery(t, g, opts, "MATCH (a {i: 0})-[:NEXT]->()-[:NEXT]->(x) RETURN x.i AS i")
+	if tbl.Len() != 1 || value.Compare(tbl.Rows()[0][0], value.NewInt(2)) != 0 {
+		t.Errorf("two-hop chain wrong: %v", tbl.Rows())
+	}
+}
+
+func TestMorphismSemanticsOnTriangle(t *testing.T) {
+	// Triangle a->b->c->a plus the reverse edges, rich in cycles.
+	g := graph.New()
+	a := g.CreateNode([]string{"P"}, map[string]value.Value{"name": value.NewString("a")})
+	b := g.CreateNode([]string{"P"}, map[string]value.Value{"name": value.NewString("b")})
+	c := g.CreateNode([]string{"P"}, map[string]value.Value{"name": value.NewString("c")})
+	for _, pair := range [][2]*graph.Node{{a, b}, {b, c}, {c, a}} {
+		if _, err := g.CreateRelationship(pair[0], pair[1], "R", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := "MATCH (x {name: 'a'})-[:R*1..3]->(y) RETURN count(*) AS c"
+	// Edge isomorphism: paths a->b, a->b->c, a->b->c->a : 3 matches.
+	if got := count(t, g, Options{Morphism: EdgeIsomorphism}, q); got != 3 {
+		t.Errorf("edge isomorphism count = %d, want 3", got)
+	}
+	// Homomorphism: relationships may repeat, but depth is still capped at 3
+	// by the pattern: a->b, a->b->c, a->b->c->a — the same 3 here.
+	if got := count(t, g, Options{Morphism: Homomorphism}, q); got != 3 {
+		t.Errorf("homomorphism count = %d, want 3", got)
+	}
+	// Node isomorphism on the closing pattern: the cycle a->b->c->a revisits
+	// a, so only 2 matches remain.
+	if got := count(t, g, Options{Morphism: NodeIsomorphism}, q); got != 2 {
+		t.Errorf("node isomorphism count = %d, want 2", got)
+	}
+	// Unbounded homomorphism is capped by MaxVarLengthDepth.
+	unbounded := "MATCH (x {name: 'a'})-[:R*]->(y) RETURN count(*) AS c"
+	if got := count(t, g, Options{Morphism: Homomorphism, MaxVarLengthDepth: 5}, unbounded); got != 5 {
+		t.Errorf("capped homomorphism count = %d, want 5", got)
+	}
+	// Single-hop patterns sharing the same MATCH respect uniqueness across
+	// pattern parts under edge isomorphism but not under homomorphism.
+	twoRels := "MATCH (x)-[r1:R]->(y), (u)-[r2:R]->(v) RETURN count(*) AS c"
+	if got := count(t, g, Options{Morphism: EdgeIsomorphism}, twoRels); got != 6 {
+		t.Errorf("edge isomorphism pairs = %d, want 6", got)
+	}
+	if got := count(t, g, Options{Morphism: Homomorphism}, twoRels); got != 9 {
+		t.Errorf("homomorphism pairs = %d, want 9", got)
+	}
+}
+
+func TestExpandIntoAndNullSources(t *testing.T) {
+	g, _ := datasets.Teachers()
+	opts := Options{}
+	// OPTIONAL MATCH that fails binds nulls; expanding from the null must not
+	// blow up and contributes no rows.
+	tbl := runQuery(t, g, opts, `
+		MATCH (a {name: 'n4'})
+		OPTIONAL MATCH (a)-[:KNOWS]->(b)
+		OPTIONAL MATCH (b)-[:KNOWS]->(c)
+		RETURN a.name AS a, b, c`)
+	if tbl.Len() != 1 {
+		t.Fatalf("expected one row, got %d", tbl.Len())
+	}
+	row := tbl.Rows()[0]
+	if !value.IsNull(row[1]) || !value.IsNull(row[2]) {
+		t.Errorf("nulls should propagate through chained optional matches: %v", row)
+	}
+}
+
+func TestArgumentOutsideApplyFails(t *testing.T) {
+	g := graph.New()
+	ex := New(g, nil, Options{})
+	_, err := ex.Execute(&plan.Plan{Root: &plan.Argument{}, Columns: nil})
+	if err == nil || !strings.Contains(err.Error(), "Argument") {
+		t.Errorf("Argument outside an apply context should fail, got %v", err)
+	}
+}
+
+func TestUnsupportedOperatorFails(t *testing.T) {
+	g := graph.New()
+	ex := New(g, nil, Options{})
+	_, err := ex.Execute(&plan.Plan{Root: fakeOp{}})
+	if err == nil || !strings.Contains(err.Error(), "unsupported operator") {
+		t.Errorf("unknown operators should fail, got %v", err)
+	}
+}
+
+type fakeOp struct{}
+
+func (fakeOp) Describe() string      { return "Fake" }
+func (fakeOp) Source() plan.Operator { return nil }
+
+func TestSkipLimitValidation(t *testing.T) {
+	g := graph.New()
+	ex := New(g, nil, Options{})
+	bad := &plan.Plan{
+		Root: &plan.Limit{
+			Input: &plan.Start{},
+			Count: &ast.Literal{Value: value.NewString("x")},
+		},
+	}
+	if _, err := ex.Execute(bad); err == nil {
+		t.Errorf("non-integer LIMIT should fail")
+	}
+	badSkip := &plan.Plan{
+		Root: &plan.Skip{
+			Input: &plan.Start{},
+			Count: &ast.Literal{Value: value.NewInt(-1)},
+		},
+	}
+	if _, err := ex.Execute(badSkip); err == nil {
+		t.Errorf("negative SKIP should fail")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	g := graph.New()
+	opts := Options{}
+	// Reusing a bound variable with extra labels is rejected.
+	q, err := parser.Parse("CREATE (a:X) CREATE (a:Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := planner.New(g).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(g, nil, opts).Execute(pl); err == nil {
+		t.Errorf("re-creating a bound variable with labels should fail")
+	}
+	// Plain reuse of a bound variable is fine (creates a relationship to it).
+	tbl := runQuery(t, g, opts, "CREATE (a:X) CREATE (a)-[:R]->(b:Y) RETURN id(b) AS id")
+	if tbl.Len() != 1 {
+		t.Errorf("create with bound reuse should work")
+	}
+}
+
+func TestDeletePathsAndMergeOnBoundNodes(t *testing.T) {
+	g := graph.New()
+	opts := Options{}
+	runQuery(t, g, opts, "CREATE (:A {name: 'a'})-[:R]->(:B {name: 'b'})-[:R]->(:C {name: 'c'})")
+	// Deleting a whole matched path removes its relationships and nodes.
+	runQuery(t, g, opts, "MATCH p = (:A)-[:R*]->(:C) DETACH DELETE p")
+	if g.Stats().NodeCount != 0 || g.Stats().RelationshipCount != 0 {
+		t.Errorf("path delete should empty the graph: %+v", g.Stats())
+	}
+
+	// MERGE with bound endpoints creates the relationship at most once.
+	runQuery(t, g, opts, "CREATE (:City {name: 'x'}), (:City {name: 'y'})")
+	for i := 0; i < 3; i++ {
+		runQuery(t, g, opts, "MATCH (a:City {name: 'x'}), (b:City {name: 'y'}) MERGE (a)-[:ROAD]->(b)")
+	}
+	if got := g.Stats().RelationshipCount; got != 1 {
+		t.Errorf("MERGE should be idempotent, got %d relationships", got)
+	}
+}
+
+func TestPatternPredicateHookAndPaths(t *testing.T) {
+	g, _ := datasets.Citations()
+	opts := Options{}
+	tbl := runQuery(t, g, opts, "MATCH (r:Researcher) WHERE EXISTS((r)-[:AUTHORS]->(:Publication)) RETURN count(*) AS c")
+	if value.Compare(tbl.Rows()[0][0], value.NewInt(2)) != 0 {
+		t.Errorf("pattern predicate count wrong: %v", tbl.Rows()[0][0])
+	}
+	// Named variable-length paths are assembled with their interior nodes.
+	tbl = runQuery(t, g, opts, "MATCH p = (:Publication {acmid: 269})-[:CITES*2]->(x) RETURN size(nodes(p)) AS n, x.acmid AS acmid")
+	for _, row := range tbl.Rows() {
+		if value.Compare(row[0], value.NewInt(3)) != 0 {
+			t.Errorf("a 2-hop path has 3 nodes, got %v", row[0])
+		}
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("n9 cites n4 and n5, which cite n2: expected 2 two-hop paths, got %d", tbl.Len())
+	}
+}
+
+func TestDistinctUnionAndSortStability(t *testing.T) {
+	g := graph.New()
+	opts := Options{}
+	runQuery(t, g, opts, "CREATE (:N {v: 1, tie: 1}), (:N {v: 1, tie: 2}), (:N {v: 2, tie: 3})")
+	tbl := runQuery(t, g, opts, "MATCH (n:N) RETURN DISTINCT n.v AS v")
+	if tbl.Len() != 2 {
+		t.Errorf("DISTINCT should collapse duplicates, got %d rows", tbl.Len())
+	}
+	// Stable sort: equal keys keep their encounter order (by tie insertion).
+	tbl = runQuery(t, g, opts, "MATCH (n:N) RETURN n.tie AS tie ORDER BY n.v")
+	rows := tbl.Rows()
+	if value.Compare(rows[0][0], value.NewInt(1)) != 0 || value.Compare(rows[1][0], value.NewInt(2)) != 0 {
+		t.Errorf("stable sort order wrong: %v", rows)
+	}
+	tbl = runQuery(t, g, opts, "MATCH (n:N) RETURN n.v AS v UNION MATCH (n:N) RETURN n.v AS v")
+	if tbl.Len() != 2 {
+		t.Errorf("UNION should deduplicate across branches, got %d", tbl.Len())
+	}
+}

@@ -1,0 +1,523 @@
+// Package exec implements the runtime that evaluates compiled query plans
+// against a property graph. Operators are executed as a push-based pipeline
+// (the tuple-at-a-time producer/consumer model the paper cites for Neo4j's
+// compiled runtime [Neumann 2011]); the operator vocabulary itself follows
+// the Volcano-style plans of package plan.
+//
+// The pattern-matching core implements the match(pi, G, u) relation of
+// Section 4.2 of the paper: bag semantics, and relationship-isomorphism
+// (no relationship is traversed twice within one MATCH clause), configurable
+// to homomorphism or node-isomorphism as discussed in the paper's
+// "configurable morphisms" future work.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/result"
+	"repro/internal/value"
+)
+
+// Morphism selects the pattern-matching semantics.
+type Morphism int
+
+// Pattern-matching morphism modes (Section 8 of the paper).
+const (
+	// EdgeIsomorphism is Cypher's default: within one MATCH clause no
+	// relationship is bound more than once.
+	EdgeIsomorphism Morphism = iota
+	// Homomorphism places no uniqueness restriction on matches.
+	Homomorphism
+	// NodeIsomorphism requires all node bindings within one MATCH clause to
+	// be distinct.
+	NodeIsomorphism
+)
+
+// String returns the name of the morphism mode.
+func (m Morphism) String() string {
+	switch m {
+	case Homomorphism:
+		return "homomorphism"
+	case NodeIsomorphism:
+		return "node-isomorphism"
+	default:
+		return "edge-isomorphism"
+	}
+}
+
+// Options configures an Executor.
+type Options struct {
+	// Morphism selects the pattern-matching semantics; the default is
+	// relationship (edge) isomorphism.
+	Morphism Morphism
+	// MaxVarLengthDepth bounds unbounded variable-length expansion when the
+	// morphism places no uniqueness restriction (homomorphism), which would
+	// otherwise produce infinite results on cyclic graphs. Zero means the
+	// default of 15.
+	MaxVarLengthDepth int
+}
+
+// DefaultMaxVarLengthDepth is the homomorphism-mode depth cap.
+const DefaultMaxVarLengthDepth = 15
+
+// Executor evaluates plans against a graph.
+type Executor struct {
+	graph   *graph.Graph
+	params  map[string]value.Value
+	opts    Options
+	evalCtx *eval.Context
+}
+
+// New creates an executor over the graph with the given query parameters.
+func New(g *graph.Graph, params map[string]value.Value, opts Options) *Executor {
+	if opts.MaxVarLengthDepth <= 0 {
+		opts.MaxVarLengthDepth = DefaultMaxVarLengthDepth
+	}
+	ex := &Executor{graph: g, params: params, opts: opts}
+	ex.evalCtx = &eval.Context{Params: params, PatternPredicate: ex.patternPredicate}
+	return ex
+}
+
+// Execute runs the plan and returns the result table.
+func (ex *Executor) Execute(p *plan.Plan) (*result.Table, error) {
+	tbl := result.NewTable(p.Columns...)
+	err := ex.run(p.Root, nil, func(r result.Record) error {
+		tbl.Add(r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// emitFn consumes one produced row; returning an error stops production.
+type emitFn func(result.Record) error
+
+// run executes the operator, producing rows into emit. arg is the outer row
+// supplied to Argument leaves (used by Optional and other apply-style
+// operators); it is nil at the top level.
+func (ex *Executor) run(op plan.Operator, arg result.Record, emit emitFn) error {
+	switch o := op.(type) {
+	case *plan.Start:
+		return emit(result.NewRecord())
+	case *plan.Argument:
+		if arg == nil {
+			return errors.New("exec: Argument operator outside of an apply context")
+		}
+		return emit(arg.Clone())
+
+	case *plan.AllNodesScan:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			for _, n := range ex.graph.Nodes() {
+				if err := emit(r.Extended(o.Var, value.NewNode(n))); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case *plan.NodeByLabelScan:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			for _, n := range ex.graph.NodesByLabel(o.Label) {
+				if err := emit(r.Extended(o.Var, value.NewNode(n))); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case *plan.NodeIndexSeek:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			v, err := ex.evalCtx.Evaluate(o.Value, r)
+			if err != nil {
+				return err
+			}
+			if value.IsNull(v) {
+				return nil
+			}
+			for _, n := range ex.graph.NodesByLabelProperty(o.Label, o.Property, v) {
+				if err := emit(r.Extended(o.Var, value.NewNode(n))); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+
+	case *plan.Expand:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			return ex.expand(o, r, emit)
+		})
+
+	case *plan.Filter:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			ok, err := ex.evalCtx.EvaluateTruth(o.Predicate, r)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			return emit(r)
+		})
+
+	case *plan.Optional:
+		return ex.run(o.Input, arg, func(outer result.Record) error {
+			matched := false
+			err := ex.run(o.Inner, outer, func(r result.Record) error {
+				matched = true
+				return emit(r)
+			})
+			if err != nil {
+				return err
+			}
+			if matched {
+				return nil
+			}
+			r := outer.Clone()
+			for _, v := range o.IntroducedVars {
+				if !r.Has(v) {
+					r[v] = value.Null()
+				}
+			}
+			return emit(r)
+		})
+
+	case *plan.ProjectPath:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			p, err := ex.buildPath(o.Part, r)
+			if err != nil {
+				return err
+			}
+			return emit(r.Extended(o.Var, p))
+		})
+
+	case *plan.Unwind:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			v, err := ex.evalCtx.Evaluate(o.Expr, r)
+			if err != nil {
+				return err
+			}
+			// Figure 7: a list unwinds element-wise, an empty list and null
+			// produce no rows, and any other value produces a single row.
+			switch {
+			case value.IsNull(v):
+				return nil
+			case v.Kind() == value.KindList:
+				l, _ := value.AsList(v)
+				for _, el := range l.Elements() {
+					if err := emit(r.Extended(o.Alias, el)); err != nil {
+						return err
+					}
+				}
+				return nil
+			default:
+				return emit(r.Extended(o.Alias, v))
+			}
+		})
+
+	case *plan.Project:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			out := r.Clone()
+			for _, item := range o.Items {
+				v, err := ex.evalCtx.Evaluate(item.Expr, r)
+				if err != nil {
+					return err
+				}
+				out[item.Name] = v
+			}
+			return emit(out)
+		})
+
+	case *plan.Aggregate:
+		return ex.runAggregate(o, arg, emit)
+
+	case *plan.Distinct:
+		seen := map[string]bool{}
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			vals := make([]value.Value, len(o.Columns))
+			for i, c := range o.Columns {
+				vals[i] = r.Get(c)
+			}
+			key := value.GroupKeyOf(vals...)
+			if seen[key] {
+				return nil
+			}
+			seen[key] = true
+			return emit(r)
+		})
+
+	case *plan.Sort:
+		var rows []result.Record
+		if err := ex.run(o.Input, arg, func(r result.Record) error {
+			rows = append(rows, r)
+			return nil
+		}); err != nil {
+			return err
+		}
+		keys := make([][]value.Value, len(rows))
+		for i, r := range rows {
+			keys[i] = make([]value.Value, len(o.Keys))
+			for j, k := range o.Keys {
+				v, err := ex.sortKeyValue(k.Expr, r)
+				if err != nil {
+					return err
+				}
+				keys[i][j] = v
+			}
+		}
+		idx := make([]int, len(rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			for j, k := range o.Keys {
+				cmp := value.Compare(keys[idx[a]][j], keys[idx[b]][j])
+				if k.Descending {
+					cmp = -cmp
+				}
+				if cmp != 0 {
+					return cmp < 0
+				}
+			}
+			return false
+		})
+		for _, i := range idx {
+			if err := emit(rows[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *plan.Skip:
+		nVal, err := ex.constantCount(o.Count, "SKIP")
+		if err != nil {
+			return err
+		}
+		skipped := int64(0)
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			if skipped < nVal {
+				skipped++
+				return nil
+			}
+			return emit(r)
+		})
+
+	case *plan.Limit:
+		nVal, err := ex.constantCount(o.Count, "LIMIT")
+		if err != nil {
+			return err
+		}
+		stop := errors.New("limit reached")
+		count := int64(0)
+		err = ex.run(o.Input, arg, func(r result.Record) error {
+			if count >= nVal {
+				return stop
+			}
+			count++
+			if err := emit(r); err != nil {
+				return err
+			}
+			if count >= nVal {
+				return stop
+			}
+			return nil
+		})
+		if errors.Is(err, stop) {
+			return nil
+		}
+		return err
+
+	case *plan.SelectColumns:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			out := make(result.Record, len(o.Columns))
+			for _, c := range o.Columns {
+				out[c] = r.Get(c)
+			}
+			return emit(out)
+		})
+
+	case *plan.Union:
+		if o.All {
+			if err := ex.run(o.Left, arg, emit); err != nil {
+				return err
+			}
+			return ex.run(o.Right, arg, emit)
+		}
+		seen := map[string]bool{}
+		dedup := func(r result.Record) error {
+			vals := make([]value.Value, len(o.Columns))
+			for i, c := range o.Columns {
+				vals[i] = r.Get(c)
+			}
+			key := value.GroupKeyOf(vals...)
+			if seen[key] {
+				return nil
+			}
+			seen[key] = true
+			return emit(r)
+		}
+		if err := ex.run(o.Left, arg, dedup); err != nil {
+			return err
+		}
+		return ex.run(o.Right, arg, dedup)
+
+	case *plan.CreateOp:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			out, err := ex.createPattern(o.Pattern, r)
+			if err != nil {
+				return err
+			}
+			return emit(out)
+		})
+	case *plan.MergeOp:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			return ex.merge(o, r, emit)
+		})
+	case *plan.DeleteOp:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			if err := ex.deleteEntities(o, r); err != nil {
+				return err
+			}
+			return emit(r)
+		})
+	case *plan.SetOp:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			if err := ex.applySetItems(o.Items, r); err != nil {
+				return err
+			}
+			return emit(r)
+		})
+	case *plan.RemoveOp:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			if err := ex.applyRemoveItems(o.Items, r); err != nil {
+				return err
+			}
+			return emit(r)
+		})
+
+	default:
+		return fmt.Errorf("exec: unsupported operator %T", op)
+	}
+}
+
+// sortKeyValue evaluates an ORDER BY key over a row. If the textual form of
+// the expression matches a projected column name (e.g. ORDER BY r.name after
+// RETURN r.name), that column is used directly so that ordering works after
+// projection and aggregation.
+func (ex *Executor) sortKeyValue(e ast.Expr, r result.Record) (value.Value, error) {
+	if name := e.String(); r.Has(name) {
+		return r.Get(name), nil
+	}
+	return ex.evalCtx.Evaluate(e, r)
+}
+
+// constantCount evaluates a SKIP/LIMIT expression (which may reference
+// parameters but not variables) to a non-negative integer.
+func (ex *Executor) constantCount(e ast.Expr, what string) (int64, error) {
+	v, err := ex.evalCtx.Evaluate(e, result.NewRecord())
+	if err != nil {
+		return 0, err
+	}
+	n, ok := value.AsInt(v)
+	if !ok || n < 0 {
+		return 0, fmt.Errorf("exec: %s requires a non-negative integer, got %s", what, v.String())
+	}
+	return n, nil
+}
+
+func (ex *Executor) runAggregate(o *plan.Aggregate, arg result.Record, emit emitFn) error {
+	type group struct {
+		keyVals []value.Value
+		aggs    []eval.Aggregator
+	}
+	groups := map[string]*group{}
+	var order []string // preserve first-seen group order
+
+	newGroup := func(keyVals []value.Value) (*group, error) {
+		g := &group{keyVals: keyVals}
+		for _, a := range o.Aggregations {
+			if a.Arg == nil {
+				g.aggs = append(g.aggs, eval.NewCountStarAggregator())
+				continue
+			}
+			agg, err := eval.NewAggregator(a.Func, a.Distinct)
+			if err != nil {
+				return nil, err
+			}
+			g.aggs = append(g.aggs, agg)
+		}
+		return g, nil
+	}
+
+	err := ex.run(o.Input, arg, func(r result.Record) error {
+		keyVals := make([]value.Value, len(o.Grouping))
+		for i, gi := range o.Grouping {
+			v, err := ex.evalCtx.Evaluate(gi.Expr, r)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+		}
+		key := value.GroupKeyOf(keyVals...)
+		g, ok := groups[key]
+		if !ok {
+			var err error
+			g, err = newGroup(keyVals)
+			if err != nil {
+				return err
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, a := range o.Aggregations {
+			if a.Arg == nil {
+				if err := g.aggs[i].Add(value.Null()); err != nil {
+					return err
+				}
+				continue
+			}
+			v, err := ex.evalCtx.Evaluate(a.Arg, r)
+			if err != nil {
+				return err
+			}
+			if err := g.aggs[i].Add(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// A global aggregation (no grouping keys) over an empty input still
+	// produces one row, e.g. MATCH (n:Missing) RETURN count(n) = 0.
+	if len(groups) == 0 && len(o.Grouping) == 0 {
+		g, err := newGroup(nil)
+		if err != nil {
+			return err
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	for _, key := range order {
+		g := groups[key]
+		out := result.NewRecord()
+		for i, gi := range o.Grouping {
+			out[gi.Name] = g.keyVals[i]
+		}
+		for i, a := range o.Aggregations {
+			out[a.Name] = g.aggs[i].Result()
+		}
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

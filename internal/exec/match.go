@@ -1,0 +1,539 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/result"
+	"repro/internal/value"
+)
+
+// asGraphNode extracts the concrete graph node bound to a record value.
+func asGraphNode(v value.Value) (*graph.Node, error) {
+	n, ok := value.AsNode(v)
+	if !ok {
+		return nil, fmt.Errorf("exec: expected a node, got %s", v.Kind())
+	}
+	gn, ok := n.(*graph.Node)
+	if !ok {
+		return nil, fmt.Errorf("exec: foreign node implementation %T", n)
+	}
+	return gn, nil
+}
+
+func asGraphRelationship(v value.Value) (*graph.Relationship, error) {
+	r, ok := value.AsRelationship(v)
+	if !ok {
+		return nil, fmt.Errorf("exec: expected a relationship, got %s", v.Kind())
+	}
+	gr, ok := r.(*graph.Relationship)
+	if !ok {
+		return nil, fmt.Errorf("exec: foreign relationship implementation %T", r)
+	}
+	return gr, nil
+}
+
+// toGraphDirection maps a pattern direction onto a graph traversal direction.
+func toGraphDirection(d ast.Direction) graph.Direction {
+	switch d {
+	case ast.DirOutgoing:
+		return graph.Outgoing
+	case ast.DirIncoming:
+		return graph.Incoming
+	default:
+		return graph.Both
+	}
+}
+
+// boundRelIDs collects the identifiers of all relationships bound to the
+// given variables in the record (variables may be bound to a relationship or
+// to a list of relationships from a variable-length pattern).
+func boundRelIDs(rec result.Record, vars []string) map[int64]bool {
+	out := map[int64]bool{}
+	for _, v := range vars {
+		collectRelIDs(rec.Get(v), out)
+	}
+	return out
+}
+
+func collectRelIDs(v value.Value, out map[int64]bool) {
+	switch {
+	case value.IsNull(v):
+	case v.Kind() == value.KindRelationship:
+		r, _ := value.AsRelationship(v)
+		out[r.ID()] = true
+	case v.Kind() == value.KindList:
+		l, _ := value.AsList(v)
+		for _, el := range l.Elements() {
+			collectRelIDs(el, out)
+		}
+	}
+}
+
+// boundNodeIDs collects node identifiers bound to the given variables
+// (used by node-isomorphism matching).
+func boundNodeIDs(rec result.Record, vars []string) map[int64]bool {
+	out := map[int64]bool{}
+	for _, v := range vars {
+		if n, ok := value.AsNode(rec.Get(v)); ok {
+			out[n.ID()] = true
+		}
+	}
+	return out
+}
+
+// relPropertiesMatch checks the inline property map of a relationship pattern
+// against a concrete relationship.
+func (ex *Executor) relPropertiesMatch(props *ast.MapLiteral, rel *graph.Relationship, rec result.Record) (bool, error) {
+	if props == nil {
+		return true, nil
+	}
+	for i, k := range props.Keys {
+		want, err := ex.evalCtx.Evaluate(props.Values[i], rec)
+		if err != nil {
+			return false, err
+		}
+		if value.Equals(rel.Property(k), want) != value.TrueT {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// nodeMatchesPattern checks labels and inline properties of a node pattern
+// against a concrete node.
+func (ex *Executor) nodeMatchesPattern(np ast.NodePattern, n *graph.Node, rec result.Record) (bool, error) {
+	for _, l := range np.Labels {
+		if !n.HasLabel(l) {
+			return false, nil
+		}
+	}
+	if np.Properties != nil {
+		for i, k := range np.Properties.Keys {
+			want, err := ex.evalCtx.Evaluate(np.Properties.Values[i], rec)
+			if err != nil {
+				return false, err
+			}
+			if value.Equals(n.Property(k), want) != value.TrueT {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// --- Expand operator ---
+
+// expand implements the Expand and VarLengthExpand operators for one input
+// row.
+func (ex *Executor) expand(o *plan.Expand, rec result.Record, emit emitFn) error {
+	fromVal := rec.Get(o.FromVar)
+	if value.IsNull(fromVal) {
+		// An OPTIONAL MATCH may have bound the source node to null; there is
+		// nothing to expand from.
+		return nil
+	}
+	from, err := asGraphNode(fromVal)
+	if err != nil {
+		return err
+	}
+
+	var usedRels map[int64]bool
+	var usedNodes map[int64]bool
+	switch ex.opts.Morphism {
+	case EdgeIsomorphism:
+		usedRels = boundRelIDs(rec, o.UniqueRels)
+	case NodeIsomorphism:
+		usedNodes = boundNodeIDs(rec, o.UniqueNodes)
+	}
+
+	var intoNode *graph.Node
+	if o.ExpandInto {
+		toVal := rec.Get(o.ToVar)
+		if value.IsNull(toVal) {
+			return nil
+		}
+		intoNode, err = asGraphNode(toVal)
+		if err != nil {
+			return err
+		}
+	}
+
+	if o.VarLength {
+		return ex.expandVarLength(o, rec, from, intoNode, usedRels, usedNodes, emit)
+	}
+	return ex.expandSingle(o, rec, from, intoNode, usedRels, usedNodes, emit)
+}
+
+func (ex *Executor) expandSingle(o *plan.Expand, rec result.Record, from, intoNode *graph.Node, usedRels, usedNodes map[int64]bool, emit emitFn) error {
+	dir := toGraphDirection(o.Direction)
+	for _, rel := range from.Relationships(dir, o.Types...) {
+		if usedRels != nil && usedRels[rel.ID()] {
+			continue
+		}
+		target := rel.Other(from)
+		// For directed traversal, Relationships() already restricted the
+		// orientation; for Both, any orientation is fine.
+		if ok, err := ex.relPropertiesMatch(o.RelProperties, rel, rec); err != nil {
+			return err
+		} else if !ok {
+			continue
+		}
+		if usedNodes != nil && usedNodes[target.ID()] && (intoNode == nil || intoNode.ID() != target.ID()) {
+			continue
+		}
+		if intoNode != nil {
+			if target.ID() != intoNode.ID() {
+				continue
+			}
+			out := rec.Clone()
+			if o.RelVar != "" {
+				out[o.RelVar] = value.NewRelationship(rel)
+			}
+			if err := emit(out); err != nil {
+				return err
+			}
+			continue
+		}
+		out := rec.Clone()
+		if o.RelVar != "" {
+			out[o.RelVar] = value.NewRelationship(rel)
+		}
+		out[o.ToVar] = value.NewNode(target)
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expandVarLength enumerates all relationship sequences of length within
+// [MinHops, MaxHops] starting at from, under the configured morphism. This is
+// the operational counterpart of the rigid-extension semantics of Section 4.2:
+// every distinct admissible sequence contributes one row (bag semantics),
+// which is what produces the duplicate rows marked with a dagger in the
+// paper's Section 3 example.
+func (ex *Executor) expandVarLength(o *plan.Expand, rec result.Record, from, intoNode *graph.Node, usedRels, usedNodes map[int64]bool, emit emitFn) error {
+	minHops := o.MinHops
+	if minHops < 0 {
+		minHops = 1
+	}
+	maxHops := o.MaxHops
+	unbounded := maxHops < 0
+	if unbounded && ex.opts.Morphism == Homomorphism {
+		// Without the relationship-uniqueness restriction an unbounded
+		// variable-length pattern has infinitely many matches on a cyclic
+		// graph (Section 4.2); cap the depth to keep the result finite.
+		maxHops = ex.opts.MaxVarLengthDepth
+		unbounded = false
+	}
+	dir := toGraphDirection(o.Direction)
+
+	pathRels := make([]*graph.Relationship, 0, 8)
+	pathRelSet := map[int64]bool{}
+	pathNodeSet := map[int64]bool{from.ID(): true}
+
+	emitCurrent := func(end *graph.Node) error {
+		if intoNode != nil && end.ID() != intoNode.ID() {
+			return nil
+		}
+		out := rec.Clone()
+		if o.RelVar != "" {
+			rels := make([]value.Value, len(pathRels))
+			for i, r := range pathRels {
+				rels[i] = value.NewRelationship(r)
+			}
+			out[o.RelVar] = value.NewListOf(rels)
+		}
+		if intoNode == nil {
+			out[o.ToVar] = value.NewNode(end)
+		}
+		return emit(out)
+	}
+
+	var dfs func(current *graph.Node, depth int) error
+	dfs = func(current *graph.Node, depth int) error {
+		if depth >= minHops {
+			if err := emitCurrent(current); err != nil {
+				return err
+			}
+		}
+		if !unbounded && depth >= maxHops {
+			return nil
+		}
+		for _, rel := range current.Relationships(dir, o.Types...) {
+			switch ex.opts.Morphism {
+			case EdgeIsomorphism:
+				if pathRelSet[rel.ID()] || (usedRels != nil && usedRels[rel.ID()]) {
+					continue
+				}
+			case NodeIsomorphism:
+				target := rel.Other(current)
+				if pathNodeSet[target.ID()] || (usedNodes != nil && usedNodes[target.ID()]) {
+					continue
+				}
+			}
+			if ok, err := ex.relPropertiesMatch(o.RelProperties, rel, rec); err != nil {
+				return err
+			} else if !ok {
+				continue
+			}
+			target := rel.Other(current)
+			pathRels = append(pathRels, rel)
+			pathRelSet[rel.ID()] = true
+			pathNodeSet[target.ID()] = true
+			err := dfs(target, depth+1)
+			pathRels = pathRels[:len(pathRels)-1]
+			delete(pathRelSet, rel.ID())
+			if ex.opts.Morphism != NodeIsomorphism {
+				delete(pathNodeSet, target.ID())
+			}
+			if err != nil {
+				return err
+			}
+			if ex.opts.Morphism == NodeIsomorphism {
+				delete(pathNodeSet, target.ID())
+			}
+		}
+		return nil
+	}
+	return dfs(from, 0)
+}
+
+// --- Named path construction ---
+
+// buildPath assembles the path value for a named path pattern from the
+// variable bindings produced by matching it.
+func (ex *Executor) buildPath(part ast.PatternPart, rec result.Record) (value.Value, error) {
+	firstVal := rec.Get(part.Nodes[0].Variable)
+	if value.IsNull(firstVal) {
+		return value.Null(), nil
+	}
+	current, err := asGraphNode(firstVal)
+	if err != nil {
+		return nil, err
+	}
+	p := value.Path{Nodes: []value.Node{current}}
+	for i := range part.Rels {
+		relVal := rec.Get(part.Rels[i].Variable)
+		if value.IsNull(relVal) {
+			return value.Null(), nil
+		}
+		// A single-hop pattern binds a relationship; a variable-length
+		// pattern binds a list of relationships.
+		var rels []*graph.Relationship
+		if relVal.Kind() == value.KindList {
+			l, _ := value.AsList(relVal)
+			for _, el := range l.Elements() {
+				gr, err := asGraphRelationship(el)
+				if err != nil {
+					return nil, err
+				}
+				rels = append(rels, gr)
+			}
+		} else {
+			gr, err := asGraphRelationship(relVal)
+			if err != nil {
+				return nil, err
+			}
+			rels = append(rels, gr)
+		}
+		for _, gr := range rels {
+			next := gr.Other(current)
+			p.Rels = append(p.Rels, gr)
+			p.Nodes = append(p.Nodes, next)
+			current = next
+		}
+	}
+	return value.NewPath(p), nil
+}
+
+// --- Ad-hoc pattern matching (MERGE, pattern predicates) ---
+
+// patternPredicate reports whether the path pattern has at least one match
+// under the record; used for WHERE pattern predicates and EXISTS(pattern).
+func (ex *Executor) patternPredicate(part ast.PatternPart, rec result.Record) (bool, error) {
+	found := false
+	stop := fmt.Errorf("found")
+	err := ex.matchPartRows(part, rec, func(result.Record) error {
+		found = true
+		return stop
+	})
+	if err != nil && err != stop { //nolint:errorlint // sentinel comparison
+		return false, err
+	}
+	return found, nil
+}
+
+// matchPartRows enumerates all matches of a single path pattern under the
+// given record, emitting one extended record per match. It is used by MERGE
+// and by pattern predicates; MATCH clauses go through the planner instead.
+func (ex *Executor) matchPartRows(part ast.PatternPart, rec result.Record, emit emitFn) error {
+	return ex.matchNode(part, 0, rec, map[int64]bool{}, emit)
+}
+
+func (ex *Executor) matchNode(part ast.PatternPart, idx int, rec result.Record, usedRels map[int64]bool, emit emitFn) error {
+	np := part.Nodes[idx]
+	tryCandidate := func(n *graph.Node) error {
+		ok, err := ex.nodeMatchesPattern(np, n, rec)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		next := rec
+		if np.Variable != "" && !rec.Has(np.Variable) {
+			next = rec.Extended(np.Variable, value.NewNode(n))
+		}
+		if idx == len(part.Nodes)-1 {
+			return emit(next)
+		}
+		return ex.matchRel(part, idx, n, next, usedRels, emit)
+	}
+
+	if np.Variable != "" && rec.Has(np.Variable) {
+		v := rec.Get(np.Variable)
+		if value.IsNull(v) {
+			return nil
+		}
+		n, err := asGraphNode(v)
+		if err != nil {
+			return err
+		}
+		return tryCandidate(n)
+	}
+	var candidates []*graph.Node
+	if len(np.Labels) > 0 {
+		candidates = ex.graph.NodesByLabel(np.Labels[0])
+	} else {
+		candidates = ex.graph.Nodes()
+	}
+	for _, n := range candidates {
+		if err := tryCandidate(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ex *Executor) matchRel(part ast.PatternPart, idx int, from *graph.Node, rec result.Record, usedRels map[int64]bool, emit emitFn) error {
+	rp := part.Rels[idx]
+	nextNP := part.Nodes[idx+1]
+	dir := toGraphDirection(rp.Direction)
+
+	bindAndRecurse := func(relValue value.Value, relIDs []int64, target *graph.Node) error {
+		next := rec
+		if rp.Variable != "" {
+			next = next.Extended(rp.Variable, relValue)
+		}
+		matches, err := ex.nodeMatchesPattern(nextNP, target, next)
+		if err != nil {
+			return err
+		}
+		if !matches {
+			return nil
+		}
+		if nextNP.Variable != "" {
+			if next.Has(nextNP.Variable) {
+				bound := next.Get(nextNP.Variable)
+				bn, ok := value.AsNode(bound)
+				if !ok || bn.ID() != target.ID() {
+					return nil
+				}
+			} else {
+				next = next.Extended(nextNP.Variable, value.NewNode(target))
+			}
+		}
+		// Mark only the relationships not already tracked by an enclosing
+		// traversal, and unmark exactly those afterwards.
+		inserted := make([]int64, 0, len(relIDs))
+		for _, id := range relIDs {
+			if !usedRels[id] {
+				usedRels[id] = true
+				inserted = append(inserted, id)
+			}
+		}
+		var err2 error
+		if idx+1 == len(part.Nodes)-1 {
+			err2 = emit(next)
+		} else {
+			err2 = ex.matchRel(part, idx+1, target, next, usedRels, emit)
+		}
+		for _, id := range inserted {
+			delete(usedRels, id)
+		}
+		return err2
+	}
+
+	if !rp.VarLength {
+		for _, rel := range from.Relationships(dir, rp.Types...) {
+			if ex.opts.Morphism == EdgeIsomorphism && usedRels[rel.ID()] {
+				continue
+			}
+			if ok, err := ex.relPropertiesMatch(rp.Properties, rel, rec); err != nil {
+				return err
+			} else if !ok {
+				continue
+			}
+			if err := bindAndRecurse(value.NewRelationship(rel), []int64{rel.ID()}, rel.Other(from)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Variable-length pattern: reuse the var-length DFS via a synthetic plan
+	// operator over a scratch variable, then recurse for every produced row.
+	minHops := rp.MinHops
+	if minHops < 0 {
+		minHops = 1
+	}
+	maxHops := rp.MaxHops
+	unbounded := maxHops < 0
+	if unbounded && ex.opts.Morphism == Homomorphism {
+		maxHops = ex.opts.MaxVarLengthDepth
+		unbounded = false
+	}
+
+	var rels []*graph.Relationship
+	var dfs func(current *graph.Node, depth int) error
+	dfs = func(current *graph.Node, depth int) error {
+		if depth >= minHops {
+			vals := make([]value.Value, len(rels))
+			ids := make([]int64, len(rels))
+			for i, r := range rels {
+				vals[i] = value.NewRelationship(r)
+				ids[i] = r.ID()
+			}
+			if err := bindAndRecurse(value.NewListOf(vals), ids, current); err != nil {
+				return err
+			}
+		}
+		if !unbounded && depth >= maxHops {
+			return nil
+		}
+		for _, rel := range current.Relationships(dir, rp.Types...) {
+			if ex.opts.Morphism == EdgeIsomorphism && usedRels[rel.ID()] {
+				continue
+			}
+			if ok, err := ex.relPropertiesMatch(rp.Properties, rel, rec); err != nil {
+				return err
+			} else if !ok {
+				continue
+			}
+			usedRels[rel.ID()] = true
+			rels = append(rels, rel)
+			err := dfs(rel.Other(current), depth+1)
+			rels = rels[:len(rels)-1]
+			delete(usedRels, rel.ID())
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return dfs(from, 0)
+}

@@ -1,0 +1,388 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/result"
+	"repro/internal/value"
+)
+
+// createPattern creates the entities of a CREATE pattern for one row,
+// returning the row extended with the newly bound variables.
+func (ex *Executor) createPattern(pattern ast.Pattern, rec result.Record) (result.Record, error) {
+	out := rec.Clone()
+	for _, part := range pattern.Parts {
+		if err := ex.createPart(part, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (ex *Executor) createPart(part ast.PatternPart, out result.Record) error {
+	nodes := make([]*graph.Node, len(part.Nodes))
+	for i, np := range part.Nodes {
+		n, err := ex.resolveOrCreateNode(np, out)
+		if err != nil {
+			return err
+		}
+		nodes[i] = n
+	}
+	for i, rp := range part.Rels {
+		if rp.VarLength {
+			return errors.New("exec: variable-length relationships cannot be used in CREATE")
+		}
+		if len(rp.Types) != 1 {
+			return errors.New("exec: CREATE requires exactly one relationship type")
+		}
+		if rp.Direction == ast.DirBoth {
+			return errors.New("exec: CREATE requires a directed relationship")
+		}
+		props, err := ex.evalPropertyMap(rp.Properties, out)
+		if err != nil {
+			return err
+		}
+		src, tgt := nodes[i], nodes[i+1]
+		if rp.Direction == ast.DirIncoming {
+			src, tgt = tgt, src
+		}
+		rel, err := ex.graph.CreateRelationship(src, tgt, rp.Types[0], props)
+		if err != nil {
+			return err
+		}
+		if rp.Variable != "" {
+			out[rp.Variable] = value.NewRelationship(rel)
+		}
+	}
+	if part.Variable != "" {
+		p, err := ex.buildPath(part, out)
+		if err != nil {
+			return err
+		}
+		out[part.Variable] = p
+	}
+	return nil
+}
+
+// resolveOrCreateNode reuses a node already bound to the pattern's variable,
+// or creates a new one from the pattern's labels and properties.
+func (ex *Executor) resolveOrCreateNode(np ast.NodePattern, out result.Record) (*graph.Node, error) {
+	if np.Variable != "" && out.Has(np.Variable) {
+		v := out.Get(np.Variable)
+		if value.IsNull(v) {
+			return nil, fmt.Errorf("exec: cannot CREATE using null variable %q", np.Variable)
+		}
+		n, err := asGraphNode(v)
+		if err != nil {
+			return nil, err
+		}
+		if len(np.Labels) > 0 || (np.Properties != nil && len(np.Properties.Keys) > 0) {
+			return nil, fmt.Errorf("exec: variable %q is already bound; it cannot be given labels or properties in CREATE", np.Variable)
+		}
+		return n, nil
+	}
+	props, err := ex.evalPropertyMap(np.Properties, out)
+	if err != nil {
+		return nil, err
+	}
+	n := ex.graph.CreateNode(np.Labels, props)
+	if np.Variable != "" {
+		out[np.Variable] = value.NewNode(n)
+	}
+	return n, nil
+}
+
+// evalPropertyMap evaluates a pattern's inline property map. A single
+// parameter entry (written `{$props}` or `(n $props)`) expands the map-valued
+// parameter.
+func (ex *Executor) evalPropertyMap(props *ast.MapLiteral, rec result.Record) (map[string]value.Value, error) {
+	if props == nil {
+		return nil, nil
+	}
+	out := make(map[string]value.Value, len(props.Keys))
+	for i, k := range props.Keys {
+		v, err := ex.evalCtx.Evaluate(props.Values[i], rec)
+		if err != nil {
+			return nil, err
+		}
+		if len(k) > 0 && k[0] == '$' {
+			m, ok := value.AsMap(v)
+			if !ok {
+				return nil, fmt.Errorf("exec: parameter %s must be a map of properties", k)
+			}
+			for _, mk := range m.Keys() {
+				mv, _ := m.Get(mk)
+				out[mk] = mv
+			}
+			continue
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// merge implements the MERGE clause for one row: emit every existing match,
+// or create the pattern when there is none.
+func (ex *Executor) merge(o *plan.MergeOp, rec result.Record, emit emitFn) error {
+	var matches []result.Record
+	if err := ex.matchPartRows(o.Part, rec, func(r result.Record) error {
+		matches = append(matches, r)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if len(matches) > 0 {
+		for _, m := range matches {
+			if err := ex.applySetItems(o.OnMatch, m); err != nil {
+				return err
+			}
+			if err := emit(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	out := rec.Clone()
+	if err := ex.createPart(o.Part, out); err != nil {
+		return err
+	}
+	if err := ex.applySetItems(o.OnCreate, out); err != nil {
+		return err
+	}
+	return emit(out)
+}
+
+// deleteEntities implements DELETE / DETACH DELETE for one row.
+func (ex *Executor) deleteEntities(o *plan.DeleteOp, rec result.Record) error {
+	for _, e := range o.Exprs {
+		v, err := ex.evalCtx.Evaluate(e, rec)
+		if err != nil {
+			return err
+		}
+		if err := ex.deleteValue(v, o.Detach); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ex *Executor) deleteValue(v value.Value, detach bool) error {
+	switch {
+	case value.IsNull(v):
+		return nil
+	case v.Kind() == value.KindNode:
+		n, err := asGraphNode(v)
+		if err != nil {
+			return err
+		}
+		if detach {
+			err = ex.graph.DetachDeleteNode(n)
+		} else {
+			err = ex.graph.DeleteNode(n)
+		}
+		if errors.Is(err, graph.ErrNotFound) {
+			return nil // already deleted by an earlier row
+		}
+		return err
+	case v.Kind() == value.KindRelationship:
+		r, err := asGraphRelationship(v)
+		if err != nil {
+			return err
+		}
+		if err := ex.graph.DeleteRelationship(r); err != nil && !errors.Is(err, graph.ErrNotFound) {
+			return err
+		}
+		return nil
+	case v.Kind() == value.KindPath:
+		p, _ := value.AsPath(v)
+		for _, r := range p.Rels {
+			if err := ex.deleteValue(value.NewRelationship(r), detach); err != nil {
+				return err
+			}
+		}
+		for _, n := range p.Nodes {
+			if err := ex.deleteValue(value.NewNode(n), detach); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("exec: DELETE expects nodes, relationships or paths, got %s", v.Kind())
+	}
+}
+
+// applySetItems applies SET items (also used by MERGE's ON CREATE / ON MATCH).
+func (ex *Executor) applySetItems(items []ast.SetItem, rec result.Record) error {
+	for _, item := range items {
+		if err := ex.applySetItem(item, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ex *Executor) applySetItem(item ast.SetItem, rec result.Record) error {
+	switch item.Kind {
+	case ast.SetProperty:
+		subject, err := ex.evalCtx.Evaluate(item.Property.Subject, rec)
+		if err != nil {
+			return err
+		}
+		if value.IsNull(subject) {
+			return nil
+		}
+		v, err := ex.evalCtx.Evaluate(item.Value, rec)
+		if err != nil {
+			return err
+		}
+		return ex.setProperty(subject, item.Property.Key, v)
+
+	case ast.SetAllProperties, ast.SetMergeProperties:
+		subject := rec.Get(item.Variable)
+		if value.IsNull(subject) {
+			return nil
+		}
+		v, err := ex.evalCtx.Evaluate(item.Value, rec)
+		if err != nil {
+			return err
+		}
+		props, err := propertyMapOf(v)
+		if err != nil {
+			return err
+		}
+		if item.Kind == ast.SetAllProperties {
+			return ex.replaceProperties(subject, props)
+		}
+		for k, pv := range props {
+			if err := ex.setProperty(subject, k, pv); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case ast.SetLabels:
+		subject := rec.Get(item.Variable)
+		if value.IsNull(subject) {
+			return nil
+		}
+		n, err := asGraphNode(subject)
+		if err != nil {
+			return err
+		}
+		for _, l := range item.Labels {
+			if err := ex.graph.AddNodeLabel(n, l); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("exec: unsupported SET item kind %d", item.Kind)
+	}
+}
+
+// propertyMapOf converts a SET source value (a map, node or relationship)
+// into a property map.
+func propertyMapOf(v value.Value) (map[string]value.Value, error) {
+	switch {
+	case v.Kind() == value.KindMap:
+		m, _ := value.AsMap(v)
+		out := make(map[string]value.Value, m.Len())
+		for _, k := range m.Keys() {
+			pv, _ := m.Get(k)
+			out[k] = pv
+		}
+		return out, nil
+	case v.Kind() == value.KindNode:
+		n, _ := value.AsNode(v)
+		out := map[string]value.Value{}
+		for _, k := range n.PropertyKeys() {
+			out[k] = n.Property(k)
+		}
+		return out, nil
+	case v.Kind() == value.KindRelationship:
+		r, _ := value.AsRelationship(v)
+		out := map[string]value.Value{}
+		for _, k := range r.PropertyKeys() {
+			out[k] = r.Property(k)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("exec: SET requires a map, node or relationship, got %s", v.Kind())
+	}
+}
+
+func (ex *Executor) setProperty(subject value.Value, key string, v value.Value) error {
+	switch subject.Kind() {
+	case value.KindNode:
+		n, err := asGraphNode(subject)
+		if err != nil {
+			return err
+		}
+		return ex.graph.SetNodeProperty(n, key, v)
+	case value.KindRelationship:
+		r, err := asGraphRelationship(subject)
+		if err != nil {
+			return err
+		}
+		return ex.graph.SetRelationshipProperty(r, key, v)
+	default:
+		return fmt.Errorf("exec: cannot SET a property on a %s", subject.Kind())
+	}
+}
+
+func (ex *Executor) replaceProperties(subject value.Value, props map[string]value.Value) error {
+	switch subject.Kind() {
+	case value.KindNode:
+		n, err := asGraphNode(subject)
+		if err != nil {
+			return err
+		}
+		return ex.graph.ReplaceNodeProperties(n, props)
+	case value.KindRelationship:
+		r, err := asGraphRelationship(subject)
+		if err != nil {
+			return err
+		}
+		return ex.graph.ReplaceRelationshipProperties(r, props)
+	default:
+		return fmt.Errorf("exec: cannot SET properties on a %s", subject.Kind())
+	}
+}
+
+// applyRemoveItems applies REMOVE items.
+func (ex *Executor) applyRemoveItems(items []ast.RemoveItem, rec result.Record) error {
+	for _, item := range items {
+		switch item.Kind {
+		case ast.RemoveProperty:
+			subject, err := ex.evalCtx.Evaluate(item.Property.Subject, rec)
+			if err != nil {
+				return err
+			}
+			if value.IsNull(subject) {
+				continue
+			}
+			if err := ex.setProperty(subject, item.Property.Key, value.Null()); err != nil {
+				return err
+			}
+		case ast.RemoveLabels:
+			subject := rec.Get(item.Variable)
+			if value.IsNull(subject) {
+				continue
+			}
+			n, err := asGraphNode(subject)
+			if err != nil {
+				return err
+			}
+			for _, l := range item.Labels {
+				if err := ex.graph.RemoveNodeLabel(n, l); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,379 @@
+// Package graph implements the property graph data model of Section 4.1 of
+// the Cypher paper: a graph G = (N, R, src, tgt, iota, lambda, tau) of nodes
+// and relationships with properties, node labels and relationship types.
+//
+// The store is an in-memory, native-adjacency representation: every node
+// holds direct references to its incident relationships, so the Expand
+// operator of the execution engine never needs an index to find related
+// nodes (the property the paper highlights for Neo4j's storage layout).
+// Label and relationship-type indexes and simple statistics support the
+// planner's scan selection and cost model.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/value"
+)
+
+// Direction selects which relationships of a node to traverse.
+type Direction int
+
+// Traversal directions.
+const (
+	// Outgoing follows relationships whose source is the node.
+	Outgoing Direction = iota
+	// Incoming follows relationships whose target is the node.
+	Incoming
+	// Both follows relationships regardless of direction.
+	Both
+)
+
+// String returns a readable name for the direction.
+func (d Direction) String() string {
+	switch d {
+	case Outgoing:
+		return "OUTGOING"
+	case Incoming:
+		return "INCOMING"
+	default:
+		return "BOTH"
+	}
+}
+
+// Node is a property graph node: an identifier, a set of labels lambda(n) and
+// a property map iota(n, .). Nodes also hold their incident relationships
+// (index-free adjacency).
+type Node struct {
+	id     int64
+	graph  *Graph
+	labels []string // sorted
+	props  map[string]value.Value
+	out    []*Relationship
+	in     []*Relationship
+}
+
+// Relationship is a property graph relationship: an identifier, a type
+// tau(r), source src(r), target tgt(r) and a property map iota(r, .).
+type Relationship struct {
+	id    int64
+	typ   string
+	start *Node
+	end   *Node
+	props map[string]value.Value
+}
+
+// Graph is an in-memory property graph. All exported methods are safe for
+// concurrent use; read-heavy operations take a shared lock.
+type Graph struct {
+	mu         sync.RWMutex
+	name       string
+	nodes      map[int64]*Node
+	rels       map[int64]*Relationship
+	nextNodeID int64
+	nextRelID  int64
+
+	labelIndex map[string]map[int64]*Node
+	typeIndex  map[string]map[int64]*Relationship
+	propIndex  map[indexKey]map[string][]*Node // (label, property) -> group key -> nodes
+}
+
+type indexKey struct {
+	label    string
+	property string
+}
+
+// New creates an empty property graph.
+func New() *Graph {
+	return &Graph{
+		name:       "graph",
+		nodes:      make(map[int64]*Node),
+		rels:       make(map[int64]*Relationship),
+		labelIndex: make(map[string]map[int64]*Node),
+		typeIndex:  make(map[string]map[int64]*Relationship),
+		propIndex:  make(map[indexKey]map[string][]*Node),
+	}
+}
+
+// NewNamed creates an empty property graph with a name (used by the multiple
+// named graphs catalog).
+func NewNamed(name string) *Graph {
+	g := New()
+	g.name = name
+	return g
+}
+
+// Name returns the graph's name.
+func (g *Graph) Name() string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.name
+}
+
+// --- Node: value.Node implementation and accessors ---
+
+// ID returns the node identifier.
+func (n *Node) ID() int64 { return n.id }
+
+// Labels returns the node's labels, sorted.
+func (n *Node) Labels() []string {
+	return append([]string(nil), n.labels...)
+}
+
+// HasLabel reports whether the node carries the label.
+func (n *Node) HasLabel(label string) bool {
+	i := sort.SearchStrings(n.labels, label)
+	return i < len(n.labels) && n.labels[i] == label
+}
+
+// Property returns the property value for key, or null if absent.
+func (n *Node) Property(key string) value.Value {
+	if v, ok := n.props[key]; ok {
+		return v
+	}
+	return value.Null()
+}
+
+// PropertyKeys returns the node's property keys, sorted.
+func (n *Node) PropertyKeys() []string {
+	keys := make([]string, 0, len(n.props))
+	for k := range n.props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Degree returns the number of incident relationships in the given direction,
+// optionally restricted to a set of relationship types (empty means any).
+func (n *Node) Degree(dir Direction, types ...string) int {
+	count := 0
+	match := func(r *Relationship) bool {
+		if len(types) == 0 {
+			return true
+		}
+		for _, t := range types {
+			if r.typ == t {
+				return true
+			}
+		}
+		return false
+	}
+	if dir == Outgoing || dir == Both {
+		for _, r := range n.out {
+			if match(r) {
+				count++
+			}
+		}
+	}
+	if dir == Incoming || dir == Both {
+		for _, r := range n.in {
+			if match(r) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Relationships returns the node's incident relationships in the given
+// direction, optionally restricted to relationship types. The returned slice
+// is freshly allocated.
+func (n *Node) Relationships(dir Direction, types ...string) []*Relationship {
+	match := func(r *Relationship) bool {
+		if len(types) == 0 {
+			return true
+		}
+		for _, t := range types {
+			if r.typ == t {
+				return true
+			}
+		}
+		return false
+	}
+	var out []*Relationship
+	if dir == Outgoing || dir == Both {
+		for _, r := range n.out {
+			if match(r) {
+				out = append(out, r)
+			}
+		}
+	}
+	if dir == Incoming || dir == Both {
+		for _, r := range n.in {
+			if match(r) {
+				// A self-loop appears in both adjacency lists; report it once.
+				if dir == Both && r.start == r.end {
+					continue
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// --- Relationship: value.Relationship implementation and accessors ---
+
+// ID returns the relationship identifier.
+func (r *Relationship) ID() int64 { return r.id }
+
+// RelType returns the relationship type tau(r).
+func (r *Relationship) RelType() string { return r.typ }
+
+// StartNodeID returns src(r).
+func (r *Relationship) StartNodeID() int64 { return r.start.id }
+
+// EndNodeID returns tgt(r).
+func (r *Relationship) EndNodeID() int64 { return r.end.id }
+
+// StartNode returns the source node.
+func (r *Relationship) StartNode() *Node { return r.start }
+
+// EndNode returns the target node.
+func (r *Relationship) EndNode() *Node { return r.end }
+
+// StartEndNodes returns both endpoints as value.Node views; the expression
+// evaluator uses this for the startNode() and endNode() functions.
+func (r *Relationship) StartEndNodes() (start, end value.Node) {
+	return r.start, r.end
+}
+
+// Other returns the endpoint of r that is not n. For self-loops it returns n.
+func (r *Relationship) Other(n *Node) *Node {
+	if r.start == n {
+		return r.end
+	}
+	return r.start
+}
+
+// Property returns the property value for key, or null if absent.
+func (r *Relationship) Property(key string) value.Value {
+	if v, ok := r.props[key]; ok {
+		return v
+	}
+	return value.Null()
+}
+
+// PropertyKeys returns the relationship's property keys, sorted.
+func (r *Relationship) PropertyKeys() []string {
+	keys := make([]string, 0, len(r.props))
+	for k := range r.props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// --- Graph read access ---
+
+// NodeByID returns the node with the given identifier.
+func (g *Graph) NodeByID(id int64) (*Node, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	return n, ok
+}
+
+// RelationshipByID returns the relationship with the given identifier.
+func (g *Graph) RelationshipByID(id int64) (*Relationship, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r, ok := g.rels[id]
+	return r, ok
+}
+
+// Nodes returns all nodes, ordered by identifier.
+func (g *Graph) Nodes() []*Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Relationships returns all relationships, ordered by identifier.
+func (g *Graph) Relationships() []*Relationship {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*Relationship, 0, len(g.rels))
+	for _, r := range g.rels {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// NodesByLabel returns all nodes carrying the label, ordered by identifier.
+func (g *Graph) NodesByLabel(label string) []*Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	idx, ok := g.labelIndex[label]
+	if !ok {
+		return nil
+	}
+	out := make([]*Node, 0, len(idx))
+	for _, n := range idx {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// RelationshipsByType returns all relationships of the given type, ordered by
+// identifier.
+func (g *Graph) RelationshipsByType(typ string) []*Relationship {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	idx, ok := g.typeIndex[typ]
+	if !ok {
+		return nil
+	}
+	out := make([]*Relationship, 0, len(idx))
+	for _, r := range idx {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Labels returns all labels present in the graph, sorted.
+func (g *Graph) Labels() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.labelIndex))
+	for l, nodes := range g.labelIndex {
+		if len(nodes) > 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RelationshipTypes returns all relationship types present in the graph,
+// sorted.
+func (g *Graph) RelationshipTypes() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.typeIndex))
+	for t, rels := range g.typeIndex {
+		if len(rels) > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String summarises the graph.
+func (g *Graph) String() string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return fmt.Sprintf("Graph(%s: %d nodes, %d relationships)", g.name, len(g.nodes), len(g.rels))
+}

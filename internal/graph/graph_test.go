@@ -1,0 +1,372 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func props(kv ...any) map[string]value.Value {
+	out := make(map[string]value.Value)
+	for i := 0; i < len(kv); i += 2 {
+		v, err := value.FromGo(kv[i+1])
+		if err != nil {
+			panic(err)
+		}
+		out[kv[i].(string)] = v
+	}
+	return out
+}
+
+func TestCreateNodeAndAccessors(t *testing.T) {
+	g := New()
+	n := g.CreateNode([]string{"Person", "Researcher", "Person"}, props("name", "Nils", "age", 44))
+	if n.ID() == 0 {
+		t.Fatalf("node should have a non-zero id")
+	}
+	labels := n.Labels()
+	if len(labels) != 2 || labels[0] != "Person" || labels[1] != "Researcher" {
+		t.Errorf("labels should be deduplicated and sorted, got %v", labels)
+	}
+	if !n.HasLabel("Person") || n.HasLabel("Student") {
+		t.Errorf("HasLabel wrong")
+	}
+	if got := n.Property("name"); got != value.NewString("Nils") {
+		t.Errorf("Property(name) = %v", got)
+	}
+	if !value.IsNull(n.Property("missing")) {
+		t.Errorf("missing property should be null")
+	}
+	keys := n.PropertyKeys()
+	if len(keys) != 2 || keys[0] != "age" || keys[1] != "name" {
+		t.Errorf("PropertyKeys = %v", keys)
+	}
+	if got, ok := g.NodeByID(n.ID()); !ok || got != n {
+		t.Errorf("NodeByID failed")
+	}
+	if _, ok := g.NodeByID(999); ok {
+		t.Errorf("NodeByID should miss for unknown ids")
+	}
+}
+
+func TestCreateNodeDropsNullProperties(t *testing.T) {
+	g := New()
+	n := g.CreateNode(nil, map[string]value.Value{"a": value.Null(), "b": value.NewInt(1)})
+	if len(n.PropertyKeys()) != 1 {
+		t.Errorf("null property should not be stored: %v", n.PropertyKeys())
+	}
+}
+
+func TestCreateRelationshipAndAdjacency(t *testing.T) {
+	g := New()
+	a := g.CreateNode([]string{"A"}, nil)
+	b := g.CreateNode([]string{"B"}, nil)
+	r, err := g.CreateRelationship(a, b, "KNOWS", props("since", 1985))
+	if err != nil {
+		t.Fatalf("CreateRelationship: %v", err)
+	}
+	if r.RelType() != "KNOWS" || r.StartNodeID() != a.ID() || r.EndNodeID() != b.ID() {
+		t.Errorf("relationship endpoints wrong")
+	}
+	if r.StartNode() != a || r.EndNode() != b {
+		t.Errorf("StartNode/EndNode wrong")
+	}
+	if r.Other(a) != b || r.Other(b) != a {
+		t.Errorf("Other wrong")
+	}
+	if got := r.Property("since"); got != value.NewInt(1985) {
+		t.Errorf("relationship property = %v", got)
+	}
+	if !value.IsNull(r.Property("missing")) {
+		t.Errorf("missing relationship property should be null")
+	}
+	if len(r.PropertyKeys()) != 1 {
+		t.Errorf("PropertyKeys = %v", r.PropertyKeys())
+	}
+
+	if got := a.Degree(Outgoing); got != 1 {
+		t.Errorf("out degree of a = %d", got)
+	}
+	if got := a.Degree(Incoming); got != 0 {
+		t.Errorf("in degree of a = %d", got)
+	}
+	if got := b.Degree(Incoming, "KNOWS"); got != 1 {
+		t.Errorf("typed in degree of b = %d", got)
+	}
+	if got := b.Degree(Incoming, "OTHER"); got != 0 {
+		t.Errorf("degree with non-matching type = %d", got)
+	}
+	if got := a.Degree(Both); got != 1 {
+		t.Errorf("both degree of a = %d", got)
+	}
+	if rels := a.Relationships(Outgoing, "KNOWS"); len(rels) != 1 || rels[0] != r {
+		t.Errorf("Relationships(Outgoing) = %v", rels)
+	}
+	if rels := b.Relationships(Both); len(rels) != 1 {
+		t.Errorf("Relationships(Both) on b = %v", rels)
+	}
+	if got, ok := g.RelationshipByID(r.ID()); !ok || got != r {
+		t.Errorf("RelationshipByID failed")
+	}
+}
+
+func TestCreateRelationshipToForeignNode(t *testing.T) {
+	g1 := New()
+	g2 := New()
+	a := g1.CreateNode(nil, nil)
+	b := g2.CreateNode(nil, nil)
+	if _, err := g1.CreateRelationship(a, b, "X", nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("relating to a node of another graph should fail, got %v", err)
+	}
+	if _, err := g1.CreateRelationship(b, a, "X", nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("relating from a node of another graph should fail, got %v", err)
+	}
+}
+
+func TestSelfLoopAdjacency(t *testing.T) {
+	g := New()
+	n := g.CreateNode(nil, nil)
+	if _, err := g.CreateRelationship(n, n, "LOOP", nil); err != nil {
+		t.Fatalf("self loop: %v", err)
+	}
+	// A self-loop is reported once when traversing Both.
+	if rels := n.Relationships(Both); len(rels) != 1 {
+		t.Errorf("self loop should appear once in Both, got %d", len(rels))
+	}
+	if rels := n.Relationships(Outgoing); len(rels) != 1 {
+		t.Errorf("self loop outgoing = %d", len(rels))
+	}
+	if rels := n.Relationships(Incoming); len(rels) != 1 {
+		t.Errorf("self loop incoming = %d", len(rels))
+	}
+}
+
+func TestNodesAndRelationshipsOrdered(t *testing.T) {
+	g := New()
+	var ids []int64
+	for i := 0; i < 10; i++ {
+		ids = append(ids, g.CreateNode(nil, nil).ID())
+	}
+	nodes := g.Nodes()
+	if len(nodes) != 10 {
+		t.Fatalf("expected 10 nodes, got %d", len(nodes))
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].ID() >= nodes[i].ID() {
+			t.Errorf("nodes not ordered by id")
+		}
+	}
+	for i := 0; i < 9; i++ {
+		a, _ := g.NodeByID(ids[i])
+		b, _ := g.NodeByID(ids[i+1])
+		if _, err := g.CreateRelationship(a, b, "NEXT", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rels := g.Relationships()
+	if len(rels) != 9 {
+		t.Fatalf("expected 9 relationships, got %d", len(rels))
+	}
+	for i := 1; i < len(rels); i++ {
+		if rels[i-1].ID() >= rels[i].ID() {
+			t.Errorf("relationships not ordered by id")
+		}
+	}
+}
+
+func TestLabelAndTypeIndexes(t *testing.T) {
+	g := New()
+	p1 := g.CreateNode([]string{"Person"}, nil)
+	p2 := g.CreateNode([]string{"Person", "Student"}, nil)
+	g.CreateNode([]string{"Publication"}, nil)
+	if got := g.NodesByLabel("Person"); len(got) != 2 {
+		t.Errorf("NodesByLabel(Person) = %d", len(got))
+	}
+	if got := g.NodesByLabel("Student"); len(got) != 1 || got[0] != p2 {
+		t.Errorf("NodesByLabel(Student) wrong")
+	}
+	if got := g.NodesByLabel("Missing"); got != nil {
+		t.Errorf("unknown label should return nil")
+	}
+	if _, err := g.CreateRelationship(p1, p2, "KNOWS", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.CreateRelationship(p2, p1, "SUPERVISES", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.RelationshipsByType("KNOWS"); len(got) != 1 {
+		t.Errorf("RelationshipsByType(KNOWS) = %d", len(got))
+	}
+	if got := g.RelationshipsByType("MISSING"); got != nil {
+		t.Errorf("unknown type should return nil")
+	}
+	labels := g.Labels()
+	if len(labels) != 3 || labels[0] != "Person" || labels[1] != "Publication" || labels[2] != "Student" {
+		t.Errorf("Labels = %v", labels)
+	}
+	types := g.RelationshipTypes()
+	if len(types) != 2 || types[0] != "KNOWS" || types[1] != "SUPERVISES" {
+		t.Errorf("RelationshipTypes = %v", types)
+	}
+}
+
+func TestDeleteRelationship(t *testing.T) {
+	g := New()
+	a := g.CreateNode(nil, nil)
+	b := g.CreateNode(nil, nil)
+	r, _ := g.CreateRelationship(a, b, "R", nil)
+	if err := g.DeleteRelationship(r); err != nil {
+		t.Fatalf("DeleteRelationship: %v", err)
+	}
+	if a.Degree(Both) != 0 || b.Degree(Both) != 0 {
+		t.Errorf("adjacency not cleaned up")
+	}
+	if _, ok := g.RelationshipByID(r.ID()); ok {
+		t.Errorf("relationship still reachable after delete")
+	}
+	if len(g.RelationshipsByType("R")) != 0 {
+		t.Errorf("type index not cleaned up")
+	}
+	if err := g.DeleteRelationship(r); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete should report not found, got %v", err)
+	}
+}
+
+func TestDeleteNode(t *testing.T) {
+	g := New()
+	a := g.CreateNode([]string{"L"}, nil)
+	b := g.CreateNode(nil, nil)
+	if _, err := g.CreateRelationship(a, b, "R", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DeleteNode(a); !errors.Is(err, ErrNodeHasRelationships) {
+		t.Errorf("deleting a connected node should fail, got %v", err)
+	}
+	if err := g.DetachDeleteNode(a); err != nil {
+		t.Fatalf("DetachDeleteNode: %v", err)
+	}
+	if _, ok := g.NodeByID(a.ID()); ok {
+		t.Errorf("node still reachable after detach delete")
+	}
+	if len(g.Relationships()) != 0 {
+		t.Errorf("relationships should be removed by detach delete")
+	}
+	if len(g.NodesByLabel("L")) != 0 {
+		t.Errorf("label index not cleaned up")
+	}
+	if b.Degree(Both) != 0 {
+		t.Errorf("other endpoint adjacency not cleaned up")
+	}
+	if err := g.DeleteNode(b); err != nil {
+		t.Errorf("deleting an isolated node should succeed, got %v", err)
+	}
+	if err := g.DeleteNode(b); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete should report not found, got %v", err)
+	}
+	if err := g.DetachDeleteNode(b); !errors.Is(err, ErrNotFound) {
+		t.Errorf("detach delete of a missing node should report not found, got %v", err)
+	}
+}
+
+func TestSetProperties(t *testing.T) {
+	g := New()
+	n := g.CreateNode(nil, props("a", 1))
+	if err := g.SetNodeProperty(n, "b", value.NewString("x")); err != nil {
+		t.Fatal(err)
+	}
+	if n.Property("b") != value.NewString("x") {
+		t.Errorf("SetNodeProperty did not store the value")
+	}
+	if err := g.SetNodeProperty(n, "a", value.Null()); err != nil {
+		t.Fatal(err)
+	}
+	if !value.IsNull(n.Property("a")) {
+		t.Errorf("setting a property to null should remove it")
+	}
+	if err := g.ReplaceNodeProperties(n, props("only", true)); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.PropertyKeys()) != 1 || n.Property("only") != value.NewBool(true) {
+		t.Errorf("ReplaceNodeProperties wrong: %v", n.PropertyKeys())
+	}
+
+	a := g.CreateNode(nil, nil)
+	r, _ := g.CreateRelationship(n, a, "R", nil)
+	if err := g.SetRelationshipProperty(r, "w", value.NewFloat(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Property("w") != value.NewFloat(0.5) {
+		t.Errorf("SetRelationshipProperty did not store the value")
+	}
+	if err := g.SetRelationshipProperty(r, "w", value.Null()); err != nil {
+		t.Fatal(err)
+	}
+	if !value.IsNull(r.Property("w")) {
+		t.Errorf("setting a relationship property to null should remove it")
+	}
+	if err := g.ReplaceRelationshipProperties(r, props("z", 9)); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PropertyKeys()) != 1 || r.Property("z") != value.NewInt(9) {
+		t.Errorf("ReplaceRelationshipProperties wrong")
+	}
+
+	// Errors on deleted entities.
+	other := g.CreateNode(nil, nil)
+	if err := g.DeleteNode(other); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetNodeProperty(other, "x", value.NewInt(1)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("setting a property on a deleted node should fail")
+	}
+}
+
+func TestAddAndRemoveLabels(t *testing.T) {
+	g := New()
+	n := g.CreateNode([]string{"A"}, nil)
+	if err := g.AddNodeLabel(n, "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNodeLabel(n, "B"); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if got := n.Labels(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("labels after add = %v", got)
+	}
+	if len(g.NodesByLabel("B")) != 1 {
+		t.Errorf("label index not updated on add")
+	}
+	if err := g.RemoveNodeLabel(n, "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveNodeLabel(n, "A"); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if got := n.Labels(); len(got) != 1 || got[0] != "B" {
+		t.Errorf("labels after remove = %v", got)
+	}
+	if len(g.NodesByLabel("A")) != 0 {
+		t.Errorf("label index not updated on remove")
+	}
+}
+
+func TestGraphNamesAndString(t *testing.T) {
+	g := NewNamed("social")
+	if g.Name() != "social" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	g.CreateNode(nil, nil)
+	if got := g.String(); got != "Graph(social: 1 nodes, 0 relationships)" {
+		t.Errorf("String = %q", got)
+	}
+	if New().Name() != "graph" {
+		t.Errorf("default graph name should be \"graph\"")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Outgoing.String() != "OUTGOING" || Incoming.String() != "INCOMING" || Both.String() != "BOTH" {
+		t.Errorf("Direction.String wrong")
+	}
+}

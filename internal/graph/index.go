@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/value"
+)
+
+// CreateIndex declares a property index on (label, property). Existing nodes
+// are indexed immediately; subsequent mutations keep the index up to date.
+// Creating the same index twice is a no-op.
+func (g *Graph) CreateIndex(label, property string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	key := indexKey{label: label, property: property}
+	if _, ok := g.propIndex[key]; ok {
+		return
+	}
+	idx := make(map[string][]*Node)
+	for _, n := range g.labelIndex[label] {
+		if v, ok := n.props[property]; ok {
+			gk := value.GroupKey(v)
+			idx[gk] = append(idx[gk], n)
+		}
+	}
+	g.propIndex[key] = idx
+}
+
+// DropIndex removes a property index.
+func (g *Graph) DropIndex(label, property string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.propIndex, indexKey{label: label, property: property})
+}
+
+// HasIndex reports whether a property index exists on (label, property).
+func (g *Graph) HasIndex(label, property string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.propIndex[indexKey{label: label, property: property}]
+	return ok
+}
+
+// Indexes returns the declared (label, property) index pairs, sorted.
+func (g *Graph) Indexes() [][2]string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([][2]string, 0, len(g.propIndex))
+	for k := range g.propIndex {
+		out = append(out, [2]string{k.label, k.property})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// NodesByLabelProperty returns the nodes with the given label whose property
+// equals v. If an index exists it is used; otherwise the label index is
+// scanned and filtered.
+func (g *Graph) NodesByLabelProperty(label, property string, v value.Value) []*Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	key := indexKey{label: label, property: property}
+	if idx, ok := g.propIndex[key]; ok {
+		nodes := idx[value.GroupKey(v)]
+		out := append([]*Node(nil), nodes...)
+		sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+		return out
+	}
+	var out []*Node
+	for _, n := range g.labelIndex[label] {
+		if pv, ok := n.props[property]; ok && value.Equals(pv, v) == value.TrueT {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// addToPropIndexes adds a node to every property index whose label/property
+// it matches. Callers must hold the write lock.
+func (g *Graph) addToPropIndexes(n *Node) {
+	for key, idx := range g.propIndex {
+		if !n.HasLabel(key.label) {
+			continue
+		}
+		v, ok := n.props[key.property]
+		if !ok {
+			continue
+		}
+		gk := value.GroupKey(v)
+		present := false
+		for _, existing := range idx[gk] {
+			if existing == n {
+				present = true
+				break
+			}
+		}
+		if !present {
+			idx[gk] = append(idx[gk], n)
+		}
+	}
+}
+
+// removeFromPropIndexes removes a node from every property index. Callers
+// must hold the write lock.
+func (g *Graph) removeFromPropIndexes(n *Node) {
+	for key, idx := range g.propIndex {
+		if !n.HasLabel(key.label) {
+			continue
+		}
+		v, ok := n.props[key.property]
+		if !ok {
+			continue
+		}
+		gk := value.GroupKey(v)
+		nodes := idx[gk]
+		for i, existing := range nodes {
+			if existing == n {
+				idx[gk] = append(nodes[:i], nodes[i+1:]...)
+				break
+			}
+		}
+		if len(idx[gk]) == 0 {
+			delete(idx, gk)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestPropertyIndexLookup(t *testing.T) {
+	g := New()
+	nils := g.CreateNode([]string{"Researcher"}, props("name", "Nils"))
+	elin := g.CreateNode([]string{"Researcher"}, props("name", "Elin"))
+	g.CreateNode([]string{"Student"}, props("name", "Nils")) // same name, other label
+
+	// Without an index the lookup falls back to scanning the label.
+	got := g.NodesByLabelProperty("Researcher", "name", value.NewString("Nils"))
+	if len(got) != 1 || got[0] != nils {
+		t.Fatalf("scan lookup = %v", got)
+	}
+
+	g.CreateIndex("Researcher", "name")
+	if !g.HasIndex("Researcher", "name") {
+		t.Fatalf("index should exist")
+	}
+	g.CreateIndex("Researcher", "name") // idempotent
+	got = g.NodesByLabelProperty("Researcher", "name", value.NewString("Elin"))
+	if len(got) != 1 || got[0] != elin {
+		t.Fatalf("indexed lookup = %v", got)
+	}
+	if got := g.NodesByLabelProperty("Researcher", "name", value.NewString("Thor")); len(got) != 0 {
+		t.Errorf("lookup of absent value should be empty, got %v", got)
+	}
+	idxs := g.Indexes()
+	if len(idxs) != 1 || idxs[0] != [2]string{"Researcher", "name"} {
+		t.Errorf("Indexes = %v", idxs)
+	}
+}
+
+func TestPropertyIndexMaintenance(t *testing.T) {
+	g := New()
+	g.CreateIndex("Person", "ssn")
+
+	a := g.CreateNode([]string{"Person"}, props("ssn", 111))
+	b := g.CreateNode([]string{"Person"}, props("ssn", 111))
+	if got := g.NodesByLabelProperty("Person", "ssn", value.NewInt(111)); len(got) != 2 {
+		t.Fatalf("index should contain both nodes, got %d", len(got))
+	}
+
+	// Changing the property moves the node to a different index entry.
+	if err := g.SetNodeProperty(a, "ssn", value.NewInt(222)); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NodesByLabelProperty("Person", "ssn", value.NewInt(111)); len(got) != 1 || got[0] != b {
+		t.Errorf("index not updated on property change: %v", got)
+	}
+	if got := g.NodesByLabelProperty("Person", "ssn", value.NewInt(222)); len(got) != 1 || got[0] != a {
+		t.Errorf("index missing the new value: %v", got)
+	}
+
+	// Removing the property removes the node from the index.
+	if err := g.SetNodeProperty(a, "ssn", value.Null()); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NodesByLabelProperty("Person", "ssn", value.NewInt(222)); len(got) != 0 {
+		t.Errorf("index should drop nodes whose property was removed: %v", got)
+	}
+
+	// Removing the label removes the node from the index.
+	if err := g.RemoveNodeLabel(b, "Person"); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NodesByLabelProperty("Person", "ssn", value.NewInt(111)); len(got) != 0 {
+		t.Errorf("index should drop nodes whose label was removed: %v", got)
+	}
+
+	// Adding the label back (with the property still present) re-indexes.
+	if err := g.AddNodeLabel(b, "Person"); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NodesByLabelProperty("Person", "ssn", value.NewInt(111)); len(got) != 1 {
+		t.Errorf("index should pick nodes up again when the label returns: %v", got)
+	}
+
+	// Deleting a node removes it from the index.
+	if err := g.DetachDeleteNode(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NodesByLabelProperty("Person", "ssn", value.NewInt(111)); len(got) != 0 {
+		t.Errorf("index should drop deleted nodes: %v", got)
+	}
+
+	g.DropIndex("Person", "ssn")
+	if g.HasIndex("Person", "ssn") {
+		t.Errorf("DropIndex should remove the index")
+	}
+}
+
+func TestReplacePropertiesKeepsIndexConsistent(t *testing.T) {
+	g := New()
+	g.CreateIndex("Acct", "no")
+	n := g.CreateNode([]string{"Acct"}, props("no", 7))
+	if err := g.ReplaceNodeProperties(n, props("no", 8, "extra", true)); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NodesByLabelProperty("Acct", "no", value.NewInt(7)); len(got) != 0 {
+		t.Errorf("old value should no longer be indexed")
+	}
+	if got := g.NodesByLabelProperty("Acct", "no", value.NewInt(8)); len(got) != 1 {
+		t.Errorf("new value should be indexed")
+	}
+}

@@ -1,0 +1,262 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// ErrNodeHasRelationships is returned by DeleteNode when the node still has
+// incident relationships (Cypher requires DETACH DELETE in that case).
+var ErrNodeHasRelationships = errors.New("graph: cannot delete node with relationships (use DETACH DELETE)")
+
+// ErrNotFound is returned when an entity does not exist (e.g. it was deleted).
+var ErrNotFound = errors.New("graph: entity not found")
+
+// CreateNode creates a node with the given labels and properties and returns
+// it. Null-valued properties are not stored (Cypher treats storing null as
+// removing the property).
+func (g *Graph) CreateNode(labels []string, props map[string]value.Value) *Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nextNodeID++
+	n := &Node{
+		id:    g.nextNodeID,
+		graph: g,
+		props: make(map[string]value.Value, len(props)),
+	}
+	seen := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		if !seen[l] {
+			seen[l] = true
+			n.labels = append(n.labels, l)
+		}
+	}
+	sort.Strings(n.labels)
+	for k, v := range props {
+		if !value.IsNull(v) {
+			n.props[k] = v
+		}
+	}
+	g.nodes[n.id] = n
+	for _, l := range n.labels {
+		g.addToLabelIndex(l, n)
+	}
+	g.addToPropIndexes(n)
+	return n
+}
+
+// CreateRelationship creates a relationship of the given type from start to
+// end, with the given properties.
+func (g *Graph) CreateRelationship(start, end *Node, typ string, props map[string]value.Value) (*Relationship, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[start.id]; !ok || start.graph != g {
+		return nil, fmt.Errorf("%w: start node %d", ErrNotFound, start.id)
+	}
+	if _, ok := g.nodes[end.id]; !ok || end.graph != g {
+		return nil, fmt.Errorf("%w: end node %d", ErrNotFound, end.id)
+	}
+	g.nextRelID++
+	r := &Relationship{
+		id:    g.nextRelID,
+		typ:   typ,
+		start: start,
+		end:   end,
+		props: make(map[string]value.Value, len(props)),
+	}
+	for k, v := range props {
+		if !value.IsNull(v) {
+			r.props[k] = v
+		}
+	}
+	g.rels[r.id] = r
+	start.out = append(start.out, r)
+	end.in = append(end.in, r)
+	if g.typeIndex[typ] == nil {
+		g.typeIndex[typ] = make(map[int64]*Relationship)
+	}
+	g.typeIndex[typ][r.id] = r
+	return r, nil
+}
+
+// DeleteRelationship removes the relationship from the graph.
+func (g *Graph) DeleteRelationship(r *Relationship) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.deleteRelationshipLocked(r)
+}
+
+func (g *Graph) deleteRelationshipLocked(r *Relationship) error {
+	if _, ok := g.rels[r.id]; !ok {
+		return fmt.Errorf("%w: relationship %d", ErrNotFound, r.id)
+	}
+	delete(g.rels, r.id)
+	delete(g.typeIndex[r.typ], r.id)
+	r.start.out = removeRel(r.start.out, r)
+	r.end.in = removeRel(r.end.in, r)
+	return nil
+}
+
+func removeRel(rels []*Relationship, r *Relationship) []*Relationship {
+	for i, x := range rels {
+		if x == r {
+			return append(rels[:i], rels[i+1:]...)
+		}
+	}
+	return rels
+}
+
+// DeleteNode removes a node that has no incident relationships.
+func (g *Graph) DeleteNode(n *Node) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[n.id]; !ok {
+		return fmt.Errorf("%w: node %d", ErrNotFound, n.id)
+	}
+	if len(n.out) > 0 || len(n.in) > 0 {
+		return ErrNodeHasRelationships
+	}
+	g.removeNodeLocked(n)
+	return nil
+}
+
+// DetachDeleteNode removes a node and all its incident relationships.
+func (g *Graph) DetachDeleteNode(n *Node) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[n.id]; !ok {
+		return fmt.Errorf("%w: node %d", ErrNotFound, n.id)
+	}
+	for len(n.out) > 0 {
+		if err := g.deleteRelationshipLocked(n.out[0]); err != nil {
+			return err
+		}
+	}
+	for len(n.in) > 0 {
+		if err := g.deleteRelationshipLocked(n.in[0]); err != nil {
+			return err
+		}
+	}
+	g.removeNodeLocked(n)
+	return nil
+}
+
+func (g *Graph) removeNodeLocked(n *Node) {
+	delete(g.nodes, n.id)
+	for _, l := range n.labels {
+		delete(g.labelIndex[l], n.id)
+	}
+	g.removeFromPropIndexes(n)
+}
+
+// SetNodeProperty sets (or with a null value removes) a property on a node.
+func (g *Graph) SetNodeProperty(n *Node, key string, v value.Value) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[n.id]; !ok {
+		return fmt.Errorf("%w: node %d", ErrNotFound, n.id)
+	}
+	g.removeFromPropIndexes(n)
+	if value.IsNull(v) {
+		delete(n.props, key)
+	} else {
+		n.props[key] = v
+	}
+	g.addToPropIndexes(n)
+	return nil
+}
+
+// SetRelationshipProperty sets (or with a null value removes) a property on a
+// relationship.
+func (g *Graph) SetRelationshipProperty(r *Relationship, key string, v value.Value) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.rels[r.id]; !ok {
+		return fmt.Errorf("%w: relationship %d", ErrNotFound, r.id)
+	}
+	if value.IsNull(v) {
+		delete(r.props, key)
+	} else {
+		r.props[key] = v
+	}
+	return nil
+}
+
+// ReplaceNodeProperties replaces all properties of a node (SET n = {...}).
+func (g *Graph) ReplaceNodeProperties(n *Node, props map[string]value.Value) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[n.id]; !ok {
+		return fmt.Errorf("%w: node %d", ErrNotFound, n.id)
+	}
+	g.removeFromPropIndexes(n)
+	n.props = make(map[string]value.Value, len(props))
+	for k, v := range props {
+		if !value.IsNull(v) {
+			n.props[k] = v
+		}
+	}
+	g.addToPropIndexes(n)
+	return nil
+}
+
+// ReplaceRelationshipProperties replaces all properties of a relationship.
+func (g *Graph) ReplaceRelationshipProperties(r *Relationship, props map[string]value.Value) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.rels[r.id]; !ok {
+		return fmt.Errorf("%w: relationship %d", ErrNotFound, r.id)
+	}
+	r.props = make(map[string]value.Value, len(props))
+	for k, v := range props {
+		if !value.IsNull(v) {
+			r.props[k] = v
+		}
+	}
+	return nil
+}
+
+// AddNodeLabel adds a label to a node.
+func (g *Graph) AddNodeLabel(n *Node, label string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[n.id]; !ok {
+		return fmt.Errorf("%w: node %d", ErrNotFound, n.id)
+	}
+	if n.HasLabel(label) {
+		return nil
+	}
+	n.labels = append(n.labels, label)
+	sort.Strings(n.labels)
+	g.addToLabelIndex(label, n)
+	g.addToPropIndexes(n)
+	return nil
+}
+
+// RemoveNodeLabel removes a label from a node.
+func (g *Graph) RemoveNodeLabel(n *Node, label string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[n.id]; !ok {
+		return fmt.Errorf("%w: node %d", ErrNotFound, n.id)
+	}
+	if !n.HasLabel(label) {
+		return nil
+	}
+	g.removeFromPropIndexes(n)
+	i := sort.SearchStrings(n.labels, label)
+	n.labels = append(n.labels[:i], n.labels[i+1:]...)
+	delete(g.labelIndex[label], n.id)
+	g.addToPropIndexes(n)
+	return nil
+}
+
+func (g *Graph) addToLabelIndex(label string, n *Node) {
+	if g.labelIndex[label] == nil {
+		g.labelIndex[label] = make(map[int64]*Node)
+	}
+	g.labelIndex[label][n.id] = n
+}

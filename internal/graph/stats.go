@@ -1,0 +1,63 @@
+package graph
+
+// Statistics is a snapshot of graph cardinalities used by the planner's cost
+// model (the paper describes Neo4j's cost-based IDP planning; cardinality
+// statistics are its input).
+type Statistics struct {
+	// NodeCount is the total number of nodes.
+	NodeCount int
+	// RelationshipCount is the total number of relationships.
+	RelationshipCount int
+	// NodesByLabel maps each label to the number of nodes carrying it.
+	NodesByLabel map[string]int
+	// RelationshipsByType maps each relationship type to its count.
+	RelationshipsByType map[string]int
+	// AverageDegree is the mean number of incident relationship endpoints per
+	// node (2*|R| / |N|), 0 for an empty graph.
+	AverageDegree float64
+}
+
+// Stats computes a statistics snapshot of the graph.
+func (g *Graph) Stats() Statistics {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s := Statistics{
+		NodeCount:           len(g.nodes),
+		RelationshipCount:   len(g.rels),
+		NodesByLabel:        make(map[string]int, len(g.labelIndex)),
+		RelationshipsByType: make(map[string]int, len(g.typeIndex)),
+	}
+	for l, nodes := range g.labelIndex {
+		if len(nodes) > 0 {
+			s.NodesByLabel[l] = len(nodes)
+		}
+	}
+	for t, rels := range g.typeIndex {
+		if len(rels) > 0 {
+			s.RelationshipsByType[t] = len(rels)
+		}
+	}
+	if s.NodeCount > 0 {
+		s.AverageDegree = 2 * float64(s.RelationshipCount) / float64(s.NodeCount)
+	}
+	return s
+}
+
+// LabelCardinality returns the number of nodes carrying the label.
+func (s Statistics) LabelCardinality(label string) int {
+	return s.NodesByLabel[label]
+}
+
+// TypeCardinality returns the number of relationships of the given type.
+func (s Statistics) TypeCardinality(typ string) int {
+	return s.RelationshipsByType[typ]
+}
+
+// LabelSelectivity returns the fraction of nodes carrying the label (1.0 for
+// an unknown label on an empty graph, so estimates stay conservative).
+func (s Statistics) LabelSelectivity(label string) float64 {
+	if s.NodeCount == 0 {
+		return 1.0
+	}
+	return float64(s.NodesByLabel[label]) / float64(s.NodeCount)
+}

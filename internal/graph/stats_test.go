@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func TestStats(t *testing.T) {
+	g := New()
+	s := g.Stats()
+	if s.NodeCount != 0 || s.RelationshipCount != 0 || s.AverageDegree != 0 {
+		t.Errorf("empty graph stats wrong: %+v", s)
+	}
+	if s.LabelSelectivity("X") != 1.0 {
+		t.Errorf("selectivity on empty graph should be 1.0")
+	}
+
+	a := g.CreateNode([]string{"Person"}, nil)
+	b := g.CreateNode([]string{"Person"}, nil)
+	c := g.CreateNode([]string{"Publication"}, nil)
+	if _, err := g.CreateRelationship(a, b, "KNOWS", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.CreateRelationship(a, c, "AUTHORS", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	s = g.Stats()
+	if s.NodeCount != 3 || s.RelationshipCount != 2 {
+		t.Errorf("counts wrong: %+v", s)
+	}
+	if s.LabelCardinality("Person") != 2 || s.LabelCardinality("Publication") != 1 || s.LabelCardinality("X") != 0 {
+		t.Errorf("label cardinalities wrong: %+v", s.NodesByLabel)
+	}
+	if s.TypeCardinality("KNOWS") != 1 || s.TypeCardinality("MISSING") != 0 {
+		t.Errorf("type cardinalities wrong: %+v", s.RelationshipsByType)
+	}
+	if math.Abs(s.AverageDegree-4.0/3.0) > 1e-9 {
+		t.Errorf("average degree = %f", s.AverageDegree)
+	}
+	if math.Abs(s.LabelSelectivity("Person")-2.0/3.0) > 1e-9 {
+		t.Errorf("selectivity = %f", s.LabelSelectivity("Person"))
+	}
+}
+
+// Property: after creating n nodes with label L and m without, the label
+// index and statistics agree.
+func TestQuickLabelIndexMatchesStats(t *testing.T) {
+	f := func(withLabel, without uint8) bool {
+		n := int(withLabel % 32)
+		m := int(without % 32)
+		g := New()
+		for i := 0; i < n; i++ {
+			g.CreateNode([]string{"L"}, nil)
+		}
+		for i := 0; i < m; i++ {
+			g.CreateNode(nil, nil)
+		}
+		s := g.Stats()
+		return len(g.NodesByLabel("L")) == n && s.LabelCardinality("L") == n && s.NodeCount == n+m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The store must be safe for concurrent mixed use.
+func TestConcurrentAccess(t *testing.T) {
+	g := New()
+	seed := make([]*Node, 0, 50)
+	for i := 0; i < 50; i++ {
+		seed = append(seed, g.CreateNode([]string{"Seed"}, props("i", i)))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				switch i % 4 {
+				case 0:
+					n := g.CreateNode([]string{"Person"}, props("w", w))
+					if _, err := g.CreateRelationship(n, seed[i%len(seed)], "KNOWS", nil); err != nil {
+						t.Errorf("create rel: %v", err)
+						return
+					}
+				case 1:
+					g.NodesByLabel("Person")
+				case 2:
+					g.Stats()
+				case 3:
+					if err := g.SetNodeProperty(seed[i%len(seed)], "touched", value.NewInt(int64(w))); err != nil {
+						t.Errorf("set prop: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := g.Stats()
+	if s.NodeCount != 50+8*25 {
+		t.Errorf("node count after concurrent writes = %d", s.NodeCount)
+	}
+	if s.RelationshipCount != 8*25 {
+		t.Errorf("relationship count after concurrent writes = %d", s.RelationshipCount)
+	}
+}

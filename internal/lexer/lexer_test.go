@@ -1,0 +1,219 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func types(toks []Token) []Type {
+	out := make([]Type, len(toks))
+	for i, t := range toks {
+		out[i] = t.Type
+	}
+	return out
+}
+
+func TestTokenizeBasicQuery(t *testing.T) {
+	toks, err := Tokenize("MATCH (r:Researcher)-[:AUTHORS]->(p) RETURN r.name, count(p) AS n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Type{
+		Keyword, LParen, Ident, Colon, Ident, RParen, Minus, LBracket, Colon,
+		Ident, RBracket, Minus, Gt, LParen, Ident, RParen, Keyword, Ident, Dot,
+		Ident, Comma, Ident, LParen, Ident, RParen, Keyword, Ident, EOF,
+	}
+	got := types(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v (%q), want %v", i, got[i], toks[i].Text, want[i])
+		}
+	}
+	if toks[0].Text != "MATCH" || toks[0].Type != Keyword {
+		t.Errorf("keywords should be upper-cased: %+v", toks[0])
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Tokenize("match MaTcH RETURN return")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range toks[:4] {
+		if tok.Type != Keyword {
+			t.Errorf("expected keyword, got %v %q", tok.Type, tok.Text)
+		}
+	}
+	if !toks[0].Is("MATCH") || !toks[2].Is("RETURN") {
+		t.Errorf("Is() should match canonical keyword names")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := Tokenize("0 42 3.14 1e3 2.5e-2 10..20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Type != Integer || toks[0].IntVal != 0 {
+		t.Errorf("0: %+v", toks[0])
+	}
+	if toks[1].Type != Integer || toks[1].IntVal != 42 {
+		t.Errorf("42: %+v", toks[1])
+	}
+	if toks[2].Type != Float || toks[2].FltVal != 3.14 {
+		t.Errorf("3.14: %+v", toks[2])
+	}
+	if toks[3].Type != Float || toks[3].FltVal != 1000 {
+		t.Errorf("1e3: %+v", toks[3])
+	}
+	if toks[4].Type != Float || toks[4].FltVal != 0.025 {
+		t.Errorf("2.5e-2: %+v", toks[4])
+	}
+	// "10..20" must lex as Integer DotDot Integer, not a float.
+	if toks[5].Type != Integer || toks[6].Type != DotDot || toks[7].Type != Integer {
+		t.Errorf("range lexing wrong: %v %v %v", toks[5], toks[6], toks[7])
+	}
+}
+
+func TestStringsAndEscapes(t *testing.T) {
+	toks, err := Tokenize(`'it''s' "double" 'a\'b' "tab\tnewline\n" 'A'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 'it''s' is two adjacent strings in our lexer ('it' and 's') since
+	// Cypher uses backslash escapes; check the simple ones.
+	if toks[0].Type != StringLit || toks[0].StrVal != "it" {
+		t.Errorf("first string: %+v", toks[0])
+	}
+	var vals []string
+	for _, tok := range toks {
+		if tok.Type == StringLit {
+			vals = append(vals, tok.StrVal)
+		}
+	}
+	found := map[string]bool{}
+	for _, v := range vals {
+		found[v] = true
+	}
+	if !found["double"] || !found["a'b"] || !found["tab\tnewline\n"] || !found["A"] {
+		t.Errorf("string values wrong: %q", vals)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	if _, err := Tokenize("'abc"); err == nil {
+		t.Errorf("unterminated string should fail")
+	}
+	if _, err := Tokenize("RETURN 'a\nb'"); err == nil {
+		t.Errorf("newline in string should fail")
+	}
+	if _, err := Tokenize("'bad \\q escape'"); err == nil {
+		t.Errorf("invalid escape should fail")
+	}
+}
+
+func TestOperators(t *testing.T) {
+	toks, err := Tokenize("<= >= <> =~ .. += < > = + - * / % ^ | ; $param")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Type{Le, Ge, Neq, RegexEq, DotDot, PlusEq, Lt, Gt, Eq, Plus, Minus, Star, Slash, Percent, Caret, Pipe, Semicolon, Parameter, EOF}
+	got := types(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[17].StrVal != "param" {
+		t.Errorf("parameter name = %q", toks[17].StrVal)
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks, err := Tokenize("MATCH // line comment\n (n) /* block\n comment */ RETURN n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.Type != EOF {
+			texts = append(texts, tok.Text)
+		}
+	}
+	joined := strings.Join(texts, " ")
+	if joined != "MATCH ( n ) RETURN n" {
+		t.Errorf("comments not skipped: %q", joined)
+	}
+	if _, err := Tokenize("/* unterminated"); err == nil {
+		t.Errorf("unterminated block comment should fail")
+	}
+}
+
+func TestEscapedIdentifiers(t *testing.T) {
+	toks, err := Tokenize("MATCH (`weird name`:`Label``with backtick`) RETURN 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Type != Ident || toks[2].StrVal != "weird name" || !toks[2].Escaped {
+		t.Errorf("escaped identifier: %+v", toks[2])
+	}
+	if toks[4].StrVal != "Label`with backtick" {
+		t.Errorf("doubled backtick: %+v", toks[4])
+	}
+	if _, err := Tokenize("`unterminated"); err == nil {
+		t.Errorf("unterminated escaped identifier should fail")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("MATCH\n  (n)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("first token position: %+v", toks[0])
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("second token position: line %d col %d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Tokenize("MATCH (n) RETURN n ~"); err == nil {
+		t.Errorf("stray '~' should be rejected")
+	}
+	if _, err := Tokenize("$ "); err == nil {
+		t.Errorf("bare '$' should be rejected")
+	}
+	if _, err := Tokenize("RETURN 99999999999999999999"); err == nil {
+		t.Errorf("out-of-range integer should be rejected")
+	}
+	var lexErr *Error
+	_, err := Tokenize("RETURN ~")
+	if err == nil {
+		t.Fatalf("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error should carry position: %v", err)
+	}
+	_ = lexErr
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := Tokenize("MATCH 'x' $p")
+	if toks[0].String() != `"MATCH"` {
+		t.Errorf("keyword String = %s", toks[0].String())
+	}
+	if toks[1].String() != `string "x"` {
+		t.Errorf("string literal String = %s", toks[1].String())
+	}
+	if toks[2].String() != "$p" {
+		t.Errorf("parameter String = %s", toks[2].String())
+	}
+	if toks[3].String() != "end of input" {
+		t.Errorf("EOF String = %s", toks[3].String())
+	}
+}

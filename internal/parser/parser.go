@@ -1,0 +1,585 @@
+// Package parser implements a recursive-descent parser for the core Cypher
+// language formalised in the paper: the pattern grammar of Figure 3, the
+// expression / query / clause grammar of Figure 5, plus ORDER BY, SKIP,
+// LIMIT and the updating clauses described in Section 2.
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+)
+
+// Error is a parse error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("syntax error at line %d, column %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parser consumes a token stream and produces an AST.
+type Parser struct {
+	toks []lexer.Token
+	pos  int
+}
+
+// Parse parses a complete Cypher query (possibly a UNION of single queries).
+func Parse(src string) (*ast.Query, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	// Allow a trailing semicolon.
+	if p.peek().Type == lexer.Semicolon {
+		p.next()
+	}
+	if p.peek().Type != lexer.EOF {
+		return nil, p.errorf("unexpected %s after end of query", p.peek())
+	}
+	return q, nil
+}
+
+// ParseExpression parses a standalone expression (used by tests and tools).
+func ParseExpression(src string) (ast.Expr, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	e, err := p.parseExpression()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Type != lexer.EOF {
+		return nil, p.errorf("unexpected %s after expression", p.peek())
+	}
+	return e, nil
+}
+
+// --- token helpers ---
+
+func (p *Parser) peek() lexer.Token { return p.toks[p.pos] }
+
+func (p *Parser) peekAt(offset int) lexer.Token {
+	i := p.pos + offset
+	if i >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[i]
+}
+
+func (p *Parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	t := p.peek()
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(tt lexer.Type, what string) (lexer.Token, error) {
+	if p.peek().Type != tt {
+		return lexer.Token{}, p.errorf("expected %s, found %s", what, p.peek())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.peek().Is(kw) {
+		return p.errorf("expected %s, found %s", kw, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+// acceptKeyword consumes the keyword if present and reports whether it did.
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.peek().Is(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// symbolicName parses an identifier-like name; Cypher allows most keywords to
+// be used as property keys, labels and relationship types, so keywords are
+// accepted here with their original spelling.
+func (p *Parser) symbolicName(what string) (string, error) {
+	t := p.peek()
+	switch t.Type {
+	case lexer.Ident:
+		p.next()
+		return t.StrVal, nil
+	case lexer.Keyword:
+		p.next()
+		return t.StrVal, nil
+	default:
+		return "", p.errorf("expected %s, found %s", what, t)
+	}
+}
+
+// variableName parses a variable name (identifiers only).
+func (p *Parser) variableName(what string) (string, error) {
+	t, err := p.expect(lexer.Ident, what)
+	if err != nil {
+		return "", err
+	}
+	return t.StrVal, nil
+}
+
+// --- queries ---
+
+func (p *Parser) parseQuery() (*ast.Query, error) {
+	q := &ast.Query{}
+	first, err := p.parseSingleQuery()
+	if err != nil {
+		return nil, err
+	}
+	q.Parts = append(q.Parts, first)
+	for p.peek().Is("UNION") {
+		p.next()
+		kind := ast.UnionDistinct
+		if p.acceptKeyword("ALL") {
+			kind = ast.UnionAll
+		}
+		part, err := p.parseSingleQuery()
+		if err != nil {
+			return nil, err
+		}
+		q.Parts = append(q.Parts, part)
+		q.Unions = append(q.Unions, kind)
+	}
+	return q, nil
+}
+
+func (p *Parser) parseSingleQuery() (*ast.SingleQuery, error) {
+	sq := &ast.SingleQuery{}
+	for {
+		t := p.peek()
+		if t.Type == lexer.EOF || t.Type == lexer.Semicolon || t.Is("UNION") {
+			break
+		}
+		clause, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		sq.Clauses = append(sq.Clauses, clause)
+		if _, ok := clause.(*ast.Return); ok {
+			break
+		}
+	}
+	if len(sq.Clauses) == 0 {
+		return nil, p.errorf("expected a clause, found %s", p.peek())
+	}
+	return sq, nil
+}
+
+func (p *Parser) parseClause() (ast.Clause, error) {
+	t := p.peek()
+	switch {
+	case t.Is("MATCH") || t.Is("OPTIONAL"):
+		return p.parseMatch()
+	case t.Is("UNWIND"):
+		return p.parseUnwind()
+	case t.Is("WITH"):
+		return p.parseWith()
+	case t.Is("RETURN"):
+		return p.parseReturn()
+	case t.Is("CREATE"):
+		return p.parseCreate()
+	case t.Is("MERGE"):
+		return p.parseMerge()
+	case t.Is("SET"):
+		return p.parseSet()
+	case t.Is("DELETE") || t.Is("DETACH"):
+		return p.parseDelete()
+	case t.Is("REMOVE"):
+		return p.parseRemove()
+	default:
+		return nil, p.errorf("expected a clause keyword, found %s", t)
+	}
+}
+
+func (p *Parser) parseMatch() (ast.Clause, error) {
+	optional := false
+	if p.acceptKeyword("OPTIONAL") {
+		optional = true
+	}
+	if err := p.expectKeyword("MATCH"); err != nil {
+		return nil, err
+	}
+	pattern, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	m := &ast.Match{Optional: optional, Pattern: pattern}
+	if p.acceptKeyword("WHERE") {
+		where, err := p.parseExpression()
+		if err != nil {
+			return nil, err
+		}
+		m.Where = where
+	}
+	return m, nil
+}
+
+func (p *Parser) parseUnwind() (ast.Clause, error) {
+	if err := p.expectKeyword("UNWIND"); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpression()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	alias, err := p.variableName("variable name after AS")
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Unwind{Expr: e, Alias: alias}, nil
+}
+
+func (p *Parser) parseProjection() (ast.Projection, error) {
+	proj := ast.Projection{}
+	if p.acceptKeyword("DISTINCT") {
+		proj.Distinct = true
+	}
+	if p.peek().Type == lexer.Star {
+		p.next()
+		proj.Star = true
+		if p.peek().Type == lexer.Comma {
+			p.next()
+			items, err := p.parseReturnItems()
+			if err != nil {
+				return proj, err
+			}
+			proj.Items = items
+		}
+	} else {
+		items, err := p.parseReturnItems()
+		if err != nil {
+			return proj, err
+		}
+		proj.Items = items
+	}
+	if p.peek().Is("ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return proj, err
+		}
+		for {
+			e, err := p.parseExpression()
+			if err != nil {
+				return proj, err
+			}
+			item := ast.SortItem{Expr: e}
+			if p.acceptKeyword("DESC") || p.acceptKeyword("DESCENDING") {
+				item.Descending = true
+			} else if p.acceptKeyword("ASC") || p.acceptKeyword("ASCENDING") {
+				item.Descending = false
+			}
+			proj.OrderBy = append(proj.OrderBy, item)
+			if p.peek().Type != lexer.Comma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.acceptKeyword("SKIP") {
+		e, err := p.parseExpression()
+		if err != nil {
+			return proj, err
+		}
+		proj.Skip = e
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.parseExpression()
+		if err != nil {
+			return proj, err
+		}
+		proj.Limit = e
+	}
+	return proj, nil
+}
+
+func (p *Parser) parseReturnItems() ([]ast.ReturnItem, error) {
+	var items []ast.ReturnItem
+	for {
+		e, err := p.parseExpression()
+		if err != nil {
+			return nil, err
+		}
+		item := ast.ReturnItem{Expr: e}
+		if p.acceptKeyword("AS") {
+			alias, err := p.symbolicName("alias after AS")
+			if err != nil {
+				return nil, err
+			}
+			item.Alias = alias
+		}
+		items = append(items, item)
+		if p.peek().Type != lexer.Comma {
+			break
+		}
+		p.next()
+	}
+	return items, nil
+}
+
+func (p *Parser) parseWith() (ast.Clause, error) {
+	if err := p.expectKeyword("WITH"); err != nil {
+		return nil, err
+	}
+	proj, err := p.parseProjection()
+	if err != nil {
+		return nil, err
+	}
+	w := &ast.With{Projection: proj}
+	if p.acceptKeyword("WHERE") {
+		where, err := p.parseExpression()
+		if err != nil {
+			return nil, err
+		}
+		w.Where = where
+	}
+	return w, nil
+}
+
+func (p *Parser) parseReturn() (ast.Clause, error) {
+	if err := p.expectKeyword("RETURN"); err != nil {
+		return nil, err
+	}
+	proj, err := p.parseProjection()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Return{Projection: proj}, nil
+}
+
+func (p *Parser) parseCreate() (ast.Clause, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	pattern, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Create{Pattern: pattern}, nil
+}
+
+func (p *Parser) parseMerge() (ast.Clause, error) {
+	if err := p.expectKeyword("MERGE"); err != nil {
+		return nil, err
+	}
+	part, err := p.parsePatternPart()
+	if err != nil {
+		return nil, err
+	}
+	m := &ast.Merge{Part: part}
+	for p.peek().Is("ON") {
+		p.next()
+		switch {
+		case p.acceptKeyword("CREATE"):
+			if err := p.expectKeyword("SET"); err != nil {
+				return nil, err
+			}
+			items, err := p.parseSetItems()
+			if err != nil {
+				return nil, err
+			}
+			m.OnCreate = append(m.OnCreate, items...)
+		case p.acceptKeyword("MATCH"):
+			if err := p.expectKeyword("SET"); err != nil {
+				return nil, err
+			}
+			items, err := p.parseSetItems()
+			if err != nil {
+				return nil, err
+			}
+			m.OnMatch = append(m.OnMatch, items...)
+		default:
+			return nil, p.errorf("expected CREATE or MATCH after ON, found %s", p.peek())
+		}
+	}
+	return m, nil
+}
+
+func (p *Parser) parseSet() (ast.Clause, error) {
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	items, err := p.parseSetItems()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Set{Items: items}, nil
+}
+
+func (p *Parser) parseSetItems() ([]ast.SetItem, error) {
+	var items []ast.SetItem
+	for {
+		item, err := p.parseSetItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if p.peek().Type != lexer.Comma {
+			break
+		}
+		p.next()
+	}
+	return items, nil
+}
+
+func (p *Parser) parseSetItem() (ast.SetItem, error) {
+	name, err := p.variableName("variable in SET")
+	if err != nil {
+		return ast.SetItem{}, err
+	}
+	switch p.peek().Type {
+	case lexer.Dot:
+		// variable.prop[.prop...] = expr
+		var subject ast.Expr = &ast.Variable{Name: name}
+		var lastKey string
+		for p.peek().Type == lexer.Dot {
+			p.next()
+			key, err := p.symbolicName("property key")
+			if err != nil {
+				return ast.SetItem{}, err
+			}
+			if lastKey != "" {
+				subject = &ast.PropertyAccess{Subject: subject, Key: lastKey}
+			}
+			lastKey = key
+		}
+		if _, err := p.expect(lexer.Eq, "'='"); err != nil {
+			return ast.SetItem{}, err
+		}
+		v, err := p.parseExpression()
+		if err != nil {
+			return ast.SetItem{}, err
+		}
+		return ast.SetItem{
+			Kind:     ast.SetProperty,
+			Property: &ast.PropertyAccess{Subject: subject, Key: lastKey},
+			Value:    v,
+		}, nil
+	case lexer.PlusEq:
+		p.next()
+		v, err := p.parseExpression()
+		if err != nil {
+			return ast.SetItem{}, err
+		}
+		return ast.SetItem{Kind: ast.SetMergeProperties, Variable: name, Value: v}, nil
+	case lexer.Eq:
+		p.next()
+		v, err := p.parseExpression()
+		if err != nil {
+			return ast.SetItem{}, err
+		}
+		return ast.SetItem{Kind: ast.SetAllProperties, Variable: name, Value: v}, nil
+	case lexer.Colon:
+		var labels []string
+		for p.peek().Type == lexer.Colon {
+			p.next()
+			l, err := p.symbolicName("label")
+			if err != nil {
+				return ast.SetItem{}, err
+			}
+			labels = append(labels, l)
+		}
+		return ast.SetItem{Kind: ast.SetLabels, Variable: name, Labels: labels}, nil
+	default:
+		return ast.SetItem{}, p.errorf("expected '.', '=', '+=' or ':' in SET item, found %s", p.peek())
+	}
+}
+
+func (p *Parser) parseDelete() (ast.Clause, error) {
+	detach := false
+	if p.acceptKeyword("DETACH") {
+		detach = true
+	}
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	var exprs []ast.Expr
+	for {
+		e, err := p.parseExpression()
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+		if p.peek().Type != lexer.Comma {
+			break
+		}
+		p.next()
+	}
+	return &ast.Delete{Detach: detach, Exprs: exprs}, nil
+}
+
+func (p *Parser) parseRemove() (ast.Clause, error) {
+	if err := p.expectKeyword("REMOVE"); err != nil {
+		return nil, err
+	}
+	var items []ast.RemoveItem
+	for {
+		name, err := p.variableName("variable in REMOVE")
+		if err != nil {
+			return nil, err
+		}
+		switch p.peek().Type {
+		case lexer.Dot:
+			var subject ast.Expr = &ast.Variable{Name: name}
+			var lastKey string
+			for p.peek().Type == lexer.Dot {
+				p.next()
+				key, err := p.symbolicName("property key")
+				if err != nil {
+					return nil, err
+				}
+				if lastKey != "" {
+					subject = &ast.PropertyAccess{Subject: subject, Key: lastKey}
+				}
+				lastKey = key
+			}
+			items = append(items, ast.RemoveItem{
+				Kind:     ast.RemoveProperty,
+				Property: &ast.PropertyAccess{Subject: subject, Key: lastKey},
+			})
+		case lexer.Colon:
+			var labels []string
+			for p.peek().Type == lexer.Colon {
+				p.next()
+				l, err := p.symbolicName("label")
+				if err != nil {
+					return nil, err
+				}
+				labels = append(labels, l)
+			}
+			items = append(items, ast.RemoveItem{Kind: ast.RemoveLabels, Variable: name, Labels: labels})
+		default:
+			return nil, p.errorf("expected '.' or ':' in REMOVE item, found %s", p.peek())
+		}
+		if p.peek().Type != lexer.Comma {
+			break
+		}
+		p.next()
+	}
+	return &ast.Remove{Items: items}, nil
+}

@@ -1,0 +1,373 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func parse(t *testing.T, src string) *ast.Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func firstClause(t *testing.T, src string) ast.Clause {
+	t.Helper()
+	q := parse(t, src)
+	return q.Parts[0].Clauses[0]
+}
+
+func TestParseSection3Query(t *testing.T) {
+	// The worked example of Section 3 of the paper.
+	src := `
+		MATCH (r:Researcher)
+		OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)
+		WITH r, count(s) AS studentsSupervised
+		MATCH (r)-[:AUTHORS]->(p1:Publication)
+		OPTIONAL MATCH (p1)<-[:CITES*]-(p2:Publication)
+		RETURN r.name, studentsSupervised,
+		       count(DISTINCT p2) AS citedCount`
+	q := parse(t, src)
+	if len(q.Parts) != 1 {
+		t.Fatalf("expected a single query part")
+	}
+	clauses := q.Parts[0].Clauses
+	if len(clauses) != 6 {
+		t.Fatalf("expected 6 clauses, got %d", len(clauses))
+	}
+	m1, ok := clauses[0].(*ast.Match)
+	if !ok || m1.Optional {
+		t.Fatalf("clause 1 should be a plain MATCH: %T", clauses[0])
+	}
+	if m1.Pattern.Parts[0].Nodes[0].Labels[0] != "Researcher" {
+		t.Errorf("first MATCH label wrong")
+	}
+	m2, ok := clauses[1].(*ast.Match)
+	if !ok || !m2.Optional {
+		t.Fatalf("clause 2 should be OPTIONAL MATCH")
+	}
+	if m2.Pattern.Parts[0].Rels[0].Types[0] != "SUPERVISES" || m2.Pattern.Parts[0].Rels[0].Direction != ast.DirOutgoing {
+		t.Errorf("OPTIONAL MATCH relationship wrong: %+v", m2.Pattern.Parts[0].Rels[0])
+	}
+	w, ok := clauses[2].(*ast.With)
+	if !ok {
+		t.Fatalf("clause 3 should be WITH")
+	}
+	if len(w.Items) != 2 || w.Items[1].Alias != "studentsSupervised" {
+		t.Errorf("WITH items wrong: %+v", w.Items)
+	}
+	if _, ok := w.Items[1].Expr.(*ast.FunctionCall); !ok {
+		t.Errorf("WITH aggregation should be a function call")
+	}
+	m4, ok := clauses[4].(*ast.Match)
+	if !ok || !m4.Optional {
+		t.Fatalf("clause 5 should be OPTIONAL MATCH")
+	}
+	rel := m4.Pattern.Parts[0].Rels[0]
+	if !rel.VarLength || rel.MinHops != -1 || rel.MaxHops != -1 {
+		t.Errorf("CITES* should be an unbounded variable-length pattern: %+v", rel)
+	}
+	if rel.Direction != ast.DirIncoming {
+		t.Errorf("CITES* should be an incoming pattern")
+	}
+	r, ok := clauses[5].(*ast.Return)
+	if !ok {
+		t.Fatalf("last clause should be RETURN")
+	}
+	if len(r.Items) != 3 || r.Items[2].Alias != "citedCount" {
+		t.Errorf("RETURN items wrong: %+v", r.Items)
+	}
+	fc, ok := r.Items[2].Expr.(*ast.FunctionCall)
+	if !ok || !fc.Distinct || fc.Name != "count" {
+		t.Errorf("count(DISTINCT p2) parsed wrong: %+v", r.Items[2].Expr)
+	}
+}
+
+func TestParseIndustryQueries(t *testing.T) {
+	// Data-center dependency query from Section 3.
+	q1 := parse(t, `
+		MATCH (svc:Service)<-[:DEPENDS_ON*]-(dep:Service)
+		RETURN svc, count(DISTINCT dep) AS dependents
+		ORDER BY dependents DESC
+		LIMIT 1`)
+	ret := q1.Parts[0].Clauses[1].(*ast.Return)
+	if len(ret.OrderBy) != 1 || !ret.OrderBy[0].Descending {
+		t.Errorf("ORDER BY DESC wrong: %+v", ret.OrderBy)
+	}
+	if ret.Limit == nil {
+		t.Errorf("LIMIT missing")
+	}
+
+	// Fraud-detection query from Section 3 (with the WHERE after WITH).
+	q2 := parse(t, `
+		MATCH (accHolder:AccountHolder)-[:HAS]->(pInfo)
+		WHERE pInfo:SSN OR pInfo:PhoneNumber OR pInfo:Address
+		WITH pInfo,
+		     collect(accHolder.uniqueId) AS accountHolders,
+		     count(*) AS fraudRingCount
+		WHERE fraudRingCount > 1
+		RETURN accountHolders,
+		       labels(pInfo) AS personalInformation,
+		       fraudRingCount`)
+	m := q2.Parts[0].Clauses[0].(*ast.Match)
+	if m.Where == nil {
+		t.Fatalf("MATCH ... WHERE missing")
+	}
+	or, ok := m.Where.(*ast.BinaryOp)
+	if !ok || or.Op != ast.OpOr {
+		t.Fatalf("WHERE should be an OR: %T", m.Where)
+	}
+	w := q2.Parts[0].Clauses[1].(*ast.With)
+	if w.Where == nil {
+		t.Errorf("WITH ... WHERE missing")
+	}
+	if _, ok := w.Items[2].Expr.(*ast.CountStar); !ok {
+		t.Errorf("count(*) should parse to CountStar, got %T", w.Items[2].Expr)
+	}
+}
+
+func TestParsePatternsFigure3(t *testing.T) {
+	// Node pattern with labels and properties.
+	m := firstClause(t, "MATCH (x:Person:Male {name: 'Nils', age: 44}) RETURN x").(*ast.Match)
+	np := m.Pattern.Parts[0].Nodes[0]
+	if np.Variable != "x" || len(np.Labels) != 2 || np.Labels[1] != "Male" {
+		t.Errorf("node pattern wrong: %+v", np)
+	}
+	if np.Properties == nil || len(np.Properties.Keys) != 2 {
+		t.Errorf("node properties wrong: %+v", np.Properties)
+	}
+
+	// Relationship pattern ranges.
+	cases := []struct {
+		src           string
+		varLen        bool
+		minH, maxH    int
+		dir           ast.Direction
+		types         []string
+		expectedTypes int
+	}{
+		{"MATCH ()-[:KNOWS]-() RETURN 1", false, -1, -1, ast.DirBoth, []string{"KNOWS"}, 1},
+		{"MATCH ()-[:KNOWS*]->() RETURN 1", true, -1, -1, ast.DirOutgoing, []string{"KNOWS"}, 1},
+		{"MATCH ()<-[:KNOWS*2]-() RETURN 1", true, 2, 2, ast.DirIncoming, []string{"KNOWS"}, 1},
+		{"MATCH ()-[:KNOWS*1..2]-() RETURN 1", true, 1, 2, ast.DirBoth, []string{"KNOWS"}, 1},
+		{"MATCH ()-[:KNOWS*..3]->() RETURN 1", true, -1, 3, ast.DirOutgoing, []string{"KNOWS"}, 1},
+		{"MATCH ()-[:KNOWS*2..]->() RETURN 1", true, 2, -1, ast.DirOutgoing, []string{"KNOWS"}, 1},
+		{"MATCH ()-[:LIKES|KNOWS]->() RETURN 1", false, -1, -1, ast.DirOutgoing, []string{"LIKES", "KNOWS"}, 2},
+		{"MATCH ()-[r]->() RETURN r", false, -1, -1, ast.DirOutgoing, nil, 0},
+		{"MATCH ()-->() RETURN 1", false, -1, -1, ast.DirOutgoing, nil, 0},
+		{"MATCH ()<--() RETURN 1", false, -1, -1, ast.DirIncoming, nil, 0},
+		{"MATCH ()--() RETURN 1", false, -1, -1, ast.DirBoth, nil, 0},
+	}
+	for _, c := range cases {
+		m := firstClause(t, c.src).(*ast.Match)
+		rp := m.Pattern.Parts[0].Rels[0]
+		if rp.VarLength != c.varLen || rp.MinHops != c.minH || rp.MaxHops != c.maxH {
+			t.Errorf("%s: range wrong: %+v", c.src, rp)
+		}
+		if rp.Direction != c.dir {
+			t.Errorf("%s: direction = %v, want %v", c.src, rp.Direction, c.dir)
+		}
+		if len(rp.Types) != c.expectedTypes {
+			t.Errorf("%s: types = %v", c.src, rp.Types)
+		}
+		for i, typ := range c.types {
+			if rp.Types[i] != typ {
+				t.Errorf("%s: type %d = %s, want %s", c.src, i, rp.Types[i], typ)
+			}
+		}
+	}
+
+	// Relationship with inline properties (paper example `-[:KNOWS*1 {since: 1985}]-`).
+	m2 := firstClause(t, "MATCH ()-[:KNOWS*1 {since: 1985}]-() RETURN 1").(*ast.Match)
+	rp := m2.Pattern.Parts[0].Rels[0]
+	if !rp.VarLength || rp.MinHops != 1 || rp.MaxHops != 1 {
+		t.Errorf("*1 should be the range [1,1]: %+v", rp)
+	}
+	if rp.Properties == nil || rp.Properties.Keys[0] != "since" {
+		t.Errorf("relationship properties wrong: %+v", rp.Properties)
+	}
+
+	// Named path patterns.
+	m3 := firstClause(t, "MATCH p = (a)-[:KNOWS]->(b) RETURN p").(*ast.Match)
+	if m3.Pattern.Parts[0].Variable != "p" {
+		t.Errorf("named path variable wrong: %+v", m3.Pattern.Parts[0])
+	}
+
+	// Pattern tuples.
+	m4 := firstClause(t, "MATCH (a)-[:X]->(b), (b)-[:Y]->(c), (loner) RETURN a").(*ast.Match)
+	if len(m4.Pattern.Parts) != 3 {
+		t.Errorf("pattern tuple should have 3 parts, got %d", len(m4.Pattern.Parts))
+	}
+	vars := m4.Pattern.Variables()
+	if strings.Join(vars, ",") != "a,b,c,loner" {
+		t.Errorf("pattern variables = %v", vars)
+	}
+}
+
+func TestParseLongPatternChain(t *testing.T) {
+	m := firstClause(t, "MATCH (a)-[:R1]->(b)<-[:R2]-(c)-[:R3]-(d) RETURN a").(*ast.Match)
+	part := m.Pattern.Parts[0]
+	if len(part.Nodes) != 4 || len(part.Rels) != 3 {
+		t.Fatalf("chain sizes wrong: %d nodes, %d rels", len(part.Nodes), len(part.Rels))
+	}
+	if part.Rels[0].Direction != ast.DirOutgoing || part.Rels[1].Direction != ast.DirIncoming || part.Rels[2].Direction != ast.DirBoth {
+		t.Errorf("chain directions wrong")
+	}
+}
+
+func TestParseUnions(t *testing.T) {
+	q := parse(t, "MATCH (a:A) RETURN a.name AS name UNION MATCH (b:B) RETURN b.name AS name UNION ALL MATCH (c:C) RETURN c.name AS name")
+	if len(q.Parts) != 3 || len(q.Unions) != 2 {
+		t.Fatalf("union structure wrong: %d parts, %d unions", len(q.Parts), len(q.Unions))
+	}
+	if q.Unions[0] != ast.UnionDistinct || q.Unions[1] != ast.UnionAll {
+		t.Errorf("union kinds wrong: %v", q.Unions)
+	}
+}
+
+func TestParseUnwindSkipLimitDistinct(t *testing.T) {
+	q := parse(t, "UNWIND [1,2,3] AS x WITH DISTINCT x ORDER BY x SKIP 1 LIMIT 10 RETURN DISTINCT x")
+	u := q.Parts[0].Clauses[0].(*ast.Unwind)
+	if u.Alias != "x" {
+		t.Errorf("UNWIND alias = %q", u.Alias)
+	}
+	w := q.Parts[0].Clauses[1].(*ast.With)
+	if !w.Distinct || w.Skip == nil || w.Limit == nil || len(w.OrderBy) != 1 {
+		t.Errorf("WITH modifiers wrong: %+v", w)
+	}
+	r := q.Parts[0].Clauses[2].(*ast.Return)
+	if !r.Distinct {
+		t.Errorf("RETURN DISTINCT not parsed")
+	}
+}
+
+func TestParseReturnStar(t *testing.T) {
+	r := firstClause(t, "MATCH (n) RETURN *").(*ast.Match)
+	_ = r
+	q := parse(t, "MATCH (n) RETURN *, n.name AS name")
+	ret := q.Parts[0].Clauses[1].(*ast.Return)
+	if !ret.Star || len(ret.Items) != 1 {
+		t.Errorf("RETURN *, expr wrong: %+v", ret)
+	}
+}
+
+func TestParseUpdateClauses(t *testing.T) {
+	c := firstClause(t, "CREATE (a:Person {name: 'X'})-[:KNOWS {since: 2000}]->(b:Person)").(*ast.Create)
+	if len(c.Pattern.Parts[0].Nodes) != 2 {
+		t.Errorf("CREATE pattern wrong")
+	}
+
+	q := parse(t, "MERGE (p:Person {name: 'X'}) ON CREATE SET p.created = true ON MATCH SET p.seen = p.seen + 1 RETURN p")
+	mg := q.Parts[0].Clauses[0].(*ast.Merge)
+	if len(mg.OnCreate) != 1 || len(mg.OnMatch) != 1 {
+		t.Errorf("MERGE ON CREATE/ON MATCH wrong: %+v", mg)
+	}
+
+	q2 := parse(t, "MATCH (n) SET n.age = 30, n:Adult, n += {a: 1}, n = {b: 2}")
+	st := q2.Parts[0].Clauses[1].(*ast.Set)
+	if len(st.Items) != 4 {
+		t.Fatalf("SET items = %d", len(st.Items))
+	}
+	if st.Items[0].Kind != ast.SetProperty || st.Items[1].Kind != ast.SetLabels ||
+		st.Items[2].Kind != ast.SetMergeProperties || st.Items[3].Kind != ast.SetAllProperties {
+		t.Errorf("SET item kinds wrong: %+v", st.Items)
+	}
+
+	q3 := parse(t, "MATCH (n) DETACH DELETE n")
+	d := q3.Parts[0].Clauses[1].(*ast.Delete)
+	if !d.Detach || len(d.Exprs) != 1 {
+		t.Errorf("DETACH DELETE wrong: %+v", d)
+	}
+	q4 := parse(t, "MATCH (n)-[r]->() DELETE r, n")
+	d2 := q4.Parts[0].Clauses[1].(*ast.Delete)
+	if d2.Detach || len(d2.Exprs) != 2 {
+		t.Errorf("DELETE wrong: %+v", d2)
+	}
+
+	q5 := parse(t, "MATCH (n) REMOVE n.age, n:Temp")
+	rm := q5.Parts[0].Clauses[1].(*ast.Remove)
+	if len(rm.Items) != 2 || rm.Items[0].Kind != ast.RemoveProperty || rm.Items[1].Kind != ast.RemoveLabels {
+		t.Errorf("REMOVE wrong: %+v", rm.Items)
+	}
+}
+
+func TestIsReadOnly(t *testing.T) {
+	if !parse(t, "MATCH (n) RETURN n").IsReadOnly() {
+		t.Errorf("MATCH ... RETURN should be read-only")
+	}
+	if parse(t, "CREATE (n)").IsReadOnly() {
+		t.Errorf("CREATE should not be read-only")
+	}
+	if parse(t, "MATCH (n) SET n.x = 1").IsReadOnly() {
+		t.Errorf("SET should not be read-only")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"MATCH",
+		"MATCH (a RETURN a",
+		"MATCH (a) RETURN",
+		"MATCH (a)-[]>(b) RETURN a",
+		"MATCH (a) WHERE RETURN a",
+		"RETURN 1 +",
+		"RETURN count(",
+		"MATCH (a) RETURN a extra_token_without_meaning (",
+		"UNWIND [1,2] RETURN 1",
+		"MATCH (a) SET a",
+		"MERGE (a) ON DELETE SET a.x = 1",
+		"RETURN CASE END",
+		"RETURN [x IN [1,2] | ]",
+		"MATCH (a) RETURN a; MATCH (b) RETURN b", // a second statement is not supported
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("MATCH (a)\nRETURN a +")
+	if err == nil {
+		t.Fatalf("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("expected *Error, got %T", err)
+	}
+	if perr.Line != 2 {
+		t.Errorf("error line = %d, want 2", perr.Line)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error message should mention the line: %v", err)
+	}
+}
+
+func TestClauseStringRoundTrip(t *testing.T) {
+	// String() forms should re-parse to the same structure (smoke test over a
+	// few representative queries).
+	srcs := []string{
+		"MATCH (r:Researcher) RETURN r.name AS name",
+		"OPTIONAL MATCH (a)-[:X*1..2]->(b) WHERE a.v > 1 RETURN a, b ORDER BY a.v DESC SKIP 1 LIMIT 2",
+		"UNWIND [1, 2] AS x RETURN x",
+		"MATCH (a) WITH DISTINCT a WHERE a.x = 1 RETURN count(*)",
+		"CREATE (a:Person {name: 'X'})-[:KNOWS]->(b)",
+		"MATCH (n) DETACH DELETE n",
+		"MATCH (n) SET n.a = 1, n:L REMOVE n.b, n:M",
+		"MATCH (a:A) RETURN a UNION ALL MATCH (a:B) RETURN a",
+	}
+	for _, src := range srcs {
+		q1 := parse(t, src)
+		q2 := parse(t, q1.String())
+		if q1.String() != q2.String() {
+			t.Errorf("round trip mismatch:\n  src: %s\n  1st: %s\n  2nd: %s", src, q1.String(), q2.String())
+		}
+	}
+}

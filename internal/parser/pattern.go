@@ -1,0 +1,209 @@
+package parser
+
+import (
+	"repro/internal/ast"
+	"repro/internal/lexer"
+)
+
+// parsePattern parses a comma-separated tuple of path patterns.
+func (p *Parser) parsePattern() (ast.Pattern, error) {
+	var pattern ast.Pattern
+	for {
+		part, err := p.parsePatternPart()
+		if err != nil {
+			return pattern, err
+		}
+		pattern.Parts = append(pattern.Parts, part)
+		if p.peek().Type != lexer.Comma {
+			break
+		}
+		p.next()
+	}
+	return pattern, nil
+}
+
+// parsePatternPart parses one path pattern, optionally named: `a = (x)-[..]->(y)`.
+func (p *Parser) parsePatternPart() (ast.PatternPart, error) {
+	var part ast.PatternPart
+	if p.peek().Type == lexer.Ident && p.peekAt(1).Type == lexer.Eq {
+		name := p.next().StrVal
+		p.next() // '='
+		part.Variable = name
+	}
+	return p.parseAnonymousPatternPart(part)
+}
+
+// parseAnonymousPatternPart parses the chain of node and relationship
+// patterns that makes up a path pattern.
+func (p *Parser) parseAnonymousPatternPart(part ast.PatternPart) (ast.PatternPart, error) {
+	node, err := p.parseNodePattern()
+	if err != nil {
+		return part, err
+	}
+	part.Nodes = append(part.Nodes, node)
+	for p.peek().Type == lexer.Minus || p.peek().Type == lexer.Lt {
+		rel, err := p.parseRelationshipPattern()
+		if err != nil {
+			return part, err
+		}
+		node, err := p.parseNodePattern()
+		if err != nil {
+			return part, err
+		}
+		part.Rels = append(part.Rels, rel)
+		part.Nodes = append(part.Nodes, node)
+	}
+	return part, nil
+}
+
+// parseNodePattern parses `( [variable] [:Label]* [{props}] )`.
+func (p *Parser) parseNodePattern() (ast.NodePattern, error) {
+	var np ast.NodePattern
+	if _, err := p.expect(lexer.LParen, "'(' starting a node pattern"); err != nil {
+		return np, err
+	}
+	if p.peek().Type == lexer.Ident {
+		np.Variable = p.next().StrVal
+	}
+	for p.peek().Type == lexer.Colon {
+		p.next()
+		label, err := p.symbolicName("node label")
+		if err != nil {
+			return np, err
+		}
+		np.Labels = append(np.Labels, label)
+	}
+	if p.peek().Type == lexer.LBrace {
+		props, err := p.parseMapLiteral()
+		if err != nil {
+			return np, err
+		}
+		np.Properties = props
+	} else if p.peek().Type == lexer.Parameter {
+		// `(n $props)` — properties supplied via a parameter; represent as a
+		// one-entry map literal keyed by the parameter for the planner.
+		tok := p.next()
+		np.Properties = &ast.MapLiteral{Keys: []string{"$" + tok.StrVal}, Values: []ast.Expr{&ast.Parameter{Name: tok.StrVal}}}
+	}
+	if _, err := p.expect(lexer.RParen, "')' closing a node pattern"); err != nil {
+		return np, err
+	}
+	return np, nil
+}
+
+// parseRelationshipPattern parses the relationship part of a pattern:
+// `-[r:TYPE*1..2 {props}]->`, `<-[...]-`, `-[...]-`, `-->`, `<--`, `--`.
+func (p *Parser) parseRelationshipPattern() (ast.RelationshipPattern, error) {
+	rp := ast.RelationshipPattern{MinHops: -1, MaxHops: -1}
+	leftArrow := false
+	if p.peek().Type == lexer.Lt {
+		p.next()
+		leftArrow = true
+	}
+	if _, err := p.expect(lexer.Minus, "'-' in a relationship pattern"); err != nil {
+		return rp, err
+	}
+	if p.peek().Type == lexer.LBracket {
+		p.next()
+		if p.peek().Type == lexer.Ident {
+			rp.Variable = p.next().StrVal
+		}
+		if p.peek().Type == lexer.Colon {
+			p.next()
+			typ, err := p.symbolicName("relationship type")
+			if err != nil {
+				return rp, err
+			}
+			rp.Types = append(rp.Types, typ)
+			for p.peek().Type == lexer.Pipe {
+				p.next()
+				// Allow both `:A|B` and `:A|:B`.
+				if p.peek().Type == lexer.Colon {
+					p.next()
+				}
+				typ, err := p.symbolicName("relationship type")
+				if err != nil {
+					return rp, err
+				}
+				rp.Types = append(rp.Types, typ)
+			}
+		}
+		if p.peek().Type == lexer.Star {
+			p.next()
+			rp.VarLength = true
+			if p.peek().Type == lexer.Integer {
+				rp.MinHops = int(p.next().IntVal)
+				rp.MaxHops = rp.MinHops // `*n` means exactly n unless a range follows
+			}
+			if p.peek().Type == lexer.DotDot {
+				p.next()
+				rp.MaxHops = -1
+				if p.peek().Type == lexer.Integer {
+					rp.MaxHops = int(p.next().IntVal)
+				}
+			}
+		}
+		if p.peek().Type == lexer.LBrace {
+			props, err := p.parseMapLiteral()
+			if err != nil {
+				return rp, err
+			}
+			rp.Properties = props
+		}
+		if _, err := p.expect(lexer.RBracket, "']' closing a relationship pattern"); err != nil {
+			return rp, err
+		}
+	}
+	if _, err := p.expect(lexer.Minus, "'-' in a relationship pattern"); err != nil {
+		return rp, err
+	}
+	rightArrow := false
+	if p.peek().Type == lexer.Gt {
+		p.next()
+		rightArrow = true
+	}
+	switch {
+	case leftArrow && !rightArrow:
+		rp.Direction = ast.DirIncoming
+	case rightArrow && !leftArrow:
+		rp.Direction = ast.DirOutgoing
+	default:
+		rp.Direction = ast.DirBoth
+	}
+	return rp, nil
+}
+
+// parseMapLiteral parses `{ key: expr, ... }`.
+func (p *Parser) parseMapLiteral() (*ast.MapLiteral, error) {
+	if _, err := p.expect(lexer.LBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	m := &ast.MapLiteral{}
+	if p.peek().Type == lexer.RBrace {
+		p.next()
+		return m, nil
+	}
+	for {
+		key, err := p.symbolicName("map key")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Colon, "':' after map key"); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpression()
+		if err != nil {
+			return nil, err
+		}
+		m.Keys = append(m.Keys, key)
+		m.Values = append(m.Values, v)
+		if p.peek().Type != lexer.Comma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(lexer.RBrace, "'}' closing a map"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

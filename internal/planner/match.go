@@ -1,0 +1,361 @@
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/plan"
+)
+
+// matchContext accumulates state across the pattern tuple of one MATCH
+// clause: the relationship and node variables bound so far, which drive the
+// relationship-isomorphism uniqueness checks of Section 4.2.
+type matchContext struct {
+	relVars  []string
+	nodeVars []string
+}
+
+// planMatch compiles a MATCH or OPTIONAL MATCH clause.
+func (p *Planner) planMatch(input plan.Operator, m *ast.Match, sc *scope) (plan.Operator, error) {
+	if !m.Optional {
+		op, newVars, err := p.planPatternTuple(input, m.Pattern, sc)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range newVars {
+			sc.add(v)
+		}
+		if m.Where != nil {
+			if err := p.checkVariables(m.Where, sc); err != nil {
+				return nil, err
+			}
+			op = &plan.Filter{Input: op, Predicate: m.Where}
+		}
+		return op, nil
+	}
+
+	// OPTIONAL MATCH: the pattern (and its WHERE, per Figure 7) is evaluated
+	// per driving row; rows without any match get null bindings for the
+	// variables the pattern introduces.
+	innerScope := sc.clone()
+	inner, newVars, err := p.planPatternTuple(&plan.Argument{}, m.Pattern, innerScope)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range newVars {
+		innerScope.add(v)
+	}
+	if m.Where != nil {
+		if err := p.checkVariables(m.Where, innerScope); err != nil {
+			return nil, err
+		}
+		inner = &plan.Filter{Input: inner, Predicate: m.Where}
+	}
+	var introduced []string
+	for _, v := range newVars {
+		if !sc.has(v) {
+			introduced = append(introduced, v)
+			sc.add(v)
+		}
+	}
+	return &plan.Optional{Input: input, Inner: inner, IntroducedVars: introduced}, nil
+}
+
+// planPatternTuple plans all parts of a pattern tuple sequentially and
+// returns the user-visible variables the pattern introduces.
+func (p *Planner) planPatternTuple(input plan.Operator, pattern ast.Pattern, sc *scope) (plan.Operator, []string, error) {
+	op := input
+	mc := &matchContext{}
+	bound := sc.clone()
+	var newVars []string
+	addVar := func(v string) {
+		if v == "" {
+			return
+		}
+		if !bound.has(v) {
+			bound.add(v)
+			if v[0] != ' ' { // anonymous variables carry a leading space
+				newVars = append(newVars, v)
+			}
+		}
+	}
+	for _, part := range pattern.Parts {
+		named := p.nameAnonymous(part)
+		var err error
+		op, err = p.planPart(op, named, bound, mc, addVar)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return op, newVars, nil
+}
+
+// nameAnonymous returns a copy of the pattern part in which every anonymous
+// node and relationship has been given a unique internal name (prefixed with
+// a space so it can never collide with user variables and is pruned by the
+// next WITH/RETURN).
+func (p *Planner) nameAnonymous(part ast.PatternPart) ast.PatternPart {
+	out := ast.PatternPart{Variable: part.Variable}
+	out.Nodes = append([]ast.NodePattern(nil), part.Nodes...)
+	out.Rels = append([]ast.RelationshipPattern(nil), part.Rels...)
+	for i := range out.Nodes {
+		if out.Nodes[i].Variable == "" {
+			out.Nodes[i].Variable = p.nextAnon("node")
+		}
+	}
+	for i := range out.Rels {
+		if out.Rels[i].Variable == "" {
+			out.Rels[i].Variable = p.nextAnon("rel")
+		}
+	}
+	return out
+}
+
+// planPart plans one path pattern: a scan (or reuse of an already-bound
+// variable) for the most selective node, then Expand operators along the
+// chain in both directions.
+func (p *Planner) planPart(input plan.Operator, part ast.PatternPart, bound *scope, mc *matchContext, addVar func(string)) (plan.Operator, error) {
+	op := input
+	start := p.chooseStartNode(part, bound)
+
+	// Bind the start node.
+	np := part.Nodes[start]
+	if bound.has(np.Variable) {
+		// Already bound by an earlier clause or an earlier part: only apply
+		// any additional label/property predicates.
+		if pred := nodePredicate(np); pred != nil {
+			op = &plan.Filter{Input: op, Predicate: pred}
+		}
+	} else {
+		op = p.planNodeScan(op, np)
+		addVar(np.Variable)
+		mc.nodeVars = append(mc.nodeVars, np.Variable)
+	}
+
+	// Expand to the right of the start node, then to the left.
+	for i := start; i < len(part.Rels); i++ {
+		var err error
+		op, err = p.planExpand(op, part, i, false, bound, mc, addVar)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := start - 1; i >= 0; i-- {
+		var err error
+		op, err = p.planExpand(op, part, i, true, bound, mc, addVar)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if part.Variable != "" {
+		op = &plan.ProjectPath{Input: op, Var: part.Variable, Part: part}
+		addVar(part.Variable)
+	}
+	return op, nil
+}
+
+// chooseStartNode picks the index of the node pattern to solve first: an
+// already-bound variable if there is one, otherwise the node whose label (or
+// label+property with an index) is estimated to be most selective.
+func (p *Planner) chooseStartNode(part ast.PatternPart, bound *scope) int {
+	for i, np := range part.Nodes {
+		if bound.has(np.Variable) {
+			return i
+		}
+	}
+	best, bestCost := 0, int(^uint(0)>>1)
+	for i, np := range part.Nodes {
+		cost := p.stats.NodeCount
+		if len(np.Labels) > 0 {
+			minCard := p.stats.NodeCount
+			for _, l := range np.Labels {
+				if c := p.stats.LabelCardinality(l); c < minCard {
+					minCard = c
+				}
+			}
+			cost = minCard
+			// A usable property index makes the node even cheaper to find.
+			if np.Properties != nil {
+				for _, l := range np.Labels {
+					for _, k := range np.Properties.Keys {
+						if p.g.HasIndex(l, k) {
+							if cost > 1 {
+								cost = 1
+							}
+						}
+					}
+				}
+			}
+		}
+		if cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
+// planNodeScan emits the cheapest scan for an unbound node pattern, plus a
+// filter for any predicates the scan does not cover.
+func (p *Planner) planNodeScan(input plan.Operator, np ast.NodePattern) plan.Operator {
+	if len(np.Labels) == 0 {
+		op := plan.Operator(&plan.AllNodesScan{Input: input, Var: np.Variable})
+		if pred := propertyPredicate(np); pred != nil {
+			op = &plan.Filter{Input: op, Predicate: pred}
+		}
+		return op
+	}
+	// Index seek if possible.
+	if np.Properties != nil {
+		for _, l := range np.Labels {
+			for i, k := range np.Properties.Keys {
+				if p.g.HasIndex(l, k) {
+					op := plan.Operator(&plan.NodeIndexSeek{
+						Input:    input,
+						Var:      np.Variable,
+						Label:    l,
+						Property: k,
+						Value:    np.Properties.Values[i],
+					})
+					if pred := nodePredicateExcluding(np, l, k); pred != nil {
+						op = &plan.Filter{Input: op, Predicate: pred}
+					}
+					return op
+				}
+			}
+		}
+	}
+	// Label scan on the most selective label.
+	bestLabel := np.Labels[0]
+	bestCard := p.stats.LabelCardinality(bestLabel)
+	for _, l := range np.Labels[1:] {
+		if c := p.stats.LabelCardinality(l); c < bestCard {
+			bestLabel, bestCard = l, c
+		}
+	}
+	op := plan.Operator(&plan.NodeByLabelScan{Input: input, Var: np.Variable, Label: bestLabel})
+	if pred := nodePredicateExcluding(np, bestLabel, ""); pred != nil {
+		op = &plan.Filter{Input: op, Predicate: pred}
+	}
+	return op
+}
+
+// planExpand plans relationship i of the part. When reversed is true the
+// traversal goes from node i+1 to node i (the pattern is being solved
+// right-to-left), so the pattern direction is flipped.
+func (p *Planner) planExpand(input plan.Operator, part ast.PatternPart, i int, reversed bool, bound *scope, mc *matchContext, addVar func(string)) (plan.Operator, error) {
+	rp := part.Rels[i]
+	fromNP, toNP := part.Nodes[i], part.Nodes[i+1]
+	dir := rp.Direction
+	if reversed {
+		fromNP, toNP = toNP, fromNP
+		switch dir {
+		case ast.DirOutgoing:
+			dir = ast.DirIncoming
+		case ast.DirIncoming:
+			dir = ast.DirOutgoing
+		}
+	}
+	if bound.has(rp.Variable) {
+		return nil, fmt.Errorf("planner: relationship variable `%s` is already bound; relationship variables cannot be reused", rp.Variable)
+	}
+	expand := &plan.Expand{
+		Input:         input,
+		FromVar:       fromNP.Variable,
+		RelVar:        rp.Variable,
+		ToVar:         toNP.Variable,
+		Types:         rp.Types,
+		Direction:     dir,
+		VarLength:     rp.VarLength,
+		MinHops:       rp.MinHops,
+		MaxHops:       rp.MaxHops,
+		ExpandInto:    bound.has(toNP.Variable),
+		RelProperties: rp.Properties,
+		UniqueRels:    append([]string(nil), mc.relVars...),
+		UniqueNodes:   append([]string(nil), mc.nodeVars...),
+	}
+	mc.relVars = append(mc.relVars, rp.Variable)
+	addVar(rp.Variable)
+
+	var op plan.Operator = expand
+	if !expand.ExpandInto {
+		addVar(toNP.Variable)
+		mc.nodeVars = append(mc.nodeVars, toNP.Variable)
+		if pred := nodePredicate(toNP); pred != nil {
+			op = &plan.Filter{Input: op, Predicate: pred}
+		}
+	} else if pred := nodePredicate(toNP); pred != nil {
+		// The target node was already bound; its label/property predicates
+		// still need to hold.
+		op = &plan.Filter{Input: op, Predicate: pred}
+	}
+	return op, nil
+}
+
+// nodePredicate builds the boolean expression corresponding to a node
+// pattern's labels and inline properties (nil when there are none).
+func nodePredicate(np ast.NodePattern) ast.Expr {
+	return nodePredicateExcluding(np, "", "")
+}
+
+// nodePredicateExcluding is nodePredicate minus one label and one property
+// already guaranteed by the chosen scan.
+func nodePredicateExcluding(np ast.NodePattern, coveredLabel, coveredProp string) ast.Expr {
+	var preds []ast.Expr
+	var labels []string
+	for _, l := range np.Labels {
+		if l != coveredLabel {
+			labels = append(labels, l)
+		} else {
+			coveredLabel = "\x00" // only skip one occurrence
+		}
+	}
+	if len(labels) > 0 {
+		preds = append(preds, &ast.HasLabels{Subject: &ast.Variable{Name: np.Variable}, Labels: labels})
+	}
+	if np.Properties != nil {
+		for i, k := range np.Properties.Keys {
+			if k == coveredProp {
+				coveredProp = "\x00"
+				continue
+			}
+			preds = append(preds, &ast.BinaryOp{
+				Op:  ast.OpEq,
+				LHS: &ast.PropertyAccess{Subject: &ast.Variable{Name: np.Variable}, Key: k},
+				RHS: np.Properties.Values[i],
+			})
+		}
+	}
+	return conjunction(preds)
+}
+
+// propertyPredicate builds only the property part of a node pattern's
+// predicate.
+func propertyPredicate(np ast.NodePattern) ast.Expr {
+	var preds []ast.Expr
+	if np.Properties != nil {
+		for i, k := range np.Properties.Keys {
+			preds = append(preds, &ast.BinaryOp{
+				Op:  ast.OpEq,
+				LHS: &ast.PropertyAccess{Subject: &ast.Variable{Name: np.Variable}, Key: k},
+				RHS: np.Properties.Values[i],
+			})
+		}
+	}
+	return conjunction(preds)
+}
+
+func conjunction(preds []ast.Expr) ast.Expr {
+	switch len(preds) {
+	case 0:
+		return nil
+	case 1:
+		return preds[0]
+	default:
+		out := preds[0]
+		for _, p := range preds[1:] {
+			out = &ast.BinaryOp{Op: ast.OpAnd, LHS: out, RHS: p}
+		}
+		return out
+	}
+}

@@ -1,0 +1,222 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/parser"
+	"repro/internal/plan"
+	"repro/internal/value"
+)
+
+func planFor(t *testing.T, g *graph.Graph, src string) *plan.Plan {
+	t.Helper()
+	q, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := New(g).Plan(q)
+	if err != nil {
+		t.Fatalf("plan %q: %v", src, err)
+	}
+	return p
+}
+
+func operators(p *plan.Plan) []string {
+	var out []string
+	for op := p.Root; op != nil; op = op.Source() {
+		out = append(out, op.Describe())
+	}
+	return out
+}
+
+func hasOperator(p *plan.Plan, substr string) bool {
+	for _, d := range operators(p) {
+		if strings.Contains(d, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestScanSelection(t *testing.T) {
+	g, _ := datasets.Citations()
+	// No label: all nodes scan.
+	p := planFor(t, g, "MATCH (n) RETURN n")
+	if !hasOperator(p, "AllNodesScan") {
+		t.Errorf("expected AllNodesScan:\n%s", p)
+	}
+	// Label: label scan.
+	p = planFor(t, g, "MATCH (n:Researcher) RETURN n")
+	if !hasOperator(p, "NodeByLabelScan(n:Researcher)") {
+		t.Errorf("expected NodeByLabelScan:\n%s", p)
+	}
+	// Label + property + index: index seek.
+	g.CreateIndex("Researcher", "name")
+	p = planFor(t, New(g).g, "MATCH (n:Researcher {name: 'Elin'}) RETURN n")
+	if !hasOperator(p, "NodeIndexSeek") {
+		t.Errorf("expected NodeIndexSeek:\n%s", p)
+	}
+	// Label + property without index: label scan plus filter.
+	p = planFor(t, g, "MATCH (n:Publication {acmid: 220}) RETURN n")
+	if !hasOperator(p, "NodeByLabelScan(n:Publication)") || !hasOperator(p, "Filter(n.acmid = 220") {
+		t.Errorf("expected label scan + filter:\n%s", p)
+	}
+}
+
+func TestStartNodeSelectionBySelectivity(t *testing.T) {
+	g := graph.New()
+	// 100 Common nodes, 2 Rare nodes.
+	var rare *graph.Node
+	for i := 0; i < 100; i++ {
+		g.CreateNode([]string{"Common"}, nil)
+	}
+	for i := 0; i < 2; i++ {
+		rare = g.CreateNode([]string{"Rare"}, nil)
+	}
+	_ = rare
+	// The planner should start from the Rare side of the pattern.
+	p := planFor(t, g, "MATCH (c:Common)-[:R]->(r:Rare) RETURN c")
+	ops := operators(p)
+	leaf := ops[len(ops)-2] // the operator just above Start
+	if !strings.Contains(leaf, "NodeByLabelScan(r:Rare)") {
+		t.Errorf("expected the scan to start from the rare label, got %q in\n%s", leaf, p)
+	}
+	// And expand in the reverse direction of the pattern arrow.
+	if !hasOperator(p, "Expand((r)<--") {
+		t.Errorf("expected a reversed expand:\n%s", p)
+	}
+}
+
+func TestBoundVariableBecomesExpandInto(t *testing.T) {
+	g, _ := datasets.Teachers()
+	p := planFor(t, g, "MATCH (a)-[:KNOWS]->(b) MATCH (a)-[:KNOWS]->(b) RETURN a, b")
+	// The second MATCH has both endpoints bound: it must check rather than
+	// rebind, i.e. use ExpandInto.
+	if !hasOperator(p, "ExpandInto") {
+		t.Errorf("expected ExpandInto for the re-matched pattern:\n%s", p)
+	}
+	// A cyclic pattern inside one part also needs ExpandInto.
+	p = planFor(t, g, "MATCH (a)-[:KNOWS]->(b)-[:KNOWS]->(a) RETURN a")
+	if !hasOperator(p, "ExpandInto") {
+		t.Errorf("expected ExpandInto for the cyclic pattern:\n%s", p)
+	}
+}
+
+func TestOptionalAndUnionPlans(t *testing.T) {
+	g, _ := datasets.Citations()
+	p := planFor(t, g, "MATCH (r:Researcher) OPTIONAL MATCH (r)-[:AUTHORS]->(p:Publication) RETURN r, p")
+	if !hasOperator(p, "Optional") {
+		t.Errorf("expected an Optional operator:\n%s", p)
+	}
+	p = planFor(t, g, "MATCH (r:Researcher) RETURN r.name AS n UNION MATCH (s:Student) RETURN s.name AS n")
+	if _, ok := p.Root.(*plan.Union); !ok {
+		t.Errorf("expected a Union root:\n%s", p)
+	}
+	if p.Columns[0] != "n" {
+		t.Errorf("union columns wrong: %v", p.Columns)
+	}
+}
+
+func TestAggregationPlanShape(t *testing.T) {
+	g, _ := datasets.Citations()
+	p := planFor(t, g, "MATCH (r:Researcher)-[:AUTHORS]->(p:Publication) RETURN r.name AS name, count(p) AS pubs ORDER BY pubs DESC LIMIT 1")
+	if !hasOperator(p, "Aggregate(name") {
+		t.Errorf("expected Aggregate with grouping key:\n%s", p)
+	}
+	if !hasOperator(p, "Sort") || !hasOperator(p, "Limit(1)") {
+		t.Errorf("expected Sort and Limit:\n%s", p)
+	}
+	if p.Columns[0] != "name" || p.Columns[1] != "pubs" {
+		t.Errorf("columns wrong: %v", p.Columns)
+	}
+	// count(*) + 1 is rewritten into an aggregate column plus projection.
+	p = planFor(t, g, "MATCH (n) RETURN count(*) + 1 AS c")
+	if !hasOperator(p, "Aggregate(") || !hasOperator(p, "Project(") {
+		t.Errorf("expected aggregate + projection:\n%s", p)
+	}
+}
+
+func TestUniquenessListsInExpand(t *testing.T) {
+	g, _ := datasets.Teachers()
+	q, err := parser.Parse("MATCH (a)-[r1:KNOWS]->(b)-[r2:KNOWS]->(c) RETURN a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(g).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the second expand and check it lists the first relationship
+	// variable for the uniqueness check.
+	var second *plan.Expand
+	for op := p.Root; op != nil; op = op.Source() {
+		if e, ok := op.(*plan.Expand); ok {
+			second = e
+			break // the topmost expand in the chain is the last planned
+		}
+	}
+	if second == nil {
+		t.Fatalf("no expand found:\n%s", p)
+	}
+	if len(second.UniqueRels) != 1 {
+		t.Errorf("the second expand should carry one earlier relationship variable, got %v", second.UniqueRels)
+	}
+}
+
+func TestPlannerErrors(t *testing.T) {
+	g, _ := datasets.Teachers()
+	bad := []string{
+		"MATCH (n) RETURN m",
+		"MATCH (n) WITH n RETURN q",
+		"MATCH (a)-[r]->(b)-[r]->(c) RETURN a",
+		"RETURN *",
+		"MATCH (n) RETURN n.a AS x, n.b AS x",
+		"MATCH (a) RETURN a UNION MATCH (b) RETURN b",
+		"MATCH (a) RETURN a AS x UNION MATCH (b) RETURN b AS x, b AS y",
+		"UNWIND q AS x RETURN x",
+		"MATCH (n) DELETE q",
+	}
+	for _, src := range bad {
+		q, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := New(g).Plan(q); err == nil {
+			t.Errorf("Plan(%q) should fail", src)
+		}
+	}
+}
+
+func TestReadOnlyFlagAndColumns(t *testing.T) {
+	g, _ := datasets.Teachers()
+	p := planFor(t, g, "MATCH (n) RETURN n.name AS name, id(n)")
+	if !p.ReadOnly {
+		t.Errorf("read query should be read-only")
+	}
+	if len(p.Columns) != 2 || p.Columns[0] != "name" || p.Columns[1] != "id(n)" {
+		t.Errorf("columns = %v", p.Columns)
+	}
+	p = planFor(t, g, "CREATE (x:New {v: 1})")
+	if p.ReadOnly {
+		t.Errorf("create should not be read-only")
+	}
+	if len(p.Columns) != 0 {
+		t.Errorf("update-only query has no columns, got %v", p.Columns)
+	}
+	p = planFor(t, g, "MATCH (n) RETURN *")
+	if len(p.Columns) != 1 || p.Columns[0] != "n" {
+		t.Errorf("RETURN * columns = %v", p.Columns)
+	}
+}
+
+func TestValueLiteralInPlanDescription(t *testing.T) {
+	g := graph.New()
+	g.CreateNode([]string{"L"}, map[string]value.Value{"k": value.NewInt(1)})
+	p := planFor(t, g, "MATCH (n:L) WHERE n.k = 1 RETURN n")
+	if !hasOperator(p, "Filter(n.k = 1)") {
+		t.Errorf("WHERE should appear as a filter:\n%s", p)
+	}
+}

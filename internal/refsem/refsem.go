@@ -1,0 +1,663 @@
+// Package refsem is a reference implementation of the denotational semantics
+// of core Cypher given in Figures 6 and 7 of the paper: every clause is a
+// function from tables to tables, queries compose those functions, and
+// evaluation starts from the unit table T().
+//
+// The implementation is deliberately literal and unoptimised — patterns are
+// matched by naive enumeration, without planning, statistics, or indexes. It
+// exists to differentially test the optimised engine (internal/core et al.)
+// against an independent reading of the paper's semantics, and to serve as
+// the measurement baseline for the engine-vs-reference benchmark.
+package refsem
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/result"
+	"repro/internal/value"
+)
+
+// Evaluate computes output(Q, G) = [[Q]]_G(T()) for the core read-only
+// fragment of Cypher covered by the paper's Figures 6 and 7: MATCH, OPTIONAL
+// MATCH, WHERE, WITH, UNWIND, RETURN (including aggregation, DISTINCT, ORDER
+// BY, SKIP and LIMIT) and UNION / UNION ALL.
+func Evaluate(q *ast.Query, g *graph.Graph, params map[string]value.Value) (*result.Table, error) {
+	ev := &evaluator{g: g}
+	ev.ctx = &eval.Context{Params: params, PatternPredicate: ev.patternPredicate}
+
+	var out *result.Table
+	for i, part := range q.Parts {
+		tbl, err := ev.evalSingleQuery(part)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			out = tbl
+			continue
+		}
+		if len(tbl.Columns) != len(out.Columns) {
+			return nil, fmt.Errorf("refsem: UNION column mismatch")
+		}
+		all := q.Unions[i-1] == ast.UnionAll
+		out.Records = append(out.Records, tbl.Records...)
+		if !all {
+			out = dedup(out)
+		}
+	}
+	return out, nil
+}
+
+type evaluator struct {
+	g   *graph.Graph
+	ctx *eval.Context
+}
+
+func (ev *evaluator) evalSingleQuery(sq *ast.SingleQuery) (*result.Table, error) {
+	// Evaluation starts from the table containing the single empty record.
+	tbl := result.Unit()
+	for _, clause := range sq.Clauses {
+		var err error
+		switch c := clause.(type) {
+		case *ast.Match:
+			tbl, err = ev.evalMatch(c, tbl)
+		case *ast.Unwind:
+			tbl, err = ev.evalUnwind(c, tbl)
+		case *ast.With:
+			tbl, err = ev.evalProjection(c.Projection, tbl, c.Where, true)
+		case *ast.Return:
+			tbl, err = ev.evalProjection(c.Projection, tbl, nil, false)
+		default:
+			return nil, fmt.Errorf("refsem: unsupported clause %T (the reference semantics covers the read-only core)", clause)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// --- MATCH ---
+
+func (ev *evaluator) evalMatch(m *ast.Match, in *result.Table) (*result.Table, error) {
+	out := result.NewTable()
+	for _, u := range in.Records {
+		matches, err := ev.matchTuple(m.Pattern, u)
+		if err != nil {
+			return nil, err
+		}
+		if m.Where != nil {
+			var kept []result.Record
+			for _, r := range matches {
+				ok, err := ev.ctx.EvaluateTruth(m.Where, r)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					kept = append(kept, r)
+				}
+			}
+			matches = kept
+		}
+		if len(matches) == 0 && m.Optional {
+			// (u, (free(u, pi) : null))
+			r := u.Clone()
+			for _, v := range m.Pattern.Variables() {
+				if !r.Has(v) {
+					r[v] = value.Null()
+				}
+			}
+			out.Add(r)
+			continue
+		}
+		if len(matches) == 0 && !m.Optional {
+			continue
+		}
+		for _, r := range matches {
+			out.Add(r)
+		}
+	}
+	return out, nil
+}
+
+// matchTuple enumerates match(pi-bar, G, u): all extensions of u that satisfy
+// every path pattern in the tuple, with no relationship occurring in more
+// than one binding (relationship isomorphism across the tuple).
+func (ev *evaluator) matchTuple(p ast.Pattern, u result.Record) ([]result.Record, error) {
+	recs := []result.Record{u.Clone()}
+	used := [][]int64{nil}
+	for _, part := range p.Parts {
+		var nextRecs []result.Record
+		var nextUsed [][]int64
+		for i, rec := range recs {
+			extensions, relIDs, err := ev.matchPart(part, rec, used[i])
+			if err != nil {
+				return nil, err
+			}
+			nextRecs = append(nextRecs, extensions...)
+			nextUsed = append(nextUsed, relIDs...)
+		}
+		recs = nextRecs
+		used = nextUsed
+	}
+	return recs, nil
+}
+
+// matchPart enumerates the bindings of one path pattern under rec, returning
+// for each binding the relationships it used (so that subsequent parts can
+// honour the uniqueness restriction).
+func (ev *evaluator) matchPart(part ast.PatternPart, rec result.Record, usedSoFar []int64) ([]result.Record, [][]int64, error) {
+	var outRecs []result.Record
+	var outUsed [][]int64
+	usedSet := map[int64]bool{}
+	for _, id := range usedSoFar {
+		usedSet[id] = true
+	}
+
+	type state struct {
+		rec   result.Record
+		node  *graph.Node
+		used  map[int64]bool
+		rels  []int64
+		nodes []*graph.Node
+		rlist []*graph.Relationship
+	}
+
+	emit := func(s state) error {
+		final := s.rec
+		if part.Variable != "" {
+			p := value.Path{}
+			for _, n := range s.nodes {
+				p.Nodes = append(p.Nodes, n)
+			}
+			for _, r := range s.rlist {
+				p.Rels = append(p.Rels, r)
+			}
+			final = final.Extended(part.Variable, value.NewPath(p))
+		}
+		outRecs = append(outRecs, final)
+		ids := append(append([]int64(nil), usedSoFar...), s.rels...)
+		outUsed = append(outUsed, ids)
+		return nil
+	}
+
+	var advance func(s state, idx int) error
+	advance = func(s state, idx int) error {
+		if idx == len(part.Rels) {
+			return emit(s)
+		}
+		rp := part.Rels[idx]
+		nextNP := part.Nodes[idx+1]
+		minHops, maxHops := 1, 1
+		if rp.VarLength {
+			minHops, maxHops = rp.MinHops, rp.MaxHops
+			if minHops < 0 {
+				minHops = 1
+			}
+			if maxHops < 0 {
+				maxHops = 1 << 30
+			}
+		}
+		var walk func(cur *graph.Node, depth int, s state) error
+		walk = func(cur *graph.Node, depth int, s state) error {
+			if depth >= minHops {
+				// Try to close this segment at cur.
+				ok, err := ev.nodeMatches(nextNP, cur, s.rec)
+				if err != nil {
+					return err
+				}
+				bindOK := true
+				next := s
+				next.rec = s.rec
+				if nextNP.Variable != "" {
+					if s.rec.Has(nextNP.Variable) {
+						bound, isNode := value.AsNode(s.rec.Get(nextNP.Variable))
+						if !isNode || bound.ID() != cur.ID() {
+							bindOK = false
+						}
+					} else {
+						next.rec = s.rec.Extended(nextNP.Variable, value.NewNode(cur))
+					}
+				}
+				if ok && bindOK {
+					segRels := append([]*graph.Relationship(nil), next.rlist[len(s.rlist)-(depth):]...)
+					_ = segRels
+					if rp.Variable != "" {
+						if rp.VarLength {
+							vals := make([]value.Value, depth)
+							for i := 0; i < depth; i++ {
+								vals[i] = value.NewRelationship(next.rlist[len(next.rlist)-depth+i])
+							}
+							next.rec = next.rec.Extended(rp.Variable, value.NewListOf(vals))
+						} else if depth == 1 {
+							next.rec = next.rec.Extended(rp.Variable, value.NewRelationship(next.rlist[len(next.rlist)-1]))
+						}
+					}
+					next.node = cur
+					if err := advance(next, idx+1); err != nil {
+						return err
+					}
+				}
+			}
+			if depth >= maxHops {
+				return nil
+			}
+			dir := graph.Both
+			if rp.Direction == ast.DirOutgoing {
+				dir = graph.Outgoing
+			} else if rp.Direction == ast.DirIncoming {
+				dir = graph.Incoming
+			}
+			for _, rel := range cur.Relationships(dir, rp.Types...) {
+				if s.used[rel.ID()] {
+					continue
+				}
+				match, err := ev.relMatches(rp, rel, s.rec)
+				if err != nil {
+					return err
+				}
+				if !match {
+					continue
+				}
+				ns := s
+				ns.used = cloneSet(s.used)
+				ns.used[rel.ID()] = true
+				ns.rels = append(append([]int64(nil), s.rels...), rel.ID())
+				ns.rlist = append(append([]*graph.Relationship(nil), s.rlist...), rel)
+				ns.nodes = append(append([]*graph.Node(nil), s.nodes...), rel.Other(cur))
+				if err := walk(rel.Other(cur), depth+1, ns); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return walk(s.node, 0, s)
+	}
+
+	// Candidates for the first node.
+	np := part.Nodes[0]
+	tryStart := func(n *graph.Node) error {
+		ok, err := ev.nodeMatches(np, n, rec)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		r := rec
+		if np.Variable != "" && !rec.Has(np.Variable) {
+			r = rec.Extended(np.Variable, value.NewNode(n))
+		}
+		return advance(state{rec: r, node: n, used: cloneSet(usedSet), nodes: []*graph.Node{n}}, 0)
+	}
+	if np.Variable != "" && rec.Has(np.Variable) {
+		v := rec.Get(np.Variable)
+		if value.IsNull(v) {
+			return nil, nil, nil
+		}
+		n, ok := value.AsNode(v)
+		if !ok {
+			return nil, nil, fmt.Errorf("refsem: %s is not a node", np.Variable)
+		}
+		gn, _ := ev.g.NodeByID(n.ID())
+		if gn == nil {
+			return nil, nil, nil
+		}
+		if err := tryStart(gn); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		for _, n := range ev.g.Nodes() {
+			if err := tryStart(n); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return outRecs, outUsed, nil
+}
+
+func cloneSet(in map[int64]bool) map[int64]bool {
+	out := make(map[int64]bool, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+func (ev *evaluator) nodeMatches(np ast.NodePattern, n *graph.Node, rec result.Record) (bool, error) {
+	for _, l := range np.Labels {
+		if !n.HasLabel(l) {
+			return false, nil
+		}
+	}
+	if np.Properties != nil {
+		for i, k := range np.Properties.Keys {
+			want, err := ev.ctx.Evaluate(np.Properties.Values[i], rec)
+			if err != nil {
+				return false, err
+			}
+			if value.Equals(n.Property(k), want) != value.TrueT {
+				return false, nil
+			}
+		}
+	}
+	if np.Variable != "" && rec.Has(np.Variable) {
+		bound, ok := value.AsNode(rec.Get(np.Variable))
+		if !ok {
+			return false, nil
+		}
+		return bound.ID() == n.ID(), nil
+	}
+	return true, nil
+}
+
+func (ev *evaluator) relMatches(rp ast.RelationshipPattern, rel *graph.Relationship, rec result.Record) (bool, error) {
+	if len(rp.Types) > 0 {
+		found := false
+		for _, t := range rp.Types {
+			if rel.RelType() == t {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false, nil
+		}
+	}
+	if rp.Properties != nil {
+		for i, k := range rp.Properties.Keys {
+			want, err := ev.ctx.Evaluate(rp.Properties.Values[i], rec)
+			if err != nil {
+				return false, err
+			}
+			if value.Equals(rel.Property(k), want) != value.TrueT {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func (ev *evaluator) patternPredicate(part ast.PatternPart, rec result.Record) (bool, error) {
+	recs, _, err := ev.matchPart(part, rec, nil)
+	if err != nil {
+		return false, err
+	}
+	return len(recs) > 0, nil
+}
+
+// --- UNWIND ---
+
+func (ev *evaluator) evalUnwind(c *ast.Unwind, in *result.Table) (*result.Table, error) {
+	out := result.NewTable()
+	for _, u := range in.Records {
+		v, err := ev.ctx.Evaluate(c.Expr, u)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case value.IsNull(v):
+		case v.Kind() == value.KindList:
+			l, _ := value.AsList(v)
+			for _, el := range l.Elements() {
+				out.Add(u.Extended(c.Alias, el))
+			}
+		default:
+			out.Add(u.Extended(c.Alias, v))
+		}
+	}
+	return out, nil
+}
+
+// --- WITH / RETURN ---
+
+func (ev *evaluator) evalProjection(p ast.Projection, in *result.Table, where ast.Expr, isWith bool) (*result.Table, error) {
+	items := p.Items
+	if p.Star {
+		// All fields of the driving table, in sorted order, then the explicit
+		// items.
+		fieldSet := map[string]bool{}
+		for _, r := range in.Records {
+			for _, f := range r.Fields() {
+				fieldSet[f] = true
+			}
+		}
+		var fields []string
+		for f := range fieldSet {
+			if f != "" && f[0] != ' ' {
+				fields = append(fields, f)
+			}
+		}
+		sort.Strings(fields)
+		var starItems []ast.ReturnItem
+		for _, f := range fields {
+			starItems = append(starItems, ast.ReturnItem{Expr: &ast.Variable{Name: f}})
+		}
+		items = append(starItems, items...)
+	}
+
+	var columns []string
+	for _, it := range items {
+		columns = append(columns, it.Name())
+	}
+
+	hasAgg := false
+	for _, it := range items {
+		if eval.ContainsAggregate(it.Expr) {
+			hasAgg = true
+			break
+		}
+	}
+
+	var out *result.Table
+	var err error
+	if hasAgg {
+		out, err = ev.aggregate(items, columns, in)
+	} else {
+		out = result.NewTable(columns...)
+		for _, u := range in.Records {
+			rec := result.NewRecord()
+			for i, it := range items {
+				v, evalErr := ev.ctx.Evaluate(it.Expr, u)
+				if evalErr != nil {
+					return nil, evalErr
+				}
+				rec[columns[i]] = v
+			}
+			out.Add(rec)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Columns = columns
+
+	if p.Distinct {
+		out = dedup(out)
+	}
+	if len(p.OrderBy) > 0 {
+		sortTable(ev.ctx, out, p.OrderBy)
+	}
+	if p.Skip != nil {
+		n, err := ev.countOf(p.Skip)
+		if err != nil {
+			return nil, err
+		}
+		if n > int64(len(out.Records)) {
+			n = int64(len(out.Records))
+		}
+		out.Records = out.Records[n:]
+	}
+	if p.Limit != nil {
+		n, err := ev.countOf(p.Limit)
+		if err != nil {
+			return nil, err
+		}
+		if n < int64(len(out.Records)) {
+			out.Records = out.Records[:n]
+		}
+	}
+	if where != nil {
+		var kept []result.Record
+		for _, r := range out.Records {
+			ok, err := ev.ctx.EvaluateTruth(where, r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		out.Records = kept
+	}
+	return out, nil
+}
+
+func (ev *evaluator) countOf(e ast.Expr) (int64, error) {
+	v, err := ev.ctx.Evaluate(e, result.NewRecord())
+	if err != nil {
+		return 0, err
+	}
+	n, ok := value.AsInt(v)
+	if !ok || n < 0 {
+		return 0, fmt.Errorf("refsem: SKIP/LIMIT must be a non-negative integer")
+	}
+	return n, nil
+}
+
+func (ev *evaluator) aggregate(items []ast.ReturnItem, columns []string, in *result.Table) (*result.Table, error) {
+	type group struct {
+		keyVals map[string]value.Value
+		rows    []result.Record
+	}
+	var groupingIdx, aggIdx []int
+	for i, it := range items {
+		if eval.ContainsAggregate(it.Expr) {
+			aggIdx = append(aggIdx, i)
+		} else {
+			groupingIdx = append(groupingIdx, i)
+		}
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, u := range in.Records {
+		var keyVals []value.Value
+		named := map[string]value.Value{}
+		for _, gi := range groupingIdx {
+			v, err := ev.ctx.Evaluate(items[gi].Expr, u)
+			if err != nil {
+				return nil, err
+			}
+			keyVals = append(keyVals, v)
+			named[columns[gi]] = v
+		}
+		key := value.GroupKeyOf(keyVals...)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{keyVals: named}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rows = append(g.rows, u)
+	}
+	if len(groups) == 0 && len(groupingIdx) == 0 {
+		groups[""] = &group{keyVals: map[string]value.Value{}}
+		order = append(order, "")
+	}
+
+	out := result.NewTable(columns...)
+	for _, key := range order {
+		g := groups[key]
+		rec := result.NewRecord()
+		for _, gi := range groupingIdx {
+			rec[columns[gi]] = g.keyVals[columns[gi]]
+		}
+		for _, ai := range aggIdx {
+			v, err := ev.evalAggregateExpr(items[ai].Expr, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			rec[columns[ai]] = v
+		}
+		out.Add(rec)
+	}
+	return out, nil
+}
+
+// evalAggregateExpr evaluates an expression that is a single aggregating
+// function call (the common case in the paper's examples) over the rows of a
+// group.
+func (ev *evaluator) evalAggregateExpr(e ast.Expr, rows []result.Record) (value.Value, error) {
+	switch x := e.(type) {
+	case *ast.CountStar:
+		return value.NewInt(int64(len(rows))), nil
+	case *ast.FunctionCall:
+		if !eval.IsAggregate(x.Name) {
+			return nil, fmt.Errorf("refsem: unsupported aggregation expression %s", e.String())
+		}
+		agg, err := eval.NewAggregator(x.Name, x.Distinct)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			v, err := ev.ctx.Evaluate(x.Args[0], r)
+			if err != nil {
+				return nil, err
+			}
+			if err := agg.Add(v); err != nil {
+				return nil, err
+			}
+		}
+		return agg.Result(), nil
+	default:
+		return nil, fmt.Errorf("refsem: aggregation expressions must be a single aggregate call, got %s", e.String())
+	}
+}
+
+// --- helpers ---
+
+func dedup(t *result.Table) *result.Table {
+	out := result.NewTable(t.Columns...)
+	seen := map[string]bool{}
+	for i := range t.Records {
+		vals := t.Row(i)
+		key := value.GroupKeyOf(vals...)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.Add(t.Records[i])
+	}
+	return out
+}
+
+func sortTable(ctx *eval.Context, t *result.Table, keys []ast.SortItem) {
+	sort.SliceStable(t.Records, func(i, j int) bool {
+		for _, k := range keys {
+			vi := sortVal(ctx, k.Expr, t.Records[i])
+			vj := sortVal(ctx, k.Expr, t.Records[j])
+			cmp := value.Compare(vi, vj)
+			if k.Descending {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+}
+
+func sortVal(ctx *eval.Context, e ast.Expr, r result.Record) value.Value {
+	if name := e.String(); r.Has(name) {
+		return r.Get(name)
+	}
+	v, err := ctx.Evaluate(e, r)
+	if err != nil {
+		return value.Null()
+	}
+	return v
+}

@@ -1,0 +1,187 @@
+// Package result defines the tables that Cypher queries consume and produce.
+// Following Section 4.1 of the paper, a table is a bag (multiset) of records,
+// where a record is a partial function from names to values.
+package result
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Record is a named tuple: a partial map from field names to values
+// (u = (a1: v1, ..., an: vn) in the paper).
+type Record map[string]value.Value
+
+// NewRecord returns an empty record (the record () of the paper).
+func NewRecord() Record { return Record{} }
+
+// Clone returns a copy of the record that can be extended independently.
+func (r Record) Clone() Record {
+	out := make(Record, len(r)+4)
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// Extended returns a copy of the record with one extra binding (the record
+// (u, a: v) of the paper).
+func (r Record) Extended(name string, v value.Value) Record {
+	out := r.Clone()
+	out[name] = v
+	return out
+}
+
+// Fields returns the record's field names, sorted (dom(u)).
+func (r Record) Fields() []string {
+	out := make([]string, 0, len(r))
+	for k := range r {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the value bound to the name, or null if the name is unbound.
+func (r Record) Get(name string) value.Value {
+	if v, ok := r[name]; ok {
+		return v
+	}
+	return value.Null()
+}
+
+// Has reports whether the name is bound in the record (even to null).
+func (r Record) Has(name string) bool {
+	_, ok := r[name]
+	return ok
+}
+
+// Table is a bag of records together with an ordered list of column names.
+type Table struct {
+	Columns []string
+	Records []Record
+}
+
+// NewTable creates an empty table with the given columns.
+func NewTable(columns ...string) *Table {
+	return &Table{Columns: columns}
+}
+
+// Unit returns the table containing the single empty record, T() in the
+// paper: the starting point of query evaluation.
+func Unit() *Table {
+	return &Table{Records: []Record{NewRecord()}}
+}
+
+// Add appends a record to the table.
+func (t *Table) Add(r Record) { t.Records = append(t.Records, r) }
+
+// Len returns the number of records.
+func (t *Table) Len() int { return len(t.Records) }
+
+// Row returns the values of record i in column order.
+func (t *Table) Row(i int) []value.Value {
+	out := make([]value.Value, len(t.Columns))
+	for j, c := range t.Columns {
+		out[j] = t.Records[i].Get(c)
+	}
+	return out
+}
+
+// Rows returns all rows in column order.
+func (t *Table) Rows() [][]value.Value {
+	out := make([][]value.Value, t.Len())
+	for i := range t.Records {
+		out[i] = t.Row(i)
+	}
+	return out
+}
+
+// SortByAllColumns orders the records by their values in column order; useful
+// for deterministic test comparison of bag results.
+func (t *Table) SortByAllColumns() {
+	sort.SliceStable(t.Records, func(i, j int) bool {
+		for _, c := range t.Columns {
+			cmp := value.Compare(t.Records[i].Get(c), t.Records[j].Get(c))
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+}
+
+// String renders the table in the ASCII layout used for the paper's figures:
+//
+//	| r.name | studentsSupervised |
+//	| 'Nils' | 0                  |
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, t.Len())
+	for i := range t.Records {
+		row := t.Row(i)
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			s := v.String()
+			cells[i][j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(vals []string) {
+		sb.WriteString("|")
+		for j, s := range vals {
+			sb.WriteString(" ")
+			sb.WriteString(s)
+			sb.WriteString(strings.Repeat(" ", widths[j]-len(s)))
+			sb.WriteString(" |")
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// EqualAsBags reports whether two tables contain the same bag of rows over
+// the same columns (column order matters; row order does not).
+func EqualAsBags(a, b *Table) bool {
+	if len(a.Columns) != len(b.Columns) {
+		return false
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return false
+		}
+	}
+	if a.Len() != b.Len() {
+		return false
+	}
+	counts := make(map[string]int, a.Len())
+	for i := range a.Records {
+		counts[rowKey(a, i)]++
+	}
+	for i := range b.Records {
+		counts[rowKey(b, i)]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func rowKey(t *Table, i int) string {
+	vals := t.Row(i)
+	return value.GroupKeyOf(vals...)
+}

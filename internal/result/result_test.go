@@ -1,0 +1,120 @@
+package result
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestRecordBasics(t *testing.T) {
+	r := NewRecord()
+	if len(r.Fields()) != 0 {
+		t.Errorf("empty record should have no fields")
+	}
+	if !value.IsNull(r.Get("x")) {
+		t.Errorf("missing fields read as null")
+	}
+	if r.Has("x") {
+		t.Errorf("missing field should not be Has()")
+	}
+	r2 := r.Extended("b", value.NewInt(2)).Extended("a", value.NewInt(1))
+	if len(r.Fields()) != 0 {
+		t.Errorf("Extended must not mutate the original")
+	}
+	fields := r2.Fields()
+	if len(fields) != 2 || fields[0] != "a" || fields[1] != "b" {
+		t.Errorf("Fields should be sorted: %v", fields)
+	}
+	clone := r2.Clone()
+	clone["c"] = value.NewInt(3)
+	if r2.Has("c") {
+		t.Errorf("Clone must be independent")
+	}
+	if !r2.Has("a") || r2.Get("a") != value.NewInt(1) {
+		t.Errorf("Get/Has wrong")
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl := NewTable("a", "b")
+	tbl.Add(Record{"a": value.NewInt(1), "b": value.NewString("x")})
+	tbl.Add(Record{"a": value.NewInt(2)})
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	row := tbl.Row(1)
+	if row[0] != value.NewInt(2) || !value.IsNull(row[1]) {
+		t.Errorf("Row fills missing columns with null: %v", row)
+	}
+	rows := tbl.Rows()
+	if len(rows) != 2 || rows[0][1] != value.NewString("x") {
+		t.Errorf("Rows wrong: %v", rows)
+	}
+	if u := Unit(); u.Len() != 1 || len(u.Records[0]) != 0 {
+		t.Errorf("Unit should contain a single empty record")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tbl := NewTable("name", "n")
+	tbl.Add(Record{"name": value.NewString("Nils"), "n": value.NewInt(0)})
+	tbl.Add(Record{"name": value.NewString("Elin"), "n": value.NewInt(2)})
+	s := tbl.String()
+	if !strings.Contains(s, "| name") || !strings.Contains(s, "| 'Nils'") {
+		t.Errorf("rendering wrong:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 {
+		t.Errorf("expected header + 2 rows, got %d lines", len(lines))
+	}
+	// Columns are padded to equal width.
+	if len(lines[0]) != len(lines[1]) || len(lines[1]) != len(lines[2]) {
+		t.Errorf("rows should be padded to the same width:\n%s", s)
+	}
+}
+
+func TestSortByAllColumns(t *testing.T) {
+	tbl := NewTable("a", "b")
+	tbl.Add(Record{"a": value.NewInt(2), "b": value.NewString("x")})
+	tbl.Add(Record{"a": value.NewInt(1), "b": value.NewString("z")})
+	tbl.Add(Record{"a": value.NewInt(1), "b": value.NewString("a")})
+	tbl.SortByAllColumns()
+	if tbl.Row(0)[0] != value.NewInt(1) || tbl.Row(0)[1] != value.NewString("a") {
+		t.Errorf("sort wrong: %v", tbl.Rows())
+	}
+	if tbl.Row(2)[0] != value.NewInt(2) {
+		t.Errorf("sort wrong: %v", tbl.Rows())
+	}
+}
+
+func TestEqualAsBags(t *testing.T) {
+	build := func(rows ...[]int64) *Table {
+		tbl := NewTable("a", "b")
+		for _, r := range rows {
+			tbl.Add(Record{"a": value.NewInt(r[0]), "b": value.NewInt(r[1])})
+		}
+		return tbl
+	}
+	a := build([]int64{1, 2}, []int64{3, 4}, []int64{1, 2})
+	b := build([]int64{3, 4}, []int64{1, 2}, []int64{1, 2})
+	if !EqualAsBags(a, b) {
+		t.Errorf("order must not matter")
+	}
+	c := build([]int64{1, 2}, []int64{3, 4})
+	if EqualAsBags(a, c) {
+		t.Errorf("multiplicities must matter")
+	}
+	d := build([]int64{1, 2}, []int64{3, 4}, []int64{5, 6})
+	if EqualAsBags(a, d) {
+		t.Errorf("different rows must not be equal")
+	}
+	diffCols := NewTable("a", "c")
+	if EqualAsBags(a, diffCols) {
+		t.Errorf("different columns must not be equal")
+	}
+	fewerCols := NewTable("a")
+	if EqualAsBags(a, fewerCols) {
+		t.Errorf("different column counts must not be equal")
+	}
+}

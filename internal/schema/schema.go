@@ -1,0 +1,158 @@
+// Package schema implements the optional schema layer discussed in the
+// paper's future-work section ("Schema model"): Cypher was conceived
+// schema-less, Neo4j is schema-optional, and other implementations are
+// schema-strict. This package provides property-existence and uniqueness
+// constraints over labels that can be validated against a graph, mirroring
+// the schema-optional position.
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// ConstraintKind discriminates the supported constraint types.
+type ConstraintKind int
+
+// Supported constraint kinds.
+const (
+	// Existence requires every node with the label to have the property.
+	Existence ConstraintKind = iota
+	// Uniqueness requires the property value to be unique among nodes with
+	// the label (nodes lacking the property are ignored).
+	Uniqueness
+	// TypeIs requires the property, when present, to have the given value
+	// kind.
+	TypeIs
+)
+
+// Constraint is a single schema rule.
+type Constraint struct {
+	Kind     ConstraintKind
+	Label    string
+	Property string
+	// ValueKind applies to TypeIs constraints.
+	ValueKind value.Kind
+}
+
+// String renders the constraint.
+func (c Constraint) String() string {
+	switch c.Kind {
+	case Existence:
+		return fmt.Sprintf("CONSTRAINT exists(%s.%s)", c.Label, c.Property)
+	case Uniqueness:
+		return fmt.Sprintf("CONSTRAINT unique(%s.%s)", c.Label, c.Property)
+	default:
+		return fmt.Sprintf("CONSTRAINT type(%s.%s) = %s", c.Label, c.Property, c.ValueKind)
+	}
+}
+
+// Violation describes one node breaking one constraint.
+type Violation struct {
+	Constraint Constraint
+	NodeID     int64
+	Detail     string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violated by node %d: %s", v.Constraint, v.NodeID, v.Detail)
+}
+
+// Schema is a set of constraints. The zero value is an empty schema.
+type Schema struct {
+	constraints []Constraint
+}
+
+// New creates an empty schema.
+func New() *Schema { return &Schema{} }
+
+// RequireProperty adds an existence constraint and returns the schema for
+// chaining.
+func (s *Schema) RequireProperty(label, property string) *Schema {
+	s.constraints = append(s.constraints, Constraint{Kind: Existence, Label: label, Property: property})
+	return s
+}
+
+// Unique adds a uniqueness constraint and returns the schema for chaining.
+func (s *Schema) Unique(label, property string) *Schema {
+	s.constraints = append(s.constraints, Constraint{Kind: Uniqueness, Label: label, Property: property})
+	return s
+}
+
+// RequireType adds a property type constraint and returns the schema for
+// chaining.
+func (s *Schema) RequireType(label, property string, kind value.Kind) *Schema {
+	s.constraints = append(s.constraints, Constraint{Kind: TypeIs, Label: label, Property: property, ValueKind: kind})
+	return s
+}
+
+// Constraints returns the schema's constraints.
+func (s *Schema) Constraints() []Constraint {
+	return append([]Constraint(nil), s.constraints...)
+}
+
+// Check validates the graph against every constraint and returns all
+// violations, ordered by node id for determinism.
+func (s *Schema) Check(g *graph.Graph) []Violation {
+	var out []Violation
+	for _, c := range s.constraints {
+		nodes := g.NodesByLabel(c.Label)
+		switch c.Kind {
+		case Existence:
+			for _, n := range nodes {
+				if value.IsNull(n.Property(c.Property)) {
+					out = append(out, Violation{Constraint: c, NodeID: n.ID(), Detail: "property is missing"})
+				}
+			}
+		case TypeIs:
+			for _, n := range nodes {
+				v := n.Property(c.Property)
+				if value.IsNull(v) {
+					continue
+				}
+				if v.Kind() != c.ValueKind {
+					out = append(out, Violation{Constraint: c, NodeID: n.ID(), Detail: fmt.Sprintf("property has kind %s, want %s", v.Kind(), c.ValueKind)})
+				}
+			}
+		case Uniqueness:
+			seen := map[string]int64{}
+			for _, n := range nodes {
+				v := n.Property(c.Property)
+				if value.IsNull(v) {
+					continue
+				}
+				key := value.GroupKey(v)
+				if firstID, dup := seen[key]; dup {
+					out = append(out, Violation{
+						Constraint: c,
+						NodeID:     n.ID(),
+						Detail:     fmt.Sprintf("value %s already used by node %d", v.String(), firstID),
+					})
+					continue
+				}
+				seen[key] = n.ID()
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NodeID != out[j].NodeID {
+			return out[i].NodeID < out[j].NodeID
+		}
+		return out[i].Constraint.String() < out[j].Constraint.String()
+	})
+	return out
+}
+
+// Validate is like Check but returns an error summarising the violations (or
+// nil when the graph conforms).
+func (s *Schema) Validate(g *graph.Graph) error {
+	violations := s.Check(g)
+	if len(violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("schema: %d violation(s), first: %s", len(violations), violations[0])
+}

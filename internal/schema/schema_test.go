@@ -1,0 +1,93 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+func buildGraph() *graph.Graph {
+	g := graph.New()
+	g.CreateNode([]string{"Person"}, map[string]value.Value{"name": value.NewString("Ann"), "ssn": value.NewInt(1)})
+	g.CreateNode([]string{"Person"}, map[string]value.Value{"name": value.NewString("Bob"), "ssn": value.NewInt(2)})
+	g.CreateNode([]string{"Person"}, map[string]value.Value{"ssn": value.NewInt(2)})          // missing name, duplicate ssn
+	g.CreateNode([]string{"Person"}, map[string]value.Value{"name": value.NewInt(42)})        // wrong type for name
+	g.CreateNode([]string{"Publication"}, map[string]value.Value{"acmid": value.NewInt(220)}) // other label, unaffected
+	return g
+}
+
+func TestExistenceConstraint(t *testing.T) {
+	g := buildGraph()
+	s := New().RequireProperty("Person", "name")
+	violations := s.Check(g)
+	if len(violations) != 1 {
+		t.Fatalf("expected 1 violation, got %d: %v", len(violations), violations)
+	}
+	if violations[0].Constraint.Kind != Existence || !strings.Contains(violations[0].String(), "exists(Person.name)") {
+		t.Errorf("violation wrong: %v", violations[0])
+	}
+}
+
+func TestUniquenessConstraint(t *testing.T) {
+	g := buildGraph()
+	s := New().Unique("Person", "ssn")
+	violations := s.Check(g)
+	if len(violations) != 1 {
+		t.Fatalf("expected 1 violation, got %d: %v", len(violations), violations)
+	}
+	if !strings.Contains(violations[0].Detail, "already used") {
+		t.Errorf("detail wrong: %v", violations[0])
+	}
+}
+
+func TestTypeConstraint(t *testing.T) {
+	g := buildGraph()
+	s := New().RequireType("Person", "name", value.KindString)
+	violations := s.Check(g)
+	if len(violations) != 1 {
+		t.Fatalf("expected 1 violation, got %d: %v", len(violations), violations)
+	}
+	if !strings.Contains(violations[0].Detail, "INTEGER") {
+		t.Errorf("detail should mention the offending kind: %v", violations[0])
+	}
+}
+
+func TestValidateAndConformingGraph(t *testing.T) {
+	g := graph.New()
+	g.CreateNode([]string{"Person"}, map[string]value.Value{"name": value.NewString("Ann"), "ssn": value.NewInt(1)})
+	g.CreateNode([]string{"Person"}, map[string]value.Value{"name": value.NewString("Bob"), "ssn": value.NewInt(2)})
+	s := New().
+		RequireProperty("Person", "name").
+		Unique("Person", "ssn").
+		RequireType("Person", "name", value.KindString)
+	if err := s.Validate(g); err != nil {
+		t.Fatalf("conforming graph should validate: %v", err)
+	}
+	if len(s.Constraints()) != 3 {
+		t.Errorf("constraints accessor wrong")
+	}
+
+	bad := buildGraph()
+	err := s.Validate(bad)
+	if err == nil {
+		t.Fatalf("violating graph should not validate")
+	}
+	if !strings.Contains(err.Error(), "violation") {
+		t.Errorf("error message should summarise violations: %v", err)
+	}
+}
+
+func TestConstraintStringForms(t *testing.T) {
+	cases := map[string]Constraint{
+		"CONSTRAINT exists(Person.name)":        {Kind: Existence, Label: "Person", Property: "name"},
+		"CONSTRAINT unique(Person.ssn)":         {Kind: Uniqueness, Label: "Person", Property: "ssn"},
+		"CONSTRAINT type(Person.age) = INTEGER": {Kind: TypeIs, Label: "Person", Property: "age", ValueKind: value.KindInt},
+	}
+	for want, c := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

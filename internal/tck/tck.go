@@ -1,0 +1,152 @@
+// Package tck provides a small conformance scenario harness in the spirit of
+// the openCypher Technology Compatibility Kit mentioned in Section 5 of the
+// paper. A scenario sets up a graph with Cypher statements, runs a query,
+// and states the expected result as a bag of rows; the harness executes it
+// against the engine and reports mismatches.
+package tck
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/result"
+	"repro/internal/value"
+)
+
+// Scenario is one conformance case.
+type Scenario struct {
+	// Name identifies the scenario in reports.
+	Name string
+	// Setup statements are run first (typically CREATE statements); they may
+	// be empty for scenarios over an empty graph.
+	Setup []string
+	// Query is the statement under test.
+	Query string
+	// Params are optional query parameters (native Go values).
+	Params map[string]any
+	// Columns are the expected result column names in order.
+	Columns []string
+	// Rows is the expected bag of rows (native Go values; nodes and
+	// relationships cannot be stated literally, use their properties
+	// instead). If Ordered is set the rows must appear in exactly this
+	// order.
+	Rows [][]any
+	// Ordered makes the comparison order-sensitive (for ORDER BY scenarios).
+	Ordered bool
+	// ExpectError marks scenarios whose query must be rejected.
+	ExpectError bool
+}
+
+// Outcome is the result of running one scenario.
+type Outcome struct {
+	Scenario Scenario
+	Passed   bool
+	Message  string
+}
+
+// Run executes a single scenario against a fresh graph and reports its
+// outcome.
+func Run(sc Scenario) Outcome {
+	g := graph.New()
+	engine := core.NewEngine(g, core.Options{})
+	for _, stmt := range sc.Setup {
+		if _, err := engine.Run(stmt, nil); err != nil {
+			return Outcome{Scenario: sc, Passed: false, Message: fmt.Sprintf("setup failed: %v", err)}
+		}
+	}
+	params, err := core.ConvertParams(sc.Params)
+	if err != nil {
+		return Outcome{Scenario: sc, Passed: false, Message: fmt.Sprintf("bad parameters: %v", err)}
+	}
+	res, err := engine.Run(sc.Query, params)
+	if sc.ExpectError {
+		if err == nil {
+			return Outcome{Scenario: sc, Passed: false, Message: "expected the query to be rejected, but it succeeded"}
+		}
+		return Outcome{Scenario: sc, Passed: true}
+	}
+	if err != nil {
+		return Outcome{Scenario: sc, Passed: false, Message: fmt.Sprintf("query failed: %v", err)}
+	}
+	if msg := compare(sc, res); msg != "" {
+		return Outcome{Scenario: sc, Passed: false, Message: msg}
+	}
+	return Outcome{Scenario: sc, Passed: true}
+}
+
+// RunAll executes every scenario and returns the outcomes.
+func RunAll(scs []Scenario) []Outcome {
+	out := make([]Outcome, 0, len(scs))
+	for _, sc := range scs {
+		out = append(out, Run(sc))
+	}
+	return out
+}
+
+// Failures filters the outcomes down to the failed ones.
+func Failures(outcomes []Outcome) []Outcome {
+	var out []Outcome
+	for _, o := range outcomes {
+		if !o.Passed {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func compare(sc Scenario, res *core.Result) string {
+	if len(sc.Columns) > 0 {
+		got := res.Columns()
+		if len(got) != len(sc.Columns) {
+			return fmt.Sprintf("expected columns %v, got %v", sc.Columns, got)
+		}
+		for i := range got {
+			if got[i] != sc.Columns[i] {
+				return fmt.Sprintf("expected columns %v, got %v", sc.Columns, got)
+			}
+		}
+	}
+	expected, err := buildTable(res.Columns(), sc.Rows)
+	if err != nil {
+		return err.Error()
+	}
+	if sc.Ordered {
+		if res.Len() != expected.Len() {
+			return fmt.Sprintf("expected %d rows, got %d\n%s", expected.Len(), res.Len(), res.Table.String())
+		}
+		for i := 0; i < res.Len(); i++ {
+			gotRow := res.Table.Row(i)
+			wantRow := expected.Row(i)
+			for j := range gotRow {
+				if value.Compare(gotRow[j], wantRow[j]) != 0 {
+					return fmt.Sprintf("row %d differs: got %v, want %v", i, gotRow, wantRow)
+				}
+			}
+		}
+		return ""
+	}
+	if !result.EqualAsBags(res.Table, expected) {
+		return fmt.Sprintf("result mismatch\ngot:\n%s\nwant:\n%s", res.Table.String(), expected.String())
+	}
+	return ""
+}
+
+func buildTable(columns []string, rows [][]any) (*result.Table, error) {
+	tbl := result.NewTable(columns...)
+	for _, row := range rows {
+		if len(row) != len(columns) {
+			return nil, fmt.Errorf("expected row %v has %d values for %d columns", row, len(row), len(columns))
+		}
+		rec := result.NewRecord()
+		for i, c := range columns {
+			v, err := value.FromGo(row[i])
+			if err != nil {
+				return nil, fmt.Errorf("bad expected value %v: %v", row[i], err)
+			}
+			rec[c] = v
+		}
+		tbl.Add(rec)
+	}
+	return tbl, nil
+}

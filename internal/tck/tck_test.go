@@ -1,0 +1,82 @@
+package tck
+
+import "testing"
+
+// TestBuiltinScenarios runs the whole conformance suite against the engine.
+func TestBuiltinScenarios(t *testing.T) {
+	for _, sc := range BuiltinScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			outcome := Run(sc)
+			if !outcome.Passed {
+				t.Errorf("scenario failed: %s", outcome.Message)
+			}
+		})
+	}
+}
+
+func TestRunAllAndFailures(t *testing.T) {
+	scenarios := []Scenario{
+		{
+			Name:    "passing scenario",
+			Query:   "RETURN 1 AS one",
+			Columns: []string{"one"},
+			Rows:    [][]any{{1}},
+		},
+		{
+			Name:    "failing scenario (wrong expectation)",
+			Query:   "RETURN 1 AS one",
+			Columns: []string{"one"},
+			Rows:    [][]any{{2}},
+		},
+		{
+			Name:    "failing scenario (wrong columns)",
+			Query:   "RETURN 1 AS one",
+			Columns: []string{"two"},
+			Rows:    [][]any{{1}},
+		},
+		{
+			Name:        "expected error that does not happen",
+			Query:       "RETURN 1 AS one",
+			ExpectError: true,
+		},
+		{
+			Name:  "setup failure",
+			Setup: []string{"THIS IS NOT CYPHER"},
+			Query: "RETURN 1 AS one",
+		},
+		{
+			Name:    "ordered comparison failure",
+			Query:   "UNWIND [1,2] AS x RETURN x",
+			Columns: []string{"x"},
+			Rows:    [][]any{{2}, {1}},
+			Ordered: true,
+		},
+	}
+	outcomes := RunAll(scenarios)
+	if len(outcomes) != len(scenarios) {
+		t.Fatalf("expected %d outcomes", len(scenarios))
+	}
+	failures := Failures(outcomes)
+	if len(failures) != 5 {
+		for _, f := range failures {
+			t.Logf("failure: %s: %s", f.Scenario.Name, f.Message)
+		}
+		t.Fatalf("expected 5 failures, got %d", len(failures))
+	}
+	if !outcomes[0].Passed {
+		t.Errorf("the passing scenario should pass: %s", outcomes[0].Message)
+	}
+}
+
+func TestScenarioRowArityChecked(t *testing.T) {
+	out := Run(Scenario{
+		Name:    "bad expectation arity",
+		Query:   "RETURN 1 AS a, 2 AS b",
+		Columns: []string{"a", "b"},
+		Rows:    [][]any{{1}},
+	})
+	if out.Passed {
+		t.Errorf("scenario with mis-shaped expectations should fail")
+	}
+}

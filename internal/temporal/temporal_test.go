@@ -1,0 +1,149 @@
+package temporal
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/value"
+)
+
+func evalHasFunction(name string) bool { return eval.HasFunction(name) }
+
+func evalCall(name string, args []value.Value) (value.Value, error) {
+	return eval.CallFunction(name, args)
+}
+
+func TestParseAndRender(t *testing.T) {
+	d, err := ParseDate("2018-06-10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.String() != "2018-06-10" || d.Year != 2018 || d.Month != time.June || d.Day != 10 {
+		t.Errorf("date wrong: %+v", d)
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Errorf("invalid date should fail")
+	}
+
+	dt, err := ParseDateTime("2018-06-10T14:30:05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.String() != "2018-06-10T14:30:05" {
+		t.Errorf("datetime rendering = %s", dt.String())
+	}
+	if _, err := ParseDateTime("junk"); err == nil {
+		t.Errorf("invalid datetime should fail")
+	}
+
+	dur := Duration{Days: 2, Seconds: 3600}
+	if dur.String() != "P2DT3600S" {
+		t.Errorf("duration rendering = %s", dur.String())
+	}
+	if (Duration{}).String() != "PT0S" {
+		t.Errorf("zero duration rendering = %s", Duration{}.String())
+	}
+}
+
+func TestKindsAndOrdering(t *testing.T) {
+	d1, _ := ParseDate("2018-06-10")
+	d2, _ := ParseDate("2019-01-01")
+	if d1.Kind() != value.KindDate || d2.Kind() != value.KindDate {
+		t.Errorf("date kind wrong")
+	}
+	if value.Compare(d1, d2) >= 0 {
+		t.Errorf("2018 should order before 2019")
+	}
+	if value.Compare(d2, d1) <= 0 || value.Compare(d1, d1) != 0 {
+		t.Errorf("date ordering inconsistent")
+	}
+
+	dt1, _ := ParseDateTime("2018-06-10T08:00:00")
+	dt2, _ := ParseDateTime("2018-06-10T09:00:00")
+	if dt1.Kind() != value.KindDateTime || value.Compare(dt1, dt2) >= 0 {
+		t.Errorf("datetime ordering wrong")
+	}
+
+	short := Duration{Seconds: 10}
+	long := Duration{Days: 1}
+	if short.Kind() != value.KindDuration || value.Compare(short, long) >= 0 {
+		t.Errorf("duration ordering wrong")
+	}
+	if value.Compare(Duration{Months: 1}, Duration{Days: 29}) <= 0 {
+		t.Errorf("a month orders after 29 days (30-day nominal months)")
+	}
+}
+
+func TestArithmeticHelpers(t *testing.T) {
+	d, _ := ParseDate("2018-06-10")
+	later := AddToDate(d, Duration{Days: 5})
+	if later.String() != "2018-06-15" {
+		t.Errorf("AddToDate = %s", later.String())
+	}
+	withMonths := AddToDate(d, Duration{Months: 2, Days: 1})
+	if withMonths.String() != "2018-08-11" {
+		t.Errorf("AddToDate with months = %s", withMonths.String())
+	}
+
+	a, _ := ParseDateTime("2018-06-10T00:00:00")
+	b, _ := ParseDateTime("2018-06-11T06:00:00")
+	between := Between(a.toTime(), b.toTime())
+	if between.Seconds != 30*3600 {
+		t.Errorf("Between = %+v", between)
+	}
+	if FromTime(time.Date(2020, 2, 29, 12, 0, 0, 0, time.UTC)).String() != "2020-02-29T12:00:00" {
+		t.Errorf("FromTime wrong")
+	}
+}
+
+func TestRegisteredFunctions(t *testing.T) {
+	// The functions are registered via init(); exercise them through the
+	// scalar registry the same way the engine does.
+	call := func(name string, args ...value.Value) (value.Value, error) {
+		t.Helper()
+		if !evalHasFunction(name) {
+			t.Fatalf("function %s not registered", name)
+		}
+		return evalCall(name, args)
+	}
+	d, err := call("date", value.NewString("2018-06-10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.(Date).Year != 2018 {
+		t.Errorf("date() wrong: %v", d)
+	}
+	y, err := call("year", d)
+	if err != nil || value.Compare(y, value.NewInt(2018)) != 0 {
+		t.Errorf("year() wrong: %v %v", y, err)
+	}
+	if v, err := call("date", value.Null()); err != nil || !value.IsNull(v) {
+		t.Errorf("date(null) should be null")
+	}
+	if _, err := call("date", value.NewInt(3)); err == nil {
+		t.Errorf("date(3) should fail")
+	}
+	dur, err := call("duration", value.NewMap(map[string]value.Value{"hours": value.NewInt(2), "days": value.NewInt(1)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur.(Duration).Seconds != 7200 || dur.(Duration).Days != 1 {
+		t.Errorf("duration() wrong: %v", dur)
+	}
+	dt, err := call("datetime", value.NewString("2018-06-10T10:00:00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := call("durationbetween", d, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.(Duration).Seconds != 10*3600 {
+		t.Errorf("durationBetween wrong: %v", diff)
+	}
+	added, err := call("dateadd", d, Duration{Days: 3})
+	if err != nil || added.(Date).Day != 13 {
+		t.Errorf("dateAdd wrong: %v %v", added, err)
+	}
+}

@@ -1,0 +1,189 @@
+package value
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTypeMismatch is returned when an arithmetic operator is applied to
+// operands of unsupported types.
+var ErrTypeMismatch = errors.New("value: type mismatch")
+
+// ErrDivisionByZero is returned for integer division or modulo by zero.
+var ErrDivisionByZero = errors.New("value: division by zero")
+
+// ErrIntegerOverflow is returned when integer arithmetic overflows int64.
+var ErrIntegerOverflow = errors.New("value: integer overflow")
+
+func typeMismatch(op string, a, b Value) error {
+	return fmt.Errorf("%w: cannot apply %q to %s and %s", ErrTypeMismatch, op, a.Kind(), b.Kind())
+}
+
+// Add implements the Cypher `+` operator: numeric addition, string
+// concatenation, and list concatenation (list + element appends). Any null
+// operand yields null.
+func Add(a, b Value) (Value, error) {
+	if IsNull(a) || IsNull(b) {
+		return Null(), nil
+	}
+	switch av := a.(type) {
+	case Int:
+		switch bv := b.(type) {
+		case Int:
+			s := int64(av) + int64(bv)
+			if (int64(av) > 0 && int64(bv) > 0 && s < 0) || (int64(av) < 0 && int64(bv) < 0 && s >= 0) {
+				return nil, ErrIntegerOverflow
+			}
+			return NewInt(s), nil
+		case Float:
+			return NewFloat(float64(av) + float64(bv)), nil
+		}
+	case Float:
+		if bf, ok := AsFloat(b); ok {
+			return NewFloat(float64(av) + bf), nil
+		}
+	case String:
+		if bs, ok := AsString(b); ok {
+			return NewString(string(av) + bs), nil
+		}
+	case List:
+		if bl, ok := AsList(b); ok {
+			elems := make([]Value, 0, av.Len()+bl.Len())
+			elems = append(elems, av.Elements()...)
+			elems = append(elems, bl.Elements()...)
+			return NewListOf(elems), nil
+		}
+		elems := make([]Value, 0, av.Len()+1)
+		elems = append(elems, av.Elements()...)
+		elems = append(elems, b)
+		return NewListOf(elems), nil
+	}
+	// element + list prepends.
+	if bl, ok := AsList(b); ok {
+		elems := make([]Value, 0, bl.Len()+1)
+		elems = append(elems, a)
+		elems = append(elems, bl.Elements()...)
+		return NewListOf(elems), nil
+	}
+	return nil, typeMismatch("+", a, b)
+}
+
+// Sub implements the Cypher `-` operator on numbers.
+func Sub(a, b Value) (Value, error) {
+	if IsNull(a) || IsNull(b) {
+		return Null(), nil
+	}
+	if ai, ok := a.(Int); ok {
+		if bi, ok2 := b.(Int); ok2 {
+			d := int64(ai) - int64(bi)
+			if (int64(ai) >= 0 && int64(bi) < 0 && d < 0) || (int64(ai) < 0 && int64(bi) > 0 && d > 0) {
+				return nil, ErrIntegerOverflow
+			}
+			return NewInt(d), nil
+		}
+	}
+	if af, ok := AsFloat(a); ok {
+		if bf, ok2 := AsFloat(b); ok2 {
+			return NewFloat(af - bf), nil
+		}
+	}
+	return nil, typeMismatch("-", a, b)
+}
+
+// Mul implements the Cypher `*` operator on numbers.
+func Mul(a, b Value) (Value, error) {
+	if IsNull(a) || IsNull(b) {
+		return Null(), nil
+	}
+	if ai, ok := a.(Int); ok {
+		if bi, ok2 := b.(Int); ok2 {
+			x, y := int64(ai), int64(bi)
+			p := x * y
+			if x != 0 && (p/x != y) {
+				return nil, ErrIntegerOverflow
+			}
+			return NewInt(p), nil
+		}
+	}
+	if af, ok := AsFloat(a); ok {
+		if bf, ok2 := AsFloat(b); ok2 {
+			return NewFloat(af * bf), nil
+		}
+	}
+	return nil, typeMismatch("*", a, b)
+}
+
+// Div implements the Cypher `/` operator: integer division truncates toward
+// zero; mixing ints and floats yields floats.
+func Div(a, b Value) (Value, error) {
+	if IsNull(a) || IsNull(b) {
+		return Null(), nil
+	}
+	if ai, ok := a.(Int); ok {
+		if bi, ok2 := b.(Int); ok2 {
+			if bi == 0 {
+				return nil, ErrDivisionByZero
+			}
+			return NewInt(int64(ai) / int64(bi)), nil
+		}
+	}
+	if af, ok := AsFloat(a); ok {
+		if bf, ok2 := AsFloat(b); ok2 {
+			return NewFloat(af / bf), nil
+		}
+	}
+	return nil, typeMismatch("/", a, b)
+}
+
+// Mod implements the Cypher `%` operator.
+func Mod(a, b Value) (Value, error) {
+	if IsNull(a) || IsNull(b) {
+		return Null(), nil
+	}
+	if ai, ok := a.(Int); ok {
+		if bi, ok2 := b.(Int); ok2 {
+			if bi == 0 {
+				return nil, ErrDivisionByZero
+			}
+			return NewInt(int64(ai) % int64(bi)), nil
+		}
+	}
+	if af, ok := AsFloat(a); ok {
+		if bf, ok2 := AsFloat(b); ok2 {
+			return NewFloat(math.Mod(af, bf)), nil
+		}
+	}
+	return nil, typeMismatch("%", a, b)
+}
+
+// Pow implements the Cypher `^` operator; the result is always a float, as in
+// openCypher.
+func Pow(a, b Value) (Value, error) {
+	if IsNull(a) || IsNull(b) {
+		return Null(), nil
+	}
+	af, aok := AsFloat(a)
+	bf, bok := AsFloat(b)
+	if !aok || !bok {
+		return nil, typeMismatch("^", a, b)
+	}
+	return NewFloat(math.Pow(af, bf)), nil
+}
+
+// Neg implements unary minus.
+func Neg(a Value) (Value, error) {
+	if IsNull(a) {
+		return Null(), nil
+	}
+	switch av := a.(type) {
+	case Int:
+		if int64(av) == math.MinInt64 {
+			return nil, ErrIntegerOverflow
+		}
+		return NewInt(-int64(av)), nil
+	case Float:
+		return NewFloat(-float64(av)), nil
+	}
+	return nil, fmt.Errorf("%w: cannot negate %s", ErrTypeMismatch, a.Kind())
+}

@@ -1,0 +1,173 @@
+package value
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// mustVal returns a helper that unwraps a (Value, error) pair, failing the
+// test on error.
+func mustVal(t *testing.T) func(Value, error) Value {
+	return func(v Value, err error) Value {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return v
+	}
+}
+
+func TestAdd(t *testing.T) {
+	must := mustVal(t)
+	if got := must(Add(NewInt(2), NewInt(3))); got != NewInt(5) {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := must(Add(NewInt(2), NewFloat(0.5))); got != NewFloat(2.5) {
+		t.Errorf("2+0.5 = %v", got)
+	}
+	if got := must(Add(NewFloat(1.5), NewInt(1))); got != NewFloat(2.5) {
+		t.Errorf("1.5+1 = %v", got)
+	}
+	if got := must(Add(NewString("ab"), NewString("cd"))); got != NewString("abcd") {
+		t.Errorf("string concat = %v", got)
+	}
+	if got := must(Add(NewList(NewInt(1)), NewList(NewInt(2)))); Compare(got, NewList(NewInt(1), NewInt(2))) != 0 {
+		t.Errorf("list concat = %v", got)
+	}
+	if got := must(Add(NewList(NewInt(1)), NewInt(2))); Compare(got, NewList(NewInt(1), NewInt(2))) != 0 {
+		t.Errorf("list append = %v", got)
+	}
+	if got := must(Add(NewInt(0), NewList(NewInt(1)))); Compare(got, NewList(NewInt(0), NewInt(1))) != 0 {
+		t.Errorf("list prepend = %v", got)
+	}
+	if got := must(Add(Null(), NewInt(1))); !IsNull(got) {
+		t.Errorf("null + 1 should be null")
+	}
+	if _, err := Add(NewBool(true), NewInt(1)); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("bool + int should be a type mismatch, got %v", err)
+	}
+	if _, err := Add(NewInt(math.MaxInt64), NewInt(1)); !errors.Is(err, ErrIntegerOverflow) {
+		t.Errorf("overflow not detected: %v", err)
+	}
+}
+
+func TestSubMulDiv(t *testing.T) {
+	must := mustVal(t)
+	if got := must(Sub(NewInt(5), NewInt(3))); got != NewInt(2) {
+		t.Errorf("5-3 = %v", got)
+	}
+	if got := must(Sub(NewFloat(5), NewInt(3))); got != NewFloat(2) {
+		t.Errorf("5.0-3 = %v", got)
+	}
+	if got := must(Mul(NewInt(4), NewInt(3))); got != NewInt(12) {
+		t.Errorf("4*3 = %v", got)
+	}
+	if got := must(Mul(NewInt(4), NewFloat(0.5))); got != NewFloat(2) {
+		t.Errorf("4*0.5 = %v", got)
+	}
+	if got := must(Div(NewInt(7), NewInt(2))); got != NewInt(3) {
+		t.Errorf("integer division truncates: 7/2 = %v", got)
+	}
+	if got := must(Div(NewFloat(7), NewInt(2))); got != NewFloat(3.5) {
+		t.Errorf("7.0/2 = %v", got)
+	}
+	if got := must(Mod(NewInt(7), NewInt(4))); got != NewInt(3) {
+		t.Errorf("7%%4 = %v", got)
+	}
+	if got := must(Mod(NewFloat(7.5), NewFloat(2))); got != NewFloat(1.5) {
+		t.Errorf("7.5 mod 2 = %v", got)
+	}
+	if got := must(Pow(NewInt(2), NewInt(10))); got != NewFloat(1024) {
+		t.Errorf("2^10 = %v", got)
+	}
+	if got := must(Neg(NewInt(4))); got != NewInt(-4) {
+		t.Errorf("-4 = %v", got)
+	}
+	if got := must(Neg(NewFloat(2.5))); got != NewFloat(-2.5) {
+		t.Errorf("-2.5 = %v", got)
+	}
+}
+
+func TestArithmeticNullPropagation(t *testing.T) {
+	must := mustVal(t)
+	ops := []func(a, b Value) (Value, error){Add, Sub, Mul, Div, Mod, Pow}
+	for i, op := range ops {
+		if got := must(op(Null(), NewInt(2))); !IsNull(got) {
+			t.Errorf("op %d: null lhs should yield null", i)
+		}
+		if got := must(op(NewInt(2), Null())); !IsNull(got) {
+			t.Errorf("op %d: null rhs should yield null", i)
+		}
+	}
+	if got := must(Neg(Null())); !IsNull(got) {
+		t.Errorf("negating null should yield null")
+	}
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	if _, err := Div(NewInt(1), NewInt(0)); !errors.Is(err, ErrDivisionByZero) {
+		t.Errorf("integer division by zero should error, got %v", err)
+	}
+	if _, err := Mod(NewInt(1), NewInt(0)); !errors.Is(err, ErrDivisionByZero) {
+		t.Errorf("integer modulo by zero should error, got %v", err)
+	}
+	if v, err := Div(NewFloat(1), NewFloat(0)); err != nil || v.String() != "Infinity" {
+		t.Errorf("float division by zero yields Infinity, got %v, %v", v, err)
+	}
+	if _, err := Sub(NewString("a"), NewInt(1)); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("string - int should be a type mismatch")
+	}
+	if _, err := Mul(NewBool(true), NewInt(1)); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("bool * int should be a type mismatch")
+	}
+	if _, err := Pow(NewString("a"), NewInt(1)); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("string ^ int should be a type mismatch")
+	}
+	if _, err := Neg(NewString("a")); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("negating a string should be a type mismatch")
+	}
+	if _, err := Sub(NewInt(math.MinInt64), NewInt(1)); !errors.Is(err, ErrIntegerOverflow) {
+		t.Errorf("subtraction overflow not detected")
+	}
+	if _, err := Mul(NewInt(math.MaxInt64), NewInt(2)); !errors.Is(err, ErrIntegerOverflow) {
+		t.Errorf("multiplication overflow not detected")
+	}
+	if _, err := Neg(NewInt(math.MinInt64)); !errors.Is(err, ErrIntegerOverflow) {
+		t.Errorf("negation overflow not detected")
+	}
+}
+
+// Property: integer addition is commutative and Add/Sub are inverses when no
+// overflow occurs.
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, err1 := Add(NewInt(int64(a)), NewInt(int64(b)))
+		y, err2 := Add(NewInt(int64(b)), NewInt(int64(a)))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b int32) bool {
+		sum, err := Add(NewInt(int64(a)), NewInt(int64(b)))
+		if err != nil {
+			return false
+		}
+		back, err := Sub(sum, NewInt(int64(b)))
+		if err != nil {
+			return false
+		}
+		return back == NewInt(int64(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,449 @@
+package value
+
+import (
+	"math"
+	"sort"
+)
+
+// Ternary is the result of a three-valued comparison: TrueT, FalseT or
+// UnknownT (null).
+type Ternary int
+
+// The three truth values of Cypher's SQL-style logic.
+const (
+	FalseT Ternary = iota
+	TrueT
+	UnknownT
+)
+
+// ToValue converts the ternary truth value into a Cypher value (true, false
+// or null).
+func (t Ternary) ToValue() Value {
+	switch t {
+	case TrueT:
+		return NewBool(true)
+	case FalseT:
+		return NewBool(false)
+	default:
+		return Null()
+	}
+}
+
+// TernaryOf converts a Cypher value into a ternary truth value. Null maps to
+// UnknownT; any non-boolean, non-null value also maps to UnknownT (the engine
+// reports a type error separately where required).
+func TernaryOf(v Value) Ternary {
+	if IsNull(v) {
+		return UnknownT
+	}
+	if b, ok := AsBool(v); ok {
+		if b {
+			return TrueT
+		}
+		return FalseT
+	}
+	return UnknownT
+}
+
+// Equals implements Cypher's equality (the `=` operator): comparisons
+// involving null are unknown, numbers compare across int/float, lists and
+// maps compare element-wise, and graph entities compare by identifier.
+func Equals(a, b Value) Ternary {
+	if IsNull(a) || IsNull(b) {
+		return UnknownT
+	}
+	switch av := a.(type) {
+	case Bool:
+		if bv, ok := b.(Bool); ok {
+			return ternaryFromBool(av == bv)
+		}
+	case Int:
+		switch bv := b.(type) {
+		case Int:
+			return ternaryFromBool(av == bv)
+		case Float:
+			return ternaryFromBool(float64(av) == float64(bv))
+		}
+	case Float:
+		switch bv := b.(type) {
+		case Int:
+			return ternaryFromBool(float64(av) == float64(bv))
+		case Float:
+			return ternaryFromBool(float64(av) == float64(bv))
+		}
+	case String:
+		if bv, ok := b.(String); ok {
+			return ternaryFromBool(av == bv)
+		}
+	case List:
+		if bv, ok := b.(List); ok {
+			return listEquals(av, bv)
+		}
+	case Map:
+		if bv, ok := b.(Map); ok {
+			return mapEquals(av, bv)
+		}
+	case NodeValue:
+		if bv, ok := b.(NodeValue); ok {
+			return ternaryFromBool(av.N.ID() == bv.N.ID())
+		}
+	case RelationshipValue:
+		if bv, ok := b.(RelationshipValue); ok {
+			return ternaryFromBool(av.R.ID() == bv.R.ID())
+		}
+	case PathValue:
+		if bv, ok := b.(PathValue); ok {
+			return pathEquals(av.P, bv.P)
+		}
+	}
+	// Values of different, incomparable kinds are simply not equal.
+	return FalseT
+}
+
+func ternaryFromBool(b bool) Ternary {
+	if b {
+		return TrueT
+	}
+	return FalseT
+}
+
+func listEquals(a, b List) Ternary {
+	if a.Len() != b.Len() {
+		return FalseT
+	}
+	result := TrueT
+	for i := 0; i < a.Len(); i++ {
+		switch Equals(a.At(i), b.At(i)) {
+		case FalseT:
+			return FalseT
+		case UnknownT:
+			result = UnknownT
+		}
+	}
+	return result
+}
+
+func mapEquals(a, b Map) Ternary {
+	if a.Len() != b.Len() {
+		return FalseT
+	}
+	result := TrueT
+	for _, k := range a.Keys() {
+		bv, ok := b.Get(k)
+		if !ok {
+			return FalseT
+		}
+		av, _ := a.Get(k)
+		switch Equals(av, bv) {
+		case FalseT:
+			return FalseT
+		case UnknownT:
+			result = UnknownT
+		}
+	}
+	return result
+}
+
+func pathEquals(a, b Path) Ternary {
+	if len(a.Nodes) != len(b.Nodes) || len(a.Rels) != len(b.Rels) {
+		return FalseT
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].ID() != b.Nodes[i].ID() {
+			return FalseT
+		}
+	}
+	for i := range a.Rels {
+		if a.Rels[i].ID() != b.Rels[i].ID() {
+			return FalseT
+		}
+	}
+	return TrueT
+}
+
+// Less implements the ternary `<` comparison. Comparisons across incomparable
+// kinds (e.g. a string and a number) and comparisons involving null are
+// unknown.
+func Less(a, b Value) Ternary {
+	if IsNull(a) || IsNull(b) {
+		return UnknownT
+	}
+	if IsNumber(a) && IsNumber(b) {
+		af, _ := AsFloat(a)
+		bf, _ := AsFloat(b)
+		if _, aInt := a.(Int); aInt {
+			if _, bInt := b.(Int); bInt {
+				ai, _ := AsInt(a)
+				bi, _ := AsInt(b)
+				return ternaryFromBool(ai < bi)
+			}
+		}
+		return ternaryFromBool(af < bf)
+	}
+	if as, ok := AsString(a); ok {
+		if bs, ok2 := AsString(b); ok2 {
+			return ternaryFromBool(as < bs)
+		}
+	}
+	if ab, ok := AsBool(a); ok {
+		if bb, ok2 := AsBool(b); ok2 {
+			return ternaryFromBool(!ab && bb)
+		}
+	}
+	if al, ok := AsList(a); ok {
+		if bl, ok2 := AsList(b); ok2 {
+			return listLess(al, bl)
+		}
+	}
+	return UnknownT
+}
+
+func listLess(a, b List) Ternary {
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	for i := 0; i < n; i++ {
+		lt := Less(a.At(i), b.At(i))
+		if lt == UnknownT {
+			return UnknownT
+		}
+		if lt == TrueT {
+			return TrueT
+		}
+		gt := Less(b.At(i), a.At(i))
+		if gt == TrueT {
+			return FalseT
+		}
+		if gt == UnknownT {
+			return UnknownT
+		}
+	}
+	return ternaryFromBool(a.Len() < b.Len())
+}
+
+// Greater, LessEq and GreaterEq derive from Less and Equals with three-valued
+// semantics.
+
+// Greater implements the ternary `>` comparison.
+func Greater(a, b Value) Ternary { return Less(b, a) }
+
+// LessEq implements the ternary `<=` comparison.
+func LessEq(a, b Value) Ternary {
+	lt := Less(a, b)
+	if lt == TrueT {
+		return TrueT
+	}
+	eq := Equals(a, b)
+	if eq == TrueT {
+		return TrueT
+	}
+	if lt == UnknownT || eq == UnknownT {
+		return UnknownT
+	}
+	return FalseT
+}
+
+// GreaterEq implements the ternary `>=` comparison.
+func GreaterEq(a, b Value) Ternary { return LessEq(b, a) }
+
+// orderabilityRank defines the total order across kinds used by ORDER BY and
+// by min()/max() aggregation (openCypher orderability): maps, nodes,
+// relationships, lists, paths, strings, booleans, numbers, null (null sorts
+// last in ascending order).
+func orderabilityRank(v Value) int {
+	switch v.Kind() {
+	case KindMap:
+		return 0
+	case KindNode:
+		return 1
+	case KindRelationship:
+		return 2
+	case KindList:
+		return 3
+	case KindPath:
+		return 4
+	case KindDateTime:
+		return 5
+	case KindDate:
+		return 6
+	case KindDuration:
+		return 7
+	case KindString:
+		return 8
+	case KindBool:
+		return 9
+	case KindInt, KindFloat:
+		return 10
+	case KindNull:
+		return 11
+	default:
+		return 12
+	}
+}
+
+// Compare imposes a total order on all values (the "orderability" used by
+// ORDER BY, DISTINCT on composite rows, and min/max). It never returns
+// unknown: nulls order after every other value, and values of different kinds
+// order by a fixed kind precedence.
+func Compare(a, b Value) int {
+	ra, rb := orderabilityRank(a), orderabilityRank(b)
+	if ra != rb {
+		return ra - rb
+	}
+	switch av := a.(type) {
+	case nullValue:
+		return 0
+	case Bool:
+		bv := b.(Bool)
+		switch {
+		case av == bv:
+			return 0
+		case !bool(av):
+			return -1
+		default:
+			return 1
+		}
+	case Int:
+		return compareNumbers(a, b)
+	case Float:
+		return compareNumbers(a, b)
+	case String:
+		bv := b.(String)
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		default:
+			return 0
+		}
+	case List:
+		bv := b.(List)
+		n := av.Len()
+		if bv.Len() < n {
+			n = bv.Len()
+		}
+		for i := 0; i < n; i++ {
+			if c := Compare(av.At(i), bv.At(i)); c != 0 {
+				return c
+			}
+		}
+		return av.Len() - bv.Len()
+	case Map:
+		bv := b.(Map)
+		ak, bk := av.Keys(), bv.Keys()
+		n := len(ak)
+		if len(bk) < n {
+			n = len(bk)
+		}
+		for i := 0; i < n; i++ {
+			if ak[i] != bk[i] {
+				if ak[i] < bk[i] {
+					return -1
+				}
+				return 1
+			}
+			ava, _ := av.Get(ak[i])
+			bva, _ := bv.Get(bk[i])
+			if c := Compare(ava, bva); c != 0 {
+				return c
+			}
+		}
+		return len(ak) - len(bk)
+	case NodeValue:
+		bv := b.(NodeValue)
+		return int(av.N.ID() - bv.N.ID())
+	case RelationshipValue:
+		bv := b.(RelationshipValue)
+		return int(av.R.ID() - bv.R.ID())
+	case PathValue:
+		bv := b.(PathValue)
+		if d := len(av.P.Nodes) - len(bv.P.Nodes); d != 0 {
+			return d
+		}
+		for i := range av.P.Nodes {
+			if d := av.P.Nodes[i].ID() - bv.P.Nodes[i].ID(); d != 0 {
+				return int(d)
+			}
+		}
+		for i := range av.P.Rels {
+			if d := av.P.Rels[i].ID() - bv.P.Rels[i].ID(); d != 0 {
+				return int(d)
+			}
+		}
+		return 0
+	default:
+		// Extension kinds (temporal) implement Orderable; fall back to string
+		// comparison to keep the order total.
+		if oa, ok := a.(Orderable); ok {
+			if ob, ok2 := b.(Orderable); ok2 {
+				return oa.CompareTo(ob)
+			}
+		}
+		as, bs := a.String(), b.String()
+		switch {
+		case as < bs:
+			return -1
+		case as > bs:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// Orderable is implemented by extension value kinds (such as the temporal
+// types) that define their own ordering within their kind.
+type Orderable interface {
+	Value
+	// CompareTo returns a negative, zero or positive number depending on
+	// whether the receiver orders before, equal to or after other. It is only
+	// called with another value of the same kind.
+	CompareTo(other Value) int
+}
+
+func compareNumbers(a, b Value) int {
+	ai, aIsInt := a.(Int)
+	bi, bIsInt := b.(Int)
+	if aIsInt && bIsInt {
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		default:
+			return 0
+		}
+	}
+	af, _ := AsFloat(a)
+	bf, _ := AsFloat(b)
+	// NaN orders after all other numbers, consistently.
+	aNaN, bNaN := math.IsNaN(af), math.IsNaN(bf)
+	switch {
+	case aNaN && bNaN:
+		return 0
+	case aNaN:
+		return 1
+	case bNaN:
+		return -1
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equivalent reports whether two values are equivalent for the purposes of
+// DISTINCT and grouping: like Equals but null is equivalent to null and NaN
+// to NaN.
+func Equivalent(a, b Value) bool {
+	return Compare(a, b) == 0
+}
+
+// SortValues sorts a slice of values in ascending orderability order.
+func SortValues(vs []Value) {
+	sort.SliceStable(vs, func(i, j int) bool { return Compare(vs[i], vs[j]) < 0 })
+}

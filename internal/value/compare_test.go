@@ -1,0 +1,285 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEqualsScalars(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want Ternary
+	}{
+		{NewInt(1), NewInt(1), TrueT},
+		{NewInt(1), NewInt(2), FalseT},
+		{NewInt(1), NewFloat(1.0), TrueT},
+		{NewFloat(2.5), NewInt(2), FalseT},
+		{NewString("a"), NewString("a"), TrueT},
+		{NewString("a"), NewString("b"), FalseT},
+		{NewBool(true), NewBool(true), TrueT},
+		{NewBool(true), NewBool(false), FalseT},
+		{NewInt(1), NewString("1"), FalseT},
+		{Null(), NewInt(1), UnknownT},
+		{NewInt(1), Null(), UnknownT},
+		{Null(), Null(), UnknownT},
+	}
+	for _, c := range cases {
+		if got := Equals(c.a, c.b); got != c.want {
+			t.Errorf("Equals(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualsComposite(t *testing.T) {
+	l1 := NewList(NewInt(1), NewInt(2))
+	l2 := NewList(NewInt(1), NewInt(2))
+	l3 := NewList(NewInt(1), NewInt(3))
+	l4 := NewList(NewInt(1))
+	lNull := NewList(NewInt(1), Null())
+	if Equals(l1, l2) != TrueT {
+		t.Errorf("equal lists should be equal")
+	}
+	if Equals(l1, l3) != FalseT {
+		t.Errorf("different lists should not be equal")
+	}
+	if Equals(l1, l4) != FalseT {
+		t.Errorf("lists of different length should not be equal")
+	}
+	if Equals(l1, lNull) != UnknownT {
+		t.Errorf("list containing null compared with equal prefix should be unknown")
+	}
+	if Equals(NewList(NewInt(2), Null()), l1) != FalseT {
+		t.Errorf("a definite element mismatch dominates an unknown")
+	}
+
+	m1 := NewMap(map[string]Value{"a": NewInt(1), "b": NewString("x")})
+	m2 := NewMap(map[string]Value{"b": NewString("x"), "a": NewInt(1)})
+	m3 := NewMap(map[string]Value{"a": NewInt(2), "b": NewString("x")})
+	m4 := NewMap(map[string]Value{"a": NewInt(1)})
+	mNull := NewMap(map[string]Value{"a": Null(), "b": NewString("x")})
+	if Equals(m1, m2) != TrueT {
+		t.Errorf("maps with same entries should be equal")
+	}
+	if Equals(m1, m3) != FalseT {
+		t.Errorf("maps with different values should not be equal")
+	}
+	if Equals(m1, m4) != FalseT {
+		t.Errorf("maps with different sizes should not be equal")
+	}
+	if Equals(m1, mNull) != UnknownT {
+		t.Errorf("map with null value should compare unknown")
+	}
+}
+
+func TestEqualsEntities(t *testing.T) {
+	n1 := NewNode(fakeNode{id: 1})
+	n1b := NewNode(fakeNode{id: 1, labels: []string{"X"}})
+	n2 := NewNode(fakeNode{id: 2})
+	if Equals(n1, n1b) != TrueT {
+		t.Errorf("nodes compare by identifier")
+	}
+	if Equals(n1, n2) != FalseT {
+		t.Errorf("different nodes differ")
+	}
+	r1 := NewRelationship(fakeRel{id: 10})
+	r2 := NewRelationship(fakeRel{id: 11})
+	if Equals(r1, r1) != TrueT || Equals(r1, r2) != FalseT {
+		t.Errorf("relationships compare by identifier")
+	}
+	p1 := NewPath(Path{Nodes: []Node{fakeNode{id: 1}, fakeNode{id: 2}}, Rels: []Relationship{fakeRel{id: 10}}})
+	p2 := NewPath(Path{Nodes: []Node{fakeNode{id: 1}, fakeNode{id: 2}}, Rels: []Relationship{fakeRel{id: 10}}})
+	p3 := NewPath(Path{Nodes: []Node{fakeNode{id: 1}, fakeNode{id: 3}}, Rels: []Relationship{fakeRel{id: 10}}})
+	p4 := NewPath(Path{Nodes: []Node{fakeNode{id: 1}}})
+	if Equals(p1, p2) != TrueT || Equals(p1, p3) != FalseT || Equals(p1, p4) != FalseT {
+		t.Errorf("path equality by node/relationship identifiers")
+	}
+	if Equals(n1, r1) != FalseT {
+		t.Errorf("node and relationship are never equal")
+	}
+}
+
+func TestLessAndFriends(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want Ternary
+	}{
+		{NewInt(1), NewInt(2), TrueT},
+		{NewInt(2), NewInt(1), FalseT},
+		{NewInt(2), NewInt(2), FalseT},
+		{NewInt(1), NewFloat(1.5), TrueT},
+		{NewFloat(0.5), NewInt(1), TrueT},
+		{NewString("a"), NewString("b"), TrueT},
+		{NewString("b"), NewString("a"), FalseT},
+		{NewBool(false), NewBool(true), TrueT},
+		{NewBool(true), NewBool(false), FalseT},
+		{NewInt(1), NewString("2"), UnknownT},
+		{Null(), NewInt(1), UnknownT},
+		{NewList(NewInt(1)), NewList(NewInt(2)), TrueT},
+		{NewList(NewInt(1), NewInt(1)), NewList(NewInt(1)), FalseT},
+		{NewList(NewInt(1)), NewList(NewInt(1), NewInt(0)), TrueT},
+	}
+	for _, c := range cases {
+		if got := Less(c.a, c.b); got != c.want {
+			t.Errorf("Less(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if Greater(NewInt(2), NewInt(1)) != TrueT {
+		t.Errorf("Greater wrong")
+	}
+	if LessEq(NewInt(2), NewInt(2)) != TrueT || LessEq(NewInt(3), NewInt(2)) != FalseT {
+		t.Errorf("LessEq wrong")
+	}
+	if LessEq(Null(), NewInt(2)) != UnknownT {
+		t.Errorf("LessEq with null should be unknown")
+	}
+	if GreaterEq(NewInt(2), NewInt(2)) != TrueT || GreaterEq(NewInt(1), NewInt(2)) != FalseT {
+		t.Errorf("GreaterEq wrong")
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	// Orderability: maps < nodes < relationships < lists < paths < strings <
+	// booleans < numbers < null.
+	ordered := []Value{
+		NewMap(map[string]Value{"a": NewInt(1)}),
+		NewNode(fakeNode{id: 1}),
+		NewRelationship(fakeRel{id: 1}),
+		NewList(NewInt(1)),
+		NewPath(Path{Nodes: []Node{fakeNode{id: 1}}}),
+		NewString("s"),
+		NewBool(false),
+		NewInt(0),
+		Null(),
+	}
+	for i := 0; i < len(ordered); i++ {
+		for j := 0; j < len(ordered); j++ {
+			c := Compare(ordered[i], ordered[j])
+			switch {
+			case i < j && c >= 0:
+				t.Errorf("Compare(%v, %v) = %d, want negative", ordered[i], ordered[j], c)
+			case i > j && c <= 0:
+				t.Errorf("Compare(%v, %v) = %d, want positive", ordered[i], ordered[j], c)
+			case i == j && c != 0:
+				t.Errorf("Compare(%v, %v) = %d, want 0", ordered[i], ordered[j], c)
+			}
+		}
+	}
+}
+
+func TestCompareWithinKinds(t *testing.T) {
+	if Compare(NewInt(1), NewInt(2)) >= 0 {
+		t.Errorf("1 should order before 2")
+	}
+	if Compare(NewInt(2), NewFloat(1.5)) <= 0 {
+		t.Errorf("2 should order after 1.5")
+	}
+	if Compare(NewFloat(1.0), NewInt(1)) != 0 {
+		t.Errorf("1.0 and 1 should be equivalent")
+	}
+	if Compare(NewString("a"), NewString("b")) >= 0 {
+		t.Errorf("strings order lexicographically")
+	}
+	if Compare(NewBool(false), NewBool(true)) >= 0 {
+		t.Errorf("false orders before true")
+	}
+	if Compare(NewList(NewInt(1)), NewList(NewInt(1), NewInt(2))) >= 0 {
+		t.Errorf("prefix list orders before longer list")
+	}
+	if Compare(NewMap(map[string]Value{"a": NewInt(1)}), NewMap(map[string]Value{"a": NewInt(2)})) >= 0 {
+		t.Errorf("map values participate in ordering")
+	}
+	if Compare(NewMap(map[string]Value{"a": NewInt(1)}), NewMap(map[string]Value{"b": NewInt(1)})) >= 0 {
+		t.Errorf("map keys participate in ordering")
+	}
+	if Compare(NewNode(fakeNode{id: 1}), NewNode(fakeNode{id: 5})) >= 0 {
+		t.Errorf("nodes order by identifier")
+	}
+	nan, _ := Div(NewFloat(0), NewFloat(0))
+	if Compare(nan, NewFloat(1e18)) <= 0 {
+		t.Errorf("NaN orders after numbers")
+	}
+	if Compare(nan, nan) != 0 {
+		t.Errorf("NaN is equivalent to NaN")
+	}
+}
+
+func TestEquivalentAndSort(t *testing.T) {
+	if !Equivalent(NewInt(1), NewFloat(1)) {
+		t.Errorf("1 and 1.0 are equivalent")
+	}
+	if !Equivalent(Null(), Null()) {
+		t.Errorf("null is equivalent to null for grouping")
+	}
+	if Equivalent(NewInt(1), NewInt(2)) {
+		t.Errorf("1 and 2 are not equivalent")
+	}
+	vs := []Value{Null(), NewInt(3), NewString("a"), NewInt(1), NewBool(true)}
+	SortValues(vs)
+	if _, ok := AsString(vs[0]); !ok {
+		t.Errorf("strings order first among these kinds, got %v", vs[0])
+	}
+	if !IsNull(vs[len(vs)-1]) {
+		t.Errorf("null orders last, got %v", vs[len(vs)-1])
+	}
+}
+
+func TestTernaryOfAndToValue(t *testing.T) {
+	if TernaryOf(NewBool(true)) != TrueT || TernaryOf(NewBool(false)) != FalseT {
+		t.Errorf("TernaryOf booleans wrong")
+	}
+	if TernaryOf(Null()) != UnknownT || TernaryOf(NewInt(1)) != UnknownT {
+		t.Errorf("TernaryOf null/non-bool should be unknown")
+	}
+	if TrueT.ToValue() != NewBool(true) || FalseT.ToValue() != NewBool(false) || !IsNull(UnknownT.ToValue()) {
+		t.Errorf("Ternary.ToValue wrong")
+	}
+}
+
+// Property: Compare defines a total order consistent with Equals on
+// comparable kinds, and Equals is symmetric.
+func TestQuickEqualsSymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Equals(NewInt(a), NewInt(b)) == Equals(NewInt(b), NewInt(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64, s1, s2 string) bool {
+		va, vb := NewInt(a), NewInt(b)
+		if Compare(va, vb) != -Compare(vb, va) {
+			return false
+		}
+		vs1, vs2 := NewString(s1), NewString(s2)
+		return sign(Compare(vs1, vs2)) == -sign(Compare(vs2, vs1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareTransitive(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		va, vb, vc := NewFloat(a), NewFloat(b), NewFloat(c)
+		if Compare(va, vb) <= 0 && Compare(vb, vc) <= 0 {
+			return Compare(va, vc) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}

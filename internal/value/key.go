@@ -1,0 +1,119 @@
+package value
+
+import (
+	"encoding/binary"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// GroupKey returns a canonical string encoding of a value usable as a Go map
+// key for grouping and DISTINCT. Two values receive the same key if and only
+// if they are Equivalent (Compare(a,b) == 0). In particular integers and
+// floats representing the same number encode identically, null has a single
+// encoding, and NaN is equivalent to NaN.
+func GroupKey(v Value) string {
+	var sb strings.Builder
+	writeGroupKey(&sb, v)
+	return sb.String()
+}
+
+// GroupKeyOf returns a canonical composite key for a tuple of values.
+func GroupKeyOf(vs ...Value) string {
+	var sb strings.Builder
+	for _, v := range vs {
+		writeGroupKey(&sb, v)
+		sb.WriteByte(0x1f) // unit separator between tuple positions
+	}
+	return sb.String()
+}
+
+func writeGroupKey(sb *strings.Builder, v Value) {
+	switch t := v.(type) {
+	case nullValue:
+		sb.WriteString("\x00N")
+	case Bool:
+		if bool(t) {
+			sb.WriteString("\x01T")
+		} else {
+			sb.WriteString("\x01F")
+		}
+	case Int:
+		sb.WriteString("\x02")
+		writeFloatBits(sb, float64(t))
+		// Disambiguate integers too large to be exact floats by also writing
+		// the decimal form; equal floats/ints still share a prefix.
+		if float64(int64(t)) != float64(t) || int64(float64(t)) != int64(t) {
+			sb.WriteString(strconv.FormatInt(int64(t), 10))
+		}
+	case Float:
+		sb.WriteString("\x02")
+		f := float64(t)
+		if math.IsNaN(f) {
+			sb.WriteString("NaN")
+			return
+		}
+		writeFloatBits(sb, f)
+		if f == math.Trunc(f) && !math.IsInf(f, 0) {
+			// Align with the Int encoding above for whole-number floats.
+			i := int64(f)
+			if float64(i) != f || int64(float64(i)) != i {
+				sb.WriteString(strconv.FormatInt(i, 10))
+			}
+		}
+	case String:
+		sb.WriteString("\x03")
+		sb.WriteString(strconv.Itoa(len(t)))
+		sb.WriteString(":")
+		sb.WriteString(string(t))
+	case List:
+		sb.WriteString("\x04[")
+		for _, e := range t.Elements() {
+			writeGroupKey(sb, e)
+			sb.WriteByte(0x1e)
+		}
+		sb.WriteString("]")
+	case Map:
+		sb.WriteString("\x05{")
+		for _, k := range t.Keys() {
+			sb.WriteString(strconv.Itoa(len(k)))
+			sb.WriteString(":")
+			sb.WriteString(k)
+			sb.WriteString("=")
+			e, _ := t.Get(k)
+			writeGroupKey(sb, e)
+			sb.WriteByte(0x1e)
+		}
+		sb.WriteString("}")
+	case NodeValue:
+		sb.WriteString("\x06n")
+		sb.WriteString(strconv.FormatInt(t.N.ID(), 10))
+	case RelationshipValue:
+		sb.WriteString("\x07r")
+		sb.WriteString(strconv.FormatInt(t.R.ID(), 10))
+	case PathValue:
+		sb.WriteString("\x08p")
+		for _, n := range t.P.Nodes {
+			sb.WriteString(strconv.FormatInt(n.ID(), 10))
+			sb.WriteString(",")
+		}
+		sb.WriteString("|")
+		for _, r := range t.P.Rels {
+			sb.WriteString(strconv.FormatInt(r.ID(), 10))
+			sb.WriteString(",")
+		}
+	default:
+		sb.WriteString("\x09x")
+		sb.WriteString(v.Kind().String())
+		sb.WriteString(v.String())
+	}
+}
+
+func writeFloatBits(sb *strings.Builder, f float64) {
+	if f == 0 {
+		f = 0 // normalise -0 to +0
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], math.Float64bits(f))
+	sb.Write(buf[:])
+}

@@ -1,0 +1,91 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupKeyEquivalence(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		same bool
+	}{
+		{NewInt(1), NewInt(1), true},
+		{NewInt(1), NewFloat(1.0), true},
+		{NewInt(1), NewInt(2), false},
+		{NewInt(1), NewString("1"), false},
+		{Null(), Null(), true},
+		{Null(), NewInt(0), false},
+		{NewBool(true), NewBool(true), true},
+		{NewBool(true), NewBool(false), false},
+		{NewString("ab"), NewString("ab"), true},
+		{NewString("ab"), NewString("abc"), false},
+		{NewList(NewInt(1), NewInt(2)), NewList(NewInt(1), NewInt(2)), true},
+		{NewList(NewInt(1), NewInt(2)), NewList(NewInt(1), NewInt(3)), false},
+		{NewList(NewInt(1)), NewList(NewInt(1), Null()), false},
+		{NewMap(map[string]Value{"a": NewInt(1)}), NewMap(map[string]Value{"a": NewInt(1)}), true},
+		{NewMap(map[string]Value{"a": NewInt(1)}), NewMap(map[string]Value{"b": NewInt(1)}), false},
+		{NewNode(fakeNode{id: 4}), NewNode(fakeNode{id: 4, labels: []string{"L"}}), true},
+		{NewNode(fakeNode{id: 4}), NewNode(fakeNode{id: 5}), false},
+		{NewRelationship(fakeRel{id: 9}), NewRelationship(fakeRel{id: 9}), true},
+	}
+	for _, c := range cases {
+		ka, kb := GroupKey(c.a), GroupKey(c.b)
+		if (ka == kb) != c.same {
+			t.Errorf("GroupKey(%v) vs GroupKey(%v): same=%v, want %v", c.a, c.b, ka == kb, c.same)
+		}
+	}
+}
+
+func TestGroupKeyNaN(t *testing.T) {
+	nan1, _ := Div(NewFloat(0), NewFloat(0))
+	nan2, _ := Div(NewFloat(0), NewFloat(0))
+	if GroupKey(nan1) != GroupKey(nan2) {
+		t.Errorf("NaN should group with NaN")
+	}
+}
+
+func TestGroupKeyOfTuples(t *testing.T) {
+	k1 := GroupKeyOf(NewInt(1), NewString("a"))
+	k2 := GroupKeyOf(NewInt(1), NewString("a"))
+	k3 := GroupKeyOf(NewInt(1), NewString("b"))
+	k4 := GroupKeyOf(NewInt(1))
+	if k1 != k2 {
+		t.Errorf("identical tuples should share a key")
+	}
+	if k1 == k3 || k1 == k4 {
+		t.Errorf("different tuples should not share a key")
+	}
+	// Tuple boundaries matter: (["a","b"]) differs from ("a","b").
+	k5 := GroupKeyOf(NewList(NewString("a"), NewString("b")))
+	k6 := GroupKeyOf(NewString("a"), NewString("b"))
+	if k5 == k6 {
+		t.Errorf("list tuple and flat tuple should not collide")
+	}
+}
+
+// Property: GroupKey is consistent with Equivalent (Compare == 0) for
+// scalars.
+func TestQuickGroupKeyConsistentWithCompare(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		return (GroupKey(va) == GroupKey(vb)) == (Compare(va, vb) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		va, vb := NewString(a), NewString(b)
+		return (GroupKey(va) == GroupKey(vb)) == (Compare(va, vb) == 0)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+	h := func(a float64, b int64) bool {
+		va, vb := NewFloat(a), NewInt(b)
+		return (GroupKey(va) == GroupKey(vb)) == (Compare(va, vb) == 0)
+	}
+	if err := quick.Check(h, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,51 @@
+package value
+
+// Three-valued logic connectives (Section 4.3 "Logic": Cypher uses the same
+// rules as SQL for AND, OR, NOT and XOR over true, false and null).
+
+// And returns the three-valued conjunction of a and b.
+func And(a, b Ternary) Ternary {
+	switch {
+	case a == FalseT || b == FalseT:
+		return FalseT
+	case a == TrueT && b == TrueT:
+		return TrueT
+	default:
+		return UnknownT
+	}
+}
+
+// Or returns the three-valued disjunction of a and b.
+func Or(a, b Ternary) Ternary {
+	switch {
+	case a == TrueT || b == TrueT:
+		return TrueT
+	case a == FalseT && b == FalseT:
+		return FalseT
+	default:
+		return UnknownT
+	}
+}
+
+// Not returns the three-valued negation of a.
+func Not(a Ternary) Ternary {
+	switch a {
+	case TrueT:
+		return FalseT
+	case FalseT:
+		return TrueT
+	default:
+		return UnknownT
+	}
+}
+
+// Xor returns the three-valued exclusive disjunction of a and b.
+func Xor(a, b Ternary) Ternary {
+	if a == UnknownT || b == UnknownT {
+		return UnknownT
+	}
+	if (a == TrueT) != (b == TrueT) {
+		return TrueT
+	}
+	return FalseT
+}

@@ -1,0 +1,105 @@
+package value
+
+import "testing"
+
+func TestAndTruthTable(t *testing.T) {
+	cases := []struct{ a, b, want Ternary }{
+		{TrueT, TrueT, TrueT},
+		{TrueT, FalseT, FalseT},
+		{FalseT, TrueT, FalseT},
+		{FalseT, FalseT, FalseT},
+		{TrueT, UnknownT, UnknownT},
+		{UnknownT, TrueT, UnknownT},
+		{FalseT, UnknownT, FalseT},
+		{UnknownT, FalseT, FalseT},
+		{UnknownT, UnknownT, UnknownT},
+	}
+	for _, c := range cases {
+		if got := And(c.a, c.b); got != c.want {
+			t.Errorf("And(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOrTruthTable(t *testing.T) {
+	cases := []struct{ a, b, want Ternary }{
+		{TrueT, TrueT, TrueT},
+		{TrueT, FalseT, TrueT},
+		{FalseT, TrueT, TrueT},
+		{FalseT, FalseT, FalseT},
+		{TrueT, UnknownT, TrueT},
+		{UnknownT, TrueT, TrueT},
+		{FalseT, UnknownT, UnknownT},
+		{UnknownT, FalseT, UnknownT},
+		{UnknownT, UnknownT, UnknownT},
+	}
+	for _, c := range cases {
+		if got := Or(c.a, c.b); got != c.want {
+			t.Errorf("Or(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNotTruthTable(t *testing.T) {
+	if Not(TrueT) != FalseT || Not(FalseT) != TrueT || Not(UnknownT) != UnknownT {
+		t.Errorf("Not truth table wrong")
+	}
+}
+
+func TestXorTruthTable(t *testing.T) {
+	cases := []struct{ a, b, want Ternary }{
+		{TrueT, TrueT, FalseT},
+		{TrueT, FalseT, TrueT},
+		{FalseT, TrueT, TrueT},
+		{FalseT, FalseT, FalseT},
+		{TrueT, UnknownT, UnknownT},
+		{UnknownT, FalseT, UnknownT},
+		{UnknownT, UnknownT, UnknownT},
+	}
+	for _, c := range cases {
+		if got := Xor(c.a, c.b); got != c.want {
+			t.Errorf("Xor(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// De Morgan's laws hold in three-valued logic; verify exhaustively.
+func TestDeMorgan(t *testing.T) {
+	all := []Ternary{TrueT, FalseT, UnknownT}
+	for _, a := range all {
+		for _, b := range all {
+			if Not(And(a, b)) != Or(Not(a), Not(b)) {
+				t.Errorf("De Morgan AND failed for %v, %v", a, b)
+			}
+			if Not(Or(a, b)) != And(Not(a), Not(b)) {
+				t.Errorf("De Morgan OR failed for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+// AND and OR are commutative and associative in three-valued logic.
+func TestConnectiveAlgebra(t *testing.T) {
+	all := []Ternary{TrueT, FalseT, UnknownT}
+	for _, a := range all {
+		for _, b := range all {
+			if And(a, b) != And(b, a) {
+				t.Errorf("AND not commutative for %v, %v", a, b)
+			}
+			if Or(a, b) != Or(b, a) {
+				t.Errorf("OR not commutative for %v, %v", a, b)
+			}
+			if Xor(a, b) != Xor(b, a) {
+				t.Errorf("XOR not commutative for %v, %v", a, b)
+			}
+			for _, c := range all {
+				if And(And(a, b), c) != And(a, And(b, c)) {
+					t.Errorf("AND not associative for %v, %v, %v", a, b, c)
+				}
+				if Or(Or(a, b), c) != Or(a, Or(b, c)) {
+					t.Errorf("OR not associative for %v, %v, %v", a, b, c)
+				}
+			}
+		}
+	}
+}

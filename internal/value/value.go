@@ -1,0 +1,593 @@
+// Package value implements the Cypher value system described in Section 4.1 of
+// "Cypher: An Evolving Query Language for Property Graphs" (SIGMOD 2018).
+//
+// The set V of values comprises identifiers (nodes, relationships), base types
+// (integers, floats, strings, booleans), null, lists, maps, and paths. The
+// package also implements the SQL-style three-valued logic, the equality and
+// orderability rules, and the arithmetic used by Cypher expressions.
+package value
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind int
+
+// The kinds of Cypher values.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindList
+	KindMap
+	KindNode
+	KindRelationship
+	KindPath
+	KindDate
+	KindDateTime
+	KindDuration
+)
+
+// String returns the Cypher-facing name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindList:
+		return "LIST"
+	case KindMap:
+		return "MAP"
+	case KindNode:
+		return "NODE"
+	case KindRelationship:
+		return "RELATIONSHIP"
+	case KindPath:
+		return "PATH"
+	case KindDate:
+		return "DATE"
+	case KindDateTime:
+		return "DATETIME"
+	case KindDuration:
+		return "DURATION"
+	default:
+		return fmt.Sprintf("KIND(%d)", int(k))
+	}
+}
+
+// Value is a Cypher value. All implementations are immutable once constructed;
+// lists and maps must not be mutated after being wrapped in a Value.
+type Value interface {
+	// Kind reports the dynamic type of the value.
+	Kind() Kind
+	// String renders the value in Cypher literal syntax (nodes and
+	// relationships are rendered in the ASCII-art style used by the paper).
+	String() string
+}
+
+// Node is the view of a property graph node exposed to the value system. The
+// graph package provides the concrete implementation; keeping this an
+// interface avoids an import cycle while letting expressions access labels and
+// properties directly.
+type Node interface {
+	// ID returns the node identifier (an element of the set N in the paper).
+	ID() int64
+	// Labels returns the label set lambda(n), sorted.
+	Labels() []string
+	// HasLabel reports whether the node carries the given label.
+	HasLabel(label string) bool
+	// Property returns iota(n, key), or Null() if the property is absent.
+	Property(key string) Value
+	// PropertyKeys returns the keys on which iota(n, .) is defined, sorted.
+	PropertyKeys() []string
+}
+
+// Relationship is the view of a property graph relationship exposed to the
+// value system.
+type Relationship interface {
+	// ID returns the relationship identifier (an element of the set R).
+	ID() int64
+	// RelType returns tau(r), the relationship type.
+	RelType() string
+	// StartNodeID returns src(r).
+	StartNodeID() int64
+	// EndNodeID returns tgt(r).
+	EndNodeID() int64
+	// Property returns iota(r, key), or Null() if the property is absent.
+	Property(key string) Value
+	// PropertyKeys returns the keys on which iota(r, .) is defined, sorted.
+	PropertyKeys() []string
+}
+
+// nullValue is the unique null value.
+type nullValue struct{}
+
+// Bool is a Cypher boolean.
+type Bool bool
+
+// Int is a Cypher 64-bit integer.
+type Int int64
+
+// Float is a Cypher 64-bit floating point number.
+type Float float64
+
+// String_ would clash with the method name; the string value type is String.
+// String is a Cypher string value.
+type String string
+
+// List is a Cypher list value. The element slice must not be mutated after
+// construction.
+type List struct {
+	elems []Value
+}
+
+// Map is a Cypher map value. The underlying map must not be mutated after
+// construction.
+type Map struct {
+	entries map[string]Value
+}
+
+// NodeValue wraps a graph node as a value.
+type NodeValue struct {
+	N Node
+}
+
+// RelationshipValue wraps a graph relationship as a value.
+type RelationshipValue struct {
+	R Relationship
+}
+
+// Path is an alternating sequence of nodes and relationships
+// n1 r1 n2 ... n_{m-1} r_{m-1} n_m as defined in Section 4.1 of the paper.
+// A path always contains at least one node; len(Rels) == len(Nodes)-1.
+type Path struct {
+	Nodes []Node
+	Rels  []Relationship
+}
+
+// PathValue wraps a Path as a value.
+type PathValue struct {
+	P Path
+}
+
+var theNull = nullValue{}
+
+// Null returns the Cypher null value.
+func Null() Value { return theNull }
+
+// NewBool returns a boolean value.
+func NewBool(b bool) Value { return Bool(b) }
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Int(i) }
+
+// NewFloat returns a float value.
+func NewFloat(f float64) Value { return Float(f) }
+
+// NewString returns a string value.
+func NewString(s string) Value { return String(s) }
+
+// NewList returns a list value owning the given elements.
+func NewList(elems ...Value) Value { return List{elems: elems} }
+
+// NewListOf returns a list value that adopts the given slice without copying.
+func NewListOf(elems []Value) Value { return List{elems: elems} }
+
+// NewMap returns a map value that adopts the given map without copying.
+func NewMap(entries map[string]Value) Value {
+	if entries == nil {
+		entries = map[string]Value{}
+	}
+	return Map{entries: entries}
+}
+
+// NewNode wraps a node as a value.
+func NewNode(n Node) Value { return NodeValue{N: n} }
+
+// NewRelationship wraps a relationship as a value.
+func NewRelationship(r Relationship) Value { return RelationshipValue{R: r} }
+
+// NewPath wraps a path as a value.
+func NewPath(p Path) Value { return PathValue{P: p} }
+
+// Kind implementations.
+
+// Kind reports KindNull.
+func (nullValue) Kind() Kind { return KindNull }
+
+// Kind reports KindBool.
+func (Bool) Kind() Kind { return KindBool }
+
+// Kind reports KindInt.
+func (Int) Kind() Kind { return KindInt }
+
+// Kind reports KindFloat.
+func (Float) Kind() Kind { return KindFloat }
+
+// Kind reports KindString.
+func (String) Kind() Kind { return KindString }
+
+// Kind reports KindList.
+func (List) Kind() Kind { return KindList }
+
+// Kind reports KindMap.
+func (Map) Kind() Kind { return KindMap }
+
+// Kind reports KindNode.
+func (NodeValue) Kind() Kind { return KindNode }
+
+// Kind reports KindRelationship.
+func (RelationshipValue) Kind() Kind { return KindRelationship }
+
+// Kind reports KindPath.
+func (PathValue) Kind() Kind { return KindPath }
+
+// String renderings.
+
+func (nullValue) String() string { return "null" }
+
+func (b Bool) String() string {
+	if bool(b) {
+		return "true"
+	}
+	return "false"
+}
+
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+func (f Float) String() string {
+	v := float64(f)
+	if math.IsInf(v, 1) {
+		return "Infinity"
+	}
+	if math.IsInf(v, -1) {
+		return "-Infinity"
+	}
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	// Ensure a float always renders distinguishably from an integer.
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+func (s String) String() string { return "'" + strings.ReplaceAll(string(s), "'", "\\'") + "'" }
+
+func (l List) String() string {
+	parts := make([]string, len(l.elems))
+	for i, e := range l.elems {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func (m Map) String() string {
+	keys := m.Keys()
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+": "+m.entries[k].String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func (nv NodeValue) String() string {
+	var sb strings.Builder
+	sb.WriteString("(")
+	for _, l := range nv.N.Labels() {
+		sb.WriteString(":")
+		sb.WriteString(l)
+	}
+	keys := nv.N.PropertyKeys()
+	if len(keys) > 0 {
+		if len(nv.N.Labels()) > 0 {
+			sb.WriteString(" ")
+		}
+		sb.WriteString("{")
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(k)
+			sb.WriteString(": ")
+			sb.WriteString(nv.N.Property(k).String())
+		}
+		sb.WriteString("}")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+func (rv RelationshipValue) String() string {
+	var sb strings.Builder
+	sb.WriteString("[:")
+	sb.WriteString(rv.R.RelType())
+	keys := rv.R.PropertyKeys()
+	if len(keys) > 0 {
+		sb.WriteString(" {")
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(k)
+			sb.WriteString(": ")
+			sb.WriteString(rv.R.Property(k).String())
+		}
+		sb.WriteString("}")
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+
+func (pv PathValue) String() string {
+	var sb strings.Builder
+	for i, n := range pv.P.Nodes {
+		if i > 0 {
+			r := pv.P.Rels[i-1]
+			if r.StartNodeID() == pv.P.Nodes[i-1].ID() {
+				sb.WriteString("-")
+				sb.WriteString(RelationshipValue{R: r}.String())
+				sb.WriteString("->")
+			} else {
+				sb.WriteString("<-")
+				sb.WriteString(RelationshipValue{R: r}.String())
+				sb.WriteString("-")
+			}
+		}
+		sb.WriteString(NodeValue{N: n}.String())
+	}
+	return sb.String()
+}
+
+// Accessors.
+
+// Bool reports the Go boolean of a Bool value.
+func (b Bool) Bool() bool { return bool(b) }
+
+// Int64 reports the Go int64 of an Int value.
+func (i Int) Int64() int64 { return int64(i) }
+
+// Float64 reports the Go float64 of a Float value.
+func (f Float) Float64() float64 { return float64(f) }
+
+// Str reports the Go string of a String value.
+func (s String) Str() string { return string(s) }
+
+// Len returns the number of elements in the list.
+func (l List) Len() int { return len(l.elems) }
+
+// At returns the i-th element of the list; callers must bounds-check.
+func (l List) At(i int) Value { return l.elems[i] }
+
+// Elements returns the backing slice of the list. Callers must not mutate it.
+func (l List) Elements() []Value { return l.elems }
+
+// Len returns the number of entries in the map.
+func (m Map) Len() int { return len(m.entries) }
+
+// Get returns the value stored under key and whether it is present.
+func (m Map) Get(key string) (Value, bool) {
+	v, ok := m.entries[key]
+	return v, ok
+}
+
+// Keys returns the map keys in sorted order.
+func (m Map) Keys() []string {
+	keys := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Entries returns the backing map. Callers must not mutate it.
+func (m Map) Entries() map[string]Value { return m.entries }
+
+// Length returns the number of relationships in the path (possibly zero).
+func (p Path) Length() int { return len(p.Rels) }
+
+// Start returns the first node of the path.
+func (p Path) Start() Node { return p.Nodes[0] }
+
+// End returns the last node of the path.
+func (p Path) End() Node { return p.Nodes[len(p.Nodes)-1] }
+
+// IsNull reports whether v is the null value.
+func IsNull(v Value) bool { return v == nil || v.Kind() == KindNull }
+
+// AsBool extracts a Go bool, reporting ok=false if v is not a boolean.
+func AsBool(v Value) (b, ok bool) {
+	if bv, isB := v.(Bool); isB {
+		return bool(bv), true
+	}
+	return false, false
+}
+
+// AsInt extracts a Go int64, reporting ok=false if v is not an integer.
+func AsInt(v Value) (int64, bool) {
+	if iv, isI := v.(Int); isI {
+		return int64(iv), true
+	}
+	return 0, false
+}
+
+// AsFloat extracts a Go float64 from an Int or Float value.
+func AsFloat(v Value) (float64, bool) {
+	switch t := v.(type) {
+	case Int:
+		return float64(t), true
+	case Float:
+		return float64(t), true
+	}
+	return 0, false
+}
+
+// AsString extracts a Go string, reporting ok=false if v is not a string.
+func AsString(v Value) (string, bool) {
+	if sv, isS := v.(String); isS {
+		return string(sv), true
+	}
+	return "", false
+}
+
+// AsList extracts a List, reporting ok=false if v is not a list.
+func AsList(v Value) (List, bool) {
+	lv, ok := v.(List)
+	return lv, ok
+}
+
+// AsMap extracts a Map, reporting ok=false if v is not a map.
+func AsMap(v Value) (Map, bool) {
+	mv, ok := v.(Map)
+	return mv, ok
+}
+
+// AsNode extracts the node from a node value.
+func AsNode(v Value) (Node, bool) {
+	if nv, ok := v.(NodeValue); ok {
+		return nv.N, true
+	}
+	return nil, false
+}
+
+// AsRelationship extracts the relationship from a relationship value.
+func AsRelationship(v Value) (Relationship, bool) {
+	if rv, ok := v.(RelationshipValue); ok {
+		return rv.R, true
+	}
+	return nil, false
+}
+
+// AsPath extracts the path from a path value.
+func AsPath(v Value) (Path, bool) {
+	if pv, ok := v.(PathValue); ok {
+		return pv.P, true
+	}
+	return Path{}, false
+}
+
+// IsNumber reports whether v is an Int or a Float.
+func IsNumber(v Value) bool {
+	k := v.Kind()
+	return k == KindInt || k == KindFloat
+}
+
+// FromGo converts a native Go value into a Cypher value. Supported inputs are
+// nil, bool, all integer widths, float32/64, string, []any, map[string]any,
+// []Value, map[string]Value and Value itself. Unsupported inputs yield an
+// error so that callers surface bad parameters instead of panicking.
+func FromGo(v any) (Value, error) {
+	switch t := v.(type) {
+	case nil:
+		return Null(), nil
+	case Value:
+		return t, nil
+	case bool:
+		return NewBool(t), nil
+	case int:
+		return NewInt(int64(t)), nil
+	case int8:
+		return NewInt(int64(t)), nil
+	case int16:
+		return NewInt(int64(t)), nil
+	case int32:
+		return NewInt(int64(t)), nil
+	case int64:
+		return NewInt(t), nil
+	case uint:
+		return NewInt(int64(t)), nil
+	case uint8:
+		return NewInt(int64(t)), nil
+	case uint16:
+		return NewInt(int64(t)), nil
+	case uint32:
+		return NewInt(int64(t)), nil
+	case float32:
+		return NewFloat(float64(t)), nil
+	case float64:
+		return NewFloat(t), nil
+	case string:
+		return NewString(t), nil
+	case []Value:
+		return NewListOf(t), nil
+	case map[string]Value:
+		return NewMap(t), nil
+	case []any:
+		elems := make([]Value, len(t))
+		for i, e := range t {
+			ev, err := FromGo(e)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = ev
+		}
+		return NewListOf(elems), nil
+	case map[string]any:
+		entries := make(map[string]Value, len(t))
+		for k, e := range t {
+			ev, err := FromGo(e)
+			if err != nil {
+				return nil, err
+			}
+			entries[k] = ev
+		}
+		return NewMap(entries), nil
+	default:
+		return nil, fmt.Errorf("value: unsupported Go type %T", v)
+	}
+}
+
+// ToGo converts a Cypher value back into a plain Go value: nil, bool, int64,
+// float64, string, []any, map[string]any, or the Node/Relationship/Path
+// interfaces for graph entities.
+func ToGo(v Value) any {
+	switch t := v.(type) {
+	case nullValue:
+		return nil
+	case Bool:
+		return bool(t)
+	case Int:
+		return int64(t)
+	case Float:
+		return float64(t)
+	case String:
+		return string(t)
+	case List:
+		out := make([]any, t.Len())
+		for i, e := range t.Elements() {
+			out[i] = ToGo(e)
+		}
+		return out
+	case Map:
+		out := make(map[string]any, t.Len())
+		for k, e := range t.Entries() {
+			out[k] = ToGo(e)
+		}
+		return out
+	case NodeValue:
+		return t.N
+	case RelationshipValue:
+		return t.R
+	case PathValue:
+		return t.P
+	default:
+		return v
+	}
+}

@@ -1,0 +1,319 @@
+package value
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fakeNode and fakeRel are minimal graph entities for testing the value layer
+// without importing the graph package.
+type fakeNode struct {
+	id     int64
+	labels []string
+	props  map[string]Value
+}
+
+func (n fakeNode) ID() int64 { return n.id }
+func (n fakeNode) Labels() []string {
+	out := append([]string(nil), n.labels...)
+	sort.Strings(out)
+	return out
+}
+func (n fakeNode) HasLabel(l string) bool {
+	for _, x := range n.labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+func (n fakeNode) Property(k string) Value {
+	if v, ok := n.props[k]; ok {
+		return v
+	}
+	return Null()
+}
+func (n fakeNode) PropertyKeys() []string {
+	keys := make([]string, 0, len(n.props))
+	for k := range n.props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type fakeRel struct {
+	id       int64
+	typ      string
+	from, to int64
+	props    map[string]Value
+}
+
+func (r fakeRel) ID() int64          { return r.id }
+func (r fakeRel) RelType() string    { return r.typ }
+func (r fakeRel) StartNodeID() int64 { return r.from }
+func (r fakeRel) EndNodeID() int64   { return r.to }
+func (r fakeRel) Property(k string) Value {
+	if v, ok := r.props[k]; ok {
+		return v
+	}
+	return Null()
+}
+func (r fakeRel) PropertyKeys() []string {
+	keys := make([]string, 0, len(r.props))
+	for k := range r.props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want Kind
+	}{
+		{Null(), KindNull},
+		{NewBool(true), KindBool},
+		{NewInt(1), KindInt},
+		{NewFloat(1.5), KindFloat},
+		{NewString("x"), KindString},
+		{NewList(NewInt(1)), KindList},
+		{NewMap(map[string]Value{"a": NewInt(1)}), KindMap},
+		{NewNode(fakeNode{id: 1}), KindNode},
+		{NewRelationship(fakeRel{id: 1}), KindRelationship},
+		{NewPath(Path{Nodes: []Node{fakeNode{id: 1}}}), KindPath},
+	}
+	for _, c := range cases {
+		if got := c.v.Kind(); got != c.want {
+			t.Errorf("Kind(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "INTEGER" || KindNull.String() != "NULL" {
+		t.Errorf("unexpected kind names: %s, %s", KindInt, KindNull)
+	}
+	if !strings.HasPrefix(Kind(99).String(), "KIND(") {
+		t.Errorf("unknown kind should render as KIND(n), got %s", Kind(99))
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "null"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewInt(42), "42"},
+		{NewFloat(2.5), "2.5"},
+		{NewFloat(3), "3.0"},
+		{NewString("hi"), "'hi'"},
+		{NewList(NewInt(1), NewString("a")), "[1, 'a']"},
+		{NewMap(map[string]Value{"b": NewInt(2), "a": NewInt(1)}), "{a: 1, b: 2}"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestNodeAndRelRendering(t *testing.T) {
+	n := fakeNode{id: 1, labels: []string{"Person"}, props: map[string]Value{"name": NewString("Nils")}}
+	nv := NewNode(n)
+	if got := nv.String(); got != "(:Person {name: 'Nils'})" {
+		t.Errorf("node rendering = %q", got)
+	}
+	r := fakeRel{id: 7, typ: "KNOWS", from: 1, to: 2, props: map[string]Value{"since": NewInt(1985)}}
+	rv := NewRelationship(r)
+	if got := rv.String(); got != "[:KNOWS {since: 1985}]" {
+		t.Errorf("relationship rendering = %q", got)
+	}
+}
+
+func TestPathRendering(t *testing.T) {
+	n1 := fakeNode{id: 1, labels: []string{"A"}}
+	n2 := fakeNode{id: 2, labels: []string{"B"}}
+	r := fakeRel{id: 5, typ: "REL", from: 1, to: 2}
+	p := Path{Nodes: []Node{n1, n2}, Rels: []Relationship{r}}
+	got := NewPath(p).String()
+	if got != "(:A)-[:REL]->(:B)" {
+		t.Errorf("path rendering = %q", got)
+	}
+	// Reversed relationship renders with a left arrow.
+	rBack := fakeRel{id: 6, typ: "REL", from: 2, to: 1}
+	p2 := Path{Nodes: []Node{n1, n2}, Rels: []Relationship{rBack}}
+	if got := NewPath(p2).String(); got != "(:A)<-[:REL]-(:B)" {
+		t.Errorf("reverse path rendering = %q", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if v, ok := AsInt(NewInt(3)); !ok || v != 3 {
+		t.Errorf("AsInt failed")
+	}
+	if _, ok := AsInt(NewString("3")); ok {
+		t.Errorf("AsInt should fail on string")
+	}
+	if v, ok := AsFloat(NewInt(3)); !ok || v != 3.0 {
+		t.Errorf("AsFloat on int failed")
+	}
+	if v, ok := AsFloat(NewFloat(2.5)); !ok || v != 2.5 {
+		t.Errorf("AsFloat on float failed")
+	}
+	if v, ok := AsBool(NewBool(true)); !ok || !v {
+		t.Errorf("AsBool failed")
+	}
+	if v, ok := AsString(NewString("x")); !ok || v != "x" {
+		t.Errorf("AsString failed")
+	}
+	l, ok := AsList(NewList(NewInt(1), NewInt(2)))
+	if !ok || l.Len() != 2 || l.At(1) != NewInt(2) {
+		t.Errorf("AsList failed")
+	}
+	m, ok := AsMap(NewMap(map[string]Value{"k": NewInt(9)}))
+	if !ok || m.Len() != 1 {
+		t.Errorf("AsMap failed")
+	}
+	if v, present := m.Get("k"); !present || v != NewInt(9) {
+		t.Errorf("Map.Get failed")
+	}
+	if _, present := m.Get("missing"); present {
+		t.Errorf("Map.Get should report missing keys")
+	}
+	if !IsNull(Null()) || IsNull(NewInt(0)) {
+		t.Errorf("IsNull misbehaves")
+	}
+	if !IsNumber(NewInt(1)) || !IsNumber(NewFloat(1)) || IsNumber(NewString("1")) {
+		t.Errorf("IsNumber misbehaves")
+	}
+}
+
+func TestPathAccessors(t *testing.T) {
+	n1 := fakeNode{id: 1}
+	n2 := fakeNode{id: 2}
+	r := fakeRel{id: 3, from: 1, to: 2}
+	p := Path{Nodes: []Node{n1, n2}, Rels: []Relationship{r}}
+	if p.Length() != 1 {
+		t.Errorf("Length = %d, want 1", p.Length())
+	}
+	if p.Start().ID() != 1 || p.End().ID() != 2 {
+		t.Errorf("Start/End wrong")
+	}
+	pv, ok := AsPath(NewPath(p))
+	if !ok || pv.Length() != 1 {
+		t.Errorf("AsPath failed")
+	}
+	if n, ok := AsNode(NewNode(n1)); !ok || n.ID() != 1 {
+		t.Errorf("AsNode failed")
+	}
+	if rr, ok := AsRelationship(NewRelationship(r)); !ok || rr.ID() != 3 {
+		t.Errorf("AsRelationship failed")
+	}
+}
+
+func TestFromGoAndToGo(t *testing.T) {
+	in := map[string]any{
+		"name":   "Elin",
+		"age":    37,
+		"score":  1.5,
+		"active": true,
+		"tags":   []any{"a", "b"},
+		"nested": map[string]any{"x": nil},
+	}
+	v, err := FromGo(in)
+	if err != nil {
+		t.Fatalf("FromGo: %v", err)
+	}
+	m, ok := AsMap(v)
+	if !ok {
+		t.Fatalf("expected map, got %v", v.Kind())
+	}
+	if got, _ := m.Get("age"); got != NewInt(37) {
+		t.Errorf("age = %v", got)
+	}
+	if got, _ := m.Get("score"); got != NewFloat(1.5) {
+		t.Errorf("score = %v", got)
+	}
+	tags, _ := m.Get("tags")
+	tl, _ := AsList(tags)
+	if tl.Len() != 2 {
+		t.Errorf("tags length = %d", tl.Len())
+	}
+	nested, _ := m.Get("nested")
+	nm, _ := AsMap(nested)
+	if x, _ := nm.Get("x"); !IsNull(x) {
+		t.Errorf("nested null lost: %v", x)
+	}
+
+	round := ToGo(v)
+	rm, ok := round.(map[string]any)
+	if !ok {
+		t.Fatalf("ToGo did not produce a map: %T", round)
+	}
+	if rm["name"] != "Elin" || rm["age"] != int64(37) || rm["active"] != true {
+		t.Errorf("round trip lost data: %v", rm)
+	}
+
+	if _, err := FromGo(struct{}{}); err == nil {
+		t.Errorf("FromGo should reject unsupported types")
+	}
+}
+
+func TestFromGoScalars(t *testing.T) {
+	cases := []struct {
+		in   any
+		want Value
+	}{
+		{nil, Null()},
+		{int8(1), NewInt(1)},
+		{int16(2), NewInt(2)},
+		{int32(3), NewInt(3)},
+		{int64(4), NewInt(4)},
+		{uint(5), NewInt(5)},
+		{uint8(6), NewInt(6)},
+		{uint16(7), NewInt(7)},
+		{uint32(8), NewInt(8)},
+		{float32(1.5), NewFloat(1.5)},
+		{NewInt(9), NewInt(9)},
+	}
+	for _, c := range cases {
+		got, err := FromGo(c.in)
+		if err != nil {
+			t.Fatalf("FromGo(%v): %v", c.in, err)
+		}
+		if Compare(got, c.want) != 0 {
+			t.Errorf("FromGo(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMapKeysSorted(t *testing.T) {
+	m := NewMap(map[string]Value{"z": NewInt(1), "a": NewInt(2), "m": NewInt(3)})
+	mv, _ := AsMap(m)
+	keys := mv.Keys()
+	if !sort.StringsAreSorted(keys) {
+		t.Errorf("keys not sorted: %v", keys)
+	}
+}
+
+func TestFloatRenderingSpecials(t *testing.T) {
+	inf := NewFloat(math.Inf(1))
+	if inf.String() != "Infinity" {
+		t.Errorf("inf renders as %q", inf.String())
+	}
+	ninf := NewFloat(math.Inf(-1))
+	if ninf.String() != "-Infinity" {
+		t.Errorf("-inf renders as %q", ninf.String())
+	}
+	nan, _ := Div(NewFloat(0), NewFloat(0))
+	if nan.String() != "NaN" {
+		t.Errorf("NaN renders as %q", nan.String())
+	}
+}
