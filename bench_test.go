@@ -249,6 +249,82 @@ func BenchmarkSection3Query(b *testing.B) {
 	}
 }
 
+// --- B10: concurrent query serving (shared-lock reads + plan cache) ---
+
+// BenchmarkConcurrentReads measures read-only query throughput under
+// parallelism: every goroutine runs the same hot query, which after the
+// first execution is served from the plan cache and executed under the
+// engine's shared lock. Compare ns/op across -cpu settings: with the old
+// single-mutex engine the throughput was flat, with the shared-lock path it
+// scales with GOMAXPROCS.
+func BenchmarkConcurrentReads(b *testing.B) {
+	g := benchGraph(10000, 8)
+	query := "MATCH (a:Person {name: 'person-17'})-[:KNOWS]->(b) RETURN count(b) AS c"
+	if _, err := g.Run(query, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := g.Run(query, nil); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentMixed adds a 5% mutating fraction: writers take the
+// exclusive lock and invalidate cached plans, so this bounds the benefit of
+// the read fast path under a realistic read-mostly workload.
+func BenchmarkConcurrentMixed(b *testing.B) {
+	g := benchGraph(10000, 8)
+	read := "MATCH (a:Person {name: 'person-17'})-[:KNOWS]->(b) RETURN count(b) AS c"
+	write := "CREATE (:Audit {at: 1})"
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := read
+			if i%20 == 19 {
+				q = write
+			}
+			i++
+			if _, err := g.Run(q, nil); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkPlanCache contrasts the hot path (plan served from cache) with a
+// forced recompile (distinct query text every iteration, so lexer, parser,
+// semantic analysis and planner all run).
+func BenchmarkPlanCache(b *testing.B) {
+	query := "MATCH (a:Person {name: 'person-17'})-[:KNOWS]->(b) RETURN count(b) AS c"
+	b.Run("hit", func(b *testing.B) {
+		g := benchGraph(100, 4)
+		if _, err := g.Run(query, nil); err != nil {
+			b.Fatal(err)
+		}
+		runBenchQuery(b, g, query, nil)
+	})
+	b.Run("miss", func(b *testing.B) {
+		g := benchGraph(100, 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := fmt.Sprintf("MATCH (a:Person {name: 'person-17'})-[:KNOWS]->(b) RETURN count(b) AS c%d", i)
+			if _, err := g.Run(q, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- B9: optimised engine vs the literal reference semantics ---
 
 func BenchmarkEngineVsRefsem(b *testing.B) {

@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	cypher "repro"
@@ -23,12 +24,17 @@ type workload struct {
 
 func main() {
 	var (
-		iterations = flag.Int("iterations", 3, "measured iterations per workload")
+		iterations = flag.Int("iterations", 3, "measured iterations per workload (per client when -clients > 1)")
 		filter     = flag.String("workload", "", "run only workloads whose name contains this substring")
+		clients    = flag.Int("clients", 1, "concurrent clients; > 1 switches to throughput mode")
 	)
 	flag.Parse()
 
 	workloads := buildWorkloads()
+	if *clients > 1 {
+		runConcurrent(workloads, *filter, *clients, *iterations)
+		return
+	}
 	fmt.Println("workload,parameter,iteration,rows,seconds")
 	for _, w := range workloads {
 		if *filter != "" && !contains(w.name, *filter) {
@@ -45,6 +51,50 @@ func main() {
 			elapsed := time.Since(start).Seconds()
 			fmt.Printf("%s,%s,%d,%d,%.6f\n", w.name, w.param, i, res.Len(), elapsed)
 		}
+	}
+}
+
+// runConcurrent measures read throughput with many clients hammering the same
+// graph: each client runs the workload query `iterations` times, and the CSV
+// reports aggregate queries/second. Because every workload query here is
+// read-only, the engine executes the clients in parallel under its shared
+// lock and serves repeats from the plan cache.
+func runConcurrent(workloads []workload, filter string, clients, iterations int) {
+	fmt.Println("workload,parameter,clients,queries,seconds,qps")
+	for _, w := range workloads {
+		if filter != "" && !contains(w.name, filter) {
+			continue
+		}
+		g := w.setup()
+		// Warm the plan cache once so the measurement reflects steady state.
+		if _, err := g.Run(w.query, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "workload %s failed: %v\n", w.name, err)
+			os.Exit(1)
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iterations; i++ {
+					if _, err := g.Run(w.query, nil); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		close(errs)
+		if err := <-errs; err != nil {
+			fmt.Fprintf(os.Stderr, "workload %s failed: %v\n", w.name, err)
+			os.Exit(1)
+		}
+		total := clients * iterations
+		fmt.Printf("%s,%s,%d,%d,%.6f,%.1f\n", w.name, w.param, clients, total, elapsed, float64(total)/elapsed)
 	}
 }
 

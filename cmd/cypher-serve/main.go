@@ -1,0 +1,241 @@
+// Command cypher-serve exposes a cypher.Graph over HTTP so many clients can
+// query one in-memory property graph concurrently. The engine classifies
+// each query as read-only or mutating at parse time: read-only queries run
+// in parallel under a shared lock while mutating queries serialize, and
+// compiled plans are cached per query text until a mutation invalidates
+// them, so a hot read workload skips parsing and planning entirely.
+//
+// Endpoints:
+//
+//	POST /query    {"query": "...", "params": {...}} -> columns, rows, summary
+//	GET  /explain  ?q=<query>                        -> the compiled plan
+//	GET  /stats                                      -> graph + plan-cache stats
+//	GET  /healthz                                    -> 200 once serving
+//
+// Example:
+//
+//	cypher-serve -addr :7474 -dataset social -size 10000
+//	curl -s localhost:7474/query -d '{"query": "MATCH (p:Person) RETURN count(*) AS c"}'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	cypher "repro"
+	"repro/internal/datasets"
+	"repro/internal/value"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7474", "listen address")
+		dataset = flag.String("dataset", "empty", "initial dataset: empty, citations, social, datacenter, fraud")
+		size    = flag.Int("size", 1000, "size parameter for the synthetic datasets")
+	)
+	flag.Parse()
+
+	g, err := buildGraph(*dataset, *size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	s := g.Stats()
+	log.Printf("serving %s dataset (%d nodes, %d relationships) on %s", *dataset, s.Nodes, s.Relationships, *addr)
+
+	mux := http.NewServeMux()
+	srv := &server{graph: g, started: time.Now()}
+	mux.HandleFunc("/query", srv.handleQuery)
+	mux.HandleFunc("/explain", srv.handleExplain)
+	mux.HandleFunc("/stats", srv.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func buildGraph(dataset string, size int) (*cypher.Graph, error) {
+	switch dataset {
+	case "", "empty":
+		return cypher.New(), nil
+	case "citations":
+		store, _ := datasets.Citations()
+		return cypher.Wrap(store, cypher.Options{}), nil
+	case "social":
+		store := datasets.SocialNetwork(datasets.SocialConfig{People: size, FriendsEach: 8, Seed: 42})
+		return cypher.Wrap(store, cypher.Options{}), nil
+	case "datacenter":
+		store := datasets.DataCenter(datasets.DataCenterConfig{Services: size, MaxDeps: 3, Seed: 5})
+		return cypher.Wrap(store, cypher.Options{}), nil
+	case "fraud":
+		store := datasets.FraudNetwork(datasets.FraudConfig{AccountHolders: size, SharingFraction: 0.15, Seed: 5})
+		return cypher.Wrap(store, cypher.Options{}), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want empty, citations, social, datacenter or fraud)", dataset)
+	}
+}
+
+type server struct {
+	graph   *cypher.Graph
+	started time.Time
+}
+
+type queryRequest struct {
+	Query  string         `json:"query"`
+	Params map[string]any `json:"params"`
+}
+
+type queryResponse struct {
+	Columns  []string `json:"columns"`
+	Rows     [][]any  `json:"rows"`
+	Count    int      `json:"count"`
+	ReadOnly bool     `json:"readOnly"`
+	TimeMs   float64  `json:"timeMs"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a JSON body {\"query\": ..., \"params\": ...}")
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Query == "" {
+		httpError(w, http.StatusBadRequest, "missing \"query\"")
+		return
+	}
+	start := time.Now()
+	res, err := s.graph.Run(req.Query, req.Params)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	elapsed := time.Since(start)
+	rows := res.Rows()
+	out := queryResponse{
+		Columns:  res.Columns(),
+		Rows:     make([][]any, len(rows)),
+		Count:    len(rows),
+		ReadOnly: res.ReadOnly(),
+		TimeMs:   float64(elapsed.Microseconds()) / 1000,
+	}
+	for i, row := range rows {
+		conv := make([]any, len(row))
+		for j, v := range row {
+			conv[j] = jsonValue(v)
+		}
+		out.Rows[i] = conv
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		httpError(w, http.StatusBadRequest, "missing ?q=<query>")
+		return
+	}
+	plan, err := s.graph.Explain(q)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"query": q, "plan": plan})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	gs := s.graph.Stats()
+	cs := s.graph.PlanCacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph": map[string]any{
+			"nodes":         gs.Nodes,
+			"relationships": gs.Relationships,
+			"labels":        gs.Labels,
+			"types":         gs.Types,
+		},
+		"planCache": map[string]any{
+			"entries":       cs.Entries,
+			"hits":          cs.Hits,
+			"misses":        cs.Misses,
+			"invalidations": cs.Invalidations,
+		},
+		"uptimeSeconds": time.Since(s.started).Seconds(),
+	})
+}
+
+// jsonValue converts a native Go result value (as produced by Result.Rows)
+// into something json.Marshal renders faithfully: graph entities become
+// explicit objects rather than opaque interface views.
+func jsonValue(v any) any {
+	switch t := v.(type) {
+	case cypher.Node:
+		return map[string]any{
+			"id":         t.ID(),
+			"labels":     t.Labels(),
+			"properties": entityProps(t.PropertyKeys(), t.Property),
+		}
+	case cypher.Relationship:
+		return map[string]any{
+			"id":         t.ID(),
+			"type":       t.RelType(),
+			"start":      t.StartNodeID(),
+			"end":        t.EndNodeID(),
+			"properties": entityProps(t.PropertyKeys(), t.Property),
+		}
+	case cypher.Path:
+		nodes := make([]any, len(t.Nodes))
+		for i, n := range t.Nodes {
+			nodes[i] = jsonValue(n)
+		}
+		rels := make([]any, len(t.Rels))
+		for i, rel := range t.Rels {
+			rels[i] = jsonValue(rel)
+		}
+		return map[string]any{"nodes": nodes, "relationships": rels}
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = jsonValue(e)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, e := range t {
+			out[k] = jsonValue(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+func entityProps(keys []string, get func(string) cypher.Value) map[string]any {
+	out := make(map[string]any, len(keys))
+	for _, k := range keys {
+		out[k] = jsonValue(value.ToGo(get(k)))
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...)})
+}

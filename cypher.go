@@ -133,6 +133,15 @@ type Stats struct {
 	Types         map[string]int
 }
 
+// CacheStats reports the engine's plan-cache effectiveness: cached entries,
+// hits, misses, and plans invalidated by graph mutations.
+type CacheStats = core.CacheStats
+
+// PlanCacheStats returns the engine's current plan-cache counters.
+func (g *Graph) PlanCacheStats() CacheStats {
+	return g.engine.PlanCacheStats()
+}
+
 // Stats returns the graph's current statistics.
 func (g *Graph) Stats() Stats {
 	s := g.store.Stats()

@@ -13,6 +13,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/parser"
+	"repro/internal/plan"
 	"repro/internal/planner"
 	"repro/internal/result"
 	"repro/internal/semantic"
@@ -41,17 +42,47 @@ type Options struct {
 	MaxVarLengthDepth int
 }
 
-// Engine executes Cypher queries against a single property graph.
+// Engine executes Cypher queries against a single property graph. It is safe
+// for concurrent use: queries are classified at parse time as read-only or
+// mutating (from the AST's clause list), read-only queries run concurrently
+// under a shared lock, and mutating queries serialize under the exclusive
+// lock, so every query sees a stable snapshot of the graph for its whole
+// execution.
 type Engine struct {
-	mu    sync.Mutex
-	graph *graph.Graph
-	opts  Options
-	cache map[string]*ast.Query
+	// execMu is the query-level read/write discipline. Read-only queries
+	// hold it shared for plan + execute, so any number can run at once;
+	// mutating queries hold it exclusively, which both serializes writers
+	// and keeps readers from observing a half-applied multi-clause update.
+	// Entity accessors (Node.Property, Labels, adjacency) are deliberately
+	// lock-free, so this discipline is what makes execution memory-safe:
+	// all concurrent graph access must go through the engine. Direct store
+	// access is safe only single-threaded or externally synchronized
+	// (graph.Graph's RWMutex guards the store's own maps and indexes, not
+	// the entities they point to).
+	execMu sync.RWMutex
+	graph  *graph.Graph
+	opts   Options
+
+	// astMu guards astCache, which maps query text to parsed and
+	// semantically checked ASTs. Parsing does not depend on the graph, so
+	// these entries never need invalidation.
+	astMu    sync.Mutex
+	astCache map[string]*ast.Query
+
+	// plans caches compiled plans keyed by query text, validated against
+	// the graph's mutation epoch (see plancache.go). A hot query skips
+	// lexer, parser, semantic analysis and planning entirely.
+	plans *planCache
 }
 
 // NewEngine creates an engine over the graph.
 func NewEngine(g *graph.Graph, opts Options) *Engine {
-	return &Engine{graph: g, opts: opts, cache: map[string]*ast.Query{}}
+	return &Engine{
+		graph:    g,
+		opts:     opts,
+		astCache: map[string]*ast.Query{},
+		plans:    newPlanCache(0),
+	}
 }
 
 // Graph returns the engine's underlying graph.
@@ -76,39 +107,56 @@ func (r *Result) Rows() [][]value.Value { return r.Table.Rows() }
 // Len returns the number of result rows.
 func (r *Result) Len() int { return r.Table.Len() }
 
-// parse parses with a small per-engine cache (queries are often re-run with
-// different parameters).
-func (e *Engine) parse(query string) (*ast.Query, error) {
-	e.mu.Lock()
-	if q, ok := e.cache[query]; ok {
-		e.mu.Unlock()
+// parseChecked parses and semantically checks the query, with a per-engine
+// cache of checked ASTs (queries are often re-run with different parameters,
+// and neither parsing nor semantic analysis depends on the graph).
+func (e *Engine) parseChecked(query string) (*ast.Query, error) {
+	e.astMu.Lock()
+	if q, ok := e.astCache[query]; ok {
+		e.astMu.Unlock()
 		return q, nil
 	}
-	e.mu.Unlock()
+	e.astMu.Unlock()
 	q, err := parser.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	if len(e.cache) > 1024 {
-		e.cache = map[string]*ast.Query{}
-	}
-	e.cache[query] = q
-	e.mu.Unlock()
-	return q, nil
-}
-
-// Run parses, checks, plans and executes the query with the given
-// parameters (which may be nil).
-func (e *Engine) Run(query string, params map[string]value.Value) (*Result, error) {
-	q, err := e.parse(query)
 	if err != nil {
 		return nil, err
 	}
 	if err := semantic.Check(q); err != nil {
 		return nil, err
 	}
-	pl, err := planner.New(e.graph).Plan(q)
+	e.astMu.Lock()
+	if len(e.astCache) > defaultPlanCacheSize {
+		e.astCache = map[string]*ast.Query{}
+	}
+	e.astCache[query] = q
+	e.astMu.Unlock()
+	return q, nil
+}
+
+// planFor returns a plan for the (already checked) query, consulting the
+// plan cache first. Callers must hold execMu (shared or exclusive) so the
+// graph's epoch cannot move between the cache lookup and the compile.
+func (e *Engine) planFor(query string, q *ast.Query) (*plan.Plan, error) {
+	return e.plans.getOrCompile(query, e.graph.Epoch(), func() (*plan.Plan, error) {
+		return planner.New(e.graph).Plan(q)
+	})
+}
+
+// Run parses, checks, plans and executes the query with the given
+// parameters (which may be nil).
+func (e *Engine) Run(query string, params map[string]value.Value) (*Result, error) {
+	q, err := e.parseChecked(query)
+	if err != nil {
+		return nil, err
+	}
+	if q.IsReadOnly() {
+		e.execMu.RLock()
+		defer e.execMu.RUnlock()
+	} else {
+		e.execMu.Lock()
+		defer e.execMu.Unlock()
+	}
+	pl, err := e.planFor(query, q)
 	if err != nil {
 		return nil, err
 	}
@@ -120,25 +168,32 @@ func (e *Engine) Run(query string, params map[string]value.Value) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	// Snapshot entity values while the lock is still held: results outlive
+	// the query, and a later writer must not race readers of returned
+	// nodes/relationships.
+	tbl.DetachEntities()
 	return &Result{Table: tbl, Plan: pl.String(), ReadOnly: pl.ReadOnly}, nil
 }
 
 // Explain parses, checks and plans the query without executing it, returning
-// the plan description.
+// the plan description. Planning only reads the graph, so Explain takes the
+// shared lock regardless of whether the query would mutate.
 func (e *Engine) Explain(query string) (string, error) {
-	q, err := e.parse(query)
+	q, err := e.parseChecked(query)
 	if err != nil {
 		return "", err
 	}
-	if err := semantic.Check(q); err != nil {
-		return "", err
-	}
-	pl, err := planner.New(e.graph).Plan(q)
+	e.execMu.RLock()
+	defer e.execMu.RUnlock()
+	pl, err := e.planFor(query, q)
 	if err != nil {
 		return "", err
 	}
 	return pl.String(), nil
 }
+
+// PlanCacheStats reports plan-cache effectiveness counters.
+func (e *Engine) PlanCacheStats() CacheStats { return e.plans.stats() }
 
 // RunWithGoParams is a convenience wrapper that converts native Go parameter
 // values into Cypher values.

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/plan"
+)
+
+// cachedPlan is a compiled plan together with the graph epoch it was compiled
+// at. A plan is only valid while the epoch matches: any data or index
+// mutation moves the graph's epoch and implicitly invalidates every cached
+// plan (the planner's scan selection and cost estimates depend on the graph's
+// statistics and declared indexes).
+type cachedPlan struct {
+	plan  *plan.Plan
+	epoch uint64
+}
+
+// planCache maps query text to compiled plans. It is internally synchronized
+// and safe for concurrent use; plans themselves are immutable after
+// compilation (the executor never writes to the operator tree), so a cached
+// *plan.Plan may be executed by many goroutines at once.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[string]cachedPlan
+	// flights tracks in-progress compilations (single-flight): when many
+	// readers miss on the same query at the same epoch — typical right
+	// after an invalidation — one compiles and the rest wait for its
+	// result instead of duplicating the planning work.
+	flights map[string]*flight
+	max     int
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+type flight struct {
+	done  chan struct{}
+	epoch uint64
+	plan  *plan.Plan
+	err   error
+}
+
+// defaultPlanCacheSize bounds the number of cached plans per engine.
+const defaultPlanCacheSize = 1024
+
+func newPlanCache(max int) *planCache {
+	if max <= 0 {
+		max = defaultPlanCacheSize
+	}
+	return &planCache{
+		entries: make(map[string]cachedPlan),
+		flights: make(map[string]*flight),
+		max:     max,
+	}
+}
+
+// getOrCompile returns the cached plan for the query at the given epoch,
+// compiling (and caching) it via compile on a miss. A stale entry is removed
+// and counted as an invalidation. Concurrent callers for the same query and
+// epoch share one compilation.
+func (c *planCache) getOrCompile(query string, epoch uint64, compile func() (*plan.Plan, error)) (*plan.Plan, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[query]; ok {
+		if e.epoch == epoch {
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return e.plan, nil
+		}
+		delete(c.entries, query)
+		c.invalidations.Add(1)
+	}
+	if f, ok := c.flights[query]; ok && f.epoch == epoch {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		<-f.done
+		return f.plan, f.err
+	}
+	f := &flight{done: make(chan struct{}), epoch: epoch}
+	c.flights[query] = f
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	f.plan, f.err = compile()
+
+	c.mu.Lock()
+	delete(c.flights, query)
+	if f.err == nil {
+		// When the cache is full it is reset wholesale — queries in a
+		// serving workload are typically a small, recurring set, so an
+		// eviction policy buys little over the map rebuild.
+		if len(c.entries) >= c.max {
+			c.entries = make(map[string]cachedPlan)
+		}
+		c.entries[query] = cachedPlan{plan: f.plan, epoch: epoch}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.plan, f.err
+}
+
+// len returns the number of cached plans.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// CacheStats summarises plan-cache effectiveness for monitoring endpoints.
+type CacheStats struct {
+	// Entries is the number of plans currently cached.
+	Entries int
+	// Hits counts lookups answered from the cache at a matching epoch.
+	Hits uint64
+	// Misses counts lookups that had to compile (including stale entries).
+	Misses uint64
+	// Invalidations counts cached plans discarded because the graph's
+	// mutation epoch had moved since compilation.
+	Invalidations uint64
+}
+
+func (c *planCache) stats() CacheStats {
+	return CacheStats{
+		Entries:       c.len(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+}

@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestEpochMovesOnEveryMutation(t *testing.T) {
+	g := New()
+	last := g.Epoch()
+	step := func(what string) {
+		t.Helper()
+		if e := g.Epoch(); e <= last {
+			t.Errorf("%s should bump the epoch (still %d)", what, e)
+		}
+		last = g.Epoch()
+	}
+
+	n := g.CreateNode([]string{"A"}, nil)
+	step("CreateNode")
+	m := g.CreateNode([]string{"B"}, nil)
+	step("CreateNode")
+	r, err := g.CreateRelationship(n, m, "REL", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step("CreateRelationship")
+	if err := g.SetNodeProperty(n, "k", value.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	step("SetNodeProperty")
+	if err := g.SetRelationshipProperty(r, "w", value.NewInt(2)); err != nil {
+		t.Fatal(err)
+	}
+	step("SetRelationshipProperty")
+	if err := g.AddNodeLabel(n, "C"); err != nil {
+		t.Fatal(err)
+	}
+	step("AddNodeLabel")
+	if err := g.RemoveNodeLabel(n, "C"); err != nil {
+		t.Fatal(err)
+	}
+	step("RemoveNodeLabel")
+	g.CreateIndex("A", "k")
+	step("CreateIndex")
+	g.DropIndex("A", "k")
+	step("DropIndex")
+	if err := g.DeleteRelationship(r); err != nil {
+		t.Fatal(err)
+	}
+	step("DeleteRelationship")
+	if err := g.DeleteNode(m); err != nil {
+		t.Fatal(err)
+	}
+	step("DeleteNode")
+	if err := g.DetachDeleteNode(n); err != nil {
+		t.Fatal(err)
+	}
+	step("DetachDeleteNode")
+}
+
+func TestEpochStableOnReads(t *testing.T) {
+	g := New()
+	g.CreateNode([]string{"A"}, map[string]value.Value{"k": value.NewInt(1)})
+	g.CreateIndex("A", "k")
+	before := g.Epoch()
+	g.Nodes()
+	g.NodesByLabel("A")
+	g.NodesByLabelProperty("A", "k", value.NewInt(1))
+	g.Stats()
+	g.HasIndex("A", "k")
+	g.Indexes()
+	if g.Epoch() != before {
+		t.Errorf("read-only operations must not move the epoch")
+	}
+}

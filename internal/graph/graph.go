@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/value"
 )
@@ -78,6 +79,12 @@ type Graph struct {
 	labelIndex map[string]map[int64]*Node
 	typeIndex  map[string]map[int64]*Relationship
 	propIndex  map[indexKey]map[string][]*Node // (label, property) -> group key -> nodes
+
+	// epoch counts mutations (data and index changes). Cached query plans
+	// record the epoch they were compiled at and are discarded when it moves,
+	// so plan caches never serve decisions based on stale statistics or a
+	// vanished index.
+	epoch atomic.Uint64
 }
 
 type indexKey struct {
@@ -111,6 +118,15 @@ func (g *Graph) Name() string {
 	defer g.mu.RUnlock()
 	return g.name
 }
+
+// Epoch returns the graph's current mutation epoch. It is incremented by
+// every data or index mutation; equal epochs imply the graph (as seen by the
+// planner: contents, statistics, indexes) has not changed in between.
+func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
+
+// bumpEpoch records a mutation. Callers hold the write lock; the counter is
+// atomic anyway so Epoch() can be read without any lock.
+func (g *Graph) bumpEpoch() { g.epoch.Add(1) }
 
 // --- Node: value.Node implementation and accessors ---
 

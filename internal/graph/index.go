@@ -24,6 +24,7 @@ func (g *Graph) CreateIndex(label, property string) {
 		}
 	}
 	g.propIndex[key] = idx
+	g.bumpEpoch()
 }
 
 // DropIndex removes a property index.
@@ -31,6 +32,7 @@ func (g *Graph) DropIndex(label, property string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	delete(g.propIndex, indexKey{label: label, property: property})
+	g.bumpEpoch()
 }
 
 // HasIndex reports whether a property index exists on (label, property).

@@ -45,6 +45,7 @@ func (g *Graph) CreateNode(labels []string, props map[string]value.Value) *Node 
 		g.addToLabelIndex(l, n)
 	}
 	g.addToPropIndexes(n)
+	g.bumpEpoch()
 	return n
 }
 
@@ -79,6 +80,7 @@ func (g *Graph) CreateRelationship(start, end *Node, typ string, props map[strin
 		g.typeIndex[typ] = make(map[int64]*Relationship)
 	}
 	g.typeIndex[typ][r.id] = r
+	g.bumpEpoch()
 	return r, nil
 }
 
@@ -97,6 +99,7 @@ func (g *Graph) deleteRelationshipLocked(r *Relationship) error {
 	delete(g.typeIndex[r.typ], r.id)
 	r.start.out = removeRel(r.start.out, r)
 	r.end.in = removeRel(r.end.in, r)
+	g.bumpEpoch()
 	return nil
 }
 
@@ -150,6 +153,7 @@ func (g *Graph) removeNodeLocked(n *Node) {
 		delete(g.labelIndex[l], n.id)
 	}
 	g.removeFromPropIndexes(n)
+	g.bumpEpoch()
 }
 
 // SetNodeProperty sets (or with a null value removes) a property on a node.
@@ -166,6 +170,7 @@ func (g *Graph) SetNodeProperty(n *Node, key string, v value.Value) error {
 		n.props[key] = v
 	}
 	g.addToPropIndexes(n)
+	g.bumpEpoch()
 	return nil
 }
 
@@ -182,6 +187,7 @@ func (g *Graph) SetRelationshipProperty(r *Relationship, key string, v value.Val
 	} else {
 		r.props[key] = v
 	}
+	g.bumpEpoch()
 	return nil
 }
 
@@ -200,6 +206,7 @@ func (g *Graph) ReplaceNodeProperties(n *Node, props map[string]value.Value) err
 		}
 	}
 	g.addToPropIndexes(n)
+	g.bumpEpoch()
 	return nil
 }
 
@@ -216,6 +223,7 @@ func (g *Graph) ReplaceRelationshipProperties(r *Relationship, props map[string]
 			r.props[k] = v
 		}
 	}
+	g.bumpEpoch()
 	return nil
 }
 
@@ -233,6 +241,7 @@ func (g *Graph) AddNodeLabel(n *Node, label string) error {
 	sort.Strings(n.labels)
 	g.addToLabelIndex(label, n)
 	g.addToPropIndexes(n)
+	g.bumpEpoch()
 	return nil
 }
 
@@ -251,6 +260,7 @@ func (g *Graph) RemoveNodeLabel(n *Node, label string) error {
 	n.labels = append(n.labels[:i], n.labels[i+1:]...)
 	delete(g.labelIndex[label], n.id)
 	g.addToPropIndexes(n)
+	g.bumpEpoch()
 	return nil
 }
 

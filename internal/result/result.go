@@ -78,6 +78,18 @@ func Unit() *Table {
 // Add appends a record to the table.
 func (t *Table) Add(r Record) { t.Records = append(t.Records, r) }
 
+// DetachEntities replaces every graph entity in the table with an immutable
+// snapshot (see value.Detach). The engine calls this before a query's lock
+// is released, so results stay safe to read while later queries mutate the
+// graph.
+func (t *Table) DetachEntities() {
+	for _, r := range t.Records {
+		for k, v := range r {
+			r[k] = value.Detach(v)
+		}
+	}
+}
+
 // Len returns the number of records.
 func (t *Table) Len() int { return len(t.Records) }
 

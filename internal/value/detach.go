@@ -1,0 +1,176 @@
+package value
+
+import "sort"
+
+// This file implements snapshot copies of graph entities. Query results can
+// outlive the lock the query ran under; a node or relationship value in a
+// result must therefore not read the live store when the caller later asks
+// for its labels or properties. Detach walks a value and replaces every
+// entity view with an immutable copy taken while the query's lock is still
+// held, giving results true snapshot semantics.
+
+// detachedNode is an immutable copy of a node, decoupled from any store.
+type detachedNode struct {
+	id     int64
+	labels []string // sorted
+	props  map[string]Value
+}
+
+func (n *detachedNode) ID() int64 { return n.id }
+
+func (n *detachedNode) Labels() []string { return append([]string(nil), n.labels...) }
+
+func (n *detachedNode) HasLabel(label string) bool {
+	i := sort.SearchStrings(n.labels, label)
+	return i < len(n.labels) && n.labels[i] == label
+}
+
+func (n *detachedNode) Property(key string) Value {
+	if v, ok := n.props[key]; ok {
+		return v
+	}
+	return Null()
+}
+
+func (n *detachedNode) PropertyKeys() []string {
+	keys := make([]string, 0, len(n.props))
+	for k := range n.props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// detachedRelationship is an immutable copy of a relationship.
+type detachedRelationship struct {
+	id         int64
+	typ        string
+	start, end int64
+	props      map[string]Value
+}
+
+func (r *detachedRelationship) ID() int64           { return r.id }
+func (r *detachedRelationship) RelType() string     { return r.typ }
+func (r *detachedRelationship) StartNodeID() int64  { return r.start }
+func (r *detachedRelationship) EndNodeID() int64    { return r.end }
+
+func (r *detachedRelationship) Property(key string) Value {
+	if v, ok := r.props[key]; ok {
+		return v
+	}
+	return Null()
+}
+
+func (r *detachedRelationship) PropertyKeys() []string {
+	keys := make([]string, 0, len(r.props))
+	for k := range r.props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DetachNode copies a node view into an immutable snapshot. Property values
+// themselves are immutable (SET replaces them wholesale), so only the map
+// and label slice are copied.
+func DetachNode(n Node) Node {
+	if _, ok := n.(*detachedNode); ok {
+		return n
+	}
+	keys := n.PropertyKeys()
+	props := make(map[string]Value, len(keys))
+	for _, k := range keys {
+		props[k] = n.Property(k)
+	}
+	return &detachedNode{id: n.ID(), labels: n.Labels(), props: props}
+}
+
+// DetachRelationship copies a relationship view into an immutable snapshot.
+func DetachRelationship(r Relationship) Relationship {
+	if _, ok := r.(*detachedRelationship); ok {
+		return r
+	}
+	keys := r.PropertyKeys()
+	props := make(map[string]Value, len(keys))
+	for _, k := range keys {
+		props[k] = r.Property(k)
+	}
+	return &detachedRelationship{
+		id: r.ID(), typ: r.RelType(),
+		start: r.StartNodeID(), end: r.EndNodeID(),
+		props: props,
+	}
+}
+
+// Detach returns a value in which every graph entity (including entities
+// nested in lists, maps and paths) is replaced by an immutable snapshot.
+// Scalar values are returned unchanged; containers are only re-allocated
+// when they actually hold entities.
+func Detach(v Value) Value {
+	d, _ := detach(v)
+	return d
+}
+
+// detach reports whether it had to copy, so containers of plain scalars can
+// be returned as-is.
+func detach(v Value) (Value, bool) {
+	switch t := v.(type) {
+	case NodeValue:
+		if _, ok := t.N.(*detachedNode); ok {
+			return v, false
+		}
+		return NodeValue{N: DetachNode(t.N)}, true
+	case RelationshipValue:
+		if _, ok := t.R.(*detachedRelationship); ok {
+			return v, false
+		}
+		return RelationshipValue{R: DetachRelationship(t.R)}, true
+	case PathValue:
+		nodes := make([]Node, len(t.P.Nodes))
+		for i, n := range t.P.Nodes {
+			nodes[i] = DetachNode(n)
+		}
+		rels := make([]Relationship, len(t.P.Rels))
+		for i, r := range t.P.Rels {
+			rels[i] = DetachRelationship(r)
+		}
+		return PathValue{P: Path{Nodes: nodes, Rels: rels}}, true
+	case List:
+		elems := t.Elements()
+		var out []Value
+		for i, e := range elems {
+			d, changed := detach(e)
+			if changed && out == nil {
+				out = make([]Value, len(elems))
+				copy(out, elems[:i])
+			}
+			if out != nil {
+				out[i] = d
+			}
+		}
+		if out == nil {
+			return v, false
+		}
+		return NewListOf(out), true
+	case Map:
+		var out map[string]Value
+		for k, e := range t.Entries() {
+			d, changed := detach(e)
+			if changed && out == nil {
+				out = make(map[string]Value, t.Len())
+				for k2, e2 := range t.Entries() {
+					out[k2] = e2
+				}
+			}
+			if out != nil {
+				out[k] = d
+			}
+		}
+		if out == nil {
+			return v, false
+		}
+		return NewMap(out), true
+	default:
+		return v, false
+	}
+}
