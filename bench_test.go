@@ -325,6 +325,51 @@ func BenchmarkPlanCache(b *testing.B) {
 	})
 }
 
+// --- B11: morsel-driven intra-query parallelism ---
+
+// parallelBenchGraph builds the large social graph once per worker setting;
+// the same store is shared across sub-benchmarks via identical seeding.
+func parallelBenchGraph(parallelism int) *Graph {
+	store := datasets.SocialNetwork(datasets.SocialConfig{People: 50000, FriendsEach: 4, Seed: 42})
+	return Wrap(store, Options{Parallelism: parallelism})
+}
+
+// BenchmarkParallelScan measures the scan→filter→expand→aggregate hot path
+// at increasing intra-query worker counts against the serial baseline
+// (parallelism=1). On a multi-core machine parallelism=8 should be >=2x
+// faster than serial; on a single core it degrades gracefully to roughly
+// serial speed (the pool is bounded by GOMAXPROCS scheduling, not by spin).
+func BenchmarkParallelScan(b *testing.B) {
+	query := "MATCH (p:Person)-[:KNOWS]->(q) WHERE p.age >= 30 AND q.age < p.age RETURN p.age AS age, count(*) AS c"
+	for _, workers := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("parallelism=%d", workers)
+		if workers == 1 {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			g := parallelBenchGraph(workers)
+			runBenchQuery(b, g, query, nil)
+		})
+	}
+}
+
+// BenchmarkParallelOrderBy exercises the order-preserving merge: the rows
+// are produced in parallel, gathered per morsel, and sorted serially above
+// the barrier.
+func BenchmarkParallelOrderBy(b *testing.B) {
+	query := "MATCH (p:Person) WHERE p.age > 30 RETURN p.name AS n, p.age AS age ORDER BY age, n LIMIT 100"
+	for _, workers := range []int{1, 8} {
+		name := fmt.Sprintf("parallelism=%d", workers)
+		if workers == 1 {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			g := parallelBenchGraph(workers)
+			runBenchQuery(b, g, query, nil)
+		})
+	}
+}
+
 // --- B9: optimised engine vs the literal reference semantics ---
 
 func BenchmarkEngineVsRefsem(b *testing.B) {

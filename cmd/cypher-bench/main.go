@@ -1,13 +1,25 @@
 // Command cypher-bench runs the workload benchmarks outside `go test` and
-// prints CSV (workload, parameter, rows, wall time) so that results can be
-// plotted or diffed across runs. The same workloads back the testing.B
-// benchmarks in bench_test.go (experiments B1-B9 of DESIGN.md).
+// prints CSV so that results can be plotted or diffed across runs. The same
+// workloads back the testing.B benchmarks in bench_test.go (experiments
+// B1-B9 of DESIGN.md).
+//
+// Two axes of parallelism are reported independently:
+//
+//   - single-query latency (the default, and explicitly -mode latency): each
+//     workload query runs -iterations times on one client, with the engine's
+//     intra-query worker budget set by -parallelism — this shows how much
+//     morsel-driven execution shortens one big read;
+//   - cross-query throughput (-clients N > 1, or -mode throughput): N
+//     clients hammer the same graph concurrently and the CSV reports
+//     aggregate queries/second; combined with -parallelism this shows how
+//     the two axes trade off against each other on fixed hardware.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -18,29 +30,50 @@ import (
 type workload struct {
 	name  string
 	param string
-	setup func() *cypher.Graph
+	setup func(opts cypher.Options) *cypher.Graph
 	query string
 }
 
 func main() {
 	var (
-		iterations = flag.Int("iterations", 3, "measured iterations per workload (per client when -clients > 1)")
-		filter     = flag.String("workload", "", "run only workloads whose name contains this substring")
-		clients    = flag.Int("clients", 1, "concurrent clients; > 1 switches to throughput mode")
+		iterations  = flag.Int("iterations", 3, "measured iterations per workload (per client when -clients > 1)")
+		filter      = flag.String("workload", "", "run only workloads whose name contains this substring")
+		clients     = flag.Int("clients", 1, "concurrent clients; > 1 switches to throughput mode")
+		parallelism = flag.Int("parallelism", 1, "workers per read query (morsel-driven; 1 = serial, 0 = all CPUs)")
+		mode        = flag.String("mode", "", "latency or throughput (default: latency, or throughput when -clients > 1)")
 	)
 	flag.Parse()
 
+	if *parallelism <= 0 {
+		*parallelism = runtime.NumCPU()
+	}
+	opts := cypher.Options{Parallelism: *parallelism}
+	throughput := *clients > 1
+	switch *mode {
+	case "":
+	case "latency":
+		throughput = false
+	case "throughput":
+		throughput = true
+		if *clients < 2 {
+			*clients = runtime.NumCPU()
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (want latency or throughput)\n", *mode)
+		os.Exit(2)
+	}
+
 	workloads := buildWorkloads()
-	if *clients > 1 {
-		runConcurrent(workloads, *filter, *clients, *iterations)
+	if throughput {
+		runConcurrent(workloads, *filter, *clients, *iterations, opts)
 		return
 	}
-	fmt.Println("workload,parameter,iteration,rows,seconds")
+	fmt.Println("workload,parameter,parallelism,iteration,rows,seconds")
 	for _, w := range workloads {
 		if *filter != "" && !contains(w.name, *filter) {
 			continue
 		}
-		g := w.setup()
+		g := w.setup(opts)
 		for i := 0; i < *iterations; i++ {
 			start := time.Now()
 			res, err := g.Run(w.query, nil)
@@ -49,7 +82,7 @@ func main() {
 				os.Exit(1)
 			}
 			elapsed := time.Since(start).Seconds()
-			fmt.Printf("%s,%s,%d,%d,%.6f\n", w.name, w.param, i, res.Len(), elapsed)
+			fmt.Printf("%s,%s,%d,%d,%d,%.6f\n", w.name, w.param, res.Parallelism(), i, res.Len(), elapsed)
 		}
 	}
 }
@@ -58,14 +91,15 @@ func main() {
 // graph: each client runs the workload query `iterations` times, and the CSV
 // reports aggregate queries/second. Because every workload query here is
 // read-only, the engine executes the clients in parallel under its shared
-// lock and serves repeats from the plan cache.
-func runConcurrent(workloads []workload, filter string, clients, iterations int) {
-	fmt.Println("workload,parameter,clients,queries,seconds,qps")
+// lock and serves repeats from the plan cache; each individual query may
+// additionally use the configured intra-query parallelism.
+func runConcurrent(workloads []workload, filter string, clients, iterations int, opts cypher.Options) {
+	fmt.Println("workload,parameter,parallelism,clients,queries,seconds,qps")
 	for _, w := range workloads {
 		if filter != "" && !contains(w.name, filter) {
 			continue
 		}
-		g := w.setup()
+		g := w.setup(opts)
 		// Warm the plan cache once so the measurement reflects steady state.
 		if _, err := g.Run(w.query, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "workload %s failed: %v\n", w.name, err)
@@ -94,7 +128,8 @@ func runConcurrent(workloads []workload, filter string, clients, iterations int)
 			os.Exit(1)
 		}
 		total := clients * iterations
-		fmt.Printf("%s,%s,%d,%d,%.6f,%.1f\n", w.name, w.param, clients, total, elapsed, float64(total)/elapsed)
+		fmt.Printf("%s,%s,%d,%d,%d,%.6f,%.1f\n",
+			w.name, w.param, opts.Parallelism, clients, total, elapsed, float64(total)/elapsed)
 	}
 }
 
@@ -111,9 +146,9 @@ func indexOf(s, sub string) int {
 	return -1
 }
 
-func social(people, friends int) func() *cypher.Graph {
-	return func() *cypher.Graph {
-		return cypher.Wrap(datasets.SocialNetwork(datasets.SocialConfig{People: people, FriendsEach: friends, Seed: 42}), cypher.Options{})
+func social(people, friends int) func(opts cypher.Options) *cypher.Graph {
+	return func(opts cypher.Options) *cypher.Graph {
+		return cypher.Wrap(datasets.SocialNetwork(datasets.SocialConfig{People: people, FriendsEach: friends, Seed: 42}), opts)
 	}
 }
 
@@ -135,12 +170,16 @@ func buildWorkloads() []workload {
 		name: "aggregate", param: "people=20000", setup: social(20000, 2),
 		query: "MATCH (p:Person) RETURN p.age AS age, count(*) AS c",
 	})
+	out = append(out, workload{
+		name: "scanfilter", param: "people=20000", setup: social(20000, 2),
+		query: "MATCH (p:Person) WHERE p.age >= 30 AND p.age < 40 RETURN p.name AS name, p.age AS age ORDER BY age, name",
+	})
 	for _, services := range []int{100, 500, 2000} {
 		svc := services
 		out = append(out, workload{
 			name: "datacenter", param: fmt.Sprintf("services=%d", svc),
-			setup: func() *cypher.Graph {
-				return cypher.Wrap(datasets.DataCenter(datasets.DataCenterConfig{Services: svc, MaxDeps: 3, Seed: 5}), cypher.Options{})
+			setup: func(opts cypher.Options) *cypher.Graph {
+				return cypher.Wrap(datasets.DataCenter(datasets.DataCenterConfig{Services: svc, MaxDeps: 3, Seed: 5}), opts)
 			},
 			query: "MATCH (svc:Service)<-[:DEPENDS_ON*]-(dep:Service) RETURN svc, count(DISTINCT dep) AS dependents ORDER BY dependents DESC LIMIT 1",
 		})
@@ -149,8 +188,8 @@ func buildWorkloads() []workload {
 		h := holders
 		out = append(out, workload{
 			name: "fraud", param: fmt.Sprintf("holders=%d", h),
-			setup: func() *cypher.Graph {
-				return cypher.Wrap(datasets.FraudNetwork(datasets.FraudConfig{AccountHolders: h, SharingFraction: 0.15, Seed: 5}), cypher.Options{})
+			setup: func(opts cypher.Options) *cypher.Graph {
+				return cypher.Wrap(datasets.FraudNetwork(datasets.FraudConfig{AccountHolders: h, SharingFraction: 0.15, Seed: 5}), opts)
 			},
 			query: `MATCH (a:AccountHolder)-[:HAS]->(p)
 				WHERE p:SSN OR p:PhoneNumber OR p:Address
@@ -161,8 +200,8 @@ func buildWorkloads() []workload {
 	}
 	out = append(out, workload{
 		name: "section3", param: "researchers=200",
-		setup: func() *cypher.Graph {
-			return cypher.Wrap(datasets.CitationNetwork(datasets.CitationConfig{Researchers: 200, PublicationsPerAuthor: 3, StudentsPerResearcher: 2, CitationsPerPaper: 2, Seed: 2}), cypher.Options{})
+		setup: func(opts cypher.Options) *cypher.Graph {
+			return cypher.Wrap(datasets.CitationNetwork(datasets.CitationConfig{Researchers: 200, PublicationsPerAuthor: 3, StudentsPerResearcher: 2, CitationsPerPaper: 2, Seed: 2}), opts)
 		},
 		query: `MATCH (r:Researcher)
 			OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student)

@@ -1,0 +1,240 @@
+// Command cypher-benchcmp converts `go test -bench` output into a
+// benchstat-style JSON summary and optionally compares it against a
+// committed baseline, failing when any benchmark's median ns/op regresses
+// beyond the tolerance. CI uses it to record the repo's performance
+// trajectory (BENCH_*.json artifacts) and to gate pull requests.
+//
+//	go test -bench=. -benchmem -run='^$' -count=3 | tee bench.txt
+//	cypher-benchcmp -in bench.txt -out BENCH_PR2.json -baseline BENCH_BASELINE.json -tolerance 0.20
+//
+// Wall-clock numbers are only comparable on similar hardware: unless
+// -strict is set, a baseline recorded on a different CPU model downgrades
+// the ns/op gate to a warning (the JSON is still written, so the artifact
+// trail continues). The allocs/op gate is machine-independent and stays
+// armed regardless of CPU model.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark aggregates the samples of one benchmark across -count runs.
+type Benchmark struct {
+	Samples           int       `json:"samples"`
+	NsPerOp           []float64 `json:"nsPerOp"`
+	MedianNsPerOp     float64   `json:"medianNsPerOp"`
+	BPerOp            []float64 `json:"bPerOp,omitempty"`
+	MedianBPerOp      float64   `json:"medianBPerOp,omitempty"`
+	AllocsPerOp       []float64 `json:"allocsPerOp,omitempty"`
+	MedianAllocsPerOp float64   `json:"medianAllocsPerOp,omitempty"`
+}
+
+// Summary is the JSON document: environment plus per-benchmark statistics.
+type Summary struct {
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// GOMAXPROCS is recovered from the benchmark-name suffix (1 when the
+	// names carry none). Wall-clock medians from different core counts are
+	// not comparable — parallel benchmarks speed up with cores — so the
+	// ns/op gate requires it to match, like the CPU model.
+	GOMAXPROCS int                   `json:"gomaxprocs,omitempty"`
+	Benchmarks map[string]*Benchmark `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix strips the "-8" style GOMAXPROCS suffix go test appends
+// to benchmark names, so runs from machines with different core counts
+// compare under the same key.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func parse(r io.Reader) (*Summary, error) {
+	sum := &Summary{Benchmarks: map[string]*Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			sum.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			sum.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			sum.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			fields := strings.Fields(line)
+			if len(fields) < 4 {
+				continue
+			}
+			name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+			if sum.GOMAXPROCS == 0 {
+				sum.GOMAXPROCS = 1
+				if suffix := gomaxprocsSuffix.FindString(fields[0]); suffix != "" {
+					if n, err := strconv.Atoi(suffix[1:]); err == nil {
+						sum.GOMAXPROCS = n
+					}
+				}
+			}
+			b := sum.Benchmarks[name]
+			if b == nil {
+				b = &Benchmark{}
+				sum.Benchmarks[name] = b
+			}
+			for i := 2; i+1 < len(fields); i += 2 {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					continue
+				}
+				switch fields[i+1] {
+				case "ns/op":
+					b.NsPerOp = append(b.NsPerOp, v)
+					b.Samples = len(b.NsPerOp)
+				case "B/op":
+					b.BPerOp = append(b.BPerOp, v)
+				case "allocs/op":
+					b.AllocsPerOp = append(b.AllocsPerOp, v)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, b := range sum.Benchmarks {
+		b.MedianNsPerOp = median(b.NsPerOp)
+		b.MedianBPerOp = median(b.BPerOp)
+		b.MedianAllocsPerOp = median(b.AllocsPerOp)
+	}
+	if len(sum.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in input")
+	}
+	return sum, nil
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "-", "benchmark output to read ('-' for stdin)")
+		out       = flag.String("out", "", "write the JSON summary to this file")
+		baseline  = flag.String("baseline", "", "baseline JSON to compare against")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed median ns/op regression (0.20 = +20%)")
+		allocTol  = flag.Float64("alloc-tolerance", 0.30, "allowed median allocs/op regression; enforced across CPU models")
+		strict    = flag.Bool("strict", false, "fail on ns/op regression even when the baseline was recorded on a different CPU model")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	cur, err := parse(src)
+	if err != nil {
+		fatal("parse benchmark output: %v", err)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(cur.Benchmarks))
+	}
+
+	if *baseline == "" {
+		return
+	}
+	baseData, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatal("read baseline: %v", err)
+	}
+	var base Summary
+	if err := json.Unmarshal(baseData, &base); err != nil {
+		fatal("parse baseline %s: %v", *baseline, err)
+	}
+
+	sameEnv := base.CPU == cur.CPU && base.GOMAXPROCS == cur.GOMAXPROCS
+	gate := *strict || sameEnv
+	var names []string
+	for name := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fatal("baseline and current run share no benchmarks")
+	}
+
+	fmt.Printf("%-60s %14s %14s %8s %10s\n", "benchmark", "base ns/op", "new ns/op", "delta", "allocs Δ")
+	nsRegressions, allocRegressions := 0, 0
+	for _, name := range names {
+		b, c := base.Benchmarks[name], cur.Benchmarks[name]
+		if b.MedianNsPerOp == 0 {
+			continue
+		}
+		delta := c.MedianNsPerOp/b.MedianNsPerOp - 1
+		marker := ""
+		if delta > *tolerance {
+			nsRegressions++
+			marker = "  << REGRESSION"
+		}
+		allocCol := ""
+		if b.MedianAllocsPerOp > 0 && c.MedianAllocsPerOp > 0 {
+			allocDelta := c.MedianAllocsPerOp/b.MedianAllocsPerOp - 1
+			allocCol = fmt.Sprintf("%+9.1f%%", allocDelta*100)
+			if allocDelta > *allocTol {
+				allocRegressions++
+				marker = "  << ALLOC REGRESSION"
+			}
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %+7.1f%% %10s%s\n",
+			name, b.MedianNsPerOp, c.MedianNsPerOp, delta*100, allocCol, marker)
+	}
+	// allocs/op does not depend on CPU speed, so that gate is always armed;
+	// the ns/op gate only fires when the numbers are comparable.
+	if allocRegressions > 0 {
+		fatal("%d benchmark(s) regressed allocs/op more than %.0f%% against %s", allocRegressions, *allocTol*100, *baseline)
+	}
+	switch {
+	case nsRegressions == 0:
+		fmt.Printf("OK: no benchmark regressed more than %.0f%% against %s\n", *tolerance*100, *baseline)
+	case gate:
+		fatal("%d benchmark(s) regressed more than %.0f%% against %s", nsRegressions, *tolerance*100, *baseline)
+	default:
+		fmt.Printf("WARNING: %d benchmark(s) regressed ns/op more than %.0f%%, but the baseline environment (%q, GOMAXPROCS %d) differs from this machine (%q, GOMAXPROCS %d); not failing the wall-clock gate (use -strict to enforce)\n",
+			nsRegressions, *tolerance*100, base.CPU, base.GOMAXPROCS, cur.CPU, cur.GOMAXPROCS)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

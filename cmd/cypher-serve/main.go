@@ -25,6 +25,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	cypher "repro"
@@ -34,22 +35,27 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7474", "listen address")
-		dataset = flag.String("dataset", "empty", "initial dataset: empty, citations, social, datacenter, fraud")
-		size    = flag.Int("size", 1000, "size parameter for the synthetic datasets")
+		addr        = flag.String("addr", ":7474", "listen address")
+		dataset     = flag.String("dataset", "empty", "initial dataset: empty, citations, social, datacenter, fraud")
+		size        = flag.Int("size", 1000, "size parameter for the synthetic datasets")
+		parallelism = flag.Int("parallelism", 1, "workers per read query (morsel-driven; 1 = serial, 0 = all CPUs)")
 	)
 	flag.Parse()
 
-	g, err := buildGraph(*dataset, *size)
+	if *parallelism <= 0 {
+		*parallelism = runtime.NumCPU()
+	}
+	g, err := buildGraph(*dataset, *size, *parallelism)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	s := g.Stats()
-	log.Printf("serving %s dataset (%d nodes, %d relationships) on %s", *dataset, s.Nodes, s.Relationships, *addr)
+	log.Printf("serving %s dataset (%d nodes, %d relationships) on %s, per-query parallelism %d",
+		*dataset, s.Nodes, s.Relationships, *addr, *parallelism)
 
 	mux := http.NewServeMux()
-	srv := &server{graph: g, started: time.Now()}
+	srv := &server{graph: g, started: time.Now(), parallelism: *parallelism}
 	mux.HandleFunc("/query", srv.handleQuery)
 	mux.HandleFunc("/explain", srv.handleExplain)
 	mux.HandleFunc("/stats", srv.handleStats)
@@ -60,30 +66,32 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
-func buildGraph(dataset string, size int) (*cypher.Graph, error) {
+func buildGraph(dataset string, size, parallelism int) (*cypher.Graph, error) {
+	opts := cypher.Options{Parallelism: parallelism}
 	switch dataset {
 	case "", "empty":
-		return cypher.New(), nil
+		return cypher.NewWithOptions(opts), nil
 	case "citations":
 		store, _ := datasets.Citations()
-		return cypher.Wrap(store, cypher.Options{}), nil
+		return cypher.Wrap(store, opts), nil
 	case "social":
 		store := datasets.SocialNetwork(datasets.SocialConfig{People: size, FriendsEach: 8, Seed: 42})
-		return cypher.Wrap(store, cypher.Options{}), nil
+		return cypher.Wrap(store, opts), nil
 	case "datacenter":
 		store := datasets.DataCenter(datasets.DataCenterConfig{Services: size, MaxDeps: 3, Seed: 5})
-		return cypher.Wrap(store, cypher.Options{}), nil
+		return cypher.Wrap(store, opts), nil
 	case "fraud":
 		store := datasets.FraudNetwork(datasets.FraudConfig{AccountHolders: size, SharingFraction: 0.15, Seed: 5})
-		return cypher.Wrap(store, cypher.Options{}), nil
+		return cypher.Wrap(store, opts), nil
 	default:
 		return nil, fmt.Errorf("unknown dataset %q (want empty, citations, social, datacenter or fraud)", dataset)
 	}
 }
 
 type server struct {
-	graph   *cypher.Graph
-	started time.Time
+	graph       *cypher.Graph
+	started     time.Time
+	parallelism int
 }
 
 type queryRequest struct {
@@ -92,11 +100,12 @@ type queryRequest struct {
 }
 
 type queryResponse struct {
-	Columns  []string `json:"columns"`
-	Rows     [][]any  `json:"rows"`
-	Count    int      `json:"count"`
-	ReadOnly bool     `json:"readOnly"`
-	TimeMs   float64  `json:"timeMs"`
+	Columns     []string `json:"columns"`
+	Rows        [][]any  `json:"rows"`
+	Count       int      `json:"count"`
+	ReadOnly    bool     `json:"readOnly"`
+	Parallelism int      `json:"parallelism"`
+	TimeMs      float64  `json:"timeMs"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -122,11 +131,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	rows := res.Rows()
 	out := queryResponse{
-		Columns:  res.Columns(),
-		Rows:     make([][]any, len(rows)),
-		Count:    len(rows),
-		ReadOnly: res.ReadOnly(),
-		TimeMs:   float64(elapsed.Microseconds()) / 1000,
+		Columns:     res.Columns(),
+		Rows:        make([][]any, len(rows)),
+		Count:       len(rows),
+		ReadOnly:    res.ReadOnly(),
+		Parallelism: res.Parallelism(),
+		TimeMs:      float64(elapsed.Microseconds()) / 1000,
 	}
 	for i, row := range rows {
 		conv := make([]any, len(row))
@@ -167,6 +177,10 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"hits":          cs.Hits,
 			"misses":        cs.Misses,
 			"invalidations": cs.Invalidations,
+		},
+		"execution": map[string]any{
+			"parallelism": s.parallelism,
+			"cpus":        runtime.NumCPU(),
 		},
 		"uptimeSeconds": time.Since(s.started).Seconds(),
 	})

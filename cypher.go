@@ -61,6 +61,16 @@ type Options struct {
 	// MaxVarLengthDepth caps unbounded variable-length patterns when matching
 	// under Homomorphism (which has no uniqueness restriction). Default 15.
 	MaxVarLengthDepth int
+	// Parallelism is the maximum number of workers one read-only query may
+	// use: parallel-safe plans partition their scan into morsels and run the
+	// filter/expand/project pipeline on a bounded worker pool. Zero or one
+	// (the default) keeps every query serial; a common production setting is
+	// runtime.NumCPU(). Unsafe plans (updating queries, UNION, LIMIT without
+	// a sort/aggregation barrier) always fall back to the serial path.
+	Parallelism int
+	// MorselSize overrides the number of scan rows per parallel work unit
+	// (default 1024). Mostly useful for tests and benchmarks.
+	MorselSize int
 }
 
 // Graph is an in-memory property graph together with a Cypher engine bound to
@@ -89,6 +99,8 @@ func Wrap(store *graph.Graph, opts Options) *Graph {
 	engine := core.NewEngine(store, core.Options{
 		Morphism:          opts.Morphism,
 		MaxVarLengthDepth: opts.MaxVarLengthDepth,
+		Parallelism:       opts.Parallelism,
+		MorselSize:        opts.MorselSize,
 	})
 	return &Graph{store: store, engine: engine}
 }

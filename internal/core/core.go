@@ -40,6 +40,15 @@ type Options struct {
 	// MaxVarLengthDepth caps unbounded variable-length expansion in
 	// homomorphism mode (default 15).
 	MaxVarLengthDepth int
+	// Parallelism is the maximum number of workers a single read-only query
+	// may use (morsel-driven execution of the scan→filter→project pipeline).
+	// Zero or one keeps every query on the serial path. Plans that are not
+	// parallel-safe (updating queries, UNION, LIMIT without a preceding
+	// barrier, ...) always run serially.
+	Parallelism int
+	// MorselSize overrides the number of scan rows per parallel work unit
+	// (default graph.DefaultMorselSize).
+	MorselSize int
 }
 
 // Engine executes Cypher queries against a single property graph. It is safe
@@ -96,6 +105,9 @@ type Result struct {
 	Plan string
 	// ReadOnly reports whether the query contained no updating clauses.
 	ReadOnly bool
+	// Parallelism is the number of workers the execution actually used
+	// (1 for a serial run).
+	Parallelism int
 }
 
 // Columns returns the result column names.
@@ -163,6 +175,8 @@ func (e *Engine) Run(query string, params map[string]value.Value) (*Result, erro
 	ex := exec.New(e.graph, params, exec.Options{
 		Morphism:          e.opts.Morphism,
 		MaxVarLengthDepth: e.opts.MaxVarLengthDepth,
+		Parallelism:       e.opts.Parallelism,
+		MorselSize:        e.opts.MorselSize,
 	})
 	tbl, err := ex.Execute(pl)
 	if err != nil {
@@ -172,7 +186,12 @@ func (e *Engine) Run(query string, params map[string]value.Value) (*Result, erro
 	// the query, and a later writer must not race readers of returned
 	// nodes/relationships.
 	tbl.DetachEntities()
-	return &Result{Table: tbl, Plan: pl.String(), ReadOnly: pl.ReadOnly}, nil
+	return &Result{
+		Table:       tbl,
+		Plan:        pl.String(),
+		ReadOnly:    pl.ReadOnly,
+		Parallelism: ex.UsedParallelism(),
+	}, nil
 }
 
 // Explain parses, checks and plans the query without executing it, returning
@@ -189,7 +208,39 @@ func (e *Engine) Explain(query string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return pl.String(), nil
+	return fmt.Sprintf("%sruntime parallelism: %d\n", pl.String(), e.chosenParallelism(pl)), nil
+}
+
+// chosenParallelism mirrors the executor's runtime decision for the plan:
+// the configured worker budget, capped by the number of morsels the scan
+// currently splits into, and 1 for ineligible plans or scans that fit in a
+// single morsel. Callers hold execMu so the scan cardinality is stable.
+func (e *Engine) chosenParallelism(pl *plan.Plan) int {
+	if e.opts.Parallelism <= 1 || pl.Parallel == nil || !pl.Parallel.Safe {
+		return 1
+	}
+	morselSize := e.opts.MorselSize
+	if morselSize <= 0 {
+		morselSize = graph.DefaultMorselSize
+	}
+	stats := e.graph.Stats()
+	var n int
+	switch s := pl.Parallel.Scan.(type) {
+	case *plan.AllNodesScan:
+		n = stats.NodeCount
+	case *plan.NodeByLabelScan:
+		n = stats.NodesByLabel[s.Label]
+	default:
+		return 1
+	}
+	morsels := (n + morselSize - 1) / morselSize
+	if morsels < 2 {
+		return 1
+	}
+	if e.opts.Parallelism < morsels {
+		return e.opts.Parallelism
+	}
+	return morsels
 }
 
 // PlanCacheStats reports plan-cache effectiveness counters.

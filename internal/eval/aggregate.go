@@ -26,8 +26,19 @@ func IsAggregate(name string) bool { return aggregateNames[name] }
 type Aggregator interface {
 	// Add feeds one input value (already evaluated) into the aggregate.
 	Add(v value.Value) error
+	// Merge folds another partial aggregate of the same kind into this one.
+	// The parallel executor builds one aggregator per morsel and combines
+	// them at the barrier in morsel order, so merged results (including
+	// order-sensitive ones like collect) match serial execution exactly.
+	Merge(other Aggregator) error
 	// Result returns the aggregate for the group.
 	Result() value.Value
+}
+
+// mergeTypeError reports an attempt to merge aggregators of different kinds;
+// it can only happen through a programming error in the parallel executor.
+func mergeTypeError(dst, src Aggregator) error {
+	return fmt.Errorf("eval: cannot merge aggregator %T into %T", src, dst)
 }
 
 // NewAggregator creates an aggregator for the named function. Distinct wraps
@@ -70,10 +81,28 @@ func (a *countAgg) Add(v value.Value) error {
 }
 func (a *countAgg) Result() value.Value { return value.NewInt(a.n) }
 
+func (a *countAgg) Merge(other Aggregator) error {
+	o, ok := other.(*countAgg)
+	if !ok {
+		return mergeTypeError(a, other)
+	}
+	a.n += o.n
+	return nil
+}
+
 type countStarAgg struct{ n int64 }
 
 func (a *countStarAgg) Add(value.Value) error { a.n++; return nil }
 func (a *countStarAgg) Result() value.Value   { return value.NewInt(a.n) }
+
+func (a *countStarAgg) Merge(other Aggregator) error {
+	o, ok := other.(*countStarAgg)
+	if !ok {
+		return mergeTypeError(a, other)
+	}
+	a.n += o.n
+	return nil
+}
 
 type collectAgg struct{ vals []value.Value }
 
@@ -84,6 +113,15 @@ func (a *collectAgg) Add(v value.Value) error {
 	return nil
 }
 func (a *collectAgg) Result() value.Value { return value.NewListOf(a.vals) }
+
+func (a *collectAgg) Merge(other Aggregator) error {
+	o, ok := other.(*collectAgg)
+	if !ok {
+		return mergeTypeError(a, other)
+	}
+	a.vals = append(a.vals, o.vals...)
+	return nil
+}
 
 type sumAgg struct {
 	sum value.Value
@@ -116,6 +154,17 @@ func (a *sumAgg) Result() value.Value {
 	return a.sum
 }
 
+func (a *sumAgg) Merge(other Aggregator) error {
+	o, ok := other.(*sumAgg)
+	if !ok {
+		return mergeTypeError(a, other)
+	}
+	if !o.any {
+		return nil
+	}
+	return a.Add(o.sum)
+}
+
 type avgAgg struct {
 	sum   float64
 	count int64
@@ -138,6 +187,16 @@ func (a *avgAgg) Result() value.Value {
 		return value.Null()
 	}
 	return value.NewFloat(a.sum / float64(a.count))
+}
+
+func (a *avgAgg) Merge(other Aggregator) error {
+	o, ok := other.(*avgAgg)
+	if !ok {
+		return mergeTypeError(a, other)
+	}
+	a.sum += o.sum
+	a.count += o.count
+	return nil
 }
 
 type minMaxAgg struct {
@@ -166,9 +225,24 @@ func (a *minMaxAgg) Result() value.Value {
 	return a.best
 }
 
+func (a *minMaxAgg) Merge(other Aggregator) error {
+	o, ok := other.(*minMaxAgg)
+	if !ok || a.min != o.min {
+		return mergeTypeError(a, other)
+	}
+	if o.best == nil {
+		return nil
+	}
+	return a.Add(o.best)
+}
+
 type distinctAgg struct {
 	inner Aggregator
 	seen  map[string]bool
+	// order keeps the distinct values in first-seen order so that a merge
+	// can replay the other side's values (deduplicating against this side)
+	// without re-evaluating any input rows.
+	order []value.Value
 }
 
 func (a *distinctAgg) Add(v value.Value) error {
@@ -180,6 +254,21 @@ func (a *distinctAgg) Add(v value.Value) error {
 		return nil
 	}
 	a.seen[key] = true
+	a.order = append(a.order, v)
 	return a.inner.Add(v)
 }
+
+func (a *distinctAgg) Merge(other Aggregator) error {
+	o, ok := other.(*distinctAgg)
+	if !ok {
+		return mergeTypeError(a, other)
+	}
+	for _, v := range o.order {
+		if err := a.Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (a *distinctAgg) Result() value.Value { return a.inner.Result() }

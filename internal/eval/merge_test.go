@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestAggregatorMerge verifies that splitting an input stream into chunks,
+// aggregating each chunk separately and merging the partial states (in chunk
+// order) produces exactly the result of one serial pass — the property the
+// parallel executor relies on at its barrier.
+func TestAggregatorMerge(t *testing.T) {
+	inputs := []value.Value{
+		value.NewInt(3), value.NewInt(1), value.Null(), value.NewInt(4),
+		value.NewInt(1), value.NewInt(5), value.NewInt(9), value.Null(),
+		value.NewInt(2), value.NewInt(6), value.NewInt(5), value.NewInt(3),
+	}
+	cases := []struct {
+		fn       string
+		distinct bool
+	}{
+		{"count", false}, {"count", true},
+		{"collect", false}, {"collect", true},
+		{"sum", false}, {"avg", false},
+		{"min", false}, {"max", false},
+	}
+	for _, c := range cases {
+		serial, err := NewAggregator(c.fn, c.distinct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range inputs {
+			if err := serial.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Three uneven chunks, merged in order.
+		bounds := []int{0, 5, 7, len(inputs)}
+		var parts []Aggregator
+		for i := 0; i+1 < len(bounds); i++ {
+			part, err := NewAggregator(c.fn, c.distinct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range inputs[bounds[i]:bounds[i+1]] {
+				if err := part.Add(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			parts = append(parts, part)
+		}
+		merged := parts[0]
+		for _, p := range parts[1:] {
+			if err := merged.Merge(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		want, got := serial.Result(), merged.Result()
+		if value.Compare(want, got) != 0 || want.String() != got.String() {
+			t.Errorf("%s(distinct=%v): merged %s != serial %s", c.fn, c.distinct, got, want)
+		}
+	}
+
+	// count(*) merges row counts.
+	a, b := NewCountStarAggregator(), NewCountStarAggregator()
+	for i := 0; i < 3; i++ {
+		_ = a.Add(value.Null())
+	}
+	for i := 0; i < 4; i++ {
+		_ = b.Add(value.Null())
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := value.AsInt(a.Result()); got != 7 {
+		t.Errorf("merged count(*) = %d, want 7", got)
+	}
+
+	// Merging different aggregator kinds is a programming error.
+	x, _ := NewAggregator("sum", false)
+	y, _ := NewAggregator("count", false)
+	if err := x.Merge(y); err == nil {
+		t.Errorf("merging sum into count should fail")
+	}
+}

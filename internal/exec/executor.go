@@ -61,17 +61,30 @@ type Options struct {
 	// otherwise produce infinite results on cyclic graphs. Zero means the
 	// default of 15.
 	MaxVarLengthDepth int
+	// Parallelism is the maximum number of workers used for morsel-driven
+	// execution of parallel-safe read plans. Zero or one means serial
+	// execution. Plans that the analysis marks unsafe always run serially
+	// regardless of this setting.
+	Parallelism int
+	// MorselSize is the number of scan rows per morsel (the unit of work
+	// handed to a parallel worker). Zero means graph.DefaultMorselSize.
+	MorselSize int
 }
 
 // DefaultMaxVarLengthDepth is the homomorphism-mode depth cap.
 const DefaultMaxVarLengthDepth = 15
 
-// Executor evaluates plans against a graph.
+// Executor evaluates plans against a graph. Its fields are read-only during
+// execution, so the morsel workers of a parallel run share one executor.
 type Executor struct {
 	graph   *graph.Graph
 	params  map[string]value.Value
 	opts    Options
 	evalCtx *eval.Context
+	// usedParallelism records how many workers the last Execute actually
+	// used (1 for the serial path). Set before workers start; read by the
+	// engine for result metadata.
+	usedParallelism int
 }
 
 // New creates an executor over the graph with the given query parameters.
@@ -84,8 +97,17 @@ func New(g *graph.Graph, params map[string]value.Value, opts Options) *Executor 
 	return ex
 }
 
-// Execute runs the plan and returns the result table.
+// Execute runs the plan and returns the result table. Parallel-safe plans
+// execute morsel-driven when the executor's Parallelism option exceeds one
+// and the scan is large enough to amortise the worker pool; everything else
+// takes the serial tuple-at-a-time path.
 func (ex *Executor) Execute(p *plan.Plan) (*result.Table, error) {
+	ex.usedParallelism = 1
+	if ex.opts.Parallelism > 1 {
+		if tbl, done, err := ex.executeParallel(p); done {
+			return tbl, err
+		}
+	}
 	tbl := result.NewTable(p.Columns...)
 	err := ex.run(p.Root, nil, func(r result.Record) error {
 		tbl.Add(r)
@@ -95,6 +117,15 @@ func (ex *Executor) Execute(p *plan.Plan) (*result.Table, error) {
 		return nil, err
 	}
 	return tbl, nil
+}
+
+// UsedParallelism reports how many workers the last Execute call used (1 for
+// a serial run).
+func (ex *Executor) UsedParallelism() int {
+	if ex.usedParallelism < 1 {
+		return 1
+	}
+	return ex.usedParallelism
 }
 
 // emitFn consumes one produced row; returning an error stops production.
@@ -112,6 +143,27 @@ func (ex *Executor) run(op plan.Operator, arg result.Record, emit emitFn) error 
 			return errors.New("exec: Argument operator outside of an apply context")
 		}
 		return emit(arg.Clone())
+
+	case *nodeSource:
+		// Morsel source of a parallel run: one row per node of the morsel
+		// over the unit record (the scan's Input is known to be Start).
+		for _, n := range o.nodes {
+			r := result.NewRecord()
+			r[o.varName] = value.NewNode(n)
+			if err := emit(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *rowSource:
+		// Merged-stream source: replays the rows gathered at the barrier
+		// into the serial tail of a parallel plan.
+		for _, r := range o.rows {
+			if err := emit(r); err != nil {
+				return err
+			}
+		}
+		return nil
 
 	case *plan.AllNodesScan:
 		return ex.run(o.Input, arg, func(r result.Record) error {
@@ -430,89 +482,125 @@ func (ex *Executor) constantCount(e ast.Expr, what string) (int64, error) {
 	return n, nil
 }
 
-func (ex *Executor) runAggregate(o *plan.Aggregate, arg result.Record, emit emitFn) error {
-	type group struct {
-		keyVals []value.Value
-		aggs    []eval.Aggregator
-	}
-	groups := map[string]*group{}
-	var order []string // preserve first-seen group order
+// aggGroup is the accumulated state of one group: its grouping-key values
+// and one aggregator per aggregation item.
+type aggGroup struct {
+	keyVals []value.Value
+	aggs    []eval.Aggregator
+}
 
-	newGroup := func(keyVals []value.Value) (*group, error) {
-		g := &group{keyVals: keyVals}
-		for _, a := range o.Aggregations {
-			if a.Arg == nil {
-				g.aggs = append(g.aggs, eval.NewCountStarAggregator())
-				continue
-			}
-			agg, err := eval.NewAggregator(a.Func, a.Distinct)
-			if err != nil {
-				return nil, err
-			}
-			g.aggs = append(g.aggs, agg)
-		}
-		return g, nil
-	}
+// aggState accumulates an Aggregate operator's groups. The serial path feeds
+// it all input rows; the parallel path builds one state per morsel and folds
+// them together at the barrier (in morsel order, so first-seen group order
+// and order-sensitive aggregates match the serial engine).
+type aggState struct {
+	ex     *Executor
+	o      *plan.Aggregate
+	groups map[string]*aggGroup
+	order  []string // first-seen group order
+}
 
-	err := ex.run(o.Input, arg, func(r result.Record) error {
-		keyVals := make([]value.Value, len(o.Grouping))
-		for i, gi := range o.Grouping {
-			v, err := ex.evalCtx.Evaluate(gi.Expr, r)
-			if err != nil {
-				return err
-			}
-			keyVals[i] = v
-		}
-		key := value.GroupKeyOf(keyVals...)
-		g, ok := groups[key]
-		if !ok {
-			var err error
-			g, err = newGroup(keyVals)
-			if err != nil {
-				return err
-			}
-			groups[key] = g
-			order = append(order, key)
-		}
-		for i, a := range o.Aggregations {
-			if a.Arg == nil {
-				if err := g.aggs[i].Add(value.Null()); err != nil {
-					return err
-				}
-				continue
-			}
-			v, err := ex.evalCtx.Evaluate(a.Arg, r)
-			if err != nil {
-				return err
-			}
-			if err := g.aggs[i].Add(v); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return err
-	}
+func (ex *Executor) newAggState(o *plan.Aggregate) *aggState {
+	return &aggState{ex: ex, o: o, groups: map[string]*aggGroup{}}
+}
 
-	// A global aggregation (no grouping keys) over an empty input still
-	// produces one row, e.g. MATCH (n:Missing) RETURN count(n) = 0.
-	if len(groups) == 0 && len(o.Grouping) == 0 {
-		g, err := newGroup(nil)
+func (s *aggState) newGroup(keyVals []value.Value) (*aggGroup, error) {
+	g := &aggGroup{keyVals: keyVals}
+	for _, a := range s.o.Aggregations {
+		if a.Arg == nil {
+			g.aggs = append(g.aggs, eval.NewCountStarAggregator())
+			continue
+		}
+		agg, err := eval.NewAggregator(a.Func, a.Distinct)
+		if err != nil {
+			return nil, err
+		}
+		g.aggs = append(g.aggs, agg)
+	}
+	return g, nil
+}
+
+// add folds one input row into the state.
+func (s *aggState) add(r result.Record) error {
+	keyVals := make([]value.Value, len(s.o.Grouping))
+	for i, gi := range s.o.Grouping {
+		v, err := s.ex.evalCtx.Evaluate(gi.Expr, r)
 		if err != nil {
 			return err
 		}
-		groups[""] = g
-		order = append(order, "")
+		keyVals[i] = v
 	}
+	key := value.GroupKeyOf(keyVals...)
+	g, ok := s.groups[key]
+	if !ok {
+		var err error
+		g, err = s.newGroup(keyVals)
+		if err != nil {
+			return err
+		}
+		s.groups[key] = g
+		s.order = append(s.order, key)
+	}
+	for i, a := range s.o.Aggregations {
+		if a.Arg == nil {
+			if err := g.aggs[i].Add(value.Null()); err != nil {
+				return err
+			}
+			continue
+		}
+		v, err := s.ex.evalCtx.Evaluate(a.Arg, r)
+		if err != nil {
+			return err
+		}
+		if err := g.aggs[i].Add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
-	for _, key := range order {
-		g := groups[key]
+// merge folds another partial state (over the same Aggregate operator) into
+// this one; the other state's groups keep their relative first-seen order.
+func (s *aggState) merge(other *aggState) error {
+	if other == nil {
+		return nil
+	}
+	for _, key := range other.order {
+		og := other.groups[key]
+		g, ok := s.groups[key]
+		if !ok {
+			s.groups[key] = og
+			s.order = append(s.order, key)
+			continue
+		}
+		for i := range g.aggs {
+			if err := g.aggs[i].Merge(og.aggs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// emit produces the aggregated output rows in first-seen group order.
+func (s *aggState) emit(emit emitFn) error {
+	// A global aggregation (no grouping keys) over an empty input still
+	// produces one row, e.g. MATCH (n:Missing) RETURN count(n) = 0.
+	if len(s.groups) == 0 && len(s.o.Grouping) == 0 {
+		g, err := s.newGroup(nil)
+		if err != nil {
+			return err
+		}
+		s.groups[""] = g
+		s.order = append(s.order, "")
+	}
+	for _, key := range s.order {
+		g := s.groups[key]
 		out := result.NewRecord()
-		for i, gi := range o.Grouping {
+		for i, gi := range s.o.Grouping {
 			out[gi.Name] = g.keyVals[i]
 		}
-		for i, a := range o.Aggregations {
+		for i, a := range s.o.Aggregations {
 			out[a.Name] = g.aggs[i].Result()
 		}
 		if err := emit(out); err != nil {
@@ -520,4 +608,12 @@ func (ex *Executor) runAggregate(o *plan.Aggregate, arg result.Record, emit emit
 		}
 	}
 	return nil
+}
+
+func (ex *Executor) runAggregate(o *plan.Aggregate, arg result.Record, emit emitFn) error {
+	st := ex.newAggState(o)
+	if err := ex.run(o.Input, arg, st.add); err != nil {
+		return err
+	}
+	return st.emit(emit)
 }

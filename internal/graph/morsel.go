@@ -1,0 +1,47 @@
+package graph
+
+// Morsel-driven scan partitioning. A morsel is a fixed-size slice of the
+// node array underlying a scan operator; the execution engine hands morsels
+// to a bounded pool of workers so that one large read query can use many
+// cores (morsel-driven parallelism in the style of HyPer [Leis et al. 2014],
+// applied to the paper's scan→filter→project hot path).
+
+// DefaultMorselSize is the number of nodes per morsel when the caller does
+// not configure one. Large enough to amortise per-morsel scheduling, small
+// enough that a typical scan splits into many more morsels than workers,
+// which keeps the pool load-balanced when per-row costs are skewed.
+const DefaultMorselSize = 1024
+
+// partition slices nodes into contiguous chunks of at most size elements,
+// preserving order. The chunks alias the input slice; they are never written.
+func partition(nodes []*Node, size int) [][]*Node {
+	if size <= 0 {
+		size = DefaultMorselSize
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	out := make([][]*Node, 0, (len(nodes)+size-1)/size)
+	for start := 0; start < len(nodes); start += size {
+		end := start + size
+		if end > len(nodes) {
+			end = len(nodes)
+		}
+		out = append(out, nodes[start:end])
+	}
+	return out
+}
+
+// NodeMorsels partitions all nodes of the graph (in identifier order) into
+// morsels of at most size nodes. The node slices are snapshots: a later
+// mutation does not change them, matching the engine's snapshot-read
+// discipline (scans run entirely under the engine's shared lock).
+func (g *Graph) NodeMorsels(size int) [][]*Node {
+	return partition(g.Nodes(), size)
+}
+
+// LabelMorsels partitions the nodes carrying the label (in identifier order)
+// into morsels of at most size nodes.
+func (g *Graph) LabelMorsels(label string, size int) [][]*Node {
+	return partition(g.NodesByLabel(label), size)
+}

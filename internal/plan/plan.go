@@ -31,9 +31,13 @@ type Plan struct {
 	Columns []string
 	// ReadOnly reports whether executing the plan cannot modify the graph.
 	ReadOnly bool
+	// Parallel is the morsel-parallelism analysis of the plan (set by the
+	// planner; nil for hand-built plans, which the executor analyses lazily).
+	Parallel *ParallelInfo
 }
 
-// String renders the plan operator tree, one operator per line, leaf last.
+// String renders the plan operator tree, one operator per line, leaf last,
+// followed by the plan's parallel eligibility when it has been analysed.
 func (p *Plan) String() string {
 	var lines []string
 	for op := p.Root; op != nil; op = op.Source() {
@@ -45,6 +49,22 @@ func (p *Plan) String() string {
 		sb.WriteString("+ ")
 		sb.WriteString(l)
 		sb.WriteString("\n")
+	}
+	if p.Parallel != nil {
+		if p.Parallel.Safe {
+			merge := "unordered merge"
+			if p.Parallel.Ordered {
+				merge = "ordered merge"
+			}
+			agg := ""
+			if p.Parallel.Agg != nil {
+				agg = ", partial aggregation"
+			}
+			fmt.Fprintf(&sb, "parallel: eligible (morsel-driven %s, %s%s)\n",
+				p.Parallel.Scan.Describe(), merge, agg)
+		} else {
+			fmt.Fprintf(&sb, "parallel: serial (%s)\n", p.Parallel.Reason)
+		}
 	}
 	return sb.String()
 }

@@ -53,7 +53,11 @@ func (p *Planner) Plan(q *ast.Query) (*plan.Plan, error) {
 			Columns: cols,
 		}
 	}
-	return &plan.Plan{Root: root, Columns: cols, ReadOnly: q.IsReadOnly()}, nil
+	pl := &plan.Plan{Root: root, Columns: cols, ReadOnly: q.IsReadOnly()}
+	// Mark the plan's morsel-parallelism eligibility once at compile time;
+	// the executor (and EXPLAIN) reuse the analysis on every run.
+	pl.Parallel = plan.AnalyzeParallelism(pl)
+	return pl, nil
 }
 
 // scope tracks the variables currently visible to the query, in order of

@@ -49,10 +49,10 @@ type detachedRelationship struct {
 	props      map[string]Value
 }
 
-func (r *detachedRelationship) ID() int64           { return r.id }
-func (r *detachedRelationship) RelType() string     { return r.typ }
-func (r *detachedRelationship) StartNodeID() int64  { return r.start }
-func (r *detachedRelationship) EndNodeID() int64    { return r.end }
+func (r *detachedRelationship) ID() int64          { return r.id }
+func (r *detachedRelationship) RelType() string    { return r.typ }
+func (r *detachedRelationship) StartNodeID() int64 { return r.start }
+func (r *detachedRelationship) EndNodeID() int64   { return r.end }
 
 func (r *detachedRelationship) Property(key string) Value {
 	if v, ok := r.props[key]; ok {

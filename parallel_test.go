@@ -1,0 +1,252 @@
+package cypher
+
+// Tests for morsel-driven parallel read execution: determinism against the
+// serial engine (byte-identical ORDER BY output, identical aggregation
+// results across worker counts), the documented fallback conditions, and a
+// race hammer that mixes parallel readers with writers (meaningful under
+// `go test -race`).
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/datasets"
+)
+
+// socialPair builds two engines over identical social-network stores: one
+// serial, one parallel with a small morsel size so even modest graphs split
+// into many morsels.
+func socialPair(people, friends, parallelism int) (serial, parallel *Graph) {
+	build := func(opts Options) *Graph {
+		return Wrap(datasets.SocialNetwork(datasets.SocialConfig{People: people, FriendsEach: friends, Seed: 7}), opts)
+	}
+	return build(Options{}), build(Options{Parallelism: parallelism, MorselSize: 128})
+}
+
+func TestParallelOrderByByteIdentical(t *testing.T) {
+	serial, parallel := socialPair(3000, 4, 4)
+	queries := []string{
+		// Heavy ties on age: stable-sort tie-breaking must match serial.
+		"MATCH (p:Person) RETURN p.age AS age, p.name AS name ORDER BY age",
+		"MATCH (p:Person) WHERE p.age > 30 RETURN p.name AS n ORDER BY n DESC",
+		"MATCH (a:Person)-[:KNOWS]->(b) RETURN a.name AS x, b.name AS y ORDER BY x LIMIT 50",
+		"MATCH (p:Person) RETURN DISTINCT p.age AS age ORDER BY age",
+	}
+	for _, q := range queries {
+		rs := serial.MustRun(q, nil)
+		rp := parallel.MustRun(q, nil)
+		if rs.Parallelism() != 1 {
+			t.Errorf("serial engine reported parallelism %d for %s", rs.Parallelism(), q)
+		}
+		if rp.Parallelism() < 2 {
+			t.Errorf("parallel engine stayed serial for %s", q)
+		}
+		if rs.String() != rp.String() {
+			t.Errorf("parallel ORDER BY output differs from serial for %s\nserial:\n%s\nparallel:\n%s",
+				q, rs.String(), rp.String())
+		}
+	}
+}
+
+func TestParallelUnorderedSameBag(t *testing.T) {
+	serial, parallel := socialPair(3000, 4, 4)
+	q := "MATCH (p:Person) WHERE p.age >= 40 RETURN p.name AS n, p.age AS age"
+	rs := serial.MustRun(q, nil)
+	rp := parallel.MustRun(q, nil)
+	if rp.Parallelism() < 2 {
+		t.Fatalf("expected parallel execution for %s", q)
+	}
+	sortLines := func(s string) string {
+		lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+		for i := 0; i < len(lines); i++ {
+			for j := i + 1; j < len(lines); j++ {
+				if lines[j] < lines[i] {
+					lines[i], lines[j] = lines[j], lines[i]
+				}
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	if sortLines(rs.String()) != sortLines(rp.String()) {
+		t.Errorf("parallel unordered result is not the same bag as serial for %s", q)
+	}
+	if rs.Len() != rp.Len() {
+		t.Errorf("row counts differ: serial %d, parallel %d", rs.Len(), rp.Len())
+	}
+}
+
+func TestParallelAggregationAcrossWorkerCounts(t *testing.T) {
+	baseline, _ := socialPair(3000, 4, 2)
+	queries := []string{
+		"MATCH (p:Person) RETURN count(*) AS c",
+		"MATCH (p:Person) RETURN p.age AS age, count(*) AS c",
+		"MATCH (p:Person) RETURN p.age AS age, collect(p.name) AS names",
+		"MATCH (p:Person) RETURN sum(p.age) AS total, min(p.age) AS lo, max(p.age) AS hi, avg(p.age) AS mean",
+		"MATCH (a:Person)-[:KNOWS]->(b) RETURN a.age AS age, count(DISTINCT b.age) AS c",
+		"MATCH (a:Person)-[:KNOWS*1..2]->(b) RETURN count(*) AS paths",
+	}
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		want[i] = baseline.MustRun(q, nil).String()
+	}
+	for _, workers := range []int{1, 4, 8} {
+		g := Wrap(datasets.SocialNetwork(datasets.SocialConfig{People: 3000, FriendsEach: 4, Seed: 7}),
+			Options{Parallelism: workers, MorselSize: 128})
+		for i, q := range queries {
+			res := g.MustRun(q, nil)
+			if workers > 1 && res.Parallelism() < 2 {
+				t.Errorf("parallelism=%d stayed serial for %s", workers, q)
+			}
+			if res.String() != want[i] {
+				t.Errorf("parallelism=%d changed the result of %s\nwant:\n%s\ngot:\n%s",
+					workers, q, want[i], res.String())
+			}
+		}
+	}
+}
+
+// TestParallelAggregateInSerialTailDeterministic covers an aggregate that
+// the analysis leaves in the serial tail (a second MATCH ends the streaming
+// segment before the Aggregate is reached): collect() order and first-seen
+// group order are input-order-sensitive, so the merge must be
+// order-preserving for repeated runs to match serial execution.
+func TestParallelAggregateInSerialTailDeterministic(t *testing.T) {
+	build := func(par int) *Graph {
+		g := NewWithOptions(Options{Parallelism: par, MorselSize: 8})
+		for i := 0; i < 200; i++ {
+			g.MustRun("CREATE (:Person {name: $n})", map[string]any{"n": fmt.Sprintf("p%03d", i)})
+		}
+		g.MustRun("CREATE (:Team {name: 't'})", nil)
+		return g
+	}
+	serial, parallel := build(1), build(4)
+	q := "MATCH (p:Person) WHERE p.name <> '' MATCH (t:Team) RETURN t.name AS team, collect(p.name) AS names"
+	want := serial.MustRun(q, nil).String()
+	for i := 0; i < 20; i++ {
+		got := parallel.MustRun(q, nil)
+		if got.Parallelism() < 2 {
+			t.Fatalf("expected parallel execution, got %d workers", got.Parallelism())
+		}
+		if got.String() != want {
+			t.Fatalf("run %d: collect() over the merged stream diverged from serial\nwant:\n%s\ngot:\n%s",
+				i, want, got.String())
+		}
+	}
+}
+
+func TestParallelFallbackConditions(t *testing.T) {
+	g := NewWithOptions(Options{Parallelism: 8, MorselSize: 4})
+	for i := 0; i < 200; i++ {
+		g.MustRun("CREATE (:Person {name: $n, age: $a})", map[string]any{"n": fmt.Sprintf("p%d", i), "a": i % 10})
+	}
+	cases := []struct {
+		query  string
+		reason string // substring expected in the EXPLAIN fallback note
+	}{
+		{"MATCH (p:Person) RETURN p.name AS n LIMIT 3", "early exit"},
+		{"MATCH (p:Person) RETURN p.name AS n UNION MATCH (p:Person) RETURN p.name AS n", "UNION"},
+		{"CREATE (:Audit {at: 1})", "updating"},
+	}
+	for _, c := range cases {
+		res := g.MustRun(c.query, nil)
+		if res.Parallelism() != 1 {
+			t.Errorf("%s should fall back to serial, used %d workers", c.query, res.Parallelism())
+		}
+		pl, err := g.Explain(c.query)
+		if err != nil {
+			t.Fatalf("explain %s: %v", c.query, err)
+		}
+		if !strings.Contains(pl, "parallel: serial") || !strings.Contains(pl, c.reason) {
+			t.Errorf("EXPLAIN of %s should report a serial fallback mentioning %q:\n%s", c.query, c.reason, pl)
+		}
+		if !strings.Contains(pl, "runtime parallelism: 1") {
+			t.Errorf("EXPLAIN of %s should choose runtime parallelism 1:\n%s", c.query, pl)
+		}
+	}
+
+	// LIMIT above a Sort/Aggregate barrier cannot exit early, so it stays
+	// parallel-eligible.
+	res := g.MustRun("MATCH (p:Person) RETURN p.name AS n ORDER BY n LIMIT 3", nil)
+	if res.Parallelism() < 2 {
+		t.Errorf("LIMIT above ORDER BY should stay parallel, used %d workers", res.Parallelism())
+	}
+
+	// A scan that fits in one morsel is not worth a worker pool.
+	small := NewWithOptions(Options{Parallelism: 8})
+	small.MustRun("CREATE (:Person {name: 'only'})", nil)
+	if got := small.MustRun("MATCH (p:Person) RETURN p.name AS n, p.name AS m", nil); got.Parallelism() != 1 {
+		t.Errorf("single-morsel scan should run serially, used %d workers", got.Parallelism())
+	}
+}
+
+func TestParallelExplainEligible(t *testing.T) {
+	_, parallel := socialPair(1000, 2, 4)
+	pl, err := parallel.Explain("MATCH (p:Person) RETURN p.age AS age, count(*) AS c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"parallel: eligible", "partial aggregation", "runtime parallelism: 4"} {
+		if !strings.Contains(pl, want) {
+			t.Errorf("EXPLAIN should contain %q:\n%s", want, pl)
+		}
+	}
+}
+
+// TestParallelReadersWithWriters hammers one engine with parallel read
+// queries while writers mutate the graph. Readers hold the engine's shared
+// lock for their whole morsel-parallel run, so every worker must see a
+// stable snapshot; the race detector verifies there is no unsynchronised
+// access between morsel workers and writers.
+func TestParallelReadersWithWriters(t *testing.T) {
+	g := Wrap(datasets.SocialNetwork(datasets.SocialConfig{People: 2000, FriendsEach: 4, Seed: 3}),
+		Options{Parallelism: 4, MorselSize: 64})
+	const (
+		readers    = 4
+		writers    = 2
+		iterations = 25
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+writers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			queries := []string{
+				"MATCH (p:Person) RETURN p.age AS age, count(*) AS c",
+				"MATCH (p:Person) WHERE p.age > 30 RETURN p.name AS n ORDER BY n LIMIT 10",
+				"MATCH (a:Person)-[:KNOWS]->(b) RETURN count(b) AS c",
+			}
+			for i := 0; i < iterations; i++ {
+				if _, err := g.Run(queries[(r+i)%len(queries)], nil); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(r)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				q := fmt.Sprintf("CREATE (:Person {name: 'new-%d-%d', age: %d})", w, i, i%90)
+				if _, err := g.Run(q, nil); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	res := g.MustRun("MATCH (p:Person) RETURN count(*) AS c", nil)
+	want := int64(2000 + writers*iterations)
+	if got := res.Records()[0]["c"]; got != want {
+		t.Errorf("node count after hammer = %v, want %d", got, want)
+	}
+}

@@ -23,6 +23,10 @@ func (r *Result) Plan() string { return r.inner.Plan }
 // ReadOnly reports whether the query contained no updating clauses.
 func (r *Result) ReadOnly() bool { return r.inner.ReadOnly }
 
+// Parallelism reports how many workers executed the query (1 for a serial
+// run; >1 when the engine chose morsel-driven parallel execution).
+func (r *Result) Parallelism() int { return r.inner.Parallelism }
+
 // Rows returns every row as native Go values (graph entities are returned as
 // Node, Relationship and Path views).
 func (r *Result) Rows() [][]any {
