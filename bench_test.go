@@ -399,3 +399,51 @@ func BenchmarkEngineVsRefsem(b *testing.B) {
 		}
 	})
 }
+
+// --- B10: persistence overhead ---
+//
+// Reads never touch the WAL (it only sees the mutation stream), so read
+// latency and throughput with persistence enabled must track the in-memory
+// numbers; BenchmarkDurableReads demonstrates it. Writes pay the journaling
+// cost selected by SyncMode, measured in BenchmarkDurableWrites.
+
+func durableBenchGraph(b *testing.B, mode SyncMode) *Graph {
+	b.Helper()
+	g, err := Open(b.TempDir(), Options{SyncMode: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { g.Close() })
+	return g
+}
+
+func BenchmarkDurableReads(b *testing.B) {
+	const query = "MATCH (a:Person {name: 'person-17'})-[:KNOWS]->(b) RETURN count(b) AS c"
+	b.Run("memory", func(b *testing.B) {
+		runBenchQuery(b, benchGraph(5000, 8), query, nil)
+	})
+	b.Run("durable", func(b *testing.B) {
+		g := durableBenchGraph(b, SyncAlways)
+		if err := g.ImportFrom(datasets.SocialNetwork(datasets.SocialConfig{People: 5000, FriendsEach: 8, Seed: 42})); err != nil {
+			b.Fatal(err)
+		}
+		runBenchQuery(b, g, query, nil)
+	})
+}
+
+func BenchmarkDurableWrites(b *testing.B) {
+	write := func(b *testing.B, g *Graph) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.Run("CREATE (:Event {seq: $i, tag: 'bench'})", map[string]any{"i": i}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("memory", func(b *testing.B) { write(b, New()) })
+	b.Run("sync=none", func(b *testing.B) { write(b, durableBenchGraph(b, SyncNone)) })
+	b.Run("sync=interval", func(b *testing.B) { write(b, durableBenchGraph(b, SyncInterval)) })
+	b.Run("sync=always", func(b *testing.B) { write(b, durableBenchGraph(b, SyncAlways)) })
+}

@@ -25,6 +25,7 @@ import (
 
 	cypher "repro"
 	"repro/internal/datasets"
+	"repro/internal/storage"
 )
 
 type workload struct {
@@ -41,8 +42,17 @@ func main() {
 		clients     = flag.Int("clients", 1, "concurrent clients; > 1 switches to throughput mode")
 		parallelism = flag.Int("parallelism", 1, "workers per read query (morsel-driven; 1 = serial, 0 = all CPUs)")
 		mode        = flag.String("mode", "", "latency or throughput (default: latency, or throughput when -clients > 1)")
+		waldump     = flag.String("waldump", "", "dump a WAL file, snapshot file or data directory and exit (debugging aid)")
 	)
 	flag.Parse()
+
+	if *waldump != "" {
+		if err := storage.Dump(os.Stdout, *waldump); err != nil {
+			fmt.Fprintln(os.Stderr, "waldump:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *parallelism <= 0 {
 		*parallelism = runtime.NumCPU()

@@ -12,24 +12,36 @@
 //	GET  /stats                                      -> graph + plan-cache stats
 //	GET  /healthz                                    -> 200 once serving
 //
+// With -data DIR the graph is durable: every write query is journaled to a
+// write-ahead log before its response is sent (fsync policy via -sync), the
+// server checkpoints on graceful shutdown (SIGINT/SIGTERM) and optionally on
+// a timer (-checkpoint-every), and a restart recovers the stored graph —
+// snapshot plus WAL replay — before serving. A requested -dataset seeds the
+// store only when it is empty, so restarts keep accumulated writes.
+//
 // Example:
 //
-//	cypher-serve -addr :7474 -dataset social -size 10000
+//	cypher-serve -addr :7474 -dataset social -size 10000 -data ./social-data
 //	curl -s localhost:7474/query -d '{"query": "MATCH (p:Person) RETURN count(*) AS c"}'
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	cypher "repro"
 	"repro/internal/datasets"
+	"repro/internal/graph"
 	"repro/internal/value"
 )
 
@@ -39,13 +51,30 @@ func main() {
 		dataset     = flag.String("dataset", "empty", "initial dataset: empty, citations, social, datacenter, fraud")
 		size        = flag.Int("size", 1000, "size parameter for the synthetic datasets")
 		parallelism = flag.Int("parallelism", 1, "workers per read query (morsel-driven; 1 = serial, 0 = all CPUs)")
+		dataDir     = flag.String("data", "", "data directory; enables WAL + snapshot persistence")
+		syncMode    = flag.String("sync", "always", "WAL fsync policy with -data: always, interval or none")
+		ckptEvery   = flag.Duration("checkpoint-every", 0, "with -data, checkpoint on this interval (0 = only on shutdown)")
 	)
 	flag.Parse()
 
 	if *parallelism <= 0 {
 		*parallelism = runtime.NumCPU()
 	}
-	g, err := buildGraph(*dataset, *size, *parallelism)
+	if *ckptEvery > 0 && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "-checkpoint-every requires -data (an in-memory graph has nothing to checkpoint)")
+		os.Exit(2)
+	}
+	// Validate durability flags unconditionally: a typo'd or pointless -sync
+	// must not be silently accepted just because -data is absent.
+	if _, err := cypher.ParseSyncMode(*syncMode); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *syncMode != "always" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "-sync requires -data (an in-memory graph has no WAL to sync)")
+		os.Exit(2)
+	}
+	g, err := buildGraph(*dataset, *size, *parallelism, *dataDir, *syncMode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -53,6 +82,11 @@ func main() {
 	s := g.Stats()
 	log.Printf("serving %s dataset (%d nodes, %d relationships) on %s, per-query parallelism %d",
 		*dataset, s.Nodes, s.Relationships, *addr, *parallelism)
+	if ds, ok := g.DurabilityStats(); ok {
+		log.Printf("durable: dir=%s sync=%s generation=%d (recovered %d snapshot + %d WAL records%s)",
+			ds.Dir, ds.SyncMode, ds.Generation, ds.Recovery.SnapshotRecords, ds.Recovery.WALRecords,
+			tornNote(ds.Recovery.TornTail))
+	}
 
 	mux := http.NewServeMux()
 	srv := &server{graph: g, started: time.Now(), parallelism: *parallelism}
@@ -63,29 +97,153 @@ func main() {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *ckptEvery > 0 {
+		go func() {
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := g.Checkpoint(); err != nil {
+						log.Printf("periodic checkpoint failed: %v", err)
+					} else {
+						log.Printf("checkpoint written")
+					}
+				}
+			}
+		}()
+	}
+
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	<-ctx.Done()
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	// Checkpoint so the next start recovers from a snapshot instead of
+	// replaying the whole WAL, then release the files.
+	if err := g.Checkpoint(); err != nil {
+		log.Printf("shutdown checkpoint: %v", err)
+	}
+	if err := g.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
 }
 
-func buildGraph(dataset string, size, parallelism int) (*cypher.Graph, error) {
-	opts := cypher.Options{Parallelism: parallelism}
-	switch dataset {
-	case "", "empty":
-		return cypher.NewWithOptions(opts), nil
-	case "citations":
-		store, _ := datasets.Citations()
-		return cypher.Wrap(store, opts), nil
-	case "social":
-		store := datasets.SocialNetwork(datasets.SocialConfig{People: size, FriendsEach: 8, Seed: 42})
-		return cypher.Wrap(store, opts), nil
-	case "datacenter":
-		store := datasets.DataCenter(datasets.DataCenterConfig{Services: size, MaxDeps: 3, Seed: 5})
-		return cypher.Wrap(store, opts), nil
-	case "fraud":
-		store := datasets.FraudNetwork(datasets.FraudConfig{AccountHolders: size, SharingFraction: 0.15, Seed: 5})
-		return cypher.Wrap(store, opts), nil
-	default:
-		return nil, fmt.Errorf("unknown dataset %q (want empty, citations, social, datacenter or fraud)", dataset)
+func tornNote(torn bool) string {
+	if torn {
+		return ", torn tail truncated"
 	}
+	return ""
+}
+
+func buildGraph(dataset string, size, parallelism int, dataDir, syncMode string) (*cypher.Graph, error) {
+	opts := cypher.Options{Parallelism: parallelism}
+
+	// Validate the dataset name up front: on a non-virgin durable directory
+	// the seeding path is skipped entirely, and a typo must not be silently
+	// accepted (and then seed on some later virgin restart).
+	if !datasetKnown(dataset) {
+		return nil, errUnknownDataset(dataset)
+	}
+
+	if dataDir != "" {
+		mode, err := cypher.ParseSyncMode(syncMode)
+		if err != nil {
+			return nil, err
+		}
+		opts.SyncMode = mode
+		g, err := cypher.Open(dataDir, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Seed only a virgin directory — generation 0 with nothing replayed,
+		// i.e. never checkpointed and never written. An empty graph does not
+		// qualify: a client may have deleted everything (leaving delete
+		// records in the WAL, or — after a checkpoint — an empty snapshot at
+		// generation ≥ 1), and a restart must not resurrect the dataset.
+		virgin := false
+		if ds, ok := g.DurabilityStats(); ok {
+			virgin = ds.Generation == 0 && ds.Recovery.SnapshotRecords+ds.Recovery.WALRecords == 0
+		}
+		if virgin {
+			if store, err := datasetStore(dataset, size); err != nil {
+				g.Close()
+				return nil, err
+			} else if store != nil {
+				if err := g.ImportFrom(store); err != nil {
+					g.Close()
+					return nil, fmt.Errorf("seed dataset: %w", err)
+				}
+			}
+		}
+		return g, nil
+	}
+
+	store, err := datasetStore(dataset, size)
+	if err != nil {
+		return nil, err
+	}
+	if store == nil {
+		return cypher.NewWithOptions(opts), nil
+	}
+	return cypher.Wrap(store, opts), nil
+}
+
+// datasetBuilders is the single source of valid -dataset names; "empty" maps
+// to nil (no seeding).
+var datasetBuilders = map[string]func(size int) *graph.Graph{
+	"":      nil,
+	"empty": nil,
+	"citations": func(int) *graph.Graph {
+		store, _ := datasets.Citations()
+		return store
+	},
+	"social": func(size int) *graph.Graph {
+		return datasets.SocialNetwork(datasets.SocialConfig{People: size, FriendsEach: 8, Seed: 42})
+	},
+	"datacenter": func(size int) *graph.Graph {
+		return datasets.DataCenter(datasets.DataCenterConfig{Services: size, MaxDeps: 3, Seed: 5})
+	},
+	"fraud": func(size int) *graph.Graph {
+		return datasets.FraudNetwork(datasets.FraudConfig{AccountHolders: size, SharingFraction: 0.15, Seed: 5})
+	},
+}
+
+// datasetKnown reports whether name is a valid -dataset value.
+func datasetKnown(name string) bool {
+	_, ok := datasetBuilders[name]
+	return ok
+}
+
+func errUnknownDataset(name string) error {
+	return fmt.Errorf("unknown dataset %q (want empty, citations, social, datacenter or fraud)", name)
+}
+
+// datasetStore builds the requested example dataset, or nil for "empty".
+func datasetStore(dataset string, size int) (*graph.Graph, error) {
+	build, ok := datasetBuilders[dataset]
+	if !ok {
+		return nil, errUnknownDataset(dataset)
+	}
+	if build == nil {
+		return nil, nil
+	}
+	return build(size), nil
 }
 
 type server struct {
@@ -165,7 +323,28 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	gs := s.graph.Stats()
 	cs := s.graph.PlanCacheStats()
+	durability := map[string]any{"enabled": false}
+	if ds, ok := s.graph.DurabilityStats(); ok {
+		durability = map[string]any{
+			"enabled":          true,
+			"dir":              ds.Dir,
+			"syncMode":         ds.SyncMode,
+			"generation":       ds.Generation,
+			"walRecords":       ds.Records,
+			"walBatches":       ds.Batches,
+			"walBytes":         ds.Bytes,
+			"walSizeBytes":     ds.WALSizeBytes,
+			"fsyncs":           ds.Syncs,
+			"checkpoints":      ds.Checkpoints,
+			"recoveredRecords": ds.Recovery.SnapshotRecords + ds.Recovery.WALRecords,
+			"recoveredTorn":    ds.Recovery.TornTail,
+		}
+		if !ds.LastCheckpoint.IsZero() {
+			durability["lastCheckpoint"] = ds.LastCheckpoint.UTC().Format(time.RFC3339)
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"durability": durability,
 		"graph": map[string]any{
 			"nodes":         gs.Nodes,
 			"relationships": gs.Relationships,

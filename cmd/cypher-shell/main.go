@@ -5,13 +5,20 @@
 //	:load citations|teachers|social|fraud|datacenter   load a sample dataset
 //	:explain <query>                                    show the plan only
 //	:stats                                              graph statistics
+//	:checkpoint                                         snapshot a durable graph (-data)
 //	:morphism edge|homo|node                            switch matching semantics
 //	:help                                               this help
 //	:quit                                               exit
+//
+// With -data DIR the session is durable: the graph is recovered from DIR on
+// start, every write is journaled to its write-ahead log, and quitting
+// checkpoints and closes the store — so the next session picks up exactly
+// where this one left off.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -25,11 +32,35 @@ type shell struct {
 	store    *graph.Graph
 	graph    *cypher.Graph
 	morphism cypher.Morphism
+	durable  bool
 }
 
 func main() {
+	dataDir := flag.String("data", "", "data directory; enables WAL + snapshot persistence")
+	flag.Parse()
+
 	sh := &shell{}
-	sh.setStore(graph.New())
+	if *dataDir != "" {
+		g, err := cypher.Open(*dataDir, cypher.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+		sh.graph = g
+		sh.durable = true
+		defer func() {
+			if err := g.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "checkpoint:", err)
+			}
+			if err := g.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "close:", err)
+			}
+		}()
+		s := g.Stats()
+		fmt.Printf("opened %s (%d nodes, %d relationships)\n", *dataDir, s.Nodes, s.Relationships)
+	} else {
+		sh.setStore(graph.New())
+	}
 	fmt.Println("cypher-shell — an openCypher-style REPL (:help for commands)")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -63,12 +94,29 @@ func (sh *shell) command(line string) bool {
 		fmt.Println(":load citations|teachers|social|fraud|datacenter — load a sample dataset")
 		fmt.Println(":explain <query> — show the query plan")
 		fmt.Println(":stats — graph statistics")
+		fmt.Println(":checkpoint — snapshot a durable graph and truncate its WAL (-data)")
 		fmt.Println(":morphism edge|homo|node — pattern matching semantics")
 		fmt.Println(":quit — exit")
+	case ":checkpoint":
+		if !sh.durable {
+			fmt.Println("not a durable session (start with -data DIR)")
+			return true
+		}
+		if err := sh.graph.Checkpoint(); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		if ds, ok := sh.graph.DurabilityStats(); ok {
+			fmt.Printf("checkpoint written (generation %d)\n", ds.Generation)
+		}
 	case ":stats":
 		s := sh.graph.Stats()
 		fmt.Printf("nodes: %d, relationships: %d\nlabels: %v\ntypes: %v\n", s.Nodes, s.Relationships, s.Labels, s.Types)
 	case ":load":
+		if sh.durable {
+			fmt.Println(":load replaces the whole graph and is not available with -data; seed with queries instead")
+			return true
+		}
 		if len(fields) < 2 {
 			fmt.Println("usage: :load citations|teachers|social|fraud|datacenter")
 			return true
@@ -92,6 +140,10 @@ func (sh *shell) command(line string) bool {
 		}
 		fmt.Println("loaded", fields[1], "—", sh.store.String())
 	case ":morphism":
+		if sh.durable {
+			fmt.Println(":morphism is fixed for a durable session; reopen with different options instead")
+			return true
+		}
 		if len(fields) < 2 {
 			fmt.Println("usage: :morphism edge|homo|node")
 			return true

@@ -1,0 +1,168 @@
+package cypher
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCrashWriterHelper is not a test: it is the child process of
+// TestCrashRecoveryAfterSigkill. When re-executed with CYPHER_CRASH_CHILD=1
+// it opens the durable graph in CYPHER_CRASH_DIR and appends Item nodes with
+// strictly increasing i (continuing from whatever is already stored),
+// printing "acked <i>" after each committed write, until it is killed.
+func TestCrashWriterHelper(t *testing.T) {
+	if os.Getenv("CYPHER_CRASH_CHILD") != "1" {
+		t.Skip("helper process for TestCrashRecoveryAfterSigkill")
+	}
+	dir := os.Getenv("CYPHER_CRASH_DIR")
+	g, err := Open(dir, Options{SyncMode: SyncAlways})
+	if err != nil {
+		fmt.Printf("child open error: %v\n", err)
+		os.Exit(3)
+	}
+	start := int64(0)
+	res := g.MustRun(`MATCH (n:Item) RETURN max(n.i) AS m`, nil)
+	if rows := res.Rows(); len(rows) == 1 {
+		if m, ok := rows[0][0].(int64); ok {
+			start = m
+		}
+	}
+	for i := start + 1; ; i++ {
+		// One write query per item: one WAL batch, one group-committed fsync.
+		g.MustRun(`CREATE (:Item {i: $i})`, map[string]any{"i": i})
+		fmt.Printf("acked %d\n", i) // unbuffered: hits the pipe before the next write
+	}
+}
+
+// TestCrashRecoveryAfterSigkill kills a writer process with SIGKILL in the
+// middle of a write load, three times over the same data directory, and
+// verifies after each kill that recovery lands exactly on a committed prefix:
+// every acknowledged write is present, items are the contiguous sequence
+// 1..max with no duplicates, and a checksum query (sum of i) matches the
+// closed form for that prefix.
+func TestCrashRecoveryAfterSigkill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	dir := t.TempDir()
+	prevMax := int64(0)
+	for round := 0; round < 3; round++ {
+		acked := runAndKillWriter(t, dir, 30+20*round)
+		if acked < prevMax {
+			t.Fatalf("round %d: child acked %d, below previous round's recovered max %d", round, acked, prevMax)
+		}
+
+		g, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("round %d: recovery failed: %v", round, err)
+		}
+		rows := g.MustRun(`MATCH (n:Item) RETURN count(*) AS c, count(DISTINCT n.i) AS d, max(n.i) AS m, sum(n.i) AS s`, nil).Rows()
+		count := rows[0][0].(int64)
+		distinct := rows[0][1].(int64)
+		max := rows[0][2].(int64)
+		sum := rows[0][3].(int64)
+
+		// The recovered state must be a prefix: exactly the items 1..max.
+		if count != max || distinct != max {
+			t.Fatalf("round %d: recovered %d items (%d distinct) but max i is %d — not a contiguous prefix", round, count, distinct, max)
+		}
+		if want := max * (max + 1) / 2; sum != want {
+			t.Fatalf("round %d: checksum sum(i)=%d, want %d for prefix 1..%d", round, sum, want, max)
+		}
+		// Durability: everything the child saw committed must have survived.
+		if max < acked {
+			t.Fatalf("round %d: child acked %d but only %d recovered — committed writes lost", round, acked, max)
+		}
+		// And not more than one in-flight write beyond the last ack can appear.
+		if max > acked+1 {
+			t.Fatalf("round %d: recovered %d items but only %d acked — phantom writes", round, max, acked)
+		}
+		if ds, ok := g.DurabilityStats(); ok {
+			t.Logf("round %d: acked=%d recovered=%d (gen %d, %d snapshot + %d WAL records, torn=%v)",
+				round, acked, max, ds.Generation, ds.Recovery.SnapshotRecords, ds.Recovery.WALRecords, ds.Recovery.TornTail)
+		}
+		// Occasionally checkpoint so later rounds also exercise
+		// snapshot-based recovery.
+		if round == 1 {
+			if err := g.Checkpoint(); err != nil {
+				t.Fatalf("round %d: checkpoint: %v", round, err)
+			}
+		}
+		prevMax = max
+		if err := g.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+	}
+}
+
+// runAndKillWriter re-executes the test binary as a crash child over dir,
+// SIGKILLs it after it has acknowledged at least minAcks writes, and returns
+// the highest acknowledged i.
+func runAndKillWriter(t *testing.T, dir string, minAcks int) int64 {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashWriterHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), "CYPHER_CRASH_CHILD=1", "CYPHER_CRASH_DIR="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var lastAcked int64
+	acks := 0
+	scanner := bufio.NewScanner(stdout)
+	deadline := time.Now().Add(30 * time.Second)
+	// Scan blocks on a silent child, so the deadline check inside the loop
+	// cannot fire on its own; a watchdog kill unblocks the pipe and the test
+	// then fails fast on acks == 0 instead of hanging to the go-test timeout.
+	watchdog := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
+	defer watchdog.Stop()
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if n, ok := strings.CutPrefix(line, "acked "); ok {
+			if i, err := strconv.ParseInt(n, 10, 64); err == nil {
+				lastAcked = i
+				acks++
+			}
+		} else if strings.Contains(line, "error") {
+			t.Fatalf("child reported: %s", line)
+		}
+		// Kill mid-load, without waiting for a quiet moment: the next write
+		// may be anywhere between "not started" and "appended but not
+		// fsynced".
+		if acks >= minAcks {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("child produced too few acks before deadline")
+		}
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL
+		t.Fatal(err)
+	}
+	// The child keeps committing between our decision to kill and the kill
+	// landing; drain the acks it managed to pipe out so the caller's
+	// "at most one unacknowledged commit" bound is measured against the
+	// child's true last ack, not the point where we stopped reading.
+	for scanner.Scan() {
+		if n, ok := strings.CutPrefix(strings.TrimSpace(scanner.Text()), "acked "); ok {
+			if i, err := strconv.ParseInt(n, 10, 64); err == nil && i > lastAcked {
+				lastAcked = i
+			}
+		}
+	}
+	_ = cmd.Wait()
+	if acks == 0 {
+		t.Fatal("child never acknowledged a write")
+	}
+	return lastAcked
+}

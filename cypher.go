@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/storage"
 	"repro/internal/value"
 )
 
@@ -50,6 +51,26 @@ type Path = value.Path
 // Value is a Cypher value as returned in query results.
 type Value = value.Value
 
+// SyncMode selects when the write-ahead log is fsynced; see the constants.
+type SyncMode = storage.SyncMode
+
+// WAL sync modes for Options.SyncMode / Open.
+const (
+	// SyncAlways fsyncs at every write-query commit (group commit coalesces
+	// concurrent committers into shared fsyncs). The default: survives
+	// process kills and power loss.
+	SyncAlways = storage.SyncAlways
+	// SyncInterval fsyncs on a background timer; a process crash loses
+	// nothing, an OS crash at most the last interval of commits.
+	SyncInterval = storage.SyncInterval
+	// SyncNone leaves flushing to the OS entirely.
+	SyncNone = storage.SyncNone
+)
+
+// DurabilityStats reports WAL and snapshot counters for a persistent graph;
+// see Graph.DurabilityStats.
+type DurabilityStats = storage.Stats
+
 // Options configures a Graph.
 type Options struct {
 	// Name is the graph's name (useful with multiple graphs); defaults to
@@ -71,26 +92,96 @@ type Options struct {
 	// MorselSize overrides the number of scan rows per parallel work unit
 	// (default 1024). Mostly useful for tests and benchmarks.
 	MorselSize int
+	// DataDir, when non-empty, makes the graph durable: mutations are
+	// journaled to a write-ahead log under this directory and Checkpoint
+	// writes full snapshots. Opening an existing directory recovers the
+	// stored graph (latest snapshot + WAL replay). Open is the
+	// error-returning way to set this; NewWithOptions panics if the
+	// directory cannot be opened.
+	DataDir string
+	// SyncMode selects WAL fsync behaviour (default SyncAlways).
+	SyncMode SyncMode
 }
 
-// Graph is an in-memory property graph together with a Cypher engine bound to
-// it. It is safe for concurrent use.
+// Graph is a property graph together with a Cypher engine bound to it. It is
+// safe for concurrent use. By default it lives purely in memory; Open (or
+// Options.DataDir) attaches a write-ahead log and snapshots so it survives
+// restarts.
 type Graph struct {
 	store  *graph.Graph
 	engine *core.Engine
 }
 
-// New creates an empty graph with default options.
+// New creates an empty in-memory graph with default options.
 func New() *Graph { return NewWithOptions(Options{}) }
 
-// NewWithOptions creates an empty graph with the given options.
+// NewWithOptions creates a graph with the given options. If opts.DataDir is
+// set it behaves like Open but panics when the directory cannot be opened or
+// recovered; use Open to handle that error.
 func NewWithOptions(opts Options) *Graph {
+	if opts.DataDir != "" {
+		g, err := Open(opts.DataDir, opts)
+		if err != nil {
+			panic(fmt.Sprintf("cypher: open %s: %v", opts.DataDir, err))
+		}
+		return g
+	}
 	name := opts.Name
 	if name == "" {
 		name = "graph"
 	}
 	store := graph.NewNamed(name)
 	return Wrap(store, opts)
+}
+
+// Open creates or opens a durable graph stored under dir: an existing data
+// directory is recovered (latest snapshot plus write-ahead-log replay, with
+// a torn final record truncated away), an empty or missing one is
+// initialised. Every write query is journaled to the WAL before its commit
+// returns (see Options.SyncMode), Checkpoint compacts the log into a
+// snapshot, and Close must be called to release the files.
+func Open(dir string, opts Options) (*Graph, error) {
+	name := opts.Name
+	if name == "" {
+		name = "graph"
+	}
+	store := graph.NewNamed(name)
+	durable, err := storage.Open(dir, store, storage.Options{SyncMode: opts.SyncMode})
+	if err != nil {
+		return nil, err
+	}
+	opts.DataDir = "" // recovery done; Wrap must not reopen
+	g := Wrap(store, opts)
+	g.engine.SetDurability(durable)
+	return g, nil
+}
+
+// Close flushes and syncs the write-ahead log and releases the data
+// directory. It is a no-op (nil) for in-memory graphs. The graph must not be
+// used afterwards.
+func (g *Graph) Close() error { return g.engine.Close() }
+
+// Checkpoint writes a point-in-time snapshot of a durable graph and
+// truncates its write-ahead log; recovery afterwards loads the snapshot
+// instead of replaying history. Readers keep running during the snapshot,
+// writers wait. It is a no-op (nil) for in-memory graphs.
+func (g *Graph) Checkpoint() error { return g.engine.Checkpoint() }
+
+// DurabilityStats reports WAL/snapshot counters for a durable graph; ok is
+// false for in-memory graphs.
+func (g *Graph) DurabilityStats() (stats DurabilityStats, ok bool) {
+	if d := g.engine.Durability(); d != nil {
+		return d.Stats(), true
+	}
+	return DurabilityStats{}, false
+}
+
+// ImportFrom copies the contents of an internal store (as built by the
+// example dataset generators) into this graph, remapping identifiers. On a
+// durable graph the whole import is journaled and committed as one batch.
+// Intended for seeding freshly created graphs.
+func (g *Graph) ImportFrom(src *graph.Graph) error {
+	return g.engine.ImportFrom(src)
 }
 
 // Wrap builds a Graph façade over an existing internal store. It is used by
@@ -132,9 +223,19 @@ func (g *Graph) Explain(query string) (string, error) {
 }
 
 // CreateIndex declares a property index on (label, property); the planner
-// uses it for NodeIndexSeek scans.
-func (g *Graph) CreateIndex(label, property string) {
-	g.store.CreateIndex(label, property)
+// uses it for NodeIndexSeek scans. On a durable graph the index declaration
+// is journaled like any other mutation, and the returned error reports a
+// WAL commit failure (always nil for in-memory graphs; the index is applied
+// in memory either way). The return may be ignored by callers that predate
+// persistence.
+func (g *Graph) CreateIndex(label, property string) error {
+	return g.engine.CreateIndex(label, property)
+}
+
+// ParseSyncMode parses a -sync style flag value: "always", "interval",
+// "none" (or "off"); the empty string defaults to SyncAlways.
+func ParseSyncMode(s string) (SyncMode, error) {
+	return storage.ParseSyncMode(s)
 }
 
 // Stats summarises the graph's size.

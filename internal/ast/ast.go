@@ -172,6 +172,17 @@ type ListComprehension struct {
 	Projection Expr
 }
 
+// Reduce is the list fold reduce(acc = init, variable IN list | expr): acc
+// starts at init and is rebound to expr for every element the variable runs
+// over; the final acc is the result.
+type Reduce struct {
+	Accumulator string
+	Init        Expr
+	Variable    string
+	List        Expr
+	Expr        Expr
+}
+
 // PatternPredicate is a pattern used as a boolean expression in WHERE, for
 // example `WHERE (a)-[:KNOWS]->(b)`, and the explicit form `EXISTS(pattern)`.
 type PatternPredicate struct {
@@ -195,6 +206,7 @@ func (*FunctionCall) exprNode()      {}
 func (*CountStar) exprNode()         {}
 func (*Case) exprNode()              {}
 func (*ListComprehension) exprNode() {}
+func (*Reduce) exprNode()            {}
 func (*PatternPredicate) exprNode()  {}
 
 // String renderings (used for implicit column names, EXPLAIN and errors).
@@ -290,5 +302,9 @@ func (e *ListComprehension) String() string {
 	}
 	sb.WriteString("]")
 	return sb.String()
+}
+func (e *Reduce) String() string {
+	return "reduce(" + e.Accumulator + " = " + e.Init.String() + ", " +
+		e.Variable + " IN " + e.List.String() + " | " + e.Expr.String() + ")"
 }
 func (e *PatternPredicate) String() string { return e.Pattern.String() }

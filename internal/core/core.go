@@ -17,6 +17,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/result"
 	"repro/internal/semantic"
+	"repro/internal/storage"
 	_ "repro/internal/temporal" // registers the Cypher 10 temporal functions
 	"repro/internal/value"
 )
@@ -82,6 +83,12 @@ type Engine struct {
 	// the graph's mutation epoch (see plancache.go). A hot query skips
 	// lexer, parser, semantic analysis and planning entirely.
 	plans *planCache
+
+	// durable, when set, is the persistence layer: the graph's mutation hook
+	// journals every change into it, and the engine group-commits the journal
+	// at the end of each write query (still under the exclusive lock, so the
+	// WAL's batch boundaries are exactly the query boundaries).
+	durable *storage.Store
 }
 
 // NewEngine creates an engine over the graph.
@@ -96,6 +103,92 @@ func NewEngine(g *graph.Graph, opts Options) *Engine {
 
 // Graph returns the engine's underlying graph.
 func (e *Engine) Graph() *graph.Graph { return e.graph }
+
+// SetDurability attaches an opened storage layer and installs its journal as
+// the graph's mutation hook. Call before the engine is shared between
+// goroutines (recovery must already have happened, so replayed mutations are
+// not re-journaled).
+func (e *Engine) SetDurability(s *storage.Store) {
+	e.durable = s
+	e.graph.SetMutationHook(s.Record)
+}
+
+// Durability returns the engine's storage layer, or nil for a purely
+// in-memory engine.
+func (e *Engine) Durability() *storage.Store { return e.durable }
+
+// Checkpoint writes a point-in-time snapshot and truncates the WAL. It holds
+// the query lock in shared mode: concurrent readers keep running, writers
+// wait for the snapshot. A no-op without a storage layer.
+func (e *Engine) Checkpoint() error {
+	if e.durable == nil {
+		return nil
+	}
+	e.execMu.RLock()
+	defer e.execMu.RUnlock()
+	return e.durable.Checkpoint(e.graph)
+}
+
+// Close flushes and closes the storage layer (if any). The engine must not
+// run further queries afterwards.
+func (e *Engine) Close() error {
+	if e.durable == nil {
+		return nil
+	}
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	return e.durable.Close()
+}
+
+// CreateIndex declares a property index under the engine's write discipline,
+// journaling it like any other mutation.
+func (e *Engine) CreateIndex(label, property string) error {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	e.graph.CreateIndex(label, property)
+	return e.commitDurable()
+}
+
+// commitDurable group-commits the journaled mutations of the current write.
+// Callers hold the exclusive query lock.
+func (e *Engine) commitDurable() error {
+	if e.durable == nil {
+		return nil
+	}
+	return e.durable.Commit()
+}
+
+// ImportFrom copies the contents of src (labels, properties, relationships,
+// indexes) into the engine's graph, remapping identifiers. It is used to
+// seed a freshly created durable graph from an example dataset; the copy is
+// journaled and committed like one big write query — including on error,
+// since partially-imported entities are already visible in memory and the
+// WAL must mirror them (the same no-rollback contract as Run).
+func (e *Engine) ImportFrom(src *graph.Graph) error {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	err := e.importLocked(src)
+	if cerr := e.commitDurable(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (e *Engine) importLocked(src *graph.Graph) error {
+	for _, idx := range src.Indexes() {
+		e.graph.CreateIndex(idx[0], idx[1])
+	}
+	nodes := map[int64]*graph.Node{}
+	for _, n := range src.Nodes() {
+		nodes[n.ID()] = e.graph.CreateNode(n.Labels(), n.Properties())
+	}
+	for _, r := range src.Relationships() {
+		if _, err := e.graph.CreateRelationship(nodes[r.StartNodeID()], nodes[r.EndNodeID()], r.RelType(), r.Properties()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Result is the outcome of running a query: the result table plus summary
 // counters.
@@ -164,10 +257,44 @@ func (e *Engine) Run(query string, params map[string]value.Value) (*Result, erro
 	if q.IsReadOnly() {
 		e.execMu.RLock()
 		defer e.execMu.RUnlock()
-	} else {
+		return e.runLocked(query, q, params)
+	}
+	// The locked section runs in a closure so its deferred Unlock also fires
+	// on a panic — a manual Unlock after a panicking query would leave the
+	// exclusive lock held forever and wedge the engine.
+	res, ticket, err := func() (res *Result, ticket storage.CommitTicket, err error) {
 		e.execMu.Lock()
 		defer e.execMu.Unlock()
+		res, err = e.runLocked(query, q, params)
+		// Journal the batch even when the query failed partway: the
+		// in-memory store has no rollback, so whatever mutations were
+		// applied before the error are real and the WAL must mirror them —
+		// otherwise a restart would silently diverge from what clients
+		// observed. The append happens under the exclusive lock (batch
+		// order = query order); the fsync deliberately happens AFTER the
+		// lock is released, so the next writer can append while this one
+		// waits on the disk and concurrent committers share fsyncs (group
+		// commit).
+		if e.durable != nil {
+			t, aerr := e.durable.Append()
+			if aerr != nil && err == nil {
+				err = fmt.Errorf("query applied in memory but WAL append failed: %w", aerr)
+			}
+			ticket = t
+		}
+		return res, ticket, err
+	}()
+	if e.durable != nil {
+		if serr := e.durable.Sync(ticket); serr != nil && err == nil {
+			err = fmt.Errorf("query applied in memory but WAL fsync failed: %w", serr)
+		}
 	}
+	return res, err
+}
+
+// runLocked plans and executes an already-checked query. Callers hold execMu
+// in the appropriate mode.
+func (e *Engine) runLocked(query string, q *ast.Query, params map[string]value.Value) (*Result, error) {
 	pl, err := e.planFor(query, q)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+)
+
+// openDurable builds an engine whose graph is journaled under dir,
+// recovering whatever the directory already holds.
+func openDurable(t *testing.T, dir string) (*Engine, *storage.Store) {
+	t.Helper()
+	g := graph.New()
+	st, err := storage.Open(dir, g, storage.Options{})
+	if err != nil {
+		t.Fatalf("storage.Open: %v", err)
+	}
+	e := NewEngine(g, Options{})
+	e.SetDurability(st)
+	return e, st
+}
+
+// mutationWorkload is a mixed sequence exercising every updating clause:
+// CREATE, MERGE, SET (property, +=, replace, label), REMOVE, DELETE and
+// DETACH DELETE, plus index DDL via the engine API.
+var mutationWorkload = []string{
+	`CREATE (:Person {name: 'Ada', born: 1815})-[:KNOWS {since: 1830}]->(:Person {name: 'Babbage'})`,
+	`CREATE (:Person {name: 'Grace', tags: ['navy', 'cobol'], meta: {rank: 1}})`,
+	`MATCH (p:Person {name: 'Ada'}) SET p.born = 1816, p.note = 'corrected'`,
+	`MATCH (p:Person {name: 'Grace'}) SET p:Admiral`,
+	`MATCH (p:Person {name: 'Babbage'}) SET p += {field: 'engines'}`,
+	`MERGE (:Person {name: 'Turing'})`,
+	`MERGE (:Person {name: 'Turing'})`, // second MERGE must be a no-op
+	`MATCH (a:Person {name: 'Grace'}), (b:Person {name: 'Turing'}) CREATE (a)-[:KNOWS {since: 1949}]->(b)`,
+	`MATCH (p:Person {name: 'Ada'}) REMOVE p.note`,
+	`MATCH (p:Admiral) REMOVE p:Admiral`,
+	`CREATE (:Scratch {v: 1})-[:T]->(:Scratch {v: 2})`,
+	`MATCH (s:Scratch) DETACH DELETE s`,
+	`MATCH (p:Person {name: 'Turing'}) SET p = {name: 'Alan Turing', born: 1912}`,
+	`CREATE (:Person {name: 'Tail'})`,
+	`MATCH (p:Person {name: 'Tail'}) DELETE p`,
+}
+
+func runWorkload(t *testing.T, e *Engine) {
+	t.Helper()
+	for _, q := range mutationWorkload {
+		if _, err := e.Run(q, nil); err != nil {
+			t.Fatalf("workload query failed: %s\n%v", q, err)
+		}
+	}
+	if err := e.CreateIndex("Person", "name"); err != nil {
+		t.Fatalf("create index: %v", err)
+	}
+}
+
+// TestRecoveryMatchesInMemoryRun is the snapshot+replay equivalence check:
+// the same workload applied to a purely in-memory engine and to a durable
+// engine that is closed and re-opened must yield byte-identical store dumps.
+func TestRecoveryMatchesInMemoryRun(t *testing.T) {
+	mem := emptyEngine()
+	runWorkload(t, mem)
+
+	dir := t.TempDir()
+	dur, st := openDurable(t, dir)
+	runWorkload(t, dur)
+	before := dur.Graph().DebugDump()
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	re, st2 := openDurable(t, dir)
+	defer st2.Close()
+	after := re.Graph().DebugDump()
+	if after != before {
+		t.Errorf("recovered state differs from pre-close state\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	if got, want := after, mem.Graph().DebugDump(); got != want {
+		t.Errorf("recovered state differs from in-memory run\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if !re.Graph().HasIndex("Person", "name") {
+		t.Error("index lost in recovery")
+	}
+}
+
+// TestCheckpointEquivalenceAndTruncation proves that a checkpoint preserves
+// state exactly, truncates the old generation, and that recovery afterwards
+// loads the snapshot plus only the post-checkpoint WAL tail.
+func TestCheckpointEquivalenceAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	e, st := openDurable(t, dir)
+	runWorkload(t, e)
+
+	if err := e.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	// Post-checkpoint writes land in the new WAL generation.
+	if _, err := e.Run(`CREATE (:Person {name: 'PostCkpt'})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := e.Graph().DebugDump()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly one generation of files remains (plus the directory lock).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, ent := range entries {
+		if ent.Name() != "LOCK" {
+			names = append(names, ent.Name())
+		}
+	}
+	if len(names) != 2 {
+		t.Fatalf("expected exactly snapshot+wal of one generation, found %v", names)
+	}
+
+	re, st2 := openDurable(t, dir)
+	defer st2.Close()
+	if got := re.Graph().DebugDump(); got != want {
+		t.Errorf("post-checkpoint recovery mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	rec := st2.Recovery()
+	if rec.SnapshotRecords == 0 {
+		t.Error("recovery did not use the snapshot")
+	}
+	if rec.WALRecords != 1 {
+		t.Errorf("recovery replayed %d WAL records, want 1 (the post-checkpoint create)", rec.WALRecords)
+	}
+}
+
+// TestRecoveryRefusesCorruptSnapshot: a published snapshot that no longer
+// loads makes recovery fail LOUDLY. Guessing — recovering from an older
+// generation or from the WAL alone — could silently resurrect a stale
+// prefix, because commits may live in the corrupt snapshot's own WAL
+// generation; the operator must inspect and decide.
+func TestRecoveryRefusesCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	e, st := openDurable(t, dir)
+	if _, err := e.Run(`CREATE (:Person {name: 'Ada'})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(`CREATE (:Person {name: 'Grace'})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Rot the published generation-1 snapshot.
+	path := filepath.Join(dir, "snapshot-000001.snap")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	g := graph.New()
+	if _, err := storage.Open(dir, g, storage.Options{}); err == nil {
+		t.Fatal("recovery over a corrupt snapshot must fail, not guess")
+	} else if !strings.Contains(err.Error(), "unreadable") {
+		t.Errorf("error should name the unreadable snapshot, got: %v", err)
+	}
+}
+
+// TestConcurrentWritersDurability hammers a durable engine with concurrent
+// writers and readers (run under -race in CI), then recovers and checks that
+// every committed write survived.
+func TestConcurrentWritersDurability(t *testing.T) {
+	dir := t.TempDir()
+	e, st := openDurable(t, dir)
+
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				q := fmt.Sprintf(`CREATE (:Item {w: %d, i: %d})`, w, i)
+				if _, err := e.Run(q, nil); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if i%5 == 0 {
+					if _, err := e.Run(`MATCH (n:Item) RETURN count(*)`, nil); err != nil {
+						t.Errorf("reader in writer %d: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, err := e.Run(`MATCH (n:Item) WHERE n.i > 10 RETURN n.w, n.i`, nil); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	want := e.Graph().DebugDump()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, st2 := openDurable(t, dir)
+	defer st2.Close()
+	res, err := re.Run(`MATCH (n:Item) RETURN count(*) AS c`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows()[0][0].String(); got != fmt.Sprint(writers*perWriter) {
+		t.Errorf("recovered %s items, want %d", got, writers*perWriter)
+	}
+	if got := re.Graph().DebugDump(); got != want {
+		t.Error("recovered state differs from pre-close state")
+	}
+}
+
+// TestFailedQueryStillJournalsPartialEffects documents the no-rollback
+// contract: a write query that errors midway leaves its partial effects in
+// memory, and recovery must reproduce exactly those effects.
+func TestFailedQueryStillJournalsPartialEffects(t *testing.T) {
+	dir := t.TempDir()
+	e, st := openDurable(t, dir)
+	if _, err := e.Run(`CREATE (:A {v: 1})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	// DELETE without DETACH on a node with relationships fails after the
+	// CREATE part of the statement sequence ran.
+	if _, err := e.Run(`CREATE (:Hub)-[:T]->(:Spoke) WITH 1 AS one MATCH (h:Hub) DELETE h`, nil); err == nil {
+		t.Fatal("expected the DELETE to fail")
+	}
+	want := e.Graph().DebugDump()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, st2 := openDurable(t, dir)
+	defer st2.Close()
+	if got := re.Graph().DebugDump(); got != want {
+		t.Errorf("partial effects not reproduced\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFailedCheckpointLeftoverDoesNotLoseWAL covers the failure atomicity of
+// Checkpoint: a checkpoint that died after creating wal-(N+1) but before
+// publishing snapshot-(N+1) leaves an unpublished orphan WAL. Recovery must
+// keep replaying the live generation's WAL (no committed write may be lost),
+// clean the orphan up, and a later Checkpoint over the same generation must
+// succeed.
+func TestFailedCheckpointLeftoverDoesNotLoseWAL(t *testing.T) {
+	dir := t.TempDir()
+	e, st := openDurable(t, dir)
+	if _, err := e.Run(`CREATE (:Person {name: 'Ada'})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := e.Graph().DebugDump()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Forge the half-done checkpoint: an unpublished wal-000001.log with a
+	// valid header and no snapshot-000001.snap.
+	orphan := filepath.Join(dir, "wal-000001.log")
+	if err := os.WriteFile(orphan, []byte("CYWAL001"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, st2 := openDurable(t, dir)
+	if got := re.Graph().DebugDump(); got != want {
+		t.Errorf("recovery with orphan WAL lost data\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("unpublished orphan WAL not cleaned up (stat err: %v)", err)
+	}
+	// The next checkpoint claims generation 1 for real.
+	if err := re.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after orphan cleanup: %v", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, st3 := openDurable(t, dir)
+	defer st3.Close()
+	if got := re2.Graph().DebugDump(); got != want {
+		t.Errorf("post-checkpoint recovery mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if st3.Recovery().Generation != 1 {
+		t.Errorf("live generation = %d, want 1", st3.Recovery().Generation)
+	}
+}
+
+// TestEntityPropertyValuesRejectedBeforeMutation: storing a graph entity as
+// a property value is a Cypher type error, and it must surface BEFORE any
+// mutation happens — on a durable graph an after-the-fact encode failure
+// would force the store into fail-stop. The data directory must stay fully
+// recoverable afterwards.
+func TestEntityPropertyValuesRejectedBeforeMutation(t *testing.T) {
+	dir := t.TempDir()
+	e, st := openDurable(t, dir)
+	if _, err := e.Run(`CREATE (:X {v: 1})`, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		`MATCH (a:X) SET a.self = a`,
+		`MATCH (a:X) CREATE (:Y {ref: a})`,
+		`MATCH (a:X) SET a.l = [1, a]`,
+		`MATCH (a:X) SET a = {ref: a}`,
+	} {
+		if _, err := e.Run(q, nil); err == nil {
+			t.Errorf("storing an entity as a property must fail: %s", q)
+		}
+	}
+	// The rejections happened pre-mutation: writes still work and the
+	// directory recovers to exactly the pre-error state plus later writes.
+	if _, err := e.Run(`MATCH (a:X) CREATE (a)-[:R]->(:Z)`, nil); err != nil {
+		t.Fatalf("store wrongly entered fail-stop: %v", err)
+	}
+	want := e.Graph().DebugDump()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, st2 := openDurable(t, dir)
+	defer st2.Close()
+	if got := re.Graph().DebugDump(); got != want {
+		t.Errorf("recovery mismatch after rejected entity-property writes\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

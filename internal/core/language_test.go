@@ -184,3 +184,80 @@ func TestUnionAllBagMultiplicity(t *testing.T) {
 		t.Errorf("UNION ALL should preserve multiplicities, got %d rows", res.Len())
 	}
 }
+
+// --- Regression tests for the PR-3 language fixes ---
+
+func TestReduceExpression(t *testing.T) {
+	e := emptyEngine()
+	res := run(t, e, "RETURN reduce(acc = 0, x IN [1, 2, 3, 4] | acc + x) AS sum, reduce(s = '', w IN ['a', 'b', 'c'] | s + w) AS cat")
+	expectOrdered(t, res, [][]any{{10, "abc"}})
+
+	// The two bound variables shadow outer names and do not leak.
+	res = run(t, e, "WITH 5 AS x RETURN reduce(acc = x, x IN [1, 2] | acc + x) AS r, x")
+	expectOrdered(t, res, [][]any{{8, 5}})
+
+	// A null list folds to null; an empty list yields the initialiser.
+	res = run(t, e, "RETURN reduce(acc = 0, x IN null | acc + x) AS a, reduce(acc = 42, x IN [] | acc + x) AS b")
+	expectOrdered(t, res, [][]any{{nil, 42}})
+
+	// Nested reduce and reduce over graph data.
+	run(t, e, "CREATE (:Acct {amounts: [10, 20]}), (:Acct {amounts: [5]})")
+	res = run(t, e, `MATCH (a:Acct) WITH collect(a.amounts) AS lists
+		RETURN reduce(total = 0, l IN lists | total + reduce(s = 0, v IN l | s + v)) AS grand`)
+	expectOrdered(t, res, [][]any{{35}})
+
+	// The accumulator and element variables are local: referencing them
+	// outside, or an undefined name inside, is a semantic error.
+	if _, err := e.Run("RETURN reduce(acc = 0, x IN [1] | acc + x) + x", nil); err == nil {
+		t.Error("reduce variable must not leak into the outer scope")
+	}
+	if _, err := e.Run("RETURN reduce(acc = 0, x IN [1] | acc + nope)", nil); err == nil {
+		t.Error("undefined variable inside reduce must be rejected")
+	}
+	// Folding a non-list is a type error.
+	if _, err := e.Run("RETURN reduce(acc = 0, x IN 7 | acc + x)", nil); err == nil {
+		t.Error("reduce over a non-list must fail")
+	}
+}
+
+func TestStringNumericConcatenation(t *testing.T) {
+	e := emptyEngine()
+	res := run(t, e, "RETURN 'a' + 1 AS a, 1 + 'a' AS b, 'x' + 1.5 AS c, 2.5 + 'y' AS d, 'n' + 1 + 2 AS e, 1 + 2 + 'n' AS f")
+	expectOrdered(t, res, [][]any{{"a1", "1a", "x1.5", "2.5y", "n12", "3n"}})
+
+	// Property-sourced values behave the same.
+	run(t, e, "CREATE (:P {name: 'v', n: 7})")
+	res = run(t, e, "MATCH (p:P) RETURN p.name + p.n AS s")
+	expectOrdered(t, res, [][]any{{"v7"}})
+
+	// Null still dominates, and non-numeric operands still mismatch.
+	res = run(t, e, "RETURN 'a' + null AS x")
+	expectOrdered(t, res, [][]any{{nil}})
+	if _, err := e.Run("RETURN true + 'a'", nil); err == nil {
+		t.Error("boolean + string must stay a type error")
+	}
+	if _, err := e.Run("RETURN 'a' + true", nil); err == nil {
+		t.Error("string + boolean must stay a type error")
+	}
+}
+
+func TestDateTimeOffsetSuffixes(t *testing.T) {
+	e := emptyEngine()
+	// Z, +hh:mm and -hh:mm all denote the same instant, normalised to UTC.
+	res := run(t, e, `RETURN datetime('2020-01-01T00:00:00Z') = datetime('2020-01-01T05:30:00+05:30') AS a,
+		datetime('2020-01-01T00:00:00Z') = datetime('2019-12-31T19:00:00-05:00') AS b,
+		year(datetime('2020-01-01T00:00:00Z')) AS y, day(datetime('2019-12-31T19:00:00-05:00')) AS d`)
+	expectOrdered(t, res, [][]any{{true, true, 2020, 1}})
+
+	// Fractional seconds with an offset, and offset without colon.
+	run(t, e, "CREATE (:T {dt: datetime('1999-06-01T12:00:00.5+0200')})")
+	res = run(t, e, "MATCH (n:T) RETURN year(n.dt) AS y")
+	expectOrdered(t, res, [][]any{{1999}})
+
+	// Local date-times (no suffix) still parse, and garbage still fails.
+	res = run(t, e, "RETURN year(datetime('2018-03-04T05:06:07')) AS y")
+	expectOrdered(t, res, [][]any{{2018}})
+	if _, err := e.Run("RETURN datetime('2018-03-04T05:06:07Q')", nil); err == nil {
+		t.Error("bad offset suffix must be rejected")
+	}
+}

@@ -110,6 +110,8 @@ func (c *Context) Evaluate(e ast.Expr, rec result.Record) (value.Value, error) {
 		return c.evalCase(x, rec)
 	case *ast.ListComprehension:
 		return c.evalListComprehension(x, rec)
+	case *ast.Reduce:
+		return c.evalReduce(x, rec)
 	case *ast.PatternPredicate:
 		if c.PatternPredicate == nil {
 			return nil, errors.New("eval: pattern predicates are not supported in this context")
@@ -525,6 +527,34 @@ func (c *Context) evalListComprehension(x *ast.ListComprehension, rec result.Rec
 	return value.NewListOf(out), nil
 }
 
+// evalReduce folds a list: the accumulator starts at Init and is rebound to
+// Expr for each element. A null list yields null, as elsewhere.
+func (c *Context) evalReduce(x *ast.Reduce, rec result.Record) (value.Value, error) {
+	acc, err := c.Evaluate(x.Init, rec)
+	if err != nil {
+		return nil, err
+	}
+	listVal, err := c.Evaluate(x.List, rec)
+	if err != nil {
+		return nil, err
+	}
+	if value.IsNull(listVal) {
+		return value.Null(), nil
+	}
+	l, ok := value.AsList(listVal)
+	if !ok {
+		return nil, fmt.Errorf("%w: reduce requires a list, got %s", ErrTypeError, listVal.Kind())
+	}
+	for _, el := range l.Elements() {
+		inner := rec.Extended(x.Accumulator, acc).Extended(x.Variable, el)
+		acc, err = c.Evaluate(x.Expr, inner)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
 func (c *Context) evalFunction(x *ast.FunctionCall, rec result.Record) (value.Value, error) {
 	if IsAggregate(x.Name) {
 		return nil, fmt.Errorf("%w: %s(...)", ErrAggregateHere, x.Name)
@@ -611,6 +641,10 @@ func WalkExpr(e ast.Expr, visit func(ast.Expr)) {
 		WalkExpr(x.List, visit)
 		WalkExpr(x.Where, visit)
 		WalkExpr(x.Projection, visit)
+	case *ast.Reduce:
+		WalkExpr(x.Init, visit)
+		WalkExpr(x.List, visit)
+		WalkExpr(x.Expr, visit)
 	}
 }
 
@@ -637,6 +671,13 @@ func Variables(e ast.Expr) []string {
 			walk(x.Where)
 			walk(x.Projection)
 			bound[x.Variable] = prev
+		case *ast.Reduce:
+			walk(x.Init)
+			walk(x.List)
+			prevAcc, prevVar := bound[x.Accumulator], bound[x.Variable]
+			bound[x.Accumulator], bound[x.Variable] = true, true
+			walk(x.Expr)
+			bound[x.Accumulator], bound[x.Variable] = prevAcc, prevVar
 		case *ast.PatternPredicate:
 			for _, v := range x.Pattern.Variables() {
 				if !bound[v] && !seen[v] {

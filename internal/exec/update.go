@@ -116,9 +116,15 @@ func (ex *Executor) evalPropertyMap(props *ast.MapLiteral, rec result.Record) (m
 			}
 			for _, mk := range m.Keys() {
 				mv, _ := m.Get(mk)
+				if !value.Storable(mv) {
+					return nil, fmt.Errorf("exec: a %s cannot be stored as a property value (key %q)", mv.Kind(), mk)
+				}
 				out[mk] = mv
 			}
 			continue
+		}
+		if !value.Storable(v) {
+			return nil, fmt.Errorf("exec: a %s cannot be stored as a property value (key %q)", v.Kind(), k)
 		}
 		out[k] = v
 	}
@@ -316,6 +322,9 @@ func propertyMapOf(v value.Value) (map[string]value.Value, error) {
 }
 
 func (ex *Executor) setProperty(subject value.Value, key string, v value.Value) error {
+	if !value.Storable(v) {
+		return fmt.Errorf("exec: a %s cannot be stored as a property value", v.Kind())
+	}
 	switch subject.Kind() {
 	case value.KindNode:
 		n, err := asGraphNode(subject)
@@ -335,6 +344,11 @@ func (ex *Executor) setProperty(subject value.Value, key string, v value.Value) 
 }
 
 func (ex *Executor) replaceProperties(subject value.Value, props map[string]value.Value) error {
+	for k, v := range props {
+		if !value.Storable(v) {
+			return fmt.Errorf("exec: a %s cannot be stored as a property value (key %q)", v.Kind(), k)
+		}
+	}
 	switch subject.Kind() {
 	case value.KindNode:
 		n, err := asGraphNode(subject)

@@ -13,6 +13,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -85,6 +86,11 @@ type Graph struct {
 	// so plan caches never serve decisions based on stale statistics or a
 	// vanished index.
 	epoch atomic.Uint64
+
+	// hook, when set, observes every mutation from inside the write lock in
+	// commit order; the storage layer journals the stream to its WAL. See
+	// SetMutationHook.
+	hook MutationHook
 }
 
 type indexKey struct {
@@ -160,6 +166,16 @@ func (n *Node) PropertyKeys() []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// Properties returns a copy of the node's property map; used by the
+// persistence and import paths, which need the whole map at once.
+func (n *Node) Properties() map[string]value.Value {
+	out := make(map[string]value.Value, len(n.props))
+	for k, v := range n.props {
+		out[k] = v
+	}
+	return out
 }
 
 // Degree returns the number of incident relationships in the given direction,
@@ -283,6 +299,16 @@ func (r *Relationship) PropertyKeys() []string {
 	return keys
 }
 
+// Properties returns a copy of the relationship's property map; used by the
+// persistence and import paths, which need the whole map at once.
+func (r *Relationship) Properties() map[string]value.Value {
+	out := make(map[string]value.Value, len(r.props))
+	for k, v := range r.props {
+		out[k] = v
+	}
+	return out
+}
+
 // --- Graph read access ---
 
 // NodeByID returns the node with the given identifier.
@@ -392,4 +418,33 @@ func (g *Graph) String() string {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return fmt.Sprintf("Graph(%s: %d nodes, %d relationships)", g.name, len(g.nodes), len(g.rels))
+}
+
+// DebugDump renders the complete logical state of the graph — ID counters,
+// indexes, nodes with labels and properties, relationships with endpoints
+// and properties — as a canonical string. Two graphs are logically identical
+// exactly when their dumps are equal; the persistence tests use this to
+// prove snapshot+replay equivalence. Not for hot paths.
+func (g *Graph) DebugDump() string {
+	var sb strings.Builder
+	nn, nr := g.IDCounters()
+	fmt.Fprintf(&sb, "counters %d %d\n", nn, nr)
+	for _, idx := range g.Indexes() {
+		fmt.Fprintf(&sb, "index (%s, %s)\n", idx[0], idx[1])
+	}
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(&sb, "node %d %v {", n.ID(), n.Labels())
+		for _, k := range n.PropertyKeys() {
+			fmt.Fprintf(&sb, " %s: %s", k, n.Property(k))
+		}
+		sb.WriteString(" }\n")
+	}
+	for _, r := range g.Relationships() {
+		fmt.Fprintf(&sb, "rel %d %d-[:%s]->%d {", r.ID(), r.StartNodeID(), r.RelType(), r.EndNodeID())
+		for _, k := range r.PropertyKeys() {
+			fmt.Fprintf(&sb, " %s: %s", k, r.Property(k))
+		}
+		sb.WriteString(" }\n")
+	}
+	return sb.String()
 }

@@ -12,9 +12,19 @@ import (
 func (g *Graph) CreateIndex(label, property string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if !g.createIndexLocked(label, property) {
+		return
+	}
+	g.emit(Mutation{Kind: MutCreateIndex, Label: label, Key: property})
+	g.bumpEpoch()
+}
+
+// createIndexLocked builds the index if it does not exist yet, reporting
+// whether anything changed. Callers hold the write lock.
+func (g *Graph) createIndexLocked(label, property string) bool {
 	key := indexKey{label: label, property: property}
 	if _, ok := g.propIndex[key]; ok {
-		return
+		return false
 	}
 	idx := make(map[string][]*Node)
 	for _, n := range g.labelIndex[label] {
@@ -24,14 +34,18 @@ func (g *Graph) CreateIndex(label, property string) {
 		}
 	}
 	g.propIndex[key] = idx
-	g.bumpEpoch()
+	return true
 }
 
 // DropIndex removes a property index.
 func (g *Graph) DropIndex(label, property string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if _, ok := g.propIndex[indexKey{label: label, property: property}]; !ok {
+		return
+	}
 	delete(g.propIndex, indexKey{label: label, property: property})
+	g.emit(Mutation{Kind: MutDropIndex, Label: label, Key: property})
 	g.bumpEpoch()
 }
 

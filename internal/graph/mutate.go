@@ -45,6 +45,7 @@ func (g *Graph) CreateNode(labels []string, props map[string]value.Value) *Node 
 		g.addToLabelIndex(l, n)
 	}
 	g.addToPropIndexes(n)
+	g.emit(Mutation{Kind: MutCreateNode, ID: n.id, Labels: n.labels, Props: n.props})
 	g.bumpEpoch()
 	return n
 }
@@ -80,6 +81,7 @@ func (g *Graph) CreateRelationship(start, end *Node, typ string, props map[strin
 		g.typeIndex[typ] = make(map[int64]*Relationship)
 	}
 	g.typeIndex[typ][r.id] = r
+	g.emit(Mutation{Kind: MutCreateRel, ID: r.id, Start: start.id, End: end.id, Label: typ, Props: r.props})
 	g.bumpEpoch()
 	return r, nil
 }
@@ -99,6 +101,7 @@ func (g *Graph) deleteRelationshipLocked(r *Relationship) error {
 	delete(g.typeIndex[r.typ], r.id)
 	r.start.out = removeRel(r.start.out, r)
 	r.end.in = removeRel(r.end.in, r)
+	g.emit(Mutation{Kind: MutDeleteRel, ID: r.id})
 	g.bumpEpoch()
 	return nil
 }
@@ -153,6 +156,7 @@ func (g *Graph) removeNodeLocked(n *Node) {
 		delete(g.labelIndex[l], n.id)
 	}
 	g.removeFromPropIndexes(n)
+	g.emit(Mutation{Kind: MutDeleteNode, ID: n.id})
 	g.bumpEpoch()
 }
 
@@ -170,6 +174,7 @@ func (g *Graph) SetNodeProperty(n *Node, key string, v value.Value) error {
 		n.props[key] = v
 	}
 	g.addToPropIndexes(n)
+	g.emit(Mutation{Kind: MutSetNodeProp, ID: n.id, Key: key, Value: v})
 	g.bumpEpoch()
 	return nil
 }
@@ -187,6 +192,7 @@ func (g *Graph) SetRelationshipProperty(r *Relationship, key string, v value.Val
 	} else {
 		r.props[key] = v
 	}
+	g.emit(Mutation{Kind: MutSetRelProp, ID: r.id, Key: key, Value: v})
 	g.bumpEpoch()
 	return nil
 }
@@ -206,6 +212,7 @@ func (g *Graph) ReplaceNodeProperties(n *Node, props map[string]value.Value) err
 		}
 	}
 	g.addToPropIndexes(n)
+	g.emit(Mutation{Kind: MutReplaceNodeProps, ID: n.id, Props: n.props})
 	g.bumpEpoch()
 	return nil
 }
@@ -223,6 +230,7 @@ func (g *Graph) ReplaceRelationshipProperties(r *Relationship, props map[string]
 			r.props[k] = v
 		}
 	}
+	g.emit(Mutation{Kind: MutReplaceRelProps, ID: r.id, Props: r.props})
 	g.bumpEpoch()
 	return nil
 }
@@ -241,6 +249,7 @@ func (g *Graph) AddNodeLabel(n *Node, label string) error {
 	sort.Strings(n.labels)
 	g.addToLabelIndex(label, n)
 	g.addToPropIndexes(n)
+	g.emit(Mutation{Kind: MutAddLabel, ID: n.id, Label: label})
 	g.bumpEpoch()
 	return nil
 }
@@ -260,6 +269,7 @@ func (g *Graph) RemoveNodeLabel(n *Node, label string) error {
 	n.labels = append(n.labels[:i], n.labels[i+1:]...)
 	delete(g.labelIndex[label], n.id)
 	g.addToPropIndexes(n)
+	g.emit(Mutation{Kind: MutRemoveLabel, ID: n.id, Label: label})
 	g.bumpEpoch()
 	return nil
 }

@@ -1,0 +1,306 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// MutationKind identifies a logical mutation of the graph. The set of kinds
+// is exactly the set of primitives every updating clause funnels through
+// (mutate.go and index.go), so a stream of Mutation records is a complete
+// description of how a graph evolved — the property the storage layer's
+// write-ahead log relies on.
+type MutationKind uint8
+
+// The logical mutation kinds.
+const (
+	// MutCreateNode creates a node with ID, Labels and Props.
+	MutCreateNode MutationKind = iota + 1
+	// MutDeleteNode deletes the node ID (its relationships are already gone).
+	MutDeleteNode
+	// MutCreateRel creates relationship ID of type Label from Start to End
+	// with Props.
+	MutCreateRel
+	// MutDeleteRel deletes the relationship ID.
+	MutDeleteRel
+	// MutSetNodeProp sets property Key on node ID to Value (null removes).
+	MutSetNodeProp
+	// MutSetRelProp sets property Key on relationship ID to Value (null
+	// removes).
+	MutSetRelProp
+	// MutReplaceNodeProps replaces all properties of node ID with Props.
+	MutReplaceNodeProps
+	// MutReplaceRelProps replaces all properties of relationship ID with
+	// Props.
+	MutReplaceRelProps
+	// MutAddLabel adds Label to node ID.
+	MutAddLabel
+	// MutRemoveLabel removes Label from node ID.
+	MutRemoveLabel
+	// MutCreateIndex declares a property index on (Label, Key).
+	MutCreateIndex
+	// MutDropIndex drops the property index on (Label, Key).
+	MutDropIndex
+)
+
+// String names the mutation kind (used by the WAL dump tool and errors).
+func (k MutationKind) String() string {
+	switch k {
+	case MutCreateNode:
+		return "CREATE_NODE"
+	case MutDeleteNode:
+		return "DELETE_NODE"
+	case MutCreateRel:
+		return "CREATE_REL"
+	case MutDeleteRel:
+		return "DELETE_REL"
+	case MutSetNodeProp:
+		return "SET_NODE_PROP"
+	case MutSetRelProp:
+		return "SET_REL_PROP"
+	case MutReplaceNodeProps:
+		return "REPLACE_NODE_PROPS"
+	case MutReplaceRelProps:
+		return "REPLACE_REL_PROPS"
+	case MutAddLabel:
+		return "ADD_LABEL"
+	case MutRemoveLabel:
+		return "REMOVE_LABEL"
+	case MutCreateIndex:
+		return "CREATE_INDEX"
+	case MutDropIndex:
+		return "DROP_INDEX"
+	default:
+		return fmt.Sprintf("MUTATION(%d)", uint8(k))
+	}
+}
+
+// Mutation is one logical change to the graph. Which fields are meaningful
+// depends on Kind; unused fields are zero. Label doubles as the relationship
+// type for MutCreateRel and as the index label for the index kinds; Key
+// doubles as the index property.
+type Mutation struct {
+	Kind       MutationKind
+	ID         int64
+	Start, End int64
+	Label      string
+	Key        string
+	Value      value.Value
+	Labels     []string
+	Props      map[string]value.Value
+}
+
+// MutationHook observes committed-to-memory mutations. It is invoked
+// synchronously inside the graph's write lock, in mutation order, after the
+// in-memory change has been applied — so the sequence of hook calls replayed
+// through Apply reproduces the store exactly. Hooks must be fast and must
+// not call back into the graph. The Labels and Props fields reference live
+// store state; hooks that retain a Mutation beyond the call must copy them
+// (the storage journal encodes them to bytes immediately instead).
+type MutationHook func(m Mutation)
+
+// SetMutationHook installs the (single) mutation hook; nil removes it. It is
+// intended to be called once, before the graph is shared between goroutines.
+func (g *Graph) SetMutationHook(h MutationHook) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.hook = h
+}
+
+// emit reports a mutation to the hook. Callers hold the write lock.
+func (g *Graph) emit(m Mutation) {
+	if g.hook != nil {
+		g.hook(m)
+	}
+}
+
+// IDCounters returns the next-ID counters (last assigned node and
+// relationship identifiers). The storage layer records them in snapshots so
+// recovery never reuses the identifier of a deleted entity.
+func (g *Graph) IDCounters() (node, rel int64) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.nextNodeID, g.nextRelID
+}
+
+// SetIDCounters raises the next-ID counters to at least the given values.
+// Used by recovery after replaying a snapshot.
+func (g *Graph) SetIDCounters(node, rel int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if node > g.nextNodeID {
+		g.nextNodeID = node
+	}
+	if rel > g.nextRelID {
+		g.nextRelID = rel
+	}
+}
+
+// Apply replays a logical mutation with explicit identifiers, as read back
+// from a snapshot or the write-ahead log. It mirrors the normal mutation
+// methods but honours the recorded IDs instead of allocating fresh ones, and
+// it does not invoke the mutation hook (replaying must not re-journal).
+func (g *Graph) Apply(m Mutation) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch m.Kind {
+	case MutCreateNode:
+		if _, ok := g.nodes[m.ID]; ok {
+			return fmt.Errorf("graph: apply %s: node %d already exists", m.Kind, m.ID)
+		}
+		n := &Node{
+			id:     m.ID,
+			graph:  g,
+			labels: append([]string(nil), m.Labels...),
+			props:  make(map[string]value.Value, len(m.Props)),
+		}
+		for k, v := range m.Props {
+			if !value.IsNull(v) {
+				n.props[k] = v
+			}
+		}
+		g.nodes[n.id] = n
+		for _, l := range n.labels {
+			g.addToLabelIndex(l, n)
+		}
+		g.addToPropIndexes(n)
+		if m.ID > g.nextNodeID {
+			g.nextNodeID = m.ID
+		}
+	case MutDeleteNode:
+		n, ok := g.nodes[m.ID]
+		if !ok {
+			return fmt.Errorf("graph: apply %s: node %d not found", m.Kind, m.ID)
+		}
+		if len(n.out) > 0 || len(n.in) > 0 {
+			return fmt.Errorf("graph: apply %s: node %d still has relationships", m.Kind, m.ID)
+		}
+		delete(g.nodes, n.id)
+		for _, l := range n.labels {
+			delete(g.labelIndex[l], n.id)
+		}
+		g.removeFromPropIndexes(n)
+	case MutCreateRel:
+		if _, ok := g.rels[m.ID]; ok {
+			return fmt.Errorf("graph: apply %s: relationship %d already exists", m.Kind, m.ID)
+		}
+		start, ok := g.nodes[m.Start]
+		if !ok {
+			return fmt.Errorf("graph: apply %s: start node %d not found", m.Kind, m.Start)
+		}
+		end, ok := g.nodes[m.End]
+		if !ok {
+			return fmt.Errorf("graph: apply %s: end node %d not found", m.Kind, m.End)
+		}
+		r := &Relationship{
+			id:    m.ID,
+			typ:   m.Label,
+			start: start,
+			end:   end,
+			props: make(map[string]value.Value, len(m.Props)),
+		}
+		for k, v := range m.Props {
+			if !value.IsNull(v) {
+				r.props[k] = v
+			}
+		}
+		g.rels[r.id] = r
+		start.out = append(start.out, r)
+		end.in = append(end.in, r)
+		if g.typeIndex[r.typ] == nil {
+			g.typeIndex[r.typ] = make(map[int64]*Relationship)
+		}
+		g.typeIndex[r.typ][r.id] = r
+		if m.ID > g.nextRelID {
+			g.nextRelID = m.ID
+		}
+	case MutDeleteRel:
+		r, ok := g.rels[m.ID]
+		if !ok {
+			return fmt.Errorf("graph: apply %s: relationship %d not found", m.Kind, m.ID)
+		}
+		delete(g.rels, r.id)
+		delete(g.typeIndex[r.typ], r.id)
+		r.start.out = removeRel(r.start.out, r)
+		r.end.in = removeRel(r.end.in, r)
+	case MutSetNodeProp:
+		n, ok := g.nodes[m.ID]
+		if !ok {
+			return fmt.Errorf("graph: apply %s: node %d not found", m.Kind, m.ID)
+		}
+		g.removeFromPropIndexes(n)
+		if value.IsNull(m.Value) {
+			delete(n.props, m.Key)
+		} else {
+			n.props[m.Key] = m.Value
+		}
+		g.addToPropIndexes(n)
+	case MutSetRelProp:
+		r, ok := g.rels[m.ID]
+		if !ok {
+			return fmt.Errorf("graph: apply %s: relationship %d not found", m.Kind, m.ID)
+		}
+		if value.IsNull(m.Value) {
+			delete(r.props, m.Key)
+		} else {
+			r.props[m.Key] = m.Value
+		}
+	case MutReplaceNodeProps:
+		n, ok := g.nodes[m.ID]
+		if !ok {
+			return fmt.Errorf("graph: apply %s: node %d not found", m.Kind, m.ID)
+		}
+		g.removeFromPropIndexes(n)
+		n.props = make(map[string]value.Value, len(m.Props))
+		for k, v := range m.Props {
+			if !value.IsNull(v) {
+				n.props[k] = v
+			}
+		}
+		g.addToPropIndexes(n)
+	case MutReplaceRelProps:
+		r, ok := g.rels[m.ID]
+		if !ok {
+			return fmt.Errorf("graph: apply %s: relationship %d not found", m.Kind, m.ID)
+		}
+		r.props = make(map[string]value.Value, len(m.Props))
+		for k, v := range m.Props {
+			if !value.IsNull(v) {
+				r.props[k] = v
+			}
+		}
+	case MutAddLabel:
+		n, ok := g.nodes[m.ID]
+		if !ok {
+			return fmt.Errorf("graph: apply %s: node %d not found", m.Kind, m.ID)
+		}
+		if !n.HasLabel(m.Label) {
+			n.labels = append(n.labels, m.Label)
+			sort.Strings(n.labels)
+			g.addToLabelIndex(m.Label, n)
+			g.addToPropIndexes(n)
+		}
+	case MutRemoveLabel:
+		n, ok := g.nodes[m.ID]
+		if !ok {
+			return fmt.Errorf("graph: apply %s: node %d not found", m.Kind, m.ID)
+		}
+		if n.HasLabel(m.Label) {
+			g.removeFromPropIndexes(n)
+			i := sort.SearchStrings(n.labels, m.Label)
+			n.labels = append(n.labels[:i], n.labels[i+1:]...)
+			delete(g.labelIndex[m.Label], n.id)
+			g.addToPropIndexes(n)
+		}
+	case MutCreateIndex:
+		g.createIndexLocked(m.Label, m.Key)
+	case MutDropIndex:
+		delete(g.propIndex, indexKey{label: m.Label, property: m.Key})
+	default:
+		return fmt.Errorf("graph: apply: unknown mutation kind %d", m.Kind)
+	}
+	g.bumpEpoch()
+	return nil
+}

@@ -359,6 +359,9 @@ func (p *Parser) parseFunctionOrVariable() (ast.Expr, error) {
 	}
 	p.next() // consume '('
 	call := &ast.FunctionCall{Name: strings.ToLower(name)}
+	if call.Name == "reduce" {
+		return p.parseReduceTail()
+	}
 	if p.peek().Type == lexer.Star && call.Name == "count" {
 		p.next()
 		if _, err := p.expect(lexer.RParen, "')' closing count(*)"); err != nil {
@@ -457,6 +460,60 @@ func (p *Parser) parseExists() (ast.Expr, error) {
 		return nil, err
 	}
 	return &ast.FunctionCall{Name: "exists", Args: []ast.Expr{arg}}, nil
+}
+
+// parseReduceTail parses the body of reduce(acc = init, x IN list | expr)
+// after the opening parenthesis. reduce is a binding form, not an ordinary
+// function call: acc and x become locally bound variables of the final
+// expression.
+func (p *Parser) parseReduceTail() (ast.Expr, error) {
+	red := &ast.Reduce{}
+	tok := p.peek()
+	if tok.Type != lexer.Ident {
+		return nil, p.errorf("expected an accumulator variable in reduce(...), found %s", tok)
+	}
+	red.Accumulator = p.next().StrVal
+	if _, err := p.expect(lexer.Eq, "'=' after the reduce accumulator"); err != nil {
+		return nil, err
+	}
+	init, err := p.parseExpression()
+	if err != nil {
+		return nil, err
+	}
+	red.Init = init
+	if _, err := p.expect(lexer.Comma, "',' after the reduce accumulator initialiser"); err != nil {
+		return nil, err
+	}
+	tok = p.peek()
+	if tok.Type != lexer.Ident {
+		return nil, p.errorf("expected an iteration variable in reduce(...), found %s", tok)
+	}
+	red.Variable = p.next().StrVal
+	if red.Variable == red.Accumulator {
+		// Shadowing the accumulator would silently degenerate the fold to
+		// a function of the last element only.
+		return nil, p.errorf("variable `%s` already declared as the reduce accumulator", red.Variable)
+	}
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	list, err := p.parseExpression()
+	if err != nil {
+		return nil, err
+	}
+	red.List = list
+	if _, err := p.expect(lexer.Pipe, "'|' before the reduce expression"); err != nil {
+		return nil, err
+	}
+	expr, err := p.parseExpression()
+	if err != nil {
+		return nil, err
+	}
+	red.Expr = expr
+	if _, err := p.expect(lexer.RParen, "')' closing reduce(...)"); err != nil {
+		return nil, err
+	}
+	return red, nil
 }
 
 func (p *Parser) parseListLiteralOrComprehension() (ast.Expr, error) {

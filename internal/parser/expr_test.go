@@ -346,3 +346,40 @@ func TestExpressionStringForms(t *testing.T) {
 		}
 	}
 }
+
+func TestParseReduce(t *testing.T) {
+	e := parseExpr(t, "reduce(acc = 0, x IN [1, 2] | acc + x)")
+	red, ok := e.(*ast.Reduce)
+	if !ok {
+		t.Fatalf("expected *ast.Reduce, got %T", e)
+	}
+	if red.Accumulator != "acc" || red.Variable != "x" {
+		t.Errorf("bound variables: %q, %q", red.Accumulator, red.Variable)
+	}
+	if red.Init == nil || red.List == nil || red.Expr == nil {
+		t.Fatalf("incomplete reduce: %+v", red)
+	}
+	if got := red.String(); got != "reduce(acc = 0, x IN [1, 2] | acc + x)" {
+		t.Errorf("String() = %q", got)
+	}
+
+	// reduce nests and composes with other expressions.
+	e = parseExpr(t, "1 + reduce(s = '', c IN reduce(l = [], y IN [1] | l + y) | s + c)")
+	if _, ok := e.(*ast.BinaryOp); !ok {
+		t.Errorf("nested reduce should parse inside arithmetic, got %T", e)
+	}
+
+	// Malformed variants are syntax errors.
+	for _, bad := range []string{
+		"reduce(acc, x IN [1] | acc)",        // missing = init
+		"reduce(acc = 0, x IN [1])",          // missing | expr
+		"reduce(acc = 0 | acc)",              // missing iteration
+		"reduce(acc = 0, x [1] | acc)",       // missing IN
+		"reduce(acc = 0, x IN [1] | acc, 1)", // trailing argument
+		"reduce(x = 0, x IN [1, 2] | x + 1)", // iteration variable shadows the accumulator
+	} {
+		if _, err := ParseExpression(bad); err == nil {
+			t.Errorf("ParseExpression(%q) should fail", bad)
+		}
+	}
+}

@@ -323,6 +323,20 @@ func rewriteExpr(e ast.Expr, replace func(ast.Expr) (ast.Expr, bool, error)) (as
 			return nil, err
 		}
 		return &ast.ListComprehension{Variable: x.Variable, List: list, Where: where, Projection: proj}, nil
+	case *ast.Reduce:
+		init, err := rw(x.Init)
+		if err != nil {
+			return nil, err
+		}
+		list, err := rw(x.List)
+		if err != nil {
+			return nil, err
+		}
+		expr, err := rw(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Reduce{Accumulator: x.Accumulator, Init: init, Variable: x.Variable, List: list, Expr: expr}, nil
 	default:
 		return e, nil
 	}

@@ -122,6 +122,13 @@ var differentialCorpus = []string{
 	"MATCH (a) RETURN count(*) AS c, min(a.name) AS lo, max(a.name) AS hi",
 	"MATCH (a:Teacher) OPTIONAL MATCH (a)-[:KNOWS]->(b) RETURN a.name AS a, count(b) AS friends",
 	"MATCH (a) RETURN CASE WHEN a:Teacher THEN 'T' ELSE 'S' END AS kind, count(*) AS c",
+	// Expression fixes (PR 3): reduce, string/number concatenation, datetime
+	// offsets — the oracle shares the expression evaluator, so these assert
+	// that the engine's planning/rewriting layers do not diverge from it.
+	"UNWIND [1, 2, 3] AS x WITH collect(x) AS xs RETURN reduce(acc = 0, v IN xs | acc + v) AS sum",
+	"MATCH (a) RETURN reduce(s = '', c IN [a.name, '!'] | s + c) AS tagged",
+	"MATCH (a) RETURN a.name + 1 AS suffixed, 0 + a.name AS prefixed",
+	"RETURN datetime('2020-01-01T00:00:00Z') = datetime('2019-12-31T19:00:00-05:00') AS same",
 }
 
 // TestDifferentialEngineVsReference runs the corpus through both the

@@ -248,6 +248,29 @@ func checkExpr(e ast.Expr, sc scope, allowAggregate bool) error {
 	if !allowAggregate && eval.ContainsAggregate(e) {
 		return errorf("aggregating functions are not allowed in this context (%s)", e.String())
 	}
+	// Aggregates cannot appear under a binding form even in aggregating
+	// projections: hoisting sum(x) out of reduce(acc = 0, x IN ... | acc +
+	// sum(x)) would evaluate it against the outer scope, not the bound
+	// variable it references.
+	var bindErr error
+	eval.WalkExpr(e, func(sub ast.Expr) {
+		if bindErr != nil {
+			return
+		}
+		switch b := sub.(type) {
+		case *ast.Reduce:
+			if eval.ContainsAggregate(b.Expr) {
+				bindErr = errorf("aggregating functions are not allowed inside a reduce expression (%s)", b.String())
+			}
+		case *ast.ListComprehension:
+			if eval.ContainsAggregate(b.Where) || eval.ContainsAggregate(b.Projection) {
+				bindErr = errorf("aggregating functions are not allowed inside a list comprehension (%s)", b.String())
+			}
+		}
+	})
+	if bindErr != nil {
+		return bindErr
+	}
 	var patternVars scope
 	eval.WalkExpr(e, func(sub ast.Expr) {
 		if pp, ok := sub.(*ast.PatternPredicate); ok {

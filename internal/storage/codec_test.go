@@ -1,0 +1,423 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/temporal"
+	"repro/internal/value"
+)
+
+// allKindsBatch exercises every mutation kind and every persistable value
+// type.
+func allKindsBatch() []graph.Mutation {
+	props := map[string]value.Value{
+		"null":   value.Null(),
+		"bool":   value.NewBool(true),
+		"int":    value.NewInt(-42),
+		"float":  value.NewFloat(3.5),
+		"string": value.NewString("héllo \x00 world"),
+		"list":   value.NewList(value.NewInt(1), value.NewString("x"), value.NewList(value.NewBool(false))),
+		"map": value.NewMap(map[string]value.Value{
+			"nested": value.NewList(value.NewFloat(1.25)),
+			"s":      value.NewString(""),
+		}),
+		"date": temporal.Date{Year: 2020, Month: time.March, Day: 14},
+		"datetime": temporal.DateTime{
+			Date: temporal.Date{Year: 1999, Month: time.December, Day: 31},
+			Hour: 23, Minute: 59, Second: 58, Nanosecond: 123456789,
+		},
+		"duration": temporal.Duration{Months: 1, Days: -2, Seconds: 3600, Nanos: 42},
+	}
+	return []graph.Mutation{
+		{Kind: graph.MutCreateNode, ID: 1, Labels: []string{"A", "B"}, Props: props},
+		{Kind: graph.MutCreateNode, ID: 2},
+		{Kind: graph.MutCreateRel, ID: 1, Start: 1, End: 2, Label: "REL", Props: map[string]value.Value{"w": value.NewInt(7)}},
+		{Kind: graph.MutSetNodeProp, ID: 1, Key: "k", Value: value.NewString("v")},
+		{Kind: graph.MutSetNodeProp, ID: 1, Key: "k", Value: value.Null()},
+		{Kind: graph.MutSetRelProp, ID: 1, Key: "w", Value: value.NewFloat(2.5)},
+		{Kind: graph.MutReplaceNodeProps, ID: 2, Props: map[string]value.Value{"a": value.NewInt(1)}},
+		{Kind: graph.MutReplaceRelProps, ID: 1, Props: map[string]value.Value{}},
+		{Kind: graph.MutAddLabel, ID: 2, Label: "C"},
+		{Kind: graph.MutRemoveLabel, ID: 2, Label: "C"},
+		{Kind: graph.MutCreateIndex, Label: "A", Key: "k"},
+		{Kind: graph.MutDropIndex, Label: "A", Key: "k"},
+		{Kind: graph.MutDeleteRel, ID: 1},
+		{Kind: graph.MutDeleteNode, ID: 2},
+	}
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	in := allKindsBatch()
+	payload, err := encodeBatch(in)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := decodeBatch(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		got, want := out[i], in[i]
+		if got.Kind != want.Kind || got.ID != want.ID || got.Start != want.Start ||
+			got.End != want.End || got.Label != want.Label || got.Key != want.Key {
+			t.Errorf("record %d: got %+v, want %+v", i, got, want)
+		}
+		if len(got.Labels) != len(want.Labels) || (len(want.Labels) > 0 && !reflect.DeepEqual(got.Labels, want.Labels)) {
+			t.Errorf("record %d labels: got %v, want %v", i, got.Labels, want.Labels)
+		}
+		if len(got.Props) != propsLenNonNull(want.Props) && len(got.Props) != len(want.Props) {
+			t.Errorf("record %d props: got %d entries, want %d", i, len(got.Props), len(want.Props))
+		}
+		for k, wv := range want.Props {
+			gv, ok := got.Props[k]
+			if !ok {
+				t.Errorf("record %d prop %q missing", i, k)
+				continue
+			}
+			if gv.String() != wv.String() {
+				t.Errorf("record %d prop %q: got %s, want %s", i, k, gv, wv)
+			}
+		}
+		if want.Value != nil {
+			if got.Value == nil || got.Value.String() != want.Value.String() {
+				t.Errorf("record %d value: got %v, want %v", i, got.Value, want.Value)
+			}
+		}
+	}
+}
+
+func propsLenNonNull(props map[string]value.Value) int {
+	n := 0
+	for _, v := range props {
+		if !value.IsNull(v) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestValueCodecRejectsEntities(t *testing.T) {
+	g := graph.New()
+	n := g.CreateNode([]string{"X"}, nil)
+	var e encoder
+	if err := e.encodeValue(value.NewNode(n)); err == nil {
+		t.Fatal("encoding a node value should fail")
+	}
+}
+
+// writeEntries appends framed batches to a fresh WAL file and returns it.
+func writeEntries(t *testing.T, path string, batches ...[]graph.Mutation) {
+	t.Helper()
+	w, err := createWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		payload, err := encodeBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := w.append(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.syncTo(off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-000000.log")
+	b1 := []graph.Mutation{{Kind: graph.MutCreateNode, ID: 1, Labels: []string{"A"}}}
+	b2 := allKindsBatch()
+	writeEntries(t, path, b1, b2)
+
+	var got [][]graph.Mutation
+	end, torn, records, err := replayWAL(path, func(e walEntry) error {
+		got = append(got, e.Mutations)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if torn {
+		t.Error("unexpected torn tail")
+	}
+	if records != len(b1)+len(b2) {
+		t.Errorf("replayed %d records, want %d", records, len(b1)+len(b2))
+	}
+	if len(got) != 2 {
+		t.Fatalf("replayed %d batches, want 2", len(got))
+	}
+	fi, _ := os.Stat(path)
+	if end != fi.Size() {
+		t.Errorf("valid end %d != file size %d", end, fi.Size())
+	}
+}
+
+func TestWALTornTailDetectedAndTruncated(t *testing.T) {
+	// Every mangler takes (intact first entry bytes, complete second entry
+	// bytes) and returns a file whose first entry must survive recovery and
+	// whose tail must be diagnosed as torn.
+	for name, mangle := range map[string]func(first, second []byte) []byte{
+		"torn header": func(first, _ []byte) []byte { return append(first, 0x01, 0x02, 0x03) },
+		"torn payload": func(first, second []byte) []byte {
+			return append(first, second[:len(second)-1]...) // header + payload minus a byte
+		},
+		"corrupt entry": func(first, second []byte) []byte {
+			second[len(second)-1] ^= 0xFF // bit-rot in the final entry
+			return append(first, second...)
+		},
+		"garbage length": func(first, _ []byte) []byte {
+			return append(first, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "wal-000000.log")
+			good := []graph.Mutation{{Kind: graph.MutCreateNode, ID: 1, Labels: []string{"A"}}}
+			bad := []graph.Mutation{{Kind: graph.MutCreateNode, ID: 2, Labels: []string{"B"}}}
+			writeEntries(t, path, good, bad)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Learn the first-entry boundary by writing a single-entry file
+			// of the same first batch and taking its size.
+			single := filepath.Join(dir, "wal-000001.log")
+			writeEntries(t, single, good)
+			fi, _ := os.Stat(single)
+			cut := fi.Size()
+			first := append([]byte(nil), raw[:cut]...)
+			second := append([]byte(nil), raw[cut:]...)
+			if err := os.WriteFile(path, mangle(first, second), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			validEnd, torn, records, err := replayWAL(path, nil)
+			if err != nil {
+				t.Fatalf("replay after mangle: %v", err)
+			}
+			if !torn {
+				t.Fatal("expected a torn tail")
+			}
+			if records != 1 {
+				t.Errorf("replayed %d records, want 1 (the intact entry)", records)
+			}
+			if validEnd != cut {
+				t.Errorf("valid end %d, want %d", validEnd, cut)
+			}
+
+			// openWALForAppend must truncate the garbage and leave an
+			// appendable log.
+			w, err := openWALForAppend(path, validEnd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload, _ := encodeBatch([]graph.Mutation{{Kind: graph.MutCreateNode, ID: 3}})
+			off, err := w.append(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.syncTo(off); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.close(); err != nil {
+				t.Fatal(err)
+			}
+			_, torn2, records2, err := replayWAL(path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if torn2 || records2 != 2 {
+				t.Errorf("after truncate+append: torn=%v records=%d, want clean 2", torn2, records2)
+			}
+		})
+	}
+}
+
+func TestWALCorruptFirstEntryLosesEverythingAfterIt(t *testing.T) {
+	// A corrupt entry in the middle stops replay there: later entries are
+	// unreachable (by design — order is the contract).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal-000000.log")
+	b := []graph.Mutation{{Kind: graph.MutCreateNode, ID: 1}}
+	writeEntries(t, path, b, b, b)
+	raw, _ := os.ReadFile(path)
+	// Flip a byte inside the first entry's payload (after magic + header).
+	raw[len(walMagic)+entryHeaderSize] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	validEnd, torn, records, err := replayWAL(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn || records != 0 || validEnd != int64(len(walMagic)) {
+		t.Errorf("got torn=%v records=%d validEnd=%d, want torn, 0 records, end at header", torn, records, validEnd)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := graph.New()
+	g.CreateIndex("A", "k")
+	n1 := g.CreateNode([]string{"A"}, map[string]value.Value{"k": value.NewInt(1)})
+	n2 := g.CreateNode([]string{"B"}, map[string]value.Value{"s": value.NewString("x")})
+	if _, err := g.CreateRelationship(n1, n2, "R", map[string]value.Value{"w": value.NewFloat(0.5)}); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	img := buildSnapshotImage(g, 7)
+	if _, err := writeSnapshot(dir, img); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := readSnapshot(filepath.Join(dir, snapshotName(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Gen != 7 || loaded.NextNode != 2 || loaded.NextRel != 1 {
+		t.Errorf("header: %+v", loaded)
+	}
+	g2 := graph.New()
+	for _, m := range loaded.Mutations {
+		if err := g2.Apply(m); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+	if got, want := g2.DebugDump(), g.DebugDump(); got != want {
+		t.Errorf("snapshot round trip mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	g := graph.New()
+	g.CreateNode([]string{"A"}, map[string]value.Value{"k": value.NewInt(1)})
+	dir := t.TempDir()
+	if _, err := writeSnapshot(dir, buildSnapshotImage(g, 1)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, snapshotName(1))
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSnapshot(path); err == nil {
+		t.Fatal("corrupt snapshot must not load")
+	}
+}
+
+// TestCommitFailStopOnEncodeError: if a record ever fails to encode (an
+// encoder bug — the executor rejects non-storable values first), the store
+// must go fail-stop rather than let later commits journal records that
+// reference entities missing from the log.
+func TestCommitFailStopOnEncodeError(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New()
+	st, err := Open(dir, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	g.SetMutationHook(st.Record)
+
+	node := g.CreateNode([]string{"A"}, nil) // journaled fine
+	// Force an encode failure by injecting an unencodable property value.
+	st.Record(graph.Mutation{Kind: graph.MutSetNodeProp, ID: node.ID(), Key: "bad", Value: value.NewNode(node)})
+	if err := st.Commit(); err == nil {
+		t.Fatal("commit of an unencodable record must fail")
+	}
+	// Fail-stop: subsequent commits are refused...
+	g.CreateNode([]string{"B"}, nil)
+	if err := st.Commit(); err == nil {
+		t.Fatal("commit after a dropped batch must be refused (fail-stop)")
+	}
+	// ...until a checkpoint recaptures the in-memory state and repairs it.
+	if err := st.Checkpoint(g); err != nil {
+		t.Fatalf("checkpoint repair: %v", err)
+	}
+	g.CreateNode([]string{"C"}, nil)
+	if err := st.Commit(); err != nil {
+		t.Fatalf("commit after checkpoint repair: %v", err)
+	}
+	if err := st.Close(); err != nil { // release the directory lock
+		t.Fatal(err)
+	}
+
+	g2 := graph.New()
+	st2, err := Open(dir, g2, Options{})
+	if err != nil {
+		t.Fatalf("recovery after fail-stop + repair: %v", err)
+	}
+	defer st2.Close()
+	if got, want := g2.DebugDump(), g.DebugDump(); got != want {
+		t.Errorf("recovered state mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSnapshotMultiChunk forces the chunked snapshot writer to emit many
+// frames and checks the image survives the round trip — this is the path
+// that keeps checkpoints working for graphs whose serialized state exceeds
+// any single frame's size limit.
+func TestSnapshotMultiChunk(t *testing.T) {
+	old := snapshotChunkTarget
+	snapshotChunkTarget = 64 // bytes: force a frame every record or two
+	defer func() { snapshotChunkTarget = old }()
+
+	g := graph.New()
+	g.CreateIndex("P", "k")
+	var prev *graph.Node
+	for i := 0; i < 100; i++ {
+		n := g.CreateNode([]string{"P"}, map[string]value.Value{
+			"k":    value.NewInt(int64(i)),
+			"name": value.NewString("node with a reasonably long property value"),
+		})
+		if prev != nil {
+			if _, err := g.CreateRelationship(prev, n, "NEXT", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = n
+	}
+
+	dir := t.TempDir()
+	if _, err := writeSnapshot(dir, buildSnapshotImage(g, 3)); err != nil {
+		t.Fatal(err)
+	}
+	img, err := readSnapshot(filepath.Join(dir, snapshotName(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := graph.New()
+	for _, m := range img.Mutations {
+		if err := g2.Apply(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g2.SetIDCounters(img.NextNode, img.NextRel)
+	if got, want := g2.DebugDump(), g.DebugDump(); got != want {
+		t.Errorf("multi-chunk snapshot round trip mismatch")
+	}
+	// A truncated multi-chunk snapshot must refuse to half-load.
+	path := filepath.Join(dir, snapshotName(3))
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSnapshot(path); err == nil {
+		t.Fatal("truncated snapshot must not load")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package storage
+
+// acquireDirLock is a no-op on platforms without flock; single-process use
+// is then the caller's responsibility.
+func acquireDirLock(string) (release func(), err error) {
+	return func() {}, nil
+}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// acquireDirLock takes an exclusive advisory lock on dir/LOCK so two
+// processes cannot append to the same WAL (interleaved frames from
+// independent file offsets would corrupt it — recovery would truncate at the
+// first bad checksum and silently drop everything after). flock is released
+// automatically when the process dies, so a SIGKILLed server restarts
+// without stale-lock surgery.
+func acquireDirLock(dir string) (release func(), err error) {
+	path := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: data directory %s is locked by another process: %w", dir, err)
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

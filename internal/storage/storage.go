@@ -1,0 +1,547 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// SyncMode controls when committed WAL entries are fsynced.
+type SyncMode int
+
+// Sync modes.
+const (
+	// SyncAlways fsyncs at every commit (group commit still coalesces the
+	// fsyncs of committers that queue up concurrently). Survives both process
+	// crashes and OS/power failures. The default.
+	SyncAlways SyncMode = iota
+	// SyncInterval writes at every commit but fsyncs on a background timer
+	// (Options.SyncEvery). A process crash loses nothing (the OS has the
+	// writes); an OS crash can lose up to one interval of commits — each
+	// committed batch is still all-or-nothing.
+	SyncInterval
+	// SyncNone never fsyncs explicitly; the OS flushes when it pleases.
+	// Fastest, survives process crashes only.
+	SyncNone
+)
+
+// String names the sync mode (used by flags and /stats).
+func (m SyncMode) String() string {
+	switch m {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("SYNCMODE(%d)", int(m))
+	}
+}
+
+// ParseSyncMode parses a sync-mode flag value.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "", "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none", "off":
+		return SyncNone, nil
+	default:
+		return SyncAlways, fmt.Errorf("storage: unknown sync mode %q (want always, interval or none)", s)
+	}
+}
+
+// Options configures a Store.
+type Options struct {
+	// SyncMode selects the durability/latency trade-off; default SyncAlways.
+	SyncMode SyncMode
+	// SyncEvery is the background fsync cadence for SyncInterval
+	// (default 100ms).
+	SyncEvery time.Duration
+}
+
+// Store manages the durable state of one graph: the live WAL generation and
+// its snapshot. It receives the graph's mutation stream via Record (wired as
+// the graph's mutation hook), batches it per write query, and appends one
+// checksummed WAL entry per Commit.
+type Store struct {
+	dir  string
+	opts Options
+
+	// bufMu guards the current uncommitted batch. Record runs inside the
+	// graph's write lock; Commit runs at write-query end while the engine
+	// still holds its exclusive query lock, so buffered records always belong
+	// to exactly one query.
+	bufMu    sync.Mutex
+	buf      encoder
+	bufCount uint32
+	recErr   error // first encoding failure of the current batch
+
+	// walMu serializes WAL rotation (Checkpoint) and Close against each
+	// other; the live handle and generation themselves are atomics so
+	// Append, Sync and Stats never contend with a long-running snapshot.
+	walMu sync.Mutex
+	wal   atomic.Pointer[walFile]
+	gen   atomic.Uint64
+
+	// failMu guards failed. After a WAL append or fsync error the store is
+	// fail-stop: the log no longer mirrors the in-memory state (the failed
+	// batch's mutations are live in memory but absent from the log), so
+	// accepting later batches would journal relationships to entities that
+	// recovery cannot rebuild. Every subsequent Commit returns the sticky
+	// error until a successful Checkpoint repairs the divergence — the
+	// snapshot is built from memory, not the log, so it recaptures
+	// everything including the lost batch.
+	failMu sync.Mutex
+	failed error
+
+	closed atomic.Bool
+	stop   chan struct{}
+	done   sync.WaitGroup
+	unlock func() // releases the data directory's inter-process lock
+
+	// Counters (atomics: read by /stats while writers commit).
+	records     atomic.Uint64
+	batches     atomic.Uint64
+	bytes       atomic.Uint64
+	syncs       atomic.Uint64
+	checkpoints atomic.Uint64
+	lastCkpt    atomic.Int64 // unix nanos, 0 = never
+
+	// Recovery facts, fixed at Open.
+	recovered RecoveryInfo
+}
+
+// RecoveryInfo describes what Open found and replayed.
+type RecoveryInfo struct {
+	// Generation is the live snapshot/WAL generation after recovery.
+	Generation uint64
+	// SnapshotRecords is the number of records loaded from the snapshot.
+	SnapshotRecords int
+	// WALRecords is the number of mutation records replayed from the WAL tail.
+	WALRecords int
+	// WALBatches is the number of committed batches replayed.
+	WALBatches int
+	// TornTail reports whether a torn final WAL entry was detected (and
+	// truncated) during recovery.
+	TornTail bool
+}
+
+// Stats is a point-in-time view of the store's durability counters.
+type Stats struct {
+	Dir            string
+	SyncMode       string
+	Generation     uint64
+	Records        uint64 // mutation records journaled since Open
+	Batches        uint64 // committed batches since Open
+	Bytes          uint64 // WAL payload bytes appended since Open
+	Syncs          uint64 // fsyncs issued since Open
+	Checkpoints    uint64 // snapshots taken since Open
+	WALSizeBytes   int64  // current size of the live WAL file
+	LastCheckpoint time.Time
+	Recovery       RecoveryInfo
+}
+
+// Open opens (creating if necessary) the data directory and recovers the
+// graph: the newest valid snapshot is loaded and the matching WAL generation
+// replayed on top, truncating a torn final entry if the previous process
+// died mid-write. The graph must be empty. On return the caller should
+// install s.Record as the graph's mutation hook; until then nothing is
+// journaled.
+func Open(dir string, g *graph.Graph, opts Options) (*Store, error) {
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create data dir: %w", err)
+	}
+	unlock, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts, stop: make(chan struct{}), unlock: unlock}
+	defer func() {
+		// Release the lock on any failed-Open path; on success Close owns it.
+		if s.wal.Load() == nil {
+			unlock()
+		}
+	}()
+
+	snaps, wals, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Recover from the newest snapshot. An unreadable snapshot is a hard
+	// error, not a fallback: a published snapshot means the generations
+	// before it may be gone and commits may live in its WAL — recovering
+	// from anything older (or from nothing) would silently resurrect a
+	// stale prefix. The operator can inspect the file with the WAL dump
+	// tool and decide what to salvage.
+	var img snapshotImage
+	if len(snaps) > 0 {
+		newest := snaps[len(snaps)-1]
+		img, err = readSnapshot(filepath.Join(dir, snapshotName(newest)))
+		if err != nil {
+			return nil, fmt.Errorf("storage: snapshot %s is unreadable (%w); refusing to guess at recovery — inspect with `cypher-bench -waldump %s`", snapshotName(newest), err, dir)
+		}
+		s.gen.Store(newest)
+	} else if len(wals) > 0 {
+		// No snapshot: recover from the oldest WAL present (generation 0 of
+		// a fresh directory, or whatever survived).
+		s.gen.Store(wals[0])
+	}
+	s.recovered.Generation = s.gen.Load()
+	s.recovered.SnapshotRecords = len(img.Mutations)
+	for _, m := range img.Mutations {
+		if err := g.Apply(m); err != nil {
+			return nil, fmt.Errorf("storage: apply snapshot record: %w", err)
+		}
+	}
+	g.SetIDCounters(img.NextNode, img.NextRel)
+
+	walPath := filepath.Join(dir, walName(s.gen.Load()))
+	if _, statErr := os.Stat(walPath); statErr == nil {
+		validEnd, torn, records, err := replayWAL(walPath, func(e walEntry) error {
+			for _, m := range e.Mutations {
+				if err := g.Apply(m); err != nil {
+					return fmt.Errorf("storage: apply wal record at offset %d: %w", e.Offset, err)
+				}
+			}
+			s.recovered.WALBatches++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.recovered.WALRecords = records
+		s.recovered.TornTail = torn
+		w, err := openWALForAppend(walPath, validEnd)
+		if err != nil {
+			return nil, err
+		}
+		s.wal.Store(w)
+	} else {
+		w, err := createWAL(walPath)
+		if err != nil {
+			return nil, err
+		}
+		s.wal.Store(w)
+		if err := syncDir(dir); err != nil {
+			return nil, err
+		}
+	}
+
+	// Clean up generations older than the live one (left over from a crash
+	// between checkpoint and cleanup).
+	s.removeStaleGenerations()
+
+	if opts.SyncMode == SyncInterval {
+		s.done.Add(1)
+		go s.backgroundSync()
+	}
+	return s, nil
+}
+
+// Record journals one mutation into the current batch. It is installed as
+// the graph's mutation hook and therefore runs inside the graph's write
+// lock; it encodes immediately so the Mutation's live references (label
+// slices, property maps) cannot be seen post-mutation.
+func (s *Store) Record(m graph.Mutation) {
+	s.bufMu.Lock()
+	defer s.bufMu.Unlock()
+	if s.recErr != nil {
+		return
+	}
+	if err := s.buf.encodeMutation(m); err != nil {
+		s.recErr = err
+		return
+	}
+	s.bufCount++
+}
+
+// CommitTicket identifies an appended-but-possibly-unsynced batch; pass it
+// to Sync to make the batch durable. The zero ticket (empty batch) is a
+// no-op to Sync.
+type CommitTicket struct {
+	w   *walFile
+	off int64
+}
+
+// Append writes the current batch to the WAL as one checksummed entry,
+// WITHOUT fsyncing, and returns a ticket for Sync. The engine calls it at
+// the end of every write query while still holding its exclusive query
+// lock, so the WAL's batch boundaries are exactly the query boundaries; the
+// fsync (Sync) happens after the lock is released, which is what lets
+// concurrent committers share fsyncs (group commit) even though the
+// appends themselves serialize. A batch is applied all-or-nothing at
+// recovery.
+func (s *Store) Append() (CommitTicket, error) {
+	s.bufMu.Lock()
+	if s.recErr != nil {
+		err := s.recErr
+		s.recErr = nil
+		s.buf = encoder{}
+		s.bufCount = 0
+		s.bufMu.Unlock()
+		// The batch's mutations are live in memory but were dropped from the
+		// log — same divergence as an append failure, same fail-stop. (The
+		// executor rejects non-storable property values before mutating, so
+		// this is a defence against encoder bugs, not a normal path.)
+		return CommitTicket{}, s.fail(fmt.Errorf("commit: %w", err))
+	}
+	if s.bufCount == 0 {
+		s.bufMu.Unlock()
+		return CommitTicket{}, nil
+	}
+	var e encoder
+	e.u32(s.bufCount)
+	payload := append(e.buf, s.buf.buf...)
+	count := s.bufCount
+	s.buf = encoder{}
+	s.bufCount = 0
+	s.bufMu.Unlock()
+
+	if err := s.failedError(); err != nil {
+		return CommitTicket{}, err
+	}
+	w := s.wal.Load()
+	off, err := w.append(payload)
+	if err != nil {
+		return CommitTicket{}, s.fail(err)
+	}
+	s.records.Add(uint64(count))
+	s.batches.Add(1)
+	s.bytes.Add(uint64(len(payload)))
+	return CommitTicket{w: w, off: off}, nil
+}
+
+// Sync makes an appended batch durable according to the sync mode. In
+// SyncAlways it group-commits: committers whose fsync was already covered by
+// a neighbour's (or by a checkpoint rotation closing their WAL generation)
+// return immediately. SyncInterval and SyncNone return at once — the
+// background timer or the OS flushes.
+func (s *Store) Sync(t CommitTicket) error {
+	if t.w == nil || s.opts.SyncMode != SyncAlways {
+		return nil
+	}
+	synced, err := t.w.syncTo(t.off)
+	if err != nil {
+		return s.fail(err)
+	}
+	if synced {
+		s.syncs.Add(1)
+	}
+	return nil
+}
+
+// Commit is Append + Sync in one call, for callers without a lock to get out
+// of (Close, engine-level index creation and imports).
+func (s *Store) Commit() error {
+	t, err := s.Append()
+	if err != nil {
+		return err
+	}
+	return s.Sync(t)
+}
+
+// fail records the first journaling error and makes the store fail-stop; see
+// the failed field for why. Returns the wrapped sticky error.
+func (s *Store) fail(err error) error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	if s.failed == nil {
+		s.failed = fmt.Errorf("storage: WAL diverged from memory (%w); writes are rejected until a Checkpoint succeeds", err)
+	}
+	return s.failed
+}
+
+func (s *Store) failedError() error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.failed
+}
+
+// Checkpoint writes a point-in-time snapshot of the graph to a new
+// generation, switches the WAL to that generation, and deletes the previous
+// generation's files. The caller must guarantee no concurrent writers (the
+// engine holds its query lock in shared mode, which excludes them) and must
+// have Committed all buffered records.
+//
+// Ordering matters for failure atomicity: the new WAL is created BEFORE the
+// snapshot is renamed into place. The snapshot's rename is therefore the
+// checkpoint's commit point — a failure (or crash) anywhere earlier leaves
+// at worst an unpublished wal-(N+1), which recovery and the next Checkpoint
+// clean up, while the live generation N keeps accepting and replaying
+// commits. Publishing the snapshot first would be a data-loss bug: a
+// subsequent createWAL failure would leave an orphan snapshot-(N+1) that the
+// next recovery prefers, silently discarding everything committed to wal-N
+// after the failed checkpoint.
+func (s *Store) Checkpoint(g *graph.Graph) error {
+	if s.closed.Load() {
+		return fmt.Errorf("storage: checkpoint on closed store")
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+
+	newGen := s.gen.Load() + 1
+	newWALPath := filepath.Join(s.dir, walName(newGen))
+	// A leftover unpublished WAL from a previously failed checkpoint would
+	// make O_EXCL creation fail forever; it holds nothing (its snapshot was
+	// never published), so clear it.
+	os.Remove(newWALPath)
+	newWAL, err := createWAL(newWALPath)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		newWAL.close()
+		os.Remove(newWALPath)
+		return err
+	}
+	img := buildSnapshotImage(g, newGen)
+	if _, err := writeSnapshot(s.dir, img); err != nil {
+		newWAL.close()
+		os.Remove(newWALPath)
+		return err
+	}
+	old := s.wal.Load()
+	s.wal.Store(newWAL)
+	s.gen.Store(newGen)
+	old.close()
+	s.removeStaleGenerations()
+	s.checkpoints.Add(1)
+	s.lastCkpt.Store(time.Now().UnixNano())
+	// The snapshot captured the full in-memory state, so any earlier
+	// WAL-append failure is repaired: resume accepting commits.
+	s.failMu.Lock()
+	s.failed = nil
+	s.failMu.Unlock()
+	return nil
+}
+
+// Close flushes and syncs the WAL and releases the files and the directory
+// lock. The store must not be used afterwards.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	close(s.stop)
+	s.done.Wait()
+	err := s.Commit()
+	s.walMu.Lock()
+	if cerr := s.wal.Load().close(); err == nil {
+		err = cerr
+	}
+	s.walMu.Unlock()
+	s.unlock()
+	return err
+}
+
+// Recovery returns what Open found and replayed.
+func (s *Store) Recovery() RecoveryInfo { return s.recovered }
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the durability counters.
+func (s *Store) Stats() Stats {
+	gen := s.gen.Load()
+	var walSize int64
+	if w := s.wal.Load(); w != nil {
+		walSize = w.end()
+	}
+	st := Stats{
+		Dir:          s.dir,
+		SyncMode:     s.opts.SyncMode.String(),
+		Generation:   gen,
+		Records:      s.records.Load(),
+		Batches:      s.batches.Load(),
+		Bytes:        s.bytes.Load(),
+		Syncs:        s.syncs.Load(),
+		Checkpoints:  s.checkpoints.Load(),
+		WALSizeBytes: walSize,
+		Recovery:     s.recovered,
+	}
+	if ns := s.lastCkpt.Load(); ns != 0 {
+		st.LastCheckpoint = time.Unix(0, ns)
+	}
+	return st
+}
+
+// backgroundSync is the SyncInterval flusher.
+func (s *Store) backgroundSync() {
+	defer s.done.Done()
+	t := time.NewTicker(s.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			w := s.wal.Load()
+			if w == nil {
+				continue
+			}
+			if synced, err := w.syncTo(w.end()); err == nil && synced {
+				s.syncs.Add(1)
+			}
+		}
+	}
+}
+
+// removeStaleGenerations deletes snapshot/WAL files older than the live
+// generation, plus unpublished WALs newer than it (left by a checkpoint that
+// created wal-(N+1) but failed before publishing snapshot-(N+1) — they
+// contain nothing, since commits only move to a new WAL after its snapshot
+// is published). Best-effort: failures leave garbage but never break
+// recovery.
+func (s *Store) removeStaleGenerations() {
+	snaps, wals, err := scanDir(s.dir)
+	if err != nil {
+		return
+	}
+	published := make(map[uint64]bool, len(snaps))
+	live := s.gen.Load()
+	for _, gen := range snaps {
+		published[gen] = true
+		if gen < live {
+			os.Remove(filepath.Join(s.dir, snapshotName(gen)))
+		}
+	}
+	for _, gen := range wals {
+		if gen < live || (gen > live && !published[gen]) {
+			os.Remove(filepath.Join(s.dir, walName(gen)))
+		}
+	}
+}
+
+// scanDir lists the snapshot and WAL generations present, each sorted
+// ascending.
+func scanDir(dir string) (snaps, wals []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: read data dir: %w", err)
+	}
+	for _, ent := range entries {
+		var gen uint64
+		name := ent.Name()
+		if n, _ := fmt.Sscanf(name, "snapshot-%d.snap", &gen); n == 1 && name == snapshotName(gen) {
+			snaps = append(snaps, gen)
+		}
+		if n, _ := fmt.Sscanf(name, "wal-%d.log", &gen); n == 1 && name == walName(gen) {
+			wals = append(wals, gen)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+	return snaps, wals, nil
+}

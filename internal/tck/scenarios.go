@@ -238,6 +238,43 @@ func BuiltinScenarios() []Scenario {
 			Rows:    [][]any{{2018, 6, 15}},
 		},
 
+		{
+			Name:    "reduce folds a list",
+			Query:   "RETURN reduce(acc = 0, x IN [1, 2, 3, 4] | acc + x) AS sum, reduce(s = 'seed', w IN [] | s + w) AS seed",
+			Columns: []string{"sum", "seed"},
+			Rows:    [][]any{{10, "seed"}},
+		},
+		{
+			Name:    "reduce over collected node values",
+			Setup:   []string{"CREATE (:N {v: 1}), (:N {v: 2}), (:N {v: 3})"},
+			Query:   "MATCH (n:N) WITH collect(n.v) AS vs RETURN reduce(acc = 1, v IN vs | acc * v) AS product",
+			Columns: []string{"product"},
+			Rows:    [][]any{{6}},
+		},
+		{
+			Name:    "reduce of a null list is null",
+			Query:   "RETURN reduce(acc = 0, x IN null | acc + x) AS r",
+			Columns: []string{"r"},
+			Rows:    [][]any{{nil}},
+		},
+		{
+			Name:    "string concatenation coerces numbers",
+			Query:   "RETURN 'a' + 1 AS a, 1 + 'a' AS b, 'x' + 1.5 AS c, 'n' + 1 + 2 AS d",
+			Columns: []string{"a", "b", "c", "d"},
+			Rows:    [][]any{{"a1", "1a", "x1.5", "n12"}},
+		},
+		{
+			Name:        "boolean + string stays a type error",
+			Query:       "RETURN true + 'a'",
+			ExpectError: true,
+		},
+		{
+			Name:    "datetime accepts UTC and numeric offsets",
+			Query:   "RETURN year(datetime('2020-01-01T00:00:00Z')) AS y, datetime('2020-01-01T05:30:00+05:30') = datetime('2020-01-01T00:00:00Z') AS same, day(datetime('2019-12-31T19:00:00-05:00')) AS d",
+			Columns: []string{"y", "same", "d"},
+			Rows:    [][]any{{2020, true, 1}},
+		},
+
 		// --- updates ---
 		{
 			Name:    "create then count",

@@ -104,6 +104,14 @@ func (dt DateTime) CompareTo(other value.Value) int {
 	}
 }
 
+// EqualTo compares durations component-wise, as openCypher requires:
+// duration({months: 1}) is NOT equal to duration({days: 30}) even though
+// they order the same under the nominal-length approximation.
+func (d Duration) EqualTo(other value.Value) bool {
+	o, ok := other.(Duration)
+	return ok && d == o
+}
+
 // CompareTo orders durations by their nominal length (months are counted as
 // 30 days, as in the openCypher comparability rules for durations).
 func (d Duration) CompareTo(other value.Value) int {
@@ -154,8 +162,24 @@ func ParseDate(s string) (Date, error) {
 	return Date{Year: t.Year(), Month: t.Month(), Day: t.Day()}, nil
 }
 
-// ParseDateTime parses an ISO-8601 local date-time (YYYY-MM-DDTHH:MM:SS).
+// ParseDateTime parses an ISO-8601 date-time (YYYY-MM-DDTHH:MM:SS), with an
+// optional fractional-second part and an optional UTC offset suffix — `Z`,
+// `±hh:mm` or `±hhmm`. An offset-qualified instant is normalised to UTC
+// (the type itself is the proposal's LocalDateTime and carries no zone).
 func ParseDateTime(s string) (DateTime, error) {
+	// Offset-qualified layouts first: "Z07:00" matches both a literal Z and
+	// a numeric ±hh:mm offset, and the ".999999999" fraction is optional at
+	// parse time, so these four layouts also cover whole-second inputs.
+	for _, layout := range []string{
+		"2006-01-02T15:04:05.999999999Z07:00",
+		"2006-01-02T15:04:05.999999999Z0700",
+		"2006-01-02T15:04Z07:00",
+		"2006-01-02T15:04Z0700",
+	} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return FromTime(t.UTC()), nil
+		}
+	}
 	for _, layout := range []string{"2006-01-02T15:04:05.999999999", "2006-01-02T15:04:05", "2006-01-02T15:04", "2006-01-02"} {
 		if t, err := time.Parse(layout, s); err == nil {
 			return FromTime(t), nil

@@ -147,3 +147,63 @@ func TestRegisteredFunctions(t *testing.T) {
 		t.Errorf("dateAdd wrong: %v %v", added, err)
 	}
 }
+
+func TestParseDateTimeOffsets(t *testing.T) {
+	want := DateTime{Date: Date{Year: 2020, Month: 1, Day: 1}}
+	for _, s := range []string{
+		"2020-01-01T00:00:00Z",
+		"2020-01-01T05:30:00+05:30",
+		"2019-12-31T19:00:00-05:00",
+		"2020-01-01T02:00:00+0200",
+		"2020-01-01T00:00Z",
+	} {
+		got, err := ParseDateTime(s)
+		if err != nil {
+			t.Errorf("ParseDateTime(%q): %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseDateTime(%q) = %v, want %v", s, got, want)
+		}
+	}
+	// Fractional seconds survive offset normalisation.
+	got, err := ParseDateTime("2020-06-01T12:00:00.25+02:00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hour != 10 || got.Nanosecond != 250000000 {
+		t.Errorf("fractional offset parse: %+v", got)
+	}
+	// Local forms still work; junk still fails.
+	if _, err := ParseDateTime("2020-01-01T00:00:00"); err != nil {
+		t.Errorf("local datetime should still parse: %v", err)
+	}
+	for _, bad := range []string{"2020-01-01T00:00:00X", "2020-01-01T00:00:00+", "nonsense"} {
+		if _, err := ParseDateTime(bad); err == nil {
+			t.Errorf("ParseDateTime(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDurationEqualityIsComponentWise(t *testing.T) {
+	month := Duration{Months: 1}
+	thirtyDays := Duration{Days: 30}
+	day := Duration{Days: 1}
+	day2 := Duration{Days: 1}
+	if value.Equals(month, thirtyDays) != value.FalseT {
+		t.Error("duration({months: 1}) must not equal duration({days: 30})")
+	}
+	if value.Equals(day, day2) != value.TrueT {
+		t.Error("identical durations must be equal")
+	}
+	// Ordering still uses the nominal-length approximation.
+	if month.CompareTo(thirtyDays) != 0 {
+		t.Error("months-as-30-days ordering approximation changed")
+	}
+	// DateTime equality is by instant (ordering and equality coincide).
+	a, _ := ParseDateTime("2020-01-01T00:00:00Z")
+	b, _ := ParseDateTime("2020-01-01T05:30:00+05:30")
+	if value.Equals(a, b) != value.TrueT {
+		t.Error("equal instants must compare equal")
+	}
+}

@@ -21,8 +21,9 @@ func typeMismatch(op string, a, b Value) error {
 }
 
 // Add implements the Cypher `+` operator: numeric addition, string
-// concatenation, and list concatenation (list + element appends). Any null
-// operand yields null.
+// concatenation (a numeric operand next to a string is rendered into the
+// string, so 'a' + 1 = 'a1' and 1 + 'a' = '1a', as in openCypher), and list
+// concatenation (list + element appends). Any null operand yields null.
 func Add(a, b Value) (Value, error) {
 	if IsNull(a) || IsNull(b) {
 		return Null(), nil
@@ -38,14 +39,24 @@ func Add(a, b Value) (Value, error) {
 			return NewInt(s), nil
 		case Float:
 			return NewFloat(float64(av) + float64(bv)), nil
+		case String:
+			return NewString(av.String() + string(bv)), nil
 		}
 	case Float:
+		if bs, ok := b.(String); ok {
+			return NewString(av.String() + string(bs)), nil
+		}
 		if bf, ok := AsFloat(b); ok {
 			return NewFloat(float64(av) + bf), nil
 		}
 	case String:
-		if bs, ok := AsString(b); ok {
-			return NewString(string(av) + bs), nil
+		switch bv := b.(type) {
+		case String:
+			return NewString(string(av) + string(bv)), nil
+		case Int:
+			return NewString(string(av) + bv.String()), nil
+		case Float:
+			return NewString(string(av) + bv.String()), nil
 		}
 	case List:
 		if bl, ok := AsList(b); ok {

@@ -171,3 +171,35 @@ func TestQuickAddSubInverse(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAddStringNumberCoercion(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want string
+	}{
+		{NewString("a"), NewInt(1), "a1"},
+		{NewInt(1), NewString("a"), "1a"},
+		{NewString("x"), NewFloat(1.5), "x1.5"},
+		{NewFloat(2.5), NewString("y"), "2.5y"},
+		{NewString(""), NewInt(-7), "-7"},
+		{NewFloat(3), NewString("!"), "3.0!"}, // floats keep their float rendering
+	}
+	for _, c := range cases {
+		got, err := Add(c.a, c.b)
+		if err != nil {
+			t.Errorf("Add(%v, %v): %v", c.a, c.b, err)
+			continue
+		}
+		s, ok := AsString(got)
+		if !ok || s != c.want {
+			t.Errorf("Add(%v, %v) = %v, want %q", c.a, c.b, got, c.want)
+		}
+	}
+	// Booleans and lists do not coerce.
+	if _, err := Add(NewString("a"), NewBool(true)); err == nil {
+		t.Error("string + bool must be a type mismatch")
+	}
+	if _, err := Add(NewBool(true), NewString("a")); err == nil {
+		t.Error("bool + string must be a type mismatch")
+	}
+}

@@ -96,6 +96,20 @@ func Equals(a, b Value) Ternary {
 			return pathEquals(av.P, bv.P)
 		}
 	}
+	// Extension kinds (temporal), within the same kind: a type with its own
+	// equality (Duration, whose ordering is a 30-days-per-month
+	// approximation that must NOT define equality) decides itself;
+	// otherwise instants are equal when ordered the same.
+	if a.Kind() == b.Kind() {
+		if ea, ok := a.(Equatable); ok {
+			return ternaryFromBool(ea.EqualTo(b))
+		}
+		if oa, ok := a.(Orderable); ok {
+			if _, ok2 := b.(Orderable); ok2 {
+				return ternaryFromBool(oa.CompareTo(b) == 0)
+			}
+		}
+	}
 	// Values of different, incomparable kinds are simply not equal.
 	return FalseT
 }
@@ -401,6 +415,17 @@ type Orderable interface {
 	// whether the receiver orders before, equal to or after other. It is only
 	// called with another value of the same kind.
 	CompareTo(other Value) int
+}
+
+// Equatable is implemented by extension value kinds whose equality is finer
+// than their ordering — Duration orders by an approximate nominal length
+// (months as 30 days) but is equal only component-wise, so
+// duration({months: 1}) <> duration({days: 30}).
+type Equatable interface {
+	Value
+	// EqualTo reports whether other (a value of the same kind) is equal to
+	// the receiver.
+	EqualTo(other Value) bool
 }
 
 func compareNumbers(a, b Value) int {

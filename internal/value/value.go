@@ -489,6 +489,33 @@ func IsNumber(v Value) bool {
 	return k == KindInt || k == KindFloat
 }
 
+// Storable reports whether v can be stored as a property value: null (which
+// removes the property), scalars, extension kinds such as the temporals, and
+// lists/maps of storable values. Graph entities — nodes, relationships,
+// paths — are not storable, in Cypher semantics and in the storage layer's
+// on-disk codec alike.
+func Storable(v Value) bool {
+	switch v.Kind() {
+	case KindNode, KindRelationship, KindPath:
+		return false
+	case KindList:
+		l, _ := AsList(v)
+		for _, e := range l.Elements() {
+			if !Storable(e) {
+				return false
+			}
+		}
+	case KindMap:
+		m, _ := AsMap(v)
+		for _, e := range m.Entries() {
+			if !Storable(e) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // FromGo converts a native Go value into a Cypher value. Supported inputs are
 // nil, bool, all integer widths, float32/64, string, []any, map[string]any,
 // []Value, map[string]Value and Value itself. Unsupported inputs yield an
