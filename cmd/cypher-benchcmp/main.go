@@ -140,6 +140,11 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.20, "allowed median ns/op regression (0.20 = +20%)")
 		allocTol  = flag.Float64("alloc-tolerance", 0.30, "allowed median allocs/op regression; enforced across CPU models")
 		strict    = flag.Bool("strict", false, "fail on ns/op regression even when the baseline was recorded on a different CPU model")
+		// Improvement gate: PRs that promise an allocation win commit to it.
+		// Allocation counts are deterministic and machine-independent, so
+		// this gate is enforced regardless of CPU model.
+		requireAllocDrop = flag.Float64("require-alloc-drop", 0, "require median allocs/op of benchmarks matching -require-match to have dropped by at least this fraction vs the baseline (0.5 = halved); 0 disables")
+		requireMatch     = flag.String("require-match", "", "regexp selecting the benchmarks the -require-alloc-drop gate applies to")
 	)
 	flag.Parse()
 
@@ -222,6 +227,41 @@ func main() {
 	// the ns/op gate only fires when the numbers are comparable.
 	if allocRegressions > 0 {
 		fatal("%d benchmark(s) regressed allocs/op more than %.0f%% against %s", allocRegressions, *allocTol*100, *baseline)
+	}
+	if *requireAllocDrop > 0 {
+		if *requireMatch == "" {
+			fatal("-require-alloc-drop needs -require-match")
+		}
+		re, err := regexp.Compile(*requireMatch)
+		if err != nil {
+			fatal("bad -require-match: %v", err)
+		}
+		gated, failed := 0, 0
+		for _, name := range names {
+			if !re.MatchString(name) {
+				continue
+			}
+			b, c := base.Benchmarks[name], cur.Benchmarks[name]
+			if b.MedianAllocsPerOp <= 0 {
+				continue
+			}
+			gated++
+			drop := 1 - c.MedianAllocsPerOp/b.MedianAllocsPerOp
+			status := "ok"
+			if drop < *requireAllocDrop {
+				failed++
+				status = "INSUFFICIENT"
+			}
+			fmt.Printf("alloc-drop %-56s %9.0f -> %9.0f  %5.1f%% (%s)\n",
+				name, b.MedianAllocsPerOp, c.MedianAllocsPerOp, drop*100, status)
+		}
+		if gated == 0 {
+			fatal("-require-match %q selected no benchmarks shared with the baseline", *requireMatch)
+		}
+		if failed > 0 {
+			fatal("%d benchmark(s) did not drop median allocs/op by at least %.0f%% against %s", failed, *requireAllocDrop*100, *baseline)
+		}
+		fmt.Printf("OK: %d benchmark(s) dropped median allocs/op by at least %.0f%%\n", gated, *requireAllocDrop*100)
 	}
 	switch {
 	case nsRegressions == 0:

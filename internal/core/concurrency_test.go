@@ -118,7 +118,7 @@ func TestResultsAreSnapshots(t *testing.T) {
 			}
 		}()
 	}
-	node := res.Table.Records[0]["p"].(value.NodeValue).N
+	node := res.Table.Records[0].Get("p").(value.NodeValue).N
 	for i := 0; i < 100; i++ {
 		node.Property("age")
 		node.PropertyKeys()

@@ -125,7 +125,7 @@ func toComparable(t *testing.T, cols []string, data [][]any) *result.Table {
 			if err != nil {
 				t.Fatalf("bad value %v: %v", row[i], err)
 			}
-			rec[c] = v
+			rec.Set(c, v)
 		}
 		tbl.Add(rec)
 	}

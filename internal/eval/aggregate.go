@@ -243,17 +243,21 @@ type distinctAgg struct {
 	// can replay the other side's values (deduplicating against this side)
 	// without re-evaluating any input rows.
 	order []value.Value
+	// keyBuf is the reused key-encoding buffer; already-seen values are
+	// rejected without materialising a key string (m[string(buf)] lookups
+	// do not allocate).
+	keyBuf []byte
 }
 
 func (a *distinctAgg) Add(v value.Value) error {
 	if value.IsNull(v) {
 		return nil
 	}
-	key := value.GroupKey(v)
-	if a.seen[key] {
+	a.keyBuf = value.AppendGroupKey(a.keyBuf[:0], v)
+	if a.seen[string(a.keyBuf)] {
 		return nil
 	}
-	a.seen[key] = true
+	a.seen[string(a.keyBuf)] = true
 	a.order = append(a.order, v)
 	return a.inner.Add(v)
 }

@@ -68,7 +68,7 @@ func TestEvaluateLiteralsAndArithmetic(t *testing.T) {
 }
 
 func TestEvaluateNullPropagation(t *testing.T) {
-	rec := result.Record{"x": value.Null()}
+	rec := result.FromMap(map[string]value.Value{"x": value.Null()})
 	nullCases := []string{
 		"x + 1", "1 + x", "x = 1", "x < 1", "x STARTS WITH 'a'", "x IN [1, 2]",
 		"1 IN [x]", "x[0]", "x[0..1]", "x.prop", "NOT x", "-x",
@@ -97,7 +97,7 @@ func TestEvaluateNullPropagation(t *testing.T) {
 }
 
 func TestEvaluateCollections(t *testing.T) {
-	rec := result.Record{"xs": value.NewList(value.NewInt(10), value.NewInt(20), value.NewInt(30))}
+	rec := result.FromMap(map[string]value.Value{"xs": value.NewList(value.NewInt(10), value.NewInt(20), value.NewInt(30))})
 	cases := map[string]value.Value{
 		"xs[0]":                           value.NewInt(10),
 		"xs[-1]":                          value.NewInt(30),
@@ -128,7 +128,7 @@ func TestEvaluateCollections(t *testing.T) {
 }
 
 func TestEvaluateCase(t *testing.T) {
-	rec := result.Record{"x": value.NewInt(2)}
+	rec := result.FromMap(map[string]value.Value{"x": value.NewInt(2)})
 	cases := map[string]value.Value{
 		"CASE WHEN x = 1 THEN 'one' WHEN x = 2 THEN 'two' ELSE 'many' END": value.NewString("two"),
 		"CASE x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END":                   value.NewString("two"),

@@ -4,6 +4,18 @@
 // compiled runtime [Neumann 2011]); the operator vocabulary itself follows
 // the Volcano-style plans of package plan.
 //
+// Rows are slotted records (result.NewSlotted over the plan's SlotTable):
+// a flat slice of values indexed by the slots the planner assigned, so
+// binding a variable is a slice store instead of a map insert. On top of
+// that the pipeline follows a borrowed-row discipline: the record passed to
+// an emit function is only valid for the duration of the call, and operators
+// that produce many rows from one input reuse a single row buffer,
+// rebinding their output slots in place. Any operator that retains rows
+// beyond the emit call — Sort, the morsel merge buffers, the final result
+// table, MERGE's match list — clones them first. This keeps the steady-state
+// scan→filter→expand→aggregate path free of per-row allocations beyond the
+// entity values themselves.
+//
 // The pattern-matching core implements the match(pi, G, u) relation of
 // Section 4.2 of the paper: bag semantics, and relationship-isomorphism
 // (no relationship is traversed twice within one MATCH clause), configurable
@@ -81,6 +93,14 @@ type Executor struct {
 	params  map[string]value.Value
 	opts    Options
 	evalCtx *eval.Context
+	// tab is the slot table of the plan being executed (set by Execute).
+	// It is frozen at plan time, so sharing it across morsel workers is safe.
+	tab *result.SlotTable
+	// readOnly reports whether the executing plan cannot mutate the graph.
+	// Read-only expansions iterate the store's live adjacency slices;
+	// mutating plans iterate private copies so a DELETE emitted downstream
+	// cannot pull the slice out from under the loop.
+	readOnly bool
 	// usedParallelism records how many workers the last Execute actually
 	// used (1 for the serial path). Set before workers start; read by the
 	// engine for result metadata.
@@ -103,6 +123,14 @@ func New(g *graph.Graph, params map[string]value.Value, opts Options) *Executor 
 // takes the serial tuple-at-a-time path.
 func (ex *Executor) Execute(p *plan.Plan) (*result.Table, error) {
 	ex.usedParallelism = 1
+	ex.readOnly = p.ReadOnly
+	ex.tab = p.Slots
+	if ex.tab == nil {
+		// Hand-built plan (tests): compute slots locally. The plan itself is
+		// not annotated — it may be shared, and plans are immutable after
+		// publication.
+		ex.tab = plan.ComputeSlots(p)
+	}
 	if ex.opts.Parallelism > 1 {
 		if tbl, done, err := ex.executeParallel(p); done {
 			return tbl, err
@@ -110,7 +138,8 @@ func (ex *Executor) Execute(p *plan.Plan) (*result.Table, error) {
 	}
 	tbl := result.NewTable(p.Columns...)
 	err := ex.run(p.Root, nil, func(r result.Record) error {
-		tbl.Add(r)
+		// The table outlives the emit call; take ownership of the row.
+		tbl.Add(r.Clone())
 		return nil
 	})
 	if err != nil {
@@ -129,27 +158,34 @@ func (ex *Executor) UsedParallelism() int {
 }
 
 // emitFn consumes one produced row; returning an error stops production.
+// The record is borrowed: it is only valid for the duration of the call, and
+// the producer may rebind its slots for the next row as soon as emit
+// returns. Consumers that retain rows must Clone them.
 type emitFn func(result.Record) error
 
 // run executes the operator, producing rows into emit. arg is the outer row
 // supplied to Argument leaves (used by Optional and other apply-style
 // operators); it is nil at the top level.
-func (ex *Executor) run(op plan.Operator, arg result.Record, emit emitFn) error {
+func (ex *Executor) run(op plan.Operator, arg *result.Record, emit emitFn) error {
 	switch o := op.(type) {
 	case *plan.Start:
-		return emit(result.NewRecord())
+		r := result.NewSlotted(ex.tab)
+		return emit(r)
 	case *plan.Argument:
 		if arg == nil {
 			return errors.New("exec: Argument operator outside of an apply context")
 		}
+		// The outer row is borrowed from the enclosing pipeline; the inner
+		// plan will rebind slots, so it works on its own copy.
 		return emit(arg.Clone())
 
 	case *nodeSource:
 		// Morsel source of a parallel run: one row per node of the morsel
-		// over the unit record (the scan's Input is known to be Start).
+		// over the unit record (the scan's Input is known to be Start). The
+		// single row buffer is rebound per node.
+		r := result.NewSlotted(ex.tab)
 		for _, n := range o.nodes {
-			r := result.NewRecord()
-			r[o.varName] = value.NewNode(n)
+			r.Set(o.varName, value.NewNode(n))
 			if err := emit(r); err != nil {
 				return err
 			}
@@ -157,7 +193,9 @@ func (ex *Executor) run(op plan.Operator, arg result.Record, emit emitFn) error 
 		return nil
 	case *rowSource:
 		// Merged-stream source: replays the rows gathered at the barrier
-		// into the serial tail of a parallel plan.
+		// into the serial tail of a parallel plan. The rows are owned by the
+		// buffer, which is discarded afterwards, so they can be emitted (and
+		// scribbled on by the tail) directly.
 		for _, r := range o.rows {
 			if err := emit(r); err != nil {
 				return err
@@ -168,7 +206,8 @@ func (ex *Executor) run(op plan.Operator, arg result.Record, emit emitFn) error 
 	case *plan.AllNodesScan:
 		return ex.run(o.Input, arg, func(r result.Record) error {
 			for _, n := range ex.graph.Nodes() {
-				if err := emit(r.Extended(o.Var, value.NewNode(n))); err != nil {
+				r.Set(o.Var, value.NewNode(n))
+				if err := emit(r); err != nil {
 					return err
 				}
 			}
@@ -177,7 +216,8 @@ func (ex *Executor) run(op plan.Operator, arg result.Record, emit emitFn) error 
 	case *plan.NodeByLabelScan:
 		return ex.run(o.Input, arg, func(r result.Record) error {
 			for _, n := range ex.graph.NodesByLabel(o.Label) {
-				if err := emit(r.Extended(o.Var, value.NewNode(n))); err != nil {
+				r.Set(o.Var, value.NewNode(n))
+				if err := emit(r); err != nil {
 					return err
 				}
 			}
@@ -193,7 +233,8 @@ func (ex *Executor) run(op plan.Operator, arg result.Record, emit emitFn) error 
 				return nil
 			}
 			for _, n := range ex.graph.NodesByLabelProperty(o.Label, o.Property, v) {
-				if err := emit(r.Extended(o.Var, value.NewNode(n))); err != nil {
+				r.Set(o.Var, value.NewNode(n))
+				if err := emit(r); err != nil {
 					return err
 				}
 			}
@@ -218,9 +259,13 @@ func (ex *Executor) run(op plan.Operator, arg result.Record, emit emitFn) error 
 		})
 
 	case *plan.Optional:
+		// argRow is hoisted out of the per-row closure so taking its address
+		// does not allocate per driving row.
+		var argRow result.Record
 		return ex.run(o.Input, arg, func(outer result.Record) error {
 			matched := false
-			err := ex.run(o.Inner, outer, func(r result.Record) error {
+			argRow = outer
+			err := ex.run(o.Inner, &argRow, func(r result.Record) error {
 				matched = true
 				return emit(r)
 			})
@@ -233,7 +278,7 @@ func (ex *Executor) run(op plan.Operator, arg result.Record, emit emitFn) error 
 			r := outer.Clone()
 			for _, v := range o.IntroducedVars {
 				if !r.Has(v) {
-					r[v] = value.Null()
+					r.Set(v, value.Null())
 				}
 			}
 			return emit(r)
@@ -245,7 +290,8 @@ func (ex *Executor) run(op plan.Operator, arg result.Record, emit emitFn) error 
 			if err != nil {
 				return err
 			}
-			return emit(r.Extended(o.Var, p))
+			r.Set(o.Var, p)
+			return emit(r)
 		})
 
 	case *plan.Unwind:
@@ -262,25 +308,33 @@ func (ex *Executor) run(op plan.Operator, arg result.Record, emit emitFn) error 
 			case v.Kind() == value.KindList:
 				l, _ := value.AsList(v)
 				for _, el := range l.Elements() {
-					if err := emit(r.Extended(o.Alias, el)); err != nil {
+					r.Set(o.Alias, el)
+					if err := emit(r); err != nil {
 						return err
 					}
 				}
 				return nil
 			default:
-				return emit(r.Extended(o.Alias, v))
+				r.Set(o.Alias, v)
+				return emit(r)
 			}
 		})
 
 	case *plan.Project:
+		// The projection writes into its own scratch row (a copy of the
+		// input plus the items) instead of the borrowed input row: an item
+		// may shadow an upstream variable (RETURN a.name AS a), and the
+		// operator that bound that variable will not rebind it before its
+		// next emission.
+		out := result.NewSlotted(ex.tab)
 		return ex.run(o.Input, arg, func(r result.Record) error {
-			out := r.Clone()
+			out.CopyFrom(r)
 			for _, item := range o.Items {
 				v, err := ex.evalCtx.Evaluate(item.Expr, r)
 				if err != nil {
 					return err
 				}
-				out[item.Name] = v
+				out.Set(item.Name, v)
 			}
 			return emit(out)
 		})
@@ -290,23 +344,26 @@ func (ex *Executor) run(op plan.Operator, arg result.Record, emit emitFn) error 
 
 	case *plan.Distinct:
 		seen := map[string]bool{}
+		vals := make([]value.Value, len(o.Columns))
+		var keyBuf []byte
 		return ex.run(o.Input, arg, func(r result.Record) error {
-			vals := make([]value.Value, len(o.Columns))
 			for i, c := range o.Columns {
 				vals[i] = r.Get(c)
 			}
-			key := value.GroupKeyOf(vals...)
-			if seen[key] {
+			keyBuf = value.AppendGroupKeyOf(keyBuf[:0], vals...)
+			// m[string(buf)] compiles without allocating; the key string is
+			// only materialised for rows seen for the first time.
+			if seen[string(keyBuf)] {
 				return nil
 			}
-			seen[key] = true
+			seen[string(keyBuf)] = true
 			return emit(r)
 		})
 
 	case *plan.Sort:
 		var rows []result.Record
 		if err := ex.run(o.Input, arg, func(r result.Record) error {
-			rows = append(rows, r)
+			rows = append(rows, r.Clone())
 			return nil
 		}); err != nil {
 			return err
@@ -385,10 +442,13 @@ func (ex *Executor) run(op plan.Operator, arg result.Record, emit emitFn) error 
 		return err
 
 	case *plan.SelectColumns:
+		// The scope cut reuses one scratch row: wiped, then rebound to just
+		// the selected columns for every input row.
+		out := result.NewSlotted(ex.tab)
 		return ex.run(o.Input, arg, func(r result.Record) error {
-			out := make(result.Record, len(o.Columns))
+			out.Zero()
 			for _, c := range o.Columns {
-				out[c] = r.Get(c)
+				out.Set(c, r.Get(c))
 			}
 			return emit(out)
 		})
@@ -401,16 +461,17 @@ func (ex *Executor) run(op plan.Operator, arg result.Record, emit emitFn) error 
 			return ex.run(o.Right, arg, emit)
 		}
 		seen := map[string]bool{}
+		vals := make([]value.Value, len(o.Columns))
+		var keyBuf []byte
 		dedup := func(r result.Record) error {
-			vals := make([]value.Value, len(o.Columns))
 			for i, c := range o.Columns {
 				vals[i] = r.Get(c)
 			}
-			key := value.GroupKeyOf(vals...)
-			if seen[key] {
+			keyBuf = value.AppendGroupKeyOf(keyBuf[:0], vals...)
+			if seen[string(keyBuf)] {
 				return nil
 			}
-			seen[key] = true
+			seen[string(keyBuf)] = true
 			return emit(r)
 		}
 		if err := ex.run(o.Left, arg, dedup); err != nil {
@@ -498,10 +559,17 @@ type aggState struct {
 	o      *plan.Aggregate
 	groups map[string]*aggGroup
 	order  []string // first-seen group order
+	// keyScratch holds the current row's grouping-key values; it is copied
+	// only when the row opens a new group. keyBuf is the reused group-key
+	// encoding buffer: rows of existing groups never materialise the key
+	// string (the groups lookup goes through string(keyBuf), which Go
+	// compiles allocation-free).
+	keyScratch []value.Value
+	keyBuf     []byte
 }
 
 func (ex *Executor) newAggState(o *plan.Aggregate) *aggState {
-	return &aggState{ex: ex, o: o, groups: map[string]*aggGroup{}}
+	return &aggState{ex: ex, o: o, groups: map[string]*aggGroup{}, keyScratch: make([]value.Value, len(o.Grouping))}
 }
 
 func (s *aggState) newGroup(keyVals []value.Value) (*aggGroup, error) {
@@ -522,22 +590,22 @@ func (s *aggState) newGroup(keyVals []value.Value) (*aggGroup, error) {
 
 // add folds one input row into the state.
 func (s *aggState) add(r result.Record) error {
-	keyVals := make([]value.Value, len(s.o.Grouping))
 	for i, gi := range s.o.Grouping {
 		v, err := s.ex.evalCtx.Evaluate(gi.Expr, r)
 		if err != nil {
 			return err
 		}
-		keyVals[i] = v
+		s.keyScratch[i] = v
 	}
-	key := value.GroupKeyOf(keyVals...)
-	g, ok := s.groups[key]
+	s.keyBuf = value.AppendGroupKeyOf(s.keyBuf[:0], s.keyScratch...)
+	g, ok := s.groups[string(s.keyBuf)]
 	if !ok {
 		var err error
-		g, err = s.newGroup(keyVals)
+		g, err = s.newGroup(append([]value.Value(nil), s.keyScratch...))
 		if err != nil {
 			return err
 		}
+		key := string(s.keyBuf)
 		s.groups[key] = g
 		s.order = append(s.order, key)
 	}
@@ -582,7 +650,9 @@ func (s *aggState) merge(other *aggState) error {
 	return nil
 }
 
-// emit produces the aggregated output rows in first-seen group order.
+// emit produces the aggregated output rows in first-seen group order. The
+// rows are freshly allocated (one per group), so the serial tail may rebind
+// their slots freely.
 func (s *aggState) emit(emit emitFn) error {
 	// A global aggregation (no grouping keys) over an empty input still
 	// produces one row, e.g. MATCH (n:Missing) RETURN count(n) = 0.
@@ -596,12 +666,12 @@ func (s *aggState) emit(emit emitFn) error {
 	}
 	for _, key := range s.order {
 		g := s.groups[key]
-		out := result.NewRecord()
+		out := result.NewSlotted(s.ex.tab)
 		for i, gi := range s.o.Grouping {
-			out[gi.Name] = g.keyVals[i]
+			out.Set(gi.Name, g.keyVals[i])
 		}
 		for i, a := range s.o.Aggregations {
-			out[a.Name] = g.aggs[i].Result()
+			out.Set(a.Name, g.aggs[i].Result())
 		}
 		if err := emit(out); err != nil {
 			return err
@@ -610,7 +680,7 @@ func (s *aggState) emit(emit emitFn) error {
 	return nil
 }
 
-func (ex *Executor) runAggregate(o *plan.Aggregate, arg result.Record, emit emitFn) error {
+func (ex *Executor) runAggregate(o *plan.Aggregate, arg *result.Record, emit emitFn) error {
 	st := ex.newAggState(o)
 	if err := ex.run(o.Input, arg, st.add); err != nil {
 		return err

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/graph"
@@ -47,13 +48,40 @@ func toGraphDirection(d ast.Direction) graph.Direction {
 	}
 }
 
+// idSetPool recycles the per-row uniqueness sets of the morphism checks
+// (bound relationship/node identifiers, variable-length path sets). The
+// sets' lifetime is strictly bracketed by one expand/match call, so pooling
+// them removes a map allocation per row; sync.Pool makes the reuse safe
+// under morsel-parallel execution.
+var idSetPool = sync.Pool{
+	New: func() any { return make(map[int64]bool, 16) },
+}
+
+func acquireIDSet() map[int64]bool {
+	return idSetPool.Get().(map[int64]bool)
+}
+
+func releaseIDSet(m map[int64]bool) {
+	if m == nil {
+		return
+	}
+	clear(m)
+	idSetPool.Put(m)
+}
+
 // boundRelIDs collects the identifiers of all relationships bound to the
 // given variables in the record (variables may be bound to a relationship or
-// to a list of relationships from a variable-length pattern).
+// to a list of relationships from a variable-length pattern). The returned
+// set comes from the pool (release it) and is nil when no identifiers were
+// found.
 func boundRelIDs(rec result.Record, vars []string) map[int64]bool {
-	out := map[int64]bool{}
+	out := acquireIDSet()
 	for _, v := range vars {
 		collectRelIDs(rec.Get(v), out)
+	}
+	if len(out) == 0 {
+		releaseIDSet(out)
+		return nil
 	}
 	return out
 }
@@ -73,13 +101,17 @@ func collectRelIDs(v value.Value, out map[int64]bool) {
 }
 
 // boundNodeIDs collects node identifiers bound to the given variables
-// (used by node-isomorphism matching).
+// (used by node-isomorphism matching). Pooled like boundRelIDs.
 func boundNodeIDs(rec result.Record, vars []string) map[int64]bool {
-	out := map[int64]bool{}
+	out := acquireIDSet()
 	for _, v := range vars {
 		if n, ok := value.AsNode(rec.Get(v)); ok {
 			out[n.ID()] = true
 		}
+	}
+	if len(out) == 0 {
+		releaseIDSet(out)
+		return nil
 	}
 	return out
 }
@@ -127,7 +159,8 @@ func (ex *Executor) nodeMatchesPattern(np ast.NodePattern, n *graph.Node, rec re
 // --- Expand operator ---
 
 // expand implements the Expand and VarLengthExpand operators for one input
-// row.
+// row. The row is borrowed: output bindings are written into its slots in
+// place and rebound per traversed relationship (see the package comment).
 func (ex *Executor) expand(o *plan.Expand, rec result.Record, emit emitFn) error {
 	fromVal := rec.Get(o.FromVar)
 	if value.IsNull(fromVal) {
@@ -140,41 +173,99 @@ func (ex *Executor) expand(o *plan.Expand, rec result.Record, emit emitFn) error
 		return err
 	}
 
+	// The uniqueness sets exist only when the plan actually carries
+	// uniqueness constraints for this expand; a first expand in a MATCH has
+	// none and skips the collection (and its allocation) entirely.
 	var usedRels map[int64]bool
 	var usedNodes map[int64]bool
 	switch ex.opts.Morphism {
 	case EdgeIsomorphism:
-		usedRels = boundRelIDs(rec, o.UniqueRels)
+		if len(o.UniqueRels) > 0 {
+			usedRels = boundRelIDs(rec, o.UniqueRels)
+		}
 	case NodeIsomorphism:
-		usedNodes = boundNodeIDs(rec, o.UniqueNodes)
+		if len(o.UniqueNodes) > 0 {
+			usedNodes = boundNodeIDs(rec, o.UniqueNodes)
+		}
 	}
 
 	var intoNode *graph.Node
 	if o.ExpandInto {
 		toVal := rec.Get(o.ToVar)
 		if value.IsNull(toVal) {
+			releaseIDSet(usedRels)
+			releaseIDSet(usedNodes)
 			return nil
 		}
 		intoNode, err = asGraphNode(toVal)
 		if err != nil {
+			releaseIDSet(usedRels)
+			releaseIDSet(usedNodes)
 			return err
 		}
 	}
 
 	if o.VarLength {
-		return ex.expandVarLength(o, rec, from, intoNode, usedRels, usedNodes, emit)
+		err = ex.expandVarLength(o, rec, from, intoNode, usedRels, usedNodes, emit)
+	} else {
+		err = ex.expandSingle(o, rec, from, intoNode, usedRels, usedNodes, emit)
 	}
-	return ex.expandSingle(o, rec, from, intoNode, usedRels, usedNodes, emit)
+	releaseIDSet(usedRels)
+	releaseIDSet(usedNodes)
+	return err
+}
+
+// relTypeIn reports whether the relationship's type is in types.
+func relTypeIn(rel *graph.Relationship, types []string) bool {
+	for _, t := range types {
+		if rel.RelType() == t {
+			return true
+		}
+	}
+	return false
 }
 
 func (ex *Executor) expandSingle(o *plan.Expand, rec result.Record, from, intoNode *graph.Node, usedRels, usedNodes map[int64]bool, emit emitFn) error {
 	dir := toGraphDirection(o.Direction)
-	for _, rel := range from.Relationships(dir, o.Types...) {
+	if !ex.readOnly {
+		// A mutating plan may delete relationships downstream of the emit;
+		// iterate a private copy of the adjacency.
+		return ex.expandRels(o, rec, from, intoNode, usedRels, usedNodes, from.Relationships(dir, o.Types...), false, false, emit)
+	}
+	// Read-only plan: walk the store's live slices (the type bucket for a
+	// single-type pattern), allocating nothing.
+	if dir == graph.Outgoing || dir == graph.Both {
+		rels, filtered := from.OutgoingRels(o.Types)
+		if err := ex.expandRels(o, rec, from, intoNode, usedRels, usedNodes, rels, !filtered, false, emit); err != nil {
+			return err
+		}
+	}
+	if dir == graph.Incoming || dir == graph.Both {
+		rels, filtered := from.IncomingRels(o.Types)
+		// For Both, a self-loop appears in both adjacency slices and is
+		// reported only once.
+		if err := ex.expandRels(o, rec, from, intoNode, usedRels, usedNodes, rels, !filtered, dir == graph.Both, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expandRels runs the single-hop expansion over one relationship slice,
+// rebinding the borrowed row's output slots per match.
+func (ex *Executor) expandRels(o *plan.Expand, rec result.Record, from, intoNode *graph.Node, usedRels, usedNodes map[int64]bool, rels []*graph.Relationship, typeFilter, skipSelfLoops bool, emit emitFn) error {
+	for _, rel := range rels {
+		if typeFilter && !relTypeIn(rel, o.Types) {
+			continue
+		}
+		if skipSelfLoops && rel.StartNode() == rel.EndNode() {
+			continue
+		}
 		if usedRels != nil && usedRels[rel.ID()] {
 			continue
 		}
 		target := rel.Other(from)
-		// For directed traversal, Relationships() already restricted the
+		// For directed traversal, the adjacency slice already restricted the
 		// orientation; for Both, any orientation is fine.
 		if ok, err := ex.relPropertiesMatch(o.RelProperties, rel, rec); err != nil {
 			return err
@@ -188,21 +279,19 @@ func (ex *Executor) expandSingle(o *plan.Expand, rec result.Record, from, intoNo
 			if target.ID() != intoNode.ID() {
 				continue
 			}
-			out := rec.Clone()
 			if o.RelVar != "" {
-				out[o.RelVar] = value.NewRelationship(rel)
+				rec.Set(o.RelVar, value.NewRelationship(rel))
 			}
-			if err := emit(out); err != nil {
+			if err := emit(rec); err != nil {
 				return err
 			}
 			continue
 		}
-		out := rec.Clone()
 		if o.RelVar != "" {
-			out[o.RelVar] = value.NewRelationship(rel)
+			rec.Set(o.RelVar, value.NewRelationship(rel))
 		}
-		out[o.ToVar] = value.NewNode(target)
-		if err := emit(out); err != nil {
+		rec.Set(o.ToVar, value.NewNode(target))
+		if err := emit(rec); err != nil {
 			return err
 		}
 	}
@@ -232,25 +321,27 @@ func (ex *Executor) expandVarLength(o *plan.Expand, rec result.Record, from, int
 	dir := toGraphDirection(o.Direction)
 
 	pathRels := make([]*graph.Relationship, 0, 8)
-	pathRelSet := map[int64]bool{}
-	pathNodeSet := map[int64]bool{from.ID(): true}
+	pathRelSet := acquireIDSet()
+	pathNodeSet := acquireIDSet()
+	pathNodeSet[from.ID()] = true
+	defer releaseIDSet(pathRelSet)
+	defer releaseIDSet(pathNodeSet)
 
 	emitCurrent := func(end *graph.Node) error {
 		if intoNode != nil && end.ID() != intoNode.ID() {
 			return nil
 		}
-		out := rec.Clone()
 		if o.RelVar != "" {
 			rels := make([]value.Value, len(pathRels))
 			for i, r := range pathRels {
 				rels[i] = value.NewRelationship(r)
 			}
-			out[o.RelVar] = value.NewListOf(rels)
+			rec.Set(o.RelVar, value.NewListOf(rels))
 		}
 		if intoNode == nil {
-			out[o.ToVar] = value.NewNode(end)
+			rec.Set(o.ToVar, value.NewNode(end))
 		}
-		return emit(out)
+		return emit(rec)
 	}
 
 	var dfs func(current *graph.Node, depth int) error
@@ -263,22 +354,22 @@ func (ex *Executor) expandVarLength(o *plan.Expand, rec result.Record, from, int
 		if !unbounded && depth >= maxHops {
 			return nil
 		}
-		for _, rel := range current.Relationships(dir, o.Types...) {
+		step := func(rel *graph.Relationship) error {
 			switch ex.opts.Morphism {
 			case EdgeIsomorphism:
 				if pathRelSet[rel.ID()] || (usedRels != nil && usedRels[rel.ID()]) {
-					continue
+					return nil
 				}
 			case NodeIsomorphism:
 				target := rel.Other(current)
 				if pathNodeSet[target.ID()] || (usedNodes != nil && usedNodes[target.ID()]) {
-					continue
+					return nil
 				}
 			}
 			if ok, err := ex.relPropertiesMatch(o.RelProperties, rel, rec); err != nil {
 				return err
 			} else if !ok {
-				continue
+				return nil
 			}
 			target := rel.Other(current)
 			pathRels = append(pathRels, rel)
@@ -296,8 +387,22 @@ func (ex *Executor) expandVarLength(o *plan.Expand, rec result.Record, from, int
 			if ex.opts.Morphism == NodeIsomorphism {
 				delete(pathNodeSet, target.ID())
 			}
+			return nil
 		}
-		return nil
+		if !ex.readOnly {
+			for _, rel := range current.Relationships(dir, o.Types...) {
+				if err := step(rel); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var stepErr error
+		current.EachRelationship(dir, o.Types, func(rel *graph.Relationship) bool {
+			stepErr = step(rel)
+			return stepErr == nil
+		})
+		return stepErr
 	}
 	return dfs(from, 0)
 }
@@ -370,8 +475,13 @@ func (ex *Executor) patternPredicate(part ast.PatternPart, rec result.Record) (b
 // matchPartRows enumerates all matches of a single path pattern under the
 // given record, emitting one extended record per match. It is used by MERGE
 // and by pattern predicates; MATCH clauses go through the planner instead.
+// Unlike the plan operators it extends copies (the emitted records are
+// independent of the input), because MERGE retains them.
 func (ex *Executor) matchPartRows(part ast.PatternPart, rec result.Record, emit emitFn) error {
-	return ex.matchNode(part, 0, rec, map[int64]bool{}, emit)
+	used := acquireIDSet()
+	err := ex.matchNode(part, 0, rec, used, emit)
+	releaseIDSet(used)
+	return err
 }
 
 func (ex *Executor) matchNode(part ast.PatternPart, idx int, rec result.Record, usedRels map[int64]bool, emit emitFn) error {

@@ -192,14 +192,16 @@ func (ex *Executor) executeParallel(p *plan.Plan) (tbl *result.Table, done bool,
 					case info.Ordered:
 						var buf []result.Record
 						err = ex.run(top, nil, func(r result.Record) error {
-							buf = append(buf, r)
+							// Rows are borrowed from the worker's pipeline;
+							// the buffer outlives the emit, so copy.
+							buf = append(buf, r.Clone())
 							return nil
 						})
 						outs[i].rows = buf
 					default:
 						var buf []result.Record
 						err = ex.run(top, nil, func(r result.Record) error {
-							buf = append(buf, r)
+							buf = append(buf, r.Clone())
 							return nil
 						})
 						mergeMu.Lock()
@@ -257,7 +259,8 @@ func (ex *Executor) executeParallel(p *plan.Plan) (tbl *result.Table, done bool,
 	}
 	tbl = result.NewTable(p.Columns...)
 	if err := ex.run(top, nil, func(r result.Record) error {
-		tbl.Add(r)
+		// The table outlives the emit call; take ownership of the row.
+		tbl.Add(r.Clone())
 		return nil
 	}); err != nil {
 		return nil, true, err

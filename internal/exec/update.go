@@ -12,18 +12,19 @@ import (
 )
 
 // createPattern creates the entities of a CREATE pattern for one row,
-// returning the row extended with the newly bound variables.
+// returning the row extended with the newly bound variables. The input row
+// is borrowed and left untouched; the returned row is an independent copy.
 func (ex *Executor) createPattern(pattern ast.Pattern, rec result.Record) (result.Record, error) {
 	out := rec.Clone()
 	for _, part := range pattern.Parts {
-		if err := ex.createPart(part, out); err != nil {
-			return nil, err
+		if err := ex.createPart(part, &out); err != nil {
+			return result.Record{}, err
 		}
 	}
 	return out, nil
 }
 
-func (ex *Executor) createPart(part ast.PatternPart, out result.Record) error {
+func (ex *Executor) createPart(part ast.PatternPart, out *result.Record) error {
 	nodes := make([]*graph.Node, len(part.Nodes))
 	for i, np := range part.Nodes {
 		n, err := ex.resolveOrCreateNode(np, out)
@@ -42,7 +43,7 @@ func (ex *Executor) createPart(part ast.PatternPart, out result.Record) error {
 		if rp.Direction == ast.DirBoth {
 			return errors.New("exec: CREATE requires a directed relationship")
 		}
-		props, err := ex.evalPropertyMap(rp.Properties, out)
+		props, err := ex.evalPropertyMap(rp.Properties, *out)
 		if err != nil {
 			return err
 		}
@@ -55,22 +56,22 @@ func (ex *Executor) createPart(part ast.PatternPart, out result.Record) error {
 			return err
 		}
 		if rp.Variable != "" {
-			out[rp.Variable] = value.NewRelationship(rel)
+			out.Set(rp.Variable, value.NewRelationship(rel))
 		}
 	}
 	if part.Variable != "" {
-		p, err := ex.buildPath(part, out)
+		p, err := ex.buildPath(part, *out)
 		if err != nil {
 			return err
 		}
-		out[part.Variable] = p
+		out.Set(part.Variable, p)
 	}
 	return nil
 }
 
 // resolveOrCreateNode reuses a node already bound to the pattern's variable,
 // or creates a new one from the pattern's labels and properties.
-func (ex *Executor) resolveOrCreateNode(np ast.NodePattern, out result.Record) (*graph.Node, error) {
+func (ex *Executor) resolveOrCreateNode(np ast.NodePattern, out *result.Record) (*graph.Node, error) {
 	if np.Variable != "" && out.Has(np.Variable) {
 		v := out.Get(np.Variable)
 		if value.IsNull(v) {
@@ -85,13 +86,13 @@ func (ex *Executor) resolveOrCreateNode(np ast.NodePattern, out result.Record) (
 		}
 		return n, nil
 	}
-	props, err := ex.evalPropertyMap(np.Properties, out)
+	props, err := ex.evalPropertyMap(np.Properties, *out)
 	if err != nil {
 		return nil, err
 	}
 	n := ex.graph.CreateNode(np.Labels, props)
 	if np.Variable != "" {
-		out[np.Variable] = value.NewNode(n)
+		out.Set(np.Variable, value.NewNode(n))
 	}
 	return n, nil
 }
@@ -132,11 +133,13 @@ func (ex *Executor) evalPropertyMap(props *ast.MapLiteral, rec result.Record) (m
 }
 
 // merge implements the MERGE clause for one row: emit every existing match,
-// or create the pattern when there is none.
+// or create the pattern when there is none. The match rows are retained
+// across the create/set decision, so they are cloned from the borrowed input
+// (matchPartRows already extends copies).
 func (ex *Executor) merge(o *plan.MergeOp, rec result.Record, emit emitFn) error {
 	var matches []result.Record
 	if err := ex.matchPartRows(o.Part, rec, func(r result.Record) error {
-		matches = append(matches, r)
+		matches = append(matches, r.Clone())
 		return nil
 	}); err != nil {
 		return err
@@ -153,7 +156,7 @@ func (ex *Executor) merge(o *plan.MergeOp, rec result.Record, emit emitFn) error
 		return nil
 	}
 	out := rec.Clone()
-	if err := ex.createPart(o.Part, out); err != nil {
+	if err := ex.createPart(o.Part, &out); err != nil {
 		return err
 	}
 	if err := ex.applySetItems(o.OnCreate, out); err != nil {

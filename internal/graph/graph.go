@@ -47,7 +47,9 @@ func (d Direction) String() string {
 
 // Node is a property graph node: an identifier, a set of labels lambda(n) and
 // a property map iota(n, .). Nodes also hold their incident relationships
-// (index-free adjacency).
+// (index-free adjacency), both as flat slices in creation order and bucketed
+// by relationship type, so a type-filtered traversal walks exactly the
+// relationships of that type without comparing type strings per edge.
 type Node struct {
 	id     int64
 	graph  *Graph
@@ -55,6 +57,11 @@ type Node struct {
 	props  map[string]value.Value
 	out    []*Relationship
 	in     []*Relationship
+	// outByType/inByType bucket the same relationships by type, preserving
+	// the relative order of the flat slices. Maintained by the graph's
+	// mutators; nil until the first relationship arrives.
+	outByType map[string][]*Relationship
+	inByType  map[string][]*Relationship
 }
 
 // Relationship is a property graph relationship: an identifier, a type
@@ -91,6 +98,12 @@ type Graph struct {
 	// commit order; the storage layer journals the stream to its WAL. See
 	// SetMutationHook.
 	hook MutationHook
+
+	// snap caches the sorted scan orders (all nodes, nodes per label) behind
+	// an atomic pointer, stamped with the epoch they were built at. Scans and
+	// morsel partitioning hit the cache allocation-free until the next
+	// mutation invalidates it. See scan.go.
+	snap atomicSnap
 }
 
 type indexKey struct {
@@ -180,70 +193,154 @@ func (n *Node) Properties() map[string]value.Value {
 
 // Degree returns the number of incident relationships in the given direction,
 // optionally restricted to a set of relationship types (empty means any).
+// With the type buckets this is a constant-time length sum — no per-edge
+// filtering and no closure allocation.
 func (n *Node) Degree(dir Direction, types ...string) int {
 	count := 0
-	match := func(r *Relationship) bool {
-		if len(types) == 0 {
-			return true
+	if len(types) == 0 {
+		if dir == Outgoing || dir == Both {
+			count += len(n.out)
 		}
-		for _, t := range types {
-			if r.typ == t {
-				return true
-			}
+		if dir == Incoming || dir == Both {
+			count += len(n.in)
 		}
-		return false
+		return count
 	}
-	if dir == Outgoing || dir == Both {
-		for _, r := range n.out {
-			if match(r) {
-				count++
-			}
+	for i, t := range types {
+		if duplicateType(types, i) {
+			continue
 		}
-	}
-	if dir == Incoming || dir == Both {
-		for _, r := range n.in {
-			if match(r) {
-				count++
-			}
+		if dir == Outgoing || dir == Both {
+			count += len(n.outByType[t])
+		}
+		if dir == Incoming || dir == Both {
+			count += len(n.inByType[t])
 		}
 	}
 	return count
 }
 
-// Relationships returns the node's incident relationships in the given
-// direction, optionally restricted to relationship types. The returned slice
-// is freshly allocated.
-func (n *Node) Relationships(dir Direction, types ...string) []*Relationship {
-	match := func(r *Relationship) bool {
-		if len(types) == 0 {
+// duplicateType reports whether types[i] already occurred earlier in types
+// (a rel pattern like [:A|A] must not count relationships twice).
+func duplicateType(types []string, i int) bool {
+	for j := 0; j < i; j++ {
+		if types[j] == types[i] {
 			return true
 		}
-		for _, t := range types {
-			if r.typ == t {
-				return true
+	}
+	return false
+}
+
+// typeMatches reports whether typ is in types (empty means any).
+func typeMatches(typ string, types []string) bool {
+	if len(types) == 0 {
+		return true
+	}
+	for _, t := range types {
+		if t == typ {
+			return true
+		}
+	}
+	return false
+}
+
+// EachRelationship calls fn for the node's incident relationships in the
+// given direction, optionally restricted to relationship types, in the same
+// order Relationships returns them. It allocates nothing: a single type
+// filter walks that type's bucket directly, the untyped form walks the flat
+// adjacency slices. fn returning false stops the iteration (EachRelationship
+// then also returns false).
+//
+// The iteration reads the live adjacency slices, so callers must not mutate
+// the graph from inside fn; mutating paths use Relationships, which copies.
+func (n *Node) EachRelationship(dir Direction, types []string, fn func(*Relationship) bool) bool {
+	if len(types) == 1 {
+		t := types[0]
+		if dir == Outgoing || dir == Both {
+			for _, r := range n.outByType[t] {
+				if !fn(r) {
+					return false
+				}
 			}
 		}
-		return false
+		if dir == Incoming || dir == Both {
+			for _, r := range n.inByType[t] {
+				// A self-loop appears in both adjacency lists; report it once.
+				if dir == Both && r.start == r.end {
+					continue
+				}
+				if !fn(r) {
+					return false
+				}
+			}
+		}
+		return true
 	}
-	var out []*Relationship
 	if dir == Outgoing || dir == Both {
 		for _, r := range n.out {
-			if match(r) {
-				out = append(out, r)
+			if !typeMatches(r.typ, types) {
+				continue
+			}
+			if !fn(r) {
+				return false
 			}
 		}
 	}
 	if dir == Incoming || dir == Both {
 		for _, r := range n.in {
-			if match(r) {
-				// A self-loop appears in both adjacency lists; report it once.
-				if dir == Both && r.start == r.end {
-					continue
-				}
-				out = append(out, r)
+			if !typeMatches(r.typ, types) {
+				continue
+			}
+			if dir == Both && r.start == r.end {
+				continue
+			}
+			if !fn(r) {
+				return false
 			}
 		}
 	}
+	return true
+}
+
+// OutgoingRels returns the node's live outgoing adjacency for the requested
+// types with zero allocations: the type bucket for a single type, the flat
+// slice otherwise. filtered reports whether the returned slice is already
+// restricted to the requested types (it is not for two or more types; the
+// caller must filter). The slice aliases the node's adjacency and must only
+// be read, and only while the graph is not being mutated.
+func (n *Node) OutgoingRels(types []string) (rels []*Relationship, filtered bool) {
+	switch len(types) {
+	case 0:
+		return n.out, true
+	case 1:
+		return n.outByType[types[0]], true
+	default:
+		return n.out, false
+	}
+}
+
+// IncomingRels is OutgoingRels for the incoming adjacency.
+func (n *Node) IncomingRels(types []string) (rels []*Relationship, filtered bool) {
+	switch len(types) {
+	case 0:
+		return n.in, true
+	case 1:
+		return n.inByType[types[0]], true
+	default:
+		return n.in, false
+	}
+}
+
+// Relationships returns the node's incident relationships in the given
+// direction, optionally restricted to relationship types. The returned slice
+// is freshly allocated, so it stays valid while the caller mutates the
+// graph; read-only hot paths use EachRelationship instead.
+func (n *Node) Relationships(dir Direction, types ...string) []*Relationship {
+	var out []*Relationship
+	n.EachRelationship(dir, types, func(r *Relationship) bool {
+		out = append(out, r)
+		return true
+	})
 	return out
 }
 
@@ -327,18 +424,6 @@ func (g *Graph) RelationshipByID(id int64) (*Relationship, bool) {
 	return r, ok
 }
 
-// Nodes returns all nodes, ordered by identifier.
-func (g *Graph) Nodes() []*Node {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	out := make([]*Node, 0, len(g.nodes))
-	for _, n := range g.nodes {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-	return out
-}
-
 // Relationships returns all relationships, ordered by identifier.
 func (g *Graph) Relationships() []*Relationship {
 	g.mu.RLock()
@@ -346,22 +431,6 @@ func (g *Graph) Relationships() []*Relationship {
 	out := make([]*Relationship, 0, len(g.rels))
 	for _, r := range g.rels {
 		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-	return out
-}
-
-// NodesByLabel returns all nodes carrying the label, ordered by identifier.
-func (g *Graph) NodesByLabel(label string) []*Node {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	idx, ok := g.labelIndex[label]
-	if !ok {
-		return nil
-	}
-	out := make([]*Node, 0, len(idx))
-	for _, n := range idx {
-		out = append(out, n)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out
@@ -384,30 +453,28 @@ func (g *Graph) RelationshipsByType(typ string) []*Relationship {
 	return out
 }
 
-// Labels returns all labels present in the graph, sorted.
+// Labels returns all labels present in the graph, sorted. Empty index
+// buckets are pruned eagerly on delete (see mutate.go), so every bucket that
+// exists is non-empty and no per-call emptiness scan is needed.
 func (g *Graph) Labels() []string {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	out := make([]string, 0, len(g.labelIndex))
-	for l, nodes := range g.labelIndex {
-		if len(nodes) > 0 {
-			out = append(out, l)
-		}
+	for l := range g.labelIndex {
+		out = append(out, l)
 	}
 	sort.Strings(out)
 	return out
 }
 
 // RelationshipTypes returns all relationship types present in the graph,
-// sorted.
+// sorted. Like Labels, it relies on delete-time pruning of empty buckets.
 func (g *Graph) RelationshipTypes() []string {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	out := make([]string, 0, len(g.typeIndex))
-	for t, rels := range g.typeIndex {
-		if len(rels) > 0 {
-			out = append(out, t)
-		}
+	for t := range g.typeIndex {
+		out = append(out, t)
 	}
 	sort.Strings(out)
 	return out

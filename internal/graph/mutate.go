@@ -77,6 +77,14 @@ func (g *Graph) CreateRelationship(start, end *Node, typ string, props map[strin
 	g.rels[r.id] = r
 	start.out = append(start.out, r)
 	end.in = append(end.in, r)
+	if start.outByType == nil {
+		start.outByType = make(map[string][]*Relationship)
+	}
+	start.outByType[typ] = append(start.outByType[typ], r)
+	if end.inByType == nil {
+		end.inByType = make(map[string][]*Relationship)
+	}
+	end.inByType[typ] = append(end.inByType[typ], r)
 	if g.typeIndex[typ] == nil {
 		g.typeIndex[typ] = make(map[int64]*Relationship)
 	}
@@ -99,11 +107,32 @@ func (g *Graph) deleteRelationshipLocked(r *Relationship) error {
 	}
 	delete(g.rels, r.id)
 	delete(g.typeIndex[r.typ], r.id)
+	if len(g.typeIndex[r.typ]) == 0 {
+		// Prune the empty bucket so RelationshipTypes never has to scan past
+		// types that no longer exist.
+		delete(g.typeIndex, r.typ)
+	}
 	r.start.out = removeRel(r.start.out, r)
 	r.end.in = removeRel(r.end.in, r)
+	removeRelBucket(r.start.outByType, r)
+	removeRelBucket(r.end.inByType, r)
 	g.emit(Mutation{Kind: MutDeleteRel, ID: r.id})
 	g.bumpEpoch()
 	return nil
+}
+
+// removeRelBucket removes r from its type bucket, dropping the bucket when it
+// empties.
+func removeRelBucket(byType map[string][]*Relationship, r *Relationship) {
+	if byType == nil {
+		return
+	}
+	rest := removeRel(byType[r.typ], r)
+	if len(rest) == 0 {
+		delete(byType, r.typ)
+		return
+	}
+	byType[r.typ] = rest
 }
 
 func removeRel(rels []*Relationship, r *Relationship) []*Relationship {
@@ -153,7 +182,7 @@ func (g *Graph) DetachDeleteNode(n *Node) error {
 func (g *Graph) removeNodeLocked(n *Node) {
 	delete(g.nodes, n.id)
 	for _, l := range n.labels {
-		delete(g.labelIndex[l], n.id)
+		g.removeFromLabelIndex(l, n)
 	}
 	g.removeFromPropIndexes(n)
 	g.emit(Mutation{Kind: MutDeleteNode, ID: n.id})
@@ -267,7 +296,7 @@ func (g *Graph) RemoveNodeLabel(n *Node, label string) error {
 	g.removeFromPropIndexes(n)
 	i := sort.SearchStrings(n.labels, label)
 	n.labels = append(n.labels[:i], n.labels[i+1:]...)
-	delete(g.labelIndex[label], n.id)
+	g.removeFromLabelIndex(label, n)
 	g.addToPropIndexes(n)
 	g.emit(Mutation{Kind: MutRemoveLabel, ID: n.id, Label: label})
 	g.bumpEpoch()
@@ -279,4 +308,14 @@ func (g *Graph) addToLabelIndex(label string, n *Node) {
 		g.labelIndex[label] = make(map[int64]*Node)
 	}
 	g.labelIndex[label][n.id] = n
+}
+
+// removeFromLabelIndex removes the node from the label's bucket, pruning the
+// bucket when it empties so Labels() never iterates stale entries.
+func (g *Graph) removeFromLabelIndex(label string, n *Node) {
+	idx := g.labelIndex[label]
+	delete(idx, n.id)
+	if len(idx) == 0 {
+		delete(g.labelIndex, label)
+	}
 }

@@ -179,7 +179,7 @@ func (g *Graph) Apply(m Mutation) error {
 		}
 		delete(g.nodes, n.id)
 		for _, l := range n.labels {
-			delete(g.labelIndex[l], n.id)
+			g.removeFromLabelIndex(l, n)
 		}
 		g.removeFromPropIndexes(n)
 	case MutCreateRel:
@@ -209,6 +209,14 @@ func (g *Graph) Apply(m Mutation) error {
 		g.rels[r.id] = r
 		start.out = append(start.out, r)
 		end.in = append(end.in, r)
+		if start.outByType == nil {
+			start.outByType = make(map[string][]*Relationship)
+		}
+		start.outByType[r.typ] = append(start.outByType[r.typ], r)
+		if end.inByType == nil {
+			end.inByType = make(map[string][]*Relationship)
+		}
+		end.inByType[r.typ] = append(end.inByType[r.typ], r)
 		if g.typeIndex[r.typ] == nil {
 			g.typeIndex[r.typ] = make(map[int64]*Relationship)
 		}
@@ -223,8 +231,13 @@ func (g *Graph) Apply(m Mutation) error {
 		}
 		delete(g.rels, r.id)
 		delete(g.typeIndex[r.typ], r.id)
+		if len(g.typeIndex[r.typ]) == 0 {
+			delete(g.typeIndex, r.typ)
+		}
 		r.start.out = removeRel(r.start.out, r)
 		r.end.in = removeRel(r.end.in, r)
+		removeRelBucket(r.start.outByType, r)
+		removeRelBucket(r.end.inByType, r)
 	case MutSetNodeProp:
 		n, ok := g.nodes[m.ID]
 		if !ok {
@@ -291,7 +304,7 @@ func (g *Graph) Apply(m Mutation) error {
 			g.removeFromPropIndexes(n)
 			i := sort.SearchStrings(n.labels, m.Label)
 			n.labels = append(n.labels[:i], n.labels[i+1:]...)
-			delete(g.labelIndex[m.Label], n.id)
+			g.removeFromLabelIndex(m.Label, n)
 			g.addToPropIndexes(n)
 		}
 	case MutCreateIndex:

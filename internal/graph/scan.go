@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Scan snapshots. Nodes() and NodesByLabel() used to copy the whole store
+// into a fresh slice and sort it on every call — once per query for a serial
+// scan, and again for morsel partitioning. Instead the graph now keeps a
+// lazily (re)built, epoch-stamped snapshot of each scan order behind an
+// atomic pointer: a scan at an unchanged epoch returns the cached slice with
+// zero allocations, and the first scan after a mutation rebuilds just the
+// orders it needs.
+//
+// The returned slices are shared and must be treated as immutable by
+// callers; every consumer in the engine only iterates (or sub-slices, for
+// morsels). The engine's query locking makes the epoch stable for the
+// duration of a query, so a query sees one consistent scan order.
+
+// scanSnap is one immutable generation of cached scan orders. A new
+// generation is published (copy-on-write) whenever an order is added or the
+// epoch moves.
+type scanSnap struct {
+	epoch   uint64
+	all     []*Node
+	allOK   bool
+	byLabel map[string][]*Node
+}
+
+type atomicSnap struct {
+	p atomic.Pointer[scanSnap]
+}
+
+// Nodes returns all nodes, ordered by identifier. The returned slice is a
+// shared snapshot; callers must not modify it.
+func (g *Graph) Nodes() []*Node {
+	if s := g.snap.p.Load(); s != nil && s.allOK && s.epoch == g.epoch.Load() {
+		return s.all
+	}
+	g.mu.RLock()
+	// Mutators bump the epoch while holding the write lock, so under the read
+	// lock the epoch and the store contents are consistent.
+	epoch := g.epoch.Load()
+	all := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		all = append(all, n)
+	}
+	g.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	g.publishSnap(epoch, func(ns *scanSnap) {
+		ns.all = all
+		ns.allOK = true
+	})
+	return all
+}
+
+// NodesByLabel returns all nodes carrying the label, ordered by identifier.
+// The returned slice is a shared snapshot; callers must not modify it.
+func (g *Graph) NodesByLabel(label string) []*Node {
+	if s := g.snap.p.Load(); s != nil && s.epoch == g.epoch.Load() {
+		if out, ok := s.byLabel[label]; ok {
+			return out
+		}
+	}
+	g.mu.RLock()
+	epoch := g.epoch.Load()
+	var out []*Node
+	if idx, ok := g.labelIndex[label]; ok {
+		out = make([]*Node, 0, len(idx))
+		for _, n := range idx {
+			out = append(out, n)
+		}
+	}
+	g.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	g.publishSnap(epoch, func(ns *scanSnap) {
+		if ns.byLabel == nil {
+			ns.byLabel = map[string][]*Node{label: out}
+			return
+		}
+		ns.byLabel[label] = out
+	})
+	return out
+}
+
+// publishSnap installs a new snapshot generation for the epoch, carrying over
+// every order the current generation already holds for the same epoch. Under
+// a concurrent publish the loop retries with the freshly published state, so
+// concurrently built orders are never lost. A build that raced with a
+// mutation and lost (the published generation is already newer) is simply
+// dropped — replacing a warm newer-epoch cache with a stale one would force
+// the next scan to redo the full rebuild.
+func (g *Graph) publishSnap(epoch uint64, set func(*scanSnap)) {
+	for {
+		old := g.snap.p.Load()
+		if old != nil && old.epoch > epoch {
+			return
+		}
+		ns := &scanSnap{epoch: epoch}
+		if old != nil && old.epoch == epoch {
+			ns.all, ns.allOK = old.all, old.allOK
+			if len(old.byLabel) > 0 {
+				ns.byLabel = make(map[string][]*Node, len(old.byLabel)+1)
+				for k, v := range old.byLabel {
+					ns.byLabel[k] = v
+				}
+			}
+		}
+		set(ns)
+		if g.snap.p.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func scanTestGraph(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		label := "Even"
+		if i%2 == 1 {
+			label = "Odd"
+		}
+		g.CreateNode([]string{label, "All"}, map[string]value.Value{"i": value.NewInt(int64(i))})
+	}
+	return g
+}
+
+// TestScanSnapshotZeroAlloc is the headline property of the scan cache: at an
+// unchanged epoch, Nodes() and NodesByLabel() return the cached order with
+// zero allocations.
+func TestScanSnapshotZeroAlloc(t *testing.T) {
+	g := scanTestGraph(500)
+	g.Nodes()
+	g.NodesByLabel("Even")
+	if allocs := testing.AllocsPerRun(100, func() {
+		for range g.Nodes() {
+		}
+	}); allocs != 0 {
+		t.Errorf("Nodes() on a warm snapshot allocates %.0f times", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		for range g.NodesByLabel("Even") {
+		}
+	}); allocs != 0 {
+		t.Errorf("NodesByLabel() on a warm snapshot allocates %.0f times", allocs)
+	}
+}
+
+// TestScanSnapshotInvalidation verifies every scan observes mutations that
+// happened before it, and that held snapshots are not retroactively changed.
+func TestScanSnapshotInvalidation(t *testing.T) {
+	g := scanTestGraph(10)
+	before := g.Nodes()
+	if len(before) != 10 {
+		t.Fatalf("len(Nodes) = %d", len(before))
+	}
+	evenBefore := g.NodesByLabel("Even")
+	if len(evenBefore) != 5 {
+		t.Fatalf("len(Even) = %d", len(evenBefore))
+	}
+
+	n := g.CreateNode([]string{"Even"}, nil)
+	if got := g.Nodes(); len(got) != 11 {
+		t.Errorf("Nodes() after create = %d, want 11", len(got))
+	}
+	if got := g.NodesByLabel("Even"); len(got) != 6 {
+		t.Errorf("Even after create = %d, want 6", len(got))
+	}
+	// The snapshot held from before the mutation is unchanged (it is a
+	// point-in-time order, not a live view).
+	if len(before) != 10 || len(evenBefore) != 5 {
+		t.Errorf("held snapshots must not change length")
+	}
+
+	if err := g.DeleteNode(n); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Nodes(); len(got) != 10 {
+		t.Errorf("Nodes() after delete = %d, want 10", len(got))
+	}
+	// Ordering is by identifier.
+	got := g.Nodes()
+	for i := 1; i < len(got); i++ {
+		if got[i-1].ID() >= got[i].ID() {
+			t.Fatalf("Nodes() not sorted by id at %d", i)
+		}
+	}
+	// Label changes invalidate label orders too.
+	if err := g.AddNodeLabel(got[0], "Odd"); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.NodesByLabel("Odd")) != 6 {
+		t.Errorf("Odd after AddNodeLabel = %d, want 6", len(g.NodesByLabel("Odd")))
+	}
+	if err := g.RemoveNodeLabel(got[0], "Odd"); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.NodesByLabel("Odd")) != 5 {
+		t.Errorf("Odd after RemoveNodeLabel = %d, want 5", len(g.NodesByLabel("Odd")))
+	}
+}
+
+// TestScanSnapshotConcurrent hammers the snapshot path from concurrent
+// readers while writers invalidate it; meaningful under -race. Each reader
+// checks its slice is internally consistent (sorted, no nils).
+func TestScanSnapshotConcurrent(t *testing.T) {
+	g := scanTestGraph(200)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				nodes := g.Nodes()
+				for i := 1; i < len(nodes); i++ {
+					if nodes[i] == nil || nodes[i-1].ID() >= nodes[i].ID() {
+						t.Error("inconsistent snapshot")
+						return
+					}
+				}
+				g.NodesByLabel("Even")
+				g.NodesByLabel("Odd")
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		g.CreateNode([]string{"Even"}, nil)
+	}
+	close(stop)
+	wg.Wait()
+	if got := len(g.Nodes()); got != 400 {
+		t.Errorf("final node count = %d, want 400", got)
+	}
+}
+
+// TestEmptyIndexBucketsPruned covers the delete-time pruning satellite:
+// Labels() and RelationshipTypes() must forget labels/types whose last
+// entity was removed, without a per-call emptiness scan.
+func TestEmptyIndexBucketsPruned(t *testing.T) {
+	g := New()
+	a := g.CreateNode([]string{"Gone"}, nil)
+	b := g.CreateNode([]string{"Stays"}, nil)
+	r, err := g.CreateRelationship(a, b, "ONCE", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Labels(); len(got) != 2 {
+		t.Fatalf("Labels = %v", got)
+	}
+	if got := g.RelationshipTypes(); len(got) != 1 || got[0] != "ONCE" {
+		t.Fatalf("RelationshipTypes = %v", got)
+	}
+	if err := g.DeleteRelationship(r); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.RelationshipTypes(); len(got) != 0 {
+		t.Errorf("RelationshipTypes after delete = %v, want empty", got)
+	}
+	if err := g.DetachDeleteNode(a); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Labels(); len(got) != 1 || got[0] != "Stays" {
+		t.Errorf("Labels after delete = %v, want [Stays]", got)
+	}
+	// Re-creating the label/type works after pruning.
+	if _, err := g.CreateRelationship(b, g.CreateNode([]string{"Gone"}, nil), "ONCE", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Labels(); len(got) != 2 {
+		t.Errorf("Labels after re-create = %v", got)
+	}
+	if got := g.RelationshipTypes(); len(got) != 1 {
+		t.Errorf("RelationshipTypes after re-create = %v", got)
+	}
+}
+
+// TestTypeBucketsMatchFlatAdjacency cross-checks the bucketed accessors
+// against the flat adjacency under creates and deletes, including
+// self-loops and multi-type filters.
+func TestTypeBucketsMatchFlatAdjacency(t *testing.T) {
+	g := New()
+	a := g.CreateNode(nil, nil)
+	b := g.CreateNode(nil, nil)
+	c := g.CreateNode(nil, nil)
+	mk := func(from, to *Node, typ string) *Relationship {
+		r, err := g.CreateRelationship(from, to, typ, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	mk(a, b, "X")
+	loop := mk(a, a, "X")
+	mk(a, c, "Y")
+	mk(b, a, "X")
+	mk(c, a, "Z")
+
+	check := func() {
+		t.Helper()
+		for _, dir := range []Direction{Outgoing, Incoming, Both} {
+			for _, types := range [][]string{nil, {"X"}, {"Y"}, {"X", "Z"}, {"X", "X"}, {"Missing"}} {
+				want := fmt.Sprint(relIDsVia(a, dir, types, true))
+				got := fmt.Sprint(relIDsVia(a, dir, types, false))
+				if got != want {
+					t.Errorf("dir=%v types=%v: EachRelationship=%v, reference=%v", dir, types, got, want)
+				}
+				wantDeg := len(relIDsVia(a, dir, types, true))
+				if dir == Both {
+					// Degree double-counts self-loops (both adjacency lists),
+					// matching the pre-bucket behaviour.
+					wantDeg = degreeReference(a, dir, types)
+				}
+				if gotDeg := a.Degree(dir, dedupTypes(types)...); gotDeg != wantDeg {
+					t.Errorf("dir=%v types=%v: Degree=%d, want %d", dir, types, gotDeg, wantDeg)
+				}
+			}
+		}
+	}
+	check()
+	if err := g.DeleteRelationship(loop); err != nil {
+		t.Fatal(err)
+	}
+	check()
+}
+
+// relIDsVia lists a's incident relationship ids either through the reference
+// implementation (flat walk mirroring the pre-bucket code) or through
+// EachRelationship.
+func relIDsVia(n *Node, dir Direction, types []string, reference bool) []int64 {
+	var out []int64
+	if reference {
+		match := func(r *Relationship) bool { return typeMatches(r.typ, types) }
+		if dir == Outgoing || dir == Both {
+			for _, r := range n.out {
+				if match(r) {
+					out = append(out, r.ID())
+				}
+			}
+		}
+		if dir == Incoming || dir == Both {
+			for _, r := range n.in {
+				if match(r) {
+					if dir == Both && r.start == r.end {
+						continue
+					}
+					out = append(out, r.ID())
+				}
+			}
+		}
+		return out
+	}
+	n.EachRelationship(dir, types, func(r *Relationship) bool {
+		out = append(out, r.ID())
+		return true
+	})
+	return out
+}
+
+// degreeReference mirrors the pre-bucket Degree loop (which counted
+// self-loops twice for Both).
+func degreeReference(n *Node, dir Direction, types []string) int {
+	count := 0
+	if dir == Outgoing || dir == Both {
+		for _, r := range n.out {
+			if typeMatches(r.typ, types) {
+				count++
+			}
+		}
+	}
+	if dir == Incoming || dir == Both {
+		for _, r := range n.in {
+			if typeMatches(r.typ, types) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+func dedupTypes(types []string) []string {
+	var out []string
+	for i, t := range types {
+		if !duplicateType(types, i) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// BenchmarkScanSnapshot contrasts the warm snapshot hit (amortised cost of
+// every scan and morsel partitioning) with a forced rebuild after an epoch
+// bump.
+func BenchmarkScanSnapshot(b *testing.B) {
+	g := scanTestGraph(50000)
+	b.Run("hit", func(b *testing.B) {
+		g.Nodes()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(g.Nodes()) != 50000 {
+				b.Fatal("wrong count")
+			}
+		}
+	})
+	b.Run("label-hit", func(b *testing.B) {
+		g.NodesByLabel("Even")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(g.NodesByLabel("Even")) != 25000 {
+				b.Fatal("wrong count")
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		n, _ := g.NodeByID(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Touch a property to bump the epoch, forcing a rebuild.
+			if err := g.SetNodeProperty(n, "touch", value.NewInt(int64(i))); err != nil {
+				b.Fatal(err)
+			}
+			if len(g.Nodes()) != 50000 {
+				b.Fatal("wrong count")
+			}
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/ast"
+	"repro/internal/result"
 )
 
 // Operator is a node in a query plan.
@@ -34,6 +35,10 @@ type Plan struct {
 	// Parallel is the morsel-parallelism analysis of the plan (set by the
 	// planner; nil for hand-built plans, which the executor analyses lazily).
 	Parallel *ParallelInfo
+	// Slots maps every name the plan can bind to a fixed row slot (set by the
+	// planner via ComputeSlots; nil for hand-built plans, which the executor
+	// computes lazily). The executor's rows are slices indexed by these slots.
+	Slots *result.SlotTable
 }
 
 // String renders the plan operator tree, one operator per line, leaf last,

@@ -1,0 +1,99 @@
+package plan
+
+import "repro/internal/result"
+
+// ComputeSlots walks the finished operator tree and assigns a fixed slot to
+// every name any operator can bind: scan/expand variables, projection and
+// aggregation column names, UNWIND aliases, path variables, CREATE/MERGE
+// pattern variables, and the plan's output columns. The executor carries rows
+// as slot-indexed slices (result.NewSlotted); names outside the table — e.g.
+// list-comprehension binders that only exist during expression evaluation —
+// fall back to a record's overflow map.
+//
+// The returned table is frozen: plans are shared by concurrent queries via
+// the plan cache, and the slot table with them.
+func ComputeSlots(p *Plan) *result.SlotTable {
+	t := result.NewSlotTable()
+	var walk func(op Operator)
+	walk = func(op Operator) {
+		if op == nil {
+			return
+		}
+		switch o := op.(type) {
+		case *AllNodesScan:
+			walk(o.Input)
+			t.Add(o.Var)
+		case *NodeByLabelScan:
+			walk(o.Input)
+			t.Add(o.Var)
+		case *NodeIndexSeek:
+			walk(o.Input)
+			t.Add(o.Var)
+		case *Expand:
+			walk(o.Input)
+			t.Add(o.FromVar)
+			t.Add(o.RelVar)
+			t.Add(o.ToVar)
+		case *Optional:
+			walk(o.Input)
+			walk(o.Inner)
+			for _, v := range o.IntroducedVars {
+				t.Add(v)
+			}
+		case *ProjectPath:
+			walk(o.Input)
+			t.Add(o.Var)
+		case *Unwind:
+			walk(o.Input)
+			t.Add(o.Alias)
+		case *Project:
+			walk(o.Input)
+			for _, it := range o.Items {
+				t.Add(it.Name)
+			}
+		case *Aggregate:
+			walk(o.Input)
+			for _, g := range o.Grouping {
+				t.Add(g.Name)
+			}
+			for _, a := range o.Aggregations {
+				t.Add(a.Name)
+			}
+		case *Distinct:
+			walk(o.Input)
+			for _, c := range o.Columns {
+				t.Add(c)
+			}
+		case *SelectColumns:
+			walk(o.Input)
+			for _, c := range o.Columns {
+				t.Add(c)
+			}
+		case *Union:
+			walk(o.Left)
+			walk(o.Right)
+			for _, c := range o.Columns {
+				t.Add(c)
+			}
+		case *CreateOp:
+			walk(o.Input)
+			for _, v := range o.Pattern.Variables() {
+				t.Add(v)
+			}
+		case *MergeOp:
+			walk(o.Input)
+			for _, v := range o.Part.Variables() {
+				t.Add(v)
+			}
+		default:
+			// Filter, Sort, Skip, Limit, Delete/Set/Remove and synthetic
+			// runtime sources bind nothing themselves.
+			walk(op.Source())
+		}
+	}
+	walk(p.Root)
+	for _, c := range p.Columns {
+		t.Add(c)
+	}
+	return t
+}

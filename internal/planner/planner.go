@@ -57,6 +57,9 @@ func (p *Planner) Plan(q *ast.Query) (*plan.Plan, error) {
 	// Mark the plan's morsel-parallelism eligibility once at compile time;
 	// the executor (and EXPLAIN) reuse the analysis on every run.
 	pl.Parallel = plan.AnalyzeParallelism(pl)
+	// Assign every bindable name a fixed row slot; the executor carries rows
+	// as slot-indexed slices instead of per-row maps.
+	pl.Slots = plan.ComputeSlots(pl)
 	return pl, nil
 }
 

@@ -107,7 +107,7 @@ func (ev *evaluator) evalMatch(m *ast.Match, in *result.Table) (*result.Table, e
 			r := u.Clone()
 			for _, v := range m.Pattern.Variables() {
 				if !r.Has(v) {
-					r[v] = value.Null()
+					r.Set(v, value.Null())
 				}
 			}
 			out.Add(r)
@@ -465,7 +465,7 @@ func (ev *evaluator) evalProjection(p ast.Projection, in *result.Table, where as
 				if evalErr != nil {
 					return nil, evalErr
 				}
-				rec[columns[i]] = v
+				rec.Set(columns[i], v)
 			}
 			out.Add(rec)
 		}
@@ -573,14 +573,14 @@ func (ev *evaluator) aggregate(items []ast.ReturnItem, columns []string, in *res
 		g := groups[key]
 		rec := result.NewRecord()
 		for _, gi := range groupingIdx {
-			rec[columns[gi]] = g.keyVals[columns[gi]]
+			rec.Set(columns[gi], g.keyVals[columns[gi]])
 		}
 		for _, ai := range aggIdx {
 			v, err := ev.evalAggregateExpr(items[ai].Expr, g.rows)
 			if err != nil {
 				return nil, err
 			}
-			rec[columns[ai]] = v
+			rec.Set(columns[ai], v)
 		}
 		out.Add(rec)
 	}

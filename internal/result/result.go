@@ -1,6 +1,14 @@
 // Package result defines the tables that Cypher queries consume and produce.
 // Following Section 4.1 of the paper, a table is a bag (multiset) of records,
 // where a record is a partial function from names to values.
+//
+// The runtime representation compiles that partial function away: when a
+// record is created from a SlotTable (see slots.go) its bindings live in a
+// flat slice indexed by the slots the planner assigned, and only names the
+// planner never saw (runtime binders such as list-comprehension variables)
+// fall back to a small overflow map. A record without a slot table behaves
+// exactly like the paper's name→value map; the reference semantics and the
+// test harnesses use that form.
 package result
 
 import (
@@ -10,18 +18,48 @@ import (
 	"repro/internal/value"
 )
 
-// Record is a named tuple: a partial map from field names to values
-// (u = (a1: v1, ..., an: vn) in the paper).
-type Record map[string]value.Value
+// Record is a named tuple: a partial function from field names to values
+// (u = (a1: v1, ..., an: vn) in the paper). The zero value is the empty
+// record. Records have reference semantics like the map they replaced:
+// copying the struct aliases the same bindings, Clone makes them independent.
+type Record struct {
+	tab   *SlotTable
+	slots []value.Value // indexed by slot; nil means the name is unbound
+	extra map[string]value.Value
+}
 
-// NewRecord returns an empty record (the record () of the paper).
+// NewRecord returns an empty record (the record () of the paper) with no slot
+// table; every binding goes to the overflow map.
 func NewRecord() Record { return Record{} }
+
+// NewSlotted returns an empty record whose bindings for the table's names are
+// stored in fixed slots. This is the executor's row representation: creating
+// or cloning it costs a single slice allocation.
+func NewSlotted(tab *SlotTable) Record {
+	return Record{tab: tab, slots: make([]value.Value, tab.Len())}
+}
+
+// FromMap builds a record from a name→value map (test and harness helper).
+func FromMap(m map[string]value.Value) Record {
+	r := Record{}
+	for k, v := range m {
+		r.Set(k, v)
+	}
+	return r
+}
 
 // Clone returns a copy of the record that can be extended independently.
 func (r Record) Clone() Record {
-	out := make(Record, len(r)+4)
-	for k, v := range r {
-		out[k] = v
+	out := Record{tab: r.tab}
+	if r.slots != nil {
+		out.slots = make([]value.Value, len(r.slots))
+		copy(out.slots, r.slots)
+	}
+	if len(r.extra) > 0 {
+		out.extra = make(map[string]value.Value, len(r.extra)+1)
+		for k, v := range r.extra {
+			out.extra[k] = v
+		}
 	}
 	return out
 }
@@ -30,14 +68,86 @@ func (r Record) Clone() Record {
 // (u, a: v) of the paper).
 func (r Record) Extended(name string, v value.Value) Record {
 	out := r.Clone()
-	out[name] = v
+	out.Set(name, v)
 	return out
+}
+
+// Set binds the name to the value. Names with a slot in the record's table go
+// to their slot; everything else goes to the overflow map. Like the map
+// representation it replaces, Set through one alias of a record is visible
+// through the others as long as the slot array is shared — callers that need
+// an independent record must Clone first.
+func (r *Record) Set(name string, v value.Value) {
+	if i, ok := r.tab.Slot(name); ok {
+		if r.slots == nil {
+			r.slots = make([]value.Value, r.tab.Len())
+		}
+		r.slots[i] = v
+		return
+	}
+	if r.extra == nil {
+		r.extra = make(map[string]value.Value, 4)
+	}
+	r.extra[name] = v
+}
+
+// Unset removes the binding for the name, if any.
+func (r *Record) Unset(name string) {
+	if i, ok := r.tab.Slot(name); ok {
+		if r.slots != nil {
+			r.slots[i] = nil
+		}
+		return
+	}
+	delete(r.extra, name)
+}
+
+// Zero unbinds every name, reusing the slot array. The executor uses it to
+// recycle a scratch row across loop iterations without reallocating.
+func (r *Record) Zero() {
+	for i := range r.slots {
+		r.slots[i] = nil
+	}
+	if len(r.extra) > 0 {
+		r.extra = nil
+	}
+}
+
+// CopyFrom replaces the record's bindings with an independent copy of src's,
+// reusing the slot array. Both records must come from the same slot table
+// (the executor's scratch rows always do). Like Zero, this lets a scratch
+// row be recycled across loop iterations without reallocating.
+func (r *Record) CopyFrom(src Record) {
+	if r.slots == nil && r.tab.Len() > 0 {
+		r.slots = make([]value.Value, r.tab.Len())
+	}
+	if src.slots == nil {
+		for i := range r.slots {
+			r.slots[i] = nil
+		}
+	} else {
+		copy(r.slots, src.slots)
+	}
+	r.extra = nil
+	if len(src.extra) > 0 {
+		r.extra = make(map[string]value.Value, len(src.extra))
+		for k, v := range src.extra {
+			r.extra[k] = v
+		}
+	}
 }
 
 // Fields returns the record's field names, sorted (dom(u)).
 func (r Record) Fields() []string {
-	out := make([]string, 0, len(r))
-	for k := range r {
+	out := make([]string, 0, len(r.extra)+4)
+	if r.tab != nil {
+		for i, name := range r.tab.Names() {
+			if i < len(r.slots) && r.slots[i] != nil {
+				out = append(out, name)
+			}
+		}
+	}
+	for k := range r.extra {
 		out = append(out, k)
 	}
 	sort.Strings(out)
@@ -46,7 +156,15 @@ func (r Record) Fields() []string {
 
 // Get returns the value bound to the name, or null if the name is unbound.
 func (r Record) Get(name string) value.Value {
-	if v, ok := r[name]; ok {
+	if i, ok := r.tab.Slot(name); ok {
+		if i < len(r.slots) && r.slots[i] != nil {
+			return r.slots[i]
+		}
+		// A slotted name can still live in the overflow map when the record
+		// itself has no slot array (e.g. a harness record matched against a
+		// slotted table); fall through.
+	}
+	if v, ok := r.extra[name]; ok {
 		return v
 	}
 	return value.Null()
@@ -54,7 +172,10 @@ func (r Record) Get(name string) value.Value {
 
 // Has reports whether the name is bound in the record (even to null).
 func (r Record) Has(name string) bool {
-	_, ok := r[name]
+	if i, ok := r.tab.Slot(name); ok && i < len(r.slots) && r.slots[i] != nil {
+		return true
+	}
+	_, ok := r.extra[name]
 	return ok
 }
 
@@ -83,9 +204,15 @@ func (t *Table) Add(r Record) { t.Records = append(t.Records, r) }
 // is released, so results stay safe to read while later queries mutate the
 // graph.
 func (t *Table) DetachEntities() {
-	for _, r := range t.Records {
-		for k, v := range r {
-			r[k] = value.Detach(v)
+	for i := range t.Records {
+		r := &t.Records[i]
+		for j, v := range r.slots {
+			if v != nil {
+				r.slots[j] = value.Detach(v)
+			}
+		}
+		for k, v := range r.extra {
+			r.extra[k] = value.Detach(v)
 		}
 	}
 }

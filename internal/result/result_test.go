@@ -7,6 +7,15 @@ import (
 	"repro/internal/value"
 )
 
+// rec builds a map-backed record (the paper's representation) for tests.
+func rec(kv ...any) Record {
+	r := NewRecord()
+	for i := 0; i < len(kv); i += 2 {
+		r.Set(kv[i].(string), kv[i+1].(value.Value))
+	}
+	return r
+}
+
 func TestRecordBasics(t *testing.T) {
 	r := NewRecord()
 	if len(r.Fields()) != 0 {
@@ -27,7 +36,7 @@ func TestRecordBasics(t *testing.T) {
 		t.Errorf("Fields should be sorted: %v", fields)
 	}
 	clone := r2.Clone()
-	clone["c"] = value.NewInt(3)
+	clone.Set("c", value.NewInt(3))
 	if r2.Has("c") {
 		t.Errorf("Clone must be independent")
 	}
@@ -36,10 +45,96 @@ func TestRecordBasics(t *testing.T) {
 	}
 }
 
+func TestSlotTable(t *testing.T) {
+	tab := NewSlotTable()
+	if got := tab.Add("a"); got != 0 {
+		t.Fatalf("first slot = %d", got)
+	}
+	if got := tab.Add("b"); got != 1 {
+		t.Fatalf("second slot = %d", got)
+	}
+	if got := tab.Add("a"); got != 0 {
+		t.Fatalf("Add must be idempotent, got %d", got)
+	}
+	if got := tab.Add(""); got != -1 {
+		t.Fatalf("empty names must be ignored, got %d", got)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if i, ok := tab.Slot("b"); !ok || i != 1 {
+		t.Fatalf("Slot(b) = %d, %v", i, ok)
+	}
+	if _, ok := tab.Slot("missing"); ok {
+		t.Fatalf("Slot must miss unknown names")
+	}
+	var nilTab *SlotTable
+	if _, ok := nilTab.Slot("a"); ok || nilTab.Len() != 0 {
+		t.Fatalf("nil table must behave as empty")
+	}
+}
+
+func TestSlottedRecord(t *testing.T) {
+	tab := NewSlotTable()
+	tab.Add("n")
+	tab.Add("m")
+	r := NewSlotted(tab)
+	if r.Has("n") || !value.IsNull(r.Get("n")) {
+		t.Fatalf("fresh slotted record must be unbound")
+	}
+	r.Set("n", value.NewInt(7))
+	if !r.Has("n") || r.Get("n") != value.NewInt(7) {
+		t.Fatalf("slot binding lost")
+	}
+	// Binding to null is still a binding (OPTIONAL MATCH semantics).
+	r.Set("m", value.Null())
+	if !r.Has("m") || !value.IsNull(r.Get("m")) {
+		t.Fatalf("null binding must be observable")
+	}
+	// Overflow: names outside the table land in the extra map.
+	r.Set("binder", value.NewString("x"))
+	if !r.Has("binder") || r.Get("binder") != value.NewString("x") {
+		t.Fatalf("overflow binding lost")
+	}
+	fields := r.Fields()
+	if len(fields) != 3 || fields[0] != "binder" || fields[1] != "m" || fields[2] != "n" {
+		t.Fatalf("Fields = %v", fields)
+	}
+	// Clone independence covers both representations.
+	c := r.Clone()
+	c.Set("n", value.NewInt(8))
+	c.Set("binder", value.NewString("y"))
+	if r.Get("n") != value.NewInt(7) || r.Get("binder") != value.NewString("x") {
+		t.Fatalf("Clone must not alias the original")
+	}
+	// Unset and Zero.
+	c.Unset("m")
+	if c.Has("m") {
+		t.Fatalf("Unset must unbind")
+	}
+	c.Zero()
+	if c.Has("n") || c.Has("binder") || len(c.Fields()) != 0 {
+		t.Fatalf("Zero must unbind everything: %v", c.Fields())
+	}
+}
+
+func TestSlottedRecordAliasing(t *testing.T) {
+	// Plain struct assignment aliases the slot storage, like the map
+	// representation it replaced.
+	tab := NewSlotTable()
+	tab.Add("x")
+	a := NewSlotted(tab)
+	b := a
+	b.Set("x", value.NewInt(1))
+	if a.Get("x") != value.NewInt(1) {
+		t.Fatalf("assignment must alias slot storage")
+	}
+}
+
 func TestTableBasics(t *testing.T) {
 	tbl := NewTable("a", "b")
-	tbl.Add(Record{"a": value.NewInt(1), "b": value.NewString("x")})
-	tbl.Add(Record{"a": value.NewInt(2)})
+	tbl.Add(rec("a", value.NewInt(1), "b", value.NewString("x")))
+	tbl.Add(rec("a", value.NewInt(2)))
 	if tbl.Len() != 2 {
 		t.Fatalf("Len = %d", tbl.Len())
 	}
@@ -51,15 +146,15 @@ func TestTableBasics(t *testing.T) {
 	if len(rows) != 2 || rows[0][1] != value.NewString("x") {
 		t.Errorf("Rows wrong: %v", rows)
 	}
-	if u := Unit(); u.Len() != 1 || len(u.Records[0]) != 0 {
+	if u := Unit(); u.Len() != 1 || len(u.Records[0].Fields()) != 0 {
 		t.Errorf("Unit should contain a single empty record")
 	}
 }
 
 func TestTableString(t *testing.T) {
 	tbl := NewTable("name", "n")
-	tbl.Add(Record{"name": value.NewString("Nils"), "n": value.NewInt(0)})
-	tbl.Add(Record{"name": value.NewString("Elin"), "n": value.NewInt(2)})
+	tbl.Add(rec("name", value.NewString("Nils"), "n", value.NewInt(0)))
+	tbl.Add(rec("name", value.NewString("Elin"), "n", value.NewInt(2)))
 	s := tbl.String()
 	if !strings.Contains(s, "| name") || !strings.Contains(s, "| 'Nils'") {
 		t.Errorf("rendering wrong:\n%s", s)
@@ -76,9 +171,9 @@ func TestTableString(t *testing.T) {
 
 func TestSortByAllColumns(t *testing.T) {
 	tbl := NewTable("a", "b")
-	tbl.Add(Record{"a": value.NewInt(2), "b": value.NewString("x")})
-	tbl.Add(Record{"a": value.NewInt(1), "b": value.NewString("z")})
-	tbl.Add(Record{"a": value.NewInt(1), "b": value.NewString("a")})
+	tbl.Add(rec("a", value.NewInt(2), "b", value.NewString("x")))
+	tbl.Add(rec("a", value.NewInt(1), "b", value.NewString("z")))
+	tbl.Add(rec("a", value.NewInt(1), "b", value.NewString("a")))
 	tbl.SortByAllColumns()
 	if tbl.Row(0)[0] != value.NewInt(1) || tbl.Row(0)[1] != value.NewString("a") {
 		t.Errorf("sort wrong: %v", tbl.Rows())
@@ -92,7 +187,7 @@ func TestEqualAsBags(t *testing.T) {
 	build := func(rows ...[]int64) *Table {
 		tbl := NewTable("a", "b")
 		for _, r := range rows {
-			tbl.Add(Record{"a": value.NewInt(r[0]), "b": value.NewInt(r[1])})
+			tbl.Add(rec("a", value.NewInt(r[0]), "b", value.NewInt(r[1])))
 		}
 		return tbl
 	}
@@ -109,12 +204,26 @@ func TestEqualAsBags(t *testing.T) {
 	if EqualAsBags(a, d) {
 		t.Errorf("different rows must not be equal")
 	}
-	diffCols := NewTable("a", "c")
-	if EqualAsBags(a, diffCols) {
-		t.Errorf("different columns must not be equal")
+	// Mixed representations compare by value: a slotted row equals a
+	// map-backed row with the same bindings.
+	tab := NewSlotTable()
+	tab.Add("a")
+	tab.Add("b")
+	slotted := NewTable("a", "b")
+	for _, r := range [][]int64{{1, 2}, {3, 4}, {1, 2}} {
+		row := NewSlotted(tab)
+		row.Set("a", value.NewInt(r[0]))
+		row.Set("b", value.NewInt(r[1]))
+		slotted.Add(row)
 	}
-	fewerCols := NewTable("a")
-	if EqualAsBags(a, fewerCols) {
-		t.Errorf("different column counts must not be equal")
+	if !EqualAsBags(a, slotted) {
+		t.Errorf("slotted and map-backed tables with equal rows must be equal")
+	}
+}
+
+func TestFromMap(t *testing.T) {
+	r := FromMap(map[string]value.Value{"a": value.NewInt(1)})
+	if !r.Has("a") || r.Get("a") != value.NewInt(1) {
+		t.Fatalf("FromMap lost the binding")
 	}
 }

@@ -1,0 +1,64 @@
+package result
+
+// SlotTable is a compile-time mapping from variable/column names to fixed
+// integer slots. The planner computes one table per plan (every name any
+// operator of the plan can bind gets a slot); at runtime a record is then a
+// flat []value.Value indexed by slot instead of a hash map, which turns the
+// per-row Clone/Extend operations of the executor from map allocations and
+// rehashes into a single slice copy.
+//
+// A SlotTable is frozen once planning finishes: plans (and therefore their
+// slot tables) are shared by concurrent queries through the plan cache, and
+// immutability is what makes that sharing race-free. Names that show up only
+// at runtime (list-comprehension binders, pattern-predicate scratch) fall
+// back to a record's overflow map and need no slot.
+type SlotTable struct {
+	names []string
+	index map[string]int
+}
+
+// NewSlotTable returns an empty slot table.
+func NewSlotTable() *SlotTable {
+	return &SlotTable{names: make([]string, 0, 8), index: make(map[string]int, 8)}
+}
+
+// Add assigns a slot to the name (idempotently) and returns it. Empty names
+// (anonymous pattern elements that were never named) are ignored and get -1.
+func (t *SlotTable) Add(name string) int {
+	if name == "" {
+		return -1
+	}
+	if i, ok := t.index[name]; ok {
+		return i
+	}
+	i := len(t.names)
+	t.names = append(t.names, name)
+	t.index[name] = i
+	return i
+}
+
+// Slot returns the slot of the name, if it has one. Safe on a nil table.
+func (t *SlotTable) Slot(name string) (int, bool) {
+	if t == nil {
+		return 0, false
+	}
+	i, ok := t.index[name]
+	return i, ok
+}
+
+// Len returns the number of slots.
+func (t *SlotTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.names)
+}
+
+// Names returns the slot names in slot order. The returned slice is shared;
+// callers must not modify it.
+func (t *SlotTable) Names() []string {
+	if t == nil {
+		return nil
+	}
+	return t.names
+}

@@ -144,7 +144,7 @@ func buildTable(columns []string, rows [][]any) (*result.Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("bad expected value %v: %v", row[i], err)
 			}
-			rec[c] = v
+			rec.Set(c, v)
 		}
 		tbl.Add(rec)
 	}

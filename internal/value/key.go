@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"math"
 	"strconv"
-	"strings"
 )
 
 // GroupKey returns a canonical string encoding of a value usable as a Go map
@@ -13,107 +12,119 @@ import (
 // floats representing the same number encode identically, null has a single
 // encoding, and NaN is equivalent to NaN.
 func GroupKey(v Value) string {
-	var sb strings.Builder
-	writeGroupKey(&sb, v)
-	return sb.String()
+	return string(AppendGroupKey(nil, v))
 }
 
 // GroupKeyOf returns a canonical composite key for a tuple of values.
 func GroupKeyOf(vs ...Value) string {
-	var sb strings.Builder
-	for _, v := range vs {
-		writeGroupKey(&sb, v)
-		sb.WriteByte(0x1f) // unit separator between tuple positions
-	}
-	return sb.String()
+	return string(AppendGroupKeyOf(nil, vs...))
 }
 
-func writeGroupKey(sb *strings.Builder, v Value) {
+// AppendGroupKey appends the canonical encoding of v to dst and returns the
+// extended buffer. Hot paths (grouping, DISTINCT) keep one buffer per
+// operator and look groups up with m[string(buf)] — which Go compiles
+// without allocating — so the key string itself is only materialised when a
+// new group is created.
+func AppendGroupKey(dst []byte, v Value) []byte {
+	return appendGroupKey(dst, v)
+}
+
+// AppendGroupKeyOf appends the canonical composite encoding of the tuple.
+func AppendGroupKeyOf(dst []byte, vs ...Value) []byte {
+	for _, v := range vs {
+		dst = appendGroupKey(dst, v)
+		dst = append(dst, 0x1f) // unit separator between tuple positions
+	}
+	return dst
+}
+
+func appendGroupKey(dst []byte, v Value) []byte {
 	switch t := v.(type) {
 	case nullValue:
-		sb.WriteString("\x00N")
+		return append(dst, "\x00N"...)
 	case Bool:
 		if bool(t) {
-			sb.WriteString("\x01T")
-		} else {
-			sb.WriteString("\x01F")
+			return append(dst, "\x01T"...)
 		}
+		return append(dst, "\x01F"...)
 	case Int:
-		sb.WriteString("\x02")
-		writeFloatBits(sb, float64(t))
+		dst = append(dst, '\x02')
+		dst = appendFloatBits(dst, float64(t))
 		// Disambiguate integers too large to be exact floats by also writing
 		// the decimal form; equal floats/ints still share a prefix.
 		if float64(int64(t)) != float64(t) || int64(float64(t)) != int64(t) {
-			sb.WriteString(strconv.FormatInt(int64(t), 10))
+			dst = strconv.AppendInt(dst, int64(t), 10)
 		}
+		return dst
 	case Float:
-		sb.WriteString("\x02")
+		dst = append(dst, '\x02')
 		f := float64(t)
 		if math.IsNaN(f) {
-			sb.WriteString("NaN")
-			return
+			return append(dst, "NaN"...)
 		}
-		writeFloatBits(sb, f)
+		dst = appendFloatBits(dst, f)
 		if f == math.Trunc(f) && !math.IsInf(f, 0) {
 			// Align with the Int encoding above for whole-number floats.
 			i := int64(f)
 			if float64(i) != f || int64(float64(i)) != i {
-				sb.WriteString(strconv.FormatInt(i, 10))
+				dst = strconv.AppendInt(dst, i, 10)
 			}
 		}
+		return dst
 	case String:
-		sb.WriteString("\x03")
-		sb.WriteString(strconv.Itoa(len(t)))
-		sb.WriteString(":")
-		sb.WriteString(string(t))
+		dst = append(dst, '\x03')
+		dst = strconv.AppendInt(dst, int64(len(t)), 10)
+		dst = append(dst, ':')
+		return append(dst, t...)
 	case List:
-		sb.WriteString("\x04[")
+		dst = append(dst, "\x04["...)
 		for _, e := range t.Elements() {
-			writeGroupKey(sb, e)
-			sb.WriteByte(0x1e)
+			dst = appendGroupKey(dst, e)
+			dst = append(dst, 0x1e)
 		}
-		sb.WriteString("]")
+		return append(dst, ']')
 	case Map:
-		sb.WriteString("\x05{")
+		dst = append(dst, "\x05{"...)
 		for _, k := range t.Keys() {
-			sb.WriteString(strconv.Itoa(len(k)))
-			sb.WriteString(":")
-			sb.WriteString(k)
-			sb.WriteString("=")
+			dst = strconv.AppendInt(dst, int64(len(k)), 10)
+			dst = append(dst, ':')
+			dst = append(dst, k...)
+			dst = append(dst, '=')
 			e, _ := t.Get(k)
-			writeGroupKey(sb, e)
-			sb.WriteByte(0x1e)
+			dst = appendGroupKey(dst, e)
+			dst = append(dst, 0x1e)
 		}
-		sb.WriteString("}")
+		return append(dst, '}')
 	case NodeValue:
-		sb.WriteString("\x06n")
-		sb.WriteString(strconv.FormatInt(t.N.ID(), 10))
+		dst = append(dst, "\x06n"...)
+		return strconv.AppendInt(dst, t.N.ID(), 10)
 	case RelationshipValue:
-		sb.WriteString("\x07r")
-		sb.WriteString(strconv.FormatInt(t.R.ID(), 10))
+		dst = append(dst, "\x07r"...)
+		return strconv.AppendInt(dst, t.R.ID(), 10)
 	case PathValue:
-		sb.WriteString("\x08p")
+		dst = append(dst, "\x08p"...)
 		for _, n := range t.P.Nodes {
-			sb.WriteString(strconv.FormatInt(n.ID(), 10))
-			sb.WriteString(",")
+			dst = strconv.AppendInt(dst, n.ID(), 10)
+			dst = append(dst, ',')
 		}
-		sb.WriteString("|")
+		dst = append(dst, '|')
 		for _, r := range t.P.Rels {
-			sb.WriteString(strconv.FormatInt(r.ID(), 10))
-			sb.WriteString(",")
+			dst = strconv.AppendInt(dst, r.ID(), 10)
+			dst = append(dst, ',')
 		}
+		return dst
 	default:
-		sb.WriteString("\x09x")
-		sb.WriteString(v.Kind().String())
-		sb.WriteString(v.String())
+		dst = append(dst, "\x09x"...)
+		dst = append(dst, v.Kind().String()...)
+		return append(dst, v.String()...)
 	}
 }
 
-func writeFloatBits(sb *strings.Builder, f float64) {
+func appendFloatBits(dst []byte, f float64) []byte {
 	if f == 0 {
 		f = 0 // normalise -0 to +0
 	}
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], math.Float64bits(f))
-	sb.Write(buf[:])
+	return append(dst, buf[:]...)
 }
