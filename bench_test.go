@@ -11,6 +11,7 @@ package cypher
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/ast"
@@ -446,4 +447,87 @@ func BenchmarkDurableWrites(b *testing.B) {
 	b.Run("sync=none", func(b *testing.B) { write(b, durableBenchGraph(b, SyncNone)) })
 	b.Run("sync=interval", func(b *testing.B) { write(b, durableBenchGraph(b, SyncInterval)) })
 	b.Run("sync=always", func(b *testing.B) { write(b, durableBenchGraph(b, SyncAlways)) })
+}
+
+// --- B12 (PR 5): cost-based plan choice — index seeks vs scan+filter ---
+
+// planChoice100k lazily builds two 100k-node Person graphs with uniformly
+// distributed age (0..99, so one age value = 1% selectivity) and name
+// properties: one with indexes on (Person, age) and (Person, name), one
+// without. The pair isolates plan choice: the same range-predicate query
+// compiles to an index range seek on the first graph and to the PR 4
+// label-scan-plus-filter pipeline on the second.
+var (
+	planChoiceOnce    sync.Once
+	planChoiceIndexed *Graph
+	planChoicePlain   *Graph
+)
+
+func planChoice100k() (indexed, plain *Graph) {
+	planChoiceOnce.Do(func() {
+		build := func() *graph.Graph {
+			g := graph.New()
+			for i := 0; i < 100000; i++ {
+				g.CreateNode([]string{"Person"}, map[string]value.Value{
+					"age":  value.NewInt(int64(i % 100)),
+					"name": value.NewString(fmt.Sprintf("p%05d", i)),
+				})
+			}
+			return g
+		}
+		gi := build()
+		gi.CreateIndex("Person", "age")
+		gi.CreateIndex("Person", "name")
+		planChoiceIndexed = Wrap(gi, Options{})
+		planChoicePlain = Wrap(build(), Options{})
+	})
+	return planChoiceIndexed, planChoicePlain
+}
+
+// BenchmarkPlanChoice runs the same 1%-selectivity range query against the
+// indexed and unindexed 100k graphs. CI gates the ratio: the seek plan must
+// be at least 5x faster than the scan plan on the same CPU (cypher-benchcmp
+// -require-ratio).
+func BenchmarkPlanChoice(b *testing.B) {
+	const query = "MATCH (n:Person) WHERE n.age < 1 RETURN count(n) AS c"
+	indexed, plain := planChoice100k()
+	b.Run("range-seek", func(b *testing.B) { runBenchQuery(b, indexed, query, nil) })
+	b.Run("scan-filter", func(b *testing.B) { runBenchQuery(b, plain, query, nil) })
+}
+
+// BenchmarkIndexRangeSeek measures the ordered-index access paths on the
+// indexed 100k graph: half-open and closed numeric ranges, a string prefix,
+// and an IN-list seek.
+func BenchmarkIndexRangeSeek(b *testing.B) {
+	indexed, _ := planChoice100k()
+	cases := []struct{ name, query string }{
+		{"half-open", "MATCH (n:Person) WHERE n.age >= 99 RETURN count(n) AS c"},
+		{"closed", "MATCH (n:Person) WHERE n.age > 42 AND n.age <= 43 RETURN count(n) AS c"},
+		{"prefix", "MATCH (n:Person) WHERE n.name STARTS WITH 'p0000' RETURN count(n) AS c"},
+		{"in-list", "MATCH (n:Person) WHERE n.age IN [7] RETURN count(n) AS c"},
+		{"param-bound", "MATCH (n:Person) WHERE n.age > $k RETURN count(n) AS c"},
+	}
+	params := map[string]any{"k": 98}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) { runBenchQuery(b, indexed, c.query, params) })
+	}
+}
+
+// BenchmarkExpandInto measures the bound-endpoints expansion: a hub node
+// with 10k outgoing relationships against a spoke with exactly one incoming
+// relationship. Probing the smaller (spoke) adjacency makes the probe O(1)
+// instead of O(degree(hub)).
+func BenchmarkExpandInto(b *testing.B) {
+	g := graph.New()
+	hub := g.CreateNode([]string{"Hub"}, nil)
+	for i := 0; i < 10000; i++ {
+		spoke := g.CreateNode([]string{"Spoke"}, map[string]value.Value{"sid": value.NewInt(int64(i))})
+		if _, err := g.CreateRelationship(hub, spoke, "R", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	g.CreateIndex("Spoke", "sid")
+	wrapped := Wrap(g, Options{})
+	runBenchQuery(b, wrapped,
+		"MATCH (a:Hub) MATCH (b:Spoke {sid: 9999}) MATCH (a)-[:R]->(b) RETURN count(*) AS c", nil)
 }

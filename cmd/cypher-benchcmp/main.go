@@ -146,6 +146,14 @@ func main() {
 		requireAllocDrop = flag.Float64("require-alloc-drop", 0, "require median allocs/op of benchmarks matching -require-match to have dropped by at least this fraction vs the baseline (0.5 = halved); 0 disables")
 		requireMatch     = flag.String("require-match", "", "regexp selecting the benchmarks the -require-alloc-drop gate applies to")
 	)
+	// Within-run speedup gate: both benchmarks come from the same run on the
+	// same CPU, so (unlike baseline comparisons) the ns/op ratio is always
+	// meaningful. Repeatable.
+	var requireRatios []string
+	flag.Func("require-ratio", "'fast,slow,minFactor': require median ns/op of benchmark 'slow' to be at least minFactor x that of 'fast' in THIS run (repeatable)", func(s string) error {
+		requireRatios = append(requireRatios, s)
+		return nil
+	})
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -171,6 +179,39 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(cur.Benchmarks))
+	}
+
+	if len(requireRatios) > 0 {
+		failed := 0
+		for _, spec := range requireRatios {
+			parts := strings.Split(spec, ",")
+			if len(parts) != 3 {
+				fatal("bad -require-ratio %q: want 'fast,slow,minFactor'", spec)
+			}
+			factor, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+			if err != nil || factor <= 0 {
+				fatal("bad -require-ratio factor in %q", spec)
+			}
+			fastName, slowName := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+			fast, fok := cur.Benchmarks[fastName]
+			slow, sok := cur.Benchmarks[slowName]
+			if !fok || !sok {
+				fatal("-require-ratio %q: benchmark not found in this run (have %d benchmarks)", spec, len(cur.Benchmarks))
+			}
+			if fast.MedianNsPerOp <= 0 {
+				fatal("-require-ratio %q: %s has no ns/op samples", spec, fastName)
+			}
+			ratio := slow.MedianNsPerOp / fast.MedianNsPerOp
+			status := "ok"
+			if ratio < factor {
+				failed++
+				status = "INSUFFICIENT"
+			}
+			fmt.Printf("ratio %s vs %s: %.1fx (need >= %.1fx, %s)\n", fastName, slowName, ratio, factor, status)
+		}
+		if failed > 0 {
+			fatal("%d -require-ratio gate(s) failed", failed)
+		}
 	}
 
 	if *baseline == "" {

@@ -343,6 +343,20 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			durability["lastCheckpoint"] = ds.LastCheckpoint.UTC().Format(time.RFC3339)
 		}
 	}
+	indexes := make([]map[string]any, 0, len(gs.Indexes))
+	for _, is := range gs.Indexes {
+		sel := 1.0
+		if is.DistinctKeys > 0 {
+			sel = 1.0 / float64(is.DistinctKeys)
+		}
+		indexes = append(indexes, map[string]any{
+			"label":        is.Label,
+			"property":     is.Property,
+			"entries":      is.Entries,
+			"distinctKeys": is.DistinctKeys,
+			"selectivity":  sel,
+		})
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"durability": durability,
 		"graph": map[string]any{
@@ -350,6 +364,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"relationships": gs.Relationships,
 			"labels":        gs.Labels,
 			"types":         gs.Types,
+			"averageDegree": gs.AverageDegree,
+			"indexes":       indexes,
 		},
 		"planCache": map[string]any{
 			"entries":       cs.Entries,

@@ -238,12 +238,31 @@ func ParseSyncMode(s string) (SyncMode, error) {
 	return storage.ParseSyncMode(s)
 }
 
-// Stats summarises the graph's size.
+// Stats summarises the graph's size and the statistics the cost-based
+// planner works from.
 type Stats struct {
 	Nodes         int
 	Relationships int
 	Labels        map[string]int
 	Types         map[string]int
+	// AverageDegree is the mean number of incident relationship endpoints
+	// per node (2*|R| / |N|).
+	AverageDegree float64
+	// Indexes reports every property index with its selectivity counters,
+	// sorted by (label, property).
+	Indexes []IndexStats
+}
+
+// IndexStats reports one property index's selectivity counters, maintained
+// incrementally by the mutators (and WAL replay).
+type IndexStats struct {
+	Label    string
+	Property string
+	// Entries is the number of indexed nodes.
+	Entries int
+	// DistinctKeys is the number of distinct indexed values; Entries over
+	// DistinctKeys is the expected result size of an equality seek.
+	DistinctKeys int
 }
 
 // CacheStats reports the engine's plan-cache effectiveness: cached entries,
@@ -258,10 +277,20 @@ func (g *Graph) PlanCacheStats() CacheStats {
 // Stats returns the graph's current statistics.
 func (g *Graph) Stats() Stats {
 	s := g.store.Stats()
-	return Stats{
+	out := Stats{
 		Nodes:         s.NodeCount,
 		Relationships: s.RelationshipCount,
 		Labels:        s.NodesByLabel,
 		Types:         s.RelationshipsByType,
+		AverageDegree: s.AverageDegree,
 	}
+	for _, is := range s.Indexes {
+		out.Indexes = append(out.Indexes, IndexStats{
+			Label:        is.Label,
+			Property:     is.Property,
+			Entries:      is.Entries,
+			DistinctKeys: is.DistinctKeys,
+		})
+	}
+	return out
 }

@@ -341,7 +341,13 @@ func (e *Engine) Explain(query string) (string, error) {
 // chosenParallelism mirrors the executor's runtime decision for the plan:
 // the configured worker budget, capped by the number of morsels the scan
 // currently splits into, and 1 for ineligible plans or scans that fit in a
-// single morsel. Callers hold execMu so the scan cardinality is stable.
+// single morsel. For the two scan leaves the morsel count is exact; for
+// index-seek leaves the true result size depends on operand values that
+// EXPLAIN does not have (parameters), so the count comes from the planner's
+// cardinality estimate, bounded by the label cardinality — the executor's
+// actual worker count (Result.Parallelism) can be lower when the seek
+// returns fewer rows than estimated. Callers hold execMu so the scan
+// cardinality is stable.
 func (e *Engine) chosenParallelism(pl *plan.Plan) int {
 	if e.opts.Parallelism <= 1 || pl.Parallel == nil || !pl.Parallel.Safe {
 		return 1
@@ -357,6 +363,22 @@ func (e *Engine) chosenParallelism(pl *plan.Plan) int {
 		n = stats.NodeCount
 	case *plan.NodeByLabelScan:
 		n = stats.NodesByLabel[s.Label]
+	case *plan.NodeIndexSeek, *plan.NodeIndexRangeSeek, *plan.NodeIndexPrefixSeek:
+		var label string
+		switch seek := s.(type) {
+		case *plan.NodeIndexSeek:
+			label = seek.Label
+		case *plan.NodeIndexRangeSeek:
+			label = seek.Label
+		case *plan.NodeIndexPrefixSeek:
+			label = seek.Label
+		}
+		// The label cardinality bounds any seek; plans without estimates
+		// (hand-built, legacy) report that bound.
+		n = stats.NodesByLabel[label]
+		if est, ok := pl.Est[s]; ok && int(est.Rows) < n {
+			n = int(est.Rows)
+		}
 	default:
 		return 1
 	}

@@ -225,14 +225,39 @@ func (ex *Executor) run(op plan.Operator, arg *result.Record, emit emitFn) error
 		})
 	case *plan.NodeIndexSeek:
 		return ex.run(o.Input, arg, func(r result.Record) error {
-			v, err := ex.evalCtx.Evaluate(o.Value, r)
+			nodes, err := ex.indexSeekNodes(o, r)
 			if err != nil {
 				return err
 			}
-			if value.IsNull(v) {
-				return nil
+			for _, n := range nodes {
+				r.Set(o.Var, value.NewNode(n))
+				if err := emit(r); err != nil {
+					return err
+				}
 			}
-			for _, n := range ex.graph.NodesByLabelProperty(o.Label, o.Property, v) {
+			return nil
+		})
+	case *plan.NodeIndexRangeSeek:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			nodes, err := ex.rangeSeekNodes(o, r)
+			if err != nil {
+				return err
+			}
+			for _, n := range nodes {
+				r.Set(o.Var, value.NewNode(n))
+				if err := emit(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case *plan.NodeIndexPrefixSeek:
+		return ex.run(o.Input, arg, func(r result.Record) error {
+			nodes, err := ex.prefixSeekNodes(o, r)
+			if err != nil {
+				return err
+			}
+			for _, n := range nodes {
 				r.Set(o.Var, value.NewNode(n))
 				if err := emit(r); err != nil {
 					return err

@@ -225,26 +225,51 @@ func relTypeIn(rel *graph.Relationship, types []string) bool {
 	return false
 }
 
+// reverseDirection flips a traversal direction (Both is symmetric).
+func reverseDirection(d graph.Direction) graph.Direction {
+	switch d {
+	case graph.Outgoing:
+		return graph.Incoming
+	case graph.Incoming:
+		return graph.Outgoing
+	default:
+		return graph.Both
+	}
+}
+
 func (ex *Executor) expandSingle(o *plan.Expand, rec result.Record, from, intoNode *graph.Node, usedRels, usedNodes map[int64]bool, emit emitFn) error {
 	dir := toGraphDirection(o.Direction)
+	// ExpandInto: both endpoints are bound, so the expansion only has to
+	// find the relationships connecting them — probe whichever endpoint has
+	// the smaller adjacency (degree is O(1) via the type buckets) and check
+	// the other end, instead of always fanning out from the pattern's from
+	// node. Probing the target side walks the same relationship set with the
+	// roles mirrored, so every check below behaves identically. Self-probes
+	// (intoNode == from, a loop pattern) keep the from side.
+	probeFrom, probeInto := from, intoNode
+	if intoNode != nil && intoNode != from &&
+		intoNode.Degree(reverseDirection(dir), o.Types...) < from.Degree(dir, o.Types...) {
+		probeFrom, probeInto = intoNode, from
+		dir = reverseDirection(dir)
+	}
 	if !ex.readOnly {
 		// A mutating plan may delete relationships downstream of the emit;
 		// iterate a private copy of the adjacency.
-		return ex.expandRels(o, rec, from, intoNode, usedRels, usedNodes, from.Relationships(dir, o.Types...), false, false, emit)
+		return ex.expandRels(o, rec, probeFrom, probeInto, usedRels, usedNodes, probeFrom.Relationships(dir, o.Types...), false, false, emit)
 	}
 	// Read-only plan: walk the store's live slices (the type bucket for a
 	// single-type pattern), allocating nothing.
 	if dir == graph.Outgoing || dir == graph.Both {
-		rels, filtered := from.OutgoingRels(o.Types)
-		if err := ex.expandRels(o, rec, from, intoNode, usedRels, usedNodes, rels, !filtered, false, emit); err != nil {
+		rels, filtered := probeFrom.OutgoingRels(o.Types)
+		if err := ex.expandRels(o, rec, probeFrom, probeInto, usedRels, usedNodes, rels, !filtered, false, emit); err != nil {
 			return err
 		}
 	}
 	if dir == graph.Incoming || dir == graph.Both {
-		rels, filtered := from.IncomingRels(o.Types)
+		rels, filtered := probeFrom.IncomingRels(o.Types)
 		// For Both, a self-loop appears in both adjacency slices and is
 		// reported only once.
-		if err := ex.expandRels(o, rec, from, intoNode, usedRels, usedNodes, rels, !filtered, dir == graph.Both, emit); err != nil {
+		if err := ex.expandRels(o, rec, probeFrom, probeInto, usedRels, usedNodes, rels, !filtered, dir == graph.Both, emit); err != nil {
 			return err
 		}
 	}

@@ -116,6 +116,14 @@ func buildChain(input plan.Operator, ops []plan.Operator) (plan.Operator, error)
 			c := *o
 			c.Input = cur
 			cur = &c
+		case *plan.NodeIndexRangeSeek:
+			c := *o
+			c.Input = cur
+			cur = &c
+		case *plan.NodeIndexPrefixSeek:
+			c := *o
+			c.Input = cur
+			cur = &c
 		default:
 			return nil, fmt.Errorf("exec: operator %T cannot be rebased for parallel execution", op)
 		}
@@ -147,6 +155,31 @@ func (ex *Executor) executeParallel(p *plan.Plan) (tbl *result.Table, done bool,
 	case *plan.NodeByLabelScan:
 		varName = s.Var
 		morsels = ex.graph.LabelMorsels(s.Label, morselSize)
+	case *plan.NodeIndexSeek:
+		// An index seek in leaf position evaluates its operand over the unit
+		// row (no pattern variable is in scope at a leaf) and yields a node
+		// set that partitions like a scan. Evaluation errors fall back to the
+		// serial path, which reports them identically.
+		nodes, err := ex.indexSeekNodes(s, result.NewSlotted(ex.tab))
+		if err != nil {
+			return nil, false, nil
+		}
+		varName = s.Var
+		morsels = graph.Morsels(nodes, morselSize)
+	case *plan.NodeIndexRangeSeek:
+		nodes, err := ex.rangeSeekNodes(s, result.NewSlotted(ex.tab))
+		if err != nil {
+			return nil, false, nil
+		}
+		varName = s.Var
+		morsels = graph.Morsels(nodes, morselSize)
+	case *plan.NodeIndexPrefixSeek:
+		nodes, err := ex.prefixSeekNodes(s, result.NewSlotted(ex.tab))
+		if err != nil {
+			return nil, false, nil
+		}
+		varName = s.Var
+		morsels = graph.Morsels(nodes, morselSize)
 	default:
 		return nil, false, nil
 	}

@@ -86,7 +86,7 @@ type Graph struct {
 
 	labelIndex map[string]map[int64]*Node
 	typeIndex  map[string]map[int64]*Relationship
-	propIndex  map[indexKey]map[string][]*Node // (label, property) -> group key -> nodes
+	propIndex  map[indexKey]*propIndexData // (label, property) -> hash + ordered buckets
 
 	// epoch counts mutations (data and index changes). Cached query plans
 	// record the epoch they were compiled at and are discarded when it moves,
@@ -119,7 +119,7 @@ func New() *Graph {
 		rels:       make(map[int64]*Relationship),
 		labelIndex: make(map[string]map[int64]*Node),
 		typeIndex:  make(map[string]map[int64]*Relationship),
-		propIndex:  make(map[indexKey]map[string][]*Node),
+		propIndex:  make(map[indexKey]*propIndexData),
 	}
 }
 

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/value"
@@ -107,5 +108,251 @@ func TestReplacePropertiesKeepsIndexConsistent(t *testing.T) {
 	}
 	if got := g.NodesByLabelProperty("Acct", "no", value.NewInt(8)); len(got) != 1 {
 		t.Errorf("new value should be indexed")
+	}
+}
+
+// Satellite regression (PR 5): hash-index buckets key on value.GroupKey,
+// which must normalise numerically equal integers and floats to the same
+// bucket — Cypher's `=` compares numbers across int/float, so {age: 1} and
+// {age: 1.0} are the same value for seek purposes. Also covers -0.0/0.0.
+func TestHashIndexGroupKeyNormalisation(t *testing.T) {
+	g := New()
+	g.CreateIndex("N", "v")
+	intOne := g.CreateNode([]string{"N"}, map[string]value.Value{"v": value.NewInt(1)})
+	floatOne := g.CreateNode([]string{"N"}, map[string]value.Value{"v": value.NewFloat(1.0)})
+	negZero := g.CreateNode([]string{"N"}, map[string]value.Value{"v": value.NewFloat(math.Copysign(0, -1))})
+	half := g.CreateNode([]string{"N"}, map[string]value.Value{"v": value.NewFloat(2.5)})
+
+	// Seeking with either numeric form must find both stored forms.
+	for _, probe := range []value.Value{value.NewInt(1), value.NewFloat(1.0)} {
+		got := g.NodesByLabelProperty("N", "v", probe)
+		if len(got) != 2 || got[0] != intOne || got[1] != floatOne {
+			t.Fatalf("seek %s = %v (want [intOne floatOne])", probe, got)
+		}
+	}
+	if got := g.NodesByLabelProperty("N", "v", value.NewInt(0)); len(got) != 1 || got[0] != negZero {
+		t.Errorf("-0.0 must live in the 0 bucket, got %v", got)
+	}
+	if got := g.NodesByLabelProperty("N", "v", value.NewFloat(2.5)); len(got) != 1 || got[0] != half {
+		t.Errorf("2.5 seek = %v", got)
+	}
+	// The distinct-key statistics must agree: 1/1.0 share a bucket, so the
+	// index holds three distinct keys (1, -0.0, 2.5) over four entries.
+	is, ok := g.Stats().Index("N", "v")
+	if !ok || is.Entries != 4 || is.DistinctKeys != 3 {
+		t.Errorf("index stats = %+v (want 4 entries, 3 distinct)", is)
+	}
+
+	// Known caveat, pinned here: beyond 2^53 Cypher's cross-type numeric
+	// equality is not transitive (Int 2^53 = Float 2^53 = Int 2^53+1 as
+	// floats, yet the two ints differ), so no single bucket key can honour
+	// it; the index keys exact ints distinctly, like grouping does.
+	big := int64(1) << 53
+	g.CreateNode([]string{"N"}, map[string]value.Value{"v": value.NewInt(big + 1)})
+	if got := g.NodesByLabelProperty("N", "v", value.NewInt(big+1)); len(got) != 1 {
+		t.Errorf("exact big-int seek should find its node, got %v", got)
+	}
+}
+
+func TestOrderedIndexRangeSeek(t *testing.T) {
+	g := New()
+	g.CreateIndex("N", "v")
+	mk := func(v value.Value) *Node {
+		return g.CreateNode([]string{"N"}, map[string]value.Value{"v": v})
+	}
+	n10 := mk(value.NewInt(10))
+	n20a := mk(value.NewInt(20))
+	n20b := mk(value.NewFloat(20.0))
+	n30 := mk(value.NewInt(30))
+	str := mk(value.NewString("hello"))
+	mk(value.NewBool(true))
+	nan := mk(value.NewFloat(math.NaN()))
+
+	ids := func(nodes []*Node) []int64 {
+		out := make([]int64, len(nodes))
+		for i, n := range nodes {
+			out[i] = n.ID()
+		}
+		return out
+	}
+	cases := []struct {
+		name         string
+		lo, hi       value.Value
+		loInc, hiInc bool
+		want         []*Node
+	}{
+		{"gt", value.NewInt(10), nil, false, false, []*Node{n20a, n20b, n30}},
+		{"ge", value.NewInt(20), nil, true, false, []*Node{n20a, n20b, n30}},
+		{"lt", nil, value.NewInt(20), false, false, []*Node{n10}},
+		{"le", nil, value.NewFloat(20.0), false, true, []*Node{n10, n20a, n20b}},
+		{"closed", value.NewInt(10), value.NewInt(30), false, false, []*Node{n20a, n20b}},
+		{"closed-inclusive", value.NewInt(10), value.NewInt(30), true, true, []*Node{n10, n20a, n20b, n30}},
+		{"empty", value.NewInt(100), nil, false, false, nil},
+		{"string-range", value.NewString("a"), nil, false, false, []*Node{str}},
+	}
+	for _, c := range cases {
+		got := g.NodesByLabelPropertyRange("N", "v", c.lo, c.loInc, c.hi, c.hiInc)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: got %v want %v", c.name, ids(got), ids(c.want))
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: got %v want %v", c.name, ids(got), ids(c.want))
+				break
+			}
+		}
+	}
+	// NaN compares false against everything: never inside a range.
+	for _, got := range [][]*Node{
+		g.NodesByLabelPropertyRange("N", "v", value.NewInt(0), true, nil, false),
+		g.NodesByLabelPropertyRange("N", "v", nil, false, value.NewFloat(math.Inf(1)), true),
+	} {
+		for _, n := range got {
+			if n == nan {
+				t.Fatalf("NaN must not satisfy any range: %v", ids(got))
+			}
+		}
+	}
+	// The unindexed fallback must agree with the indexed path.
+	g2 := New()
+	for _, n := range g.NodesByLabel("N") {
+		g2.CreateNode([]string{"N"}, n.Properties())
+	}
+	for _, c := range cases {
+		a := ids(g.NodesByLabelPropertyRange("N", "v", c.lo, c.loInc, c.hi, c.hiInc))
+		b := ids(g2.NodesByLabelPropertyRange("N", "v", c.lo, c.loInc, c.hi, c.hiInc))
+		if len(a) != len(b) {
+			t.Errorf("%s: fallback disagrees: indexed %v vs scan %v", c.name, a, b)
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: fallback disagrees: indexed %v vs scan %v", c.name, a, b)
+				break
+			}
+		}
+	}
+}
+
+func TestOrderedIndexPrefixAndInSeek(t *testing.T) {
+	g := New()
+	g.CreateIndex("N", "name")
+	mk := func(s string) *Node {
+		return g.CreateNode([]string{"N"}, map[string]value.Value{"name": value.NewString(s)})
+	}
+	ann := mk("ann")
+	anna := mk("anna")
+	bob := mk("bob")
+	mkNum := g.CreateNode([]string{"N"}, map[string]value.Value{"name": value.NewInt(7)})
+
+	if got := g.NodesByLabelPropertyPrefix("N", "name", "ann"); len(got) != 2 || got[0] != ann || got[1] != anna {
+		t.Errorf("prefix 'ann' = %v", got)
+	}
+	if got := g.NodesByLabelPropertyPrefix("N", "name", ""); len(got) != 3 {
+		t.Errorf("empty prefix matches all strings (not the int), got %d", len(got))
+	}
+	if got := g.NodesByLabelPropertyPrefix("N", "name", "zz"); len(got) != 0 {
+		t.Errorf("absent prefix = %v", got)
+	}
+
+	in := g.NodesByLabelPropertyIn("N", "name", []value.Value{
+		value.NewString("bob"),
+		value.NewString("bob"), // duplicate element must not duplicate rows
+		value.Null(),           // null element never matches
+		value.NewFloat(7.0),    // numeric normalisation applies to IN too
+	})
+	if len(in) != 2 || in[0] != bob || in[1] != mkNum {
+		t.Errorf("IN seek = %v", in)
+	}
+
+	// Fallback without an index agrees.
+	if got := g.NodesByLabelPropertyIn("N", "missing", []value.Value{value.NewString("x")}); len(got) != 0 {
+		t.Errorf("IN over missing property = %v", got)
+	}
+}
+
+// The ordered bucket list must stay sorted and consistent under churn.
+func TestOrderedIndexMaintenance(t *testing.T) {
+	g := New()
+	g.CreateIndex("N", "v")
+	var nodes []*Node
+	for i := 0; i < 40; i++ {
+		nodes = append(nodes, g.CreateNode([]string{"N"}, map[string]value.Value{"v": value.NewInt(int64(i * 7 % 40))}))
+	}
+	for i, n := range nodes {
+		if i%3 == 0 {
+			if err := g.SetNodeProperty(n, "v", value.NewInt(int64(100+i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%5 == 0 {
+			if err := g.DetachDeleteNode(n); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	idx := g.propIndex[indexKey{label: "N", property: "v"}]
+	if len(idx.buckets) != len(idx.ordered) {
+		t.Fatalf("hash and ordered bucket counts diverged: %d vs %d", len(idx.buckets), len(idx.ordered))
+	}
+	total := 0
+	for i, b := range idx.ordered {
+		total += len(b.nodes)
+		if i > 0 && value.Compare(idx.ordered[i-1].val, b.val) > 0 {
+			t.Fatalf("ordered buckets out of order at %d", i)
+		}
+		if len(b.nodes) == 0 {
+			t.Fatalf("empty bucket survived at %d", i)
+		}
+	}
+	if total != idx.entries {
+		t.Fatalf("entries counter %d != actual %d", idx.entries, total)
+	}
+	// Cross-check a range against a straight scan.
+	want := g2Filter(g, 50)
+	got := g.NodesByLabelPropertyRange("N", "v", value.NewInt(50), false, nil, false)
+	if len(got) != len(want) {
+		t.Fatalf("range after churn: got %d nodes, want %d", len(got), len(want))
+	}
+}
+
+// g2Filter counts label-N nodes with v > bound by direct scan.
+func g2Filter(g *Graph, bound int64) []*Node {
+	var out []*Node
+	for _, n := range g.NodesByLabel("N") {
+		if pv, ok := n.props["v"]; ok && value.Greater(pv, value.NewInt(bound)) == value.TrueT {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Review fix (PR 5): bucket membership is by GroupKey (grouping
+// equivalence), which is coarser than Cypher `=` where null or NaN is
+// involved — seeks must recheck Equals so they stay exactly as selective as
+// the filter they replace.
+func TestSeekRechecksEqualsSemantics(t *testing.T) {
+	g := New()
+	g.CreateIndex("N", "v")
+	listWithNull := value.NewListOf([]value.Value{value.NewInt(1), value.Null()})
+	g.CreateNode([]string{"N"}, map[string]value.Value{"v": listWithNull})
+	g.CreateNode([]string{"N"}, map[string]value.Value{"v": value.NewFloat(math.NaN())})
+	plain := g.CreateNode([]string{"N"}, map[string]value.Value{"v": value.NewListOf([]value.Value{value.NewInt(1)})})
+
+	// [1, null] = [1, null] is unknown; NaN = NaN is false: neither may be
+	// returned by an equality seek, indexed or not.
+	if got := g.NodesByLabelProperty("N", "v", listWithNull); len(got) != 0 {
+		t.Errorf("null-containing list seek must return nothing, got %d", len(got))
+	}
+	if got := g.NodesByLabelProperty("N", "v", value.NewFloat(math.NaN())); len(got) != 0 {
+		t.Errorf("NaN seek must return nothing, got %d", len(got))
+	}
+	if got := g.NodesByLabelPropertyIn("N", "v", []value.Value{listWithNull, value.NewFloat(math.NaN())}); len(got) != 0 {
+		t.Errorf("IN seek with unknown-equality elements must return nothing, got %d", len(got))
+	}
+	// Ordinary values still match.
+	if got := g.NodesByLabelProperty("N", "v", value.NewListOf([]value.Value{value.NewFloat(1.0)})); len(got) != 1 || got[0] != plain {
+		t.Errorf("plain list seek = %v", got)
 	}
 }

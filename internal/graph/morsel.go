@@ -32,6 +32,13 @@ func partition(nodes []*Node, size int) [][]*Node {
 	return out
 }
 
+// Morsels partitions an arbitrary node slice (e.g. the result of an index
+// seek) into morsels of at most size nodes, preserving order. The chunks
+// alias the input slice.
+func Morsels(nodes []*Node, size int) [][]*Node {
+	return partition(nodes, size)
+}
+
 // NodeMorsels partitions all nodes of the graph (in identifier order) into
 // morsels of at most size nodes. The node slices are snapshots: a later
 // mutation does not change them, matching the engine's snapshot-read

@@ -1,8 +1,18 @@
 package graph
 
+import "sort"
+
 // Statistics is a snapshot of graph cardinalities used by the planner's cost
 // model (the paper describes Neo4j's cost-based IDP planning; cardinality
 // statistics are its input).
+//
+// Every figure derives from counters the mutators (and WAL replay, which
+// funnels through the same helpers) keep incrementally: map lengths of the
+// label/type indexes and the per-index entry counters. Building a snapshot
+// therefore costs O(#labels + #types + #indexes) — it never scans nodes or
+// relationships — and snapshots taken at the same mutation epoch are
+// identical, which is what lets the plan cache reuse cost-based decisions
+// until the next mutation.
 type Statistics struct {
 	// NodeCount is the total number of nodes.
 	NodeCount int
@@ -15,9 +25,46 @@ type Statistics struct {
 	// AverageDegree is the mean number of incident relationship endpoints per
 	// node (2*|R| / |N|), 0 for an empty graph.
 	AverageDegree float64
+	// Indexes lists the selectivity statistics of every property index,
+	// sorted by (label, property).
+	Indexes []IndexStatistics
 }
 
-// Stats computes a statistics snapshot of the graph.
+// IndexStatistics summarises one property index for the cost model.
+type IndexStatistics struct {
+	// Label and Property identify the index.
+	Label, Property string
+	// Entries is the number of indexed nodes (nodes with the label that have
+	// the property).
+	Entries int
+	// DistinctKeys is the number of distinct indexed values.
+	DistinctKeys int
+}
+
+// RowsPerKey estimates how many nodes an equality seek returns: the average
+// bucket size Entries/DistinctKeys (at least 1 when the index is non-empty).
+func (is IndexStatistics) RowsPerKey() float64 {
+	if is.DistinctKeys == 0 {
+		return 0
+	}
+	r := float64(is.Entries) / float64(is.DistinctKeys)
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// Selectivity is the fraction of indexed entries an equality seek returns
+// (1/DistinctKeys), 1.0 for an empty index so estimates stay conservative.
+func (is IndexStatistics) Selectivity() float64 {
+	if is.DistinctKeys == 0 {
+		return 1.0
+	}
+	return 1.0 / float64(is.DistinctKeys)
+}
+
+// Stats builds a statistics snapshot of the graph from its incremental
+// counters.
 func (g *Graph) Stats() Statistics {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
@@ -40,6 +87,23 @@ func (g *Graph) Stats() Statistics {
 	if s.NodeCount > 0 {
 		s.AverageDegree = 2 * float64(s.RelationshipCount) / float64(s.NodeCount)
 	}
+	if len(g.propIndex) > 0 {
+		s.Indexes = make([]IndexStatistics, 0, len(g.propIndex))
+		for key, idx := range g.propIndex {
+			s.Indexes = append(s.Indexes, IndexStatistics{
+				Label:        key.label,
+				Property:     key.property,
+				Entries:      idx.entries,
+				DistinctKeys: len(idx.buckets),
+			})
+		}
+		sort.Slice(s.Indexes, func(i, j int) bool {
+			if s.Indexes[i].Label != s.Indexes[j].Label {
+				return s.Indexes[i].Label < s.Indexes[j].Label
+			}
+			return s.Indexes[i].Property < s.Indexes[j].Property
+		})
+	}
 	return s
 }
 
@@ -60,4 +124,42 @@ func (s Statistics) LabelSelectivity(label string) float64 {
 		return 1.0
 	}
 	return float64(s.NodesByLabel[label]) / float64(s.NodeCount)
+}
+
+// Index returns the statistics of the (label, property) index, with ok false
+// when no such index exists.
+func (s Statistics) Index(label, property string) (is IndexStatistics, ok bool) {
+	for _, idx := range s.Indexes {
+		if idx.Label == label && idx.Property == property {
+			return idx, true
+		}
+	}
+	return IndexStatistics{}, false
+}
+
+// TypeDegree estimates the average per-node degree for relationships of the
+// given types (all types when empty) in the given direction: outgoing and
+// incoming each contribute |R_t|/|N| (every relationship has exactly one
+// source and one target), Both contributes twice that.
+func (s Statistics) TypeDegree(types []string, dir Direction) float64 {
+	if s.NodeCount == 0 {
+		return 0
+	}
+	count := 0
+	if len(types) == 0 {
+		count = s.RelationshipCount
+	} else {
+		seen := map[string]bool{}
+		for _, t := range types {
+			if !seen[t] {
+				seen[t] = true
+				count += s.RelationshipsByType[t]
+			}
+		}
+	}
+	d := float64(count) / float64(s.NodeCount)
+	if dir == Both {
+		return 2 * d
+	}
+	return d
 }

@@ -110,3 +110,78 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("relationship count after concurrent writes = %d", s.RelationshipCount)
 	}
 }
+
+// Index statistics must track mutations incrementally (counters, no scans)
+// and expose sane selectivity figures.
+func TestIndexStatisticsIncremental(t *testing.T) {
+	g := New()
+	if len(g.Stats().Indexes) != 0 {
+		t.Fatalf("no indexes expected on a fresh graph")
+	}
+	g.CreateIndex("P", "k")
+	for i := 0; i < 10; i++ {
+		g.CreateNode([]string{"P"}, props("k", i%5))
+	}
+	g.CreateNode([]string{"P"}, nil)           // no property: not indexed
+	g.CreateNode([]string{"Q"}, props("k", 1)) // other label: not indexed
+
+	is, ok := g.Stats().Index("P", "k")
+	if !ok {
+		t.Fatalf("index stats missing")
+	}
+	if is.Entries != 10 || is.DistinctKeys != 5 {
+		t.Fatalf("stats = %+v (want 10 entries, 5 distinct)", is)
+	}
+	if is.RowsPerKey() != 2 {
+		t.Errorf("RowsPerKey = %f", is.RowsPerKey())
+	}
+	if is.Selectivity() != 0.2 {
+		t.Errorf("Selectivity = %f", is.Selectivity())
+	}
+
+	// Deletions shrink the counters; emptied buckets shrink DistinctKeys.
+	for _, n := range g.NodesByLabelProperty("P", "k", value.NewInt(4)) {
+		if err := g.DetachDeleteNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	is, _ = g.Stats().Index("P", "k")
+	if is.Entries != 8 || is.DistinctKeys != 4 {
+		t.Errorf("stats after delete = %+v (want 8 entries, 4 distinct)", is)
+	}
+
+	g.DropIndex("P", "k")
+	if len(g.Stats().Indexes) != 0 {
+		t.Errorf("dropped index still reported")
+	}
+}
+
+func TestTypeDegree(t *testing.T) {
+	g := New()
+	a := g.CreateNode(nil, nil)
+	b := g.CreateNode(nil, nil)
+	for i := 0; i < 4; i++ {
+		if _, err := g.CreateRelationship(a, b, "R", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.CreateRelationship(b, a, "S", nil); err != nil {
+		t.Fatal(err)
+	}
+	s := g.Stats()
+	if got := s.TypeDegree([]string{"R"}, Outgoing); got != 2 {
+		t.Errorf("TypeDegree(R, out) = %f", got)
+	}
+	if got := s.TypeDegree([]string{"R"}, Both); got != 4 {
+		t.Errorf("TypeDegree(R, both) = %f", got)
+	}
+	if got := s.TypeDegree(nil, Outgoing); got != 2.5 {
+		t.Errorf("TypeDegree(all, out) = %f", got)
+	}
+	if got := s.TypeDegree([]string{"R", "R", "S"}, Outgoing); got != 2.5 {
+		t.Errorf("duplicate types must count once: %f", got)
+	}
+	if got := (Statistics{}).TypeDegree([]string{"R"}, Outgoing); got != 0 {
+		t.Errorf("empty graph degree = %f", got)
+	}
+}

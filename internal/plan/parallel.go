@@ -86,7 +86,13 @@ func AnalyzeParallelism(p *Plan) *ParallelInfo {
 		return serial("leaf is not Start")
 	}
 	switch ops[1].(type) {
-	case *AllNodesScan, *NodeByLabelScan:
+	case *AllNodesScan, *NodeByLabelScan,
+		*NodeIndexSeek, *NodeIndexRangeSeek, *NodeIndexPrefixSeek:
+		// Index seeks in leaf position (directly over Start) evaluate their
+		// bound expressions once — parameters and literals only, since no
+		// pattern variable is in scope at the leaf — and then enumerate a
+		// node set just like a scan, so the executor partitions that set
+		// into morsels the same way.
 	default:
 		return serial(ops[1].Describe() + " is not a partitionable scan")
 	}
@@ -113,7 +119,8 @@ func AnalyzeParallelism(p *Plan) *ParallelInfo {
 		}
 		switch o := op.(type) {
 		case *Filter, *Expand, *Project, *Unwind, *ProjectPath, *Optional,
-			*SelectColumns, *AllNodesScan, *NodeByLabelScan, *NodeIndexSeek:
+			*SelectColumns, *AllNodesScan, *NodeByLabelScan, *NodeIndexSeek,
+			*NodeIndexRangeSeek, *NodeIndexPrefixSeek:
 			info.Rest = append(info.Rest, op)
 		case *Aggregate:
 			// An aggregate running serially above the merge is fed the

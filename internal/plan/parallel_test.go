@@ -100,7 +100,7 @@ func TestAnalyzeParallelismFallbacks(t *testing.T) {
 		{"union", &Union{Left: project, Right: project, Columns: []string{"x"}}, true, "UNION"},
 		{"limit-early-exit", &Limit{Input: project, Count: lit(3)}, true, "early exit"},
 		{"skip-early-exit", &Skip{Input: project, Count: lit(3)}, true, "early exit"},
-		{"index-seek-leaf", &Project{Input: &NodeIndexSeek{Input: &Start{}, Var: "n", Label: "P", Property: "k", Value: lit(1)}, Items: []ProjectionItem{{Name: "x", Expr: v("n")}}}, true, "not a partitionable scan"},
+		{"argument-leaf", &Project{Input: &Argument{}, Items: []ProjectionItem{{Name: "x", Expr: v("n")}}}, true, "leaf is not Start"},
 		{"bare-scan", scan, true, "no per-row work"},
 	}
 	for _, c := range cases {
@@ -111,6 +111,25 @@ func TestAnalyzeParallelismFallbacks(t *testing.T) {
 		}
 		if !strings.Contains(info.Reason, c.reason) {
 			t.Errorf("%s: reason %q should mention %q", c.name, info.Reason, c.reason)
+		}
+	}
+}
+
+func TestAnalyzeParallelismSeekLeaves(t *testing.T) {
+	v := func(n string) ast.Expr { return &ast.Variable{Name: n} }
+	lit := func(i int64) ast.Expr { return &ast.Literal{Value: value.NewInt(i)} }
+	items := []ProjectionItem{{Name: "x", Expr: v("n")}}
+	leaves := []Operator{
+		&NodeIndexSeek{Input: &Start{}, Var: "n", Label: "P", Property: "k", Value: lit(1)},
+		&NodeIndexRangeSeek{Input: &Start{}, Var: "n", Label: "P", Property: "k", Lo: lit(1)},
+		&NodeIndexPrefixSeek{Input: &Start{}, Var: "n", Label: "P", Property: "k", Prefix: lit(1)},
+	}
+	for _, leaf := range leaves {
+		info := analyzed(&Project{Input: leaf, Items: items}, true)
+		if !info.Safe {
+			t.Errorf("%s leaf should be a partitionable scan: %s", leaf.Describe(), info.Reason)
+		} else if info.Scan != leaf {
+			t.Errorf("%s: partitionable leaf should be the seek itself", leaf.Describe())
 		}
 	}
 }

@@ -11,6 +11,7 @@ package plan
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/ast"
@@ -39,6 +40,28 @@ type Plan struct {
 	// planner via ComputeSlots; nil for hand-built plans, which the executor
 	// computes lazily). The executor's rows are slices indexed by these slots.
 	Slots *result.SlotTable
+	// Est carries the planner's cardinality/cost estimates per operator
+	// (surfaced by EXPLAIN; nil for hand-built plans). The map is frozen
+	// after planning: plans are shared via the plan cache.
+	Est map[Operator]Estimate
+}
+
+// Estimate is the planner's prediction for one operator: the number of rows
+// it emits and the cumulative cost (rows touched) of the subtree rooted at
+// it. See the "Cost model & statistics" section of docs/ARCHITECTURE.md for
+// the estimation formulas.
+type Estimate struct {
+	Rows float64
+	Cost float64
+}
+
+// fmtEst renders an estimate figure compactly and deterministically for
+// EXPLAIN output (golden-tested): one decimal below 10, integers above.
+func fmtEst(v float64) string {
+	if v < 10 {
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 0, 64)
 }
 
 // String renders the plan operator tree, one operator per line, leaf last,
@@ -46,7 +69,11 @@ type Plan struct {
 func (p *Plan) String() string {
 	var lines []string
 	for op := p.Root; op != nil; op = op.Source() {
-		lines = append(lines, op.Describe())
+		line := op.Describe()
+		if e, ok := p.Est[op]; ok {
+			line += " [rows~" + fmtEst(e.Rows) + " cost~" + fmtEst(e.Cost) + "]"
+		}
+		lines = append(lines, line)
 	}
 	var sb strings.Builder
 	for i, l := range lines {
@@ -120,13 +147,40 @@ type NodeByLabelScan struct {
 }
 
 // NodeIndexSeek binds Var to the nodes with Label whose Property equals the
-// value of Value, using a property index when available.
+// value of Value, using a property index when available. With In set, Value
+// must evaluate to a list and the seek unions the buckets of its distinct
+// non-null elements (an IN-list seek).
 type NodeIndexSeek struct {
 	Input    Operator
 	Var      string
 	Label    string
 	Property string
 	Value    ast.Expr
+	In       bool
+}
+
+// NodeIndexRangeSeek binds Var to the nodes with Label whose Property lies in
+// the range (Lo, Hi) — either bound may be nil for a half-open range — using
+// the ordered form of the property index. Inclusivity per bound follows
+// LoInc/HiInc (`>=`/`<=` versus `>`/`<`).
+type NodeIndexRangeSeek struct {
+	Input        Operator
+	Var          string
+	Label        string
+	Property     string
+	Lo, Hi       ast.Expr // nil = unbounded on that side
+	LoInc, HiInc bool
+}
+
+// NodeIndexPrefixSeek binds Var to the nodes with Label whose string-valued
+// Property starts with the value of Prefix (STARTS WITH), using the ordered
+// form of the property index.
+type NodeIndexPrefixSeek struct {
+	Input    Operator
+	Var      string
+	Label    string
+	Property string
+	Prefix   ast.Expr
 }
 
 // Expand traverses relationships from the node bound to FromVar, binding
@@ -299,7 +353,32 @@ func (o *NodeByLabelScan) Describe() string {
 	return fmt.Sprintf("NodeByLabelScan(%s:%s)", o.Var, o.Label)
 }
 func (o *NodeIndexSeek) Describe() string {
-	return fmt.Sprintf("NodeIndexSeek(%s:%s {%s = %s})", o.Var, o.Label, o.Property, o.Value.String())
+	op := "="
+	if o.In {
+		op = "IN"
+	}
+	return fmt.Sprintf("NodeIndexSeek(%s:%s {%s %s %s})", o.Var, o.Label, o.Property, op, o.Value.String())
+}
+func (o *NodeIndexRangeSeek) Describe() string {
+	var bounds []string
+	if o.Lo != nil {
+		op := ">"
+		if o.LoInc {
+			op = ">="
+		}
+		bounds = append(bounds, fmt.Sprintf("%s %s %s", o.Property, op, o.Lo.String()))
+	}
+	if o.Hi != nil {
+		op := "<"
+		if o.HiInc {
+			op = "<="
+		}
+		bounds = append(bounds, fmt.Sprintf("%s %s %s", o.Property, op, o.Hi.String()))
+	}
+	return fmt.Sprintf("NodeIndexRangeSeek(%s:%s {%s})", o.Var, o.Label, strings.Join(bounds, ", "))
+}
+func (o *NodeIndexPrefixSeek) Describe() string {
+	return fmt.Sprintf("NodeIndexPrefixSeek(%s:%s {%s STARTS WITH %s})", o.Var, o.Label, o.Property, o.Prefix.String())
 }
 func (o *Expand) Describe() string {
 	kind := "Expand"
@@ -388,26 +467,28 @@ func (o *RemoveOp) Describe() string { return "Remove" }
 
 // Source implementations.
 
-func (*Start) Source() Operator             { return nil }
-func (*Argument) Source() Operator          { return nil }
-func (o *AllNodesScan) Source() Operator    { return o.Input }
-func (o *NodeByLabelScan) Source() Operator { return o.Input }
-func (o *NodeIndexSeek) Source() Operator   { return o.Input }
-func (o *Expand) Source() Operator          { return o.Input }
-func (o *Filter) Source() Operator          { return o.Input }
-func (o *Optional) Source() Operator        { return o.Input }
-func (o *ProjectPath) Source() Operator     { return o.Input }
-func (o *Unwind) Source() Operator          { return o.Input }
-func (o *Project) Source() Operator         { return o.Input }
-func (o *Aggregate) Source() Operator       { return o.Input }
-func (o *Distinct) Source() Operator        { return o.Input }
-func (o *Sort) Source() Operator            { return o.Input }
-func (o *Skip) Source() Operator            { return o.Input }
-func (o *Limit) Source() Operator           { return o.Input }
-func (o *SelectColumns) Source() Operator   { return o.Input }
-func (o *Union) Source() Operator           { return o.Left }
-func (o *CreateOp) Source() Operator        { return o.Input }
-func (o *MergeOp) Source() Operator         { return o.Input }
-func (o *DeleteOp) Source() Operator        { return o.Input }
-func (o *SetOp) Source() Operator           { return o.Input }
-func (o *RemoveOp) Source() Operator        { return o.Input }
+func (*Start) Source() Operator                 { return nil }
+func (*Argument) Source() Operator              { return nil }
+func (o *AllNodesScan) Source() Operator        { return o.Input }
+func (o *NodeByLabelScan) Source() Operator     { return o.Input }
+func (o *NodeIndexSeek) Source() Operator       { return o.Input }
+func (o *NodeIndexRangeSeek) Source() Operator  { return o.Input }
+func (o *NodeIndexPrefixSeek) Source() Operator { return o.Input }
+func (o *Expand) Source() Operator              { return o.Input }
+func (o *Filter) Source() Operator              { return o.Input }
+func (o *Optional) Source() Operator            { return o.Input }
+func (o *ProjectPath) Source() Operator         { return o.Input }
+func (o *Unwind) Source() Operator              { return o.Input }
+func (o *Project) Source() Operator             { return o.Input }
+func (o *Aggregate) Source() Operator           { return o.Input }
+func (o *Distinct) Source() Operator            { return o.Input }
+func (o *Sort) Source() Operator                { return o.Input }
+func (o *Skip) Source() Operator                { return o.Input }
+func (o *Limit) Source() Operator               { return o.Input }
+func (o *SelectColumns) Source() Operator       { return o.Input }
+func (o *Union) Source() Operator               { return o.Left }
+func (o *CreateOp) Source() Operator            { return o.Input }
+func (o *MergeOp) Source() Operator             { return o.Input }
+func (o *DeleteOp) Source() Operator            { return o.Input }
+func (o *SetOp) Source() Operator               { return o.Input }
+func (o *RemoveOp) Source() Operator            { return o.Input }

@@ -29,6 +29,12 @@ func ComputeSlots(p *Plan) *result.SlotTable {
 		case *NodeIndexSeek:
 			walk(o.Input)
 			t.Add(o.Var)
+		case *NodeIndexRangeSeek:
+			walk(o.Input)
+			t.Add(o.Var)
+		case *NodeIndexPrefixSeek:
+			walk(o.Input)
+			t.Add(o.Var)
 		case *Expand:
 			walk(o.Input)
 			t.Add(o.FromVar)

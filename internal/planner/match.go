@@ -2,6 +2,7 @@ package planner
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/ast"
 	"repro/internal/plan"
@@ -16,9 +17,32 @@ type matchContext struct {
 }
 
 // planMatch compiles a MATCH or OPTIONAL MATCH clause.
+//
+// In the default cost-based mode the WHERE expression is split into its
+// AND-conjuncts, which participate in planning three ways before anything is
+// left to a plain post-pattern filter:
+//
+//   - `n:Label` conjuncts merge into the pattern's node labels, so they join
+//     label-scan selection instead of always filtering after the scan;
+//   - property comparisons against already-evaluable expressions feed the
+//     access-path choice (equality, IN, range and prefix index seeks);
+//   - everything else is pushed down to the earliest operator at which all
+//     of its variables are bound.
+//
+// Legacy mode keeps the original behaviour: the whole WHERE becomes one
+// Filter above the fully planned pattern.
 func (p *Planner) planMatch(input plan.Operator, m *ast.Match, sc *scope) (plan.Operator, error) {
 	if !m.Optional {
-		op, newVars, err := p.planPatternTuple(input, m.Pattern, sc)
+		var cs *conjunctSet
+		pattern := m.Pattern
+		if !p.opts.Legacy && m.Where != nil {
+			// cs stays nil (legacy whole-WHERE filter) when any conjunct
+			// could raise a runtime error; see newConjunctSet.
+			if cs = newConjunctSet(m.Where); cs != nil {
+				pattern = p.mergeLabelPredicates(pattern, cs, sc)
+			}
+		}
+		op, newVars, err := p.planPatternTuple(input, pattern, sc, cs)
 		if err != nil {
 			return nil, err
 		}
@@ -29,16 +53,28 @@ func (p *Planner) planMatch(input plan.Operator, m *ast.Match, sc *scope) (plan.
 			if err := p.checkVariables(m.Where, sc); err != nil {
 				return nil, err
 			}
-			op = &plan.Filter{Input: op, Predicate: m.Where}
+			if cs == nil {
+				op = &plan.Filter{Input: op, Predicate: m.Where}
+			} else {
+				op = cs.attachRemaining(op)
+			}
 		}
 		return op, nil
 	}
 
 	// OPTIONAL MATCH: the pattern (and its WHERE, per Figure 7) is evaluated
 	// per driving row; rows without any match get null bindings for the
-	// variables the pattern introduces.
+	// variables the pattern introduces. Conjunct pushdown happens inside the
+	// inner plan, which is exactly where the WHERE applies.
 	innerScope := sc.clone()
-	inner, newVars, err := p.planPatternTuple(&plan.Argument{}, m.Pattern, innerScope)
+	var cs *conjunctSet
+	pattern := m.Pattern
+	if !p.opts.Legacy && m.Where != nil {
+		if cs = newConjunctSet(m.Where); cs != nil {
+			pattern = p.mergeLabelPredicates(pattern, cs, innerScope)
+		}
+	}
+	inner, newVars, err := p.planPatternTuple(&plan.Argument{}, pattern, innerScope, cs)
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +85,11 @@ func (p *Planner) planMatch(input plan.Operator, m *ast.Match, sc *scope) (plan.
 		if err := p.checkVariables(m.Where, innerScope); err != nil {
 			return nil, err
 		}
-		inner = &plan.Filter{Input: inner, Predicate: m.Where}
+		if cs == nil {
+			inner = &plan.Filter{Input: inner, Predicate: m.Where}
+		} else {
+			inner = cs.attachRemaining(inner)
+		}
 	}
 	var introduced []string
 	for _, v := range newVars {
@@ -61,33 +101,158 @@ func (p *Planner) planMatch(input plan.Operator, m *ast.Match, sc *scope) (plan.
 	return &plan.Optional{Input: input, Inner: inner, IntroducedVars: introduced}, nil
 }
 
-// planPatternTuple plans all parts of a pattern tuple sequentially and
-// returns the user-visible variables the pattern introduces.
-func (p *Planner) planPatternTuple(input plan.Operator, pattern ast.Pattern, sc *scope) (plan.Operator, []string, error) {
-	op := input
-	mc := &matchContext{}
-	bound := sc.clone()
-	var newVars []string
-	addVar := func(v string) {
-		if v == "" {
-			return
+// mergeLabelPredicates folds `WHERE v:Label` conjuncts into the pattern when
+// v is a node variable the pattern itself binds (an already-bound variable
+// gains nothing from merging: its scan has happened). The labels join every
+// occurrence of the variable, so the first occurrence's scan selection sees
+// them and later occurrences enforce them like inline labels.
+func (p *Planner) mergeLabelPredicates(pattern ast.Pattern, cs *conjunctSet, sc *scope) ast.Pattern {
+	merged := map[string][]string{}
+	for _, c := range cs.items {
+		hl, ok := c.expr.(*ast.HasLabels)
+		if !ok {
+			continue
 		}
-		if !bound.has(v) {
-			bound.add(v)
-			if v[0] != ' ' { // anonymous variables carry a leading space
-				newVars = append(newVars, v)
+		v, ok := hl.Subject.(*ast.Variable)
+		if !ok || sc.has(v.Name) || !patternBindsNodeVar(pattern, v.Name) {
+			continue
+		}
+		merged[v.Name] = append(merged[v.Name], hl.Labels...)
+		c.used = true
+	}
+	if len(merged) == 0 {
+		return pattern
+	}
+	out := ast.Pattern{Parts: make([]ast.PatternPart, len(pattern.Parts))}
+	for i, part := range pattern.Parts {
+		np := ast.PatternPart{Variable: part.Variable, Rels: part.Rels}
+		np.Nodes = append([]ast.NodePattern(nil), part.Nodes...)
+		for j := range np.Nodes {
+			if extra, ok := merged[np.Nodes[j].Variable]; ok {
+				np.Nodes[j].Labels = appendMissingLabels(np.Nodes[j].Labels, extra)
+			}
+		}
+		out.Parts[i] = np
+	}
+	return out
+}
+
+// patternBindsNodeVar reports whether the pattern contains a node with the
+// given variable name.
+func patternBindsNodeVar(pattern ast.Pattern, name string) bool {
+	for _, part := range pattern.Parts {
+		for _, np := range part.Nodes {
+			if np.Variable == name {
+				return true
 			}
 		}
 	}
-	for _, part := range pattern.Parts {
-		named := p.nameAnonymous(part)
+	return false
+}
+
+// appendMissingLabels appends the labels of extra not already present,
+// without mutating the (shared) input slice.
+func appendMissingLabels(labels, extra []string) []string {
+	out := append([]string(nil), labels...)
+	for _, l := range extra {
+		seen := false
+		for _, have := range out {
+			if have == l {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// planPatternTuple plans all parts of a pattern tuple and returns the
+// user-visible variables the pattern introduces. In cost-based mode the
+// parts are solved cheapest-first (greedily, re-estimated as variables
+// become bound, so connected parts follow the parts that bind their
+// variables); legacy mode and single-part patterns keep source order.
+func (p *Planner) planPatternTuple(input plan.Operator, pattern ast.Pattern, sc *scope, cs *conjunctSet) (plan.Operator, []string, error) {
+	op := input
+	mc := &matchContext{}
+	bound := sc.clone()
+	addVar := func(v string) {
+		if v != "" {
+			bound.add(v)
+		}
+	}
+	// Conjuncts without variables (parameters, literals) filter the unit row
+	// before any scanning happens.
+	op = cs.attachReady(op, bound)
+
+	if p.opts.Legacy || len(pattern.Parts) <= 1 {
+		for _, part := range pattern.Parts {
+			named := p.nameAnonymous(part)
+			var err error
+			op, err = p.planPart(op, named, bound, mc, addVar, cs)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		return op, p.introducedVars(pattern, sc, bound), nil
+	}
+
+	remaining := make([]int, len(pattern.Parts))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for len(remaining) > 0 {
+		bestAt, bestCost := 0, math.Inf(1)
+		for at, idx := range remaining {
+			part := pattern.Parts[idx]
+			cost := math.Inf(1)
+			for s := range part.Nodes {
+				if c := p.partCost(part, s, bound, cs); c < cost {
+					cost = c
+				}
+			}
+			if cost < bestCost {
+				bestAt, bestCost = at, cost
+			}
+		}
+		idx := remaining[bestAt]
+		remaining = append(remaining[:bestAt], remaining[bestAt+1:]...)
+		named := p.nameAnonymous(pattern.Parts[idx])
 		var err error
-		op, err = p.planPart(op, named, bound, mc, addVar)
+		op, err = p.planPart(op, named, bound, mc, addVar, cs)
 		if err != nil {
 			return nil, nil, err
 		}
 	}
-	return op, newVars, nil
+	return op, p.introducedVars(pattern, sc, bound), nil
+}
+
+// introducedVars lists the user-visible variables the pattern introduced, in
+// source-pattern order — NOT in solve order. Scope order decides the column
+// order of RETURN *, so it must not depend on which end of a pattern (or
+// which part of a tuple) the cost model chose to solve first.
+func (p *Planner) introducedVars(pattern ast.Pattern, sc, bound *scope) []string {
+	var out []string
+	seen := map[string]bool{}
+	collect := func(v string) {
+		if v == "" || sc.has(v) || seen[v] || !bound.has(v) {
+			return
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	for _, part := range pattern.Parts {
+		for i, np := range part.Nodes {
+			collect(np.Variable)
+			if i < len(part.Rels) {
+				collect(part.Rels[i].Variable)
+			}
+		}
+		collect(part.Variable)
+	}
+	return out
 }
 
 // nameAnonymous returns a copy of the pattern part in which every anonymous
@@ -113,10 +278,12 @@ func (p *Planner) nameAnonymous(part ast.PatternPart) ast.PatternPart {
 
 // planPart plans one path pattern: a scan (or reuse of an already-bound
 // variable) for the most selective node, then Expand operators along the
-// chain in both directions.
-func (p *Planner) planPart(input plan.Operator, part ast.PatternPart, bound *scope, mc *matchContext, addVar func(string)) (plan.Operator, error) {
+// chain in both directions. After every operator that binds variables, WHERE
+// conjuncts whose variables are now all bound are attached as filters
+// (predicate pushdown).
+func (p *Planner) planPart(input plan.Operator, part ast.PatternPart, bound *scope, mc *matchContext, addVar func(string), cs *conjunctSet) (plan.Operator, error) {
 	op := input
-	start := p.chooseStartNode(part, bound)
+	start := p.chooseStartNode(part, bound, cs)
 
 	// Bind the start node.
 	np := part.Nodes[start]
@@ -127,9 +294,10 @@ func (p *Planner) planPart(input plan.Operator, part ast.PatternPart, bound *sco
 			op = &plan.Filter{Input: op, Predicate: pred}
 		}
 	} else {
-		op = p.planNodeScan(op, np)
+		op = p.planNodeScan(op, np, bound, cs)
 		addVar(np.Variable)
 		mc.nodeVars = append(mc.nodeVars, np.Variable)
+		op = cs.attachReady(op, bound)
 	}
 
 	// Expand to the right of the start node, then to the left.
@@ -139,6 +307,7 @@ func (p *Planner) planPart(input plan.Operator, part ast.PatternPart, bound *sco
 		if err != nil {
 			return nil, err
 		}
+		op = cs.attachReady(op, bound)
 	}
 	for i := start - 1; i >= 0; i-- {
 		var err error
@@ -146,23 +315,37 @@ func (p *Planner) planPart(input plan.Operator, part ast.PatternPart, bound *sco
 		if err != nil {
 			return nil, err
 		}
+		op = cs.attachReady(op, bound)
 	}
 
 	if part.Variable != "" {
 		op = &plan.ProjectPath{Input: op, Var: part.Variable, Part: part}
 		addVar(part.Variable)
+		op = cs.attachReady(op, bound)
 	}
 	return op, nil
 }
 
 // chooseStartNode picks the index of the node pattern to solve first: an
-// already-bound variable if there is one, otherwise the node whose label (or
-// label+property with an index) is estimated to be most selective.
-func (p *Planner) chooseStartNode(part ast.PatternPart, bound *scope) int {
+// already-bound variable if there is one, otherwise (cost-based mode) the
+// node minimising the estimated rows touched by solving the whole part from
+// it — which folds in index seeks unlocked by WHERE conjuncts and the
+// expansion fan-out in each direction — or (legacy mode) the node whose
+// label/index lookup is estimated cheapest in isolation.
+func (p *Planner) chooseStartNode(part ast.PatternPart, bound *scope, cs *conjunctSet) int {
 	for i, np := range part.Nodes {
 		if bound.has(np.Variable) {
 			return i
 		}
+	}
+	if !p.opts.Legacy {
+		best, bestCost := 0, math.Inf(1)
+		for i := range part.Nodes {
+			if c := p.partCost(part, i, bound, cs); c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		return best
 	}
 	best, bestCost := 0, int(^uint(0)>>1)
 	for i, np := range part.Nodes {
@@ -195,9 +378,18 @@ func (p *Planner) chooseStartNode(part ast.PatternPart, bound *scope) int {
 	return best
 }
 
-// planNodeScan emits the cheapest scan for an unbound node pattern, plus a
-// filter for any predicates the scan does not cover.
-func (p *Planner) planNodeScan(input plan.Operator, np ast.NodePattern) plan.Operator {
+// planNodeScan emits the cheapest access path for an unbound node pattern,
+// plus a filter for any predicates the chosen path does not cover.
+func (p *Planner) planNodeScan(input plan.Operator, np ast.NodePattern, bound *scope, cs *conjunctSet) plan.Operator {
+	if !p.opts.Legacy {
+		ap := p.bestAccess(np, bound, cs)
+		ap.consume()
+		op := ap.build(input, np.Variable)
+		if pred := nodePredicateExcluding(np, ap.coveredLabel(), ap.coveredProp); pred != nil {
+			op = &plan.Filter{Input: op, Predicate: pred}
+		}
+		return op
+	}
 	if len(np.Labels) == 0 {
 		op := plan.Operator(&plan.AllNodesScan{Input: input, Var: np.Variable})
 		if pred := propertyPredicate(np); pred != nil {

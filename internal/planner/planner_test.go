@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -218,5 +219,189 @@ func TestValueLiteralInPlanDescription(t *testing.T) {
 	p := planFor(t, g, "MATCH (n:L) WHERE n.k = 1 RETURN n")
 	if !hasOperator(p, "Filter(n.k = 1)") {
 		t.Errorf("WHERE should appear as a filter:\n%s", p)
+	}
+}
+
+// --- PR 5: cost-based planning ---
+
+// rangeGraph builds a labelled, indexed dataset large enough that seeks are
+// estimated cheaper than scans.
+func rangeGraph() *graph.Graph {
+	g := graph.New()
+	for i := 0; i < 100; i++ {
+		g.CreateNode([]string{"Person"}, map[string]value.Value{
+			"age":  value.NewInt(int64(i)),
+			"name": value.NewString(fmt.Sprintf("p%02d", i)),
+		})
+	}
+	g.CreateIndex("Person", "age")
+	g.CreateIndex("Person", "name")
+	return g
+}
+
+func TestWherePredicatesBecomeIndexSeeks(t *testing.T) {
+	g := rangeGraph()
+	cases := []struct{ query, operator string }{
+		{"MATCH (n:Person) WHERE n.age > 30 RETURN n", "NodeIndexRangeSeek(n:Person {age > 30})"},
+		{"MATCH (n:Person) WHERE n.age > 30 AND n.age <= 40 RETURN n", "NodeIndexRangeSeek(n:Person {age > 30, age <= 40})"},
+		{"MATCH (n:Person) WHERE 30 < n.age RETURN n", "NodeIndexRangeSeek(n:Person {age > 30})"},
+		{"MATCH (n:Person) WHERE n.age >= $k RETURN n", "NodeIndexRangeSeek(n:Person {age >= $k})"},
+		{"MATCH (n:Person) WHERE n.name STARTS WITH 'p1' RETURN n", "NodeIndexPrefixSeek(n:Person {name STARTS WITH 'p1'})"},
+		{"MATCH (n:Person) WHERE n.age IN [1, 2, 3] RETURN n", "NodeIndexSeek(n:Person {age IN [1, 2, 3]})"},
+		{"MATCH (n:Person) WHERE n.name = 'p07' RETURN n", "NodeIndexSeek(n:Person {name = 'p07'})"},
+	}
+	for _, c := range cases {
+		p := planFor(t, g, c.query)
+		if !hasOperator(p, c.operator) {
+			t.Errorf("%s:\nexpected %s in\n%s", c.query, c.operator, p)
+		}
+		if hasOperator(p, "Filter(n.age") && c.operator != "NodeIndexSeek(n:Person {age IN [1, 2, 3]})" &&
+			(c.query == cases[0].query || c.query == cases[1].query) {
+			t.Errorf("%s: consumed range conjuncts must not reappear as filters:\n%s", c.query, p)
+		}
+	}
+	// The residual part of the WHERE stays a filter.
+	p := planFor(t, g, "MATCH (n:Person) WHERE n.age > 30 AND n.name <> 'x' RETURN n")
+	if !hasOperator(p, "NodeIndexRangeSeek") || !hasOperator(p, "Filter(n.name <> 'x')") {
+		t.Errorf("range conjunct should seek, the rest should filter:\n%s", p)
+	}
+}
+
+// Satellite (PR 5): `WHERE n:Label` participates in label-scan selection
+// rather than always filtering after an AllNodesScan.
+func TestWhereLabelPredicateSelectsLabelScan(t *testing.T) {
+	g := rangeGraph()
+	p := planFor(t, g, "MATCH (n) WHERE n:Person RETURN n")
+	if !hasOperator(p, "NodeByLabelScan(n:Person)") {
+		t.Errorf("WHERE n:Person should drive a label scan:\n%s", p)
+	}
+	if hasOperator(p, "AllNodesScan") {
+		t.Errorf("no AllNodesScan expected:\n%s", p)
+	}
+	// Combined with an indexed property predicate it becomes a seek.
+	p = planFor(t, g, "MATCH (n) WHERE n:Person AND n.age = 30 RETURN n")
+	if !hasOperator(p, "NodeIndexSeek(n:Person {age = 30})") {
+		t.Errorf("WHERE n:Person AND n.age = 30 should seek:\n%s", p)
+	}
+	// A label predicate on an already-bound variable stays a filter.
+	p = planFor(t, g, "MATCH (n) WITH n MATCH (m) WHERE n:Person RETURN m")
+	if !hasOperator(p, "Filter(n:Person)") {
+		t.Errorf("bound-variable label predicate should remain a filter:\n%s", p)
+	}
+}
+
+// Predicates are pushed below later pattern parts: a conjunct mentioning
+// only the first part's variables must filter before the second part's scan.
+func TestPredicatePushdownBelowCartesianPart(t *testing.T) {
+	g := rangeGraph()
+	p := planFor(t, g, "MATCH (a:Person), (b:Person) WHERE a.age = 1 AND b.age = 2 RETURN a, b")
+	// Both conjuncts become index seeks — no residual filters at all.
+	if hasOperator(p, "Filter(") {
+		t.Errorf("both conjuncts should be consumed by seeks:\n%s", p)
+	}
+	seeks := 0
+	for _, d := range operators(p) {
+		if strings.Contains(d, "NodeIndexSeek") {
+			seeks++
+		}
+	}
+	if seeks != 2 {
+		t.Errorf("expected two index seeks, got %d:\n%s", seeks, p)
+	}
+}
+
+func TestEstimatesAnnotateExplain(t *testing.T) {
+	g := rangeGraph()
+	p := planFor(t, g, "MATCH (n:Person) WHERE n.age > 30 RETURN n")
+	if p.Est == nil {
+		t.Fatalf("cost-based plans must carry estimates")
+	}
+	if !strings.Contains(p.String(), "rows~") || !strings.Contains(p.String(), "cost~") {
+		t.Errorf("EXPLAIN should surface estimates:\n%s", p)
+	}
+	q, err := parser.Parse("MATCH (n:Person) WHERE n.age > 30 RETURN n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := NewWithOptions(g, Options{Legacy: true}).Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Est != nil {
+		t.Errorf("legacy plans carry no estimates")
+	}
+	if !hasOperator(lp, "NodeByLabelScan(n:Person)") || hasOperator(lp, "RangeSeek") {
+		t.Errorf("legacy planner must keep the scan+filter shape:\n%s", lp)
+	}
+}
+
+// The greedy part ordering starts with the cheapest pattern part and lets
+// connected parts follow the parts that bind their variables.
+func TestPatternPartOrderingByCost(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 100; i++ {
+		g.CreateNode([]string{"Common"}, nil)
+	}
+	rare := g.CreateNode([]string{"Rare"}, nil)
+	common := g.NodesByLabel("Common")[0]
+	if _, err := g.CreateRelationship(rare, common, "R", nil); err != nil {
+		t.Fatal(err)
+	}
+	p := planFor(t, g, "MATCH (c:Common), (r:Rare) RETURN c, r")
+	ops := operators(p)
+	// The leaf (last scan before Start) must be the rare side.
+	if !strings.Contains(ops[len(ops)-2], "NodeByLabelScan(r:Rare)") {
+		t.Errorf("the cheapest part should be solved first:\n%s", p)
+	}
+}
+
+// Review fix: a long IN list over a low-cardinality index must not be
+// overcosted past the label scan — the seek can never return more than the
+// index's entries.
+func TestInSeekEstimateCappedAtEntries(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 200; i++ {
+		g.CreateNode([]string{"P"}, map[string]value.Value{"k": value.NewInt(int64(i % 2))})
+	}
+	g.CreateIndex("P", "k")
+	list := make([]string, 40)
+	for i := range list {
+		list[i] = fmt.Sprintf("%d", i)
+	}
+	p := planFor(t, g, "MATCH (n:P) WHERE n.k IN ["+strings.Join(list, ", ")+"] RETURN n")
+	if !hasOperator(p, "NodeIndexSeek(n:P {k IN") {
+		t.Errorf("long IN list should still seek (estimate capped at entries):\n%s", p)
+	}
+	for op, est := range p.Est {
+		if strings.Contains(op.Describe(), "NodeIndexSeek") && est.Rows > 200 {
+			t.Errorf("IN-seek estimate %f exceeds the index's %d entries", est.Rows, 200)
+		}
+	}
+}
+
+// Review fix: RETURN * column order must follow the source pattern, not the
+// solve order the cost model happens to pick.
+func TestReturnStarOrderIndependentOfSolveOrder(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 100; i++ {
+		g.CreateNode([]string{"Common"}, nil)
+	}
+	g.CreateNode([]string{"Rare"}, nil)
+	p := planFor(t, g, "MATCH (c:Common), (r:Rare) RETURN *")
+	if len(p.Columns) != 2 || p.Columns[0] != "c" || p.Columns[1] != "r" {
+		t.Errorf("RETURN * columns = %v (want [c r] regardless of solve order)\n%s", p.Columns, p)
+	}
+	// The rare part is still solved first (leaf closest to Start).
+	ops := operators(p)
+	if !strings.Contains(ops[len(ops)-2], "Rare") {
+		t.Errorf("solve order should still start from the rare part:\n%s", p)
+	}
+	// Anonymous nodes in a chain must not be miscosted as ExpandInto probes
+	// (they are distinct fresh bindings); the plan stays a plain expand chain.
+	p = planFor(t, g, "MATCH (a:Common)-->()-->() RETURN a")
+	for _, d := range operators(p) {
+		if strings.Contains(d, "ExpandInto") {
+			t.Errorf("anonymous targets must not plan as ExpandInto:\n%s", p)
+		}
 	}
 }

@@ -13,6 +13,8 @@ import (
 	"testing"
 
 	"repro/internal/datasets"
+	"repro/internal/graph"
+	"repro/internal/value"
 )
 
 // socialPair builds two engines over identical social-network stores: one
@@ -248,5 +250,51 @@ func TestParallelReadersWithWriters(t *testing.T) {
 	want := int64(2000 + writers*iterations)
 	if got := res.Records()[0]["c"]; got != want {
 		t.Errorf("node count after hammer = %v, want %d", got, want)
+	}
+}
+
+// TestParallelSeekLeafByteIdentical (PR 5): index seeks in leaf position are
+// partitionable — a range-predicate query over an indexed label must run
+// morsel-parallel and produce byte-identical ORDER BY output (and identical
+// aggregates) to the serial engine.
+func TestParallelSeekLeafByteIdentical(t *testing.T) {
+	build := func(opts Options) *Graph {
+		g := graph.New()
+		for i := 0; i < 3000; i++ {
+			g.CreateNode([]string{"Person"}, map[string]value.Value{
+				"age":  value.NewInt(int64(i % 100)),
+				"name": value.NewString(fmt.Sprintf("p%04d", i)),
+			})
+		}
+		g.CreateIndex("Person", "age")
+		g.CreateIndex("Person", "name")
+		return Wrap(g, opts)
+	}
+	serial := build(Options{})
+	parallel := build(Options{Parallelism: 4, MorselSize: 128})
+	queries := []string{
+		"MATCH (p:Person) WHERE p.age > 50 RETURN p.name AS n ORDER BY n",
+		"MATCH (p:Person) WHERE p.age > 50 AND p.age <= 90 RETURN count(p) AS c, min(p.name) AS lo",
+		"MATCH (p:Person) WHERE p.name STARTS WITH 'p1' RETURN p.name AS n ORDER BY n DESC",
+		"MATCH (p:Person) WHERE p.age IN [1, 2, 3, 4, 5, 6, 7, 8, 9, 10] RETURN p.age AS age, count(*) AS c",
+	}
+	for _, q := range queries {
+		rs := serial.MustRun(q, nil)
+		rp := parallel.MustRun(q, nil)
+		if !strings.Contains(rp.Plan(), "Seek") {
+			t.Fatalf("query should plan a seek: %s\n%s", q, rp.Plan())
+		}
+		if rp.Parallelism() < 2 {
+			t.Errorf("seek-leaf query stayed serial: %s\n%s", q, rp.Plan())
+		}
+		if rs.String() != rp.String() {
+			t.Errorf("parallel seek output differs from serial for %s\nserial:\n%s\nparallel:\n%s",
+				q, rs.String(), rp.String())
+		}
+	}
+	// A seek too small to split stays serial (single morsel).
+	rp := parallel.MustRun("MATCH (p:Person) WHERE p.age = 1 RETURN count(p) AS c", nil)
+	if rp.Parallelism() != 1 {
+		t.Errorf("single-morsel seek should stay serial, used %d workers", rp.Parallelism())
 	}
 }
