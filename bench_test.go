@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/datasets"
@@ -530,4 +531,69 @@ func BenchmarkExpandInto(b *testing.B) {
 	wrapped := Wrap(g, Options{})
 	runBenchQuery(b, wrapped,
 		"MATCH (a:Hub) MATCH (b:Spoke {sid: 9999}) MATCH (a)-[:R]->(b) RETURN count(*) AS c", nil)
+}
+
+// BenchmarkReadLatencyUnderWrite is the MVCC headline measurement: the
+// latency of a read query while a writer continuously commits deliberately
+// slow write queries. Under the old exclusive-lock engine every read blocked
+// for the remainder of the in-flight write, so the under-writer latency was
+// unbounded (roughly half a write duration on average). Under MVCC readers
+// pin the previously committed version and proceed, so the "under-writer"
+// median must stay within a small factor of the "idle" median — CI gates
+// under-writer ≤ 2× idle via cypher-benchcmp -require-max-ratio.
+func BenchmarkReadLatencyUnderWrite(b *testing.B) {
+	const readQ = "MATCH (p:Person) WHERE p.age > 30 RETURN count(p) AS c"
+	// Each write commits 2000 node creates in one query: long enough that,
+	// without MVCC, nearly every read would stall behind one.
+	const writeQ = "UNWIND range(1, 2000) AS i CREATE (:Junk {j: i})"
+
+	b.Run("idle", func(b *testing.B) {
+		g := benchGraph(5000, 4)
+		runBenchQuery(b, g, readQ, nil)
+	})
+
+	b.Run("under-writer", func(b *testing.B) {
+		g := benchGraph(5000, 4)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := time.Now()
+				if _, err := g.Run(writeQ, nil); err != nil {
+					b.Error(err)
+					return
+				}
+				// 50% duty cycle: a multi-millisecond write is in flight
+				// about half the time. A writer that never yields would turn
+				// this into a pure CPU-scheduling measurement on small
+				// runners (on one core, a busy writer alone puts a 2x floor
+				// on reader latency regardless of locking); with the duty
+				// cycle, a reader that BLOCKED behind in-flight writes would
+				// still show many multiples of idle latency, while one that
+				// reads a pinned snapshot stays near it.
+				time.Sleep(time.Since(start))
+			}
+		}()
+		// Let the writer reach a mid-write steady state before measuring.
+		for g.MVCCStats().Publishes == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.Run(readQ, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
 }

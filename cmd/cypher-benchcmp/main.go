@@ -154,6 +154,14 @@ func main() {
 		requireRatios = append(requireRatios, s)
 		return nil
 	})
+	// The inverse gate: an upper bound instead of a lower one. Used by the
+	// MVCC job to assert read latency under a concurrent writer stays within
+	// a small factor of idle read latency (readers never block on writers).
+	var requireMaxRatios []string
+	flag.Func("require-max-ratio", "'base,other,maxFactor': require median ns/op of benchmark 'other' to be at most maxFactor x that of 'base' in THIS run (repeatable)", func(s string) error {
+		requireMaxRatios = append(requireMaxRatios, s)
+		return nil
+	})
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -211,6 +219,39 @@ func main() {
 		}
 		if failed > 0 {
 			fatal("%d -require-ratio gate(s) failed", failed)
+		}
+	}
+
+	if len(requireMaxRatios) > 0 {
+		failed := 0
+		for _, spec := range requireMaxRatios {
+			parts := strings.Split(spec, ",")
+			if len(parts) != 3 {
+				fatal("bad -require-max-ratio %q: want 'base,other,maxFactor'", spec)
+			}
+			factor, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+			if err != nil || factor <= 0 {
+				fatal("bad -require-max-ratio factor in %q", spec)
+			}
+			baseName, otherName := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+			baseBench, bok := cur.Benchmarks[baseName]
+			other, ook := cur.Benchmarks[otherName]
+			if !bok || !ook {
+				fatal("-require-max-ratio %q: benchmark not found in this run (have %d benchmarks)", spec, len(cur.Benchmarks))
+			}
+			if baseBench.MedianNsPerOp <= 0 {
+				fatal("-require-max-ratio %q: %s has no ns/op samples", spec, baseName)
+			}
+			ratio := other.MedianNsPerOp / baseBench.MedianNsPerOp
+			status := "ok"
+			if ratio > factor {
+				failed++
+				status = "EXCEEDED"
+			}
+			fmt.Printf("max-ratio %s vs %s: %.2fx (need <= %.2fx, %s)\n", baseName, otherName, ratio, factor, status)
+		}
+		if failed > 0 {
+			fatal("%d -require-max-ratio gate(s) failed", failed)
 		}
 	}
 

@@ -323,6 +323,7 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	gs := s.graph.Stats()
 	cs := s.graph.PlanCacheStats()
+	ms := s.graph.MVCCStats()
 	durability := map[string]any{"enabled": false}
 	if ds, ok := s.graph.DurabilityStats(); ok {
 		durability = map[string]any{
@@ -372,6 +373,18 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"hits":          cs.Hits,
 			"misses":        cs.Misses,
 			"invalidations": cs.Invalidations,
+		},
+		"mvcc": map[string]any{
+			"enabled":          ms.Enabled,
+			"versions":         ms.Versions,
+			"publishedEpoch":   ms.PublishedEpoch,
+			"liveEpoch":        ms.LiveEpoch,
+			"activePins":       ms.ActivePins,
+			"pins":             ms.Pins,
+			"publishes":        ms.Publishes,
+			"writerDrainWaits": ms.WriterDrainWaits,
+			"rebuilds":         ms.Rebuilds,
+			"backlogLength":    ms.BacklogLen,
 		},
 		"execution": map[string]any{
 			"parallelism": s.parallelism,

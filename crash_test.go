@@ -101,6 +101,162 @@ func TestCrashRecoveryAfterSigkill(t *testing.T) {
 	}
 }
 
+// TestCrashPublishHelper is not a test: it is the child process of
+// TestCrashRecoveryKilledBetweenAppendAndPublish. It appends Item nodes like
+// TestCrashWriterHelper, but after CYPHER_CRASH_KILL_AFTER acknowledged
+// writes it installs a commit hook that parks the next write forever in the
+// narrowest window MVCC adds to the commit path: after the batch is appended
+// to the WAL but BEFORE the new version is published to readers. It prints
+// "appended <i>" from inside that window so the parent can SIGKILL it there.
+func TestCrashPublishHelper(t *testing.T) {
+	if os.Getenv("CYPHER_CRASH_PUBLISH_CHILD") != "1" {
+		t.Skip("helper process for TestCrashRecoveryKilledBetweenAppendAndPublish")
+	}
+	dir := os.Getenv("CYPHER_CRASH_DIR")
+	killAfter, _ := strconv.Atoi(os.Getenv("CYPHER_CRASH_KILL_AFTER"))
+	g, err := Open(dir, Options{SyncMode: SyncAlways})
+	if err != nil {
+		fmt.Printf("child open error: %v\n", err)
+		os.Exit(3)
+	}
+	start := int64(0)
+	res := g.MustRun(`MATCH (n:Item) RETURN max(n.i) AS m`, nil)
+	if rows := res.Rows(); len(rows) == 1 {
+		if m, ok := rows[0][0].(int64); ok {
+			start = m
+		}
+	}
+	for i := start + 1; ; i++ {
+		if int(i-start) > killAfter {
+			doomed := i
+			g.engine.SetCommitHook(func() {
+				// Readers must still be served while this writer is wedged
+				// mid-commit; prove it from inside the window before
+				// announcing it (the un-published write must be invisible).
+				res := g.MustRun(`MATCH (n:Item) RETURN max(n.i) AS m`, nil)
+				if m, _ := res.Rows()[0][0].(int64); m != doomed-1 {
+					fmt.Printf("child error: read inside commit window saw max %d, want %d\n", m, doomed-1)
+					os.Exit(3)
+				}
+				fmt.Printf("appended %d\n", doomed) // parent SIGKILLs us here
+				select {}
+			})
+		}
+		g.MustRun(`CREATE (:Item {i: $i})`, map[string]any{"i": i})
+		fmt.Printf("acked %d\n", i)
+	}
+}
+
+// TestCrashRecoveryKilledBetweenAppendAndPublish SIGKILLs a writer exactly
+// between WAL append and MVCC version publish, three times over the same data
+// directory. The parked write was never acknowledged (and never fsynced), so
+// recovery must land on the exact committed prefix — every acked item, 1..max
+// contiguous, at most the one in-flight item beyond the last ack — and the
+// recovered store must serve reads immediately.
+func TestCrashRecoveryKilledBetweenAppendAndPublish(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	dir := t.TempDir()
+	prevMax := int64(0)
+	for round := 0; round < 3; round++ {
+		acked, parked := runAndKillPublishWriter(t, dir, 10+5*round)
+		if parked != acked+1 {
+			t.Fatalf("round %d: child parked write %d, want %d (last ack + 1)", round, parked, acked)
+		}
+		if acked < prevMax {
+			t.Fatalf("round %d: child acked %d, below previous round's recovered max %d", round, acked, prevMax)
+		}
+
+		g, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("round %d: recovery failed: %v", round, err)
+		}
+		// Serve reads immediately: the first query after Open must work
+		// without any writer ever running in this process.
+		rows := g.MustRun(`MATCH (n:Item) RETURN count(*) AS c, count(DISTINCT n.i) AS d, max(n.i) AS m, sum(n.i) AS s`, nil).Rows()
+		count := rows[0][0].(int64)
+		distinct := rows[0][1].(int64)
+		max := rows[0][2].(int64)
+		sum := rows[0][3].(int64)
+
+		if count != max || distinct != max {
+			t.Fatalf("round %d: recovered %d items (%d distinct) but max i is %d — not a contiguous prefix", round, count, distinct, max)
+		}
+		if want := max * (max + 1) / 2; sum != want {
+			t.Fatalf("round %d: checksum sum(i)=%d, want %d for prefix 1..%d", round, sum, want, max)
+		}
+		if max < acked {
+			t.Fatalf("round %d: child acked %d but only %d recovered — committed writes lost", round, acked, max)
+		}
+		// The parked write was appended but never acked or fsynced: it may
+		// appear (the OS flushed the append) or not, but nothing beyond it can.
+		if max > parked {
+			t.Fatalf("round %d: recovered %d items but the parked write was %d — phantom writes", round, max, parked)
+		}
+		// The recovered engine accepts writes again (the publish machinery
+		// came back in a clean state).
+		g.MustRun(`CREATE (:Item {i: $i})`, map[string]any{"i": max + 1})
+		if got := g.MustRun(`MATCH (n:Item) RETURN max(n.i) AS m`, nil).Rows()[0][0].(int64); got != max+1 {
+			t.Fatalf("round %d: write after recovery not visible (max %d, want %d)", round, got, max+1)
+		}
+		if st := g.MVCCStats(); st.PublishedEpoch != st.LiveEpoch || st.ActivePins != 0 {
+			t.Fatalf("round %d: recovered engine in a dirty MVCC state: %+v", round, st)
+		}
+		prevMax = max + 1
+		if err := g.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+	}
+}
+
+// runAndKillPublishWriter re-executes the test binary as a publish-race crash
+// child over dir, waits until it reports a write parked between WAL append
+// and version publish, SIGKILLs it in that window, and returns the highest
+// acknowledged i and the parked i.
+func runAndKillPublishWriter(t *testing.T, dir string, killAfter int) (acked, parked int64) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashPublishHelper$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"CYPHER_CRASH_PUBLISH_CHILD=1",
+		"CYPHER_CRASH_DIR="+dir,
+		"CYPHER_CRASH_KILL_AFTER="+strconv.Itoa(killAfter))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	watchdog := time.AfterFunc(30*time.Second, func() { cmd.Process.Kill() })
+	defer watchdog.Stop()
+	scanner := bufio.NewScanner(stdout)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if n, ok := strings.CutPrefix(line, "acked "); ok {
+			if i, err := strconv.ParseInt(n, 10, 64); err == nil && i > acked {
+				acked = i
+			}
+		} else if n, ok := strings.CutPrefix(line, "appended "); ok {
+			if i, err := strconv.ParseInt(n, 10, 64); err == nil {
+				parked = i
+			}
+			break // the child is parked holding the un-published write
+		} else if strings.Contains(line, "error") {
+			t.Fatalf("child reported: %s", line)
+		}
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL in the append→publish window
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+	if parked == 0 {
+		t.Fatal("child never reached the append→publish window")
+	}
+	return acked, parked
+}
+
 // runAndKillWriter re-executes the test binary as a crash child over dir,
 // SIGKILLs it after it has acknowledged at least minAcks writes, and returns
 // the highest acknowledged i.

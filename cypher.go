@@ -71,6 +71,9 @@ const (
 // see Graph.DurabilityStats.
 type DurabilityStats = storage.Stats
 
+// MVCCStats reports the engine's version/pin counters; see Graph.MVCCStats.
+type MVCCStats = graph.MVCCStats
+
 // Options configures a Graph.
 type Options struct {
 	// Name is the graph's name (useful with multiple graphs); defaults to
@@ -166,6 +169,13 @@ func (g *Graph) Close() error { return g.engine.Close() }
 // instead of replaying history. Readers keep running during the snapshot,
 // writers wait. It is a no-op (nil) for in-memory graphs.
 func (g *Graph) Checkpoint() error { return g.engine.Checkpoint() }
+
+// MVCCStats reports the engine's snapshot-versioning counters: retained
+// versions, published vs live epoch, active reader pins, and how often
+// writers had to wait for readers to drain. Reads are served from pinned
+// immutable versions and never block behind a write query; see
+// docs/ARCHITECTURE.md, "MVCC & versioned reads".
+func (g *Graph) MVCCStats() MVCCStats { return g.engine.MVCCStats() }
 
 // DurabilityStats reports WAL/snapshot counters for a durable graph; ok is
 // false for in-memory graphs.

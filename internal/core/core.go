@@ -54,24 +54,27 @@ type Options struct {
 
 // Engine executes Cypher queries against a single property graph. It is safe
 // for concurrent use: queries are classified at parse time as read-only or
-// mutating (from the AST's clause list), read-only queries run concurrently
-// under a shared lock, and mutating queries serialize under the exclusive
-// lock, so every query sees a stable snapshot of the graph for its whole
-// execution.
+// mutating (from the AST's clause list). Read-only queries pin an immutable
+// published version of the graph (MVCC, see graph.VersionedStore) for their
+// whole execution and never take the write lock, so a slow write query no
+// longer stalls the read fleet; mutating queries serialize among themselves
+// and publish their result atomically at WAL group-commit.
 type Engine struct {
-	// execMu is the query-level read/write discipline. Read-only queries
-	// hold it shared for plan + execute, so any number can run at once;
-	// mutating queries hold it exclusively, which both serializes writers
-	// and keeps readers from observing a half-applied multi-clause update.
-	// Entity accessors (Node.Property, Labels, adjacency) are deliberately
-	// lock-free, so this discipline is what makes execution memory-safe:
-	// all concurrent graph access must go through the engine. Direct store
-	// access is safe only single-threaded or externally synchronized
-	// (graph.Graph's RWMutex guards the store's own maps and indexes, not
-	// the entities they point to).
-	execMu sync.RWMutex
-	graph  *graph.Graph
-	opts   Options
+	// writeMu serializes mutators: write queries, index creation, imports,
+	// checkpoints and Close. Readers never take it. Snapshot stability for
+	// readers comes from the versioned store instead: a pinned version is
+	// not mutated until every pin on it is released, which is what makes the
+	// deliberately lock-free entity accessors (Node.Property, Labels,
+	// adjacency) memory-safe. All concurrent graph access must go through
+	// the engine; direct store access is safe only single-threaded or
+	// externally synchronized (graph.Graph's RWMutex guards the store's own
+	// maps and indexes, not the entities they point to).
+	writeMu sync.Mutex
+	graph   *graph.Graph
+	// versions is the MVCC store over the graph: readers pin the published
+	// version, writers prepare against the primary and publish at commit.
+	versions *graph.VersionedStore
+	opts     Options
 
 	// astMu guards astCache, which maps query text to parsed and
 	// semantically checked ASTs. Parsing does not depend on the graph, so
@@ -84,33 +87,63 @@ type Engine struct {
 	// lexer, parser, semantic analysis and planning entirely.
 	plans *planCache
 
-	// durable, when set, is the persistence layer: the graph's mutation hook
-	// journals every change into it, and the engine group-commits the journal
-	// at the end of each write query (still under the exclusive lock, so the
-	// WAL's batch boundaries are exactly the query boundaries).
+	// durable, when set, is the persistence layer: the engine's mutation
+	// hook journals every change into it, and the engine group-commits the
+	// journal at the end of each write query (still under the write lock, so
+	// the WAL's batch boundaries are exactly the query boundaries).
 	durable *storage.Store
+
+	// commitHook, when set, runs inside the write path after the WAL append
+	// and before the new version is published. It is a seam for the
+	// crash-recovery tests (kill the process in the append/publish window)
+	// and a natural tap point for future replication. Set before sharing.
+	commitHook func()
 }
 
-// NewEngine creates an engine over the graph.
+// NewEngine creates an engine over the graph. It installs itself as the
+// graph's mutation hook (feeding the WAL journal and the MVCC replica
+// backlog), so a graph must not be wrapped by two live engines at once.
 func NewEngine(g *graph.Graph, opts Options) *Engine {
-	return &Engine{
+	e := &Engine{
 		graph:    g,
+		versions: graph.NewVersionedStore(g),
 		opts:     opts,
 		astCache: map[string]*ast.Query{},
 		plans:    newPlanCache(0),
 	}
+	g.SetMutationHook(e.onMutation)
+	return e
 }
 
-// Graph returns the engine's underlying graph.
+// onMutation is the graph's mutation hook: it runs inside the graph's write
+// lock, in commit order, and fans each record out to the WAL journal (when
+// durable) and the MVCC replica backlog.
+func (e *Engine) onMutation(m graph.Mutation) {
+	if e.durable != nil {
+		e.durable.Record(m)
+	}
+	e.versions.Capture(m)
+}
+
+// Graph returns the engine's underlying graph — the MVCC primary, whose
+// identity is stable for the engine's lifetime.
 func (e *Engine) Graph() *graph.Graph { return e.graph }
 
-// SetDurability attaches an opened storage layer and installs its journal as
-// the graph's mutation hook. Call before the engine is shared between
-// goroutines (recovery must already have happened, so replayed mutations are
-// not re-journaled).
+// MVCCStats reports the versioned store's counters: published epoch, version
+// retention, active reader pins, writer drain waits.
+func (e *Engine) MVCCStats() graph.MVCCStats { return e.versions.Stats() }
+
+// SetCommitHook installs fn to run inside the write path between the WAL
+// append and the version publish. Call before the engine is shared between
+// goroutines. Used by the crash tests to die in that exact window.
+func (e *Engine) SetCommitHook(fn func()) { e.commitHook = fn }
+
+// SetDurability attaches an opened storage layer; from here on the engine's
+// mutation hook journals every change into it. Call before the engine is
+// shared between goroutines (recovery must already have happened, so
+// replayed mutations are not re-journaled).
 func (e *Engine) SetDurability(s *storage.Store) {
 	e.durable = s
-	e.graph.SetMutationHook(s.Record)
 }
 
 // Durability returns the engine's storage layer, or nil for a purely
@@ -118,14 +151,15 @@ func (e *Engine) SetDurability(s *storage.Store) {
 func (e *Engine) Durability() *storage.Store { return e.durable }
 
 // Checkpoint writes a point-in-time snapshot and truncates the WAL. It holds
-// the query lock in shared mode: concurrent readers keep running, writers
-// wait for the snapshot. A no-op without a storage layer.
+// the write lock: concurrent readers keep running (the snapshot only reads
+// the primary, which is the published head between writes), writers wait for
+// the snapshot. A no-op without a storage layer.
 func (e *Engine) Checkpoint() error {
 	if e.durable == nil {
 		return nil
 	}
-	e.execMu.RLock()
-	defer e.execMu.RUnlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	return e.durable.Checkpoint(e.graph)
 }
 
@@ -135,22 +169,28 @@ func (e *Engine) Close() error {
 	if e.durable == nil {
 		return nil
 	}
-	e.execMu.Lock()
-	defer e.execMu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	return e.durable.Close()
 }
 
 // CreateIndex declares a property index under the engine's write discipline,
-// journaling it like any other mutation.
+// journaling and publishing it like any other mutation.
 func (e *Engine) CreateIndex(label, property string) error {
-	e.execMu.Lock()
-	defer e.execMu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.versions.BeginWrite()
+	defer e.versions.Publish()
 	e.graph.CreateIndex(label, property)
-	return e.commitDurable()
+	err := e.commitDurable()
+	if e.commitHook != nil {
+		e.commitHook()
+	}
+	return err
 }
 
 // commitDurable group-commits the journaled mutations of the current write.
-// Callers hold the exclusive query lock.
+// Callers hold the write lock.
 func (e *Engine) commitDurable() error {
 	if e.durable == nil {
 		return nil
@@ -165,8 +205,10 @@ func (e *Engine) commitDurable() error {
 // since partially-imported entities are already visible in memory and the
 // WAL must mirror them (the same no-rollback contract as Run).
 func (e *Engine) ImportFrom(src *graph.Graph) error {
-	e.execMu.Lock()
-	defer e.execMu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.versions.BeginWrite()
+	defer e.versions.Publish()
 	err := e.importLocked(src)
 	if cerr := e.commitDurable(); cerr != nil && err == nil {
 		err = cerr
@@ -238,12 +280,16 @@ func (e *Engine) parseChecked(query string) (*ast.Query, error) {
 	return q, nil
 }
 
-// planFor returns a plan for the (already checked) query, consulting the
-// plan cache first. Callers must hold execMu (shared or exclusive) so the
-// graph's epoch cannot move between the cache lookup and the compile.
-func (e *Engine) planFor(query string, q *ast.Query) (*plan.Plan, error) {
-	return e.plans.getOrCompile(query, e.graph.Epoch(), func() (*plan.Plan, error) {
-		return planner.New(e.graph).Plan(q)
+// planFor returns a plan for the (already checked) query against the given
+// graph version, consulting the plan cache first. The cache is keyed on the
+// PINNED version's epoch — not the live graph's — so a reader pinned to an
+// older version can never be handed a plan compiled against statistics or
+// indexes newer than its row source. Callers must keep g pinned (readers) or
+// hold the write lock (writers) so g's epoch cannot move between the cache
+// lookup and the compile.
+func (e *Engine) planFor(g *graph.Graph, query string, q *ast.Query) (*plan.Plan, error) {
+	return e.plans.getOrCompile(query, g.Epoch(), func() (*plan.Plan, error) {
+		return planner.New(g).Plan(q)
 	})
 }
 
@@ -255,32 +301,46 @@ func (e *Engine) Run(query string, params map[string]value.Value) (*Result, erro
 		return nil, err
 	}
 	if q.IsReadOnly() {
-		e.execMu.RLock()
-		defer e.execMu.RUnlock()
-		return e.runLocked(query, q, params)
+		// Readers pin the published version for their whole execution and
+		// never block on (or behind) a writer: a write query in progress
+		// simply means the pin lands on the previous committed version.
+		v := e.versions.Pin()
+		defer e.versions.Unpin(v)
+		return e.runOn(v, query, q, params)
 	}
-	// The locked section runs in a closure so its deferred Unlock also fires
-	// on a panic — a manual Unlock after a panicking query would leave the
-	// exclusive lock held forever and wedge the engine.
+	// The locked section runs in a closure so its deferred Publish/Unlock
+	// also fire on a panic — a manual Unlock after a panicking query would
+	// leave the write lock held forever and wedge the engine.
 	res, ticket, err := func() (res *Result, ticket storage.CommitTicket, err error) {
-		e.execMu.Lock()
-		defer e.execMu.Unlock()
-		res, err = e.runLocked(query, q, params)
-		// Journal the batch even when the query failed partway: the
-		// in-memory store has no rollback, so whatever mutations were
-		// applied before the error are real and the WAL must mirror them —
-		// otherwise a restart would silently diverge from what clients
-		// observed. The append happens under the exclusive lock (batch
-		// order = query order); the fsync deliberately happens AFTER the
-		// lock is released, so the next writer can append while this one
-		// waits on the disk and concurrent committers share fsyncs (group
-		// commit).
+		e.writeMu.Lock()
+		defer e.writeMu.Unlock()
+		// BeginWrite publishes the last committed version for readers and
+		// waits for pins on the primary to drain; from here the writer owns
+		// the primary and mutates it in place.
+		target := e.versions.BeginWrite()
+		// Publish even when the query failed partway (deferred, so also on
+		// panic): the in-memory store has no rollback, so whatever mutations
+		// were applied before the error are real, and readers must converge
+		// to the same state the memory holds.
+		defer e.versions.Publish()
+		res, err = e.runOn(target, query, q, params)
+		// Journal the batch even when the query failed partway, for the same
+		// no-rollback reason — otherwise a restart would silently diverge
+		// from what clients observed. The append happens under the write
+		// lock and BEFORE the publish (commit ordering: a version is only
+		// readable once its batch is in the log); the fsync deliberately
+		// happens AFTER the lock is released, so the next writer can append
+		// while this one waits on the disk and concurrent committers share
+		// fsyncs (group commit).
 		if e.durable != nil {
 			t, aerr := e.durable.Append()
 			if aerr != nil && err == nil {
 				err = fmt.Errorf("query applied in memory but WAL append failed: %w", aerr)
 			}
 			ticket = t
+		}
+		if e.commitHook != nil {
+			e.commitHook()
 		}
 		return res, ticket, err
 	}()
@@ -292,14 +352,16 @@ func (e *Engine) Run(query string, params map[string]value.Value) (*Result, erro
 	return res, err
 }
 
-// runLocked plans and executes an already-checked query. Callers hold execMu
-// in the appropriate mode.
-func (e *Engine) runLocked(query string, q *ast.Query, params map[string]value.Value) (*Result, error) {
-	pl, err := e.planFor(query, q)
+// runOn plans and executes an already-checked query against one graph
+// version: the pinned published version for readers, the exclusively-owned
+// primary for writers (which is how a write query reads its own earlier
+// clauses' writes).
+func (e *Engine) runOn(g *graph.Graph, query string, q *ast.Query, params map[string]value.Value) (*Result, error) {
+	pl, err := e.planFor(g, query, q)
 	if err != nil {
 		return nil, err
 	}
-	ex := exec.New(e.graph, params, exec.Options{
+	ex := exec.New(g, params, exec.Options{
 		Morphism:          e.opts.Morphism,
 		MaxVarLengthDepth: e.opts.MaxVarLengthDepth,
 		Parallelism:       e.opts.Parallelism,
@@ -309,9 +371,9 @@ func (e *Engine) runLocked(query string, q *ast.Query, params map[string]value.V
 	if err != nil {
 		return nil, err
 	}
-	// Snapshot entity values while the lock is still held: results outlive
-	// the query, and a later writer must not race readers of returned
-	// nodes/relationships.
+	// Snapshot entity values while the version is still pinned: results
+	// outlive the query, and a later writer must not race readers of
+	// returned nodes/relationships.
 	tbl.DetachEntities()
 	return &Result{
 		Table:       tbl,
@@ -322,20 +384,21 @@ func (e *Engine) runLocked(query string, q *ast.Query, params map[string]value.V
 }
 
 // Explain parses, checks and plans the query without executing it, returning
-// the plan description. Planning only reads the graph, so Explain takes the
-// shared lock regardless of whether the query would mutate.
+// the plan description. Planning only reads the graph, so Explain pins the
+// published version like a reader regardless of whether the query would
+// mutate.
 func (e *Engine) Explain(query string) (string, error) {
 	q, err := e.parseChecked(query)
 	if err != nil {
 		return "", err
 	}
-	e.execMu.RLock()
-	defer e.execMu.RUnlock()
-	pl, err := e.planFor(query, q)
+	v := e.versions.Pin()
+	defer e.versions.Unpin(v)
+	pl, err := e.planFor(v, query, q)
 	if err != nil {
 		return "", err
 	}
-	return fmt.Sprintf("%sruntime parallelism: %d\n", pl.String(), e.chosenParallelism(pl)), nil
+	return fmt.Sprintf("%sruntime parallelism: %d\n", pl.String(), e.chosenParallelism(v, pl)), nil
 }
 
 // chosenParallelism mirrors the executor's runtime decision for the plan:
@@ -346,9 +409,9 @@ func (e *Engine) Explain(query string) (string, error) {
 // EXPLAIN does not have (parameters), so the count comes from the planner's
 // cardinality estimate, bounded by the label cardinality — the executor's
 // actual worker count (Result.Parallelism) can be lower when the seek
-// returns fewer rows than estimated. Callers hold execMu so the scan
+// returns fewer rows than estimated. Callers keep g pinned so the scan
 // cardinality is stable.
-func (e *Engine) chosenParallelism(pl *plan.Plan) int {
+func (e *Engine) chosenParallelism(g *graph.Graph, pl *plan.Plan) int {
 	if e.opts.Parallelism <= 1 || pl.Parallel == nil || !pl.Parallel.Safe {
 		return 1
 	}
@@ -356,7 +419,7 @@ func (e *Engine) chosenParallelism(pl *plan.Plan) int {
 	if morselSize <= 0 {
 		morselSize = graph.DefaultMorselSize
 	}
-	stats := e.graph.Stats()
+	stats := g.Stats()
 	var n int
 	switch s := pl.Parallel.Scan.(type) {
 	case *plan.AllNodesScan:

@@ -8,27 +8,45 @@ import (
 )
 
 // cachedPlan is a compiled plan together with the graph epoch it was compiled
-// at. A plan is only valid while the epoch matches: any data or index
-// mutation moves the graph's epoch and implicitly invalidates every cached
-// plan (the planner's scan selection and cost estimates depend on the graph's
-// statistics and declared indexes).
+// at. A plan is only valid for the exact epoch: any data or index mutation
+// moves the graph's epoch and implicitly invalidates the plan for that newer
+// state (the planner's scan selection and cost estimates depend on the
+// graph's statistics and declared indexes).
 type cachedPlan struct {
 	plan  *plan.Plan
 	epoch uint64
 }
 
-// planCache maps query text to compiled plans. It is internally synchronized
-// and safe for concurrent use; plans themselves are immutable after
-// compilation (the executor never writes to the operator tree), so a cached
-// *plan.Plan may be executed by many goroutines at once.
+// planEpochsRetained bounds how many distinct epochs the cache keeps per
+// query. It matches the MVCC store's version retention (K=2): while a write
+// query executes, readers are pinned to the previous committed version one
+// epoch (or one batch of epochs) behind the live graph, so both the old and
+// the new plan are legitimately in use at the same time. Retaining both means
+// a writer publishing a version does not evict the plan the still-pinned
+// readers are using.
+const planEpochsRetained = 2
+
+// planCache maps query text to compiled plans, retaining plans for up to
+// planEpochsRetained recent epochs per query. Lookups key on the epoch of the
+// PINNED graph version the caller is executing against — never the live
+// graph's epoch — so a reader pinned to an older version can never be handed
+// a plan compiled against newer statistics or indexes than its row source
+// (and vice versa). The cache is internally synchronized and safe for
+// concurrent use; plans themselves are immutable after compilation (the
+// executor never writes to the operator tree), so a cached *plan.Plan may be
+// executed by many goroutines at once.
 type planCache struct {
-	mu      sync.Mutex
-	entries map[string]cachedPlan
+	mu sync.Mutex
+	// entries holds, per query, the cached plans sorted newest-epoch-first,
+	// at most planEpochsRetained long.
+	entries map[string][]cachedPlan
 	// flights tracks in-progress compilations (single-flight): when many
 	// readers miss on the same query at the same epoch — typical right
 	// after an invalidation — one compiles and the rest wait for its
-	// result instead of duplicating the planning work.
-	flights map[string]*flight
+	// result instead of duplicating the planning work. Keyed by (query,
+	// epoch) so a pinned reader and a fresh reader compiling for different
+	// epochs do not serialize behind each other.
+	flights map[flightKey]*flight
 	max     int
 
 	hits          atomic.Uint64
@@ -36,14 +54,19 @@ type planCache struct {
 	invalidations atomic.Uint64
 }
 
-type flight struct {
-	done  chan struct{}
+type flightKey struct {
+	query string
 	epoch uint64
-	plan  *plan.Plan
-	err   error
 }
 
-// defaultPlanCacheSize bounds the number of cached plans per engine.
+type flight struct {
+	done chan struct{}
+	plan *plan.Plan
+	err  error
+}
+
+// defaultPlanCacheSize bounds the number of queries with cached plans per
+// engine.
 const defaultPlanCacheSize = 1024
 
 func newPlanCache(max int) *planCache {
@@ -51,73 +74,114 @@ func newPlanCache(max int) *planCache {
 		max = defaultPlanCacheSize
 	}
 	return &planCache{
-		entries: make(map[string]cachedPlan),
-		flights: make(map[string]*flight),
+		entries: make(map[string][]cachedPlan),
+		flights: make(map[flightKey]*flight),
 		max:     max,
 	}
 }
 
 // getOrCompile returns the cached plan for the query at the given epoch,
-// compiling (and caching) it via compile on a miss. A stale entry is removed
-// and counted as an invalidation. Concurrent callers for the same query and
-// epoch share one compilation.
+// compiling (and caching) it via compile on a miss. A lookup at an epoch
+// newer than every cached plan counts as an invalidation (the graph moved on
+// and the old plans are stale for the live head); a lookup at an OLDER epoch
+// — a reader pinned to a previous version — is a plain miss and leaves the
+// newer plans untouched. Concurrent callers for the same query and epoch
+// share one compilation.
 func (c *planCache) getOrCompile(query string, epoch uint64, compile func() (*plan.Plan, error)) (*plan.Plan, error) {
 	c.mu.Lock()
-	if e, ok := c.entries[query]; ok {
-		if e.epoch == epoch {
-			c.mu.Unlock()
-			c.hits.Add(1)
-			return e.plan, nil
+	if list, ok := c.entries[query]; ok {
+		for _, e := range list {
+			if e.epoch == epoch {
+				c.mu.Unlock()
+				c.hits.Add(1)
+				return e.plan, nil
+			}
 		}
-		delete(c.entries, query)
-		c.invalidations.Add(1)
+		if epoch > list[0].epoch {
+			// The caller is executing against a state newer than anything
+			// cached: every retained plan is stale for the new head.
+			c.invalidations.Add(1)
+		}
 	}
-	if f, ok := c.flights[query]; ok && f.epoch == epoch {
+	key := flightKey{query: query, epoch: epoch}
+	if f, ok := c.flights[key]; ok {
 		c.mu.Unlock()
 		c.misses.Add(1)
 		<-f.done
 		return f.plan, f.err
 	}
-	f := &flight{done: make(chan struct{}), epoch: epoch}
-	c.flights[query] = f
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
 	c.mu.Unlock()
 	c.misses.Add(1)
 
 	f.plan, f.err = compile()
 
 	c.mu.Lock()
-	delete(c.flights, query)
+	delete(c.flights, key)
 	if f.err == nil {
 		// When the cache is full it is reset wholesale — queries in a
 		// serving workload are typically a small, recurring set, so an
 		// eviction policy buys little over the map rebuild.
-		if len(c.entries) >= c.max {
-			c.entries = make(map[string]cachedPlan)
+		if _, ok := c.entries[query]; !ok && len(c.entries) >= c.max {
+			c.entries = make(map[string][]cachedPlan)
 		}
-		c.entries[query] = cachedPlan{plan: f.plan, epoch: epoch}
+		c.entries[query] = insertPlan(c.entries[query], cachedPlan{plan: f.plan, epoch: epoch})
 	}
 	c.mu.Unlock()
 	close(f.done)
 	return f.plan, f.err
 }
 
-// len returns the number of cached plans.
+// insertPlan inserts e into the newest-first list, keeping it sorted by epoch
+// descending, deduplicated, and at most planEpochsRetained long (oldest
+// dropped first). A pinned reader caching a plan for an old epoch therefore
+// never evicts the live head's plan.
+func insertPlan(list []cachedPlan, e cachedPlan) []cachedPlan {
+	out := make([]cachedPlan, 0, planEpochsRetained)
+	inserted := false
+	for _, cur := range list {
+		if cur.epoch == e.epoch {
+			continue // replaced by the fresh compile
+		}
+		if !inserted && e.epoch > cur.epoch {
+			out = append(out, e)
+			inserted = true
+		}
+		out = append(out, cur)
+	}
+	if !inserted {
+		out = append(out, e)
+	}
+	if len(out) > planEpochsRetained {
+		out = out[:planEpochsRetained]
+	}
+	return out
+}
+
+// len returns the number of cached plans across all queries and epochs.
 func (c *planCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, list := range c.entries {
+		n += len(list)
+	}
+	return n
 }
 
 // CacheStats summarises plan-cache effectiveness for monitoring endpoints.
 type CacheStats struct {
-	// Entries is the number of plans currently cached.
+	// Entries is the number of plans currently cached (a query executed at
+	// two retained epochs contributes two).
 	Entries int
 	// Hits counts lookups answered from the cache at a matching epoch.
 	Hits uint64
 	// Misses counts lookups that had to compile (including stale entries).
 	Misses uint64
-	// Invalidations counts cached plans discarded because the graph's
-	// mutation epoch had moved since compilation.
+	// Invalidations counts lookups whose epoch was newer than every cached
+	// plan for the query — the graph's mutation epoch had moved since
+	// compilation.
 	Invalidations uint64
 }
 

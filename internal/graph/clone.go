@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Clone builds an independent deep copy of the graph: same entity
+// identifiers, labels, properties, relationships, declared indexes, ID
+// counters and mutation epoch, but sharing no mutable structure with the
+// source (property values are immutable and are shared). It is built from
+// the same Apply records WAL recovery uses, so indexes and statistics come
+// out identical to a recovered store.
+//
+// Clone only reads the source, taking its usual read locks, so concurrent
+// readers of the source are fine; the caller must exclude concurrent writers
+// (the MVCC store clones under the engine's write mutex).
+func (g *Graph) Clone() *Graph {
+	c := NewNamed(g.Name())
+	for _, idx := range g.Indexes() {
+		c.CreateIndex(idx[0], idx[1])
+	}
+	for _, n := range g.Nodes() {
+		// Apply copies the label slice and property map, so handing it the
+		// node's live references is safe.
+		if err := c.Apply(Mutation{Kind: MutCreateNode, ID: n.id, Labels: n.labels, Props: n.props}); err != nil {
+			panic(fmt.Sprintf("graph: clone of consistent graph failed: %v", err))
+		}
+	}
+	for _, r := range g.Relationships() {
+		if err := c.Apply(Mutation{Kind: MutCreateRel, ID: r.id, Start: r.start.id, End: r.end.id, Label: r.typ, Props: r.props}); err != nil {
+			panic(fmt.Sprintf("graph: clone of consistent graph failed: %v", err))
+		}
+	}
+	nextNode, nextRel := g.IDCounters()
+	c.SetIDCounters(nextNode, nextRel)
+	c.SetEpoch(g.Epoch())
+	return c
+}
+
+// SetEpoch forces the graph's mutation epoch. It exists for replica
+// construction (MVCC versioning, replication): a replica built by Clone or
+// replay must report its source's epoch, because equal epochs are the
+// engine's proof of identical logical content (the plan cache keys on them).
+// Not for general use — moving the epoch backwards can revive stale cached
+// plans.
+func (g *Graph) SetEpoch(epoch uint64) {
+	g.epoch.Store(epoch)
+}
+
+// copyForReplay returns a Mutation safe to retain beyond the hook call: the
+// Labels and Props fields of a hook-delivered record alias live store state,
+// which later mutations may change in place.
+func (m Mutation) copyForReplay() Mutation {
+	if len(m.Labels) > 0 {
+		m.Labels = append([]string(nil), m.Labels...)
+	}
+	if m.Props != nil {
+		props := make(map[string]value.Value, len(m.Props))
+		for k, v := range m.Props {
+			props[k] = v
+		}
+		m.Props = props
+	}
+	return m
+}

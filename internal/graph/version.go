@@ -1,0 +1,254 @@
+package graph
+
+import "sync"
+
+// MVCC versioned store. The engine's query-level concurrency used to be a
+// single RWMutex: any number of readers XOR one writer, so one slow write
+// query stalled the whole read fleet for its full execution. VersionedStore
+// replaces that with snapshot-isolated versioned reads over two full graph
+// replicas (version retention K=2):
+//
+//   - Readers Pin() the published head version at query start and read it
+//     lock-free for their whole execution (the pin itself is two short
+//     mutex-protected counter updates). They never wait for a writer.
+//   - Writers (serialized by the engine) prepare off to the side: BeginWrite
+//     first catches the spare replica up to the last committed state by
+//     replaying the captured mutation backlog (the same Mutation/Apply
+//     machinery the WAL uses), atomically publishes that replica as the read
+//     head, waits for readers still pinned to the primary to drain, and only
+//     then mutates the primary in place. New readers arriving during the
+//     write see the replica — the committed state as of the previous commit.
+//   - Publish (called at WAL group-commit, after the batch is appended)
+//     atomically republishes the primary, making the write visible to
+//     readers that pin afterwards. Readers still pinned to the replica
+//     finish undisturbed on their snapshot; the next BeginWrite waits for
+//     them before touching the replica again.
+//
+// The guarantee is snapshot isolation for readers (no dirty reads, repeatable
+// reads within a query) and, because writers fully serialize, no lost updates
+// and no write skew — the schedule is serializable. Write queries execute
+// against the primary, so they read their own earlier clauses' writes.
+//
+// The cost is one extra copy of the graph (built lazily at the first write)
+// and one extra application of every committed batch (the replica replay).
+// Read-mostly workloads — the target of this design — pay nothing beyond the
+// pin counters.
+type VersionedStore struct {
+	mu   sync.Mutex // guards everything below; held only for O(1) sections
+	cond *sync.Cond // signalled when a version's pin count drops to zero
+
+	// primary is the graph writers mutate in place; its identity is stable
+	// for the engine's lifetime (Engine.Graph() keeps returning it).
+	// replica is the spare version, nil until the first write materializes
+	// it; it is only ever mutated by backlog replay, never by queries.
+	primary *Graph
+	replica *Graph
+
+	// head is the published version (primary or replica) that new readers
+	// pin. Between writes it is always the primary; from BeginWrite to
+	// Publish it is the replica.
+	head *Graph
+
+	pinsPrimary int
+	pinsReplica int
+
+	// enabled flips when the replica is first materialized; until then
+	// Capture drops mutations (the clone captures them wholesale).
+	enabled bool
+	// backlog holds the committed-to-primary mutations the replica has not
+	// replayed yet — at steady state, exactly the previous write's batch.
+	backlog []Mutation
+
+	pins        uint64 // total Pin() calls
+	publishes   uint64 // versions published at commit
+	writerWaits uint64 // BeginWrite drain episodes that actually waited
+	rebuilds    uint64 // replica re-clones after a replay divergence
+}
+
+// NewVersionedStore creates a versioned store over the primary graph. No
+// replica is built until the first BeginWrite.
+func NewVersionedStore(primary *Graph) *VersionedStore {
+	vs := &VersionedStore{primary: primary, head: primary}
+	vs.cond = sync.NewCond(&vs.mu)
+	return vs
+}
+
+func (vs *VersionedStore) pinsOf(g *Graph) *int {
+	if g == vs.primary {
+		return &vs.pinsPrimary
+	}
+	return &vs.pinsReplica
+}
+
+// Pin returns the published version for a reader and registers the pin. The
+// returned graph is immutable until Unpin: writers wait for every pin on a
+// version to be released before mutating it. Pin never blocks beyond the
+// store's O(1) critical section.
+func (vs *VersionedStore) Pin() *Graph {
+	vs.mu.Lock()
+	g := vs.head
+	*vs.pinsOf(g)++
+	vs.pins++
+	vs.mu.Unlock()
+	return g
+}
+
+// Unpin releases a pin taken with Pin. The graph argument must be the value
+// Pin returned.
+func (vs *VersionedStore) Unpin(g *Graph) {
+	vs.mu.Lock()
+	p := vs.pinsOf(g)
+	*p--
+	if *p == 0 {
+		// A writer may be draining this version; wake it.
+		vs.cond.Broadcast()
+	}
+	vs.mu.Unlock()
+}
+
+// BeginWrite prepares the store for a write query and returns the graph the
+// writer must mutate (always the primary). Callers must serialize BeginWrite/
+// Publish pairs externally (the engine's write mutex). On return, the replica
+// — caught up to the last committed state — is published as the read head and
+// no reader holds a pin on the primary, so the writer may mutate it freely.
+func (vs *VersionedStore) BeginWrite() *Graph {
+	vs.mu.Lock()
+	if !vs.enabled {
+		// First write: materialize the replica. The clone only reads the
+		// primary, so concurrent readers keep running; no writer can race us
+		// (the caller serializes writes).
+		vs.mu.Unlock()
+		rep := vs.primary.Clone()
+		vs.mu.Lock()
+		vs.replica = rep
+		vs.enabled = true
+	}
+	// Drain readers still pinned to the replica from the previous write
+	// window. head is the primary here, so no new replica pins can arrive;
+	// the count only decreases.
+	if vs.pinsReplica > 0 {
+		vs.writerWaits++
+		for vs.pinsReplica > 0 {
+			vs.cond.Wait()
+		}
+	}
+	backlog := vs.backlog
+	vs.backlog = nil
+	vs.mu.Unlock()
+
+	// Catch the replica up to the committed state. Replay runs outside the
+	// store mutex: the replica is unpinned and unpublished, so nothing can
+	// observe the intermediate states.
+	healthy := true
+	for _, m := range backlog {
+		if err := vs.replica.Apply(m); err != nil {
+			healthy = false
+			break
+		}
+	}
+	// Replaying the primary's mutation stream must land the replica on the
+	// primary's exact epoch (both count the same mutations). A divergence
+	// means the stream was incomplete — e.g. a second engine re-installed
+	// the graph's mutation hook — and the replica can no longer be trusted:
+	// rebuild it from the primary.
+	if !healthy || vs.replica.Epoch() != vs.primary.Epoch() {
+		rep := vs.primary.Clone()
+		vs.mu.Lock()
+		vs.replica = rep
+		vs.rebuilds++
+		vs.mu.Unlock()
+	}
+
+	// Publish the replica as the read head, then wait for readers still on
+	// the primary to drain. New readers pin the replica from here on, so the
+	// primary's count only decreases; once it is zero the writer owns the
+	// primary exclusively (with respect to this store's discipline).
+	vs.mu.Lock()
+	vs.head = vs.replica
+	if vs.pinsPrimary > 0 {
+		vs.writerWaits++
+		for vs.pinsPrimary > 0 {
+			vs.cond.Wait()
+		}
+	}
+	vs.mu.Unlock()
+	return vs.primary
+}
+
+// Publish atomically republishes the primary as the read head, making the
+// write that just committed visible to readers that pin from now on. Readers
+// still pinned to the replica keep their snapshot until they finish.
+func (vs *VersionedStore) Publish() {
+	vs.mu.Lock()
+	vs.head = vs.primary
+	vs.publishes++
+	vs.mu.Unlock()
+}
+
+// Capture records one committed-to-primary mutation for later replica
+// replay. It is wired into the graph's mutation hook, so it runs inside the
+// primary's write lock in mutation order; it copies the record's live
+// references (label slice, property map) immediately, as the hook contract
+// requires. A no-op until the replica exists.
+func (vs *VersionedStore) Capture(m Mutation) {
+	vs.mu.Lock()
+	if vs.enabled {
+		vs.backlog = append(vs.backlog, m.copyForReplay())
+	}
+	vs.mu.Unlock()
+}
+
+// MVCCStats is a point-in-time view of the versioned store's counters,
+// exposed through cypher.Graph.MVCCStats and the serve /stats endpoint.
+type MVCCStats struct {
+	// Enabled reports whether the replica has been materialized (it is,
+	// after the first write query).
+	Enabled bool
+	// Versions is the number of retained graph versions (1 before the first
+	// write, 2 after).
+	Versions int
+	// PublishedEpoch is the mutation epoch of the currently published head —
+	// the version new readers pin.
+	PublishedEpoch uint64
+	// LiveEpoch is the primary's epoch; it runs ahead of PublishedEpoch
+	// while a write query is executing.
+	LiveEpoch uint64
+	// ActivePins is the number of readers currently pinning a version.
+	ActivePins int
+	// Pins counts Pin() calls since the engine was created.
+	Pins uint64
+	// Publishes counts committed version publishes.
+	Publishes uint64
+	// WriterDrainWaits counts the times a writer had to wait for readers to
+	// drain off a version before reusing it. Readers never wait; this is the
+	// price writers pay instead.
+	WriterDrainWaits uint64
+	// Rebuilds counts replica re-clones forced by a replay divergence
+	// (normally zero; non-zero means the mutation stream was incomplete).
+	Rebuilds uint64
+	// BacklogLen is the number of committed mutations the replica has not
+	// replayed yet.
+	BacklogLen int
+}
+
+// Stats returns the store's current counters.
+func (vs *VersionedStore) Stats() MVCCStats {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	versions := 1
+	if vs.enabled {
+		versions = 2
+	}
+	return MVCCStats{
+		Enabled:          vs.enabled,
+		Versions:         versions,
+		PublishedEpoch:   vs.head.Epoch(),
+		LiveEpoch:        vs.primary.Epoch(),
+		ActivePins:       vs.pinsPrimary + vs.pinsReplica,
+		Pins:             vs.pins,
+		Publishes:        vs.publishes,
+		WriterDrainWaits: vs.writerWaits,
+		Rebuilds:         vs.rebuilds,
+		BacklogLen:       len(vs.backlog),
+	}
+}

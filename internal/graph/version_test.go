@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+func TestCloneDeepCopy(t *testing.T) {
+	g := New()
+	a := g.CreateNode([]string{"Person"}, props("name", "Ada", "age", 36))
+	b := g.CreateNode([]string{"Person"}, props("name", "Bob"))
+	if _, err := g.CreateRelationship(a, b, "KNOWS", props("since", 1999)); err != nil {
+		t.Fatal(err)
+	}
+	g.CreateIndex("Person", "name")
+
+	c := g.Clone()
+	if c.Epoch() != g.Epoch() {
+		t.Fatalf("clone epoch = %d, want %d", c.Epoch(), g.Epoch())
+	}
+	if len(c.Nodes()) != 2 || len(c.Relationships()) != 1 {
+		t.Fatalf("clone has %d nodes / %d rels, want 2 / 1", len(c.Nodes()), len(c.Relationships()))
+	}
+	if got := c.Indexes(); len(got) != 1 || got[0] != [2]string{"Person", "name"} {
+		t.Fatalf("clone indexes = %v", got)
+	}
+	// Same identifiers, independent entities.
+	ca, ok := c.NodeByID(a.ID())
+	if !ok {
+		t.Fatalf("clone is missing node %d", a.ID())
+	}
+	if ca == a {
+		t.Fatalf("clone shares the node object with the source")
+	}
+	if got := ca.Property("name"); got != value.NewString("Ada") {
+		t.Fatalf("clone node name = %v", got)
+	}
+	// Clone's index answers queries.
+	if hits := c.NodesByLabelProperty("Person", "name", value.NewString("Ada")); len(hits) != 1 {
+		t.Fatalf("clone index lookup returned %d nodes", len(hits))
+	}
+	// ID counters carried over: new entities in the clone don't collide.
+	fresh := c.CreateNode(nil, nil)
+	if fresh.ID() == a.ID() || fresh.ID() == b.ID() {
+		t.Fatalf("clone reused id %d", fresh.ID())
+	}
+	// Mutating the source is invisible in the clone and vice versa.
+	if err := g.SetNodeProperty(a, "name", value.NewString("Alice")); err != nil {
+		t.Fatal(err)
+	}
+	if got := ca.Property("name"); got != value.NewString("Ada") {
+		t.Fatalf("source mutation leaked into clone: %v", got)
+	}
+}
+
+// newVersionedGraph wires a fresh graph to a VersionedStore the way the
+// engine does: the graph's mutation hook feeds the store's replay backlog.
+func newVersionedGraph() (*Graph, *VersionedStore) {
+	g := New()
+	vs := NewVersionedStore(g)
+	g.SetMutationHook(vs.Capture)
+	return g, vs
+}
+
+func TestVersionedStoreReadOnlyCostsNothing(t *testing.T) {
+	g, vs := newVersionedGraph()
+	g.CreateNode([]string{"Person"}, nil)
+
+	v := vs.Pin()
+	if v != g {
+		t.Fatalf("head before any write should be the primary")
+	}
+	vs.Unpin(v)
+
+	st := vs.Stats()
+	if st.Enabled || st.Versions != 1 {
+		t.Fatalf("replica materialized without a write: %+v", st)
+	}
+	if st.BacklogLen != 0 {
+		t.Fatalf("mutations captured before the replica exists: %+v", st)
+	}
+}
+
+func TestVersionedStoreWriteCycle(t *testing.T) {
+	g, vs := newVersionedGraph()
+	g.CreateNode([]string{"Person"}, props("name", "Ada"))
+
+	// First write: replica materializes, head moves off the primary.
+	target := vs.BeginWrite()
+	if target != g {
+		t.Fatalf("BeginWrite must return the primary")
+	}
+	mid := vs.Pin()
+	if mid == g {
+		t.Fatalf("reader pinned the primary while a writer owns it")
+	}
+	if mid.Epoch() != g.Epoch() {
+		t.Fatalf("published replica epoch %d != primary epoch %d", mid.Epoch(), g.Epoch())
+	}
+	// The write happens on the primary; the pinned snapshot must not see it.
+	n := g.CreateNode([]string{"Person"}, props("name", "Bob"))
+	if _, ok := mid.NodeByID(n.ID()); ok {
+		t.Fatalf("in-flight write visible through the pinned snapshot (dirty read)")
+	}
+	vs.Unpin(mid)
+	vs.Publish()
+
+	after := vs.Pin()
+	if after != g {
+		t.Fatalf("head after Publish should be the primary again")
+	}
+	vs.Unpin(after)
+
+	// Second write: backlog (Bob's create) replays into the replica, epochs
+	// stay in lockstep with no rebuild.
+	vs.BeginWrite()
+	rep := vs.Pin()
+	if rep.Epoch() != g.Epoch() {
+		t.Fatalf("replayed replica epoch %d != primary epoch %d", rep.Epoch(), g.Epoch())
+	}
+	if _, ok := rep.NodeByID(n.ID()); !ok {
+		t.Fatalf("previous commit missing from replayed replica")
+	}
+	vs.Unpin(rep)
+	vs.Publish()
+
+	st := vs.Stats()
+	if !st.Enabled || st.Versions != 2 {
+		t.Fatalf("stats = %+v, want enabled with 2 versions", st)
+	}
+	if st.Rebuilds != 0 {
+		t.Fatalf("healthy replay forced %d rebuilds", st.Rebuilds)
+	}
+	if st.Publishes != 2 {
+		t.Fatalf("publishes = %d, want 2", st.Publishes)
+	}
+	if st.BacklogLen != 0 {
+		t.Fatalf("backlog not drained: %+v", st)
+	}
+}
+
+func TestVersionedStoreWriterDrainsPinnedReaders(t *testing.T) {
+	g, vs := newVersionedGraph()
+	g.CreateNode(nil, nil)
+
+	// A reader pinned to the primary must stall BeginWrite (writers wait for
+	// readers, never the reverse).
+	v := vs.Pin()
+	began := make(chan struct{})
+	go func() {
+		vs.BeginWrite()
+		close(began)
+	}()
+	select {
+	case <-began:
+		t.Fatalf("BeginWrite returned while a reader was pinned to the primary")
+	case <-time.After(20 * time.Millisecond):
+	}
+	vs.Unpin(v)
+	select {
+	case <-began:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("BeginWrite did not resume after the pin was released")
+	}
+	vs.Publish()
+	if st := vs.Stats(); st.WriterDrainWaits == 0 {
+		t.Fatalf("drain wait not counted: %+v", st)
+	}
+}
+
+func TestVersionedStoreSelfHealsBrokenMutationStream(t *testing.T) {
+	g, vs := newVersionedGraph()
+	g.CreateNode(nil, nil)
+	vs.BeginWrite()
+	g.CreateNode(nil, nil)
+	vs.Publish()
+
+	// Sabotage the capture stream: mutations land on the primary without
+	// reaching the backlog (models a second engine re-installing the hook).
+	g.SetMutationHook(nil)
+	g.CreateNode(nil, nil)
+	g.SetMutationHook(vs.Capture)
+
+	vs.BeginWrite()
+	rep := vs.Pin()
+	if rep.Epoch() != g.Epoch() {
+		t.Fatalf("self-heal left replica at epoch %d, primary at %d", rep.Epoch(), g.Epoch())
+	}
+	if len(rep.Nodes()) != len(g.Nodes()) {
+		t.Fatalf("self-heal left replica with %d nodes, primary has %d", len(rep.Nodes()), len(g.Nodes()))
+	}
+	vs.Unpin(rep)
+	vs.Publish()
+	if st := vs.Stats(); st.Rebuilds != 1 {
+		t.Fatalf("rebuilds = %d, want 1", st.Rebuilds)
+	}
+}
+
+func TestCaptureCopiesLiveReferences(t *testing.T) {
+	// The hook contract says Labels/Props alias live store state; Capture
+	// must copy them before the mutator reuses the memory.
+	g, vs := newVersionedGraph()
+	g.CreateNode(nil, nil)
+	vs.BeginWrite() // materialize the replica so Capture starts recording
+	vs.Publish()
+
+	n := g.CreateNode([]string{"Person"}, props("name", "Ada"))
+	// Mutate the live property map after the create was captured.
+	if err := g.SetNodeProperty(n, "name", value.NewString("Alice")); err != nil {
+		t.Fatal(err)
+	}
+	vs.BeginWrite()
+	rep := vs.Pin()
+	rn, ok := rep.NodeByID(n.ID())
+	if !ok {
+		t.Fatalf("replica missing node %d", n.ID())
+	}
+	if got := rn.Property("name"); got != value.NewString("Alice") {
+		t.Fatalf("replayed node name = %v, want Alice (create then set)", got)
+	}
+	vs.Unpin(rep)
+	vs.Publish()
+}

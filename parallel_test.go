@@ -253,6 +253,117 @@ func TestParallelReadersWithWriters(t *testing.T) {
 	}
 }
 
+// TestMVCCChecksumHammer (PR 6) hammers the MVCC engine with reader
+// goroutines computing multi-query checksums while writer goroutines commit
+// invariant-preserving mutations. Every write preserves two invariants —
+// transfers keep the total balance constant, and :Even nodes are only
+// created two at a time — so EVERY committed version satisfies them. A
+// reader that tore across versions (saw half a transfer, or one node of a
+// pair) would break a checksum; snapshot isolation says each reader
+// iteration sees exactly one committed version, so the checksums must hold
+// on every single read. Meaningful under `go test -race`: morsel-parallel
+// read workers scan pinned versions while writers mutate the primary.
+func TestMVCCChecksumHammer(t *testing.T) {
+	g := NewWithOptions(Options{Parallelism: 4, MorselSize: 32})
+	const accounts = 200
+	const startBal = 100
+	g.MustRun("UNWIND range(0, $n - 1) AS i CREATE (:Acct {id: i, bal: $b})",
+		map[string]any{"n": accounts, "b": startBal})
+	const wantTotal = int64(accounts * startBal)
+
+	const (
+		readers    = 6
+		writers    = 3
+		iterations = 40
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+writers)
+	fail := func(format string, a ...any) {
+		select {
+		case errCh <- fmt.Errorf(format, a...):
+		default:
+		}
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				// The balance checksum: constant under every committed
+				// transfer, torn under any partial one.
+				res, err := g.Run("MATCH (a:Acct) RETURN sum(a.bal) AS total, count(a) AS n", nil)
+				if err != nil {
+					fail("reader %d: %v", r, err)
+					return
+				}
+				rec := res.Records()[0]
+				if rec["total"] != wantTotal || rec["n"] != int64(accounts) {
+					fail("reader %d iteration %d: torn read — total=%v n=%v, want total=%d n=%d",
+						r, i, rec["total"], rec["n"], wantTotal, accounts)
+					return
+				}
+				// The pair checksum: every committed version has an even
+				// number of :Even nodes.
+				res, err = g.Run("MATCH (e:Even) RETURN count(e) AS c", nil)
+				if err != nil {
+					fail("reader %d: %v", r, err)
+					return
+				}
+				if c := res.Records()[0]["c"].(int64); c%2 != 0 {
+					fail("reader %d iteration %d: saw %d :Even nodes (odd — half a committed pair)", r, i, c)
+					return
+				}
+			}
+		}(r)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				var err error
+				if w == 0 {
+					// Pair creator: both nodes in one query (one version).
+					_, err = g.Run("CREATE (:Even) CREATE (:Even)", nil)
+				} else {
+					// Transfer: move 1 between two accounts in one query.
+					from := (w*31 + i*7) % accounts
+					to := (from + 1 + i%17) % accounts
+					_, err = g.Run(
+						"MATCH (a:Acct {id: $from}) MATCH (b:Acct {id: $to}) SET a.bal = a.bal - 1 SET b.bal = b.bal + 1",
+						map[string]any{"from": from, "to": to})
+				}
+				if err != nil {
+					fail("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	// Final state: all transfers committed, total unchanged, all pairs whole.
+	res := g.MustRun("MATCH (a:Acct) RETURN sum(a.bal) AS total", nil)
+	if got := res.Records()[0]["total"]; got != wantTotal {
+		t.Errorf("final total = %v, want %d", got, wantTotal)
+	}
+	res = g.MustRun("MATCH (e:Even) RETURN count(e) AS c", nil)
+	if got := res.Records()[0]["c"]; got != int64(iterations*2) {
+		t.Errorf("final :Even count = %v, want %d", got, iterations*2)
+	}
+	stats := g.MVCCStats()
+	if !stats.Enabled || stats.Versions != 2 {
+		t.Errorf("hammer should leave MVCC enabled with 2 versions: %+v", stats)
+	}
+	if stats.ActivePins != 0 {
+		t.Errorf("pins leaked after hammer: %+v", stats)
+	}
+}
+
 // TestParallelSeekLeafByteIdentical (PR 5): index seeks in leaf position are
 // partitionable — a range-predicate query over an indexed label must run
 // morsel-parallel and produce byte-identical ORDER BY output (and identical
