@@ -21,6 +21,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/planner"
 	"repro/internal/refsem"
+	"repro/internal/storage"
 	"repro/internal/value"
 )
 
@@ -582,6 +583,139 @@ func BenchmarkReadLatencyUnderWrite(b *testing.B) {
 			}
 		}()
 		// Let the writer reach a mid-write steady state before measuring.
+		for g.MVCCStats().Publishes == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.Run(readQ, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
+}
+
+// --- Replication: follower apply throughput and read latency ---
+
+// junkBatch builds one replicated batch of n node creates with IDs starting
+// at base, mirroring what DecodeBatch hands the follower's apply loop.
+func junkBatch(base int64, n int) []graph.Mutation {
+	muts := make([]graph.Mutation, n)
+	for i := range muts {
+		muts[i] = graph.Mutation{
+			Kind: graph.MutCreateNode, ID: base + int64(i), Labels: []string{"Junk"},
+			Props: map[string]value.Value{"j": value.NewInt(int64(i))},
+		}
+	}
+	return muts
+}
+
+// followerGraph builds a read-only replica already holding the social
+// benchmark dataset, as if it had replicated it from a leader.
+func followerGraph(people, friends int) *Graph {
+	g := benchGraph(people, friends)
+	g.engine.SetFollowerOf("http://leader.invalid:7474")
+	return g
+}
+
+// BenchmarkFollowerApply measures the replication apply path — decode a
+// shipped WAL entry payload, run it through the engine's MVCC publish cycle —
+// while 4 readers continuously pin snapshots, the steady state of a read
+// replica serving traffic during catch-up. One op is one 100-record batch.
+func BenchmarkFollowerApply(b *testing.B) {
+	g := followerGraph(5000, 4)
+	const batchSize = 100
+	payload, err := storage.EncodeBatch(junkBatch(0, batchSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const readQ = "MATCH (p:Person) WHERE p.age > 30 RETURN count(p) AS c"
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := g.Run(readQ, nil); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	base := int64(1) << 40 // clear of every dataset-assigned node ID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		muts, err := storage.DecodeBatch(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range muts {
+			muts[j].ID = base + int64(j)
+		}
+		base += batchSize
+		if err := g.engine.ApplyReplicated(muts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(float64(batchSize)*float64(b.N)/b.Elapsed().Seconds(), "entries/sec")
+}
+
+// BenchmarkFollowerReadLatency compares read latency on an idle leader with
+// read latency on a follower that is continuously applying shipped batches at
+// a 50% duty cycle (the same discipline as BenchmarkReadLatencyUnderWrite:
+// without the duty cycle the measurement degenerates into CPU scheduling on
+// small runners). Follower reads pin a published MVCC version and never block
+// on apply, so CI gates follower-under-apply ≤ 2x leader-idle via
+// cypher-benchcmp -require-max-ratio.
+func BenchmarkFollowerReadLatency(b *testing.B) {
+	const readQ = "MATCH (p:Person) WHERE p.age > 30 RETURN count(p) AS c"
+
+	b.Run("leader-idle", func(b *testing.B) {
+		g := benchGraph(5000, 4)
+		runBenchQuery(b, g, readQ, nil)
+	})
+
+	b.Run("follower-under-apply", func(b *testing.B) {
+		g := followerGraph(5000, 4)
+		const batchSize = 2000
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := int64(1) << 40
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := time.Now()
+				if err := g.engine.ApplyReplicated(junkBatch(base, batchSize)); err != nil {
+					b.Error(err)
+					return
+				}
+				base += batchSize
+				time.Sleep(time.Since(start))
+			}
+		}()
 		for g.MVCCStats().Publishes == 0 {
 			time.Sleep(time.Millisecond)
 		}

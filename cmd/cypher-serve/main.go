@@ -7,10 +7,11 @@
 //
 // Endpoints:
 //
-//	POST /query    {"query": "...", "params": {...}} -> columns, rows, summary
-//	GET  /explain  ?q=<query>                        -> the compiled plan
-//	GET  /stats                                      -> graph + plan-cache stats
-//	GET  /healthz                                    -> 200 once serving
+//	POST /query             {"query": "...", "params": {...}} -> columns, rows, summary
+//	GET  /explain           ?q=<query>                        -> the compiled plan
+//	GET  /stats             -> graph + plan-cache + replication stats
+//	GET  /healthz           -> JSON {status, role, position, lag}; 503 on a failed follower
+//	POST /admin/checkpoint  -> force a snapshot + WAL truncation (durable only)
 //
 // With -data DIR the graph is durable: every write query is journaled to a
 // write-ahead log before its response is sent (fsync policy via -sync), the
@@ -19,10 +20,16 @@
 // snapshot plus WAL replay — before serving. A requested -dataset seeds the
 // store only when it is empty, so restarts keep accumulated writes.
 //
-// Example:
+// -role selects the replication mode. A leader additionally serves its WAL
+// as a replication stream under /repl; a follower tails the leader named by
+// -follow, serves reads from its own MVCC versions, and answers write
+// queries with 307 redirects to the leader's advertised address.
 //
-//	cypher-serve -addr :7474 -dataset social -size 10000 -data ./social-data
-//	curl -s localhost:7474/query -d '{"query": "MATCH (p:Person) RETURN count(*) AS c"}'
+// Example 3-node cluster:
+//
+//	cypher-serve -role leader   -addr :7474 -data ./leader-data
+//	cypher-serve -role follower -addr :7475 -data ./f1-data -follow http://127.0.0.1:7474
+//	cypher-serve -role follower -addr :7476 -data ./f2-data -follow http://127.0.0.1:7474
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -54,6 +62,9 @@ func main() {
 		dataDir     = flag.String("data", "", "data directory; enables WAL + snapshot persistence")
 		syncMode    = flag.String("sync", "always", "WAL fsync policy with -data: always, interval or none")
 		ckptEvery   = flag.Duration("checkpoint-every", 0, "with -data, checkpoint on this interval (0 = only on shutdown)")
+		role        = flag.String("role", "single", "replication role: single, leader or follower")
+		follow      = flag.String("follow", "", "with -role follower, the leader's base URL (e.g. http://127.0.0.1:7474)")
+		advertise   = flag.String("advertise", "", "with -role leader, the public base URL handed to followers (default derived from the listen address)")
 	)
 	flag.Parse()
 
@@ -74,14 +85,63 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-sync requires -data (an in-memory graph has no WAL to sync)")
 		os.Exit(2)
 	}
-	g, err := buildGraph(*dataset, *size, *parallelism, *dataDir, *syncMode)
+	switch *role {
+	case "single":
+		if *follow != "" {
+			fmt.Fprintln(os.Stderr, "-follow requires -role follower")
+			os.Exit(2)
+		}
+	case "leader":
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "-role leader requires -data (replication ships the WAL)")
+			os.Exit(2)
+		}
+		if *follow != "" {
+			fmt.Fprintln(os.Stderr, "-follow requires -role follower")
+			os.Exit(2)
+		}
+	case "follower":
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "-role follower requires -data (the stream is journaled locally)")
+			os.Exit(2)
+		}
+		if *follow == "" {
+			fmt.Fprintln(os.Stderr, "-role follower requires -follow <leader base URL>")
+			os.Exit(2)
+		}
+		if *dataset != "" && *dataset != "empty" {
+			fmt.Fprintln(os.Stderr, "-dataset cannot be used with -role follower (all data comes from the leader)")
+			os.Exit(2)
+		}
+		if *ckptEvery > 0 {
+			fmt.Fprintln(os.Stderr, "-checkpoint-every cannot be used with -role follower (only the leader truncates the stream)")
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -role %q (want single, leader or follower)\n", *role)
+		os.Exit(2)
+	}
+
+	// Bind before building the graph so the actual address (-addr :0 picks a
+	// free port) is known for logs and the advertise default.
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *advertise == "" {
+		*advertise = deriveAdvertise(ln.Addr())
+	}
+
+	g, err := buildGraph(*role, *follow, *dataset, *size, *parallelism, *dataDir, *syncMode)
+	if err != nil {
+		ln.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	s := g.Stats()
-	log.Printf("serving %s dataset (%d nodes, %d relationships) on %s, per-query parallelism %d",
-		*dataset, s.Nodes, s.Relationships, *addr, *parallelism)
+	log.Printf("serving %s dataset (%d nodes, %d relationships) on %s as %s, per-query parallelism %d",
+		*dataset, s.Nodes, s.Relationships, ln.Addr(), *role, *parallelism)
 	if ds, ok := g.DurabilityStats(); ok {
 		log.Printf("durable: dir=%s sync=%s generation=%d (recovered %d snapshot + %d WAL records%s)",
 			ds.Dir, ds.SyncMode, ds.Generation, ds.Recovery.SnapshotRecords, ds.Recovery.WALRecords,
@@ -89,16 +149,26 @@ func main() {
 	}
 
 	mux := http.NewServeMux()
-	srv := &server{graph: g, started: time.Now(), parallelism: *parallelism}
+	srv := &server{graph: g, role: *role, started: time.Now(), parallelism: *parallelism}
 	mux.HandleFunc("/query", srv.handleQuery)
 	mux.HandleFunc("/explain", srv.handleExplain)
 	mux.HandleFunc("/stats", srv.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", srv.handleHealthz)
+	mux.HandleFunc("/admin/checkpoint", srv.handleCheckpoint)
+	if *role == "leader" {
+		h, err := g.ReplicationHandler(*advertise)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		mux.Handle("/repl/", http.StripPrefix("/repl", h))
+		log.Printf("replication: serving /repl, advertising %s", *advertise)
+	}
+	if *role == "follower" {
+		log.Printf("replication: following %s", *follow)
+	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	httpSrv := &http.Server{Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -122,7 +192,7 @@ func main() {
 	}
 
 	go func() {
-		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
 	}()
@@ -135,13 +205,35 @@ func main() {
 		log.Printf("http shutdown: %v", err)
 	}
 	// Checkpoint so the next start recovers from a snapshot instead of
-	// replaying the whole WAL, then release the files.
-	if err := g.Checkpoint(); err != nil {
-		log.Printf("shutdown checkpoint: %v", err)
+	// replaying the whole WAL, then release the files. Followers skip this:
+	// their WAL must stay a byte-identical prefix of the leader's, and
+	// truncating it locally would fork the generation numbering.
+	if *role != "follower" {
+		if err := g.Checkpoint(); err != nil {
+			log.Printf("shutdown checkpoint: %v", err)
+		}
 	}
 	if err := g.Close(); err != nil {
 		log.Printf("close: %v", err)
 	}
+}
+
+// deriveAdvertise turns the bound listen address into a client-reachable base
+// URL: a wildcard host (":7474", "0.0.0.0", "::") becomes 127.0.0.1, which is
+// right for single-machine clusters and tests; multi-host deployments set
+// -advertise explicitly.
+func deriveAdvertise(a net.Addr) string {
+	host, port := "127.0.0.1", "7474"
+	if tcp, ok := a.(*net.TCPAddr); ok {
+		port = fmt.Sprint(tcp.Port)
+		if ip := tcp.IP; len(ip) > 0 && !ip.IsUnspecified() {
+			host = ip.String()
+			if ip.To4() == nil {
+				host = "[" + host + "]"
+			}
+		}
+	}
+	return "http://" + host + ":" + port
 }
 
 func tornNote(torn bool) string {
@@ -151,7 +243,7 @@ func tornNote(torn bool) string {
 	return ""
 }
 
-func buildGraph(dataset string, size, parallelism int, dataDir, syncMode string) (*cypher.Graph, error) {
+func buildGraph(role, follow, dataset string, size, parallelism int, dataDir, syncMode string) (*cypher.Graph, error) {
 	opts := cypher.Options{Parallelism: parallelism}
 
 	// Validate the dataset name up front: on a non-virgin durable directory
@@ -159,6 +251,15 @@ func buildGraph(dataset string, size, parallelism int, dataDir, syncMode string)
 	// accepted (and then seed on some later virgin restart).
 	if !datasetKnown(dataset) {
 		return nil, errUnknownDataset(dataset)
+	}
+
+	if role == "follower" {
+		mode, err := cypher.ParseSyncMode(syncMode)
+		if err != nil {
+			return nil, err
+		}
+		opts.SyncMode = mode
+		return cypher.OpenFollower(dataDir, follow, opts)
 	}
 
 	if dataDir != "" {
@@ -248,6 +349,7 @@ func datasetStore(dataset string, size int) (*graph.Graph, error) {
 
 type server struct {
 	graph       *cypher.Graph
+	role        string
 	started     time.Time
 	parallelism int
 }
@@ -283,6 +385,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := s.graph.Run(req.Query, req.Params)
 	if err != nil {
+		var ro *cypher.ReadOnlyReplicaError
+		if errors.As(err, &ro) {
+			// A follower cannot commit; point the client at the leader. 307
+			// preserves the method and body, so a client that follows
+			// redirects replays the same POST there.
+			w.Header().Set("Location", ro.Leader+"/query")
+			httpError(w, http.StatusTemporaryRedirect, "%v", err)
+			return
+		}
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
@@ -318,6 +429,58 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"query": q, "plan": plan})
+}
+
+// handleHealthz reports liveness plus the node's replication position: role,
+// the last applied WAL offset and — on a follower — lag behind the leader.
+// A failed follower (unrecoverable divergence) answers 503 so load balancers
+// stop routing reads to a stale replica.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]any{
+		"status": "ok",
+		"role":   s.role,
+	}
+	status := http.StatusOK
+	if rs, ok := s.graph.ReplicationStats(); ok {
+		out["state"] = rs.State
+		out["position"] = rs.Local
+		if rs.Role == "follower" {
+			out["lagEntries"] = rs.LagEntries
+			out["lagBytes"] = rs.LagBytes
+			if rs.State == "failed" {
+				out["status"] = "failed"
+				out["error"] = rs.LastError
+				status = http.StatusServiceUnavailable
+			}
+		}
+	} else if ds, ok := s.graph.DurabilityStats(); ok {
+		out["position"] = map[string]any{"gen": ds.Generation, "offset": ds.WALSizeBytes}
+	}
+	writeJSON(w, status, out)
+}
+
+// handleCheckpoint forces a snapshot + WAL truncation. Exposed so operators
+// (and the replication CI harness) can push the stream past a stopped
+// follower's position on demand.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST to checkpoint")
+		return
+	}
+	if s.role == "follower" {
+		httpError(w, http.StatusForbidden, "a follower does not checkpoint; its log mirrors the leader's")
+		return
+	}
+	if _, ok := s.graph.DurabilityStats(); !ok {
+		httpError(w, http.StatusConflict, "not a durable graph (start with -data)")
+		return
+	}
+	if err := s.graph.Checkpoint(); err != nil {
+		httpError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	ds, _ := s.graph.DurabilityStats()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "generation": ds.Generation})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -358,8 +521,45 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"selectivity":  sel,
 		})
 	}
+	replication := map[string]any{"enabled": false, "role": s.role}
+	if rs, ok := s.graph.ReplicationStats(); ok {
+		replication = map[string]any{
+			"enabled":  true,
+			"role":     rs.Role,
+			"state":    rs.State,
+			"position": rs.Local,
+		}
+		switch rs.Role {
+		case "leader":
+			followers := make([]map[string]any, 0, len(rs.Followers))
+			for _, fs := range rs.Followers {
+				followers = append(followers, map[string]any{
+					"remote":         fs.Remote,
+					"sent":           fs.Sent,
+					"connectedSince": fs.ConnectedSince.UTC().Format(time.RFC3339),
+				})
+			}
+			replication["advertise"] = rs.Advertise
+			replication["followers"] = followers
+			replication["streamedEntries"] = rs.StreamedEntries
+			replication["streamedBytes"] = rs.StreamedBytes
+			replication["snapshotsServed"] = rs.SnapshotsServed
+		case "follower":
+			replication["leader"] = rs.Leader
+			replication["leaderPosition"] = rs.LeaderPos
+			replication["lagEntries"] = rs.LagEntries
+			replication["lagBytes"] = rs.LagBytes
+			replication["appliedBatches"] = rs.AppliedBatches
+			replication["appliedRecords"] = rs.AppliedRecords
+			replication["appliedBytes"] = rs.AppliedBytes
+			replication["snapshotCatchups"] = rs.SnapshotCatchups
+			replication["reconnects"] = rs.Reconnects
+			replication["lastError"] = rs.LastError
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"durability": durability,
+		"durability":  durability,
+		"replication": replication,
 		"graph": map[string]any{
 			"nodes":         gs.Nodes,
 			"relationships": gs.Relationships,

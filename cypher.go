@@ -19,9 +19,11 @@ package cypher
 
 import (
 	"fmt"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/replica"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -74,6 +76,19 @@ type DurabilityStats = storage.Stats
 // MVCCStats reports the engine's version/pin counters; see Graph.MVCCStats.
 type MVCCStats = graph.MVCCStats
 
+// ReplicationStats reports a node's replication side — stream positions,
+// lag, sessions; see Graph.ReplicationStats.
+type ReplicationStats = replica.Stats
+
+// ReplicationPosition locates a point in the replication stream (WAL
+// generation, byte offset, entry count).
+type ReplicationPosition = storage.Position
+
+// ReadOnlyReplicaError is returned when a write query is sent to a follower
+// graph; Leader carries the advertised address writes belong at. Serving
+// layers typically turn it into an HTTP redirect.
+type ReadOnlyReplicaError = core.ReadOnlyReplicaError
+
 // Options configures a Graph.
 type Options struct {
 	// Name is the graph's name (useful with multiple graphs); defaults to
@@ -113,6 +128,13 @@ type Options struct {
 type Graph struct {
 	store  *graph.Graph
 	engine *core.Engine
+	// leader is non-nil once ReplicationHandler has been called: this graph
+	// serves its WAL as a replication stream.
+	leader *replica.Leader
+	// follower is non-nil for graphs opened with OpenFollower: a background
+	// tailer keeps the graph converged with its leader and the engine rejects
+	// write queries.
+	follower *replica.Follower
 }
 
 // New creates an empty in-memory graph with default options.
@@ -159,10 +181,80 @@ func Open(dir string, opts Options) (*Graph, error) {
 	return g, nil
 }
 
+// OpenFollower opens dir as a read-only replica of the leader at the given
+// base URL (e.g. "http://10.0.0.1:7474") and starts tailing its replication
+// stream in the background. An existing follower directory is recovered first
+// (snapshot + local WAL replay) and streaming resumes from the recovered
+// position; a fresh directory replicates from the beginning, downloading a
+// whole snapshot when the leader has already truncated its early history.
+//
+// Read queries run against the follower's local MVCC versions and never block
+// on apply. Write queries fail with *ReadOnlyReplicaError carrying the
+// leader's advertised address. Close stops the tailer and releases the
+// directory.
+func OpenFollower(dir, leader string, opts Options) (*Graph, error) {
+	name := opts.Name
+	if name == "" {
+		name = "graph"
+	}
+	store := graph.NewNamed(name)
+	fstore, err := storage.OpenFollower(dir, store, storage.Options{SyncMode: opts.SyncMode})
+	if err != nil {
+		return nil, err
+	}
+	opts.DataDir = ""
+	g := Wrap(store, opts)
+	g.engine.SetFollowerOf(leader)
+	g.follower = replica.NewFollower(replica.FollowerConfig{
+		Leader: leader,
+		Engine: g.engine,
+		Store:  fstore,
+	})
+	g.follower.Start()
+	return g, nil
+}
+
+// ReplicationHandler turns a durable graph into a replication leader and
+// returns the handler serving the stream endpoints; mount it under /repl:
+//
+//	mux.Handle("/repl/", http.StripPrefix("/repl", handler))
+//
+// advertise is the leader's public base URL, handed to followers so they can
+// redirect rejected writes here. It errors on a non-durable graph (there is
+// no WAL to ship) and on a follower (chained replication is not supported).
+func (g *Graph) ReplicationHandler(advertise string) (http.Handler, error) {
+	if g.follower != nil {
+		return nil, fmt.Errorf("cypher: a follower cannot serve replication")
+	}
+	d := g.engine.Durability()
+	if d == nil {
+		return nil, fmt.Errorf("cypher: replication requires a durable graph (use Open)")
+	}
+	g.leader = replica.NewLeader(d, advertise)
+	return g.leader.Handler(), nil
+}
+
+// ReplicationStats reports this node's replication side; ok is false when the
+// graph neither serves replication nor follows a leader.
+func (g *Graph) ReplicationStats() (stats ReplicationStats, ok bool) {
+	switch {
+	case g.follower != nil:
+		return g.follower.Stats(), true
+	case g.leader != nil:
+		return g.leader.Stats(), true
+	}
+	return ReplicationStats{}, false
+}
+
 // Close flushes and syncs the write-ahead log and releases the data
-// directory. It is a no-op (nil) for in-memory graphs. The graph must not be
-// used afterwards.
-func (g *Graph) Close() error { return g.engine.Close() }
+// directory. On a follower it first stops the replication tailer. It is a
+// no-op (nil) for in-memory graphs. The graph must not be used afterwards.
+func (g *Graph) Close() error {
+	if g.follower != nil {
+		return g.follower.Stop() // closes the follower store too
+	}
+	return g.engine.Close()
+}
 
 // Checkpoint writes a point-in-time snapshot of a durable graph and
 // truncates its write-ahead log; recovery afterwards loads the snapshot

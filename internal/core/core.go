@@ -98,6 +98,13 @@ type Engine struct {
 	// crash-recovery tests (kill the process in the append/publish window)
 	// and a natural tap point for future replication. Set before sharing.
 	commitHook func()
+
+	// followerOf, when non-empty, marks this engine as a read-only replica:
+	// write queries are rejected with a ReadOnlyReplicaError pointing at
+	// this leader address, and mutations arrive only through
+	// ApplyReplicated/ResetReplicated (see replicate.go). Set before
+	// sharing.
+	followerOf string
 }
 
 // NewEngine creates an engine over the graph. It installs itself as the
@@ -177,6 +184,9 @@ func (e *Engine) Close() error {
 // CreateIndex declares a property index under the engine's write discipline,
 // journaling and publishing it like any other mutation.
 func (e *Engine) CreateIndex(label, property string) error {
+	if err := e.readOnlyErr(); err != nil {
+		return err
+	}
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
 	e.versions.BeginWrite()
@@ -205,6 +215,9 @@ func (e *Engine) commitDurable() error {
 // since partially-imported entities are already visible in memory and the
 // WAL must mirror them (the same no-rollback contract as Run).
 func (e *Engine) ImportFrom(src *graph.Graph) error {
+	if err := e.readOnlyErr(); err != nil {
+		return err
+	}
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
 	e.versions.BeginWrite()
@@ -307,6 +320,10 @@ func (e *Engine) Run(query string, params map[string]value.Value) (*Result, erro
 		v := e.versions.Pin()
 		defer e.versions.Unpin(v)
 		return e.runOn(v, query, q, params)
+	}
+	// Followers serve reads only; the write belongs on the leader.
+	if err := e.readOnlyErr(); err != nil {
+		return nil, err
 	}
 	// The locked section runs in a closure so its deferred Publish/Unlock
 	// also fire on a panic — a manual Unlock after a panicking query would

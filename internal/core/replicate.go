@@ -1,0 +1,123 @@
+// Replication wiring: the apply side of WAL shipping. A follower engine
+// never executes write queries; instead the replication tailer feeds it the
+// leader's committed batches through ApplyReplicated, which drives them
+// through the same BeginWrite → mutate → Publish cycle a local write query
+// uses. Readers on a follower therefore keep the full MVCC contract — they
+// pin a published immutable version and never block on (or observe a torn
+// prefix of) an in-flight apply — and the plan cache keeps working
+// unchanged, because each applied batch advances the published epoch exactly
+// like a local commit would.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ReadOnlyReplicaError rejects a write on a follower engine. It carries the
+// leader's advertised address so serving layers can redirect the client.
+type ReadOnlyReplicaError struct {
+	// Leader is the advertised address writes should be sent to.
+	Leader string
+}
+
+func (e *ReadOnlyReplicaError) Error() string {
+	if e.Leader == "" {
+		return "core: this graph is a read-only replica"
+	}
+	return fmt.Sprintf("core: this graph is a read-only replica; send writes to the leader at %s", e.Leader)
+}
+
+// SetFollowerOf marks the engine as a read-only replica of the leader at the
+// given advertised address: write queries, index creation and imports are
+// rejected with a *ReadOnlyReplicaError from here on, leaving
+// ApplyReplicated/ResetReplicated as the only mutation paths. Call before
+// the engine is shared between goroutines.
+func (e *Engine) SetFollowerOf(leader string) { e.followerOf = leader }
+
+// FollowerOf returns the leader address set by SetFollowerOf, or "".
+func (e *Engine) FollowerOf() string { return e.followerOf }
+
+// readOnlyErr returns the rejection for mutating operations on a follower,
+// or nil on a normal engine.
+func (e *Engine) readOnlyErr() error {
+	if e.followerOf != "" {
+		return &ReadOnlyReplicaError{Leader: e.followerOf}
+	}
+	return nil
+}
+
+// ApplyReplicated applies one committed batch from the replication stream:
+// the decoded mutations of exactly one leader WAL entry. It runs the full
+// write cycle — catch the spare version up, publish it as read head, drain
+// pins off the primary, apply, republish — so concurrent readers only ever
+// see the graph before or after the whole batch, never mid-batch, and each
+// mutation is Captured into the MVCC backlog so the next cycle's replica
+// replay stays in epoch lockstep (no defensive re-clone per batch).
+//
+// The caller is responsible for having journaled the entry locally first
+// (durability precedes visibility, the same ordering the leader's commit
+// path uses).
+func (e *Engine) ApplyReplicated(batch []graph.Mutation) error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	target := e.versions.BeginWrite()
+	defer e.versions.Publish()
+	for _, m := range batch {
+		if err := target.Apply(m); err != nil {
+			// Deterministic replay of a leader-committed batch cannot
+			// legally fail; if it does, the replica has diverged and must
+			// not keep serving (the tailer fail-stops on this error).
+			return fmt.Errorf("apply replicated batch: %w", err)
+		}
+		e.versions.Capture(m)
+	}
+	return nil
+}
+
+// ResetReplicated replaces the graph's entire contents with a shipped
+// snapshot image (catch-up after the leader truncated the stream past this
+// follower's position). It executes as one atomic replicated batch: readers
+// pinned to the pre-reset version finish on it undisturbed, and the rebuilt
+// state becomes visible in a single publish. The image's mutations must be
+// in snapshot order (indexes, then nodes, then relationships).
+func (e *Engine) ResetReplicated(image []graph.Mutation, nextNode, nextRel int64) error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	target := e.versions.BeginWrite()
+	defer e.versions.Publish()
+
+	apply := func(m graph.Mutation) error {
+		if err := target.Apply(m); err != nil {
+			return fmt.Errorf("reset replica from snapshot: %w", err)
+		}
+		e.versions.Capture(m)
+		return nil
+	}
+	// Tear down in dependency order: relationships, then nodes, then
+	// indexes — through the same Apply primitives, so the MVCC capture
+	// stream stays complete.
+	for _, r := range target.Relationships() {
+		if err := apply(graph.Mutation{Kind: graph.MutDeleteRel, ID: r.ID()}); err != nil {
+			return err
+		}
+	}
+	for _, n := range target.Nodes() {
+		if err := apply(graph.Mutation{Kind: graph.MutDeleteNode, ID: n.ID()}); err != nil {
+			return err
+		}
+	}
+	for _, idx := range target.Indexes() {
+		if err := apply(graph.Mutation{Kind: graph.MutDropIndex, Label: idx[0], Key: idx[1]}); err != nil {
+			return err
+		}
+	}
+	for _, m := range image {
+		if err := apply(m); err != nil {
+			return err
+		}
+	}
+	target.SetIDCounters(nextNode, nextRel)
+	return nil
+}

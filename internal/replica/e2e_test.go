@@ -1,0 +1,335 @@
+package replica_test
+
+// End-to-end replication harness: builds the real cypher-serve binary, boots
+// a leader and two followers as separate OS processes, and drives the
+// scenarios the CI replication job gates on — convergence to byte-identical
+// query results, SIGKILL + restart with WAL-offset resume, and leader
+// truncation forcing snapshot catch-up.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildServe compiles cmd/cypher-serve once per test run.
+func buildServe(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cypher-serve")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/cypher-serve")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build cypher-serve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}
+
+// freeAddr reserves an ephemeral port and releases it for the server to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// node is one cypher-serve process.
+type node struct {
+	t    *testing.T
+	bin  string
+	addr string
+	dir  string
+	args []string
+	cmd  *exec.Cmd
+	logs *bytes.Buffer
+}
+
+func startNode(t *testing.T, bin, addr, dir string, extra ...string) *node {
+	t.Helper()
+	n := &node{t: t, bin: bin, addr: addr, dir: dir, args: extra, logs: &bytes.Buffer{}}
+	n.start()
+	t.Cleanup(func() { n.kill() })
+	return n
+}
+
+func (n *node) start() {
+	n.t.Helper()
+	args := append([]string{"-addr", n.addr, "-data", n.dir}, n.args...)
+	n.cmd = exec.Command(n.bin, args...)
+	n.cmd.Stdout = n.logs
+	n.cmd.Stderr = n.logs
+	if err := n.cmd.Start(); err != nil {
+		n.t.Fatalf("start %s: %v", n.addr, err)
+	}
+	n.waitHealthy()
+}
+
+// kill SIGKILLs the process — no graceful shutdown, no final checkpoint —
+// exactly what a crashed node looks like.
+func (n *node) kill() {
+	if n.cmd != nil && n.cmd.Process != nil {
+		n.cmd.Process.Kill()
+		n.cmd.Wait()
+		n.cmd = nil
+	}
+}
+
+func (n *node) url() string { return "http://" + n.addr }
+
+func (n *node) waitHealthy() {
+	n.t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(n.url() + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	n.t.Fatalf("node %s never became healthy; logs:\n%s", n.addr, n.logs.String())
+}
+
+// query POSTs one Cypher query and returns the raw response body and status.
+func (n *node) query(q string) (int, []byte) {
+	n.t.Helper()
+	client := &http.Client{
+		// Do not follow redirects: the follower's 307 IS the assertion.
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+	body, _ := json.Marshal(map[string]any{"query": q})
+	resp, err := client.Post(n.url()+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		n.t.Fatalf("query %s on %s: %v", q, n.addr, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+func (n *node) mustQuery(q string) []byte {
+	n.t.Helper()
+	status, body := n.query(q)
+	if status != http.StatusOK {
+		n.t.Fatalf("query %s on %s: status %d: %s", q, n.addr, status, body)
+	}
+	return body
+}
+
+// resultData reduces a query response to its data — columns and rows,
+// re-marshaled deterministically — dropping per-request fields (timings).
+// "Byte-identical results" means these bytes.
+func (n *node) resultData(q string) []byte {
+	n.t.Helper()
+	var res struct {
+		Columns json.RawMessage `json:"columns"`
+		Rows    json.RawMessage `json:"rows"`
+		Count   int             `json:"count"`
+	}
+	if err := json.Unmarshal(n.mustQuery(q), &res); err != nil {
+		n.t.Fatalf("decode query response: %v", err)
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	return out
+}
+
+// replStats is the /stats replication section.
+type replStats struct {
+	Role     string `json:"role"`
+	State    string `json:"state"`
+	Position struct {
+		Gen    uint64 `json:"gen"`
+		Offset int64  `json:"offset"`
+		Seq    uint64 `json:"seq"`
+	} `json:"position"`
+	LagEntries       int64  `json:"lagEntries"`
+	LagBytes         int64  `json:"lagBytes"`
+	SnapshotCatchups uint64 `json:"snapshotCatchups"`
+	Reconnects       uint64 `json:"reconnects"`
+	LastError        string `json:"lastError"`
+}
+
+func (n *node) replication() replStats {
+	n.t.Helper()
+	resp, err := http.Get(n.url() + "/stats")
+	if err != nil {
+		n.t.Fatalf("stats on %s: %v", n.addr, err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Replication replStats `json:"replication"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		n.t.Fatalf("decode stats: %v", err)
+	}
+	return out.Replication
+}
+
+// waitConverged polls until the follower's position equals the leader's and
+// its reported lag is zero.
+func waitConverged(t *testing.T, leader, follower *node) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		ls, fs := leader.replication(), follower.replication()
+		if ls.Position == fs.Position && fs.LagEntries == 0 && fs.LagBytes == 0 {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("follower %s never converged: leader %+v, follower %+v\nfollower logs:\n%s",
+		follower.addr, leader.replication(), follower.replication(), follower.logs.String())
+}
+
+const checkQuery = `MATCH (d:Doc) RETURN d.rev ORDER BY d.rev`
+
+func TestClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e harness; skipped in -short")
+	}
+	bin := buildServe(t)
+
+	leaderAddr := freeAddr(t)
+	leader := startNode(t, bin, leaderAddr, t.TempDir(), "-role", "leader")
+	f1 := startNode(t, bin, freeAddr(t), t.TempDir(), "-role", "follower", "-follow", leader.url())
+	f2 := startNode(t, bin, freeAddr(t), t.TempDir(), "-role", "follower", "-follow", leader.url())
+
+	// Drive writes at the leader and wait for both followers to catch up.
+	for i := 1; i <= 20; i++ {
+		leader.mustQuery(fmt.Sprintf(`CREATE (:Doc {rev: %d})`, i))
+	}
+	waitConverged(t, leader, f1)
+	waitConverged(t, leader, f2)
+
+	// All three nodes answer the same query byte-identically.
+	want := leader.resultData(checkQuery)
+	for _, f := range []*node{f1, f2} {
+		if got := f.resultData(checkQuery); !bytes.Equal(got, want) {
+			t.Fatalf("follower %s diverges from leader:\nleader:   %s\nfollower: %s", f.addr, want, got)
+		}
+	}
+
+	// A write sent to a follower is redirected (307 + Location) to the leader.
+	status, _ := f1.query(`CREATE (:Doc {rev: 999})`)
+	if status != http.StatusTemporaryRedirect {
+		t.Fatalf("follower write status %d, want 307", status)
+	}
+
+	// --- Crash and WAL-offset resume -----------------------------------
+	// SIGKILL follower 1 mid-stream, keep writing, restart it over the same
+	// directory: it must resume from its durable WAL offset (no snapshot).
+	f1.kill()
+	for i := 21; i <= 30; i++ {
+		leader.mustQuery(fmt.Sprintf(`CREATE (:Doc {rev: %d})`, i))
+	}
+	f1.start()
+	waitConverged(t, leader, f1)
+	if rs := f1.replication(); rs.SnapshotCatchups != 0 {
+		t.Fatalf("restarted follower used %d snapshot catch-ups, want 0 (WAL resume)", rs.SnapshotCatchups)
+	}
+	if got := f1.resultData(checkQuery); !bytes.Equal(got, leader.resultData(checkQuery)) {
+		t.Fatalf("follower 1 diverges after restart")
+	}
+
+	// --- Truncation and snapshot catch-up ------------------------------
+	// Kill follower 2, write more, force a leader checkpoint (truncates the
+	// WAL generation follower 2 is parked in), restart it: the 410 path must
+	// install a whole snapshot.
+	f2.kill()
+	for i := 31; i <= 40; i++ {
+		leader.mustQuery(fmt.Sprintf(`CREATE (:Doc {rev: %d})`, i))
+	}
+	resp, err := http.Post(leader.url()+"/admin/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatalf("force checkpoint: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status %d", resp.StatusCode)
+	}
+	f2.start()
+	waitConverged(t, leader, f2)
+	if rs := f2.replication(); rs.SnapshotCatchups < 1 {
+		t.Fatalf("follower 2 snapshot catch-ups = %d, want >= 1", rs.SnapshotCatchups)
+	}
+	if got := f2.resultData(checkQuery); !bytes.Equal(got, leader.resultData(checkQuery)) {
+		t.Fatalf("follower 2 diverges after snapshot catch-up")
+	}
+
+	// Zero lag at convergence is already asserted by waitConverged; check the
+	// health endpoint agrees and reports the follower role.
+	hr, err := http.Get(f2.url() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status     string `json:"status"`
+		Role       string `json:"role"`
+		LagEntries int64  `json:"lagEntries"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if health.Status != "ok" || health.Role != "follower" || health.LagEntries != 0 {
+		t.Fatalf("healthz = %+v", health)
+	}
+}
+
+// TestServeFlagValidation covers the role flag matrix without booting a
+// cluster: invalid combinations must exit non-zero with a pointed message.
+func TestServeFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes; skipped in -short")
+	}
+	bin := buildServe(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-role", "leader"}, "requires -data"},
+		{[]string{"-role", "follower", "-data", "x"}, "requires -follow"},
+		{[]string{"-role", "follower"}, "requires -data"},
+		{[]string{"-role", "chief"}, "unknown -role"},
+		{[]string{"-role", "single", "-follow", "http://x"}, "-follow requires -role follower"},
+		{[]string{"-role", "follower", "-data", "x", "-follow", "http://x", "-dataset", "social"}, "-dataset cannot"},
+		{[]string{"-role", "follower", "-data", "x", "-follow", "http://x", "-checkpoint-every", "1m"}, "-checkpoint-every cannot"},
+	}
+	for _, tc := range cases {
+		cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, tc.args...)...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			cmd.Process.Kill()
+			t.Errorf("args %v: expected a validation exit, server started", tc.args)
+			continue
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("args %v: output %q does not contain %q", tc.args, out, tc.want)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// FollowerConfig configures a Follower.
+type FollowerConfig struct {
+	// Leader is the leader's base URL (scheme://host:port); the replication
+	// endpoints are expected under Leader + "/repl".
+	Leader string
+	// Engine is the local read-only engine batches are applied through.
+	Engine *core.Engine
+	// Store is the local durable log the stream is journaled into. The
+	// follower owns it after Start: Stop closes it.
+	Store *storage.FollowerStore
+
+	// HeartbeatTimeout declares the stream dead when no frame (entry or
+	// heartbeat) arrives for this long; default 15s.
+	HeartbeatTimeout time.Duration
+	// BackoffMin/BackoffMax bound the exponential reconnect backoff;
+	// defaults 100ms / 5s. Each delay gets ±50% jitter so a fleet of
+	// followers does not reconnect in lockstep.
+	BackoffMin, BackoffMax time.Duration
+
+	// Logf logs follower lifecycle events; default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Follower tails a leader's replication stream: journal each shipped entry
+// into the local WAL (durability first), apply it through the engine's MVCC
+// publish cycle (visibility second), and reconnect from the last durable
+// offset — with exponential backoff plus jitter — whenever the stream dies.
+// When the leader has truncated past this follower's position it falls back
+// to downloading and installing a whole snapshot.
+type Follower struct {
+	cfg    FollowerConfig
+	client *http.Client
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	state     string
+	leaderPos storage.Position
+	lastErr   string
+
+	reconnects atomic.Uint64
+	catchups   atomic.Uint64
+
+	// lastFrame is the unix-nano arrival time of the newest frame, fed to
+	// the liveness watchdog.
+	lastFrame atomic.Int64
+}
+
+// NewFollower creates a follower; call Start to begin tailing.
+func NewFollower(cfg FollowerConfig) *Follower {
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 15 * time.Second
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Follower{
+		cfg:    cfg,
+		client: &http.Client{}, // no global timeout: /stream is long-lived
+		ctx:    ctx,
+		cancel: cancel,
+		state:  StateConnecting,
+	}
+}
+
+// Start launches the tail loop.
+func (f *Follower) Start() {
+	f.wg.Add(1)
+	go f.run()
+}
+
+// Stop terminates the tail loop and closes the local store. Safe to call
+// more than once.
+func (f *Follower) Stop() error {
+	f.cancel()
+	f.wg.Wait()
+	f.mu.Lock()
+	if f.state != StateFailed {
+		f.state = StateStopped
+	}
+	f.mu.Unlock()
+	return f.cfg.Store.Close()
+}
+
+// run is the reconnect loop: stream until the connection dies, then retry
+// from the last durable position with jittered exponential backoff. A 410
+// from the leader switches to snapshot catch-up; a few errors are terminal
+// (local log divergence, apply failure, follower-ahead) and fail-stop the
+// tailer so a stale replica cannot masquerade as healthy.
+func (f *Follower) run() {
+	defer f.wg.Done()
+	backoff := f.cfg.BackoffMin
+	first := true
+	for f.ctx.Err() == nil {
+		if !first {
+			f.reconnects.Add(1)
+		}
+		first = false
+
+		err := f.streamOnce()
+		if f.ctx.Err() != nil {
+			return
+		}
+		switch {
+		case err == nil:
+			// Clean server-side end (leader shutdown); retry.
+		case errors.Is(err, errTruncated):
+			f.setState(StateSnapshot, "")
+			if cerr := f.snapshotCatchup(); cerr == nil {
+				f.catchups.Add(1)
+				backoff = f.cfg.BackoffMin
+				continue
+			} else if f.ctx.Err() == nil {
+				f.cfg.Logf("replica: snapshot catch-up failed: %v", cerr)
+				f.setState(StateConnecting, cerr.Error())
+			}
+		case errors.Is(err, errFatal):
+			f.setState(StateFailed, err.Error())
+			f.cfg.Logf("replica: FATAL, follower stopped: %v", err)
+			return
+		default:
+			f.setState(StateConnecting, err.Error())
+			f.cfg.Logf("replica: stream interrupted: %v (retrying in ~%v)", err, backoff)
+		}
+
+		// Jittered exponential backoff: delay in [0.5b, 1.5b].
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		select {
+		case <-f.ctx.Done():
+			return
+		case <-time.After(d):
+		}
+		backoff *= 2
+		if backoff > f.cfg.BackoffMax {
+			backoff = f.cfg.BackoffMax
+		}
+	}
+}
+
+// Sentinel causes for the run loop.
+var (
+	// errTruncated: the leader no longer has this follower's position
+	// (HTTP 410); catch up from a snapshot.
+	errTruncated = errors.New("replica: position truncated on the leader")
+	// errFatal: the replica cannot safely continue (divergent local log,
+	// failed apply, or a position ahead of the leader's).
+	errFatal = errors.New("replica: unrecoverable")
+)
+
+// streamOnce runs one stream session: connect at the current durable
+// position and consume frames until the connection ends.
+func (f *Follower) streamOnce() error {
+	pos := f.cfg.Store.Position()
+	url := fmt.Sprintf("%s/repl/stream?gen=%d&offset=%d&seq=%d", f.cfg.Leader, pos.Gen, pos.Offset, pos.Seq)
+	ctx, cancel := context.WithCancel(f.ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	f.setState(StateConnecting, "")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return errTruncated
+	case http.StatusConflict:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%w: this follower is ahead of the leader's log (%s); wipe its data directory to re-replicate", errFatal, string(body))
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("replica: leader returned %s: %s", resp.Status, string(body))
+	}
+	f.setState(StateStreaming, "")
+
+	// Liveness watchdog: the leader heartbeats every couple of seconds, so
+	// a silent connection is a dead one — cancel the request to unblock the
+	// body read.
+	f.lastFrame.Store(time.Now().UnixNano())
+	watchdogDone := make(chan struct{})
+	defer close(watchdogDone)
+	go func() {
+		t := time.NewTicker(f.cfg.HeartbeatTimeout / 4)
+		defer t.Stop()
+		for {
+			select {
+			case <-watchdogDone:
+				return
+			case <-t.C:
+				if time.Since(time.Unix(0, f.lastFrame.Load())) > f.cfg.HeartbeatTimeout {
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	br := bufio.NewReaderSize(resp.Body, 1<<16)
+	for {
+		frame, err := readWireFrame(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			// Torn/bit-flipped frame: reject it and re-request the entry by
+			// reconnecting from the last durably journaled position.
+			return err
+		}
+		f.lastFrame.Store(time.Now().UnixNano())
+		switch frame.kind {
+		case frameEntry:
+			if err := f.applyEntry(frame); err != nil {
+				return err
+			}
+		case framePos:
+			f.mu.Lock()
+			f.leaderPos = frame.pos
+			f.mu.Unlock()
+		case frameResync:
+			// The generation rotated mid-stream; reconnect (the fresh
+			// request gets the authoritative 410).
+			return fmt.Errorf("replica: leader requested resync")
+		}
+	}
+}
+
+// applyEntry journals and applies one shipped entry: decode (validated),
+// append to the local WAL at the exact expected offset, apply through the
+// engine's publish cycle, then fsync per the sync mode. Durability precedes
+// visibility, the same ordering as the leader's own commit path.
+func (f *Follower) applyEntry(frame wireFrame) error {
+	muts, err := storage.DecodeBatch(frame.payload)
+	if err != nil {
+		// Checksum passed but the payload does not decode: not a transport
+		// tear but version skew or a leader-side bug. Retrying cannot fix
+		// it; reconnecting would loop on the same entry.
+		return fmt.Errorf("%w: shipped entry at %s does not decode: %v", errFatal, frame.pos, err)
+	}
+	if err := f.cfg.Store.AppendEntry(frame.pos, frame.payload); err != nil {
+		// Offset mismatch or a local write failure: the local log can no
+		// longer be trusted to mirror the leader's.
+		return fmt.Errorf("%w: %v", errFatal, err)
+	}
+	if err := f.cfg.Engine.ApplyReplicated(muts); err != nil {
+		return fmt.Errorf("%w: %v", errFatal, err)
+	}
+	f.cfg.Store.AddRecords(len(muts))
+	if err := f.cfg.Store.Sync(); err != nil {
+		return fmt.Errorf("%w: %v", errFatal, err)
+	}
+	return nil
+}
+
+// snapshotCatchup downloads the leader's live snapshot, installs it as the
+// local generation, and rebuilds the in-memory graph to match in one atomic
+// publish. Readers pinned to the pre-catch-up version finish undisturbed.
+func (f *Follower) snapshotCatchup() error {
+	url := f.cfg.Leader + "/repl/snapshot"
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		// The leader is back at an un-checkpointed generation 0 — only
+		// possible with a wiped/replaced leader. Re-streaming may work if
+		// our own position is the fresh start; otherwise the next stream
+		// request reports ahead-of-leader and fail-stops.
+		return fmt.Errorf("replica: leader has no snapshot to catch up from")
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("replica: snapshot download: %s: %s", resp.Status, string(body))
+	}
+	gen, err := strconv.ParseUint(resp.Header.Get("X-Repl-Gen"), 10, 64)
+	if err != nil {
+		return fmt.Errorf("replica: snapshot response missing X-Repl-Gen")
+	}
+	image, nextNode, nextRel, err := f.cfg.Store.InstallSnapshot(gen, resp.Body)
+	if err != nil {
+		return err
+	}
+	if err := f.cfg.Engine.ResetReplicated(image, nextNode, nextRel); err != nil {
+		return fmt.Errorf("%w: %v", errFatal, err)
+	}
+	f.cfg.Logf("replica: installed snapshot generation %d (%d records)", gen, len(image))
+	return nil
+}
+
+func (f *Follower) setState(state, lastErr string) {
+	f.mu.Lock()
+	f.state = state
+	f.lastErr = lastErr
+	f.mu.Unlock()
+}
+
+// Stats reports the follower's replication state, positions and lag.
+func (f *Follower) Stats() Stats {
+	local := f.cfg.Store.Position()
+	ss := f.cfg.Store.Stats()
+	f.mu.Lock()
+	leaderPos := f.leaderPos
+	state := f.state
+	lastErr := f.lastErr
+	f.mu.Unlock()
+	st := Stats{
+		Role:             RoleFollower,
+		State:            state,
+		Leader:           f.cfg.Leader,
+		Local:            local,
+		LeaderPos:        leaderPos,
+		LagEntries:       -1,
+		LagBytes:         -1,
+		AppliedBatches:   ss.Batches,
+		AppliedRecords:   ss.Records,
+		AppliedBytes:     ss.Bytes,
+		SnapshotCatchups: f.catchups.Load(),
+		Reconnects:       f.reconnects.Load(),
+		LastError:        lastErr,
+	}
+	if leaderPos != (storage.Position{}) {
+		st.LagEntries, st.LagBytes = Lag(local, leaderPos)
+	}
+	return st
+}

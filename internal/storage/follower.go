@@ -1,0 +1,380 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// FollowerStore is the durable half of a read replica. It keeps a data
+// directory whose layout mirrors the leader's — the same snapshot-N.snap /
+// wal-N.log generation naming, and a WAL that is a byte-identical prefix of
+// the leader's wal-N — by journaling the exact frames the replication stream
+// delivers. That identity is the whole offset story: the position recovered
+// from the local directory after a crash IS the leader position to resume
+// streaming from.
+//
+// A follower never checkpoints on its own (that would fork the generation
+// numbering); it only moves to a new generation when the leader has
+// truncated past its position and ships it a whole snapshot (InstallSnapshot).
+type FollowerStore struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex // guards wal/gen/seq against Close and snapshot installs
+	wal    *walFile
+	gen    uint64
+	seq    uint64
+	closed bool
+
+	stop   chan struct{}
+	done   sync.WaitGroup
+	unlock func()
+
+	// Counters (atomics: read by /stats while the tailer applies).
+	batches  atomic.Uint64
+	records  atomic.Uint64
+	bytes    atomic.Uint64
+	syncs    atomic.Uint64
+	installs atomic.Uint64
+
+	recovered RecoveryInfo
+}
+
+// OpenFollower opens (creating if necessary) a follower data directory and
+// recovers the replicated graph exactly like Open does for a leader: newest
+// snapshot, then the WAL tail, with a torn final frame (the stream died
+// mid-append) truncated away. The graph must be empty. On return, Position
+// is where streaming must resume.
+func OpenFollower(dir string, g *graph.Graph, opts Options) (*FollowerStore, error) {
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create data dir: %w", err)
+	}
+	unlock, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FollowerStore{dir: dir, opts: opts, stop: make(chan struct{}), unlock: unlock}
+	defer func() {
+		if fs.wal == nil {
+			unlock()
+		}
+	}()
+
+	snaps, wals, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var img snapshotImage
+	if len(snaps) > 0 {
+		newest := snaps[len(snaps)-1]
+		img, err = readSnapshot(filepath.Join(dir, snapshotName(newest)))
+		if err != nil {
+			return nil, fmt.Errorf("storage: follower snapshot %s is unreadable (%w); wipe the directory and re-replicate", snapshotName(newest), err)
+		}
+		fs.gen = newest
+	} else if len(wals) > 0 {
+		fs.gen = wals[0]
+	}
+	fs.recovered.Generation = fs.gen
+	fs.recovered.SnapshotRecords = len(img.Mutations)
+	for _, m := range img.Mutations {
+		if err := g.Apply(m); err != nil {
+			return nil, fmt.Errorf("storage: apply snapshot record: %w", err)
+		}
+	}
+	g.SetIDCounters(img.NextNode, img.NextRel)
+
+	walPath := filepath.Join(dir, walName(fs.gen))
+	if _, statErr := os.Stat(walPath); statErr == nil {
+		validEnd, torn, records, err := replayWAL(walPath, func(e walEntry) error {
+			for _, m := range e.Mutations {
+				if err := g.Apply(m); err != nil {
+					return fmt.Errorf("storage: apply wal record at offset %d: %w", e.Offset, err)
+				}
+			}
+			fs.recovered.WALBatches++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		fs.recovered.WALRecords = records
+		fs.recovered.TornTail = torn
+		fs.seq = uint64(fs.recovered.WALBatches)
+		w, err := openWALForAppend(walPath, validEnd)
+		if err != nil {
+			return nil, err
+		}
+		fs.wal = w
+	} else {
+		w, err := createWAL(walPath)
+		if err != nil {
+			return nil, err
+		}
+		fs.wal = w
+		if err := syncDir(dir); err != nil {
+			return nil, err
+		}
+	}
+	fs.removeOtherGenerations()
+
+	if opts.SyncMode == SyncInterval {
+		fs.done.Add(1)
+		go fs.backgroundSync()
+	}
+	return fs, nil
+}
+
+// Position returns the follower's durable stream position: everything up to
+// it is journaled locally (though possibly not yet fsynced — resuming from a
+// slightly stale position after an OS crash only re-requests entries the
+// leader still has).
+func (fs *FollowerStore) Position() Position {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var end int64
+	if fs.wal != nil {
+		end = fs.wal.end()
+	}
+	return Position{Gen: fs.gen, Offset: end, Seq: fs.seq}
+}
+
+// AppendEntry journals one shipped entry. pos is the position the entry
+// claims to start at (as framed by the leader); it must exactly match the
+// local log's end — a gap or overlap means the stream and the local log
+// disagree, and appending would corrupt the byte-identical-prefix invariant
+// that resume depends on. payload must already be checksum-verified by the
+// protocol layer; it is re-framed with the same [len][crc] header the leader
+// wrote, reproducing the leader's bytes.
+func (fs *FollowerStore) AppendEntry(pos Position, payload []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed || fs.wal == nil {
+		return fmt.Errorf("storage: follower store is closed")
+	}
+	if pos.Gen != fs.gen {
+		return fmt.Errorf("storage: stream entry for generation %d, follower log at %d", pos.Gen, fs.gen)
+	}
+	if end := fs.wal.end(); pos.Offset != end {
+		return fmt.Errorf("storage: stream entry at offset %d, follower log ends at %d", pos.Offset, end)
+	}
+	if _, err := fs.wal.append(payload); err != nil {
+		return err
+	}
+	fs.seq++
+	fs.batches.Add(1)
+	fs.bytes.Add(uint64(len(payload)))
+	return nil
+}
+
+// AddRecords accounts mutation records applied from shipped entries (the
+// store only sees opaque payloads; the tailer counts after decoding).
+func (fs *FollowerStore) AddRecords(n int) { fs.records.Add(uint64(n)) }
+
+// Sync makes the journaled log durable according to the sync mode, exactly
+// like the leader-side Store: SyncAlways fsyncs now, SyncInterval leaves it
+// to the background timer, SyncNone to the OS.
+func (fs *FollowerStore) Sync() error {
+	if fs.opts.SyncMode != SyncAlways {
+		return nil
+	}
+	fs.mu.Lock()
+	w := fs.wal
+	fs.mu.Unlock()
+	if w == nil {
+		return fmt.Errorf("storage: follower store is closed")
+	}
+	synced, err := w.syncTo(w.end())
+	if err != nil {
+		return err
+	}
+	if synced {
+		fs.syncs.Add(1)
+	}
+	return nil
+}
+
+// InstallSnapshot replaces the follower's durable state with a whole
+// snapshot shipped by the leader (catch-up after the leader truncated past
+// this follower's position). The bytes stream to a temp file, are validated
+// by a full decode, and only then renamed into place; the old generation's
+// files are removed after the new WAL exists. It returns the decoded image
+// so the caller can rebuild the in-memory graph to match.
+//
+// gen must be ahead of the follower's current generation — installing an
+// older snapshot would silently rewind the replica.
+func (fs *FollowerStore) InstallSnapshot(gen uint64, r io.Reader) (snapshot []graph.Mutation, nextNode, nextRel int64, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed || fs.wal == nil {
+		return nil, 0, 0, fmt.Errorf("storage: follower store is closed")
+	}
+	if gen <= fs.gen && !(gen == 0 && fs.gen == 0) {
+		return nil, 0, 0, fmt.Errorf("storage: refusing to install snapshot generation %d over local generation %d", gen, fs.gen)
+	}
+	final := filepath.Join(fs.dir, snapshotName(gen))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("storage: create snapshot temp: %w", err)
+	}
+	if _, err := io.Copy(f, r); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, 0, 0, fmt.Errorf("storage: download snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, 0, 0, fmt.Errorf("storage: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, 0, 0, fmt.Errorf("storage: close snapshot: %w", err)
+	}
+	// Validate before publishing: a truncated or bit-flipped transfer must
+	// be rejected here, not discovered at the next restart.
+	img, err := readSnapshot(tmp)
+	if err != nil {
+		os.Remove(tmp)
+		return nil, 0, 0, fmt.Errorf("storage: shipped snapshot failed validation: %w", err)
+	}
+	if img.Gen != gen {
+		os.Remove(tmp)
+		return nil, 0, 0, fmt.Errorf("storage: shipped snapshot is generation %d, expected %d", img.Gen, gen)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return nil, 0, 0, fmt.Errorf("storage: publish snapshot: %w", err)
+	}
+	if err := syncDir(fs.dir); err != nil {
+		os.Remove(final)
+		return nil, 0, 0, err
+	}
+	// Fresh WAL for the new generation. The old generation's WAL is obsolete
+	// the moment the snapshot is published (recovery prefers the newest
+	// snapshot), so a crash between these steps is safe.
+	walPath := filepath.Join(fs.dir, walName(gen))
+	os.Remove(walPath)
+	w, err := createWAL(walPath)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if err := syncDir(fs.dir); err != nil {
+		w.close()
+		os.Remove(walPath)
+		return nil, 0, 0, err
+	}
+	old := fs.wal
+	fs.wal = w
+	fs.gen = gen
+	fs.seq = 0
+	old.close()
+	fs.installs.Add(1)
+	fs.removeOtherGenerations()
+	return img.Mutations, img.NextNode, img.NextRel, nil
+}
+
+// removeOtherGenerations deletes snapshot/WAL files of any generation other
+// than the live one. Best-effort. Callers hold fs.mu (or own the store
+// exclusively during Open).
+func (fs *FollowerStore) removeOtherGenerations() {
+	snaps, wals, err := scanDir(fs.dir)
+	if err != nil {
+		return
+	}
+	for _, gen := range snaps {
+		if gen != fs.gen {
+			os.Remove(filepath.Join(fs.dir, snapshotName(gen)))
+		}
+	}
+	for _, gen := range wals {
+		if gen != fs.gen {
+			os.Remove(filepath.Join(fs.dir, walName(gen)))
+		}
+	}
+}
+
+// Recovery returns what OpenFollower found and replayed.
+func (fs *FollowerStore) Recovery() RecoveryInfo { return fs.recovered }
+
+// Dir returns the data directory.
+func (fs *FollowerStore) Dir() string { return fs.dir }
+
+// Stats reports the follower store's durability counters in the same shape
+// as the leader store's, so /stats renders both uniformly.
+func (fs *FollowerStore) Stats() Stats {
+	fs.mu.Lock()
+	gen := fs.gen
+	var walSize int64
+	if fs.wal != nil {
+		walSize = fs.wal.end()
+	}
+	fs.mu.Unlock()
+	return Stats{
+		Dir:          fs.dir,
+		SyncMode:     fs.opts.SyncMode.String(),
+		Generation:   gen,
+		Records:      fs.records.Load(),
+		Batches:      fs.batches.Load(),
+		Bytes:        fs.bytes.Load(),
+		Syncs:        fs.syncs.Load(),
+		Checkpoints:  fs.installs.Load(), // snapshot installs are the follower's "checkpoints"
+		WALSizeBytes: walSize,
+		Recovery:     fs.recovered,
+	}
+}
+
+// Close syncs and releases the files and the directory lock.
+func (fs *FollowerStore) Close() error {
+	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		return nil
+	}
+	fs.closed = true
+	w := fs.wal
+	fs.wal = nil
+	fs.mu.Unlock()
+	close(fs.stop)
+	fs.done.Wait()
+	var err error
+	if w != nil {
+		err = w.close()
+	}
+	fs.unlock()
+	return err
+}
+
+// backgroundSync is the SyncInterval flusher.
+func (fs *FollowerStore) backgroundSync() {
+	defer fs.done.Done()
+	t := time.NewTicker(fs.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-fs.stop:
+			return
+		case <-t.C:
+			fs.mu.Lock()
+			w := fs.wal
+			fs.mu.Unlock()
+			if w == nil {
+				return
+			}
+			if synced, err := w.syncTo(w.end()); err == nil && synced {
+				fs.syncs.Add(1)
+			}
+		}
+	}
+}

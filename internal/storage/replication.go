@@ -1,0 +1,248 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+)
+
+// Replication support: a leader's WAL is a replication stream. Followers
+// track a Position — (generation, byte offset) into the leader's log — and
+// the leader reads committed entries back out of its own append-only WAL
+// file to ship them. Because a follower journals the exact frames it
+// receives, its wal-N.log is a byte-identical prefix of the leader's, which
+// is what makes the offset arithmetic trivial: the follower's durable
+// position IS the leader position it must resume from after a crash.
+
+// Position locates a point in the replication stream: just past the end of
+// entry Seq at byte Offset of WAL generation Gen. Offsets include the
+// 8-byte file magic, so the start of a generation is Offset==WALStartOffset,
+// never 0.
+type Position struct {
+	// Gen is the snapshot/WAL generation (bumped by leader checkpoints).
+	Gen uint64 `json:"gen"`
+	// Offset is the byte offset just past the last entry in wal-Gen.
+	Offset int64 `json:"offset"`
+	// Seq is the number of entries in wal-Gen up to Offset. Followers can
+	// derive it locally (their WAL is a byte-identical prefix), so it is
+	// informational: lag-in-entries is leader.Seq - follower.Seq.
+	Seq uint64 `json:"seq"`
+}
+
+// WALStartOffset is the offset of the first entry in any WAL generation
+// (just past the file magic).
+const WALStartOffset = int64(8)
+
+func (p Position) String() string {
+	return fmt.Sprintf("gen %d @%d (entry %d)", p.Gen, p.Offset, p.Seq)
+}
+
+// Before reports whether p is strictly earlier in the stream than q.
+func (p Position) Before(q Position) bool {
+	if p.Gen != q.Gen {
+		return p.Gen < q.Gen
+	}
+	return p.Offset < q.Offset
+}
+
+// Replication errors. The leader's stream endpoint maps them to HTTP
+// statuses; the follower maps those back and reacts (snapshot catch-up,
+// fatal stop).
+var (
+	// ErrPositionTruncated: the requested generation is older than the live
+	// one — the leader checkpointed past it and deleted its WAL. The
+	// follower must catch up from a snapshot.
+	ErrPositionTruncated = errors.New("storage: position predates the live WAL generation (truncated by checkpoint)")
+	// ErrFollowerAhead: the requested position is beyond the leader's log —
+	// the follower has entries the leader does not (e.g. the leader was
+	// restored from an older backup, or the follower tailed a different
+	// leader). There is no safe automatic recovery; the operator must wipe
+	// the follower's data directory.
+	ErrFollowerAhead = errors.New("storage: follower position is ahead of the leader's log")
+	// ErrNoSnapshot: the live generation has no snapshot file (generation 0
+	// before the first checkpoint). Callers needing catch-up data must
+	// stream the WAL from the start instead.
+	ErrNoSnapshot = errors.New("storage: live generation has no snapshot")
+)
+
+// StreamFrame is one committed WAL entry read back for replication: the
+// payload of the on-disk frame (still one whole write-query batch) plus the
+// offset it starts at. The checksum has been re-verified on read.
+type StreamFrame struct {
+	// Offset is the byte offset of the frame's header in its WAL file; the
+	// entry occupies [Offset, Offset+8+len(Payload)).
+	Offset int64
+	// Payload is the batch payload exactly as framed on disk.
+	Payload []byte
+}
+
+// End returns the offset just past this frame.
+func (f StreamFrame) End() int64 { return f.Offset + entryHeaderSize + int64(len(f.Payload)) }
+
+// DecodeBatch decodes a WAL entry payload (as shipped in a StreamFrame) into
+// its mutation records. Exported for the replication layer, which applies
+// shipped batches through graph.Apply.
+func DecodeBatch(payload []byte) ([]graph.Mutation, error) { return decodeBatch(payload) }
+
+// EncodeBatch frames a slice of mutations as one WAL entry payload — the
+// inverse of DecodeBatch. Exported for tests and benchmarks that synthesize
+// replication streams.
+func EncodeBatch(muts []graph.Mutation) ([]byte, error) { return encodeBatch(muts) }
+
+// Position returns the store's current stream position: the live generation,
+// the logical end of its WAL, and the number of entries the WAL holds.
+func (s *Store) Position() Position {
+	// Read gen before the WAL handle: Checkpoint stores the new WAL first,
+	// a torn read here at worst pairs the old gen with the old WAL's end
+	// (consistent) or re-reads. Taking walMu makes it exact.
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	var end int64
+	if w := s.wal.Load(); w != nil {
+		end = w.end()
+	}
+	return Position{Gen: s.gen.Load(), Offset: end, Seq: s.walSeq.Load()}
+}
+
+// CommitSignal returns a channel that is closed the next time the stream
+// position advances (an entry is appended, a checkpoint rotates the
+// generation, or the store closes). Callers re-fetch the channel after each
+// wake-up. Fetch the signal BEFORE checking for new entries, or a commit
+// landing between the check and the wait is missed until the next one.
+func (s *Store) CommitSignal() <-chan struct{} {
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
+	if s.notify == nil {
+		s.notify = make(chan struct{})
+	}
+	return s.notify
+}
+
+// notifyCommit wakes every CommitSignal waiter.
+func (s *Store) notifyCommit() {
+	s.notifyMu.Lock()
+	if s.notify != nil {
+		close(s.notify)
+	}
+	s.notify = make(chan struct{})
+	s.notifyMu.Unlock()
+}
+
+// ReadEntries reads committed WAL entries for replication, starting at pos
+// and stopping after roughly maxBytes of payload (at least one entry is
+// returned when any is available). It returns the frames and the position
+// just past the last one. An empty result with a nil error means the
+// follower is caught up.
+//
+// Reading races appends by design: the file is append-only and walFile.size
+// is only advanced after an entry's bytes are fully written, so ReadEntries
+// never sees a half-written frame — it simply stops at the logical end
+// captured when it started.
+func (s *Store) ReadEntries(pos Position, maxBytes int) ([]StreamFrame, Position, error) {
+	if s.closed.Load() {
+		return nil, pos, fmt.Errorf("storage: read entries on closed store")
+	}
+	liveGen := s.gen.Load()
+	switch {
+	case pos.Gen < liveGen:
+		return nil, pos, ErrPositionTruncated
+	case pos.Gen > liveGen:
+		return nil, pos, fmt.Errorf("%w: follower at generation %d, leader at %d", ErrFollowerAhead, pos.Gen, liveGen)
+	}
+	w := s.wal.Load()
+	if w == nil {
+		return nil, pos, fmt.Errorf("storage: no live wal")
+	}
+	end := w.end()
+	if pos.Offset < WALStartOffset {
+		return nil, pos, fmt.Errorf("storage: stream offset %d is inside the WAL header", pos.Offset)
+	}
+	if pos.Offset > end {
+		return nil, pos, fmt.Errorf("%w: offset %d beyond log end %d", ErrFollowerAhead, pos.Offset, end)
+	}
+	if pos.Offset == end {
+		return nil, pos, nil
+	}
+	// A checkpoint may rotate (and delete) the file between the gen check
+	// and the open; a vanished file is the same condition as a stale gen.
+	f, err := os.Open(w.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, pos, ErrPositionTruncated
+		}
+		return nil, pos, fmt.Errorf("storage: open wal for streaming: %w", err)
+	}
+	defer f.Close()
+	frames, next, err := readFramesBetween(f, pos, end, maxBytes)
+	if err != nil {
+		return nil, pos, err
+	}
+	return frames, next, nil
+}
+
+// readFramesBetween reads whole frames from off to at most end, stopping
+// after maxBytes. The range [pos.Offset, end) is guaranteed by the caller to
+// hold only complete, committed entries.
+func readFramesBetween(f io.ReaderAt, pos Position, end int64, maxBytes int) ([]StreamFrame, Position, error) {
+	var frames []StreamFrame
+	next := pos
+	read := 0
+	for next.Offset < end && (read == 0 || read < maxBytes) {
+		var hdr [entryHeaderSize]byte
+		if _, err := f.ReadAt(hdr[:], next.Offset); err != nil {
+			return nil, pos, fmt.Errorf("storage: read stream entry header at %d: %w", next.Offset, err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxEntrySize || next.Offset+entryHeaderSize+int64(length) > end {
+			// Cannot happen for a committed entry; the file under us is not
+			// the log we think it is.
+			return nil, pos, fmt.Errorf("storage: stream entry at %d overruns committed end %d", next.Offset, end)
+		}
+		payload := make([]byte, length)
+		if _, err := f.ReadAt(payload, next.Offset+entryHeaderSize); err != nil {
+			return nil, pos, fmt.Errorf("storage: read stream entry payload at %d: %w", next.Offset, err)
+		}
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			return nil, pos, fmt.Errorf("%w: stream entry at offset %d fails checksum", ErrCorrupt, next.Offset)
+		}
+		frames = append(frames, StreamFrame{Offset: next.Offset, Payload: payload})
+		next.Offset += entryHeaderSize + int64(length)
+		next.Seq++
+		read += entryHeaderSize + int(length)
+	}
+	return frames, next, nil
+}
+
+// LiveSnapshot opens the snapshot file of the live generation for shipping
+// to a catching-up follower, returning the generation it belongs to and the
+// file size. Generation 0 has no snapshot (nothing has been checkpointed);
+// that returns ErrNoSnapshot, and the follower streams wal-0 from the start
+// instead. The caller must Close the reader.
+func (s *Store) LiveSnapshot() (gen uint64, rc io.ReadCloser, size int64, err error) {
+	// Hold walMu so a concurrent checkpoint cannot delete the file between
+	// the gen read and the open; once the file is open, deletion is harmless
+	// (the fd keeps the bytes).
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	gen = s.gen.Load()
+	f, err := os.Open(filepath.Join(s.dir, snapshotName(gen)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return gen, nil, 0, ErrNoSnapshot
+		}
+		return gen, nil, 0, fmt.Errorf("storage: open live snapshot: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return gen, nil, 0, fmt.Errorf("storage: stat live snapshot: %w", err)
+	}
+	return gen, f, fi.Size(), nil
+}

@@ -1,0 +1,417 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/value"
+)
+
+// commitBatch journals one batch of mutations through the store's normal
+// Record → Append → Sync path, exactly as a write query would.
+func commitBatch(t *testing.T, s *Store, muts ...graph.Mutation) {
+	t.Helper()
+	for _, m := range muts {
+		s.Record(m)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+func nodeMut(id int64, label string) graph.Mutation {
+	return graph.Mutation{Kind: graph.MutCreateNode, ID: id, Labels: []string{label},
+		Props: map[string]value.Value{"id": value.NewInt(id)}}
+}
+
+func TestReadEntriesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New()
+	s, err := Open(dir, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	start := s.Position()
+	if start.Gen != 0 || start.Offset != WALStartOffset || start.Seq != 0 {
+		t.Fatalf("fresh position = %v, want gen 0 @%d (entry 0)", start, WALStartOffset)
+	}
+
+	const batches = 5
+	for i := 0; i < batches; i++ {
+		commitBatch(t, s, nodeMut(int64(i+1), "N"))
+	}
+
+	frames, next, err := s.ReadEntries(start, 1<<20)
+	if err != nil {
+		t.Fatalf("read entries: %v", err)
+	}
+	if len(frames) != batches {
+		t.Fatalf("got %d frames, want %d", len(frames), batches)
+	}
+	if next != s.Position() {
+		t.Fatalf("next = %v, want live position %v", next, s.Position())
+	}
+	if next.Seq != batches {
+		t.Fatalf("next.Seq = %d, want %d", next.Seq, batches)
+	}
+	// Frames decode back to the committed mutations and tile the log exactly.
+	off := WALStartOffset
+	for i, f := range frames {
+		if f.Offset != off {
+			t.Fatalf("frame %d at offset %d, want %d", i, f.Offset, off)
+		}
+		muts, err := DecodeBatch(f.Payload)
+		if err != nil {
+			t.Fatalf("frame %d decode: %v", i, err)
+		}
+		if len(muts) != 1 || muts[0].ID != int64(i+1) {
+			t.Fatalf("frame %d decoded %+v", i, muts)
+		}
+		off = f.End()
+	}
+	// Caught up: empty read, same position.
+	frames, again, err := s.ReadEntries(next, 1<<20)
+	if err != nil || len(frames) != 0 || again != next {
+		t.Fatalf("caught-up read = %d frames, %v, %v", len(frames), again, err)
+	}
+}
+
+func TestReadEntriesChunking(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New()
+	s, err := Open(dir, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		commitBatch(t, s, nodeMut(int64(i+1), "N"))
+	}
+	// A 1-byte budget still makes progress: one whole frame per call.
+	pos := Position{Gen: 0, Offset: WALStartOffset}
+	total := 0
+	for {
+		frames, next, err := s.ReadEntries(pos, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frames) == 0 {
+			break
+		}
+		if len(frames) != 1 {
+			t.Fatalf("budget 1 byte returned %d frames", len(frames))
+		}
+		total++
+		pos = next
+	}
+	if total != 10 {
+		t.Fatalf("streamed %d frames, want 10", total)
+	}
+}
+
+func TestReadEntriesTruncatedAndAhead(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New()
+	s, err := Open(dir, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	commitBatch(t, s, nodeMut(1, "N"))
+	g.CreateNode([]string{"N"}, nil)
+	if err := s.Checkpoint(g); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+
+	// A generation the checkpoint truncated away.
+	if _, _, err := s.ReadEntries(Position{Gen: 0, Offset: WALStartOffset}, 1<<20); !errors.Is(err, ErrPositionTruncated) {
+		t.Fatalf("stale gen: err = %v, want ErrPositionTruncated", err)
+	}
+	// A generation the leader has never reached.
+	if _, _, err := s.ReadEntries(Position{Gen: 99, Offset: WALStartOffset}, 1<<20); !errors.Is(err, ErrFollowerAhead) {
+		t.Fatalf("future gen: err = %v, want ErrFollowerAhead", err)
+	}
+	// An offset beyond the live log's end.
+	pos := s.Position()
+	pos.Offset += 1000
+	if _, _, err := s.ReadEntries(pos, 1<<20); !errors.Is(err, ErrFollowerAhead) {
+		t.Fatalf("future offset: err = %v, want ErrFollowerAhead", err)
+	}
+}
+
+func TestCommitSignalWakesOnAppend(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New()
+	s, err := Open(dir, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sig := s.CommitSignal()
+	select {
+	case <-sig:
+		t.Fatal("signal fired before any commit")
+	default:
+	}
+	commitBatch(t, s, nodeMut(1, "N"))
+	select {
+	case <-sig:
+	default:
+		t.Fatal("signal did not fire after a commit")
+	}
+}
+
+// TestFollowerByteIdenticalPrefix replays a leader's stream frames into a
+// follower store and asserts the follower's WAL file is byte-for-byte the
+// leader's — the invariant that makes crash-resume offset arithmetic work.
+func TestFollowerByteIdenticalPrefix(t *testing.T) {
+	leaderDir, followerDir := t.TempDir(), t.TempDir()
+	lg := graph.New()
+	leader, err := Open(leaderDir, lg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	for i := 0; i < 4; i++ {
+		commitBatch(t, leader, nodeMut(int64(i+1), "N"))
+	}
+
+	fg := graph.New()
+	f, err := OpenFollower(followerDir, fg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _, err := leader.ReadEntries(f.Position(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range frames {
+		if err := f.AppendEntry(Position{Gen: 0, Offset: fr.Offset}, fr.Payload); err != nil {
+			t.Fatalf("append entry: %v", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Position(), leader.Position(); got != want {
+		t.Fatalf("follower position %v, leader %v", got, want)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lb, err := os.ReadFile(filepath.Join(leaderDir, walName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := os.ReadFile(filepath.Join(followerDir, walName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lb, fb) {
+		t.Fatalf("follower WAL differs from leader WAL (%d vs %d bytes)", len(fb), len(lb))
+	}
+}
+
+func TestFollowerAppendRejectsGapsAndOverlaps(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New()
+	f, err := OpenFollower(dir, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	payload, err := EncodeBatch([]graph.Mutation{nodeMut(1, "N")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong generation.
+	if err := f.AppendEntry(Position{Gen: 3, Offset: WALStartOffset}, payload); err == nil {
+		t.Fatal("append with wrong generation should fail")
+	}
+	// A gap: entry claims to start past the local end.
+	if err := f.AppendEntry(Position{Gen: 0, Offset: WALStartOffset + 100}, payload); err == nil {
+		t.Fatal("append with an offset gap should fail")
+	}
+	// The exact end appends fine; replaying the same entry again (overlap)
+	// does not.
+	if err := f.AppendEntry(Position{Gen: 0, Offset: WALStartOffset}, payload); err != nil {
+		t.Fatalf("append at the exact end: %v", err)
+	}
+	if err := f.AppendEntry(Position{Gen: 0, Offset: WALStartOffset}, payload); err == nil {
+		t.Fatal("re-appending an already-journaled entry should fail")
+	}
+}
+
+// TestFollowerRecovery restarts a follower store and checks the recovered
+// position equals what was journaled — including when the final frame is torn
+// (stream died mid-append), which must truncate away cleanly.
+func TestFollowerRecovery(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New()
+	f, err := OpenFollower(dir, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries [][]byte
+	for i := 0; i < 3; i++ {
+		payload, err := EncodeBatch([]graph.Mutation{nodeMut(int64(i+1), "N")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, payload)
+		if err := f.AppendEntry(f.Position(), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := f.Position()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean restart resumes at the journaled position with the graph rebuilt.
+	g2 := graph.New()
+	f2, err := OpenFollower(dir, g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f2.Position(); got != want {
+		t.Fatalf("recovered position %v, want %v", got, want)
+	}
+	if n := len(g2.Nodes()); n != 3 {
+		t.Fatalf("recovered %d nodes, want 3", n)
+	}
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: append half an entry's bytes as if the stream died
+	// mid-write.
+	wf, err := os.OpenFile(filepath.Join(dir, walName(0)), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wf.Write([]byte{0x10, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	wf.Close()
+
+	g3 := graph.New()
+	f3, err := OpenFollower(dir, g3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f3.Close()
+	if !f3.Recovery().TornTail {
+		t.Fatal("torn tail not detected")
+	}
+	if got := f3.Position(); got != want {
+		t.Fatalf("post-tear position %v, want %v", got, want)
+	}
+	// The log is writable again at the recovered position.
+	if err := f3.AppendEntry(f3.Position(), entries[0]); err != nil {
+		t.Fatalf("append after torn-tail truncation: %v", err)
+	}
+}
+
+func TestInstallSnapshot(t *testing.T) {
+	leaderDir := t.TempDir()
+	lg := graph.New()
+	leader, err := Open(leaderDir, lg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	// Build leader state and checkpoint so generation 1 has a snapshot.
+	for i := 0; i < 3; i++ {
+		n := lg.CreateNode([]string{"S"}, map[string]value.Value{"i": value.NewInt(int64(i))})
+		commitBatch(t, leader, graph.Mutation{Kind: graph.MutCreateNode, ID: n.ID(), Labels: []string{"S"},
+			Props: map[string]value.Value{"i": value.NewInt(int64(i))}})
+	}
+	if err := leader.Checkpoint(lg); err != nil {
+		t.Fatal(err)
+	}
+	gen, rc, size, err := leader.LiveSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := make([]byte, size)
+	if _, err := io.ReadFull(rc, snap); err != nil {
+		t.Fatal(err)
+	}
+	rc.Close()
+	if gen != 1 {
+		t.Fatalf("live snapshot generation %d, want 1", gen)
+	}
+
+	fg := graph.New()
+	f, err := OpenFollower(t.TempDir(), fg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// A truncated transfer must be rejected without changing the store.
+	if _, _, _, err := f.InstallSnapshot(gen, bytes.NewReader(snap[:len(snap)/2])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	// A bit-flipped transfer likewise.
+	corrupt := append([]byte(nil), snap...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	if _, _, _, err := f.InstallSnapshot(gen, bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+	if pos := f.Position(); pos.Gen != 0 {
+		t.Fatalf("failed install moved the store to generation %d", pos.Gen)
+	}
+
+	// The intact snapshot installs and moves the generation.
+	img, _, _, err := f.InstallSnapshot(gen, bytes.NewReader(snap))
+	if err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if len(img) != 3 {
+		t.Fatalf("installed image has %d records, want 3", len(img))
+	}
+	if pos := f.Position(); pos.Gen != 1 || pos.Offset != WALStartOffset || pos.Seq != 0 {
+		t.Fatalf("post-install position %v", pos)
+	}
+	// Installing an older (or same) generation must be refused.
+	if _, _, _, err := f.InstallSnapshot(gen, bytes.NewReader(snap)); err == nil {
+		t.Fatal("re-installing the same generation accepted")
+	}
+
+	// Restart recovers from the installed snapshot.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g2 := graph.New()
+	f2, err := OpenFollower(f.Dir(), g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if n := len(g2.Nodes()); n != 3 {
+		t.Fatalf("recovered %d nodes from installed snapshot, want 3", n)
+	}
+}
+
+func TestLiveSnapshotBeforeFirstCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New()
+	s, err := Open(dir, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, _, err := s.LiveSnapshot(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("generation 0 LiveSnapshot err = %v, want ErrNoSnapshot", err)
+	}
+}

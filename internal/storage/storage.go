@@ -108,6 +108,16 @@ type Store struct {
 	done   sync.WaitGroup
 	unlock func() // releases the data directory's inter-process lock
 
+	// walSeq counts the entries in the live WAL generation (recovered +
+	// appended; reset by Checkpoint). It is the Seq component of Position,
+	// letting followers report lag in entries, not just bytes.
+	walSeq atomic.Uint64
+
+	// notifyMu guards notify, the broadcast channel closed whenever the
+	// stream position advances; see CommitSignal.
+	notifyMu sync.Mutex
+	notify   chan struct{}
+
 	// Counters (atomics: read by /stats while writers commit).
 	records     atomic.Uint64
 	batches     atomic.Uint64
@@ -224,6 +234,7 @@ func Open(dir string, g *graph.Graph, opts Options) (*Store, error) {
 		}
 		s.recovered.WALRecords = records
 		s.recovered.TornTail = torn
+		s.walSeq.Store(uint64(s.recovered.WALBatches))
 		w, err := openWALForAppend(walPath, validEnd)
 		if err != nil {
 			return nil, err
@@ -321,6 +332,8 @@ func (s *Store) Append() (CommitTicket, error) {
 	s.records.Add(uint64(count))
 	s.batches.Add(1)
 	s.bytes.Add(uint64(len(payload)))
+	s.walSeq.Add(1)
+	s.notifyCommit()
 	return CommitTicket{w: w, off: off}, nil
 }
 
@@ -416,6 +429,10 @@ func (s *Store) Checkpoint(g *graph.Graph) error {
 	old := s.wal.Load()
 	s.wal.Store(newWAL)
 	s.gen.Store(newGen)
+	s.walSeq.Store(0)
+	// Wake stream readers: sessions tailing the old generation must notice
+	// the rotation and tell their follower to resync.
+	s.notifyCommit()
 	old.close()
 	s.removeStaleGenerations()
 	s.checkpoints.Add(1)
@@ -434,6 +451,9 @@ func (s *Store) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	// Wake stream readers so they observe the closed store and end their
+	// sessions instead of waiting on a signal that will never come.
+	s.notifyCommit()
 	close(s.stop)
 	s.done.Wait()
 	err := s.Commit()
