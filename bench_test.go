@@ -515,6 +515,22 @@ func BenchmarkIndexRangeSeek(b *testing.B) {
 	}
 }
 
+// BenchmarkVectorizedScanFilter is the vectorized-execution headline
+// measurement: one scan→filter→project query (no index on age, so the
+// filter cannot become a seek) run row-at-a-time (BatchSize -1) and through
+// the batched kernels (default BatchSize). The fused columnar filter drops
+// failing rows before boxing their nodes into values, so the vectorized
+// side must hold a ≥1.5× speedup — CI gates it via cypher-benchcmp
+// -require-ratio.
+func BenchmarkVectorizedScanFilter(b *testing.B) {
+	const query = "MATCH (p:Person) WHERE p.age >= 30 AND p.age < 33 RETURN p.name AS name, p.age AS age"
+	store := datasets.SocialNetwork(datasets.SocialConfig{People: 20000, FriendsEach: 2, Seed: 42})
+	row := Wrap(store, Options{BatchSize: -1})
+	vectorized := Wrap(store, Options{})
+	b.Run("row", func(b *testing.B) { runBenchQuery(b, row, query, nil) })
+	b.Run("vectorized", func(b *testing.B) { runBenchQuery(b, vectorized, query, nil) })
+}
+
 // BenchmarkExpandInto measures the bound-endpoints expansion: a hub node
 // with 10k outgoing relationships against a spoke with exactly one incoming
 // relationship. Probing the smaller (spoke) adjacency makes the probe O(1)

@@ -5,14 +5,17 @@
 //
 // Two axes of parallelism are reported independently:
 //
-//   - single-query latency (the default, and explicitly -mode latency): each
-//     workload query runs -iterations times on one client, with the engine's
-//     intra-query worker budget set by -parallelism — this shows how much
-//     morsel-driven execution shortens one big read;
-//   - cross-query throughput (-clients N > 1, or -mode throughput): N
-//     clients hammer the same graph concurrently and the CSV reports
-//     aggregate queries/second; combined with -parallelism this shows how
-//     the two axes trade off against each other on fixed hardware.
+//   - query latency (the default, and explicitly -mode latency): each
+//     workload query runs -iterations times per client and the CSV reports
+//     the p50/p95/p99 of the per-query latency distribution, with the
+//     engine's intra-query worker budget set by -parallelism — with
+//     -clients > 1 the same report shows how concurrency moves the tail;
+//   - cross-query throughput (-mode throughput, or -clients N > 1 without
+//     an explicit -mode): N clients hammer the same graph concurrently and
+//     the CSV reports aggregate queries/second.
+//
+// -cpuprofile / -memprofile write pprof profiles covering the measured
+// workloads, so batch-kernel wins are attributable outside `go test`.
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"sort"
 	"sync"
 	"time"
 
@@ -41,7 +46,10 @@ func main() {
 		filter      = flag.String("workload", "", "run only workloads whose name contains this substring")
 		clients     = flag.Int("clients", 1, "concurrent clients; > 1 switches to throughput mode")
 		parallelism = flag.Int("parallelism", 1, "workers per read query (morsel-driven; 1 = serial, 0 = all CPUs)")
+		batchSize   = flag.Int("batch-size", 0, "rows per batch in the vectorized pipeline (0 = default 1024, negative = row-at-a-time)")
 		mode        = flag.String("mode", "", "latency or throughput (default: latency, or throughput when -clients > 1)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile covering the measured workloads to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile after the measured workloads to this file")
 		waldump     = flag.String("waldump", "", "dump a WAL file, snapshot file or data directory and exit (debugging aid)")
 	)
 	flag.Parse()
@@ -57,7 +65,7 @@ func main() {
 	if *parallelism <= 0 {
 		*parallelism = runtime.NumCPU()
 	}
-	opts := cypher.Options{Parallelism: *parallelism}
+	opts := cypher.Options{Parallelism: *parallelism, BatchSize: *batchSize}
 	throughput := *clients > 1
 	switch *mode {
 	case "":
@@ -73,28 +81,110 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			os.Exit(1)
+		}
+	}()
+
 	workloads := buildWorkloads()
 	if throughput {
 		runConcurrent(workloads, *filter, *clients, *iterations, opts)
 		return
 	}
-	fmt.Println("workload,parameter,parallelism,iteration,rows,seconds")
+	runLatency(workloads, *filter, *clients, *iterations, opts)
+}
+
+// runLatency measures the per-query latency distribution: each of `clients`
+// concurrent clients runs every workload query `iterations` times and the
+// CSV reports p50/p95/p99 over all samples — the tail is where batching and
+// contention show up, so the median alone is not enough.
+func runLatency(workloads []workload, filter string, clients, iterations int, opts cypher.Options) {
+	if clients < 1 {
+		clients = 1
+	}
+	fmt.Println("workload,parameter,parallelism,clients,samples,rows,p50_ms,p95_ms,p99_ms")
 	for _, w := range workloads {
-		if *filter != "" && !contains(w.name, *filter) {
+		if filter != "" && !contains(w.name, filter) {
 			continue
 		}
 		g := w.setup(opts)
-		for i := 0; i < *iterations; i++ {
-			start := time.Now()
-			res, err := g.Run(w.query, nil)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "workload %s failed: %v\n", w.name, err)
-				os.Exit(1)
-			}
-			elapsed := time.Since(start).Seconds()
-			fmt.Printf("%s,%s,%d,%d,%d,%.6f\n", w.name, w.param, res.Parallelism(), i, res.Len(), elapsed)
+		// Warm the plan cache once so the measurement reflects steady state.
+		warm, err := g.Run(w.query, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workload %s failed: %v\n", w.name, err)
+			os.Exit(1)
 		}
+		rows := warm.Len()
+		reported := warm.Parallelism()
+		samples := make([]float64, clients*iterations)
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < iterations; i++ {
+					start := time.Now()
+					if _, err := g.Run(w.query, nil); err != nil {
+						errs <- err
+						return
+					}
+					samples[c*iterations+i] = float64(time.Since(start).Microseconds()) / 1000
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			fmt.Fprintf(os.Stderr, "workload %s failed: %v\n", w.name, err)
+			os.Exit(1)
+		}
+		sort.Float64s(samples)
+		fmt.Printf("%s,%s,%d,%d,%d,%d,%.3f,%.3f,%.3f\n",
+			w.name, w.param, reported, clients, len(samples), rows,
+			percentile(samples, 0.50), percentile(samples, 0.95), percentile(samples, 0.99))
 	}
+}
+
+// percentile returns the nearest-rank percentile of an ascending-sorted
+// sample set.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
 }
 
 // runConcurrent measures read throughput with many clients hammering the same

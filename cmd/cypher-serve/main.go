@@ -41,6 +41,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registered on the default mux, served only with -pprof
 	"os"
 	"os/signal"
 	"runtime"
@@ -59,6 +60,8 @@ func main() {
 		dataset     = flag.String("dataset", "empty", "initial dataset: empty, citations, social, datacenter, fraud")
 		size        = flag.Int("size", 1000, "size parameter for the synthetic datasets")
 		parallelism = flag.Int("parallelism", 1, "workers per read query (morsel-driven; 1 = serial, 0 = all CPUs)")
+		batchSize   = flag.Int("batch-size", 0, "rows per batch in the vectorized pipeline (0 = default 1024, negative = row-at-a-time)")
+		pprofAddr   = flag.String("pprof", "", "optional listen address for net/http/pprof (e.g. localhost:6060); empty disables")
 		dataDir     = flag.String("data", "", "data directory; enables WAL + snapshot persistence")
 		syncMode    = flag.String("sync", "always", "WAL fsync policy with -data: always, interval or none")
 		ckptEvery   = flag.Duration("checkpoint-every", 0, "with -data, checkpoint on this interval (0 = only on shutdown)")
@@ -133,7 +136,19 @@ func main() {
 		*advertise = deriveAdvertise(ln.Addr())
 	}
 
-	g, err := buildGraph(*role, *follow, *dataset, *size, *parallelism, *dataDir, *syncMode)
+	if *pprofAddr != "" {
+		// The blank pprof import registers its handlers on the default mux,
+		// which the API server below never serves — profiling stays opt-in on
+		// its own listener.
+		go func() {
+			log.Printf("pprof: serving on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+
+	g, err := buildGraph(*role, *follow, *dataset, *size, *parallelism, *batchSize, *dataDir, *syncMode)
 	if err != nil {
 		ln.Close()
 		fmt.Fprintln(os.Stderr, err)
@@ -243,8 +258,8 @@ func tornNote(torn bool) string {
 	return ""
 }
 
-func buildGraph(role, follow, dataset string, size, parallelism int, dataDir, syncMode string) (*cypher.Graph, error) {
-	opts := cypher.Options{Parallelism: parallelism}
+func buildGraph(role, follow, dataset string, size, parallelism, batchSize int, dataDir, syncMode string) (*cypher.Graph, error) {
+	opts := cypher.Options{Parallelism: parallelism, BatchSize: batchSize}
 
 	// Validate the dataset name up front: on a non-virgin durable directory
 	// the seeding path is skipped entirely, and a typo must not be silently

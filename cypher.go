@@ -110,6 +110,13 @@ type Options struct {
 	// MorselSize overrides the number of scan rows per parallel work unit
 	// (default 1024). Mostly useful for tests and benchmarks.
 	MorselSize int
+	// BatchSize overrides the number of rows per batch in the vectorized
+	// pipeline (default 1024, aligned with the morsel size). The batched
+	// segment of eligible read plans — scan, filter, project, single-hop
+	// expand, limit — pushes slot columns instead of single rows. Zero means
+	// the default; a negative value disables vectorized execution and keeps
+	// every query row-at-a-time (useful for tests and benchmarks).
+	BatchSize int
 	// DataDir, when non-empty, makes the graph durable: mutations are
 	// journaled to a write-ahead log under this directory and Checkpoint
 	// writes full snapshots. Opening an existing directory recovers the
@@ -294,6 +301,7 @@ func Wrap(store *graph.Graph, opts Options) *Graph {
 		MaxVarLengthDepth: opts.MaxVarLengthDepth,
 		Parallelism:       opts.Parallelism,
 		MorselSize:        opts.MorselSize,
+		BatchSize:         opts.BatchSize,
 	})
 	return &Graph{store: store, engine: engine}
 }

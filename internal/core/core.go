@@ -50,6 +50,10 @@ type Options struct {
 	// MorselSize overrides the number of scan rows per parallel work unit
 	// (default graph.DefaultMorselSize).
 	MorselSize int
+	// BatchSize overrides the number of rows per batch in the vectorized
+	// pipeline (default exec.DefaultBatchSize, aligned with the morsel
+	// size). Negative disables vectorized execution.
+	BatchSize int
 }
 
 // Engine executes Cypher queries against a single property graph. It is safe
@@ -383,6 +387,7 @@ func (e *Engine) runOn(g *graph.Graph, query string, q *ast.Query, params map[st
 		MaxVarLengthDepth: e.opts.MaxVarLengthDepth,
 		Parallelism:       e.opts.Parallelism,
 		MorselSize:        e.opts.MorselSize,
+		BatchSize:         e.opts.BatchSize,
 	})
 	tbl, err := ex.Execute(pl)
 	if err != nil {

@@ -51,6 +51,7 @@ func TestGoldenExplainPlans(t *testing.T) {
     + NodeIndexRangeSeek(n:Person {age > 90}) [rows~25 cost~25]
       + Start [rows~1.0 cost~0.0]
 parallel: eligible (morsel-driven NodeIndexRangeSeek(n:Person {age > 90}), unordered merge)
+vectorized: eligible (batched NodeIndexRangeSeek(n:Person {age > 90}) -> project -> select)
 runtime parallelism: 1
 `,
 		},
@@ -63,6 +64,7 @@ runtime parallelism: 1
         + NodeIndexRangeSeek(n:Person {age > 90, age <= 95}) [rows~10 cost~10]
           + Start [rows~1.0 cost~0.0]
 parallel: eligible (morsel-driven NodeIndexRangeSeek(n:Person {age > 90, age <= 95}), unordered merge, partial aggregation)
+vectorized: row-at-a-time (Aggregate materializes groups row-at-a-time)
 runtime parallelism: 1
 `,
 		},
@@ -73,6 +75,7 @@ runtime parallelism: 1
     + NodeIndexPrefixSeek(n:Person {name STARTS WITH 'p1'}) [rows~5.0 cost~5.0]
       + Start [rows~1.0 cost~0.0]
 parallel: eligible (morsel-driven NodeIndexPrefixSeek(n:Person {name STARTS WITH 'p1'}), unordered merge)
+vectorized: eligible (batched NodeIndexPrefixSeek(n:Person {name STARTS WITH 'p1'}) -> project -> select)
 runtime parallelism: 1
 `,
 		},
@@ -83,6 +86,7 @@ runtime parallelism: 1
     + NodeIndexSeek(n:Person {age IN [1, 2, 3]}) [rows~3.0 cost~3.0]
       + Start [rows~1.0 cost~0.0]
 parallel: eligible (morsel-driven NodeIndexSeek(n:Person {age IN [1, 2, 3]}), unordered merge)
+vectorized: eligible (batched NodeIndexSeek(n:Person {age IN [1, 2, 3]}) -> project -> select)
 runtime parallelism: 1
 `,
 		},
@@ -93,6 +97,7 @@ runtime parallelism: 1
     + NodeIndexSeek(n:Person {age = 30}) [rows~1.0 cost~1.0]
       + Start [rows~1.0 cost~0.0]
 parallel: eligible (morsel-driven NodeIndexSeek(n:Person {age = 30}), unordered merge)
+vectorized: eligible (batched NodeIndexSeek(n:Person {age = 30}) -> project -> select)
 runtime parallelism: 1
 `,
 		},
@@ -104,6 +109,7 @@ runtime parallelism: 1
       + NodeIndexRangeSeek(n:Person {age > 90}) [rows~25 cost~25]
         + Start [rows~1.0 cost~0.0]
 parallel: eligible (morsel-driven NodeIndexRangeSeek(n:Person {age > 90}), unordered merge)
+vectorized: eligible (batched NodeIndexRangeSeek(n:Person {age > 90}) -> filter -> project -> select)
 runtime parallelism: 1
 `,
 		},
@@ -114,6 +120,7 @@ runtime parallelism: 1
     + NodeIndexSeek(n:Person {age = 5}) [rows~1.0 cost~1.0]
       + Start [rows~1.0 cost~0.0]
 parallel: eligible (morsel-driven NodeIndexSeek(n:Person {age = 5}), unordered merge)
+vectorized: eligible (batched NodeIndexSeek(n:Person {age = 5}) -> project -> select)
 runtime parallelism: 1
 `,
 		},
@@ -125,6 +132,7 @@ runtime parallelism: 1
       + NodeByLabelScan(c:Company) [rows~10 cost~10]
         + Start [rows~1.0 cost~0.0]
 parallel: eligible (morsel-driven NodeByLabelScan(c:Company), unordered merge)
+vectorized: eligible (batched NodeByLabelScan(c:Company) -> filter -> project -> select)
 runtime parallelism: 1
 `,
 		},
@@ -139,6 +147,7 @@ runtime parallelism: 1
             + NodeByLabelScan(c:Company) [rows~10 cost~10]
               + Start [rows~1.0 cost~0.0]
 parallel: eligible (morsel-driven NodeByLabelScan(c:Company), unordered merge, partial aggregation)
+vectorized: eligible (batched NodeByLabelScan(c:Company) -> expand -> filter; Aggregate materializes groups row-at-a-time)
 runtime parallelism: 1
 `,
 		},
@@ -154,6 +163,7 @@ runtime parallelism: 1
               + NodeIndexSeek(a:Person {age = 1}) [rows~1.0 cost~1.0]
                 + Start [rows~1.0 cost~0.0]
 parallel: serial (no per-row work above the scan)
+vectorized: row-at-a-time (NodeIndexSeek(b:Person {age = 11}) keeps the row path)
 runtime parallelism: 1
 `,
 		},
@@ -164,6 +174,7 @@ runtime parallelism: 1
     + NodeByLabelScan(n:Person) [rows~100 cost~100]
       + Start [rows~1.0 cost~0.0]
 parallel: eligible (morsel-driven NodeByLabelScan(n:Person), unordered merge)
+vectorized: eligible (batched NodeByLabelScan(n:Person) -> project -> select)
 runtime parallelism: 1
 `,
 		},

@@ -1,0 +1,244 @@
+package eval
+
+// Batch compilation of the common WHERE predicates. The vectorized Filter
+// kernel asks the evaluator to compile its predicate once per pipeline into
+// a closure over (batch, row) so the hot loop does not re-enter the scalar
+// tree walker per row. Compilation is best-effort: any expression form
+// without a batch translation reports !ok and the kernel falls back to
+// per-row evaluation over a view record, which keeps semantics (and error
+// messages) trivially identical.
+//
+// The compiled forms mirror the scalar evaluator exactly: logical
+// connectives evaluate both operands (no short-circuit, matching
+// evalBinary), comparisons go through the same value.* ternary comparators,
+// and unbound variables raise the same ErrUnknownVariable.
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/result"
+	"repro/internal/value"
+)
+
+// BatchPredicate evaluates a compiled predicate against one selected row of
+// a batch, returning the three-valued truth of the scalar evaluator.
+type BatchPredicate func(b *result.Batch, row int32) (value.Ternary, error)
+
+// BatchExpr evaluates a compiled expression against one row of a batch.
+type BatchExpr func(b *result.Batch, row int32) (value.Value, error)
+
+// CompileBatchPredicate compiles a WHERE predicate for batch evaluation over
+// rows laid out by tab. It reports ok=false when the expression contains a
+// form without a batch translation; the caller then keeps per-row scalar
+// evaluation.
+func (c *Context) CompileBatchPredicate(e ast.Expr, tab *result.SlotTable) (BatchPredicate, bool) {
+	ce, ok := c.compileBatchExpr(e, tab)
+	if !ok {
+		return nil, false
+	}
+	return func(b *result.Batch, row int32) (value.Ternary, error) {
+		v, err := ce(b, row)
+		if err != nil {
+			return value.UnknownT, err
+		}
+		return value.TernaryOf(v), nil
+	}, true
+}
+
+// CompileBatchExpr compiles an expression for batch evaluation (the Project
+// kernel uses it per item). Same contract as CompileBatchPredicate.
+func (c *Context) CompileBatchExpr(e ast.Expr, tab *result.SlotTable) (BatchExpr, bool) {
+	return c.compileBatchExpr(e, tab)
+}
+
+// compileBatchExpr compiles the subset of expressions the batch kernels
+// support: literals, resolved parameters, slotted variables, property
+// access, comparisons, string predicates, IN, logical connectives, NOT,
+// IS [NOT] NULL, and label predicates.
+func (c *Context) compileBatchExpr(e ast.Expr, tab *result.SlotTable) (BatchExpr, bool) {
+	switch x := e.(type) {
+	case *ast.Literal:
+		v := x.Value
+		return func(*result.Batch, int32) (value.Value, error) { return v, nil }, true
+	case *ast.Parameter:
+		// Resolved at compile time (parameters are per-query constants). A
+		// missing parameter makes the expression non-compilable so the row
+		// fallback surfaces the identical ErrUnknownParameter.
+		v, ok := c.Params[x.Name]
+		if !ok {
+			return nil, false
+		}
+		return func(*result.Batch, int32) (value.Value, error) { return v, nil }, true
+	case *ast.Variable:
+		slot, ok := tab.Slot(x.Name)
+		if !ok {
+			return nil, false
+		}
+		name := x.Name
+		return func(b *result.Batch, row int32) (value.Value, error) {
+			v := b.Col(slot)[row]
+			if v == nil {
+				return nil, fmt.Errorf("%w: %s", ErrUnknownVariable, name)
+			}
+			return v, nil
+		}, true
+	case *ast.PropertyAccess:
+		subject, ok := c.compileBatchExpr(x.Subject, tab)
+		if !ok {
+			return nil, false
+		}
+		key := x.Key
+		return func(b *result.Batch, row int32) (value.Value, error) {
+			sv, err := subject(b, row)
+			if err != nil {
+				return nil, err
+			}
+			return PropertyOf(sv, key)
+		}, true
+	case *ast.IsNull:
+		operand, ok := c.compileBatchExpr(x.Operand, tab)
+		if !ok {
+			return nil, false
+		}
+		negated := x.Negated
+		return func(b *result.Batch, row int32) (value.Value, error) {
+			v, err := operand(b, row)
+			if err != nil {
+				return nil, err
+			}
+			isNull := value.IsNull(v)
+			if negated {
+				return value.NewBool(!isNull), nil
+			}
+			return value.NewBool(isNull), nil
+		}, true
+	case *ast.HasLabels:
+		subject, ok := c.compileBatchExpr(x.Subject, tab)
+		if !ok {
+			return nil, false
+		}
+		labels := x.Labels
+		return func(b *result.Batch, row int32) (value.Value, error) {
+			sv, err := subject(b, row)
+			if err != nil {
+				return nil, err
+			}
+			if value.IsNull(sv) {
+				return value.Null(), nil
+			}
+			n, ok := value.AsNode(sv)
+			if !ok {
+				return nil, fmt.Errorf("%w: label predicate requires a node, got %s", ErrTypeError, sv.Kind())
+			}
+			for _, l := range labels {
+				if !n.HasLabel(l) {
+					return value.NewBool(false), nil
+				}
+			}
+			return value.NewBool(true), nil
+		}, true
+	case *ast.UnaryOp:
+		if x.Op != ast.OpNot {
+			return nil, false
+		}
+		operand, ok := c.compileBatchExpr(x.Operand, tab)
+		if !ok {
+			return nil, false
+		}
+		return func(b *result.Batch, row int32) (value.Value, error) {
+			v, err := operand(b, row)
+			if err != nil {
+				return nil, err
+			}
+			return value.Not(value.TernaryOf(v)).ToValue(), nil
+		}, true
+	case *ast.BinaryOp:
+		lhs, ok := c.compileBatchExpr(x.LHS, tab)
+		if !ok {
+			return nil, false
+		}
+		rhs, ok := c.compileBatchExpr(x.RHS, tab)
+		if !ok {
+			return nil, false
+		}
+		switch x.Op {
+		case ast.OpAnd, ast.OpOr, ast.OpXor:
+			// Like evalBinary, both operands are evaluated (no short-circuit:
+			// an error on the right surfaces even when the left decides).
+			op := x.Op
+			return func(b *result.Batch, row int32) (value.Value, error) {
+				lv, err := lhs(b, row)
+				if err != nil {
+					return nil, err
+				}
+				rv, err := rhs(b, row)
+				if err != nil {
+					return nil, err
+				}
+				lt, rt := value.TernaryOf(lv), value.TernaryOf(rv)
+				switch op {
+				case ast.OpAnd:
+					return value.And(lt, rt).ToValue(), nil
+				case ast.OpOr:
+					return value.Or(lt, rt).ToValue(), nil
+				default:
+					return value.Xor(lt, rt).ToValue(), nil
+				}
+			}, true
+		case ast.OpEq, ast.OpNeq, ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe:
+			op := x.Op
+			return func(b *result.Batch, row int32) (value.Value, error) {
+				lv, err := lhs(b, row)
+				if err != nil {
+					return nil, err
+				}
+				rv, err := rhs(b, row)
+				if err != nil {
+					return nil, err
+				}
+				switch op {
+				case ast.OpEq:
+					return value.Equals(lv, rv).ToValue(), nil
+				case ast.OpNeq:
+					return value.Not(value.Equals(lv, rv)).ToValue(), nil
+				case ast.OpLt:
+					return value.Less(lv, rv).ToValue(), nil
+				case ast.OpLe:
+					return value.LessEq(lv, rv).ToValue(), nil
+				case ast.OpGt:
+					return value.Greater(lv, rv).ToValue(), nil
+				default:
+					return value.GreaterEq(lv, rv).ToValue(), nil
+				}
+			}, true
+		case ast.OpStartsWith, ast.OpEndsWith, ast.OpContains:
+			op := x.Op
+			return func(b *result.Batch, row int32) (value.Value, error) {
+				lv, err := lhs(b, row)
+				if err != nil {
+					return nil, err
+				}
+				rv, err := rhs(b, row)
+				if err != nil {
+					return nil, err
+				}
+				return evalStringPredicate(op, lv, rv)
+			}, true
+		case ast.OpIn:
+			return func(b *result.Batch, row int32) (value.Value, error) {
+				lv, err := lhs(b, row)
+				if err != nil {
+					return nil, err
+				}
+				rv, err := rhs(b, row)
+				if err != nil {
+					return nil, err
+				}
+				return evalIn(lv, rv)
+			}, true
+		}
+		return nil, false
+	}
+	return nil, false
+}

@@ -81,6 +81,11 @@ type Options struct {
 	// MorselSize is the number of scan rows per morsel (the unit of work
 	// handed to a parallel worker). Zero means graph.DefaultMorselSize.
 	MorselSize int
+	// BatchSize is the number of rows per batch in the vectorized pipeline.
+	// Zero means DefaultBatchSize (aligned with the morsel size); a negative
+	// value disables vectorized execution entirely — the differential tests
+	// and benchmarks use it to pin the row-at-a-time path.
+	BatchSize int
 }
 
 // DefaultMaxVarLengthDepth is the homomorphism-mode depth cap.
@@ -133,6 +138,11 @@ func (ex *Executor) Execute(p *plan.Plan) (*result.Table, error) {
 	}
 	if ex.opts.Parallelism > 1 {
 		if tbl, done, err := ex.executeParallel(p); done {
+			return tbl, err
+		}
+	}
+	if ex.batchSize() > 0 {
+		if tbl, done, err := ex.executeVectorized(p); done {
 			return tbl, err
 		}
 	}
@@ -191,6 +201,11 @@ func (ex *Executor) run(op plan.Operator, arg *result.Record, emit emitFn) error
 			}
 		}
 		return nil
+	case *vecSource:
+		// Vectorized segment of a serial run or of one morsel: batches flow
+		// through the kernel chain and surviving rows re-enter this row
+		// pipeline through the batch adapter.
+		return ex.runVectorized(o, emit)
 	case *rowSource:
 		// Merged-stream source: replays the rows gathered at the barrier
 		// into the serial tail of a parallel plan. The rows are owned by the

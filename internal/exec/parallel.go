@@ -193,6 +193,28 @@ func (ex *Executor) executeParallel(p *plan.Plan) (tbl *result.Table, done bool,
 	}
 	ex.usedParallelism = workers
 
+	// When the plan's vectorized analysis covers a prefix of the streaming
+	// segment over the same scan, each worker pushes its morsel through the
+	// batched kernels and only the remainder of the segment runs
+	// row-at-a-time. Both analyses walk the same operator chain, so pointer
+	// equality identifies the shared prefix.
+	vecK := 0
+	if ex.batchSize() > 0 {
+		vinfo := p.Vector
+		if vinfo == nil {
+			vinfo = plan.AnalyzeVectorization(p)
+		}
+		if vinfo.Eligible && vinfo.Scan == info.Scan {
+			for vecK < len(vinfo.Batched) && vecK < len(info.Streaming) && vinfo.Batched[vecK] == info.Streaming[vecK] {
+				vecK++
+			}
+		}
+	}
+	vecOps := make([]plan.Operator, 0, vecK)
+	if vecK > 0 {
+		vecOps = append(vecOps, info.Streaming[:vecK]...)
+	}
+
 	type morselOut struct {
 		rows []result.Record
 		agg  *aggState
@@ -215,7 +237,13 @@ func (ex *Executor) executeParallel(p *plan.Plan) (tbl *result.Table, done bool,
 				if i >= len(morsels) {
 					return
 				}
-				top, err := buildChain(&nodeSource{varName: varName, nodes: morsels[i]}, info.Streaming)
+				var top plan.Operator
+				var err error
+				if vecK > 0 {
+					top, err = buildChain(&vecSource{varName: varName, nodes: morsels[i], ops: vecOps}, info.Streaming[vecK:])
+				} else {
+					top, err = buildChain(&nodeSource{varName: varName, nodes: morsels[i]}, info.Streaming)
+				}
 				if err == nil {
 					switch {
 					case info.Agg != nil:

@@ -36,6 +36,9 @@ type Plan struct {
 	// Parallel is the morsel-parallelism analysis of the plan (set by the
 	// planner; nil for hand-built plans, which the executor analyses lazily).
 	Parallel *ParallelInfo
+	// Vector is the batched-execution analysis of the plan (set by the
+	// planner; nil for hand-built plans, which the executor analyses lazily).
+	Vector *VectorInfo
 	// Slots maps every name the plan can bind to a fixed row slot (set by the
 	// planner via ComputeSlots; nil for hand-built plans, which the executor
 	// computes lazily). The executor's rows are slices indexed by these slots.
@@ -96,6 +99,18 @@ func (p *Plan) String() string {
 				p.Parallel.Scan.Describe(), merge, agg)
 		} else {
 			fmt.Fprintf(&sb, "parallel: serial (%s)\n", p.Parallel.Reason)
+		}
+	}
+	if p.Vector != nil {
+		if p.Vector.Eligible {
+			boundary := ""
+			if p.Vector.Boundary != "" {
+				boundary = "; " + p.Vector.Boundary
+			}
+			fmt.Fprintf(&sb, "vectorized: eligible (%s%s)\n",
+				p.Vector.describeBatched(), boundary)
+		} else {
+			fmt.Fprintf(&sb, "vectorized: row-at-a-time (%s)\n", p.Vector.Reason)
 		}
 	}
 	return sb.String()

@@ -1,0 +1,159 @@
+package plan
+
+// Vectorization analysis for batched push execution. Like the parallelism
+// analysis, this is purely structural and computed once per compiled plan:
+// the executor consults it to decide how far above the scan it can push
+// columnar batches before handing the stream back to the row-at-a-time
+// engine through the batch→row adapter.
+//
+// A plan's batchable segment is the scan leaf plus the maximal prefix of the
+// streaming operators directly above it that have batched kernels (Filter,
+// Project, Limit, SelectColumns, single-hop Expand). The first operator
+// without a kernel becomes the boundary: everything from it upward runs on
+// the proven row path, fed one row at a time from the batch adapter. The
+// analysis is independent of the parallel analysis — under morsel
+// parallelism each worker runs one batch pipeline per morsel, and the
+// batchable prefix is intersected with the parallel streaming segment.
+
+import "strings"
+
+// VectorInfo is the result of analysing a plan for batched execution. When
+// Eligible is false, Reason says why every operator runs row-at-a-time
+// (surfaced by EXPLAIN).
+type VectorInfo struct {
+	// Eligible reports whether at least the scan and one operator above it
+	// can execute batched.
+	Eligible bool
+	// Reason is the fallback explanation when Eligible is false.
+	Reason string
+
+	// Scan is the batchable leaf (same operator the parallel analysis
+	// partitions: a full scan or a leaf index seek).
+	Scan Operator
+	// Batched lists the operators with batched kernels, in bottom-up order
+	// (closest to the scan first).
+	Batched []Operator
+	// Boundary explains where batching stops when operators remain above the
+	// batched prefix ("" when the whole chain is batched).
+	Boundary string
+}
+
+// rowOnly returns a non-eligible analysis with the given fallback reason.
+func rowOnly(reason string) *VectorInfo {
+	return &VectorInfo{Eligible: false, Reason: reason}
+}
+
+// batchSafe reports whether the operator has a batched kernel, or the reason
+// it keeps the row path.
+func batchSafe(op Operator) (ok bool, reason string) {
+	switch o := op.(type) {
+	case *Filter, *Project, *Limit, *SelectColumns:
+		return true, ""
+	case *Expand:
+		if o.VarLength {
+			return false, "variable-length expand keeps the row path"
+		}
+		if o.ExpandInto {
+			return false, "ExpandInto keeps the row path"
+		}
+		return true, ""
+	case *Aggregate:
+		return false, "Aggregate materializes groups row-at-a-time"
+	case *Sort:
+		return false, "Sort materializes rows"
+	case *Distinct:
+		return false, "Distinct keeps the row path"
+	case *Optional:
+		return false, "Optional runs its inner plan per row"
+	case *Unwind:
+		return false, "Unwind keeps the row path"
+	case *ProjectPath:
+		return false, "ProjectPath keeps the row path"
+	case *Skip:
+		return false, "Skip keeps the row path"
+	}
+	return false, op.Describe() + " keeps the row path"
+}
+
+// KernelName returns the short name of an operator's batched kernel, used by
+// EXPLAIN to render the batched segment.
+func KernelName(op Operator) string {
+	switch op.(type) {
+	case *Filter:
+		return "filter"
+	case *Project:
+		return "project"
+	case *Expand:
+		return "expand"
+	case *Limit:
+		return "limit"
+	case *SelectColumns:
+		return "select"
+	}
+	return "?"
+}
+
+// AnalyzeVectorization decomposes the plan into a batched segment and a row
+// remainder, or explains why it runs entirely row-at-a-time.
+func AnalyzeVectorization(p *Plan) *VectorInfo {
+	if !p.ReadOnly {
+		return rowOnly("updating query")
+	}
+
+	var ops []Operator
+	for op := p.Root; op != nil; op = op.Source() {
+		if _, ok := op.(*Union); ok {
+			return rowOnly("UNION combines two plans")
+		}
+		ops = append(ops, op)
+	}
+	for i, j := 0, len(ops)-1; i < j; i, j = i+1, j-1 {
+		ops[i], ops[j] = ops[j], ops[i]
+	}
+
+	if len(ops) < 2 {
+		return rowOnly("no scan to batch")
+	}
+	if _, ok := ops[0].(*Start); !ok {
+		return rowOnly("leaf is not Start")
+	}
+	switch ops[1].(type) {
+	case *AllNodesScan, *NodeByLabelScan,
+		*NodeIndexSeek, *NodeIndexRangeSeek, *NodeIndexPrefixSeek:
+		// Every partitionable leaf enumerates a node set, which the scan
+		// kernel chunks into batches.
+	default:
+		return rowOnly(ops[1].Describe() + " is not a batchable scan")
+	}
+
+	info := &VectorInfo{Eligible: true, Scan: ops[1]}
+	for _, op := range ops[2:] {
+		ok, reason := batchSafe(op)
+		if !ok {
+			info.Boundary = reason
+			break
+		}
+		info.Batched = append(info.Batched, op)
+	}
+	if len(info.Batched) == 0 {
+		reason := info.Boundary
+		if reason == "" {
+			reason = "no per-row work above the scan"
+		}
+		return rowOnly(reason)
+	}
+	return info
+}
+
+// describeBatched renders the batched segment for EXPLAIN:
+// "batched NodeByLabelScan(p:Person) -> filter -> project".
+func (v *VectorInfo) describeBatched() string {
+	var sb strings.Builder
+	sb.WriteString("batched ")
+	sb.WriteString(v.Scan.Describe())
+	for _, op := range v.Batched {
+		sb.WriteString(" -> ")
+		sb.WriteString(KernelName(op))
+	}
+	return sb.String()
+}

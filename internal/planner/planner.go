@@ -73,6 +73,8 @@ func (p *Planner) Plan(q *ast.Query) (*plan.Plan, error) {
 	// Mark the plan's morsel-parallelism eligibility once at compile time;
 	// the executor (and EXPLAIN) reuse the analysis on every run.
 	pl.Parallel = plan.AnalyzeParallelism(pl)
+	// Mark the batchable segment for vectorized execution the same way.
+	pl.Vector = plan.AnalyzeVectorization(pl)
 	// Assign every bindable name a fixed row slot; the executor carries rows
 	// as slot-indexed slices instead of per-row maps.
 	pl.Slots = plan.ComputeSlots(pl)

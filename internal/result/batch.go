@@ -1,0 +1,197 @@
+package result
+
+// Batch is the columnar unit of the vectorized executor: a fixed-capacity
+// block of rows stored as one []value.Value column per slot of the plan's
+// SlotTable, plus a selection vector naming the rows that are still live.
+// Filters mark the selection vector in place instead of copying survivors;
+// compaction happens only at materializing boundaries (Expand output, the
+// row↔batch adapter, morsel buffers). A nil entry in a column means the slot
+// is unbound for that row, mirroring Record's nil-slot convention.
+//
+// The borrowed-row discipline of the row runtime generalizes: batches flowing
+// through a kernel chain are borrowed — a kernel may read them only until its
+// emit returns, and any kernel that retains rows must copy them out. Pooled
+// batches (see internal/exec) are recycled across queries, so Reset/Wipe
+// clear stale values before reuse.
+
+import "repro/internal/value"
+
+// Batch holds up to Capacity rows of Len(tab) columns.
+type Batch struct {
+	tab      *SlotTable
+	cols     [][]value.Value // one per slot, each sized to capacity
+	capacity int
+	n        int     // rows physically present (selection indexes into [0, n))
+	hi       int     // high-water mark of n since the last Wipe
+	sel      []int32 // live row indexes, in row order
+}
+
+// NewBatch returns an empty batch with the given row capacity over the
+// table's slots.
+func NewBatch(tab *SlotTable, capacity int) *Batch {
+	b := &Batch{tab: tab, capacity: capacity}
+	b.cols = make([][]value.Value, tab.Len())
+	for i := range b.cols {
+		b.cols[i] = make([]value.Value, capacity)
+	}
+	b.sel = make([]int32, 0, capacity)
+	return b
+}
+
+// Capacity returns the row capacity.
+func (b *Batch) Capacity() int { return b.capacity }
+
+// Rows returns the number of live (selected) rows.
+func (b *Batch) Rows() int { return len(b.sel) }
+
+// Full reports whether another appended row would exceed capacity.
+func (b *Batch) Full() bool { return b.n >= b.capacity }
+
+// Selection returns the live row indexes in row order. Borrowed: valid until
+// the next mutation of the batch.
+func (b *Batch) Selection() []int32 { return b.sel }
+
+// Col returns the column for a slot. Borrowed, indexed by physical row.
+func (b *Batch) Col(slot int) []value.Value { return b.cols[slot] }
+
+// Tab returns the slot table the batch's columns are laid out over.
+func (b *Batch) Tab() *SlotTable { return b.tab }
+
+// Reset prepares the batch to hold n freshly produced rows: every column's
+// first n entries are cleared to unbound and the selection vector becomes the
+// identity over [0, n). Scans call this before filling their output column.
+func (b *Batch) Reset(n int) {
+	for i := range b.cols {
+		col := b.cols[i][:n]
+		for j := range col {
+			col[j] = nil
+		}
+	}
+	b.n = n
+	if n > b.hi {
+		b.hi = n
+	}
+	b.sel = b.sel[:0]
+	for i := 0; i < n; i++ {
+		b.sel = append(b.sel, int32(i))
+	}
+}
+
+// Clear empties the batch without touching column contents beyond row count;
+// AppendFrom will overwrite every slot of the rows it writes.
+func (b *Batch) Clear() {
+	b.n = 0
+	b.sel = b.sel[:0]
+}
+
+// AppendFrom copies row src.sel-independent physical row `row` of src into
+// the next physical row of b (all slots), selects it, and returns its
+// physical index so the caller can bind additional slots. The batch must not
+// be Full.
+func (b *Batch) AppendFrom(src *Batch, row int32) int32 {
+	dst := int32(b.n)
+	for i := range b.cols {
+		b.cols[i][dst] = src.cols[i][row]
+	}
+	b.n++
+	if b.n > b.hi {
+		b.hi = b.n
+	}
+	b.sel = append(b.sel, dst)
+	return dst
+}
+
+// FilterSel keeps only the selected rows for which keep returns true,
+// compacting the selection vector in place. Rows are visited in selection
+// order; the first error aborts and is returned (partial compaction state is
+// then unspecified — callers treat the batch as dead).
+func (b *Batch) FilterSel(keep func(row int32) (bool, error)) error {
+	out := b.sel[:0]
+	for _, row := range b.sel {
+		ok, err := keep(row)
+		if err != nil {
+			return err
+		}
+		if ok {
+			out = append(out, row)
+		}
+	}
+	b.sel = out
+	return nil
+}
+
+// CompactSel keeps only the selected rows for which keep returns true, where
+// keep also receives the ordinal position within the current selection
+// (kernels use it to index precomputed dense scratch columns).
+func (b *Batch) CompactSel(keep func(ord int, row int32) bool) {
+	out := b.sel[:0]
+	for ord, row := range b.sel {
+		if keep(ord, row) {
+			out = append(out, row)
+		}
+	}
+	b.sel = out
+}
+
+// TruncateSel keeps only the first n selected rows (LIMIT).
+func (b *Batch) TruncateSel(n int) {
+	if n < len(b.sel) {
+		b.sel = b.sel[:n]
+	}
+}
+
+// LoadRecord copies physical row `row` into the record, which must be a
+// slotted record over the same table. The record's overflow map is dropped:
+// batched pipelines bind only slotted names.
+func (b *Batch) LoadRecord(r *Record, row int32) {
+	if r.slots == nil && b.tab.Len() > 0 {
+		r.slots = make([]value.Value, b.tab.Len())
+	}
+	for i := range b.cols {
+		r.slots[i] = b.cols[i][row]
+	}
+	r.extra = nil
+}
+
+// Retab re-shapes a pooled batch for a (possibly different) slot table with
+// the same capacity, preserving column backing arrays where possible so
+// cross-query reuse stays allocation-free for plans of similar width.
+func (b *Batch) Retab(tab *SlotTable) {
+	want := tab.Len()
+	if want <= cap(b.cols) {
+		have := len(b.cols)
+		b.cols = b.cols[:want]
+		for i := have; i < want; i++ {
+			if b.cols[i] == nil {
+				b.cols[i] = make([]value.Value, b.capacity)
+			}
+		}
+	} else {
+		cols := make([][]value.Value, want)
+		copy(cols, b.cols)
+		for i := len(b.cols); i < want; i++ {
+			cols[i] = make([]value.Value, b.capacity)
+		}
+		b.cols = cols
+	}
+	b.tab = tab
+	b.Clear()
+}
+
+// Wipe clears every written column entry so a pooled batch does not pin
+// graph entities from a finished query. Only rows up to the high-water mark
+// need clearing; rows above it were never written since the last Wipe.
+func (b *Batch) Wipe() {
+	b.cols = b.cols[:cap(b.cols)]
+	for i := range b.cols {
+		col := b.cols[i]
+		if b.hi < len(col) {
+			col = col[:b.hi]
+		}
+		for j := range col {
+			col[j] = nil
+		}
+	}
+	b.hi = 0
+	b.Clear()
+}
