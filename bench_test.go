@@ -10,6 +10,7 @@ package cypher
 // reference semantics.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -745,5 +746,41 @@ func BenchmarkFollowerReadLatency(b *testing.B) {
 		b.StopTimer()
 		close(stop)
 		wg.Wait()
+	})
+}
+
+// --- B10: governance overhead (PR 9 robustness gate) ---
+
+// BenchmarkReadThroughput measures the cost of the query-governance plumbing
+// on a hot read: "bare" runs ungoverned (no context deadline, no budget, so
+// no QueryCtx is even constructed), "governed" runs the same query under a
+// generous deadline and memory budget so every cancellation tick and charge
+// is live. CI holds governed within 5% of bare.
+func BenchmarkReadThroughput(b *testing.B) {
+	g := benchGraph(10000, 8)
+	// A fused scan+filter+count over the whole graph: enough per-row work
+	// that the gate measures the steady-state governance tax (cancellation
+	// ticks, charge accounting) rather than the fixed few-microsecond cost
+	// of building a context and timer per query, and nearly allocation-free
+	// so GC noise does not swamp a 5% tolerance.
+	const q = "MATCH (p:Person) WHERE p.age >= 30 AND p.age < 60 RETURN count(p) AS c"
+	// Warm the plan cache and data structures before either sub-benchmark:
+	// the 5% gate must compare governance overhead, not cold-start skew on
+	// whichever variant happens to run first.
+	for i := 0; i < 200; i++ {
+		g.MustRun(q, nil)
+	}
+	b.Run("bare", func(b *testing.B) {
+		runBenchQuery(b, g, q, nil)
+	})
+	b.Run("governed", func(b *testing.B) {
+		opts := QueryOptions{Timeout: time.Hour, MemoryBudget: 1 << 30}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.QueryContext(context.Background(), q, nil, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }

@@ -51,6 +51,9 @@ func main() {
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile covering the measured workloads to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile after the measured workloads to this file")
 		waldump     = flag.String("waldump", "", "dump a WAL file, snapshot file or data directory and exit (debugging aid)")
+
+		queryTimeout = flag.Duration("query-timeout", 0, "wall-clock cap per query (0 = unbounded); measures governance overhead when set")
+		memoryBudget = flag.Int64("memory-budget", 0, "bytes of materialized state one query may hold (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -65,7 +68,12 @@ func main() {
 	if *parallelism <= 0 {
 		*parallelism = runtime.NumCPU()
 	}
-	opts := cypher.Options{Parallelism: *parallelism, BatchSize: *batchSize}
+	opts := cypher.Options{
+		Parallelism:    *parallelism,
+		BatchSize:      *batchSize,
+		DefaultTimeout: *queryTimeout,
+		MemoryBudget:   *memoryBudget,
+	}
 	throughput := *clients > 1
 	switch *mode {
 	case "":

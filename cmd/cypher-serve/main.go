@@ -45,6 +45,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -68,6 +69,16 @@ func main() {
 		role        = flag.String("role", "single", "replication role: single, leader or follower")
 		follow      = flag.String("follow", "", "with -role follower, the leader's base URL (e.g. http://127.0.0.1:7474)")
 		advertise   = flag.String("advertise", "", "with -role leader, the public base URL handed to followers (default derived from the listen address)")
+
+		queryTimeout = flag.Duration("query-timeout", 0, "wall-clock cap per query; per-request timeoutMs may tighten but never exceed it (0 = no cap)")
+		memoryBudget = flag.Int64("memory-budget", 0, "bytes of materialized state (sorts, aggregates, result rows) one query may hold; per-request memoryBudget may tighten it (0 = unlimited)")
+		maxInflight  = flag.Int("max-inflight", 0, "admission control: maximum queries executing at once (0 = unlimited, no admission control)")
+		queueDepth   = flag.Int("queue-depth", 0, "with -max-inflight, requests allowed to wait for a slot before 429 (0 = reject immediately at capacity)")
+		queueWait    = flag.Duration("queue-wait", 5*time.Second, "with -max-inflight, how long a queued request waits for a slot before 503")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown: how long in-flight queries get to finish before the listener is torn down")
+		slowQuery    = flag.Duration("slow-query-threshold", 0, "log queries slower than this (0 = disabled)")
+		hbTimeout    = flag.Duration("heartbeat-timeout", 0, "with -role follower, declare the stream dead after this long without leader frames (0 = default 15s)")
+		hbInterval   = flag.Duration("heartbeat-interval", 0, "with -role leader, idle-stream heartbeat period; must stay well under the followers' -heartbeat-timeout (0 = default 2s)")
 	)
 	flag.Parse()
 
@@ -124,6 +135,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -role %q (want single, leader or follower)\n", *role)
 		os.Exit(2)
 	}
+	if *maxInflight < 0 || *queueDepth < 0 || *queueWait < 0 || *drainTimeout < 0 {
+		fmt.Fprintln(os.Stderr, "-max-inflight, -queue-depth, -queue-wait and -drain-timeout must be non-negative")
+		os.Exit(2)
+	}
+	if *queueDepth > 0 && *maxInflight == 0 {
+		fmt.Fprintln(os.Stderr, "-queue-depth requires -max-inflight (there is no admission queue without a slot limit)")
+		os.Exit(2)
+	}
+	if *hbTimeout != 0 && *role != "follower" {
+		fmt.Fprintln(os.Stderr, "-heartbeat-timeout requires -role follower")
+		os.Exit(2)
+	}
+	if *hbInterval != 0 && *role != "leader" {
+		fmt.Fprintln(os.Stderr, "-heartbeat-interval requires -role leader")
+		os.Exit(2)
+	}
 
 	// Bind before building the graph so the actual address (-addr :0 picks a
 	// free port) is known for logs and the advertise default.
@@ -139,16 +166,33 @@ func main() {
 	if *pprofAddr != "" {
 		// The blank pprof import registers its handlers on the default mux,
 		// which the API server below never serves — profiling stays opt-in on
-		// its own listener.
+		// its own listener. Header/idle timeouts shed half-open connections;
+		// the write timeout is generous because CPU/trace profiles stream for
+		// their whole ?seconds window.
+		pprofSrv := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           nil, // default mux, where pprof registered
+			ReadHeaderTimeout: 10 * time.Second,
+			WriteTimeout:      5 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
 			log.Printf("pprof: serving on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := pprofSrv.ListenAndServe(); err != nil {
 				log.Printf("pprof server: %v", err)
 			}
 		}()
 	}
 
-	g, err := buildGraph(*role, *follow, *dataset, *size, *parallelism, *batchSize, *dataDir, *syncMode)
+	gopts := cypher.Options{
+		Parallelism:              *parallelism,
+		BatchSize:                *batchSize,
+		DefaultTimeout:           *queryTimeout,
+		MemoryBudget:             *memoryBudget,
+		ReplicaHeartbeatTimeout:  *hbTimeout,
+		ReplicaHeartbeatInterval: *hbInterval,
+	}
+	g, err := buildGraph(*role, *follow, *dataset, *size, *dataDir, *syncMode, gopts)
 	if err != nil {
 		ln.Close()
 		fmt.Fprintln(os.Stderr, err)
@@ -163,13 +207,18 @@ func main() {
 			tornNote(ds.Recovery.TornTail))
 	}
 
-	mux := http.NewServeMux()
-	srv := &server{graph: g, role: *role, started: time.Now(), parallelism: *parallelism}
-	mux.HandleFunc("/query", srv.handleQuery)
-	mux.HandleFunc("/explain", srv.handleExplain)
-	mux.HandleFunc("/stats", srv.handleStats)
-	mux.HandleFunc("/healthz", srv.handleHealthz)
-	mux.HandleFunc("/admin/checkpoint", srv.handleCheckpoint)
+	srv := newServer(serverConfig{
+		graph:        g,
+		role:         *role,
+		parallelism:  *parallelism,
+		queryTimeout: *queryTimeout,
+		memoryBudget: *memoryBudget,
+		maxInflight:  *maxInflight,
+		queueDepth:   *queueDepth,
+		queueWait:    *queueWait,
+		slowQuery:    *slowQuery,
+	})
+	mux := srv.routes()
 	if *role == "leader" {
 		h, err := g.ReplicationHandler(*advertise)
 		if err != nil {
@@ -183,7 +232,22 @@ func main() {
 		log.Printf("replication: following %s", *follow)
 	}
 
-	httpSrv := &http.Server{Handler: mux}
+	// Header/idle timeouts shed slowloris and half-open clients. The write
+	// timeout must outlast the longest legitimate response: a query runs up
+	// to -query-timeout before its body is even produced, so the deadline is
+	// that plus slack (or a generous fixed window when queries are
+	// unbounded). The replication stream under /repl outlives any fixed
+	// deadline by design and pushes its own per-flush write deadline forward.
+	writeTimeout := 5 * time.Minute
+	if *queryTimeout > 0 && *queryTimeout+30*time.Second > writeTimeout {
+		writeTimeout = *queryTimeout + 30*time.Second
+	}
+	httpSrv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -213,11 +277,15 @@ func main() {
 	}()
 
 	<-ctx.Done()
-	log.Printf("shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	log.Printf("shutting down: draining in-flight queries (up to %v)", *drainTimeout)
+	// Graceful drain: stop accepting, let in-flight requests finish inside
+	// -drain-timeout, then hard-close whatever is left so a wedged client
+	// cannot hold up the shutdown checkpoint below.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		log.Printf("http shutdown: drain incomplete (%v), closing remaining connections", err)
+		httpSrv.Close()
 	}
 	// Checkpoint so the next start recovers from a snapshot instead of
 	// replaying the whole WAL, then release the files. Followers skip this:
@@ -258,9 +326,7 @@ func tornNote(torn bool) string {
 	return ""
 }
 
-func buildGraph(role, follow, dataset string, size, parallelism, batchSize int, dataDir, syncMode string) (*cypher.Graph, error) {
-	opts := cypher.Options{Parallelism: parallelism, BatchSize: batchSize}
-
+func buildGraph(role, follow, dataset string, size int, dataDir, syncMode string, opts cypher.Options) (*cypher.Graph, error) {
 	// Validate the dataset name up front: on a non-virgin durable directory
 	// the seeding path is skipped entirely, and a typo must not be silently
 	// accepted (and then seed on some later virgin restart).
@@ -362,16 +428,137 @@ func datasetStore(dataset string, size int) (*graph.Graph, error) {
 	return build(size), nil
 }
 
+// serverConfig bundles the governance knobs main parses from flags; tests
+// construct it directly and serve the routes from httptest.
+type serverConfig struct {
+	graph        *cypher.Graph
+	role         string
+	parallelism  int
+	queryTimeout time.Duration // server-wide cap; requests may tighten, never loosen
+	memoryBudget int64         // server-wide cap, same convention
+	maxInflight  int           // 0 = no admission control
+	queueDepth   int
+	queueWait    time.Duration
+	slowQuery    time.Duration // 0 = slow-query log disabled
+}
+
 type server struct {
-	graph       *cypher.Graph
-	role        string
-	started     time.Time
-	parallelism int
+	cfg     serverConfig
+	graph   *cypher.Graph
+	role    string
+	started time.Time
+	adm     *admission
+}
+
+func newServer(cfg serverConfig) *server {
+	return &server{
+		cfg:     cfg,
+		graph:   cfg.graph,
+		role:    cfg.role,
+		started: time.Now(),
+		adm:     newAdmission(cfg.maxInflight, cfg.queueDepth, cfg.queueWait),
+	}
+}
+
+// routes builds the API mux (everything except the leader's /repl mount,
+// which main attaches because only a durable leader has one).
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/admin/checkpoint", s.handleCheckpoint)
+	return mux
+}
+
+// admission is the server's query gate: at most maxInflight queries execute
+// at once, at most queueDepth more wait (bounded by queueWait) for a slot.
+// Beyond that the server sheds load with 429/503 instead of stacking
+// goroutines until memory runs out.
+type admission struct {
+	slots    chan struct{} // buffered to maxInflight; a held token = an executing query
+	queueCap int64
+	wait     time.Duration
+
+	queued            atomic.Int64
+	admitted          atomic.Uint64
+	rejectedQueueFull atomic.Uint64
+	rejectedWait      atomic.Uint64
+}
+
+func newAdmission(maxInflight, queueDepth int, wait time.Duration) *admission {
+	if maxInflight <= 0 {
+		return nil
+	}
+	return &admission{
+		slots:    make(chan struct{}, maxInflight),
+		queueCap: int64(queueDepth),
+		wait:     wait,
+	}
+}
+
+// admissionError is a load-shedding decision: the HTTP status to answer with
+// and how long the client should back off before retrying.
+type admissionError struct {
+	status     int
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *admissionError) Error() string { return e.msg }
+
+// acquire blocks until the query may run. On admission it returns the
+// release func the caller must defer; otherwise an *admissionError (or the
+// client's own cancellation). A nil admission admits everything.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	release := func() { <-a.slots }
+	// Fast path: a free slot means no queueing accounting at all.
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return release, nil
+	default:
+	}
+	if n := a.queued.Add(1); n > a.queueCap {
+		a.queued.Add(-1)
+		a.rejectedQueueFull.Add(1)
+		return nil, &admissionError{
+			status:     http.StatusTooManyRequests,
+			retryAfter: a.wait,
+			msg:        fmt.Sprintf("admission queue full (%d executing, %d queued)", cap(a.slots), a.queueCap),
+		}
+	}
+	defer a.queued.Add(-1)
+	t := time.NewTimer(a.wait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return release, nil
+	case <-t.C:
+		a.rejectedWait.Add(1)
+		return nil, &admissionError{
+			status:     http.StatusServiceUnavailable,
+			retryAfter: a.wait,
+			msg:        fmt.Sprintf("server saturated: no execution slot freed within %v", a.wait),
+		}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 type queryRequest struct {
 	Query  string         `json:"query"`
 	Params map[string]any `json:"params"`
+	// TimeoutMs and MemoryBudget are per-request governance overrides. They
+	// tighten the server's -query-timeout / -memory-budget caps but can
+	// never exceed them; negative values are rejected.
+	TimeoutMs    int64 `json:"timeoutMs"`
+	MemoryBudget int64 `json:"memoryBudget"`
 }
 
 type queryResponse struct {
@@ -397,22 +584,37 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing \"query\"")
 		return
 	}
-	start := time.Now()
-	res, err := s.graph.Run(req.Query, req.Params)
-	if err != nil {
-		var ro *cypher.ReadOnlyReplicaError
-		if errors.As(err, &ro) {
-			// A follower cannot commit; point the client at the leader. 307
-			// preserves the method and body, so a client that follows
-			// redirects replays the same POST there.
-			w.Header().Set("Location", ro.Leader+"/query")
-			httpError(w, http.StatusTemporaryRedirect, "%v", err)
-			return
-		}
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+	if req.TimeoutMs < 0 || req.MemoryBudget < 0 {
+		httpError(w, http.StatusBadRequest, "timeoutMs and memoryBudget must be non-negative")
 		return
 	}
+
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		var ae *admissionError
+		if errors.As(err, &ae) {
+			w.Header().Set("Retry-After", fmt.Sprint(int(ae.retryAfter.Seconds()+1)))
+			httpError(w, ae.status, "%v", ae)
+		}
+		// Otherwise the client hung up while queued; nobody is listening.
+		return
+	}
+	defer release()
+
+	qopts := cypher.QueryOptions{
+		Timeout:      tighten(time.Duration(req.TimeoutMs)*time.Millisecond, s.cfg.queryTimeout),
+		MemoryBudget: tightenBytes(req.MemoryBudget, s.cfg.memoryBudget),
+	}
+	start := time.Now()
+	res, err := s.graph.QueryContext(r.Context(), req.Query, req.Params, qopts)
 	elapsed := time.Since(start)
+	if s.cfg.slowQuery > 0 && elapsed >= s.cfg.slowQuery {
+		log.Printf("slow query (%.1fms, err=%v): %s", float64(elapsed.Microseconds())/1000, err, req.Query)
+	}
+	if err != nil {
+		s.writeQueryError(w, r, err)
+		return
+	}
 	rows := res.Rows()
 	out := queryResponse{
 		Columns:     res.Columns(),
@@ -430,6 +632,71 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		out.Rows[i] = conv
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// tighten resolves a per-request timeout against the server-wide cap:
+// requests may tighten governance but never loosen it. Zero request means
+// "inherit the cap" (QueryOptions zero = inherit the graph default, which is
+// the same -query-timeout value).
+func tighten(req, cap time.Duration) time.Duration {
+	if req <= 0 {
+		return 0
+	}
+	if cap > 0 && req > cap {
+		return cap
+	}
+	return req
+}
+
+// tightenBytes is tighten for memory budgets.
+func tightenBytes(req, cap int64) int64 {
+	if req <= 0 {
+		return 0
+	}
+	if cap > 0 && req > cap {
+		return cap
+	}
+	return req
+}
+
+// writeQueryError maps engine failures onto HTTP statuses so clients and
+// load balancers can tell governance outcomes apart:
+//
+//	307  follower rejected a write; retry the POST at the leader
+//	408  the client itself went away mid-query
+//	422  the query is invalid (parse/plan/runtime error)
+//	500  an operator panicked; the query died, the server did not
+//	504  the query hit its deadline
+//	507  the query hit its memory budget
+func (s *server) writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	var ro *cypher.ReadOnlyReplicaError
+	var exhausted *cypher.ResourceExhaustedError
+	var panicked *cypher.QueryPanicError
+	var canceled *cypher.QueryCanceledError
+	switch {
+	case errors.As(err, &ro):
+		// 307 preserves the method and body, so a client that follows
+		// redirects replays the same POST at the leader.
+		w.Header().Set("Location", ro.Leader+"/query")
+		httpError(w, http.StatusTemporaryRedirect, "%v", err)
+	case errors.As(err, &exhausted):
+		httpError(w, http.StatusInsufficientStorage, "%v", err)
+	case errors.As(err, &panicked):
+		// The panic is contained to the query; log the stack server-side,
+		// return only the summary.
+		log.Printf("query panic contained: %v\n%s", err, panicked.Stack)
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	case errors.As(err, &canceled):
+		if errors.Is(err, context.DeadlineExceeded) {
+			httpError(w, http.StatusGatewayTimeout, "%v", err)
+		} else {
+			// The request context is the only cancellation source wired in,
+			// so a plain cancel means the client disconnected mid-query.
+			httpError(w, http.StatusRequestTimeout, "%v", err)
+		}
+	default:
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+	}
 }
 
 func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -451,9 +718,14 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 // A failed follower (unrecoverable divergence) answers 503 so load balancers
 // stop routing reads to a stale replica.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	gov := s.graph.GovernanceStats()
 	out := map[string]any{
-		"status": "ok",
-		"role":   s.role,
+		"status":   "ok",
+		"role":     s.role,
+		"inFlight": gov.InFlight,
+	}
+	if s.adm != nil {
+		out["queued"] = s.adm.queued.Load()
 	}
 	status := http.StatusOK
 	if rs, ok := s.graph.ReplicationStats(); ok {
@@ -601,12 +873,44 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"rebuilds":         ms.Rebuilds,
 			"backlogLength":    ms.BacklogLen,
 		},
+		"governance": s.governance(),
 		"execution": map[string]any{
-			"parallelism": s.parallelism,
+			"parallelism": s.cfg.parallelism,
 			"cpus":        runtime.NumCPU(),
 		},
 		"uptimeSeconds": time.Since(s.started).Seconds(),
 	})
+}
+
+// governance merges the engine's per-query counters with the serving layer's
+// admission numbers into one /stats section.
+func (s *server) governance() map[string]any {
+	gov := s.graph.GovernanceStats()
+	out := map[string]any{
+		"inFlight":         gov.InFlight,
+		"canceled":         gov.Canceled,
+		"deadlineExceeded": gov.DeadlineExceeded,
+		"memoryExhausted":  gov.MemoryExhausted,
+		"panicsRecovered":  gov.PanicsRecovered,
+		"peakQueryBytes":   gov.PeakQueryBytes,
+		"queryTimeout":     s.cfg.queryTimeout.String(),
+		"memoryBudget":     s.cfg.memoryBudget,
+		"slowQueryLog":     s.cfg.slowQuery > 0,
+		"admission":        map[string]any{"enabled": false},
+	}
+	if s.adm != nil {
+		out["admission"] = map[string]any{
+			"enabled":           true,
+			"maxInflight":       cap(s.adm.slots),
+			"queueDepth":        s.adm.queueCap,
+			"queueWait":         s.adm.wait.String(),
+			"queued":            s.adm.queued.Load(),
+			"admitted":          s.adm.admitted.Load(),
+			"rejectedQueueFull": s.adm.rejectedQueueFull.Load(),
+			"rejectedWait":      s.adm.rejectedWait.Load(),
+		}
+	}
+	return out
 }
 
 // jsonValue converts a native Go result value (as produced by Result.Rows)

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	cypher "repro"
 	"repro/internal/datasets"
@@ -33,15 +34,21 @@ type shell struct {
 	graph    *cypher.Graph
 	morphism cypher.Morphism
 	durable  bool
+	// timeout and budget govern every query this shell runs; they survive
+	// :load store swaps.
+	timeout time.Duration
+	budget  int64
 }
 
 func main() {
 	dataDir := flag.String("data", "", "data directory; enables WAL + snapshot persistence")
+	queryTimeout := flag.Duration("query-timeout", 0, "wall-clock cap per query (0 = unbounded)")
+	memoryBudget := flag.Int64("memory-budget", 0, "bytes of materialized state one query may hold (0 = unlimited)")
 	flag.Parse()
 
-	sh := &shell{}
+	sh := &shell{timeout: *queryTimeout, budget: *memoryBudget}
 	if *dataDir != "" {
-		g, err := cypher.Open(*dataDir, cypher.Options{})
+		g, err := cypher.Open(*dataDir, cypher.Options{DefaultTimeout: sh.timeout, MemoryBudget: sh.budget})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(2)
@@ -82,7 +89,11 @@ func main() {
 
 func (sh *shell) setStore(store *graph.Graph) {
 	sh.store = store
-	sh.graph = cypher.Wrap(store, cypher.Options{Morphism: sh.morphism})
+	sh.graph = cypher.Wrap(store, cypher.Options{
+		Morphism:       sh.morphism,
+		DefaultTimeout: sh.timeout,
+		MemoryBudget:   sh.budget,
+	})
 }
 
 func (sh *shell) command(line string) bool {

@@ -18,10 +18,13 @@
 package cypher
 
 import (
+	"context"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/replica"
 	"repro/internal/storage"
@@ -89,6 +92,25 @@ type ReplicationPosition = storage.Position
 // layers typically turn it into an HTTP redirect.
 type ReadOnlyReplicaError = core.ReadOnlyReplicaError
 
+// QueryCanceledError is returned when a query is stopped by context
+// cancellation or deadline expiry. Its Cause (reachable via errors.Is) is
+// context.Canceled or context.DeadlineExceeded.
+type QueryCanceledError = exec.CanceledError
+
+// ResourceExhaustedError is returned when a query exceeds its memory budget.
+// Only the offending query fails; the engine keeps serving.
+type ResourceExhaustedError = exec.ResourceExhaustedError
+
+// QueryPanicError is returned when query execution panicked and was
+// contained at the query boundary; the engine's locks, MVCC pins and pooled
+// buffers are released and it keeps serving.
+type QueryPanicError = exec.PanicError
+
+// GovernanceStats is a snapshot of the query-lifecycle counters: in-flight
+// and queued queries, admission decisions, cancellations, deadline and
+// budget kills, recovered panics and the peak per-query materialized bytes.
+type GovernanceStats = core.GovernanceStats
+
 // Options configures a Graph.
 type Options struct {
 	// Name is the graph's name (useful with multiple graphs); defaults to
@@ -117,6 +139,26 @@ type Options struct {
 	// the default; a negative value disables vectorized execution and keeps
 	// every query row-at-a-time (useful for tests and benchmarks).
 	BatchSize int
+	// DefaultTimeout bounds every query's wall-clock execution time (zero:
+	// no engine-level deadline). Individual queries can override it through
+	// QueryOptions.Timeout.
+	DefaultTimeout time.Duration
+	// MemoryBudget bounds the bytes of materialized state (sort buffers,
+	// aggregation tables, DISTINCT/UNION sets, result rows) one query may
+	// accumulate before it fails with *ResourceExhaustedError. Zero means
+	// unlimited. Individual queries can override it through QueryOptions.
+	MemoryBudget int64
+	// ReplicaHeartbeatTimeout is how long a follower waits without frames or
+	// heartbeats from its leader before declaring the stream stalled and
+	// reconnecting. Zero means the replica package default. Only meaningful
+	// for graphs opened with OpenFollower.
+	ReplicaHeartbeatTimeout time.Duration
+	// ReplicaHeartbeatInterval is how often this node, when serving as a
+	// replication leader, re-sends its live position on idle streams. It is
+	// the followers' liveness signal and must stay well under their
+	// ReplicaHeartbeatTimeout. Zero means the replica package default (2s).
+	// Only meaningful for graphs that call ReplicationHandler.
+	ReplicaHeartbeatInterval time.Duration
 	// DataDir, when non-empty, makes the graph durable: mutations are
 	// journaled to a write-ahead log under this directory and Checkpoint
 	// writes full snapshots. Opening an existing directory recovers the
@@ -142,6 +184,9 @@ type Graph struct {
 	// tailer keeps the graph converged with its leader and the engine rejects
 	// write queries.
 	follower *replica.Follower
+	// replicaHeartbeat is Options.ReplicaHeartbeatInterval, applied to the
+	// leader when ReplicationHandler is called.
+	replicaHeartbeat time.Duration
 }
 
 // New creates an empty in-memory graph with default options.
@@ -213,9 +258,10 @@ func OpenFollower(dir, leader string, opts Options) (*Graph, error) {
 	g := Wrap(store, opts)
 	g.engine.SetFollowerOf(leader)
 	g.follower = replica.NewFollower(replica.FollowerConfig{
-		Leader: leader,
-		Engine: g.engine,
-		Store:  fstore,
+		Leader:           leader,
+		Engine:           g.engine,
+		Store:            fstore,
+		HeartbeatTimeout: opts.ReplicaHeartbeatTimeout,
 	})
 	g.follower.Start()
 	return g, nil
@@ -238,6 +284,7 @@ func (g *Graph) ReplicationHandler(advertise string) (http.Handler, error) {
 		return nil, fmt.Errorf("cypher: replication requires a durable graph (use Open)")
 	}
 	g.leader = replica.NewLeader(d, advertise)
+	g.leader.SetHeartbeatInterval(g.replicaHeartbeat)
 	return g.leader.Handler(), nil
 }
 
@@ -302,18 +349,61 @@ func Wrap(store *graph.Graph, opts Options) *Graph {
 		Parallelism:       opts.Parallelism,
 		MorselSize:        opts.MorselSize,
 		BatchSize:         opts.BatchSize,
+		DefaultTimeout:    opts.DefaultTimeout,
+		MemoryBudget:      opts.MemoryBudget,
 	})
-	return &Graph{store: store, engine: engine}
+	return &Graph{store: store, engine: engine, replicaHeartbeat: opts.ReplicaHeartbeatInterval}
+}
+
+// QueryOptions carries per-query governance overrides for QueryContext.
+type QueryOptions struct {
+	// Timeout overrides Options.DefaultTimeout for this query: >0 sets a
+	// deadline, 0 inherits the graph default, <0 disables the graph-level
+	// deadline (the context may still carry one).
+	Timeout time.Duration
+	// MemoryBudget overrides Options.MemoryBudget with the same convention.
+	MemoryBudget int64
 }
 
 // Run executes a Cypher query with optional parameters (native Go values:
-// nil, bool, numbers, strings, []any, map[string]any).
+// nil, bool, numbers, strings, []any, map[string]any). The query is still
+// governed by Options.DefaultTimeout and Options.MemoryBudget; use
+// RunContext/QueryContext to attach a cancelable context or per-query
+// overrides.
 func (g *Graph) Run(query string, params map[string]any) (*Result, error) {
 	res, err := g.engine.RunWithGoParams(query, params)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{inner: res}, nil
+}
+
+// RunContext executes a query under the caller's context: cancellation and
+// deadline are observed cooperatively at batch/morsel boundaries and every
+// few hundred rows in serial loops, stopping all of the query's workers and
+// releasing its MVCC pin and pooled buffers. A canceled query fails with
+// *QueryCanceledError; other queries on the graph are unaffected.
+func (g *Graph) RunContext(ctx context.Context, query string, params map[string]any) (*Result, error) {
+	return g.QueryContext(ctx, query, params, QueryOptions{})
+}
+
+// QueryContext is RunContext with per-query governance overrides.
+func (g *Graph) QueryContext(ctx context.Context, query string, params map[string]any, opts QueryOptions) (*Result, error) {
+	res, err := g.engine.RunContextWithGoParams(ctx, query, params, core.RunOptions{
+		Timeout:      opts.Timeout,
+		MemoryBudget: opts.MemoryBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{inner: res}, nil
+}
+
+// GovernanceStats reports the graph's query-lifecycle counters. The
+// queue-side fields (Queued, Admitted, Rejected) are filled by serving
+// layers running admission control; embedded use sees them as zero.
+func (g *Graph) GovernanceStats() GovernanceStats {
+	return g.engine.GovernanceStats()
 }
 
 // MustRun executes a query and panics on error; intended for tests, examples

@@ -6,8 +6,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/exec"
@@ -54,6 +58,15 @@ type Options struct {
 	// pipeline (default exec.DefaultBatchSize, aligned with the morsel
 	// size). Negative disables vectorized execution.
 	BatchSize int
+	// DefaultTimeout bounds every query's wall-clock execution time unless a
+	// RunOptions override says otherwise. Zero means no engine-level
+	// deadline (the caller's context may still carry one).
+	DefaultTimeout time.Duration
+	// MemoryBudget bounds the bytes of materialized state (sort buffers,
+	// aggregation groups, distinct sets, result rows) a single query may
+	// accumulate; exceeding it fails that query with a
+	// *exec.ResourceExhaustedError. Zero means unlimited.
+	MemoryBudget int64
 }
 
 // Engine executes Cypher queries against a single property graph. It is safe
@@ -109,6 +122,61 @@ type Engine struct {
 	// ApplyReplicated/ResetReplicated (see replicate.go). Set before
 	// sharing.
 	followerOf string
+
+	// gov holds the engine-level governance counters (see GovernanceStats).
+	// All atomic; the serving layer's admission controller contributes the
+	// queue-side numbers.
+	gov govCounters
+}
+
+// govCounters are the engine's query-lifecycle counters.
+type govCounters struct {
+	inFlight         atomic.Int64
+	canceled         atomic.Uint64
+	deadlineExceeded atomic.Uint64
+	memoryExhausted  atomic.Uint64
+	panicsRecovered  atomic.Uint64
+	peakQueryBytes   atomic.Int64
+}
+
+// GovernanceStats is a snapshot of the query-lifecycle counters. The engine
+// fills the execution-side fields; serving layers running an admission
+// controller (cmd/cypher-serve) fill the queue-side fields before rendering.
+type GovernanceStats struct {
+	// InFlight is the number of queries currently executing in the engine.
+	InFlight int64
+	// Queued is the number of requests waiting in the admission queue.
+	Queued int64
+	// Admitted counts requests that made it past admission control.
+	Admitted uint64
+	// Rejected counts requests refused by admission control (queue full or
+	// wait deadline exceeded).
+	Rejected uint64
+	// Canceled counts queries stopped by caller cancellation (client
+	// disconnect, explicit cancel).
+	Canceled uint64
+	// DeadlineExceeded counts queries killed by a deadline.
+	DeadlineExceeded uint64
+	// MemoryExhausted counts queries killed by their memory budget.
+	MemoryExhausted uint64
+	// PanicsRecovered counts operator panics contained at the query boundary.
+	PanicsRecovered uint64
+	// PeakQueryBytes is the largest materialized-byte high-water mark any
+	// single governed query has reached.
+	PeakQueryBytes int64
+}
+
+// GovernanceStats returns the engine's current governance counters (the
+// queue-side fields are zero; serving layers overlay them).
+func (e *Engine) GovernanceStats() GovernanceStats {
+	return GovernanceStats{
+		InFlight:         e.gov.inFlight.Load(),
+		Canceled:         e.gov.canceled.Load(),
+		DeadlineExceeded: e.gov.deadlineExceeded.Load(),
+		MemoryExhausted:  e.gov.memoryExhausted.Load(),
+		PanicsRecovered:  e.gov.panicsRecovered.Load(),
+		PeakQueryBytes:   e.gov.peakQueryBytes.Load(),
+	}
 }
 
 // NewEngine creates an engine over the graph. It installs itself as the
@@ -310,9 +378,110 @@ func (e *Engine) planFor(g *graph.Graph, query string, q *ast.Query) (*plan.Plan
 	})
 }
 
+// RunOptions carries per-query governance overrides for RunContext.
+type RunOptions struct {
+	// Timeout overrides the engine's DefaultTimeout for this query: >0 sets
+	// a deadline, 0 inherits the engine default, <0 disables the engine
+	// deadline (the caller's context may still carry one).
+	Timeout time.Duration
+	// MemoryBudget overrides the engine's MemoryBudget with the same
+	// convention: >0 sets a budget, 0 inherits, <0 disables.
+	MemoryBudget int64
+}
+
 // Run parses, checks, plans and executes the query with the given
-// parameters (which may be nil).
+// parameters (which may be nil). The query is still governed by the engine's
+// DefaultTimeout and MemoryBudget options; use RunContext to attach a
+// cancelable context or per-query overrides.
 func (e *Engine) Run(query string, params map[string]value.Value) (*Result, error) {
+	return e.RunContext(context.Background(), query, params, RunOptions{})
+}
+
+// RunContext runs the query under the caller's context plus the resolved
+// deadline and memory budget. Cancellation (client disconnect, deadline) is
+// observed cooperatively at morsel/batch boundaries and every
+// exec.CancelCheckStride rows in serial loops; the canceled query fails with
+// *exec.CanceledError while every other query proceeds untouched. A query
+// that exceeds its memory budget fails with *exec.ResourceExhaustedError; a
+// panicking operator is contained at the query boundary and surfaces as
+// *exec.PanicError. In all three cases the engine remains fully usable —
+// MVCC pins, the write lock and pooled buffers are released on every exit
+// path.
+//
+// A canceled WRITE query keeps whatever mutations it applied before the
+// check fired: the in-memory store has no rollback, so partial effects are
+// journaled and published exactly like any other failed write (the engine's
+// long-standing no-rollback contract). Callers who need all-or-nothing
+// writes should not set deadlines tighter than their writes.
+func (e *Engine) RunContext(ctx context.Context, query string, params map[string]value.Value, ro RunOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	timeout := ro.Timeout
+	if timeout == 0 {
+		timeout = e.opts.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	budget := ro.MemoryBudget
+	if budget == 0 {
+		budget = e.opts.MemoryBudget
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	// Only build governance state when there is something to govern: plain
+	// Run on an engine without timeout/budget options keeps the exact
+	// pre-governance fast path (qc == nil short-circuits every check).
+	var qc *exec.QueryCtx
+	if ctx.Done() != nil || budget > 0 {
+		qc = exec.NewQueryCtx(ctx, budget)
+	}
+	e.gov.inFlight.Add(1)
+	defer e.gov.inFlight.Add(-1)
+	res, err := e.runGoverned(qc, query, params)
+	e.observeGoverned(qc, err)
+	return res, err
+}
+
+// observeGoverned classifies a query outcome into the governance counters
+// and folds the query's materialized high-water mark into the peak gauge.
+func (e *Engine) observeGoverned(qc *exec.QueryCtx, err error) {
+	if used := qc.UsedBytes(); used > 0 {
+		for {
+			cur := e.gov.peakQueryBytes.Load()
+			if used <= cur || e.gov.peakQueryBytes.CompareAndSwap(cur, used) {
+				break
+			}
+		}
+	}
+	if err == nil {
+		return
+	}
+	var (
+		pe *exec.PanicError
+		re *exec.ResourceExhaustedError
+		ce *exec.CanceledError
+	)
+	switch {
+	case errors.As(err, &pe):
+		e.gov.panicsRecovered.Add(1)
+	case errors.As(err, &re):
+		e.gov.memoryExhausted.Add(1)
+	case errors.As(err, &ce):
+		if errors.Is(err, context.DeadlineExceeded) {
+			e.gov.deadlineExceeded.Add(1)
+		} else {
+			e.gov.canceled.Add(1)
+		}
+	}
+}
+
+// runGoverned is the Run body proper: classify, pin or lock, execute.
+func (e *Engine) runGoverned(qc *exec.QueryCtx, query string, params map[string]value.Value) (*Result, error) {
 	q, err := e.parseChecked(query)
 	if err != nil {
 		return nil, err
@@ -323,7 +492,7 @@ func (e *Engine) Run(query string, params map[string]value.Value) (*Result, erro
 		// simply means the pin lands on the previous committed version.
 		v := e.versions.Pin()
 		defer e.versions.Unpin(v)
-		return e.runOn(v, query, q, params)
+		return e.runOn(v, qc, query, q, params)
 	}
 	// Followers serve reads only; the write belongs on the leader.
 	if err := e.readOnlyErr(); err != nil {
@@ -344,7 +513,7 @@ func (e *Engine) Run(query string, params map[string]value.Value) (*Result, erro
 		// were applied before the error are real, and readers must converge
 		// to the same state the memory holds.
 		defer e.versions.Publish()
-		res, err = e.runOn(target, query, q, params)
+		res, err = e.runOn(target, qc, query, q, params)
 		// Journal the batch even when the query failed partway, for the same
 		// no-rollback reason — otherwise a restart would silently diverge
 		// from what clients observed. The append happens under the write
@@ -377,7 +546,7 @@ func (e *Engine) Run(query string, params map[string]value.Value) (*Result, erro
 // version: the pinned published version for readers, the exclusively-owned
 // primary for writers (which is how a write query reads its own earlier
 // clauses' writes).
-func (e *Engine) runOn(g *graph.Graph, query string, q *ast.Query, params map[string]value.Value) (*Result, error) {
+func (e *Engine) runOn(g *graph.Graph, qc *exec.QueryCtx, query string, q *ast.Query, params map[string]value.Value) (*Result, error) {
 	pl, err := e.planFor(g, query, q)
 	if err != nil {
 		return nil, err
@@ -388,6 +557,7 @@ func (e *Engine) runOn(g *graph.Graph, query string, q *ast.Query, params map[st
 		Parallelism:       e.opts.Parallelism,
 		MorselSize:        e.opts.MorselSize,
 		BatchSize:         e.opts.BatchSize,
+		QueryCtx:          qc,
 	})
 	tbl, err := ex.Execute(pl)
 	if err != nil {
@@ -488,6 +658,15 @@ func (e *Engine) RunWithGoParams(query string, params map[string]any) (*Result, 
 		return nil, err
 	}
 	return e.Run(query, converted)
+}
+
+// RunContextWithGoParams is RunContext with native Go parameter conversion.
+func (e *Engine) RunContextWithGoParams(ctx context.Context, query string, params map[string]any, ro RunOptions) (*Result, error) {
+	converted, err := ConvertParams(params)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunContext(ctx, query, converted, ro)
 }
 
 // ConvertParams converts a map of native Go values into Cypher values.

@@ -106,7 +106,7 @@ func TestIsolationRepeatableRead(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := e.runOn(v, q, parsed, nil)
+		res, err := e.runOn(v, nil, q, parsed, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -42,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/eval"
@@ -95,6 +96,17 @@ func (s *vecSource) Source() plan.Operator { return nil }
 // (engines with different BatchSize options coexist in one process).
 var batchPools sync.Map // int -> *sync.Pool
 
+// batchesOutstanding counts batches currently checked out of the pools. The
+// cancellation-hygiene tests assert it returns to its pre-query level after
+// canceled, deadline-killed and panicking queries — pooled batches must be
+// returned on every exit path (they are: putBatch runs in deferred handlers
+// that also fire during panic unwinding).
+var batchesOutstanding atomic.Int64
+
+// BatchesOutstanding reports how many pooled batches are checked out across
+// the process. Test instrumentation.
+func BatchesOutstanding() int64 { return batchesOutstanding.Load() }
+
 func batchPoolFor(capacity int) *sync.Pool {
 	if p, ok := batchPools.Load(capacity); ok {
 		return p.(*sync.Pool)
@@ -106,6 +118,7 @@ func batchPoolFor(capacity int) *sync.Pool {
 // getBatch returns a batch of the given capacity shaped for the slot table,
 // reusing a pooled one when possible.
 func getBatch(tab *result.SlotTable, capacity int) *result.Batch {
+	batchesOutstanding.Add(1)
 	if v := batchPoolFor(capacity).Get(); v != nil {
 		b := v.(*result.Batch)
 		b.Retab(tab)
@@ -117,6 +130,7 @@ func getBatch(tab *result.SlotTable, capacity int) *result.Batch {
 // putBatch wipes the batch (so it does not pin graph entities) and returns
 // it to its capacity's pool.
 func putBatch(b *result.Batch) {
+	batchesOutstanding.Add(-1)
 	b.Wipe()
 	batchPoolFor(b.Capacity()).Put(b)
 }
@@ -549,6 +563,11 @@ func (ex *Executor) buildExpandKernel(o *plan.Expand, bp *batchPipeline, emit ba
 	nodesScratch := make([]*graph.Node, 0, bp.size)
 	rowsScratch := make([]int32, 0, bp.size)
 	return func(b *result.Batch) error {
+		// One input batch can fan out to arbitrarily many output batches
+		// (supernodes); check at the batch boundary like the drivers do.
+		if err := ex.qc.Err(); err != nil {
+			return err
+		}
 		nodesScratch = nodesScratch[:0]
 		rowsScratch = rowsScratch[:0]
 		fromCol := b.Col(fromSlot)
@@ -693,6 +712,9 @@ func (ex *Executor) executeVectorized(p *plan.Plan) (tbl *result.Table, done boo
 	tbl = result.NewTable(p.Columns...)
 	if err := ex.run(top, nil, func(r result.Record) error {
 		// The table outlives the emit call; take ownership of the row.
+		if err := ex.qc.ChargeRecord(r); err != nil {
+			return err
+		}
 		tbl.Add(r.Clone())
 		return nil
 	}); err != nil {
@@ -760,6 +782,12 @@ func (ex *Executor) runVectorized(o *vecSource, emit emitFn) error {
 		scratch = make([]*graph.Node, 0, size)
 	}
 	for lo := 0; lo < len(o.nodes); lo += size {
+		// Cancellation check at the batch boundary — the vectorized
+		// counterpart of the row loops' stride ticks (one chunk is one
+		// stride by construction).
+		if err := ex.qc.Err(); err != nil {
+			return err
+		}
 		chunk := o.nodes[lo:min(lo+size, len(o.nodes))]
 		if fused != nil {
 			scratch = fused.filterNodesInto(scratch[:0], chunk)

@@ -86,6 +86,10 @@ type Options struct {
 	// value disables vectorized execution entirely — the differential tests
 	// and benchmarks use it to pin the row-at-a-time path.
 	BatchSize int
+	// QueryCtx is the query's governance state: cancellation, deadline and
+	// memory budget. Nil means ungoverned — every check compiles down to a
+	// nil-receiver early return, keeping the happy path free.
+	QueryCtx *QueryCtx
 }
 
 // DefaultMaxVarLengthDepth is the homomorphism-mode depth cap.
@@ -98,6 +102,10 @@ type Executor struct {
 	params  map[string]value.Value
 	opts    Options
 	evalCtx *eval.Context
+	// qc is the query's governance state (opts.QueryCtx); nil when the query
+	// is ungoverned. Shared read-only/atomically by all morsel workers, so
+	// cooperative-check counters live at the call sites, never here.
+	qc *QueryCtx
 	// tab is the slot table of the plan being executed (set by Execute).
 	// It is frozen at plan time, so sharing it across morsel workers is safe.
 	tab *result.SlotTable
@@ -117,7 +125,7 @@ func New(g *graph.Graph, params map[string]value.Value, opts Options) *Executor 
 	if opts.MaxVarLengthDepth <= 0 {
 		opts.MaxVarLengthDepth = DefaultMaxVarLengthDepth
 	}
-	ex := &Executor{graph: g, params: params, opts: opts}
+	ex := &Executor{graph: g, params: params, opts: opts, qc: opts.QueryCtx}
 	ex.evalCtx = &eval.Context{Params: params, PatternPredicate: ex.patternPredicate}
 	return ex
 }
@@ -126,7 +134,24 @@ func New(g *graph.Graph, params map[string]value.Value, opts Options) *Executor 
 // execute morsel-driven when the executor's Parallelism option exceeds one
 // and the scan is large enough to amortise the worker pool; everything else
 // takes the serial tuple-at-a-time path.
-func (ex *Executor) Execute(p *plan.Plan) (*result.Table, error) {
+//
+// Execute is the panic-containment boundary: a panicking operator (or scalar
+// function) unwinds through the deferred cleanups — pooled batches, ID sets
+// and pipeline state are released on the way out — and surfaces as a
+// *PanicError instead of killing the process. The morsel workers of a
+// parallel run carry their own recovery (a panic on a plain goroutine would
+// bypass this one; see executeParallel).
+func (ex *Executor) Execute(p *plan.Plan) (tbl *result.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			tbl, err = nil, newPanicError(r)
+		}
+	}()
+	if err := ex.qc.Err(); err != nil {
+		// Already canceled (client gone, deadline passed while queued):
+		// don't start work.
+		return nil, err
+	}
 	ex.usedParallelism = 1
 	ex.readOnly = p.ReadOnly
 	ex.tab = p.Slots
@@ -146,9 +171,12 @@ func (ex *Executor) Execute(p *plan.Plan) (*result.Table, error) {
 			return tbl, err
 		}
 	}
-	tbl := result.NewTable(p.Columns...)
-	err := ex.run(p.Root, nil, func(r result.Record) error {
+	tbl = result.NewTable(p.Columns...)
+	err = ex.run(p.Root, nil, func(r result.Record) error {
 		// The table outlives the emit call; take ownership of the row.
+		if err := ex.qc.ChargeRecord(r); err != nil {
+			return err
+		}
 		tbl.Add(r.Clone())
 		return nil
 	})
@@ -194,7 +222,11 @@ func (ex *Executor) run(op plan.Operator, arg *result.Record, emit emitFn) error
 		// over the unit record (the scan's Input is known to be Start). The
 		// single row buffer is rebound per node.
 		r := result.NewSlotted(ex.tab)
+		tick := 0
 		for _, n := range o.nodes {
+			if err := ex.qc.Tick(&tick); err != nil {
+				return err
+			}
 			r.Set(o.varName, value.NewNode(n))
 			if err := emit(r); err != nil {
 				return err
@@ -211,7 +243,11 @@ func (ex *Executor) run(op plan.Operator, arg *result.Record, emit emitFn) error
 		// into the serial tail of a parallel plan. The rows are owned by the
 		// buffer, which is discarded afterwards, so they can be emitted (and
 		// scribbled on by the tail) directly.
+		tick := 0
 		for _, r := range o.rows {
+			if err := ex.qc.Tick(&tick); err != nil {
+				return err
+			}
 			if err := emit(r); err != nil {
 				return err
 			}
@@ -219,8 +255,16 @@ func (ex *Executor) run(op plan.Operator, arg *result.Record, emit emitFn) error
 		return nil
 
 	case *plan.AllNodesScan:
+		// The cancellation tick counter is hoisted out of the per-row closure:
+		// an inner scan of a cross product is re-activated once per outer row,
+		// and the cumulative count across activations is what bounds the time
+		// between checks.
+		tick := 0
 		return ex.run(o.Input, arg, func(r result.Record) error {
 			for _, n := range ex.graph.Nodes() {
+				if err := ex.qc.Tick(&tick); err != nil {
+					return err
+				}
 				r.Set(o.Var, value.NewNode(n))
 				if err := emit(r); err != nil {
 					return err
@@ -229,8 +273,12 @@ func (ex *Executor) run(op plan.Operator, arg *result.Record, emit emitFn) error
 			return nil
 		})
 	case *plan.NodeByLabelScan:
+		tick := 0
 		return ex.run(o.Input, arg, func(r result.Record) error {
 			for _, n := range ex.graph.NodesByLabel(o.Label) {
+				if err := ex.qc.Tick(&tick); err != nil {
+					return err
+				}
 				r.Set(o.Var, value.NewNode(n))
 				if err := emit(r); err != nil {
 					return err
@@ -239,12 +287,16 @@ func (ex *Executor) run(op plan.Operator, arg *result.Record, emit emitFn) error
 			return nil
 		})
 	case *plan.NodeIndexSeek:
+		tick := 0
 		return ex.run(o.Input, arg, func(r result.Record) error {
 			nodes, err := ex.indexSeekNodes(o, r)
 			if err != nil {
 				return err
 			}
 			for _, n := range nodes {
+				if err := ex.qc.Tick(&tick); err != nil {
+					return err
+				}
 				r.Set(o.Var, value.NewNode(n))
 				if err := emit(r); err != nil {
 					return err
@@ -253,12 +305,16 @@ func (ex *Executor) run(op plan.Operator, arg *result.Record, emit emitFn) error
 			return nil
 		})
 	case *plan.NodeIndexRangeSeek:
+		tick := 0
 		return ex.run(o.Input, arg, func(r result.Record) error {
 			nodes, err := ex.rangeSeekNodes(o, r)
 			if err != nil {
 				return err
 			}
 			for _, n := range nodes {
+				if err := ex.qc.Tick(&tick); err != nil {
+					return err
+				}
 				r.Set(o.Var, value.NewNode(n))
 				if err := emit(r); err != nil {
 					return err
@@ -267,12 +323,16 @@ func (ex *Executor) run(op plan.Operator, arg *result.Record, emit emitFn) error
 			return nil
 		})
 	case *plan.NodeIndexPrefixSeek:
+		tick := 0
 		return ex.run(o.Input, arg, func(r result.Record) error {
 			nodes, err := ex.prefixSeekNodes(o, r)
 			if err != nil {
 				return err
 			}
 			for _, n := range nodes {
+				if err := ex.qc.Tick(&tick); err != nil {
+					return err
+				}
 				r.Set(o.Var, value.NewNode(n))
 				if err := emit(r); err != nil {
 					return err
@@ -335,6 +395,7 @@ func (ex *Executor) run(op plan.Operator, arg *result.Record, emit emitFn) error
 		})
 
 	case *plan.Unwind:
+		tick := 0
 		return ex.run(o.Input, arg, func(r result.Record) error {
 			v, err := ex.evalCtx.Evaluate(o.Expr, r)
 			if err != nil {
@@ -348,6 +409,9 @@ func (ex *Executor) run(op plan.Operator, arg *result.Record, emit emitFn) error
 			case v.Kind() == value.KindList:
 				l, _ := value.AsList(v)
 				for _, el := range l.Elements() {
+					if err := ex.qc.Tick(&tick); err != nil {
+						return err
+					}
 					r.Set(o.Alias, el)
 					if err := emit(r); err != nil {
 						return err
@@ -396,6 +460,10 @@ func (ex *Executor) run(op plan.Operator, arg *result.Record, emit emitFn) error
 			if seen[string(keyBuf)] {
 				return nil
 			}
+			// The set retains one key string per distinct row; charge it.
+			if err := ex.qc.Charge(int64(len(keyBuf)) + dedupEntryCost); err != nil {
+				return err
+			}
 			seen[string(keyBuf)] = true
 			return emit(r)
 		})
@@ -403,6 +471,11 @@ func (ex *Executor) run(op plan.Operator, arg *result.Record, emit emitFn) error
 	case *plan.Sort:
 		var rows []result.Record
 		if err := ex.run(o.Input, arg, func(r result.Record) error {
+			// Sort materializes its whole input; every buffered clone is
+			// charged against the query's memory budget.
+			if err := ex.qc.ChargeRecord(r); err != nil {
+				return err
+			}
 			rows = append(rows, r.Clone())
 			return nil
 		}); err != nil {
@@ -511,6 +584,9 @@ func (ex *Executor) run(op plan.Operator, arg *result.Record, emit emitFn) error
 			if seen[string(keyBuf)] {
 				return nil
 			}
+			if err := ex.qc.Charge(int64(len(keyBuf)) + dedupEntryCost); err != nil {
+				return err
+			}
 			seen[string(keyBuf)] = true
 			return emit(r)
 		}
@@ -606,10 +682,21 @@ type aggState struct {
 	// compiles allocation-free).
 	keyScratch []value.Value
 	keyBuf     []byte
+	// retainedRowCost is the estimated bytes an input row adds to aggregator
+	// state beyond its group entry: collect() keeps every value, DISTINCT
+	// aggregators keep every distinct one. Zero for bounded aggregators
+	// (count/sum/min/...), whose state does not grow with the input.
+	retainedRowCost int64
 }
 
 func (ex *Executor) newAggState(o *plan.Aggregate) *aggState {
-	return &aggState{ex: ex, o: o, groups: map[string]*aggGroup{}, keyScratch: make([]value.Value, len(o.Grouping))}
+	s := &aggState{ex: ex, o: o, groups: map[string]*aggGroup{}, keyScratch: make([]value.Value, len(o.Grouping))}
+	for _, a := range o.Aggregations {
+		if a.Func == "collect" || a.Distinct {
+			s.retainedRowCost += aggRetainedValueCost
+		}
+	}
+	return s
 }
 
 func (s *aggState) newGroup(keyVals []value.Value) (*aggGroup, error) {
@@ -640,6 +727,12 @@ func (s *aggState) add(r result.Record) error {
 	s.keyBuf = value.AppendGroupKeyOf(s.keyBuf[:0], s.keyScratch...)
 	g, ok := s.groups[string(s.keyBuf)]
 	if !ok {
+		// A new group materializes its key string, key values and one
+		// aggregator per item; charge before allocating.
+		cost := int64(len(s.keyBuf)) + aggGroupCost + int64(len(s.o.Aggregations))*aggStateCost
+		if err := s.ex.qc.Charge(cost); err != nil {
+			return err
+		}
 		var err error
 		g, err = s.newGroup(append([]value.Value(nil), s.keyScratch...))
 		if err != nil {
@@ -648,6 +741,13 @@ func (s *aggState) add(r result.Record) error {
 		key := string(s.keyBuf)
 		s.groups[key] = g
 		s.order = append(s.order, key)
+	}
+	if s.retainedRowCost > 0 {
+		// collect()/DISTINCT aggregators grow with their input even within
+		// one group.
+		if err := s.ex.qc.Charge(s.retainedRowCost); err != nil {
+			return err
+		}
 	}
 	for i, a := range s.o.Aggregations {
 		if a.Arg == nil {

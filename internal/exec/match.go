@@ -279,7 +279,14 @@ func (ex *Executor) expandSingle(o *plan.Expand, rec result.Record, from, intoNo
 // expandRels runs the single-hop expansion over one relationship slice,
 // rebinding the borrowed row's output slots per match.
 func (ex *Executor) expandRels(o *plan.Expand, rec result.Record, from, intoNode *graph.Node, usedRels, usedNodes map[int64]bool, rels []*graph.Relationship, typeFilter, skipSelfLoops bool, emit emitFn) error {
+	// The tick counter is call-local: it bounds unchecked work within one
+	// source row's adjacency (supernodes); across rows the scan below this
+	// expand carries its own counter.
+	tick := 0
 	for _, rel := range rels {
+		if err := ex.qc.Tick(&tick); err != nil {
+			return err
+		}
 		if typeFilter && !relTypeIn(rel, o.Types) {
 			continue
 		}
@@ -369,6 +376,10 @@ func (ex *Executor) expandVarLength(o *plan.Expand, rec result.Record, from, int
 		return emit(rec)
 	}
 
+	// One counter for the whole traversal: the DFS can visit an arbitrarily
+	// large subgraph before emitting anything (high MinHops, ExpandInto), so
+	// the check rides on steps taken, not rows produced.
+	tick := 0
 	var dfs func(current *graph.Node, depth int) error
 	dfs = func(current *graph.Node, depth int) error {
 		if depth >= minHops {
@@ -380,6 +391,9 @@ func (ex *Executor) expandVarLength(o *plan.Expand, rec result.Record, from, int
 			return nil
 		}
 		step := func(rel *graph.Relationship) error {
+			if err := ex.qc.Tick(&tick); err != nil {
+				return err
+			}
 			switch ex.opts.Morphism {
 			case EdgeIsomorphism:
 				if pathRelSet[rel.ID()] || (usedRels != nil && usedRels[rel.ID()]) {
@@ -546,7 +560,11 @@ func (ex *Executor) matchNode(part ast.PatternPart, idx int, rec result.Record, 
 	} else {
 		candidates = ex.graph.Nodes()
 	}
+	tick := 0
 	for _, n := range candidates {
+		if err := ex.qc.Tick(&tick); err != nil {
+			return err
+		}
 		if err := tryCandidate(n); err != nil {
 			return err
 		}
@@ -634,8 +652,12 @@ func (ex *Executor) matchRel(part ast.PatternPart, idx int, from *graph.Node, re
 	}
 
 	var rels []*graph.Relationship
+	tick := 0
 	var dfs func(current *graph.Node, depth int) error
 	dfs = func(current *graph.Node, depth int) error {
+		if err := ex.qc.Tick(&tick); err != nil {
+			return err
+		}
 		if depth >= minHops {
 			vals := make([]value.Value, len(rels))
 			ids := make([]int64, len(rels))

@@ -232,17 +232,33 @@ func (ex *Executor) executeParallel(p *plan.Plan) (tbl *result.Table, done bool,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// A panic on a worker goroutine would bypass Execute's recovery
+			// and kill the process; contain it here and fan the failure out
+			// to the other workers like any morsel error. The worker's pooled
+			// state (batches, ID sets) is released by the deferred handlers
+			// inside the unwound pipeline.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = newPanicError(r)
+					failed.Store(true)
+				}
+			}()
 			for !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= len(morsels) {
 					return
 				}
+				// Cancellation check at the morsel boundary: a canceled query
+				// stops all workers within one morsel of work each (the scan
+				// loops inside the morsel tick at row granularity too).
 				var top plan.Operator
-				var err error
-				if vecK > 0 {
-					top, err = buildChain(&vecSource{varName: varName, nodes: morsels[i], ops: vecOps}, info.Streaming[vecK:])
-				} else {
-					top, err = buildChain(&nodeSource{varName: varName, nodes: morsels[i]}, info.Streaming)
+				err := ex.qc.Err()
+				if err == nil {
+					if vecK > 0 {
+						top, err = buildChain(&vecSource{varName: varName, nodes: morsels[i], ops: vecOps}, info.Streaming[vecK:])
+					} else {
+						top, err = buildChain(&nodeSource{varName: varName, nodes: morsels[i]}, info.Streaming)
+					}
 				}
 				if err == nil {
 					switch {
@@ -254,7 +270,11 @@ func (ex *Executor) executeParallel(p *plan.Plan) (tbl *result.Table, done bool,
 						var buf []result.Record
 						err = ex.run(top, nil, func(r result.Record) error {
 							// Rows are borrowed from the worker's pipeline;
-							// the buffer outlives the emit, so copy.
+							// the buffer outlives the emit, so copy (and
+							// charge the retained copy against the budget).
+							if err := ex.qc.ChargeRecord(r); err != nil {
+								return err
+							}
 							buf = append(buf, r.Clone())
 							return nil
 						})
@@ -262,6 +282,9 @@ func (ex *Executor) executeParallel(p *plan.Plan) (tbl *result.Table, done bool,
 					default:
 						var buf []result.Record
 						err = ex.run(top, nil, func(r result.Record) error {
+							if err := ex.qc.ChargeRecord(r); err != nil {
+								return err
+							}
 							buf = append(buf, r.Clone())
 							return nil
 						})
@@ -321,6 +344,9 @@ func (ex *Executor) executeParallel(p *plan.Plan) (tbl *result.Table, done bool,
 	tbl = result.NewTable(p.Columns...)
 	if err := ex.run(top, nil, func(r result.Record) error {
 		// The table outlives the emit call; take ownership of the row.
+		if err := ex.qc.ChargeRecord(r); err != nil {
+			return err
+		}
 		tbl.Add(r.Clone())
 		return nil
 	}); err != nil {

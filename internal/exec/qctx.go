@@ -1,0 +1,197 @@
+package exec
+
+// Query lifecycle governance: the per-query context threaded from the engine
+// into both execution pipelines. A QueryCtx bundles the caller's
+// context.Context (cancellation + deadline) with a memory accountant charged
+// by every materializing operator. All methods are safe on a nil receiver —
+// an ungoverned query (no deadline, no budget, non-cancelable context) passes
+// qc == nil and pays nothing on the hot path.
+//
+// Cancellation is cooperative. Serial loops call Tick with a loop-local
+// counter and only reach the (atomic) context check every CancelCheckStride
+// rows; batch and morsel drivers call Err once per chunk/morsel, which is the
+// same granularity by construction (batches and morsels default to 1024
+// rows). That bounds cancellation latency to roughly one stride of the
+// cheapest per-row work while keeping the check itself off the per-row path.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+
+	"repro/internal/result"
+)
+
+// CancelCheckStride is the number of rows a serial operator loop may produce
+// between cooperative cancellation checks. It is deliberately aligned with
+// the default morsel/batch size so the row path, the vectorized path and the
+// parallel path all observe cancellation at comparable row granularity.
+const CancelCheckStride = 1024
+
+// Shallow per-entry cost estimates the memory accountant charges for
+// query-owned hash and aggregation state. Like Record.MemEstimate these are
+// consistent lower bounds for budget enforcement, not heap measurements.
+const (
+	// dedupEntryCost is one DISTINCT/UNION set entry beyond its key bytes
+	// (string header + map bucket share).
+	dedupEntryCost = 48
+	// aggGroupCost is one aggregation group's fixed state (struct, map entry,
+	// order-slice entry) beyond its key bytes and aggregators.
+	aggGroupCost = 96
+	// aggStateCost is one aggregator's accumulator.
+	aggStateCost = 48
+	// aggRetainedValueCost is one input value retained by an unbounded
+	// aggregator (collect, DISTINCT) per row.
+	aggRetainedValueCost = 16
+)
+
+// QueryCtx is the query-scoped governance state: cancellation source and
+// memory accountant. One QueryCtx is shared by every worker of a parallel
+// run, so all state is read-only or atomic.
+type QueryCtx struct {
+	ctx    context.Context
+	budget int64 // bytes; 0 means unlimited
+	used   atomic.Int64
+}
+
+// NewQueryCtx builds a QueryCtx over the caller's context with the given
+// memory budget in bytes (0 = unlimited). A nil ctx means background.
+func NewQueryCtx(ctx context.Context, memoryBudget int64) *QueryCtx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if memoryBudget < 0 {
+		memoryBudget = 0
+	}
+	return &QueryCtx{ctx: ctx, budget: memoryBudget}
+}
+
+// Context returns the underlying context (background for a nil QueryCtx).
+func (q *QueryCtx) Context() context.Context {
+	if q == nil || q.ctx == nil {
+		return context.Background()
+	}
+	return q.ctx
+}
+
+// Err checks the context once and converts a cancellation into a
+// *CanceledError. It is the per-chunk / per-morsel check; serial loops go
+// through Tick instead.
+func (q *QueryCtx) Err() error {
+	if q == nil || q.ctx == nil {
+		return nil
+	}
+	if err := q.ctx.Err(); err != nil {
+		return &CanceledError{Cause: err}
+	}
+	return nil
+}
+
+// Tick is the serial-loop cancellation check: it increments the caller's
+// loop-local counter and performs the real context check only every
+// CancelCheckStride calls. The counter lives at the call site (not on the
+// executor) because one executor is shared by all morsel workers.
+func (q *QueryCtx) Tick(n *int) error {
+	if q == nil {
+		return nil
+	}
+	*n++
+	if *n < CancelCheckStride {
+		return nil
+	}
+	*n = 0
+	return q.Err()
+}
+
+// Charge accounts n bytes of query-owned materialized state (sort buffers,
+// aggregation groups, distinct sets, result rows). It fails the query with a
+// *ResourceExhaustedError once the budget is exceeded. Memory is never
+// un-charged: the accountant tracks the high-water mark of what the query
+// materialized, which is what the budget bounds.
+func (q *QueryCtx) Charge(n int64) error {
+	if q == nil {
+		return nil
+	}
+	used := q.used.Add(n)
+	if q.budget > 0 && used > q.budget {
+		return &ResourceExhaustedError{Budget: q.budget, Used: used}
+	}
+	return nil
+}
+
+// ChargeRecord charges a shallow estimate of one materialized record.
+func (q *QueryCtx) ChargeRecord(r result.Record) error {
+	if q == nil {
+		return nil
+	}
+	return q.Charge(r.MemEstimate())
+}
+
+// UsedBytes reports the bytes charged so far (the query's materialized
+// high-water mark; 0 for a nil QueryCtx).
+func (q *QueryCtx) UsedBytes() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.used.Load()
+}
+
+// Budget returns the configured budget in bytes (0 = unlimited).
+func (q *QueryCtx) Budget() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.budget
+}
+
+// CanceledError reports a query stopped by context cancellation or deadline
+// expiry. Cause is the context error (context.Canceled or
+// context.DeadlineExceeded) and is reachable through errors.Is/As.
+type CanceledError struct {
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	if errors.Is(e.Cause, context.DeadlineExceeded) {
+		return "exec: query deadline exceeded"
+	}
+	return "exec: query canceled"
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// ResourceExhaustedError reports a query killed for exceeding its memory
+// budget. Only the offending query fails; the process and all other queries
+// are unaffected.
+type ResourceExhaustedError struct {
+	// Budget is the configured per-query budget in bytes.
+	Budget int64
+	// Used is the number of bytes the query had materialized when it tripped
+	// the budget.
+	Used int64
+}
+
+func (e *ResourceExhaustedError) Error() string {
+	return fmt.Sprintf("exec: query memory budget exhausted (%d bytes materialized, budget %d)", e.Used, e.Budget)
+}
+
+// PanicError reports an operator panic recovered at the query boundary. The
+// query fails with this error; the engine, its locks, pins and pools are
+// unaffected (cleanup runs in the deferred handlers during unwinding).
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: internal error: query execution panicked: %v", e.Value)
+}
+
+// newPanicError captures the panic value and current stack.
+func newPanicError(v any) *PanicError {
+	return &PanicError{Value: v, Stack: debug.Stack()}
+}

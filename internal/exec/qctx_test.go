@@ -1,0 +1,124 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/result"
+	"repro/internal/value"
+)
+
+func TestQueryCtxNilIsUngoverned(t *testing.T) {
+	var qc *QueryCtx
+	if err := qc.Err(); err != nil {
+		t.Errorf("nil.Err() = %v", err)
+	}
+	tick := CancelCheckStride * 3
+	if err := qc.Tick(&tick); err != nil {
+		t.Errorf("nil.Tick() = %v", err)
+	}
+	if err := qc.Charge(1 << 40); err != nil {
+		t.Errorf("nil.Charge() = %v", err)
+	}
+	if err := qc.ChargeRecord(result.Record{}); err != nil {
+		t.Errorf("nil.ChargeRecord() = %v", err)
+	}
+	if qc.UsedBytes() != 0 || qc.Budget() != 0 {
+		t.Errorf("nil accounting: used=%d budget=%d", qc.UsedBytes(), qc.Budget())
+	}
+}
+
+func TestQueryCtxTickStride(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	qc := NewQueryCtx(ctx, 0)
+	tick := 0
+	for i := 0; i < CancelCheckStride*2; i++ {
+		if err := qc.Tick(&tick); err != nil {
+			t.Fatalf("tick %d failed before cancel: %v", i, err)
+		}
+	}
+	cancel()
+	// The cancellation must surface within one stride of calls.
+	var err error
+	for i := 0; i < CancelCheckStride && err == nil; i++ {
+		err = qc.Tick(&tick)
+	}
+	var canceled *CanceledError
+	if !errors.As(err, &canceled) {
+		t.Fatalf("post-cancel Tick = %v (%T), want *CanceledError", err, err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("plain cancel misclassified as deadline: %v", err)
+	}
+}
+
+func TestQueryCtxDeadlineClassification(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	err := NewQueryCtx(ctx, 0).Err()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Err() = %v, want deadline-exceeded cause", err)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "deadline") {
+		t.Errorf("deadline error message %q does not say so", msg)
+	}
+}
+
+func TestQueryCtxBudget(t *testing.T) {
+	qc := NewQueryCtx(context.Background(), 100)
+	if qc.Budget() != 100 {
+		t.Fatalf("Budget() = %d", qc.Budget())
+	}
+	if err := qc.Charge(60); err != nil {
+		t.Fatalf("first charge: %v", err)
+	}
+	if err := qc.Charge(39); err != nil {
+		t.Fatalf("charge at budget: %v", err)
+	}
+	err := qc.Charge(2)
+	var exhausted *ResourceExhaustedError
+	if !errors.As(err, &exhausted) {
+		t.Fatalf("over-budget charge = %v (%T), want *ResourceExhaustedError", err, err)
+	}
+	if exhausted.Budget != 100 || exhausted.Used != 101 {
+		t.Errorf("exhausted = %+v, want budget 100 used 101", exhausted)
+	}
+	if qc.UsedBytes() != 101 {
+		t.Errorf("UsedBytes() = %d after failed charge (accounting is monotonic)", qc.UsedBytes())
+	}
+	// Zero budget means account-only: never fails, still tracks usage.
+	free := NewQueryCtx(context.Background(), 0)
+	if err := free.Charge(1 << 40); err != nil {
+		t.Fatalf("unbudgeted charge: %v", err)
+	}
+	if free.UsedBytes() != 1<<40 {
+		t.Errorf("unbudgeted UsedBytes() = %d", free.UsedBytes())
+	}
+}
+
+func TestRecordMemEstimate(t *testing.T) {
+	r := result.NewRecord()
+	small := r.MemEstimate()
+	if small <= 0 {
+		t.Fatalf("MemEstimate() = %d, want positive", small)
+	}
+	r.Set("a", value.NewInt(1))
+	r.Set("b", value.NewInt(2))
+	if grown := r.MemEstimate(); grown <= small {
+		t.Errorf("estimate did not grow with entries: %d -> %d", small, grown)
+	}
+}
+
+func TestPanicErrorCarriesStack(t *testing.T) {
+	err := newPanicError("boom")
+	if !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Error() = %q", err.Error())
+	}
+	if !strings.Contains(string(err.Stack), "TestPanicErrorCarriesStack") {
+		t.Errorf("stack does not include the panicking frame:\n%s", err.Stack)
+	}
+}

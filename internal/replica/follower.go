@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/storage"
 )
 
@@ -30,8 +31,13 @@ type FollowerConfig struct {
 	Store *storage.FollowerStore
 
 	// HeartbeatTimeout declares the stream dead when no frame (entry or
-	// heartbeat) arrives for this long; default 15s.
+	// heartbeat) arrives for this long; default 15s. It must exceed the
+	// leader's heartbeat interval by a healthy margin.
 	HeartbeatTimeout time.Duration
+	// VerifyTimeout bounds the governed verification read the follower runs
+	// after installing a snapshot, proving the engine actually serves
+	// queries over the new state; default 5s, negative disables the check.
+	VerifyTimeout time.Duration
 	// BackoffMin/BackoffMax bound the exponential reconnect backoff;
 	// defaults 100ms / 5s. Each delay gets ±50% jitter so a fleet of
 	// followers does not reconnect in lockstep.
@@ -72,6 +78,9 @@ type Follower struct {
 func NewFollower(cfg FollowerConfig) *Follower {
 	if cfg.HeartbeatTimeout <= 0 {
 		cfg.HeartbeatTimeout = 15 * time.Second
+	}
+	if cfg.VerifyTimeout == 0 {
+		cfg.VerifyTimeout = 5 * time.Second
 	}
 	if cfg.BackoffMin <= 0 {
 		cfg.BackoffMin = 100 * time.Millisecond
@@ -320,8 +329,33 @@ func (f *Follower) snapshotCatchup() error {
 	if err := f.cfg.Engine.ResetReplicated(image, nextNode, nextRel); err != nil {
 		return fmt.Errorf("%w: %v", errFatal, err)
 	}
+	if err := f.verifyReadable(); err != nil {
+		return err
+	}
 	f.cfg.Logf("replica: installed snapshot generation %d (%d records)", gen, len(image))
 	return nil
+}
+
+// verifyReadable proves a freshly installed state actually serves reads by
+// running a bounded query through the engine's governed path: it rides the
+// follower's own context (so Stop cancels it like any stream I/O) plus the
+// VerifyTimeout deadline. A timeout is retriable — the state may just be
+// large — but a genuine engine error after a snapshot install means the
+// replica cannot be trusted and fail-stops the tailer.
+func (f *Follower) verifyReadable() error {
+	if f.cfg.VerifyTimeout < 0 {
+		return nil
+	}
+	_, err := f.cfg.Engine.RunContext(f.ctx, `MATCH (n) RETURN count(n)`, nil,
+		core.RunOptions{Timeout: f.cfg.VerifyTimeout})
+	if err == nil || f.ctx.Err() != nil {
+		return f.ctx.Err()
+	}
+	var canceled *exec.CanceledError
+	if errors.As(err, &canceled) {
+		return fmt.Errorf("replica: post-snapshot verification read timed out: %w", err)
+	}
+	return fmt.Errorf("%w: post-snapshot verification read failed: %v", errFatal, err)
 }
 
 func (f *Follower) setState(state, lastErr string) {

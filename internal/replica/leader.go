@@ -14,10 +14,11 @@ import (
 	"repro/internal/storage"
 )
 
-// heartbeatEvery is how often an idle stream session re-sends the leader's
-// position. It doubles as the follower's liveness signal, so it should stay
-// well under the follower's heartbeat timeout.
-const heartbeatEvery = 2 * time.Second
+// DefaultHeartbeatInterval is how often an idle stream session re-sends the
+// leader's position. It doubles as the follower's liveness signal, so it
+// should stay well under the follower's heartbeat timeout (default 15s).
+// Configurable per leader via SetHeartbeatInterval.
+const DefaultHeartbeatInterval = 2 * time.Second
 
 // streamChunkBytes bounds how much entry payload one ReadEntries call ships
 // before flushing; lag-heavy followers catch up in bounded memory.
@@ -30,6 +31,9 @@ type Leader struct {
 	// advertise is the public base URL followers should send writes to; it
 	// is returned to clients whose writes are rejected by a follower.
 	advertise string
+	// heartbeat is how often an idle stream re-sends the live position
+	// (nanoseconds, read atomically so tests can tune a serving leader).
+	heartbeat atomic.Int64
 
 	mu       sync.Mutex
 	nextID   int64
@@ -53,7 +57,25 @@ type session struct {
 // NewLeader creates the replication server over an opened store. advertise
 // is the leader's public base URL (e.g. "http://10.0.0.1:7474").
 func NewLeader(store *storage.Store, advertise string) *Leader {
-	return &Leader{store: store, advertise: advertise, sessions: map[int64]*session{}}
+	l := &Leader{store: store, advertise: advertise, sessions: map[int64]*session{}}
+	l.heartbeat.Store(int64(DefaultHeartbeatInterval))
+	return l
+}
+
+// SetHeartbeatInterval overrides how often idle stream sessions re-send the
+// leader position. It must stay well under the followers' heartbeat timeout
+// or their liveness watchdog will tear down healthy streams. Non-positive
+// values are ignored. Safe to call while sessions are live; running sessions
+// pick the new interval up on their next idle wait.
+func (l *Leader) SetHeartbeatInterval(d time.Duration) {
+	if d > 0 {
+		l.heartbeat.Store(int64(d))
+	}
+}
+
+// HeartbeatInterval reports the current idle-stream heartbeat interval.
+func (l *Leader) HeartbeatInterval() time.Duration {
+	return time.Duration(l.heartbeat.Load())
 }
 
 // Advertise returns the leader's advertised base URL.
@@ -102,6 +124,18 @@ func (l *Leader) handleStream(w http.ResponseWriter, r *http.Request) {
 	sess := l.addSession(r.RemoteAddr, pos)
 	defer l.dropSession(sess)
 
+	// The serving layer sets a WriteTimeout on its listeners to shed dead
+	// clients; that deadline is absolute per response and would sever this
+	// infinite stream. Push it forward on every flush instead, so only a
+	// stalled follower (no write progress for several heartbeats) is cut.
+	rc := http.NewResponseController(w)
+	extendDeadline := func() {
+		// Ignore errors: the underlying writer may not support deadlines
+		// (httptest recorders), in which case no server timeout exists either.
+		_ = rc.SetWriteDeadline(time.Now().Add(4 * l.HeartbeatInterval()))
+	}
+	extendDeadline()
+
 	ctx := r.Context()
 	for {
 		for _, f := range frames {
@@ -119,13 +153,14 @@ func (l *Leader) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		flusher.Flush()
+		extendDeadline()
 
 		if len(frames) == 0 {
 			select {
 			case <-ctx.Done():
 				return
 			case <-sig:
-			case <-time.After(heartbeatEvery):
+			case <-time.After(l.HeartbeatInterval()):
 			}
 		}
 		sig = l.store.CommitSignal()

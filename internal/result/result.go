@@ -170,6 +170,25 @@ func (r Record) Get(name string) value.Value {
 	return value.Null()
 }
 
+// MemEstimate returns a shallow estimate in bytes of the record's footprint:
+// the struct, its slot array and its overflow entries, but not the values the
+// slots point to (graph entities are shared with the store, not owned by the
+// record). The executor's memory accountant charges this for every row a
+// materializing operator retains — it is a consistent lower bound used to
+// enforce per-query budgets, not a precise heap measurement.
+func (r Record) MemEstimate() int64 {
+	const (
+		recordOverhead = 48 // struct header + slice header + map pointer
+		slotCost       = 16 // one value.Value interface word pair
+		extraCost      = 48 // map entry: key header + value + bucket share
+	)
+	n := int64(recordOverhead) + int64(len(r.slots))*slotCost
+	if len(r.extra) > 0 {
+		n += int64(len(r.extra)) * extraCost
+	}
+	return n
+}
+
 // Has reports whether the name is bound in the record (even to null).
 func (r Record) Has(name string) bool {
 	if i, ok := r.tab.Slot(name); ok && i < len(r.slots) && r.slots[i] != nil {
