@@ -12,6 +12,7 @@
 //	GET  /stats             -> graph + plan-cache + replication stats
 //	GET  /healthz           -> JSON {status, role, position, lag}; 503 on a failed follower
 //	POST /admin/checkpoint  -> force a snapshot + WAL truncation (durable only)
+//	POST /admin/resync      -> force a follower to rebuild from the leader's snapshot
 //
 // With -data DIR the graph is durable: every write query is journaled to a
 // write-ahead log before its response is sent (fsync policy via -sync), the
@@ -20,16 +21,24 @@
 // snapshot plus WAL replay — before serving. A requested -dataset seeds the
 // store only when it is empty, so restarts keep accumulated writes.
 //
-// -role selects the replication mode. A leader additionally serves its WAL
-// as a replication stream under /repl; a follower tails the leader named by
-// -follow, serves reads from its own MVCC versions, and answers write
-// queries with 307 redirects to the leader's advertised address.
+// -role selects a static replication topology. A leader additionally serves
+// its WAL as a replication stream under /repl; a follower tails the leader
+// named by -follow, serves reads from its own MVCC versions, and answers
+// write queries with 307 redirects to the leader's advertised address.
 //
-// Example 3-node cluster:
+// -peers replaces the static topology with a self-healing cluster: every
+// node gets the full member list, the cluster elects its leader over a
+// time-bounded lease (-election-timeout), writes are acknowledged only
+// after a majority has journaled them, and a failed leader is replaced
+// automatically with its stale generation fenced off. During a leaderless
+// window writes answer 503 + Retry-After.
 //
-//	cypher-serve -role leader   -addr :7474 -data ./leader-data
-//	cypher-serve -role follower -addr :7475 -data ./f1-data -follow http://127.0.0.1:7474
-//	cypher-serve -role follower -addr :7476 -data ./f2-data -follow http://127.0.0.1:7474
+// Example self-healing 3-node cluster:
+//
+//	PEERS=http://127.0.0.1:7474,http://127.0.0.1:7475,http://127.0.0.1:7476
+//	cypher-serve -addr :7474 -data ./n1 -peers $PEERS
+//	cypher-serve -addr :7475 -data ./n2 -peers $PEERS
+//	cypher-serve -addr :7476 -data ./n3 -peers $PEERS
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -68,7 +78,9 @@ func main() {
 		ckptEvery   = flag.Duration("checkpoint-every", 0, "with -data, checkpoint on this interval (0 = only on shutdown)")
 		role        = flag.String("role", "single", "replication role: single, leader or follower")
 		follow      = flag.String("follow", "", "with -role follower, the leader's base URL (e.g. http://127.0.0.1:7474)")
-		advertise   = flag.String("advertise", "", "with -role leader, the public base URL handed to followers (default derived from the listen address)")
+		peers       = flag.String("peers", "", "comma-separated base URLs of every cluster member (including this node); enables leader election and automatic failover, replacing -role/-follow")
+		electionTmo = flag.Duration("election-timeout", 0, "with -peers, leader silence tolerated before campaigning (0 = default 3s)")
+		advertise   = flag.String("advertise", "", "with -role leader or -peers, this node's public base URL (default derived from the listen address)")
 
 		queryTimeout = flag.Duration("query-timeout", 0, "wall-clock cap per query; per-request timeoutMs may tighten but never exceed it (0 = no cap)")
 		memoryBudget = flag.Int64("memory-budget", 0, "bytes of materialized state (sorts, aggregates, result rows) one query may hold; per-request memoryBudget may tighten it (0 = unlimited)")
@@ -97,6 +109,37 @@ func main() {
 	}
 	if *syncMode != "always" && *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "-sync requires -data (an in-memory graph has no WAL to sync)")
+		os.Exit(2)
+	}
+	if *peers != "" {
+		// Clustered mode replaces the static role split: every node boots a
+		// follower and elections decide who leads.
+		if *role != "single" {
+			fmt.Fprintln(os.Stderr, "-peers replaces -role (the cluster elects its leader)")
+			os.Exit(2)
+		}
+		if *follow != "" {
+			fmt.Fprintln(os.Stderr, "-peers replaces -follow (the cluster elects its leader)")
+			os.Exit(2)
+		}
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "-peers requires -data (replication ships the WAL)")
+			os.Exit(2)
+		}
+		if *dataset != "" && *dataset != "empty" {
+			fmt.Fprintln(os.Stderr, "-dataset cannot be used with -peers (all data comes from the elected leader)")
+			os.Exit(2)
+		}
+		if *ckptEvery > 0 {
+			fmt.Fprintln(os.Stderr, "-checkpoint-every cannot be used with -peers (the elected leader checkpoints at promotion)")
+			os.Exit(2)
+		}
+		if *hbTimeout != 0 {
+			fmt.Fprintln(os.Stderr, "-heartbeat-timeout cannot be used with -peers (it derives from -election-timeout)")
+			os.Exit(2)
+		}
+	} else if *electionTmo != 0 {
+		fmt.Fprintln(os.Stderr, "-election-timeout requires -peers")
 		os.Exit(2)
 	}
 	switch *role {
@@ -147,8 +190,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-heartbeat-timeout requires -role follower")
 		os.Exit(2)
 	}
-	if *hbInterval != 0 && *role != "leader" {
-		fmt.Fprintln(os.Stderr, "-heartbeat-interval requires -role leader")
+	if *hbInterval != 0 && *role != "leader" && *peers == "" {
+		fmt.Fprintln(os.Stderr, "-heartbeat-interval requires -role leader or -peers")
 		os.Exit(2)
 	}
 
@@ -184,6 +227,10 @@ func main() {
 		}()
 	}
 
+	effRole := *role
+	if *peers != "" {
+		effRole = "cluster"
+	}
 	gopts := cypher.Options{
 		Parallelism:              *parallelism,
 		BatchSize:                *batchSize,
@@ -191,8 +238,11 @@ func main() {
 		MemoryBudget:             *memoryBudget,
 		ReplicaHeartbeatTimeout:  *hbTimeout,
 		ReplicaHeartbeatInterval: *hbInterval,
+		Advertise:                *advertise,
+		Peers:                    splitPeers(*peers),
+		ElectionTimeout:          *electionTmo,
 	}
-	g, err := buildGraph(*role, *follow, *dataset, *size, *dataDir, *syncMode, gopts)
+	g, err := buildGraph(effRole, *follow, *dataset, *size, *dataDir, *syncMode, gopts)
 	if err != nil {
 		ln.Close()
 		fmt.Fprintln(os.Stderr, err)
@@ -200,7 +250,7 @@ func main() {
 	}
 	s := g.Stats()
 	log.Printf("serving %s dataset (%d nodes, %d relationships) on %s as %s, per-query parallelism %d",
-		*dataset, s.Nodes, s.Relationships, ln.Addr(), *role, *parallelism)
+		*dataset, s.Nodes, s.Relationships, ln.Addr(), effRole, *parallelism)
 	if ds, ok := g.DurabilityStats(); ok {
 		log.Printf("durable: dir=%s sync=%s generation=%d (recovered %d snapshot + %d WAL records%s)",
 			ds.Dir, ds.SyncMode, ds.Generation, ds.Recovery.SnapshotRecords, ds.Recovery.WALRecords,
@@ -209,7 +259,7 @@ func main() {
 
 	srv := newServer(serverConfig{
 		graph:        g,
-		role:         *role,
+		role:         effRole,
 		parallelism:  *parallelism,
 		queryTimeout: *queryTimeout,
 		memoryBudget: *memoryBudget,
@@ -219,7 +269,7 @@ func main() {
 		slowQuery:    *slowQuery,
 	})
 	mux := srv.routes()
-	if *role == "leader" {
+	if *role == "leader" || *peers != "" {
 		h, err := g.ReplicationHandler(*advertise)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -227,6 +277,9 @@ func main() {
 		}
 		mux.Handle("/repl/", http.StripPrefix("/repl", h))
 		log.Printf("replication: serving /repl, advertising %s", *advertise)
+	}
+	if *peers != "" {
+		log.Printf("replication: clustered with %v (election timeout %v)", gopts.Peers, gopts.ElectionTimeout)
 	}
 	if *role == "follower" {
 		log.Printf("replication: following %s", *follow)
@@ -290,8 +343,10 @@ func main() {
 	// Checkpoint so the next start recovers from a snapshot instead of
 	// replaying the whole WAL, then release the files. Followers skip this:
 	// their WAL must stay a byte-identical prefix of the leader's, and
-	// truncating it locally would fork the generation numbering.
-	if *role != "follower" {
+	// truncating it locally would fork the generation numbering. Clustered
+	// nodes skip it too — the node may be (or become) a follower, and an
+	// elected leader already checkpointed at promotion.
+	if *role != "follower" && *peers == "" {
 		if err := g.Checkpoint(); err != nil {
 			log.Printf("shutdown checkpoint: %v", err)
 		}
@@ -319,6 +374,21 @@ func deriveAdvertise(a net.Addr) string {
 	return "http://" + host + ":" + port
 }
 
+// splitPeers parses the -peers list, tolerating spaces and trailing slashes.
+func splitPeers(csv string) []string {
+	if csv == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(csv, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 func tornNote(torn bool) string {
 	if torn {
 		return ", torn tail truncated"
@@ -332,6 +402,15 @@ func buildGraph(role, follow, dataset string, size int, dataDir, syncMode string
 	// accepted (and then seed on some later virgin restart).
 	if !datasetKnown(dataset) {
 		return nil, errUnknownDataset(dataset)
+	}
+
+	if role == "cluster" {
+		mode, err := cypher.ParseSyncMode(syncMode)
+		if err != nil {
+			return nil, err
+		}
+		opts.SyncMode = mode
+		return cypher.OpenCluster(dataDir, opts)
 	}
 
 	if role == "follower" {
@@ -469,6 +548,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/admin/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/admin/resync", s.handleResync)
 	return mux
 }
 
@@ -615,6 +695,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeQueryError(w, r, err)
 		return
 	}
+	if !res.ReadOnly() {
+		// In clustered mode a write response must mean majority-committed:
+		// wait for a quorum of followers to durably acknowledge the entry
+		// before answering 200. Non-clustered graphs return immediately.
+		if err := s.graph.WaitReplicated(r.Context()); err != nil {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+	}
 	rows := res.Rows()
 	out := queryResponse{
 		Columns:     res.Columns(),
@@ -666,6 +756,8 @@ func tightenBytes(req, cap int64) int64 {
 //	408  the client itself went away mid-query
 //	422  the query is invalid (parse/plan/runtime error)
 //	500  an operator panicked; the query died, the server did not
+//	503  no leader right now (election in progress, or the leader lost its
+//	     quorum lease); back off per Retry-After and retry
 //	504  the query hit its deadline
 //	507  the query hit its memory budget
 func (s *server) writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
@@ -675,6 +767,14 @@ func (s *server) writeQueryError(w http.ResponseWriter, r *http.Request, err err
 	var canceled *cypher.QueryCanceledError
 	switch {
 	case errors.As(err, &ro):
+		if ro.Leader == "" {
+			// Leaderless window: mid-election, or a degraded leader that
+			// cannot prove its writes commit. The condition is transient, so
+			// shed the write instead of redirecting nowhere.
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "no leader right now, retry shortly: %v", err)
+			return
+		}
 		// 307 preserves the method and body, so a client that follows
 		// redirects replays the same POST at the leader.
 		w.Header().Set("Location", ro.Leader+"/query")
@@ -731,7 +831,16 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if rs, ok := s.graph.ReplicationStats(); ok {
 		out["state"] = rs.State
 		out["position"] = rs.Local
-		if rs.Role == "follower" {
+		if s.role == "cluster" {
+			// Clustered nodes report their live election view: the current
+			// term, which role this node holds right now, and the leader it
+			// recognizes — the failover harness and load balancers key off
+			// these.
+			out["role"] = rs.Role
+			out["term"] = rs.Term
+			out["leader"] = rs.ClusterLeader
+		}
+		if rs.Role == "follower" || rs.Role == "candidate" {
 			out["lagEntries"] = rs.LagEntries
 			out["lagBytes"] = rs.LagBytes
 			if rs.State == "failed" {
@@ -758,6 +867,12 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusForbidden, "a follower does not checkpoint; its log mirrors the leader's")
 		return
 	}
+	if s.role == "cluster" {
+		if rs, ok := s.graph.ReplicationStats(); !ok || rs.Role != "leader" {
+			httpError(w, http.StatusForbidden, "only the elected leader checkpoints; this node is a %s", rs.Role)
+			return
+		}
+	}
 	if _, ok := s.graph.DurabilityStats(); !ok {
 		httpError(w, http.StatusConflict, "not a durable graph (start with -data)")
 		return
@@ -768,6 +883,27 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	ds, _ := s.graph.DurabilityStats()
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "generation": ds.Generation})
+}
+
+// handleResync recovers a fail-stopped follower in place: the parked stream
+// tailer discards its divergent local state and catches up from a fresh
+// leader snapshot, without restarting the process or touching the data
+// directory by hand. 409 on nodes that are not currently followers.
+func (s *server) handleResync(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST to resync")
+		return
+	}
+	if err := s.graph.Resync(); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	out := map[string]any{"status": "resync requested"}
+	if rs, ok := s.graph.ReplicationStats(); ok {
+		out["state"] = rs.State
+		out["forcedResyncs"] = rs.ForcedResyncs
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -815,6 +951,14 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"role":     rs.Role,
 			"state":    rs.State,
 			"position": rs.Local,
+		}
+		if s.role == "cluster" {
+			replication["term"] = rs.Term
+			replication["leader"] = rs.ClusterLeader
+			replication["quorumSize"] = rs.QuorumSize
+			replication["ackedPeers"] = rs.AckedPeers
+			replication["elections"] = rs.Elections
+			replication["forcedResyncs"] = rs.ForcedResyncs
 		}
 		switch rs.Role {
 		case "leader":

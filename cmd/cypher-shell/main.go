@@ -42,9 +42,29 @@ type shell struct {
 
 func main() {
 	dataDir := flag.String("data", "", "data directory; enables WAL + snapshot persistence")
+	peersCSV := flag.String("peers", "", "comma-separated cypher-serve base URLs; run as a cluster client (reads round-robin the followers, writes go to the leader)")
 	queryTimeout := flag.Duration("query-timeout", 0, "wall-clock cap per query (0 = unbounded)")
 	memoryBudget := flag.Int64("memory-budget", 0, "bytes of materialized state one query may hold (0 = unlimited)")
 	flag.Parse()
+
+	if *peersCSV != "" {
+		if *dataDir != "" {
+			fmt.Fprintln(os.Stderr, "-peers is a remote session; -data cannot be combined with it")
+			os.Exit(2)
+		}
+		var peers []string
+		for _, p := range strings.Split(*peersCSV, ",") {
+			if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		if len(peers) == 0 {
+			fmt.Fprintln(os.Stderr, "-peers needs at least one base URL")
+			os.Exit(2)
+		}
+		runRemote(newRemote(peers))
+		return
+	}
 
 	sh := &shell{timeout: *queryTimeout, budget: *memoryBudget}
 	if *dataDir != "" {
@@ -82,6 +102,31 @@ func main() {
 			}
 		default:
 			sh.query(line)
+		}
+		fmt.Print("cypher> ")
+	}
+}
+
+// runRemote is the REPL loop for -peers cluster sessions.
+func runRemote(rm *remote) {
+	rm.refresh()
+	fmt.Printf("cypher-shell — cluster client for %s (:help for commands)\n", strings.Join(rm.peers, ", "))
+	if rm.leader != "" {
+		fmt.Println("current leader:", rm.leader)
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	fmt.Print("cypher> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, ":"):
+			if !rm.command(line) {
+				return
+			}
+		default:
+			rm.query(line)
 		}
 		fmt.Print("cypher> ")
 	}

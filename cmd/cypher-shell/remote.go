@@ -1,0 +1,262 @@
+// Remote mode: with -peers the shell is a cluster client instead of an
+// embedded engine. Each query is classified read-only or updating at parse
+// time (the same classifier the server uses); reads round-robin across the
+// nodes currently reporting the follower role, spreading load over the read
+// replicas, while writes go to the current leader. The leader is discovered
+// through GET /repl/info and re-discovered whenever a request fails or a
+// node answers 503 (mid-election); 307 redirects from a follower that
+// rejected a write are followed automatically, replaying the same POST body
+// at the leader it named.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/parser"
+)
+
+// remote is the shell's cluster-client state.
+type remote struct {
+	peers  []string
+	client *http.Client
+	// leader is the advertised URL writes are sent to ("" until discovered).
+	leader string
+	// followers is the latest set of nodes reporting the follower role.
+	followers []string
+	// rr round-robins reads across followers.
+	rr int
+}
+
+// replInfo mirrors the server's /repl/info discovery document.
+type replInfo struct {
+	Term      uint64 `json:"term"`
+	Role      string `json:"role"`
+	Leader    string `json:"leader"`
+	Advertise string `json:"advertise"`
+}
+
+func newRemote(peers []string) *remote {
+	// The default transport follows 307s re-sending the body (NewRequest
+	// wires GetBody for byte readers), which is exactly the write-redirect
+	// behaviour the cluster's followers rely on.
+	return &remote{peers: peers, client: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// refresh re-probes every peer's /repl/info, refreshing the leader address
+// and the follower set for read round-robin.
+func (rm *remote) refresh() {
+	rm.leader = ""
+	rm.followers = rm.followers[:0]
+	for _, p := range rm.peers {
+		resp, err := rm.client.Get(p + "/repl/info")
+		if err != nil {
+			continue
+		}
+		var info replInfo
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&info)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		switch info.Role {
+		case "leader":
+			rm.leader = info.Advertise
+		case "follower":
+			rm.followers = append(rm.followers, p)
+			if rm.leader == "" {
+				rm.leader = info.Leader
+			}
+		}
+	}
+}
+
+// pickRead returns the next read target: followers in round-robin order,
+// falling back to any peer when no follower is known (single-node cluster,
+// or discovery has not run yet).
+func (rm *remote) pickRead() string {
+	pool := rm.followers
+	if len(pool) == 0 {
+		pool = rm.peers
+	}
+	rm.rr++
+	return pool[rm.rr%len(pool)]
+}
+
+// pickWrite returns the write target: the current leader, discovering it on
+// demand. Falls back to any peer — its 307 redirect then routes the write.
+func (rm *remote) pickWrite() string {
+	if rm.leader == "" {
+		rm.refresh()
+	}
+	if rm.leader != "" {
+		return rm.leader
+	}
+	rm.rr++
+	return rm.peers[rm.rr%len(rm.peers)]
+}
+
+// query classifies and routes one query, retrying through elections: a 503
+// (no leader right now) backs off per Retry-After and re-discovers, a
+// transport error marks the cached leader stale.
+func (rm *remote) query(q string) {
+	readOnly := false
+	if ast, err := parser.Parse(q); err == nil {
+		readOnly = ast.IsReadOnly()
+	}
+	body, _ := json.Marshal(map[string]any{"query": q})
+	const attempts = 4
+	for attempt := 1; ; attempt++ {
+		target := rm.pickWrite()
+		if readOnly {
+			target = rm.pickRead()
+		}
+		resp, err := rm.client.Post(target+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			rm.leader = ""
+			if attempt < attempts {
+				rm.refresh()
+				continue
+			}
+			fmt.Println("error:", err)
+			return
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < attempts {
+			// Mid-election or degraded leader; honour Retry-After and retry.
+			wait := time.Second
+			if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+				wait = time.Duration(s) * time.Second
+			}
+			fmt.Printf("no leader right now, retrying in %v (%d/%d)\n", wait, attempt, attempts)
+			time.Sleep(wait)
+			rm.refresh()
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var e struct {
+				Error string `json:"error"`
+			}
+			if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+				fmt.Println("error:", e.Error)
+			} else {
+				fmt.Println("error:", resp.Status)
+			}
+			return
+		}
+		// The final URL after any redirect is the leader's.
+		if !readOnly {
+			if u := resp.Request.URL; u != nil {
+				rm.leader = u.Scheme + "://" + u.Host
+			}
+		}
+		printRemoteResult(raw, target, readOnly)
+		return
+	}
+}
+
+// printRemoteResult renders the server's queryResponse JSON as a table.
+func printRemoteResult(raw []byte, target string, readOnly bool) {
+	var out struct {
+		Columns []string `json:"columns"`
+		Rows    [][]any  `json:"rows"`
+		Count   int      `json:"count"`
+		TimeMs  float64  `json:"timeMs"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		fmt.Println("error: bad response:", err)
+		return
+	}
+	if len(out.Columns) > 0 {
+		fmt.Println(strings.Join(out.Columns, " | "))
+		for _, row := range out.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = renderCell(v)
+			}
+			fmt.Println(strings.Join(cells, " | "))
+		}
+	}
+	kind := "write on"
+	if readOnly {
+		kind = "read from"
+	}
+	fmt.Printf("%d row(s) in %.1fms (%s %s)\n", out.Count, out.TimeMs, kind, target)
+}
+
+// renderCell compacts one JSON result value for terminal display.
+func renderCell(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return "null"
+	case string:
+		return t
+	case float64:
+		return strconv.FormatFloat(t, 'g', -1, 64)
+	default:
+		b, err := json.Marshal(t)
+		if err != nil {
+			return fmt.Sprint(t)
+		}
+		return string(b)
+	}
+}
+
+// command handles remote-mode shell commands; most local commands do not
+// apply against a served cluster.
+func (rm *remote) command(line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ":quit", ":exit", ":q":
+		return false
+	case ":help":
+		fmt.Println(":peers — cluster membership and roles")
+		fmt.Println(":explain <query> — show the plan (from a read replica)")
+		fmt.Println(":quit — exit")
+	case ":peers":
+		for _, p := range rm.peers {
+			resp, err := rm.client.Get(p + "/repl/info")
+			if err != nil {
+				fmt.Printf("%s  unreachable (%v)\n", p, err)
+				continue
+			}
+			var info replInfo
+			err = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&info)
+			resp.Body.Close()
+			if err != nil {
+				fmt.Printf("%s  bad /repl/info (%v)\n", p, err)
+				continue
+			}
+			fmt.Printf("%s  role=%s term=%d leader=%s\n", p, info.Role, info.Term, info.Leader)
+		}
+	case ":explain":
+		q := strings.TrimSpace(strings.TrimPrefix(line, ":explain"))
+		resp, err := rm.client.Get(rm.pickRead() + "/explain?q=" + url.QueryEscape(q))
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		var out struct {
+			Plan  string `json:"plan"`
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &out) == nil && out.Error != "" {
+			fmt.Println("error:", out.Error)
+		} else {
+			fmt.Print(out.Plan)
+		}
+	default:
+		fmt.Println("unknown or local-only command; :help lists remote commands")
+	}
+	return true
+}

@@ -159,6 +159,24 @@ type Options struct {
 	// ReplicaHeartbeatTimeout. Zero means the replica package default (2s).
 	// Only meaningful for graphs that call ReplicationHandler.
 	ReplicaHeartbeatInterval time.Duration
+	// Advertise is this node's public base URL in a replication cluster
+	// (scheme://host:port); it is the node's identity in elections and the
+	// redirect target for writes while it leads. Required by OpenCluster.
+	Advertise string
+	// Peers lists every cluster member's base URL (this node's Advertise may
+	// be included). Quorums for elections and commit acknowledgement are
+	// computed over the full set. Only meaningful with OpenCluster.
+	Peers []string
+	// ElectionTimeout is how long a cluster node tolerates leader silence
+	// before campaigning; the other cluster timings (heartbeat cadence,
+	// vote RPC deadlines) derive from it. Zero means the replica package
+	// default (3s). Only meaningful with OpenCluster.
+	ElectionTimeout time.Duration
+	// LeaderLease is how stale the newest quorum of follower acknowledgements
+	// may grow before an elected leader degrades writes to 503 (it can no
+	// longer prove its writes commit). Zero means ElectionTimeout. Only
+	// meaningful with OpenCluster.
+	LeaderLease time.Duration
 	// DataDir, when non-empty, makes the graph durable: mutations are
 	// journaled to a write-ahead log under this directory and Checkpoint
 	// writes full snapshots. Opening an existing directory recovers the
@@ -184,6 +202,9 @@ type Graph struct {
 	// tailer keeps the graph converged with its leader and the engine rejects
 	// write queries.
 	follower *replica.Follower
+	// cluster is non-nil for graphs opened with OpenCluster: the node runs
+	// leader elections and may be leader or follower at any moment.
+	cluster *replica.Cluster
 	// replicaHeartbeat is Options.ReplicaHeartbeatInterval, applied to the
 	// leader when ReplicationHandler is called.
 	replicaHeartbeat time.Duration
@@ -267,6 +288,84 @@ func OpenFollower(dir, leader string, opts Options) (*Graph, error) {
 	return g, nil
 }
 
+// OpenCluster opens dir as one node of a replication cluster with automatic
+// leader election and failover. Every node boots as a read-only follower;
+// the cluster elects the member with the most complete log (highest WAL
+// generation, then offset) by majority vote, and that node promotes to
+// leader in place — no restart, no data copy. When the leader dies or is
+// partitioned away, the remaining majority elects a replacement within a few
+// election timeouts, and the deposed leader — should it come back — is
+// fenced by its stale election term and resynchronises from the winner.
+//
+// opts.Advertise must be this node's public base URL and opts.Peers the full
+// member list. Mount ReplicationHandler under /repl on every node; the same
+// endpoint set carries the WAL stream, votes, acknowledgements and
+// discovery. Writes on a non-leader fail with *ReadOnlyReplicaError: Leader
+// set means redirect, empty Leader means no leader right now (mid-election
+// or degraded) and the serving layer should answer 503 + Retry-After.
+func OpenCluster(dir string, opts Options) (*Graph, error) {
+	if opts.Advertise == "" {
+		return nil, fmt.Errorf("cypher: OpenCluster requires Options.Advertise")
+	}
+	name := opts.Name
+	if name == "" {
+		name = "graph"
+	}
+	store := graph.NewNamed(name)
+	fstore, err := storage.OpenFollower(dir, store, storage.Options{SyncMode: opts.SyncMode})
+	if err != nil {
+		return nil, err
+	}
+	opts.DataDir = ""
+	g := Wrap(store, opts)
+	cl, err := replica.NewCluster(replica.ClusterConfig{
+		Dir:               dir,
+		Advertise:         opts.Advertise,
+		Peers:             opts.Peers,
+		Engine:            g.engine,
+		Store:             fstore,
+		ElectionTimeout:   opts.ElectionTimeout,
+		HeartbeatInterval: opts.ReplicaHeartbeatInterval,
+		LeaderLease:       opts.LeaderLease,
+	})
+	if err != nil {
+		fstore.Close()
+		return nil, err
+	}
+	g.cluster = cl
+	cl.Start()
+	return g, nil
+}
+
+// WaitReplicated blocks until the cluster's current leader — this node —
+// has a majority acknowledgement for everything written so far, so a
+// success response really means the write survives any single-node failure.
+// Serving layers call it after each write query. It returns immediately on
+// a non-clustered graph and on single-node clusters (quorum of one), and an
+// error when this node stopped leading before the quorum arrived (the write
+// may or may not survive the failover).
+func (g *Graph) WaitReplicated(ctx context.Context) error {
+	if g.cluster == nil {
+		return nil
+	}
+	return g.cluster.WaitCommitted(ctx, g.cluster.Position())
+}
+
+// Resync asks a clustered follower (or a standalone follower opened with
+// OpenFollower) to recover via whole-snapshot catch-up, the in-place repair
+// for a fail-stopped tailer — divergent local WAL, stale-term stream, apply
+// failure. Serving layers expose it as POST /admin/resync.
+func (g *Graph) Resync() error {
+	switch {
+	case g.cluster != nil:
+		return g.cluster.Resync()
+	case g.follower != nil:
+		g.follower.Resync()
+		return nil
+	}
+	return fmt.Errorf("cypher: resync applies to replicas")
+}
+
 // ReplicationHandler turns a durable graph into a replication leader and
 // returns the handler serving the stream endpoints; mount it under /repl:
 //
@@ -276,6 +375,11 @@ func OpenFollower(dir, leader string, opts Options) (*Graph, error) {
 // redirect rejected writes here. It errors on a non-durable graph (there is
 // no WAL to ship) and on a follower (chained replication is not supported).
 func (g *Graph) ReplicationHandler(advertise string) (http.Handler, error) {
+	if g.cluster != nil {
+		// Clustered nodes serve the full endpoint set (stream + election)
+		// whatever their current role; advertise was fixed at OpenCluster.
+		return g.cluster.Handler(), nil
+	}
 	if g.follower != nil {
 		return nil, fmt.Errorf("cypher: a follower cannot serve replication")
 	}
@@ -292,6 +396,8 @@ func (g *Graph) ReplicationHandler(advertise string) (http.Handler, error) {
 // graph neither serves replication nor follows a leader.
 func (g *Graph) ReplicationStats() (stats ReplicationStats, ok bool) {
 	switch {
+	case g.cluster != nil:
+		return g.cluster.Stats(), true
 	case g.follower != nil:
 		return g.follower.Stats(), true
 	case g.leader != nil:
@@ -304,6 +410,15 @@ func (g *Graph) ReplicationStats() (stats ReplicationStats, ok bool) {
 // directory. On a follower it first stops the replication tailer. It is a
 // no-op (nil) for in-memory graphs. The graph must not be used afterwards.
 func (g *Graph) Close() error {
+	if g.cluster != nil {
+		// Stops elections, the tailer or leader stream, and closes whichever
+		// store side is live; engine.Close then finds no durable store.
+		err := g.cluster.Stop()
+		if cerr := g.engine.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
 	if g.follower != nil {
 		return g.follower.Stop() // closes the follower store too
 	}

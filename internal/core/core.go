@@ -107,8 +107,10 @@ type Engine struct {
 	// durable, when set, is the persistence layer: the engine's mutation
 	// hook journals every change into it, and the engine group-commits the
 	// journal at the end of each write query (still under the write lock, so
-	// the WAL's batch boundaries are exactly the query boundaries).
-	durable *storage.Store
+	// the WAL's batch boundaries are exactly the query boundaries). It is an
+	// atomic pointer because leader election swaps it at promotion/demotion
+	// while readers (the mutation hook, Stats) may be concurrently loading it.
+	durable atomic.Pointer[storage.Store]
 
 	// commitHook, when set, runs inside the write path after the WAL append
 	// and before the new version is published. It is a seam for the
@@ -116,12 +118,16 @@ type Engine struct {
 	// and a natural tap point for future replication. Set before sharing.
 	commitHook func()
 
-	// followerOf, when non-empty, marks this engine as a read-only replica:
-	// write queries are rejected with a ReadOnlyReplicaError pointing at
-	// this leader address, and mutations arrive only through
-	// ApplyReplicated/ResetReplicated (see replicate.go). Set before
-	// sharing.
-	followerOf string
+	// role distinguishes a writable engine from a read-only replica (and a
+	// replica that currently knows no leader). nil means writer. See
+	// replicate.go for the transitions; an atomic pointer because elections
+	// flip the role while queries are in flight.
+	role atomic.Pointer[replicaRole]
+
+	// fence is the newest election term this engine has acknowledged;
+	// ApplyReplicatedTerm refuses batches from older terms (a deposed
+	// leader's late writes). See replicate.go.
+	fence atomic.Uint64
 
 	// gov holds the engine-level governance counters (see GovernanceStats).
 	// All atomic; the serving layer's admission controller contributes the
@@ -198,8 +204,8 @@ func NewEngine(g *graph.Graph, opts Options) *Engine {
 // lock, in commit order, and fans each record out to the WAL journal (when
 // durable) and the MVCC replica backlog.
 func (e *Engine) onMutation(m graph.Mutation) {
-	if e.durable != nil {
-		e.durable.Record(m)
+	if d := e.durable.Load(); d != nil {
+		d.Record(m)
 	}
 	e.versions.Capture(m)
 }
@@ -222,35 +228,37 @@ func (e *Engine) SetCommitHook(fn func()) { e.commitHook = fn }
 // shared between goroutines (recovery must already have happened, so
 // replayed mutations are not re-journaled).
 func (e *Engine) SetDurability(s *storage.Store) {
-	e.durable = s
+	e.durable.Store(s)
 }
 
 // Durability returns the engine's storage layer, or nil for a purely
 // in-memory engine.
-func (e *Engine) Durability() *storage.Store { return e.durable }
+func (e *Engine) Durability() *storage.Store { return e.durable.Load() }
 
 // Checkpoint writes a point-in-time snapshot and truncates the WAL. It holds
 // the write lock: concurrent readers keep running (the snapshot only reads
 // the primary, which is the published head between writes), writers wait for
 // the snapshot. A no-op without a storage layer.
 func (e *Engine) Checkpoint() error {
-	if e.durable == nil {
-		return nil
-	}
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
-	return e.durable.Checkpoint(e.graph)
+	d := e.durable.Load()
+	if d == nil {
+		return nil
+	}
+	return d.Checkpoint(e.graph)
 }
 
 // Close flushes and closes the storage layer (if any). The engine must not
 // run further queries afterwards.
 func (e *Engine) Close() error {
-	if e.durable == nil {
-		return nil
-	}
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
-	return e.durable.Close()
+	d := e.durable.Load()
+	if d == nil {
+		return nil
+	}
+	return d.Close()
 }
 
 // CreateIndex declares a property index under the engine's write discipline,
@@ -274,10 +282,11 @@ func (e *Engine) CreateIndex(label, property string) error {
 // commitDurable group-commits the journaled mutations of the current write.
 // Callers hold the write lock.
 func (e *Engine) commitDurable() error {
-	if e.durable == nil {
+	d := e.durable.Load()
+	if d == nil {
 		return nil
 	}
-	return e.durable.Commit()
+	return d.Commit()
 }
 
 // ImportFrom copies the contents of src (labels, properties, relationships,
@@ -500,10 +509,20 @@ func (e *Engine) runGoverned(qc *exec.QueryCtx, query string, params map[string]
 	}
 	// The locked section runs in a closure so its deferred Publish/Unlock
 	// also fire on a panic — a manual Unlock after a panicking query would
-	// leave the write lock held forever and wedge the engine.
+	// leave the write lock held forever and wedge the engine. The durable
+	// store is captured under the lock (elections swap it) and reused for
+	// the post-lock fsync so the append and the sync hit the same store.
+	var d *storage.Store
 	res, ticket, err := func() (res *Result, ticket storage.CommitTicket, err error) {
 		e.writeMu.Lock()
 		defer e.writeMu.Unlock()
+		// Re-check the role under the lock: a demotion that raced the check
+		// above completed while this writer queued, and applying its mutations
+		// now would diverge this node from the new leader's log.
+		if rerr := e.readOnlyErr(); rerr != nil {
+			return nil, storage.CommitTicket{}, rerr
+		}
+		d = e.durable.Load()
 		// BeginWrite publishes the last committed version for readers and
 		// waits for pins on the primary to drain; from here the writer owns
 		// the primary and mutates it in place.
@@ -522,8 +541,8 @@ func (e *Engine) runGoverned(qc *exec.QueryCtx, query string, params map[string]
 		// happens AFTER the lock is released, so the next writer can append
 		// while this one waits on the disk and concurrent committers share
 		// fsyncs (group commit).
-		if e.durable != nil {
-			t, aerr := e.durable.Append()
+		if d != nil {
+			t, aerr := d.Append()
 			if aerr != nil && err == nil {
 				err = fmt.Errorf("query applied in memory but WAL append failed: %w", aerr)
 			}
@@ -534,8 +553,8 @@ func (e *Engine) runGoverned(qc *exec.QueryCtx, query string, params map[string]
 		}
 		return res, ticket, err
 	}()
-	if e.durable != nil {
-		if serr := e.durable.Sync(ticket); serr != nil && err == nil {
+	if d != nil {
+		if serr := d.Sync(ticket); serr != nil && err == nil {
 			err = fmt.Errorf("query applied in memory but WAL fsync failed: %w", serr)
 		}
 	}

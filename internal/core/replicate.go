@@ -13,12 +13,17 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/storage"
 )
 
 // ReadOnlyReplicaError rejects a write on a follower engine. It carries the
-// leader's advertised address so serving layers can redirect the client.
+// leader's advertised address so serving layers can redirect the client; an
+// empty Leader means no leader is currently known (mid-election, or a
+// degraded leader that lost its quorum lease) and the serving layer should
+// answer 503 + Retry-After instead of a redirect.
 type ReadOnlyReplicaError struct {
-	// Leader is the advertised address writes should be sent to.
+	// Leader is the advertised address writes should be sent to ("" =
+	// unknown right now; retry shortly).
 	Leader string
 }
 
@@ -29,24 +34,109 @@ func (e *ReadOnlyReplicaError) Error() string {
 	return fmt.Sprintf("core: this graph is a read-only replica; send writes to the leader at %s", e.Leader)
 }
 
+// StaleTermError rejects a replicated batch stamped with an election term
+// older than the engine's fence: its sender is a deposed leader that does not
+// yet know it lost. The tailer fail-stops on it — continuing to apply from
+// that stream could interleave a zombie's writes with the real leader's.
+type StaleTermError struct {
+	// Term is the batch's term; Fence the newest term this engine has
+	// acknowledged.
+	Term, Fence uint64
+}
+
+func (e *StaleTermError) Error() string {
+	return fmt.Sprintf("core: replicated batch from stale election term %d (fence %d)", e.Term, e.Fence)
+}
+
+// replicaRole is the engine's replication role. A nil pointer in Engine.role
+// is the writer role (the common, standalone case pays no allocation).
+type replicaRole struct {
+	// leader is the advertised address of the node accepting writes; "" when
+	// unknown (mid-election / degraded leader).
+	leader string
+}
+
 // SetFollowerOf marks the engine as a read-only replica of the leader at the
 // given advertised address: write queries, index creation and imports are
 // rejected with a *ReadOnlyReplicaError from here on, leaving
-// ApplyReplicated/ResetReplicated as the only mutation paths. Call before
-// the engine is shared between goroutines.
-func (e *Engine) SetFollowerOf(leader string) { e.followerOf = leader }
+// ApplyReplicated/ResetReplicated as the only mutation paths. An empty
+// address restores the writer role. Safe to call while the engine is shared:
+// elections re-point replicas at the new winner on the fly.
+func (e *Engine) SetFollowerOf(leader string) {
+	if leader == "" {
+		e.role.Store(nil)
+		return
+	}
+	e.role.Store(&replicaRole{leader: leader})
+}
 
-// FollowerOf returns the leader address set by SetFollowerOf, or "".
-func (e *Engine) FollowerOf() string { return e.followerOf }
+// SetLeaderless marks the engine read-only with no known leader: writes are
+// rejected with a *ReadOnlyReplicaError whose Leader is empty, which serving
+// layers map to 503 + Retry-After (degraded, not failed). Used mid-election
+// and by a leader whose quorum lease lapsed.
+func (e *Engine) SetLeaderless() {
+	e.role.Store(&replicaRole{})
+}
 
-// readOnlyErr returns the rejection for mutating operations on a follower,
-// or nil on a normal engine.
+// IsWriter reports whether the engine currently accepts write queries.
+func (e *Engine) IsWriter() bool { return e.role.Load() == nil }
+
+// FollowerOf returns the leader address writes are redirected to, or "" when
+// this engine is the writer (or knows no leader).
+func (e *Engine) FollowerOf() string {
+	if r := e.role.Load(); r != nil {
+		return r.leader
+	}
+	return ""
+}
+
+// readOnlyErr returns the rejection for mutating operations on a replica,
+// or nil on a writable engine.
 func (e *Engine) readOnlyErr() error {
-	if e.followerOf != "" {
-		return &ReadOnlyReplicaError{Leader: e.followerOf}
+	if r := e.role.Load(); r != nil {
+		return &ReadOnlyReplicaError{Leader: r.leader}
 	}
 	return nil
 }
+
+// PromoteToWriter flips the engine to the writer role with s as its durable
+// store, under the write lock so the transition cannot interleave with a
+// write query. The election layer calls it when this node wins a campaign
+// (s is the promoted follower store).
+func (e *Engine) PromoteToWriter(s *storage.Store) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.durable.Store(s)
+	e.role.Store(nil)
+}
+
+// DemoteToReplica flips the engine to the follower role (leaderless when
+// leader is "") and detaches the durable store, returning it so the election
+// layer can hand it to storage.Store.Demote. Taking the write lock first
+// means any in-flight write query finishes — and its batch is appended —
+// before the store changes hands; writes queued behind it fail the role
+// re-check instead of applying unjournaled mutations.
+func (e *Engine) DemoteToReplica(leader string) *storage.Store {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.role.Store(&replicaRole{leader: leader})
+	return e.durable.Swap(nil)
+}
+
+// SetFenceTerm raises the engine's term fence (monotonic; lower terms are
+// ignored). Raised when this node votes in, declares, or observes a newer
+// election term.
+func (e *Engine) SetFenceTerm(term uint64) {
+	for {
+		cur := e.fence.Load()
+		if term <= cur || e.fence.CompareAndSwap(cur, term) {
+			return
+		}
+	}
+}
+
+// FenceTerm returns the newest election term the engine has acknowledged.
+func (e *Engine) FenceTerm() uint64 { return e.fence.Load() }
 
 // ApplyReplicated applies one committed batch from the replication stream:
 // the decoded mutations of exactly one leader WAL entry. It runs the full
@@ -58,10 +148,30 @@ func (e *Engine) readOnlyErr() error {
 //
 // The caller is responsible for having journaled the entry locally first
 // (durability precedes visibility, the same ordering the leader's commit
-// path uses).
+// path uses). ApplyReplicated stamps the batch with the engine's own current
+// fence, so it always passes the term check — it is the legacy single-leader
+// path; clustered tailers use ApplyReplicatedTerm with the stream frame's
+// term.
 func (e *Engine) ApplyReplicated(batch []graph.Mutation) error {
+	return e.ApplyReplicatedTerm(e.fence.Load(), batch)
+}
+
+// ApplyReplicatedTerm is ApplyReplicated with the election term the batch's
+// stream frame carried. A term older than the engine's fence is refused with
+// a *StaleTermError before anything is applied: the batch comes from a
+// deposed leader, and applying it would fork this replica from the history
+// the new leader is writing.
+func (e *Engine) ApplyReplicatedTerm(term uint64, batch []graph.Mutation) error {
+	if fence := e.fence.Load(); term < fence {
+		return &StaleTermError{Term: term, Fence: fence}
+	}
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
+	// Re-check under the lock: the fence may have risen while this apply
+	// queued behind another writer (an election concluded mid-wait).
+	if fence := e.fence.Load(); term < fence {
+		return &StaleTermError{Term: term, Fence: fence}
+	}
 	target := e.versions.BeginWrite()
 	defer e.versions.Publish()
 	for _, m := range batch {

@@ -301,6 +301,301 @@ func TestClusterEndToEnd(t *testing.T) {
 	}
 }
 
+// clusterState is the election view a clustered node reports on /stats.
+type clusterState struct {
+	Role          string `json:"role"`
+	State         string `json:"state"`
+	Term          uint64 `json:"term"`
+	Leader        string `json:"leader"`
+	LagEntries    int64  `json:"lagEntries"`
+	ForcedResyncs uint64 `json:"forcedResyncs"`
+	Position      struct {
+		Gen    uint64 `json:"gen"`
+		Offset int64  `json:"offset"`
+		Seq    uint64 `json:"seq"`
+	} `json:"position"`
+}
+
+func (n *node) clusterState() (clusterState, error) {
+	resp, err := http.Get(n.url() + "/stats")
+	if err != nil {
+		return clusterState{}, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Replication clusterState `json:"replication"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return clusterState{}, err
+	}
+	return out.Replication, nil
+}
+
+// waitElectedLeader polls the live nodes until exactly one reports the leader
+// role and every other live node recognizes it.
+func waitElectedLeader(t *testing.T, nodes []*node, timeout time.Duration) *node {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var lead *node
+		count := 0
+		for _, n := range nodes {
+			st, err := n.clusterState()
+			if err != nil {
+				continue
+			}
+			if st.Role == "leader" {
+				lead, count = n, count+1
+			}
+		}
+		if count == 1 {
+			agreed := true
+			for _, n := range nodes {
+				if n == lead {
+					continue
+				}
+				if st, err := n.clusterState(); err != nil || st.Leader != lead.url() {
+					agreed = false
+					break
+				}
+			}
+			if agreed {
+				return lead
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	for _, n := range nodes {
+		st, err := n.clusterState()
+		t.Logf("node %s: state=%+v err=%v", n.addr, st, err)
+	}
+	t.Fatalf("no agreed leader within %v", timeout)
+	return nil
+}
+
+// waitClusterQuiet polls until every live node sits at the same position with
+// exactly one leader and zero follower lag.
+func waitClusterQuiet(t *testing.T, nodes []*node) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		leaders, ok := 0, true
+		var pos [][3]int64
+		for _, n := range nodes {
+			st, err := n.clusterState()
+			if err != nil {
+				ok = false
+				break
+			}
+			switch st.Role {
+			case "leader":
+				leaders++
+			case "follower":
+				if st.LagEntries != 0 {
+					ok = false
+				}
+			default:
+				ok = false
+			}
+			pos = append(pos, [3]int64{int64(st.Position.Gen), st.Position.Offset, int64(st.Position.Seq)})
+		}
+		if ok && leaders == 1 {
+			same := true
+			for _, p := range pos {
+				if p != pos[0] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	for _, n := range nodes {
+		st, err := n.clusterState()
+		t.Logf("node %s: state=%+v err=%v\nlogs:\n%s", n.addr, st, err, n.logs.String())
+	}
+	t.Fatal("cluster never quiesced to one leader with zero lag")
+}
+
+// commitRevs drives write load at the cluster through a redirect-following
+// client, posting each rev to the nodes round-robin and recording the ones
+// acknowledged with a 200 — which, in cluster mode, certifies a quorum
+// commit. Failed or ambiguous revs are abandoned, not retried: the invariant
+// under test is that every acknowledged rev survives, not that every attempt
+// lands.
+func commitRevs(t *testing.T, nodes []*node, next *int, want int) []int {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	var acked []int
+	deadline := time.Now().Add(45 * time.Second)
+	for len(acked) < want && time.Now().Before(deadline) {
+		rev := *next
+		*next++
+		target := nodes[rev%len(nodes)]
+		body, _ := json.Marshal(map[string]any{"query": fmt.Sprintf(`CREATE (:Doc {rev: %d})`, rev)})
+		resp, err := client.Post(target.url()+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			acked = append(acked, rev)
+			continue
+		}
+		// 503 (leaderless window) or a refused redirect to a dead leader:
+		// back off briefly and keep the load going.
+		time.Sleep(50 * time.Millisecond)
+	}
+	if len(acked) < want {
+		t.Fatalf("only %d/%d writes acknowledged before the deadline", len(acked), want)
+	}
+	return acked
+}
+
+// revSet reads the distinct committed revs a node holds.
+func (n *node) revSet() map[int]bool {
+	n.t.Helper()
+	var res struct {
+		Rows [][]any `json:"rows"`
+	}
+	if err := json.Unmarshal(n.mustQuery(`MATCH (d:Doc) RETURN DISTINCT d.rev ORDER BY d.rev`), &res); err != nil {
+		n.t.Fatalf("decode revs: %v", err)
+	}
+	out := make(map[int]bool, len(res.Rows))
+	for _, row := range res.Rows {
+		if f, ok := row[0].(float64); ok {
+			out[int(f)] = true
+		}
+	}
+	return out
+}
+
+// TestClusterFailover is the chaos harness the failover CI job runs: a
+// three-node -peers cluster under write load loses its leader to SIGKILL —
+// twice — and must re-elect within ten seconds each time, lose no
+// acknowledged write, and fence the resurrected ex-leader back to follower.
+func TestClusterFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process failover harness; skipped in -short")
+	}
+	bin := buildServe(t)
+
+	addrs := []string{freeAddr(t), freeAddr(t), freeAddr(t)}
+	urls := make([]string, len(addrs))
+	for i, a := range addrs {
+		urls[i] = "http://" + a
+	}
+	peersCSV := strings.Join(urls, ",")
+	nodes := make([]*node, len(addrs))
+	for i := range nodes {
+		nodes[i] = startNode(t, bin, addrs[i], t.TempDir(),
+			"-peers", peersCSV, "-election-timeout", "750ms")
+	}
+
+	lead1 := waitElectedLeader(t, nodes, 15*time.Second)
+	next := 1
+	acked := commitRevs(t, nodes, &next, 15)
+
+	// --- First failover ------------------------------------------------
+	lead1.kill()
+	killedAt := time.Now()
+	var survivors []*node
+	for _, n := range nodes {
+		if n != lead1 {
+			survivors = append(survivors, n)
+		}
+	}
+	lead2 := waitElectedLeader(t, survivors, 10*time.Second)
+	t.Logf("re-elected %s %v after SIGKILL", lead2.addr, time.Since(killedAt))
+	acked = append(acked, commitRevs(t, survivors, &next, 15)...)
+
+	// Resurrect the ex-leader: it must rejoin as a follower of the new
+	// leader — its generation is fenced, so a write sent straight to it is
+	// redirected, never applied as if it still led.
+	lead1.start()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st, err := lead1.clusterState()
+		if err == nil && st.Role == "follower" && st.Leader == lead2.url() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ex-leader never rejoined as follower: %+v (err %v)\nlogs:\n%s", st, err, lead1.logs.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if status, _ := lead1.query(`CREATE (:Doc {rev: 100000})`); status != http.StatusTemporaryRedirect {
+		t.Fatalf("write to the fenced ex-leader: status %d, want 307", status)
+	}
+
+	// --- Second failover -----------------------------------------------
+	lead2.kill()
+	killedAt = time.Now()
+	survivors = survivors[:0]
+	for _, n := range nodes {
+		if n != lead2 {
+			survivors = append(survivors, n)
+		}
+	}
+	lead3 := waitElectedLeader(t, survivors, 10*time.Second)
+	t.Logf("re-elected %s %v after second SIGKILL", lead3.addr, time.Since(killedAt))
+	acked = append(acked, commitRevs(t, survivors, &next, 10)...)
+
+	// Full strength again: everyone converges on one history.
+	lead2.start()
+	waitClusterQuiet(t, nodes)
+
+	// Zero lost committed writes: every acknowledged rev is on every node,
+	// and all three answer the check query byte-identically.
+	want := nodes[0].resultData(checkQuery)
+	for _, n := range nodes {
+		revs := n.revSet()
+		for _, rev := range acked {
+			if !revs[rev] {
+				t.Fatalf("node %s lost acknowledged rev %d", n.addr, rev)
+			}
+		}
+		if got := n.resultData(checkQuery); !bytes.Equal(got, want) {
+			t.Fatalf("node %s diverges:\nwant %s\ngot  %s", n.addr, want, got)
+		}
+	}
+
+	// --- In-place recovery (/admin/resync) ------------------------------
+	// Force a follower to rebuild from the leader's snapshot without a
+	// restart; it must converge again and count the forced resync.
+	var follower *node
+	for _, n := range nodes {
+		if st, err := n.clusterState(); err == nil && st.Role == "follower" {
+			follower = n
+			break
+		}
+	}
+	if follower == nil {
+		t.Fatal("no follower available for resync")
+	}
+	resp, err := http.Post(follower.url()+"/admin/resync", "application/json", nil)
+	if err != nil {
+		t.Fatalf("admin resync: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin resync status %d", resp.StatusCode)
+	}
+	waitClusterQuiet(t, nodes)
+	if st, err := follower.clusterState(); err != nil || st.ForcedResyncs < 1 {
+		t.Fatalf("forced resyncs = %d (err %v), want >= 1", st.ForcedResyncs, err)
+	}
+	if got := follower.resultData(checkQuery); !bytes.Equal(got, want) {
+		t.Fatal("follower diverges after forced resync")
+	}
+}
+
 // TestServeFlagValidation covers the role flag matrix without booting a
 // cluster: invalid combinations must exit non-zero with a pointed message.
 func TestServeFlagValidation(t *testing.T) {
@@ -319,6 +614,13 @@ func TestServeFlagValidation(t *testing.T) {
 		{[]string{"-role", "single", "-follow", "http://x"}, "-follow requires -role follower"},
 		{[]string{"-role", "follower", "-data", "x", "-follow", "http://x", "-dataset", "social"}, "-dataset cannot"},
 		{[]string{"-role", "follower", "-data", "x", "-follow", "http://x", "-checkpoint-every", "1m"}, "-checkpoint-every cannot"},
+		{[]string{"-role", "leader", "-data", "x", "-peers", "http://a,http://b"}, "-peers replaces -role"},
+		{[]string{"-follow", "http://a", "-data", "x", "-peers", "http://a,http://b"}, "-peers replaces -follow"},
+		{[]string{"-peers", "http://a,http://b"}, "-peers requires -data"},
+		{[]string{"-peers", "http://a,http://b", "-data", "x", "-dataset", "social"}, "-dataset cannot be used with -peers"},
+		{[]string{"-peers", "http://a,http://b", "-data", "x", "-checkpoint-every", "1m"}, "-checkpoint-every cannot be used with -peers"},
+		{[]string{"-peers", "http://a,http://b", "-data", "x", "-heartbeat-timeout", "5s"}, "-heartbeat-timeout cannot be used with -peers"},
+		{[]string{"-election-timeout", "2s"}, "-election-timeout requires -peers"},
 	}
 	for _, tc := range cases {
 		cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, tc.args...)...)

@@ -45,6 +45,16 @@ type FollowerConfig struct {
 
 	// Logf logs follower lifecycle events; default log.Printf.
 	Logf func(format string, args ...any)
+
+	// OnAck, when set, is called after every durably applied entry and after
+	// every position heartbeat, with the follower's current durable position.
+	// The cluster layer uses it to acknowledge the leader (commit quorum) —
+	// and, because it fires on heartbeats too, it doubles as the leader's
+	// lease renewal over the existing stream channel.
+	OnAck func(storage.Position)
+	// OnTermObserved, when set, is called with every stream frame's election
+	// term. The cluster layer adopts (and persists) terms newer than its own.
+	OnTermObserved func(term uint64)
 }
 
 // Follower tails a leader's replication stream: journal each shipped entry
@@ -66,12 +76,18 @@ type Follower struct {
 	leaderPos storage.Position
 	lastErr   string
 
-	reconnects atomic.Uint64
-	catchups   atomic.Uint64
+	reconnects    atomic.Uint64
+	catchups      atomic.Uint64
+	forcedResyncs atomic.Uint64
 
 	// lastFrame is the unix-nano arrival time of the newest frame, fed to
-	// the liveness watchdog.
+	// the liveness watchdog (and, via LastContact, to the election layer's
+	// leader-silence watchdog).
 	lastFrame atomic.Int64
+
+	// resyncCh carries Resync requests into the run loop; buffered so an
+	// admin's trigger is never lost even while a catch-up is in flight.
+	resyncCh chan struct{}
 }
 
 // NewFollower creates a follower; call Start to begin tailing.
@@ -93,23 +109,30 @@ func NewFollower(cfg FollowerConfig) *Follower {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Follower{
-		cfg:    cfg,
-		client: &http.Client{}, // no global timeout: /stream is long-lived
-		ctx:    ctx,
-		cancel: cancel,
-		state:  StateConnecting,
+		cfg:      cfg,
+		client:   &http.Client{}, // no global timeout: /stream is long-lived
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    StateConnecting,
+		resyncCh: make(chan struct{}, 1),
 	}
 }
 
 // Start launches the tail loop.
 func (f *Follower) Start() {
+	f.lastFrame.Store(time.Now().UnixNano())
 	f.wg.Add(1)
 	go f.run()
 }
 
 // Stop terminates the tail loop and closes the local store. Safe to call
 // more than once.
-func (f *Follower) Stop() error {
+func (f *Follower) Stop() error { return f.Shutdown(true) }
+
+// Shutdown terminates the tail loop; closeStore false leaves the local store
+// open and owned by the caller — the promotion path, which hands the same
+// open WAL to FollowerStore.Promote. Safe to call more than once.
+func (f *Follower) Shutdown(closeStore bool) error {
 	f.cancel()
 	f.wg.Wait()
 	f.mu.Lock()
@@ -117,7 +140,27 @@ func (f *Follower) Stop() error {
 		f.state = StateStopped
 	}
 	f.mu.Unlock()
-	return f.cfg.Store.Close()
+	if closeStore {
+		return f.cfg.Store.Close()
+	}
+	return nil
+}
+
+// Resync asks the tailer to recover by snapshot catch-up. Its main purpose is
+// reviving a fail-stopped tailer in place (POST /admin/resync) — divergence
+// fail-stops are exactly the state a whole-snapshot install repairs — but a
+// healthy tailer honors it too, on its next reconnect. Non-blocking.
+func (f *Follower) Resync() {
+	select {
+	case f.resyncCh <- struct{}{}:
+	default: // one is already pending
+	}
+}
+
+// LastContact reports when the newest stream frame (entry or heartbeat)
+// arrived — the election layer's measure of leader silence.
+func (f *Follower) LastContact() time.Time {
+	return time.Unix(0, f.lastFrame.Load())
 }
 
 // run is the reconnect loop: stream until the connection dies, then retry
@@ -134,6 +177,20 @@ func (f *Follower) run() {
 			f.reconnects.Add(1)
 		}
 		first = false
+
+		// A pending admin resync takes priority over re-streaming: the
+		// operator asked for a whole-snapshot repair.
+		select {
+		case <-f.resyncCh:
+			f.forcedResyncs.Add(1)
+			f.setState(StateSnapshot, "")
+			if cerr := f.snapshotCatchup(); cerr != nil && f.ctx.Err() == nil {
+				f.cfg.Logf("replica: forced resync failed: %v", cerr)
+			} else if cerr == nil {
+				f.catchups.Add(1)
+			}
+		default:
+		}
 
 		err := f.streamOnce()
 		if f.ctx.Err() != nil {
@@ -153,9 +210,27 @@ func (f *Follower) run() {
 				f.setState(StateConnecting, cerr.Error())
 			}
 		case errors.Is(err, errFatal):
+			// Park instead of exiting: the tailer is unusable (divergent log,
+			// failed apply) but the process still serves stale reads and
+			// /healthz says so. POST /admin/resync revives it in place via
+			// snapshot catch-up; until then only Stop ends the loop.
 			f.setState(StateFailed, err.Error())
-			f.cfg.Logf("replica: FATAL, follower stopped: %v", err)
-			return
+			f.cfg.Logf("replica: FATAL, follower parked (POST /admin/resync to recover): %v", err)
+			select {
+			case <-f.ctx.Done():
+				return
+			case <-f.resyncCh:
+				f.forcedResyncs.Add(1)
+				f.setState(StateSnapshot, "")
+				if cerr := f.snapshotCatchup(); cerr == nil {
+					f.catchups.Add(1)
+					backoff = f.cfg.BackoffMin
+					continue
+				} else if f.ctx.Err() == nil {
+					f.cfg.Logf("replica: forced resync failed: %v", cerr)
+					f.setState(StateConnecting, cerr.Error())
+				}
+			}
 		default:
 			f.setState(StateConnecting, err.Error())
 			f.cfg.Logf("replica: stream interrupted: %v (retrying in ~%v)", err, backoff)
@@ -249,15 +324,26 @@ func (f *Follower) streamOnce() error {
 			return err
 		}
 		f.lastFrame.Store(time.Now().UnixNano())
+		if f.cfg.OnTermObserved != nil && frame.kind != frameResync {
+			f.cfg.OnTermObserved(frame.term)
+		}
 		switch frame.kind {
 		case frameEntry:
 			if err := f.applyEntry(frame); err != nil {
 				return err
 			}
 		case framePos:
+			// A heartbeat from a deposed leader: drop the stream for good (the
+			// election layer re-points the tailer at the winner).
+			if fence := f.cfg.Store.FenceTerm(); frame.term < fence {
+				return fmt.Errorf("%w: stream heartbeat from stale term %d (fence %d)", errFatal, frame.term, fence)
+			}
 			f.mu.Lock()
 			f.leaderPos = frame.pos
 			f.mu.Unlock()
+			if f.cfg.OnAck != nil {
+				f.cfg.OnAck(f.cfg.Store.Position())
+			}
 		case frameResync:
 			// The generation rotated mid-stream; reconnect (the fresh
 			// request gets the authoritative 410).
@@ -278,17 +364,20 @@ func (f *Follower) applyEntry(frame wireFrame) error {
 		// it; reconnecting would loop on the same entry.
 		return fmt.Errorf("%w: shipped entry at %s does not decode: %v", errFatal, frame.pos, err)
 	}
-	if err := f.cfg.Store.AppendEntry(frame.pos, frame.payload); err != nil {
-		// Offset mismatch or a local write failure: the local log can no
-		// longer be trusted to mirror the leader's.
+	if err := f.cfg.Store.AppendEntry(frame.pos, frame.term, frame.payload); err != nil {
+		// Stale election term, offset mismatch or a local write failure: the
+		// local log can no longer be trusted to mirror the (current) leader's.
 		return fmt.Errorf("%w: %v", errFatal, err)
 	}
-	if err := f.cfg.Engine.ApplyReplicated(muts); err != nil {
+	if err := f.cfg.Engine.ApplyReplicatedTerm(frame.term, muts); err != nil {
 		return fmt.Errorf("%w: %v", errFatal, err)
 	}
 	f.cfg.Store.AddRecords(len(muts))
 	if err := f.cfg.Store.Sync(); err != nil {
 		return fmt.Errorf("%w: %v", errFatal, err)
+	}
+	if f.cfg.OnAck != nil {
+		f.cfg.OnAck(f.cfg.Store.Position())
 	}
 	return nil
 }
@@ -377,6 +466,7 @@ func (f *Follower) Stats() Stats {
 	st := Stats{
 		Role:             RoleFollower,
 		State:            state,
+		Term:             f.cfg.Store.FenceTerm(),
 		Leader:           f.cfg.Leader,
 		Local:            local,
 		LeaderPos:        leaderPos,
@@ -386,6 +476,7 @@ func (f *Follower) Stats() Stats {
 		AppliedRecords:   ss.Records,
 		AppliedBytes:     ss.Bytes,
 		SnapshotCatchups: f.catchups.Load(),
+		ForcedResyncs:    f.forcedResyncs.Load(),
 		Reconnects:       f.reconnects.Load(),
 		LastError:        lastErr,
 	}

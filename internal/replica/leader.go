@@ -34,6 +34,10 @@ type Leader struct {
 	// heartbeat is how often an idle stream re-sends the live position
 	// (nanoseconds, read atomically so tests can tune a serving leader).
 	heartbeat atomic.Int64
+	// term is the election term this leader was elected at, stamped on every
+	// stream frame so followers can fence deposed leaders. 0 in legacy
+	// single-leader deployments.
+	term atomic.Uint64
 
 	mu       sync.Mutex
 	nextID   int64
@@ -80,6 +84,13 @@ func (l *Leader) HeartbeatInterval() time.Duration {
 
 // Advertise returns the leader's advertised base URL.
 func (l *Leader) Advertise() string { return l.advertise }
+
+// SetTerm sets the election term stamped on every stream frame. Elections
+// call it once at promotion, before the handler serves any stream.
+func (l *Leader) SetTerm(term uint64) { l.term.Store(term) }
+
+// Term returns the election term this leader stamps on stream frames.
+func (l *Leader) Term() uint64 { return l.term.Load() }
 
 // Handler returns the replication endpoints as one handler; mount it under
 // /repl with http.StripPrefix.
@@ -139,7 +150,7 @@ func (l *Leader) handleStream(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	for {
 		for _, f := range frames {
-			if err := writeEntryFrame(w, pos.Gen, f.Offset, f.Payload); err != nil {
+			if err := writeEntryFrame(w, l.term.Load(), pos.Gen, f.Offset, f.Payload); err != nil {
 				return // client went away
 			}
 			l.streamedEntries.Add(1)
@@ -149,7 +160,7 @@ func (l *Leader) handleStream(w http.ResponseWriter, r *http.Request) {
 		sess.setSent(pos)
 		// Always follow a drain with the live position: the follower's lag
 		// arithmetic (and its liveness watchdog) keys off these.
-		if err := writePosFrame(w, l.store.Position()); err != nil {
+		if err := writePosFrame(w, l.term.Load(), l.store.Position()); err != nil {
 			return
 		}
 		flusher.Flush()
@@ -253,6 +264,7 @@ func (l *Leader) Stats() Stats {
 	st := Stats{
 		Role:            RoleLeader,
 		State:           "serving",
+		Term:            l.term.Load(),
 		Advertise:       l.advertise,
 		Local:           l.store.Position(),
 		StreamedEntries: l.streamedEntries.Load(),

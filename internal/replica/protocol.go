@@ -32,14 +32,18 @@ import (
 // Stream frame kinds. A frame starts with one kind byte.
 const (
 	// frameEntry carries one committed WAL entry:
-	// [kind][gen u64][offset i64][len u32][crc32c u32][payload].
+	// [kind][term u64][gen u64][offset i64][len u32][crc32c u32][payload].
+	// term is the election term the sending leader holds — the follower
+	// refuses entries older than its fence (a deposed leader's late writes).
 	// gen/offset locate the entry's first header byte in the leader's WAL;
 	// the follower requires them to equal its own log end before appending.
 	frameEntry = byte(1)
 	// framePos carries the leader's live position — a heartbeat:
-	// [kind][gen u64][offset i64][seq u64]. Sent after every drained batch
-	// and on an idle timer, it is what lets a follower report lag (and
-	// detect a dead TCP peer).
+	// [kind][term u64][gen u64][offset i64][seq u64]. Sent after every
+	// drained batch and on an idle timer, it is what lets a follower report
+	// lag (and detect a dead TCP peer); in a cluster it doubles as the
+	// leader's lease renewal, and the term lets a follower notice a newer
+	// leader even when no entry flows.
 	framePos = byte(2)
 	// frameResync ends a stream that can no longer continue from the
 	// follower's position (the generation rotated mid-stream): [kind].
@@ -62,6 +66,9 @@ var errBadFrame = errors.New("replica: corrupt or truncated stream frame")
 // wireFrame is one decoded stream frame.
 type wireFrame struct {
 	kind byte
+	// term is the election term stamped by the sending leader (frameEntry
+	// and framePos; 0 in legacy single-leader mode).
+	term uint64
 	// pos: for frameEntry, where the entry starts in the leader's WAL (Seq
 	// unused); for framePos, the leader's live position.
 	pos storage.Position
@@ -70,13 +77,14 @@ type wireFrame struct {
 }
 
 // writeEntryFrame writes one committed entry frame.
-func writeEntryFrame(w io.Writer, gen uint64, offset int64, payload []byte) error {
-	var hdr [1 + 8 + 8 + 4 + 4]byte
+func writeEntryFrame(w io.Writer, term, gen uint64, offset int64, payload []byte) error {
+	var hdr [1 + 8 + 8 + 8 + 4 + 4]byte
 	hdr[0] = frameEntry
-	binary.LittleEndian.PutUint64(hdr[1:9], gen)
-	binary.LittleEndian.PutUint64(hdr[9:17], uint64(offset))
-	binary.LittleEndian.PutUint32(hdr[17:21], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[21:25], crc32.Checksum(payload, crcTable))
+	binary.LittleEndian.PutUint64(hdr[1:9], term)
+	binary.LittleEndian.PutUint64(hdr[9:17], gen)
+	binary.LittleEndian.PutUint64(hdr[17:25], uint64(offset))
+	binary.LittleEndian.PutUint32(hdr[25:29], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[29:33], crc32.Checksum(payload, crcTable))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -85,12 +93,13 @@ func writeEntryFrame(w io.Writer, gen uint64, offset int64, payload []byte) erro
 }
 
 // writePosFrame writes a leader-position heartbeat frame.
-func writePosFrame(w io.Writer, pos storage.Position) error {
-	var hdr [1 + 8 + 8 + 8]byte
+func writePosFrame(w io.Writer, term uint64, pos storage.Position) error {
+	var hdr [1 + 8 + 8 + 8 + 8]byte
 	hdr[0] = framePos
-	binary.LittleEndian.PutUint64(hdr[1:9], pos.Gen)
-	binary.LittleEndian.PutUint64(hdr[9:17], uint64(pos.Offset))
-	binary.LittleEndian.PutUint64(hdr[17:25], pos.Seq)
+	binary.LittleEndian.PutUint64(hdr[1:9], term)
+	binary.LittleEndian.PutUint64(hdr[9:17], pos.Gen)
+	binary.LittleEndian.PutUint64(hdr[17:25], uint64(pos.Offset))
+	binary.LittleEndian.PutUint64(hdr[25:33], pos.Seq)
 	_, err := w.Write(hdr[:])
 	return err
 }
@@ -116,14 +125,15 @@ func readWireFrame(br *bufio.Reader) (wireFrame, error) {
 	}
 	switch kind {
 	case frameEntry:
-		var hdr [8 + 8 + 4 + 4]byte
+		var hdr [8 + 8 + 8 + 4 + 4]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return wireFrame{}, fmt.Errorf("%w: truncated entry header", errBadFrame)
 		}
-		gen := binary.LittleEndian.Uint64(hdr[0:8])
-		offset := int64(binary.LittleEndian.Uint64(hdr[8:16]))
-		length := binary.LittleEndian.Uint32(hdr[16:20])
-		wantCRC := binary.LittleEndian.Uint32(hdr[20:24])
+		term := binary.LittleEndian.Uint64(hdr[0:8])
+		gen := binary.LittleEndian.Uint64(hdr[8:16])
+		offset := int64(binary.LittleEndian.Uint64(hdr[16:24]))
+		length := binary.LittleEndian.Uint32(hdr[24:28])
+		wantCRC := binary.LittleEndian.Uint32(hdr[28:32])
 		if length > maxWireEntry {
 			return wireFrame{}, fmt.Errorf("%w: entry length %d out of range", errBadFrame, length)
 		}
@@ -134,16 +144,16 @@ func readWireFrame(br *bufio.Reader) (wireFrame, error) {
 		if crc32.Checksum(payload, crcTable) != wantCRC {
 			return wireFrame{}, fmt.Errorf("%w: entry at offset %d fails checksum", errBadFrame, offset)
 		}
-		return wireFrame{kind: frameEntry, pos: storage.Position{Gen: gen, Offset: offset}, payload: payload}, nil
+		return wireFrame{kind: frameEntry, term: term, pos: storage.Position{Gen: gen, Offset: offset}, payload: payload}, nil
 	case framePos:
-		var hdr [8 + 8 + 8]byte
+		var hdr [8 + 8 + 8 + 8]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return wireFrame{}, fmt.Errorf("%w: truncated position frame", errBadFrame)
 		}
-		return wireFrame{kind: framePos, pos: storage.Position{
-			Gen:    binary.LittleEndian.Uint64(hdr[0:8]),
-			Offset: int64(binary.LittleEndian.Uint64(hdr[8:16])),
-			Seq:    binary.LittleEndian.Uint64(hdr[16:24]),
+		return wireFrame{kind: framePos, term: binary.LittleEndian.Uint64(hdr[0:8]), pos: storage.Position{
+			Gen:    binary.LittleEndian.Uint64(hdr[8:16]),
+			Offset: int64(binary.LittleEndian.Uint64(hdr[16:24])),
+			Seq:    binary.LittleEndian.Uint64(hdr[24:32]),
 		}}, nil
 	case frameResync:
 		return wireFrame{kind: frameResync}, nil

@@ -26,23 +26,23 @@ func readOne(raw []byte) (wireFrame, error) {
 
 func TestFrameRoundTrip(t *testing.T) {
 	payload := []byte("one committed batch")
-	raw := frameBytes(t, func(w io.Writer) error { return writeEntryFrame(w, 3, 4096, payload) })
+	raw := frameBytes(t, func(w io.Writer) error { return writeEntryFrame(w, 9, 3, 4096, payload) })
 	f, err := readOne(raw)
 	if err != nil {
 		t.Fatalf("read entry frame: %v", err)
 	}
-	if f.kind != frameEntry || f.pos.Gen != 3 || f.pos.Offset != 4096 || !bytes.Equal(f.payload, payload) {
+	if f.kind != frameEntry || f.term != 9 || f.pos.Gen != 3 || f.pos.Offset != 4096 || !bytes.Equal(f.payload, payload) {
 		t.Fatalf("decoded %+v", f)
 	}
 
 	pos := storage.Position{Gen: 7, Offset: 123456, Seq: 42}
-	raw = frameBytes(t, func(w io.Writer) error { return writePosFrame(w, pos) })
+	raw = frameBytes(t, func(w io.Writer) error { return writePosFrame(w, 11, pos) })
 	f, err = readOne(raw)
 	if err != nil {
 		t.Fatalf("read pos frame: %v", err)
 	}
-	if f.kind != framePos || f.pos != pos {
-		t.Fatalf("decoded %+v, want pos %v", f, pos)
+	if f.kind != framePos || f.term != 11 || f.pos != pos {
+		t.Fatalf("decoded %+v, want term 11 pos %v", f, pos)
 	}
 
 	raw = frameBytes(t, func(w io.Writer) error { return writeResyncFrame(w) })
@@ -54,7 +54,7 @@ func TestFrameRoundTrip(t *testing.T) {
 
 func TestFrameCleanEOFOnlyAtBoundary(t *testing.T) {
 	payload := []byte("abc")
-	raw := frameBytes(t, func(w io.Writer) error { return writeEntryFrame(w, 0, 8, payload) })
+	raw := frameBytes(t, func(w io.Writer) error { return writeEntryFrame(w, 0, 0, 8, payload) })
 
 	br := bufio.NewReader(bytes.NewReader(raw))
 	if _, err := readWireFrame(br); err != nil {
@@ -77,7 +77,7 @@ func TestFrameCleanEOFOnlyAtBoundary(t *testing.T) {
 
 func TestFrameBitFlipsRejected(t *testing.T) {
 	payload := []byte("the payload under test")
-	whole := frameBytes(t, func(w io.Writer) error { return writeEntryFrame(w, 1, 64, payload) })
+	whole := frameBytes(t, func(w io.Writer) error { return writeEntryFrame(w, 2, 1, 64, payload) })
 
 	// Flip one bit in every payload and checksum byte: all must be caught.
 	// (Header gen/offset bytes are not covered by the frame CRC — the
@@ -100,9 +100,9 @@ func TestFrameUnknownKindRejected(t *testing.T) {
 }
 
 func TestFrameOversizedLengthRejected(t *testing.T) {
-	var raw [25]byte
+	var raw [33]byte
 	raw[0] = frameEntry
-	binary.LittleEndian.PutUint32(raw[17:21], maxWireEntry+1)
+	binary.LittleEndian.PutUint32(raw[25:29], maxWireEntry+1)
 	if _, err := readOne(raw[:]); !errors.Is(err, errBadFrame) {
 		t.Fatalf("oversized length: err = %v, want errBadFrame", err)
 	}

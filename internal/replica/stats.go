@@ -10,6 +10,9 @@ import (
 const (
 	RoleLeader   = "leader"
 	RoleFollower = "follower"
+	// RoleCandidate is a clustered node campaigning for leadership (no
+	// leader is known; writes answer 503 + Retry-After).
+	RoleCandidate = "candidate"
 )
 
 // Follower states, as reported in Stats.State.
@@ -25,10 +28,13 @@ const (
 // follower — exposed through cypher.Graph.ReplicationStats, the serve /stats
 // replication section, and /healthz.
 type Stats struct {
-	// Role is RoleLeader or RoleFollower.
+	// Role is RoleLeader, RoleFollower or RoleCandidate.
 	Role string
 	// State: "serving" on a leader; a State* value on a follower.
 	State string
+	// Term is the node's current election term (0 in legacy single-leader
+	// deployments that never vote).
+	Term uint64
 
 	// Local is this node's stream position: the live WAL end on a leader,
 	// the last durably journaled (and applied) entry on a follower.
@@ -64,10 +70,26 @@ type Stats struct {
 	// SnapshotCatchups counts whole-snapshot installs (leader truncated past
 	// this follower's position).
 	SnapshotCatchups uint64
+	// ForcedResyncs counts admin-triggered snapshot recoveries
+	// (POST /admin/resync) of a fail-stopped tailer.
+	ForcedResyncs uint64
 	// Reconnects counts stream re-establishments after the first.
 	Reconnects uint64
 	// LastError is the most recent stream/apply error ("" when healthy).
 	LastError string
+
+	// Cluster-side fields (leader elections; zero outside -peers mode).
+
+	// ClusterLeader is the advertised URL of the leader this node currently
+	// recognizes ("" while campaigning).
+	ClusterLeader string
+	// QuorumSize is the vote/ack majority for the configured peer set.
+	QuorumSize int
+	// AckedPeers is how many peers (excluding the leader itself) have
+	// recently acknowledged the leader's stream — leader role only.
+	AckedPeers int
+	// Elections counts campaigns this node has started since boot.
+	Elections uint64
 }
 
 // FollowerSession is one live stream connection as seen by the leader.

@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// mustEncode wraps EncodeBatch for single-mutation test payloads.
+func mustEncode(t *testing.T, muts ...graph.Mutation) []byte {
+	t.Helper()
+	payload, err := EncodeBatch(muts)
+	if err != nil {
+		t.Fatalf("encode batch: %v", err)
+	}
+	return payload
+}
+
+func TestTermRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	// A directory with no term file is term 0 with no vote, not an error.
+	rec, err := LoadTermRecord(dir)
+	if err != nil {
+		t.Fatalf("load missing term record: %v", err)
+	}
+	if rec.Term != 0 || rec.VotedFor != "" {
+		t.Fatalf("fresh record = %+v, want zero", rec)
+	}
+
+	if err := SaveTermRecord(dir, TermRecord{Term: 7, VotedFor: "http://n2:7474"}); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	rec, err = LoadTermRecord(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Term != 7 || rec.VotedFor != "http://n2:7474" {
+		t.Fatalf("reloaded record = %+v", rec)
+	}
+
+	// Overwrite (a newer term clears the vote) survives a reload.
+	if err := SaveTermRecord(dir, TermRecord{Term: 9}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = LoadTermRecord(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Term != 9 || rec.VotedFor != "" {
+		t.Fatalf("record after overwrite = %+v, want term 9, no vote", rec)
+	}
+}
+
+func TestFollowerStoreFencesStaleTerms(t *testing.T) {
+	g := graph.New()
+	f, err := OpenFollower(t.TempDir(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	payload := mustEncode(t, nodeMut(1, "N"))
+	// Entries at or above the fence land; below it they are refused with
+	// ErrStaleTerm and nothing is journaled.
+	f.SetFenceTerm(5)
+	if err := f.AppendEntry(f.Position(), 5, payload); err != nil {
+		t.Fatalf("append at fence term: %v", err)
+	}
+	before := f.Position()
+	if err := f.AppendEntry(f.Position(), 4, payload); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("stale append error = %v, want ErrStaleTerm", err)
+	}
+	if f.Position() != before {
+		t.Fatalf("stale append moved the position %v -> %v", before, f.Position())
+	}
+	if err := f.AppendEntry(f.Position(), 6, payload); err != nil {
+		t.Fatalf("append above fence: %v", err)
+	}
+
+	// The fence is monotonic: lowering attempts are ignored.
+	f.SetFenceTerm(3)
+	if got := f.FenceTerm(); got != 5 {
+		t.Fatalf("fence lowered to %d, want 5", got)
+	}
+}
+
+func TestPromoteDemoteHandOff(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.New()
+	f, err := OpenFollower(dir, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		payload := mustEncode(t, nodeMut(int64(i), "N"))
+		if err := f.AppendEntry(f.Position(), 1, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	followerPos := f.Position()
+
+	// Promotion hands the open WAL to a writer-side store without closing or
+	// reopening files: same position, and normal commits work immediately.
+	s, err := f.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if s.Position() != followerPos {
+		t.Fatalf("promoted position %v, want %v", s.Position(), followerPos)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("closing the husk after promote: %v", err)
+	}
+	if _, err := f.Promote(); err == nil {
+		t.Fatal("second promote succeeded, want error")
+	}
+	commitBatch(t, s, nodeMut(10, "W"))
+	if s.Position().Seq != followerPos.Seq+1 {
+		t.Fatalf("commit after promote: position %v", s.Position())
+	}
+
+	// Demotion hands the WAL back: the follower store resumes at the exact
+	// position and accepts stream appends; the old writer refuses commits.
+	writerPos := s.Position()
+	f2, err := s.Demote()
+	if err != nil {
+		t.Fatalf("demote: %v", err)
+	}
+	if f2.Position() != writerPos {
+		t.Fatalf("demoted position %v, want %v", f2.Position(), writerPos)
+	}
+	s.Record(nodeMut(12, "W"))
+	if err := s.Commit(); err == nil {
+		t.Fatal("commit on a demoted store succeeded, want failure")
+	}
+	payload := mustEncode(t, nodeMut(11, "N"))
+	if err := f2.AppendEntry(f2.Position(), 2, payload); err != nil {
+		t.Fatalf("append after demote: %v", err)
+	}
+
+	// The whole shuffle stays recoverable: a fresh follower open over the
+	// same directory replays every entry appended across both roles.
+	wantSeq := f2.Position().Seq
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g2 := graph.New()
+	f3, err := OpenFollower(dir, g2, Options{})
+	if err != nil {
+		t.Fatalf("reopen after hand-offs: %v", err)
+	}
+	defer f3.Close()
+	if f3.Position().Seq != wantSeq {
+		t.Fatalf("recovered seq %d, want %d", f3.Position().Seq, wantSeq)
+	}
+}

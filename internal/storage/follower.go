@@ -37,6 +37,11 @@ type FollowerStore struct {
 	done   sync.WaitGroup
 	unlock func()
 
+	// fence is the newest election term this node has acknowledged (voted in
+	// or seen declared). AppendEntry refuses entries stamped with an older
+	// term: they come from a deposed leader that does not yet know it lost.
+	fence atomic.Uint64
+
 	// Counters (atomics: read by /stats while the tailer applies).
 	batches  atomic.Uint64
 	records  atomic.Uint64
@@ -149,18 +154,39 @@ func (fs *FollowerStore) Position() Position {
 	return Position{Gen: fs.gen, Offset: end, Seq: fs.seq}
 }
 
+// SetFenceTerm raises the fence to term: from here on AppendEntry refuses
+// entries stamped with any older election term. The fence only moves
+// forward; a lower term is ignored (terms are monotonic by construction).
+func (fs *FollowerStore) SetFenceTerm(term uint64) {
+	for {
+		cur := fs.fence.Load()
+		if term <= cur || fs.fence.CompareAndSwap(cur, term) {
+			return
+		}
+	}
+}
+
+// FenceTerm returns the current fence term.
+func (fs *FollowerStore) FenceTerm() uint64 { return fs.fence.Load() }
+
 // AppendEntry journals one shipped entry. pos is the position the entry
 // claims to start at (as framed by the leader); it must exactly match the
 // local log's end — a gap or overlap means the stream and the local log
 // disagree, and appending would corrupt the byte-identical-prefix invariant
-// that resume depends on. payload must already be checksum-verified by the
-// protocol layer; it is re-framed with the same [len][crc] header the leader
-// wrote, reproducing the leader's bytes.
-func (fs *FollowerStore) AppendEntry(pos Position, payload []byte) error {
+// that resume depends on. term is the election term stamped on the entry's
+// stream frame; an entry from a term older than the fence is refused with
+// ErrStaleTerm (a deposed leader's late write must not reach the log).
+// payload must already be checksum-verified by the protocol layer; it is
+// re-framed with the same [len][crc] header the leader wrote, reproducing
+// the leader's bytes.
+func (fs *FollowerStore) AppendEntry(pos Position, term uint64, payload []byte) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.closed || fs.wal == nil {
 		return fmt.Errorf("storage: follower store is closed")
+	}
+	if fence := fs.fence.Load(); term < fence {
+		return fmt.Errorf("%w: entry term %d, fence %d", ErrStaleTerm, term, fence)
 	}
 	if pos.Gen != fs.gen {
 		return fmt.Errorf("storage: stream entry for generation %d, follower log at %d", pos.Gen, fs.gen)
@@ -354,6 +380,40 @@ func (fs *FollowerStore) Close() error {
 	}
 	fs.unlock()
 	return err
+}
+
+// Promote converts the follower store into a full leader-side Store over the
+// same open WAL, generation and directory lock — no close/reopen, no
+// re-recovery. The follower store is dead afterwards (every later call on it
+// reports closed, which is what fail-stops a replication tailer still racing
+// an apply), and the returned Store owns the files. The caller must hold the
+// node's write-exclusion (no query writes exist yet — the engine is still in
+// follower role) and should checkpoint promptly: the generation bump is what
+// fences the old generation's stream positions.
+func (fs *FollowerStore) Promote() (*Store, error) {
+	fs.mu.Lock()
+	if fs.closed || fs.wal == nil {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("storage: cannot promote a closed follower store")
+	}
+	fs.closed = true
+	w := fs.wal
+	fs.wal = nil
+	gen, seq := fs.gen, fs.seq
+	fs.mu.Unlock()
+	close(fs.stop)
+	fs.done.Wait()
+
+	s := &Store{dir: fs.dir, opts: fs.opts, stop: make(chan struct{}), unlock: fs.unlock}
+	s.wal.Store(w)
+	s.gen.Store(gen)
+	s.walSeq.Store(seq)
+	s.recovered = fs.recovered
+	if fs.opts.SyncMode == SyncInterval {
+		s.done.Add(1)
+		go s.backgroundSync()
+	}
+	return s, nil
 }
 
 // backgroundSync is the SyncInterval flusher.

@@ -193,7 +193,7 @@ func TestFollowerByteIdenticalPrefix(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, fr := range frames {
-		if err := f.AppendEntry(Position{Gen: 0, Offset: fr.Offset}, fr.Payload); err != nil {
+		if err := f.AppendEntry(Position{Gen: 0, Offset: fr.Offset}, 0, fr.Payload); err != nil {
 			t.Fatalf("append entry: %v", err)
 		}
 	}
@@ -233,19 +233,19 @@ func TestFollowerAppendRejectsGapsAndOverlaps(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Wrong generation.
-	if err := f.AppendEntry(Position{Gen: 3, Offset: WALStartOffset}, payload); err == nil {
+	if err := f.AppendEntry(Position{Gen: 3, Offset: WALStartOffset}, 0, payload); err == nil {
 		t.Fatal("append with wrong generation should fail")
 	}
 	// A gap: entry claims to start past the local end.
-	if err := f.AppendEntry(Position{Gen: 0, Offset: WALStartOffset + 100}, payload); err == nil {
+	if err := f.AppendEntry(Position{Gen: 0, Offset: WALStartOffset + 100}, 0, payload); err == nil {
 		t.Fatal("append with an offset gap should fail")
 	}
 	// The exact end appends fine; replaying the same entry again (overlap)
 	// does not.
-	if err := f.AppendEntry(Position{Gen: 0, Offset: WALStartOffset}, payload); err != nil {
+	if err := f.AppendEntry(Position{Gen: 0, Offset: WALStartOffset}, 0, payload); err != nil {
 		t.Fatalf("append at the exact end: %v", err)
 	}
-	if err := f.AppendEntry(Position{Gen: 0, Offset: WALStartOffset}, payload); err == nil {
+	if err := f.AppendEntry(Position{Gen: 0, Offset: WALStartOffset}, 0, payload); err == nil {
 		t.Fatal("re-appending an already-journaled entry should fail")
 	}
 }
@@ -267,7 +267,7 @@ func TestFollowerRecovery(t *testing.T) {
 			t.Fatal(err)
 		}
 		entries = append(entries, payload)
-		if err := f.AppendEntry(f.Position(), payload); err != nil {
+		if err := f.AppendEntry(f.Position(), 0, payload); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -316,7 +316,7 @@ func TestFollowerRecovery(t *testing.T) {
 		t.Fatalf("post-tear position %v, want %v", got, want)
 	}
 	// The log is writable again at the recovered position.
-	if err := f3.AppendEntry(f3.Position(), entries[0]); err != nil {
+	if err := f3.AppendEntry(f3.Position(), 0, entries[0]); err != nil {
 		t.Fatalf("append after torn-tail truncation: %v", err)
 	}
 }

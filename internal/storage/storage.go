@@ -325,6 +325,11 @@ func (s *Store) Append() (CommitTicket, error) {
 		return CommitTicket{}, err
 	}
 	w := s.wal.Load()
+	if w == nil {
+		// The store was demoted (or closed) out from under a straggling
+		// writer; fail-stop rather than crash.
+		return CommitTicket{}, s.fail(fmt.Errorf("store is no longer the writable copy"))
+	}
 	off, err := w.append(payload)
 	if err != nil {
 		return CommitTicket{}, s.fail(err)
@@ -464,6 +469,60 @@ func (s *Store) Close() error {
 	s.walMu.Unlock()
 	s.unlock()
 	return err
+}
+
+// Demote converts the leader-side store into a FollowerStore over the same
+// open WAL, generation and directory lock, for a deposed leader rejoining the
+// cluster under a new winner. The caller must guarantee no in-flight write
+// queries (the engine switches to follower role under its write lock before
+// calling) and that every buffered record was committed. Live replication
+// stream sessions are woken and end — ReadEntries observes the closed store —
+// so the deposed leader stops feeding its old followers. The Store is dead
+// afterwards; the returned FollowerStore owns the files.
+func (s *Store) Demote() (*FollowerStore, error) {
+	s.bufMu.Lock()
+	pending := s.bufCount
+	s.bufMu.Unlock()
+	if pending != 0 {
+		return nil, fmt.Errorf("storage: cannot demote with %d uncommitted buffered records", pending)
+	}
+	if s.closed.Swap(true) {
+		return nil, fmt.Errorf("storage: cannot demote a closed store")
+	}
+	// Wake stream readers so they observe the closed store and end their
+	// sessions (the follower on the other end will resync to the new leader).
+	s.notifyCommit()
+	close(s.stop)
+	s.done.Wait()
+	s.walMu.Lock()
+	w := s.wal.Load()
+	s.wal.Store(nil)
+	gen := s.gen.Load()
+	seq := s.walSeq.Load()
+	s.walMu.Unlock()
+	if w == nil {
+		return nil, fmt.Errorf("storage: cannot demote a store without an open WAL")
+	}
+	// Everything appended as leader must be on disk before the node starts
+	// comparing positions with (and truncating under) the new leader.
+	if _, err := w.syncTo(w.end()); err != nil {
+		return nil, err
+	}
+	fs := &FollowerStore{
+		dir:    s.dir,
+		opts:   s.opts,
+		wal:    w,
+		gen:    gen,
+		seq:    seq,
+		stop:   make(chan struct{}),
+		unlock: s.unlock,
+	}
+	fs.recovered = s.recovered
+	if s.opts.SyncMode == SyncInterval {
+		fs.done.Add(1)
+		go fs.backgroundSync()
+	}
+	return fs, nil
 }
 
 // Recovery returns what Open found and replayed.

@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Election-term persistence. Each node of a replication cluster keeps a
+// monotonic term (and the candidate it voted for in that term) next to its
+// WAL generation, in <dir>/term.json. The term is the cluster's logical
+// clock: a leader stamps every stream frame with the term it was elected at,
+// and followers refuse to append entries from any term older than the newest
+// one they have acknowledged — that refusal is what fences a partitioned
+// ex-leader's late writes (see ErrStaleTerm and FollowerStore.SetFenceTerm).
+//
+// The record must be durable BEFORE the vote or campaign it represents takes
+// effect: a node that granted a vote for term T, crashed, and forgot it could
+// grant a second vote in T to a different candidate and elect two leaders.
+// SaveTermRecord therefore writes through a temp file, fsyncs it, renames it
+// into place and fsyncs the directory — the same publish discipline as
+// snapshots.
+
+// termFileName is the term record's file name inside a data directory.
+const termFileName = "term.json"
+
+// TermRecord is a node's persisted election state.
+type TermRecord struct {
+	// Term is the highest election term this node has seen or campaigned in.
+	Term uint64 `json:"term"`
+	// VotedFor is the advertised URL of the candidate this node granted its
+	// vote to in Term ("" = no vote granted yet this term).
+	VotedFor string `json:"votedFor"`
+}
+
+// ErrStaleTerm rejects a replicated append whose term is older than the
+// fence: the sender is a deposed leader whose writes must not reach the log.
+var ErrStaleTerm = errors.New("storage: replicated entry from a stale election term")
+
+// LoadTermRecord reads the persisted term record from dir. A missing file is
+// the zero record (fresh node, term 0), not an error.
+func LoadTermRecord(dir string) (TermRecord, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, termFileName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return TermRecord{}, nil
+		}
+		return TermRecord{}, fmt.Errorf("storage: read term record: %w", err)
+	}
+	var rec TermRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return TermRecord{}, fmt.Errorf("storage: term record %s is corrupt: %w", termFileName, err)
+	}
+	return rec, nil
+}
+
+// SaveTermRecord durably persists rec in dir (temp file + fsync + rename +
+// directory fsync). It must return before the vote or candidacy the record
+// represents is communicated to any peer.
+func SaveTermRecord(dir string, rec TermRecord) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("storage: encode term record: %w", err)
+	}
+	final := filepath.Join(dir, termFileName)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: create term record temp: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: write term record: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: sync term record: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: close term record: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: publish term record: %w", err)
+	}
+	return syncDir(dir)
+}
